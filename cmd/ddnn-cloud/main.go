@@ -1,0 +1,55 @@
+// Command ddnn-cloud runs the cloud node: it loads a trained model and
+// serves cloud-exit classification sessions — aggregating uploaded
+// binarized feature maps and running the upper NN layers — for a gateway.
+//
+// Usage:
+//
+//	ddnn-cloud -model model.ddnn -listen 127.0.0.1:7100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	ddnn "github.com/ddnn/ddnn-go"
+	"github.com/ddnn/ddnn-go/internal/cluster"
+	"github.com/ddnn/ddnn-go/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ddnn-cloud:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ddnn-cloud", flag.ContinueOnError)
+	var (
+		modelPath = fs.String("model", "model.ddnn", "trained model file")
+		listen    = fs.String("listen", "127.0.0.1:7100", "listen address")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	model, err := ddnn.LoadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	node := cluster.NewCloud(model, nil)
+	if err := node.Serve(transport.TCP{}, *listen); err != nil {
+		return err
+	}
+	fmt.Printf("cloud serving on %s (%d devices expected, %v aggregation)\n",
+		node.Addr(), model.Cfg.Devices, model.Cfg.CloudAgg)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	fmt.Println("shutting down")
+	return node.Close()
+}

@@ -1,0 +1,65 @@
+// Command ddnn-device runs one end-device node: it loads a trained model,
+// keeps only its own section in use, serves capture and feature-upload
+// requests from a gateway, and feeds its sensor from the deterministic
+// synthetic dataset (acting as the camera).
+//
+// Usage:
+//
+//	ddnn-device -model model.ddnn -device 0 -listen 127.0.0.1:7001 [-data-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	ddnn "github.com/ddnn/ddnn-go"
+	"github.com/ddnn/ddnn-go/internal/cluster"
+	"github.com/ddnn/ddnn-go/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ddnn-device:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ddnn-device", flag.ContinueOnError)
+	var (
+		modelPath = fs.String("model", "model.ddnn", "trained model file")
+		device    = fs.Int("device", 0, "device index of this node")
+		listen    = fs.String("listen", "127.0.0.1:7001", "listen address")
+		dataSeed  = fs.Int64("data-seed", 1, "dataset seed (must match the gateway)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	model, err := ddnn.LoadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	if *device < 0 || *device >= model.Cfg.Devices {
+		return fmt.Errorf("device %d out of range [0,%d)", *device, model.Cfg.Devices)
+	}
+	dcfg := ddnn.DefaultDatasetConfig()
+	dcfg.Seed = *dataSeed
+	_, test := ddnn.GenerateDataset(dcfg)
+
+	node := cluster.NewDevice(model, *device, cluster.DatasetFeed(test, *device), nil)
+	if err := node.Serve(transport.TCP{}, *listen); err != nil {
+		return err
+	}
+	fmt.Printf("device %d serving on %s (section: %d B deployed)\n",
+		*device, node.Addr(), model.DeviceMemoryBytes())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	fmt.Println("shutting down")
+	return node.Close()
+}

@@ -1,0 +1,159 @@
+// Command ddnn-sim trains (or loads) a DDNN and runs the complete
+// hierarchy in one process over in-memory links: device nodes, gateway
+// with health monitoring, and cloud. It can inject device failures partway
+// through to demonstrate detection, graceful degradation and recovery.
+//
+// Usage:
+//
+//	ddnn-sim [-model model.ddnn] [-epochs 25] [-threshold 0.8]
+//	         [-fail 2,5] [-fail-at 0.33] [-recover-at 0.66] [-samples 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	ddnn "github.com/ddnn/ddnn-go"
+	"github.com/ddnn/ddnn-go/internal/cluster"
+	"github.com/ddnn/ddnn-go/internal/metrics"
+	"github.com/ddnn/ddnn-go/internal/transport"
+	"github.com/ddnn/ddnn-go/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ddnn-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ddnn-sim", flag.ContinueOnError)
+	var (
+		modelPath = fs.String("model", "", "trained model file (empty: train now)")
+		epochs    = fs.Int("epochs", 25, "training epochs when -model is empty")
+		threshold = fs.Float64("threshold", 0.8, "local exit entropy threshold T")
+		failList  = fs.String("fail", "", "comma-separated device indices to crash mid-run")
+		failAt    = fs.Float64("fail-at", 0.33, "fraction of the run at which devices crash")
+		recoverAt = fs.Float64("recover-at", 0.66, "fraction at which crashed devices recover (>1: never)")
+		samples   = fs.Int("samples", 0, "number of test samples (0 = all)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	dcfg := ddnn.DefaultDatasetConfig()
+	train, test := ddnn.GenerateDataset(dcfg)
+
+	var model *ddnn.Model
+	if *modelPath != "" {
+		m, err := ddnn.LoadModel(*modelPath)
+		if err != nil {
+			return err
+		}
+		model = m
+		fmt.Printf("loaded %s\n", *modelPath)
+	} else {
+		model = ddnn.MustNewModel(ddnn.DefaultConfig())
+		tc := ddnn.DefaultTrainConfig()
+		tc.Epochs = *epochs
+		fmt.Printf("training %d epochs...\n", *epochs)
+		if _, err := model.Train(train, tc); err != nil {
+			return err
+		}
+	}
+
+	var failures []int
+	if *failList != "" {
+		for _, s := range strings.Split(*failList, ",") {
+			d, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || d < 0 || d >= model.Cfg.Devices {
+				return fmt.Errorf("bad -fail entry %q", s)
+			}
+			failures = append(failures, d)
+		}
+	}
+
+	gcfg := ddnn.DefaultGatewayConfig()
+	gcfg.Threshold = *threshold
+	gcfg.DeviceTimeout = 500 * time.Millisecond
+	gcfg.MaxFailures = 0 // leave detection to the health monitor
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelWarn}))
+	tr := transport.NewMem()
+	sim, err := newSimWithTransport(model, test, gcfg, tr, logger)
+	if err != nil {
+		return err
+	}
+	defer sim.Close()
+
+	addrs := make([]string, model.Cfg.Devices)
+	for d := range addrs {
+		addrs[d] = fmt.Sprintf("device-%d", d)
+	}
+	hm, err := sim.Gateway.StartHealthMonitor(tr, addrs, 50*time.Millisecond, 2)
+	if err != nil {
+		return err
+	}
+	defer hm.Stop()
+
+	n := test.Len()
+	if *samples > 0 && *samples < n {
+		n = *samples
+	}
+	labels := test.Labels(nil)
+	correct, localExits := 0, 0
+	lat := metrics.NewLatencyRecorder()
+	failPoint := int(*failAt * float64(n))
+	recoverPoint := int(*recoverAt * float64(n))
+
+	fmt.Printf("classifying %d samples (T=%.2f)...\n", n, *threshold)
+	for id := 0; id < n; id++ {
+		if id == failPoint && len(failures) > 0 {
+			fmt.Printf("  [%d/%d] crashing devices %v\n", id, n, failures)
+			for _, d := range failures {
+				sim.Devices[d].SetFailed(true)
+			}
+		}
+		if id == recoverPoint && len(failures) > 0 {
+			fmt.Printf("  [%d/%d] recovering devices %v (down at this point: %v)\n",
+				id, n, failures, sim.Gateway.DownDevices())
+			for _, d := range failures {
+				sim.Devices[d].SetFailed(false)
+			}
+		}
+		res, err := sim.Gateway.Classify(uint64(id))
+		if err != nil {
+			return fmt.Errorf("sample %d: %w", id, err)
+		}
+		if res.Class == labels[id] {
+			correct++
+		}
+		if res.Exit == wire.ExitLocal {
+			localExits++
+		}
+		lat.Record(res.Latency)
+	}
+
+	l := float64(localExits) / float64(n)
+	fmt.Printf("\naccuracy:           %.1f%%\n", 100*float64(correct)/float64(n))
+	fmt.Printf("local exits:        %.1f%%\n", l*100)
+	fmt.Printf("latency mean/p95:   %v / %v\n", lat.Mean().Round(time.Microsecond), lat.Percentile(95).Round(time.Microsecond))
+	perDev := float64(sim.Gateway.Meter.Total()) / float64(model.Cfg.Devices) / float64(n)
+	fmt.Printf("payload per device: %.1f B/sample (Eq. 1: %.1f B, raw offload: %d B)\n",
+		perDev, model.Cfg.CommCostBytes(l), model.Cfg.RawOffloadBytes())
+	if down := sim.Gateway.DownDevices(); len(down) > 0 {
+		fmt.Printf("still down:         %v\n", down)
+	}
+	return nil
+}
+
+// newSimWithTransport mirrors ddnn.NewClusterSim but keeps the transport
+// visible so the health monitor can dial probe connections over it.
+func newSimWithTransport(m *ddnn.Model, ds *ddnn.Dataset, cfg ddnn.GatewayConfig, tr *transport.Mem, logger *slog.Logger) (*cluster.Sim, error) {
+	return cluster.NewSim(m, ds, cfg, tr, logger)
+}

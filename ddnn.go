@@ -1,0 +1,155 @@
+// Package ddnn is a Go implementation of Distributed Deep Neural Networks
+// (DDNNs) over the cloud, the edge and end devices, reproducing
+// Teerapittayanon, McDanel & Kung, ICDCS 2017 (arXiv:1709.01921).
+//
+// A DDNN is a single jointly-trained deep network whose sections are
+// mapped onto a distributed computing hierarchy. End devices run small
+// binarized (BNN/eBNN) sections next to their sensors and send a compact
+// class-summary vector to a local aggregator; samples the local exit is
+// confident about (normalized entropy ≤ T) are classified immediately,
+// while hard samples upload bit-packed binarized feature maps to the cloud
+// for further NN-layer processing. Aggregation across geographically
+// distributed devices (max pooling, average pooling or concatenation) is
+// learned during joint training, which gives the system automatic sensor
+// fusion and fault tolerance.
+//
+// # Quick start
+//
+//	train, test := ddnn.GenerateDataset(ddnn.DefaultDatasetConfig())
+//	model := ddnn.MustNewModel(ddnn.DefaultConfig())
+//	model.Train(train, ddnn.DefaultTrainConfig())
+//	res := model.Evaluate(test, nil, 32)
+//	policy := ddnn.NewPolicy(0.8, 1) // local exit threshold T=0.8
+//	fmt.Println(res.OverallAccuracy(policy), res.LocalExitFraction(policy))
+//
+// The package is a thin facade over the implementation packages:
+//
+//   - internal/core — the DDNN model, joint training, staged inference
+//   - internal/bnn — binarized layers and the fused ConvP/FC blocks
+//   - internal/agg — MP/AP/CC aggregation with gradient routing
+//   - internal/branchy — early-exit policies and threshold search
+//   - internal/dataset — the synthetic multi-view multi-camera dataset
+//   - internal/cluster — the distributed runtime (devices/gateway/cloud)
+//   - internal/experiments — regeneration of every paper table and figure
+package ddnn
+
+import (
+	"github.com/ddnn/ddnn-go/internal/agg"
+	"github.com/ddnn/ddnn-go/internal/branchy"
+	"github.com/ddnn/ddnn-go/internal/cluster"
+	"github.com/ddnn/ddnn-go/internal/core"
+	"github.com/ddnn/ddnn-go/internal/dataset"
+	"github.com/ddnn/ddnn-go/internal/modelio"
+	"github.com/ddnn/ddnn-go/internal/transport"
+)
+
+// Core model types.
+type (
+	// Config describes a DDNN architecture (devices, filters, aggregation
+	// schemes, optional edge tier).
+	Config = core.Config
+	// Model is a DDNN: per-device sections, aggregators, optional edge
+	// tier and the cloud section, trained jointly.
+	Model = core.Model
+	// TrainConfig holds the training hyper-parameters (paper defaults:
+	// Adam α=0.001, 100 epochs).
+	TrainConfig = core.TrainConfig
+	// EvalResult stores per-sample exit probabilities, from which all
+	// §III-F accuracy measures derive.
+	EvalResult = core.EvalResult
+	// IndividualModel is the per-device baseline trained separately from
+	// any DDNN.
+	IndividualModel = core.IndividualModel
+	// Logits bundles the raw class scores at each exit point.
+	Logits = core.Logits
+)
+
+// Aggregation schemes.
+type (
+	// AggScheme selects max pooling (MP), average pooling (AP) or
+	// concatenation (CC) at an exit point.
+	AggScheme = agg.Scheme
+)
+
+// Aggregation scheme constants (§III-B).
+const (
+	MP = agg.MP
+	AP = agg.AP
+	CC = agg.CC
+)
+
+// Early-exit policy types.
+type (
+	// Policy holds one normalized-entropy threshold per exit point.
+	Policy = branchy.Policy
+	// SweepPoint is one row of a threshold sweep (Table II).
+	SweepPoint = branchy.SweepPoint
+)
+
+// Dataset types.
+type (
+	// Dataset is an in-memory multi-view dataset.
+	Dataset = dataset.Dataset
+	// DatasetConfig controls the synthetic MVMC generator.
+	DatasetConfig = dataset.Config
+)
+
+// Cluster runtime types.
+type (
+	// ClusterSim is a complete in-process DDNN cluster.
+	ClusterSim = cluster.Sim
+	// GatewayConfig controls the local aggregator node.
+	GatewayConfig = cluster.GatewayConfig
+	// InferenceResult is the outcome of one distributed inference session.
+	InferenceResult = cluster.Result
+)
+
+// DefaultConfig returns the architecture evaluated in the paper's §IV: six
+// end devices with 4-filter ConvP blocks, MP local aggregation and CC
+// cloud aggregation.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewModel builds a DDNN from a configuration.
+func NewModel(cfg Config) (*Model, error) { return core.NewModel(cfg) }
+
+// MustNewModel is NewModel for known-good configs; it panics on error.
+func MustNewModel(cfg Config) *Model { return core.MustNewModel(cfg) }
+
+// DefaultTrainConfig returns the paper's training hyper-parameters.
+func DefaultTrainConfig() TrainConfig { return core.DefaultTrainConfig() }
+
+// NewIndividualModel builds the standalone baseline for one device.
+func NewIndividualModel(cfg Config, device int) (*IndividualModel, error) {
+	return core.NewIndividualModel(cfg, device)
+}
+
+// NewPolicy builds an exit policy from per-exit entropy thresholds,
+// ordered local (edge) cloud. The final exit always classifies.
+func NewPolicy(thresholds ...float64) Policy { return branchy.NewPolicy(thresholds...) }
+
+// DefaultDatasetConfig returns the synthetic multi-view multi-camera
+// dataset configuration used in the evaluation (680 train / 171 test, six
+// cameras, three classes).
+func DefaultDatasetConfig() DatasetConfig { return dataset.DefaultConfig() }
+
+// GenerateDataset builds the train and test splits; it panics on an
+// invalid configuration (use dataset.Generate for error handling).
+func GenerateDataset(cfg DatasetConfig) (train, test *Dataset) {
+	return dataset.MustGenerate(cfg)
+}
+
+// SaveModel writes a trained model to a file.
+func SaveModel(path string, m *Model) error { return modelio.SaveFile(path, m) }
+
+// LoadModel reads a trained model from a file.
+func LoadModel(path string) (*Model, error) { return modelio.LoadFile(path) }
+
+// DefaultGatewayConfig returns the cluster gateway defaults (T=0.8).
+func DefaultGatewayConfig() GatewayConfig { return cluster.DefaultGatewayConfig() }
+
+// NewClusterSim starts a complete in-process DDNN cluster — device nodes,
+// gateway and cloud over in-memory links — serving device sensors from the
+// dataset. Sample IDs are dataset indices.
+func NewClusterSim(m *Model, ds *Dataset, cfg GatewayConfig) (*ClusterSim, error) {
+	return cluster.NewSim(m, ds, cfg, transport.NewMem(), nil)
+}

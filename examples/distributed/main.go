@@ -1,0 +1,99 @@
+// Distributed: runs the full DDNN hierarchy as separate nodes over real
+// TCP sockets on loopback, with simulated link characteristics, and
+// reports per-exit latency and measured communication — the vertical
+// scaling story of §V on a real protocol stack.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	ddnn "github.com/ddnn/ddnn-go"
+	"github.com/ddnn/ddnn-go/internal/cluster"
+	"github.com/ddnn/ddnn-go/internal/metrics"
+	"github.com/ddnn/ddnn-go/internal/transport"
+	"github.com/ddnn/ddnn-go/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "distributed:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	dcfg := ddnn.DefaultDatasetConfig()
+	dcfg.Train, dcfg.Test = 300, 60
+	train, test := ddnn.GenerateDataset(dcfg)
+
+	model := ddnn.MustNewModel(ddnn.DefaultConfig())
+	tc := ddnn.DefaultTrainConfig()
+	tc.Epochs = 18
+	fmt.Println("training in the \"cloud\" (single process, §III-C)...")
+	if _, err := model.Train(train, tc); err != nil {
+		return err
+	}
+
+	// Deploy: every node listens on its own TCP port on loopback.
+	tr := transport.TCP{}
+	fmt.Println("deploying sections onto TCP nodes...")
+	addrs := make([]string, model.Cfg.Devices)
+	var devices []*cluster.Device
+	for d := 0; d < model.Cfg.Devices; d++ {
+		dev := cluster.NewDevice(model, d, cluster.DatasetFeed(test, d), nil)
+		if err := dev.Serve(tr, "127.0.0.1:0"); err != nil {
+			return err
+		}
+		defer dev.Close()
+		devices = append(devices, dev)
+		addrs[d] = dev.Addr()
+		fmt.Printf("  device %d  @ %s\n", d+1, addrs[d])
+	}
+	cloud := cluster.NewCloud(model, nil)
+	if err := cloud.Serve(tr, "127.0.0.1:0"); err != nil {
+		return err
+	}
+	defer cloud.Close()
+	fmt.Printf("  cloud     @ %s\n", cloud.Addr())
+
+	gcfg := ddnn.DefaultGatewayConfig()
+	gw, err := cluster.NewGateway(model, gcfg, tr, addrs, cloud.Addr(), nil)
+	if err != nil {
+		return err
+	}
+	defer gw.Close()
+
+	localLat := metrics.NewLatencyRecorder()
+	cloudLat := metrics.NewLatencyRecorder()
+	labels := test.Labels(nil)
+	correct := 0
+	fmt.Printf("\nclassifying %d samples over TCP (T=%.1f)...\n", test.Len(), gcfg.Threshold)
+	for id := 0; id < test.Len(); id++ {
+		res, err := gw.Classify(uint64(id))
+		if err != nil {
+			return err
+		}
+		if res.Class == labels[id] {
+			correct++
+		}
+		if res.Exit == wire.ExitLocal {
+			localLat.Record(res.Latency)
+		} else {
+			cloudLat.Record(res.Latency)
+		}
+	}
+
+	n := test.Len()
+	fmt.Printf("\naccuracy:          %.1f%%\n", 100*float64(correct)/float64(n))
+	fmt.Printf("local exits:       %d/%d samples, mean latency %v (p95 %v)\n",
+		localLat.Count(), n, localLat.Mean().Round(time.Microsecond), localLat.Percentile(95).Round(time.Microsecond))
+	fmt.Printf("cloud exits:       %d/%d samples, mean latency %v (p95 %v)\n",
+		cloudLat.Count(), n, cloudLat.Mean().Round(time.Microsecond), cloudLat.Percentile(95).Round(time.Microsecond))
+	perDev := float64(gw.Meter.Total()) / float64(model.Cfg.Devices) / float64(n)
+	fmt.Printf("payload per device: %.1f B/sample (Eq. 1 predicts %.1f B at this exit rate)\n",
+		perDev, model.Cfg.CommCostBytes(float64(localLat.Count())/float64(n)))
+	fmt.Printf("raw-offload baseline would cost %d B/sample\n", model.Cfg.RawOffloadBytes())
+	return nil
+}

@@ -1,0 +1,84 @@
+// Faults: demonstrates built-in fault tolerance (§IV-G) on the live
+// cluster runtime. A DDNN cluster keeps classifying while devices crash
+// one by one; the gateway detects silent devices by timeout, masks them
+// out of aggregation, and accuracy degrades gracefully instead of failing.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	ddnn "github.com/ddnn/ddnn-go"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "faults:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	dcfg := ddnn.DefaultDatasetConfig()
+	dcfg.Train, dcfg.Test = 300, 80
+	train, test := ddnn.GenerateDataset(dcfg)
+
+	model := ddnn.MustNewModel(ddnn.DefaultConfig())
+	tc := ddnn.DefaultTrainConfig()
+	tc.Epochs = 20
+	fmt.Println("training...")
+	if _, err := model.Train(train, tc); err != nil {
+		return err
+	}
+
+	gcfg := ddnn.DefaultGatewayConfig()
+	gcfg.DeviceTimeout = 300 * time.Millisecond
+	gcfg.MaxFailures = 0 // retry failed devices on every sample
+	sim, err := ddnn.NewClusterSim(model, test, gcfg)
+	if err != nil {
+		return err
+	}
+	defer sim.Close()
+
+	evaluate := func(label string) error {
+		correct, n := 0, test.Len()
+		labels := test.Labels(nil)
+		for id := 0; id < n; id++ {
+			res, err := sim.Gateway.Classify(uint64(id))
+			if err != nil {
+				return err
+			}
+			if res.Class == labels[id] {
+				correct++
+			}
+		}
+		fmt.Printf("  %-28s %5.1f%% accuracy\n", label, 100*float64(correct)/float64(n))
+		return nil
+	}
+
+	fmt.Println("\nclassifying the test set on the live cluster:")
+	if err := evaluate("all 6 devices healthy:"); err != nil {
+		return err
+	}
+
+	// Kill devices one at a time, best-instrumented last.
+	for _, d := range []int{5, 1, 3} {
+		sim.Devices[d].SetFailed(true)
+		if err := evaluate(fmt.Sprintf("after device %d crashed:", d+1)); err != nil {
+			return err
+		}
+	}
+
+	fmt.Println("\nrecovering all devices...")
+	for _, d := range sim.Devices {
+		d.SetFailed(false)
+	}
+	if err := evaluate("all 6 devices recovered:"); err != nil {
+		return err
+	}
+	fmt.Println("\nno retraining, reconfiguration or manual failover was involved:")
+	fmt.Println("aggregation masks absent devices and the joint training has already")
+	fmt.Println("taught every subset of devices to work toward the shared objective.")
+	return nil
+}

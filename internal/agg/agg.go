@@ -1,0 +1,231 @@
+// Package agg implements the DDNN aggregation schemes of §III-B: max
+// pooling (MP), average pooling (AP) and concatenation (CC) over the
+// outputs of multiple end devices, with full gradient routing so the
+// aggregators can participate in joint training, and presence masks so the
+// system keeps working when devices fail (§IV-G).
+package agg
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/ddnn/ddnn-go/internal/nn"
+	"github.com/ddnn/ddnn-go/internal/tensor"
+)
+
+// Scheme identifies an aggregation method.
+type Scheme int
+
+// Aggregation schemes from §III-B of the paper.
+const (
+	MP Scheme = iota + 1 // max pooling
+	AP                   // average pooling
+	CC                   // concatenation
+)
+
+// String returns the paper's two-letter code for the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case MP:
+		return "MP"
+	case AP:
+		return "AP"
+	case CC:
+		return "CC"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// ParseScheme converts a two-letter code to a Scheme.
+func ParseScheme(s string) (Scheme, error) {
+	switch s {
+	case "MP", "mp":
+		return MP, nil
+	case "AP", "ap":
+		return AP, nil
+	case "CC", "cc":
+		return CC, nil
+	default:
+		return 0, fmt.Errorf("agg: unknown aggregation scheme %q", s)
+	}
+}
+
+// Schemes lists all aggregation schemes.
+func Schemes() []Scheme { return []Scheme{MP, AP, CC} }
+
+// Aggregator combines per-device tensors of identical shape into a single
+// tensor for the next stage of a DDNN. mask[i] reports whether device i is
+// present; a nil mask means all devices are present. Backward returns one
+// gradient per device (zero tensors for absent devices).
+type Aggregator interface {
+	Forward(inputs []*tensor.Tensor, mask []bool, train bool) *tensor.Tensor
+	Backward(grad *tensor.Tensor) []*tensor.Tensor
+	Params() []*nn.Param
+}
+
+func checkInputs(inputs []*tensor.Tensor, mask []bool) {
+	if len(inputs) == 0 {
+		panic("agg: no inputs")
+	}
+	if mask != nil && len(mask) != len(inputs) {
+		panic(fmt.Sprintf("agg: mask length %d for %d inputs", len(mask), len(inputs)))
+	}
+	for i := 1; i < len(inputs); i++ {
+		if !inputs[i].SameShape(inputs[0]) {
+			panic(fmt.Sprintf("agg: input %d shape %v differs from %v", i, inputs[i].Shape(), inputs[0].Shape()))
+		}
+	}
+}
+
+func present(mask []bool, i int) bool { return mask == nil || mask[i] }
+
+func presentCount(mask []bool, n int) int {
+	if mask == nil {
+		return n
+	}
+	c := 0
+	for _, m := range mask {
+		if m {
+			c++
+		}
+	}
+	return c
+}
+
+// Max implements MP: the elementwise maximum over present devices. The
+// backward pass routes each gradient element to the single device that won
+// the max, which is why (per §IV-C) MP-MP trains fewer devices per step
+// than MP-CC.
+type Max struct {
+	n      int
+	shape  []int
+	winner []int32 // device index per element, -1 when no device present
+}
+
+var _ Aggregator = (*Max)(nil)
+
+// NewMax constructs an MP aggregator.
+func NewMax() *Max { return &Max{} }
+
+// Forward computes the elementwise max over present inputs.
+func (a *Max) Forward(inputs []*tensor.Tensor, mask []bool, train bool) *tensor.Tensor {
+	checkInputs(inputs, mask)
+	out := tensor.New(inputs[0].Shape()...)
+	size := out.Size()
+	winner := make([]int32, size)
+	for i := range winner {
+		winner[i] = -1
+	}
+	od := out.Data()
+	for i := range od {
+		od[i] = float32(math.Inf(-1))
+	}
+	for d, in := range inputs {
+		if !present(mask, d) {
+			continue
+		}
+		id := in.Data()
+		for i, v := range id {
+			if v > od[i] {
+				od[i] = v
+				winner[i] = int32(d)
+			}
+		}
+	}
+	// With every device absent, fall back to zeros rather than -inf.
+	for i := range od {
+		if winner[i] < 0 {
+			od[i] = 0
+		}
+	}
+	if train {
+		a.n = len(inputs)
+		a.shape = inputs[0].Shape()
+		a.winner = winner
+	}
+	return out
+}
+
+// Backward routes each gradient element to the winning device.
+func (a *Max) Backward(grad *tensor.Tensor) []*tensor.Tensor {
+	if a.winner == nil {
+		panic("agg: Max.Backward called before Forward(train=true)")
+	}
+	grads := make([]*tensor.Tensor, a.n)
+	for d := range grads {
+		grads[d] = tensor.New(a.shape...)
+	}
+	gd := grad.Data()
+	for i, w := range a.winner {
+		if w >= 0 {
+			grads[w].Data()[i] += gd[i]
+		}
+	}
+	return grads
+}
+
+// Params returns nil: MP has no learnable parameters.
+func (a *Max) Params() []*nn.Param { return nil }
+
+// Avg implements AP: the elementwise mean over present devices. Averaging
+// can damp noise but, as §IV-C observes, it also dilutes strong responses
+// when the object is absent from some views.
+type Avg struct {
+	n     int
+	shape []int
+	mask  []bool
+	count int
+}
+
+var _ Aggregator = (*Avg)(nil)
+
+// NewAvg constructs an AP aggregator.
+func NewAvg() *Avg { return &Avg{} }
+
+// Forward computes the elementwise mean over present inputs.
+func (a *Avg) Forward(inputs []*tensor.Tensor, mask []bool, train bool) *tensor.Tensor {
+	checkInputs(inputs, mask)
+	out := tensor.New(inputs[0].Shape()...)
+	k := presentCount(mask, len(inputs))
+	if k == 0 {
+		return out
+	}
+	od := out.Data()
+	for d, in := range inputs {
+		if !present(mask, d) {
+			continue
+		}
+		id := in.Data()
+		for i, v := range id {
+			od[i] += v
+		}
+	}
+	out.Scale(1 / float32(k))
+	if train {
+		a.n = len(inputs)
+		a.shape = inputs[0].Shape()
+		a.mask = mask
+		a.count = k
+	}
+	return out
+}
+
+// Backward distributes grad/k to every present device.
+func (a *Avg) Backward(grad *tensor.Tensor) []*tensor.Tensor {
+	if a.shape == nil {
+		panic("agg: Avg.Backward called before Forward(train=true)")
+	}
+	grads := make([]*tensor.Tensor, a.n)
+	for d := range grads {
+		grads[d] = tensor.New(a.shape...)
+		if present(a.mask, d) && a.count > 0 {
+			grads[d].CopyFrom(grad)
+			grads[d].Scale(1 / float32(a.count))
+		}
+	}
+	return grads
+}
+
+// Params returns nil: AP has no learnable parameters.
+func (a *Avg) Params() []*nn.Param { return nil }

@@ -1,0 +1,126 @@
+package bnn
+
+import (
+	"math/rand"
+
+	"github.com/ddnn/ddnn-go/internal/nn"
+	"github.com/ddnn/ddnn-go/internal/tensor"
+)
+
+// ConvP is the fused binary convolution-pool block of Fig. 3: a 3×3
+// binarized convolution (stride 1, padding 1, f filters), a 3×3 max pool
+// (stride 2, padding 1), batch normalization and a binary activation. On a
+// 2^k input it halves each spatial dimension and emits values in {−1, +1}.
+type ConvP struct {
+	Conv *BinaryConv2D
+	Pool *nn.MaxPool2D
+	BN   *nn.BatchNorm
+	Act  *BinaryActivation
+}
+
+var _ nn.Layer = (*ConvP)(nil)
+
+// NewConvP constructs a ConvP block with f output filters.
+func NewConvP(rng *rand.Rand, name string, inC, f int) *ConvP {
+	return &ConvP{
+		Conv: NewBinaryConv2D(rng, name+".conv", inC, f, 3, 1, 1),
+		Pool: nn.NewMaxPool2D(3, 2, 1),
+		BN:   nn.NewBatchNorm(name+".bn", f),
+		Act:  NewBinaryActivation(),
+	}
+}
+
+// Forward applies conv → pool → batch norm → binary activation.
+func (b *ConvP) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := b.Conv.Forward(x, train)
+	y = b.Pool.Forward(y, train)
+	y = b.BN.Forward(y, train)
+	return b.Act.Forward(y, train)
+}
+
+// Backward propagates through the block in reverse.
+func (b *ConvP) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	grad = b.Act.Backward(grad)
+	grad = b.BN.Backward(grad)
+	grad = b.Pool.Backward(grad)
+	return b.Conv.Backward(grad)
+}
+
+// Params returns the block's learnable parameters.
+func (b *ConvP) Params() []*nn.Param {
+	ps := b.Conv.Params()
+	ps = append(ps, b.BN.Params()...)
+	return ps
+}
+
+// Filters returns the number of output filters f.
+func (b *ConvP) Filters() int { return b.Conv.OutChannels() }
+
+// MemoryBits returns the eBNN deployment footprint: 1 bit per binarized
+// weight plus 32 bits per batch-norm scale/shift pair (γ, β fused with the
+// running statistics into a single multiply-add per channel at inference).
+func (b *ConvP) MemoryBits() int {
+	return b.Conv.WeightBits() + 2*32*b.BN.C
+}
+
+// FC is the fused binary fully connected block of Fig. 3: a binarized
+// linear layer with n nodes, batch normalization and a binary activation.
+type FC struct {
+	Linear *BinaryLinear
+	BN     *nn.BatchNorm
+	Act    *BinaryActivation
+}
+
+var _ nn.Layer = (*FC)(nil)
+
+// NewFC constructs an FC block mapping in features to n nodes.
+func NewFC(rng *rand.Rand, name string, in, n int) *FC {
+	return &FC{
+		Linear: NewBinaryLinear(rng, name+".fc", in, n),
+		BN:     nn.NewBatchNorm(name+".bn", n),
+		Act:    NewBinaryActivation(),
+	}
+}
+
+// Forward applies linear → batch norm → binary activation.
+func (b *FC) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := b.Linear.Forward(x, train)
+	y = b.BN.Forward(y, train)
+	return b.Act.Forward(y, train)
+}
+
+// Backward propagates through the block in reverse.
+func (b *FC) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	grad = b.Act.Backward(grad)
+	grad = b.BN.Backward(grad)
+	return b.Linear.Backward(grad)
+}
+
+// Params returns the block's learnable parameters.
+func (b *FC) Params() []*nn.Param {
+	ps := b.Linear.Params()
+	ps = append(ps, b.BN.Params()...)
+	return ps
+}
+
+// MemoryBits returns the eBNN deployment footprint of the block.
+func (b *FC) MemoryBits() int {
+	return b.Linear.WeightBits() + 2*32*b.BN.C
+}
+
+// MemoryMeasurer is implemented by blocks and layers that can report their
+// deployed memory footprint.
+type MemoryMeasurer interface {
+	MemoryBits() int
+}
+
+// TotalMemoryBytes sums the deployment footprint of a device section,
+// rounding up to whole bytes. The paper reports that every end-device
+// configuration evaluated fits in under 2 KB (§IV-F).
+func TotalMemoryBytes(blocks ...MemoryMeasurer) int {
+	bits := 0
+	for _, b := range blocks {
+		bits += b.MemoryBits()
+	}
+	return (bits + 7) / 8
+}

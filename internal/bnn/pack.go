@@ -1,0 +1,44 @@
+package bnn
+
+import (
+	"fmt"
+
+	"github.com/ddnn/ddnn-go/internal/tensor"
+)
+
+// PackSigns bit-packs the signs of a tensor: bit i is 1 when element i is
+// non-negative (+1 after binarization) and 0 otherwise (−1). Eight elements
+// share a byte, which is the representation the paper's Eq. (1) assumes
+// when charging f·o/8 bytes for a binarized feature upload.
+func PackSigns(t *tensor.Tensor) []byte {
+	td := t.Data()
+	out := make([]byte, (len(td)+7)/8)
+	for i, v := range td {
+		if v >= 0 {
+			out[i/8] |= 1 << uint(i%8)
+		}
+	}
+	return out
+}
+
+// UnpackSigns expands a bit-packed sign vector back into a ±1 tensor of the
+// given shape.
+func UnpackSigns(data []byte, shape ...int) (*tensor.Tensor, error) {
+	t := tensor.New(shape...)
+	n := t.Size()
+	if need := (n + 7) / 8; len(data) != need {
+		return nil, fmt.Errorf("bnn: packed data is %d bytes, shape %v needs %d", len(data), shape, need)
+	}
+	td := t.Data()
+	for i := range td {
+		if data[i/8]&(1<<uint(i%8)) != 0 {
+			td[i] = 1
+		} else {
+			td[i] = -1
+		}
+	}
+	return t, nil
+}
+
+// PackedSize returns the number of bytes PackSigns produces for n elements.
+func PackedSize(n int) int { return (n + 7) / 8 }

@@ -1,0 +1,103 @@
+package bnn
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/ddnn/ddnn-go/internal/tensor"
+)
+
+// This file implements the eBNN-style deployed inference kernel: once a
+// layer's weights are binarized and bit-packed, a ±1 dot product reduces to
+// XNOR + popcount — for sign vectors x, w of length n,
+//
+//	Σᵢ xᵢ·wᵢ = n − 2·popcount(xor(bits(x), bits(w))),
+//
+// which is how the <2 KB device sections execute on real microcontrollers
+// without any floating-point multiplies. The float training path
+// (BinaryLinear) and this packed path are verified against each other in
+// the tests.
+
+// PackedVector is a bit-packed ±1 vector: bit i set means +1.
+type PackedVector struct {
+	N    int
+	Bits []byte
+}
+
+// PackVector packs the signs of a float vector.
+func PackVector(v []float32) PackedVector {
+	t := tensor.FromSlice(append([]float32(nil), v...), len(v))
+	return PackedVector{N: len(v), Bits: PackSigns(t)}
+}
+
+// XnorDot computes the ±1 dot product of two packed vectors of equal
+// length using XNOR and popcount.
+func XnorDot(a, b PackedVector) (int, error) {
+	if a.N != b.N {
+		return 0, fmt.Errorf("bnn: XnorDot length mismatch %d vs %d", a.N, b.N)
+	}
+	if len(a.Bits) != len(b.Bits) {
+		return 0, fmt.Errorf("bnn: XnorDot packed size mismatch %d vs %d", len(a.Bits), len(b.Bits))
+	}
+	hamming := 0
+	n := a.N
+	full := n / 8
+	for i := 0; i < full; i++ {
+		hamming += bits.OnesCount8(a.Bits[i] ^ b.Bits[i])
+	}
+	if rem := n % 8; rem != 0 {
+		mask := byte(1<<uint(rem)) - 1
+		hamming += bits.OnesCount8((a.Bits[full] ^ b.Bits[full]) & mask)
+	}
+	return n - 2*hamming, nil
+}
+
+// PackedLinear is the deployed form of a BinaryLinear layer: weights stored
+// 1 bit each, column-major per output, evaluated with XNOR-popcount.
+type PackedLinear struct {
+	In, Out int
+	// cols[j] holds output j's packed weight column.
+	cols []PackedVector
+}
+
+// Deploy converts a trained BinaryLinear into its packed deployment form.
+func Deploy(l *BinaryLinear) *PackedLinear {
+	in, out := l.In(), l.Out()
+	p := &PackedLinear{In: in, Out: out, cols: make([]PackedVector, out)}
+	w := l.Latent.Value // [in, out]
+	col := make([]float32, in)
+	for j := 0; j < out; j++ {
+		for i := 0; i < in; i++ {
+			col[i] = w.At(i, j)
+		}
+		p.cols[j] = PackVector(col)
+	}
+	return p
+}
+
+// MemoryBytes returns the deployed weight footprint.
+func (p *PackedLinear) MemoryBytes() int {
+	total := 0
+	for _, c := range p.cols {
+		total += len(c.Bits)
+	}
+	return total
+}
+
+// Forward evaluates the layer on a packed ±1 input vector, producing the
+// integer pre-activations (one per output). They equal the float path's
+// x·sign(W) exactly when x is itself a sign vector.
+func (p *PackedLinear) Forward(x PackedVector) ([]int, error) {
+	if x.N != p.In {
+		return nil, fmt.Errorf("bnn: PackedLinear input length %d, want %d", x.N, p.In)
+	}
+	out := make([]int, p.Out)
+	for j, col := range p.cols {
+		d, err := XnorDot(x, col)
+		if err != nil {
+			return nil, err
+		}
+		out[j] = d
+	}
+	return out, nil
+}

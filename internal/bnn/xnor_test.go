@@ -1,0 +1,106 @@
+package bnn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/ddnn/ddnn-go/internal/tensor"
+)
+
+func TestXnorDotKnownValues(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b []float32
+		want int
+	}{
+		{"identical", []float32{1, 1, -1, -1}, []float32{1, 1, -1, -1}, 4},
+		{"opposite", []float32{1, 1, 1, 1}, []float32{-1, -1, -1, -1}, -4},
+		{"half", []float32{1, -1, 1, -1}, []float32{1, 1, 1, 1}, 0},
+		{"odd length", []float32{1, -1, 1}, []float32{1, 1, 1}, 1},
+		{"nine elements", []float32{1, 1, 1, 1, 1, 1, 1, 1, -1}, []float32{1, 1, 1, 1, 1, 1, 1, 1, 1}, 7},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := XnorDot(PackVector(tt.a), PackVector(tt.b))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tt.want {
+				t.Errorf("XnorDot = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestXnorDotMatchesFloatDotProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%40) + 1
+		a := make([]float32, n)
+		b := make([]float32, n)
+		var want int
+		for i := range a {
+			a[i] = float32(rng.Intn(2)*2 - 1)
+			b[i] = float32(rng.Intn(2)*2 - 1)
+			want += int(a[i] * b[i])
+		}
+		got, err := XnorDot(PackVector(a), PackVector(b))
+		return err == nil && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXnorDotRejectsMismatch(t *testing.T) {
+	if _, err := XnorDot(PackVector([]float32{1}), PackVector([]float32{1, 1})); err == nil {
+		t.Error("accepted mismatched lengths")
+	}
+}
+
+func TestPackedLinearMatchesFloatPath(t *testing.T) {
+	// The deployed XNOR-popcount layer must agree exactly with the float
+	// training path x·sign(W) for sign inputs.
+	rng := rand.New(rand.NewSource(2))
+	l := NewBinaryLinear(rng, "bl", 37, 5) // odd width exercises tail bits
+	p := Deploy(l)
+
+	x := tensor.New(1, 37)
+	for i := range x.Data() {
+		x.Data()[i] = float32(rng.Intn(2)*2 - 1)
+	}
+	want := l.Forward(x, false)
+
+	got, err := p.Forward(PackVector(x.Row(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range got {
+		if float32(got[j]) != want.At(0, j) {
+			t.Errorf("output %d: packed %d vs float %g", j, got[j], want.At(0, j))
+		}
+	}
+}
+
+func TestPackedLinearMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	l := NewBinaryLinear(rng, "bl", 1024, 3)
+	p := Deploy(l)
+	// 1024 bits = 128 B per output column.
+	if got := p.MemoryBytes(); got != 3*128 {
+		t.Errorf("MemoryBytes = %d, want 384", got)
+	}
+	// The float representation would need 4 B per weight: 32× more.
+	if 4*1024*3 < 30*p.MemoryBytes() {
+		t.Error("packed representation not ≈32× smaller")
+	}
+}
+
+func TestPackedLinearRejectsWrongWidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p := Deploy(NewBinaryLinear(rng, "bl", 8, 2))
+	if _, err := p.Forward(PackVector(make([]float32, 9))); err == nil {
+		t.Error("accepted wrong input width")
+	}
+}

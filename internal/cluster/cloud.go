@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"sync"
+
+	"github.com/ddnn/ddnn-go/internal/core"
+	"github.com/ddnn/ddnn-go/internal/nn"
+	"github.com/ddnn/ddnn-go/internal/tensor"
+	"github.com/ddnn/ddnn-go/internal/transport"
+	"github.com/ddnn/ddnn-go/internal/wire"
+)
+
+// Cloud is the cloud node: it owns the cloud section of the DDNN. For each
+// classification session it receives the present devices' bit-packed
+// feature maps, aggregates them, runs the upper NN layers and returns the
+// final classification (the last exit, which always classifies).
+type Cloud struct {
+	model  *core.Model
+	logger *slog.Logger
+
+	mu sync.Mutex // serializes model use across connections
+
+	listener  net.Listener
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// NewCloud constructs the cloud node around a trained model.
+func NewCloud(model *core.Model, logger *slog.Logger) *Cloud {
+	if logger == nil {
+		logger = slog.Default()
+	}
+	return &Cloud{
+		model:  model,
+		logger: logger.With("node", "cloud"),
+		conns:  make(map[net.Conn]struct{}),
+	}
+}
+
+// Serve starts accepting gateway connections.
+func (c *Cloud) Serve(tr transport.Transport, addr string) error {
+	l, err := tr.Listen(addr)
+	if err != nil {
+		return fmt.Errorf("cluster: cloud: %w", err)
+	}
+	c.listener = l
+	c.wg.Add(1)
+	go c.acceptLoop()
+	return nil
+}
+
+// Addr returns the listener's address; it is only valid after Serve.
+func (c *Cloud) Addr() string {
+	if c.listener == nil {
+		return ""
+	}
+	return c.listener.Addr().String()
+}
+
+func (c *Cloud) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.listener.Accept()
+		if err != nil {
+			return
+		}
+		c.connMu.Lock()
+		if c.closed {
+			c.connMu.Unlock()
+			conn.Close()
+			continue
+		}
+		c.conns[conn] = struct{}{}
+		c.connMu.Unlock()
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			defer func() {
+				conn.Close()
+				c.connMu.Lock()
+				delete(c.conns, conn)
+				c.connMu.Unlock()
+			}()
+			c.handle(conn)
+		}()
+	}
+}
+
+func (c *Cloud) handle(conn net.Conn) {
+	for {
+		msg, err := wire.Decode(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				c.logger.Debug("decode error", "err", err)
+			}
+			return
+		}
+		hdr, ok := msg.(*wire.CloudClassify)
+		if !ok {
+			_, _ = wire.Encode(conn, &wire.Error{Code: 400, Msg: fmt.Sprintf("expected CloudClassify, got %v", msg.MsgType())})
+			return
+		}
+		if err := c.classify(conn, hdr); err != nil {
+			c.logger.Debug("classify failed", "sample", hdr.SampleID, "err", err)
+			return
+		}
+	}
+}
+
+func (c *Cloud) classify(conn net.Conn, hdr *wire.CloudClassify) error {
+	devices := int(hdr.Devices)
+	if devices != c.model.Cfg.Devices {
+		_, err := wire.Encode(conn, &wire.Error{Code: 400, Msg: fmt.Sprintf("model has %d devices, session says %d", c.model.Cfg.Devices, devices)})
+		return err
+	}
+	cfg := c.model.Cfg
+	fh, fw := cfg.FeatureH(), cfg.FeatureW()
+	feats := make([]*tensor.Tensor, devices)
+	mask := make([]bool, devices)
+	for d := 0; d < devices; d++ {
+		feats[d] = tensor.New(1, cfg.DeviceFilters, fh, fw)
+	}
+	for i := 0; i < hdr.PresentCount(); i++ {
+		msg, err := wire.Decode(conn)
+		if err != nil {
+			return fmt.Errorf("cluster: cloud read upload %d: %w", i, err)
+		}
+		up, ok := msg.(*wire.FeatureUpload)
+		if !ok {
+			return fmt.Errorf("cluster: expected FeatureUpload, got %v", msg.MsgType())
+		}
+		if up.SampleID != hdr.SampleID {
+			return fmt.Errorf("cluster: upload for sample %d inside session %d", up.SampleID, hdr.SampleID)
+		}
+		dev := int(up.Device)
+		if dev < 0 || dev >= devices {
+			return fmt.Errorf("cluster: upload from unknown device %d", dev)
+		}
+		feat, err := c.model.UnpackFeature(up.Bits, int(up.F), int(up.H), int(up.W))
+		if err != nil {
+			return fmt.Errorf("cluster: unpack device %d: %w", dev, err)
+		}
+		feats[dev] = feat
+		mask[dev] = true
+	}
+
+	c.mu.Lock()
+	logits := c.model.CloudForward(feats, mask)
+	c.mu.Unlock()
+
+	probs := nn.Softmax(logits)
+	row := make([]float32, probs.Dim(1))
+	copy(row, probs.Row(0))
+	_, err := wire.Encode(conn, &wire.ClassifyResult{
+		SampleID: hdr.SampleID,
+		Exit:     wire.ExitCloud,
+		Class:    uint16(probs.ArgMaxRow(0)),
+		Probs:    row,
+	})
+	return err
+}
+
+// Close stops the cloud node, terminating any in-flight connections.
+func (c *Cloud) Close() error {
+	c.closeOnce.Do(func() {
+		if c.listener != nil {
+			c.listener.Close()
+		}
+		c.connMu.Lock()
+		c.closed = true
+		for conn := range c.conns {
+			conn.Close()
+		}
+		c.connMu.Unlock()
+	})
+	c.wg.Wait()
+	return nil
+}

@@ -1,0 +1,521 @@
+package cluster
+
+import (
+	"log/slog"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/ddnn/ddnn-go/internal/core"
+	"github.com/ddnn/ddnn-go/internal/dataset"
+	"github.com/ddnn/ddnn-go/internal/nn"
+	"github.com/ddnn/ddnn-go/internal/transport"
+	"github.com/ddnn/ddnn-go/internal/wire"
+)
+
+// The fixture trains one small DDNN once and shares it across tests; the
+// cluster tests exercise protocol behaviour, not model quality.
+var (
+	fixtureOnce  sync.Once
+	fixtureModel *core.Model
+	fixtureTest  *dataset.Dataset
+)
+
+func fixture(t *testing.T) (*core.Model, *dataset.Dataset) {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		dcfg := dataset.DefaultConfig()
+		dcfg.Train, dcfg.Test = 120, 40
+		train, test := dataset.MustGenerate(dcfg)
+		cfg := core.DefaultConfig()
+		cfg.CloudFilters = 8
+		m := core.MustNewModel(cfg)
+		tc := core.DefaultTrainConfig()
+		tc.Epochs = 3
+		if _, err := m.Train(train, tc); err != nil {
+			panic(err)
+		}
+		fixtureModel, fixtureTest = m, test
+	})
+	return fixtureModel, fixtureTest
+}
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(discard{}, &slog.HandlerOptions{Level: slog.LevelError}))
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+func newSim(t *testing.T, cfg GatewayConfig) *Sim {
+	t.Helper()
+	model, test := fixture(t)
+	sim, err := NewSim(model, test, cfg, transport.NewMem(), quietLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sim.Close() })
+	return sim
+}
+
+func TestClusterClassifiesSamples(t *testing.T) {
+	sim := newSim(t, DefaultGatewayConfig())
+	_, test := fixture(t)
+	for id := 0; id < 10; id++ {
+		res, err := sim.Gateway.Classify(uint64(id))
+		if err != nil {
+			t.Fatalf("sample %d: %v", id, err)
+		}
+		if res.Class < 0 || res.Class >= dataset.NumClasses {
+			t.Errorf("sample %d class = %d, out of range", id, res.Class)
+		}
+		if res.Exit != wire.ExitLocal && res.Exit != wire.ExitCloud {
+			t.Errorf("sample %d exit = %v", id, res.Exit)
+		}
+		if res.Latency <= 0 {
+			t.Errorf("sample %d latency not recorded", id)
+		}
+		_ = test
+	}
+}
+
+func TestClusterMatchesInProcessInference(t *testing.T) {
+	// The distributed pipeline must produce the same decisions as running
+	// the model in-process: same exit choice and same predicted class.
+	gcfg := DefaultGatewayConfig()
+	sim := newSim(t, gcfg)
+	model, test := fixture(t)
+
+	for id := 0; id < 25; id++ {
+		res, err := sim.Gateway.Classify(uint64(id))
+		if err != nil {
+			t.Fatalf("sample %d: %v", id, err)
+		}
+
+		xs := test.AllDeviceBatches(model.Cfg.Devices, []int{id})
+		logits := model.Infer(xs, nil)
+		localProbs := nn.Softmax(logits.Local)
+		probsRow := make([]float32, model.Cfg.Classes)
+		copy(probsRow, localProbs.Row(0))
+		wantLocal := nn.NormalizedEntropy(probsRow) <= gcfg.Threshold
+
+		if wantLocal {
+			if res.Exit != wire.ExitLocal {
+				t.Errorf("sample %d exited at %v, in-process says local", id, res.Exit)
+			}
+			if want := localProbs.ArgMaxRow(0); res.Class != want {
+				t.Errorf("sample %d local class = %d, in-process %d", id, res.Class, want)
+			}
+		} else {
+			if res.Exit != wire.ExitCloud {
+				t.Errorf("sample %d exited at %v, in-process says cloud", id, res.Exit)
+			}
+			if want := logits.Cloud.ArgMaxRow(0); res.Class != want {
+				t.Errorf("sample %d cloud class = %d, in-process %d", id, res.Class, want)
+			}
+		}
+	}
+}
+
+func TestThresholdZeroAlwaysGoesToCloud(t *testing.T) {
+	cfg := DefaultGatewayConfig()
+	cfg.Threshold = -1 // even zero entropy cannot pass
+	sim := newSim(t, cfg)
+	res, err := sim.Gateway.Classify(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exit != wire.ExitCloud {
+		t.Errorf("exit = %v, want cloud with impossible threshold", res.Exit)
+	}
+}
+
+func TestThresholdOneAlwaysExitsLocally(t *testing.T) {
+	cfg := DefaultGatewayConfig()
+	cfg.Threshold = 1
+	sim := newSim(t, cfg)
+	for id := 0; id < 5; id++ {
+		res, err := sim.Gateway.Classify(uint64(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Exit != wire.ExitLocal {
+			t.Errorf("sample %d exit = %v, want local with T=1", id, res.Exit)
+		}
+	}
+}
+
+func TestCommMeterTracksEquationOne(t *testing.T) {
+	cfg := DefaultGatewayConfig()
+	cfg.Threshold = -1 // force cloud escalation: both Eq. (1) terms charged
+	sim := newSim(t, cfg)
+	model, _ := fixture(t)
+
+	if _, err := sim.Gateway.Classify(0); err != nil {
+		t.Fatal(err)
+	}
+	devices := int64(model.Cfg.Devices)
+	wantSummary := devices * int64(wire.SummaryPayloadBytes(model.Cfg.Classes))
+	if got := sim.Gateway.Meter.Get("local-summary"); got != wantSummary {
+		t.Errorf("local-summary bytes = %d, want %d (= n·4·|C|)", got, wantSummary)
+	}
+	featBytes := int64(model.Cfg.DeviceFilters*model.Cfg.FeatureSize()) / 8
+	if got := sim.Gateway.Meter.Get("cloud-upload"); got != devices*featBytes {
+		t.Errorf("cloud-upload bytes = %d, want %d (= n·f·o/8)", got, devices*featBytes)
+	}
+	if sim.Gateway.WireBytesUp() <= wantSummary {
+		t.Error("wire bytes must exceed payload bytes (framing overhead)")
+	}
+}
+
+func TestLocalExitSendsNoFeatures(t *testing.T) {
+	cfg := DefaultGatewayConfig()
+	cfg.Threshold = 1 // everything exits locally
+	sim := newSim(t, cfg)
+	for id := 0; id < 5; id++ {
+		if _, err := sim.Gateway.Classify(uint64(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sim.Gateway.Meter.Get("cloud-upload"); got != 0 {
+		t.Errorf("cloud-upload bytes = %d, want 0 when all samples exit locally", got)
+	}
+}
+
+func TestFaultToleranceSingleDeviceFailure(t *testing.T) {
+	cfg := DefaultGatewayConfig()
+	cfg.DeviceTimeout = 200 * time.Millisecond
+	sim := newSim(t, cfg)
+
+	sim.Devices[2].SetFailed(true)
+	res, err := sim.Gateway.Classify(3)
+	if err != nil {
+		t.Fatalf("classification failed with one dead device: %v", err)
+	}
+	if res.Present[2] {
+		t.Error("failed device marked present")
+	}
+	okCount := 0
+	for d, p := range res.Present {
+		if p && d == 2 {
+			t.Error("dead device contributed")
+		}
+		if p {
+			okCount++
+		}
+	}
+	if okCount == 0 {
+		t.Error("no live devices contributed")
+	}
+}
+
+func TestStickyFailureDetection(t *testing.T) {
+	cfg := DefaultGatewayConfig()
+	cfg.DeviceTimeout = 100 * time.Millisecond
+	cfg.MaxFailures = 2
+	sim := newSim(t, cfg)
+
+	sim.Devices[1].SetFailed(true)
+	for id := 0; id < 3; id++ {
+		if _, err := sim.Gateway.Classify(uint64(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	down := sim.Gateway.DownDevices()
+	if len(down) != 1 || down[0] != 1 {
+		t.Errorf("DownDevices = %v, want [1]", down)
+	}
+
+	// A down device is skipped immediately: the session must be fast.
+	start := time.Now()
+	if _, err := sim.Gateway.Classify(10); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > cfg.DeviceTimeout {
+		t.Errorf("session with down device took %v, want < %v (no timeout wait)", elapsed, cfg.DeviceTimeout)
+	}
+}
+
+func TestAllDevicesFailedReturnsError(t *testing.T) {
+	cfg := DefaultGatewayConfig()
+	cfg.DeviceTimeout = 100 * time.Millisecond
+	sim := newSim(t, cfg)
+	for _, d := range sim.Devices {
+		d.SetFailed(true)
+	}
+	if _, err := sim.Gateway.Classify(0); err == nil {
+		t.Error("classification succeeded with every device dead")
+	}
+}
+
+func TestDeviceRecovery(t *testing.T) {
+	cfg := DefaultGatewayConfig()
+	cfg.DeviceTimeout = 100 * time.Millisecond
+	cfg.MaxFailures = 0 // no sticky marking: retry each session
+	sim := newSim(t, cfg)
+
+	sim.Devices[0].SetFailed(true)
+	res, err := sim.Gateway.Classify(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Present[0] {
+		t.Error("failed device contributed")
+	}
+
+	sim.Devices[0].SetFailed(false)
+	res, err = sim.Gateway.Classify(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Present[0] {
+		t.Error("recovered device still absent")
+	}
+}
+
+func TestHealthMonitorDetectsFailureAndRecovery(t *testing.T) {
+	model, test := fixture(t)
+	tr := transport.NewMem()
+	cfg := DefaultGatewayConfig()
+	cfg.MaxFailures = 0 // leave detection entirely to the health monitor
+
+	addrs := make([]string, model.Cfg.Devices)
+	var devices []*Device
+	for d := 0; d < model.Cfg.Devices; d++ {
+		dev := NewDevice(model, d, DatasetFeed(test, d), quietLogger())
+		addrs[d] = "hm-device-" + string(rune('0'+d))
+		if err := dev.Serve(tr, addrs[d]); err != nil {
+			t.Fatal(err)
+		}
+		defer dev.Close()
+		devices = append(devices, dev)
+	}
+	cloud := NewCloud(model, quietLogger())
+	if err := cloud.Serve(tr, "hm-cloud"); err != nil {
+		t.Fatal(err)
+	}
+	defer cloud.Close()
+	gw, err := NewGateway(model, cfg, tr, addrs, "hm-cloud", quietLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+
+	hm, err := gw.StartHealthMonitor(tr, addrs, 25*time.Millisecond, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hm.Stop()
+
+	// Crash device 3 and wait for the detector.
+	devices[3].SetFailed(true)
+	deadline := time.Now().Add(3 * time.Second)
+	for len(gw.DownDevices()) == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if down := gw.DownDevices(); len(down) != 1 || down[0] != 3 {
+		t.Fatalf("DownDevices = %v, want [3]", down)
+	}
+
+	// Classification keeps working and skips the dead device immediately.
+	res, err := gw.Classify(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Present[3] {
+		t.Error("down device contributed to inference")
+	}
+
+	// Recover the device; the monitor must mark it up automatically.
+	devices[3].SetFailed(false)
+	deadline = time.Now().Add(3 * time.Second)
+	for len(gw.DownDevices()) != 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if down := gw.DownDevices(); len(down) != 0 {
+		t.Fatalf("device did not recover: DownDevices = %v", down)
+	}
+	res, err = gw.Classify(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Present[3] {
+		t.Error("recovered device still excluded from inference")
+	}
+}
+
+func TestHealthMonitorRejectsBadArgs(t *testing.T) {
+	sim := newSim(t, DefaultGatewayConfig())
+	tr := transport.NewMem()
+	if _, err := sim.Gateway.StartHealthMonitor(tr, []string{"only-one"}, time.Second, 3); err == nil {
+		t.Error("accepted wrong address count")
+	}
+}
+
+func TestCloudFailureSurfacesError(t *testing.T) {
+	// With the cloud down, confident samples still exit locally, and
+	// cloud-bound samples fail with an error instead of hanging.
+	cfg := DefaultGatewayConfig()
+	cfg.Threshold = -1 // force every sample to the cloud
+	cfg.CloudTimeout = 300 * time.Millisecond
+	sim := newSim(t, cfg)
+	sim.Cloud.Close()
+
+	start := time.Now()
+	_, err := sim.Gateway.Classify(0)
+	if err == nil {
+		t.Fatal("classification succeeded with the cloud down")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("cloud-down classification took %v; must fail fast", elapsed)
+	}
+
+	// Confident samples are unaffected: they never touch the cloud.
+	cfg2 := DefaultGatewayConfig()
+	cfg2.Threshold = 1
+	model, test := fixture(t)
+	tr := transport.NewMem()
+	sim2, err := NewSim(model, test, cfg2, tr, quietLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim2.Close()
+	sim2.Cloud.Close()
+	if _, err := sim2.Gateway.Classify(0); err != nil {
+		t.Errorf("local-exit classification failed with cloud down: %v", err)
+	}
+}
+
+func TestCloudRejectsWrongDeviceCount(t *testing.T) {
+	model, _ := fixture(t)
+	tr := transport.NewMem()
+	cloud := NewCloud(model, quietLogger())
+	if err := cloud.Serve(tr, "cloud-reject"); err != nil {
+		t.Fatal(err)
+	}
+	defer cloud.Close()
+	conn, err := tr.Dial("cloud-reject")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := wire.Encode(conn, &wire.CloudClassify{SampleID: 1, Devices: 99, Mask: 1}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := wire.Decode(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := msg.(*wire.Error); !ok {
+		t.Errorf("cloud replied %v to bad device count, want Error", msg.MsgType())
+	}
+}
+
+func TestDeviceRepliesErrorForUnknownSample(t *testing.T) {
+	model, test := fixture(t)
+	tr := transport.NewMem()
+	dev := NewDevice(model, 0, DatasetFeed(test, 0), quietLogger())
+	if err := dev.Serve(tr, "dev-unknown"); err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	conn, err := tr.Dial("dev-unknown")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := wire.Encode(conn, &wire.CaptureRequest{SampleID: 1 << 40}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := wire.Decode(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := msg.(*wire.Error); !ok {
+		t.Errorf("device replied %v to out-of-range sample, want Error", msg.MsgType())
+	}
+}
+
+func TestClusterOverTCP(t *testing.T) {
+	model, test := fixture(t)
+	tr := transport.TCP{}
+
+	var devices []*Device
+	addrs := make([]string, model.Cfg.Devices)
+	for d := 0; d < model.Cfg.Devices; d++ {
+		dev := NewDevice(model, d, DatasetFeed(test, d), quietLogger())
+		if err := dev.Serve(tr, "127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		defer dev.Close()
+		devices = append(devices, dev)
+		addrs[d] = dev.listener.Addr().String()
+	}
+	cloud := NewCloud(model, quietLogger())
+	if err := cloud.Serve(tr, "127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer cloud.Close()
+
+	gw, err := NewGateway(model, DefaultGatewayConfig(), tr, addrs, cloud.listener.Addr().String(), quietLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+
+	for id := 0; id < 5; id++ {
+		res, err := gw.Classify(uint64(id))
+		if err != nil {
+			t.Fatalf("TCP sample %d: %v", id, err)
+		}
+		if res.Class < 0 || res.Class >= dataset.NumClasses {
+			t.Errorf("TCP sample %d class out of range", id)
+		}
+	}
+	_ = devices
+}
+
+func TestSimulatedLinksAddLatency(t *testing.T) {
+	// With simulated link profiles, a cloud-exit sample must be slower
+	// than a local-exit sample (vertical-scaling latency claim of §V).
+	model, test := fixture(t)
+	tr := transport.NewMem()
+
+	// Local-exit-only gateway.
+	simAll, err := NewSim(model, test, GatewayConfig{
+		Threshold:     1,
+		DeviceTimeout: 2 * time.Second,
+		CloudTimeout:  5 * time.Second,
+	}, tr, quietLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer simAll.Close()
+	resLocal, err := simAll.Gateway.Classify(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr2 := transport.NewMem()
+	simCloud, err := NewSim(model, test, GatewayConfig{
+		Threshold:     -1,
+		DeviceTimeout: 2 * time.Second,
+		CloudTimeout:  5 * time.Second,
+	}, tr2, quietLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer simCloud.Close()
+	resCloud, err := simCloud.Gateway.Classify(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if resCloud.Latency <= resLocal.Latency {
+		t.Logf("note: cloud latency %v vs local %v (no simulated links, close is fine)", resCloud.Latency, resLocal.Latency)
+	}
+	if resLocal.Exit != wire.ExitLocal || resCloud.Exit != wire.ExitCloud {
+		t.Errorf("exits = %v/%v, want local/cloud", resLocal.Exit, resCloud.Exit)
+	}
+}

@@ -1,0 +1,224 @@
+// Package cluster is the distributed runtime that deploys a trained DDNN
+// over real (or simulated) network links: device nodes run their DNN
+// section next to the sensor, a gateway performs local aggregation and the
+// entropy-thresholded exit decision, and a cloud node runs the upper NN
+// layers for samples that miss the local exit (§III-D inference procedure).
+// The runtime degrades gracefully when devices fail (§IV-G): the gateway
+// masks out unresponsive devices and aggregation proceeds with the rest.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"github.com/ddnn/ddnn-go/internal/core"
+	"github.com/ddnn/ddnn-go/internal/tensor"
+	"github.com/ddnn/ddnn-go/internal/transport"
+	"github.com/ddnn/ddnn-go/internal/wire"
+)
+
+// Feed supplies a device's sensor view for a sample ID as a [1, C, H, W]
+// tensor. Returning an error means the device has no frame for the sample.
+type Feed func(sampleID uint64) (*tensor.Tensor, error)
+
+// Device is an end-device node: it owns one device section of the DDNN and
+// serves capture and feature-upload requests from the gateway.
+type Device struct {
+	model  *core.Model
+	index  int
+	feed   Feed
+	logger *slog.Logger
+
+	failed atomic.Bool
+
+	mu       sync.Mutex // serializes model use across connections
+	features map[uint64]*tensor.Tensor
+
+	listener net.Listener
+	wg       sync.WaitGroup
+
+	closeOnce sync.Once
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// NewDevice constructs a device node for device `index` of the model,
+// reading frames from feed.
+func NewDevice(model *core.Model, index int, feed Feed, logger *slog.Logger) *Device {
+	if logger == nil {
+		logger = slog.Default()
+	}
+	return &Device{
+		model:    model,
+		index:    index,
+		feed:     feed,
+		logger:   logger.With("node", fmt.Sprintf("device-%d", index)),
+		features: make(map[uint64]*tensor.Tensor),
+		conns:    make(map[net.Conn]struct{}),
+	}
+}
+
+// Serve starts accepting gateway connections on the transport address.
+// It returns once the listener is active.
+func (d *Device) Serve(tr transport.Transport, addr string) error {
+	l, err := tr.Listen(addr)
+	if err != nil {
+		return fmt.Errorf("cluster: device %d: %w", d.index, err)
+	}
+	d.listener = l
+	d.wg.Add(1)
+	go d.acceptLoop()
+	return nil
+}
+
+func (d *Device) acceptLoop() {
+	defer d.wg.Done()
+	for {
+		conn, err := d.listener.Accept()
+		if err != nil {
+			return
+		}
+		d.connMu.Lock()
+		if d.closed {
+			d.connMu.Unlock()
+			conn.Close()
+			continue
+		}
+		d.conns[conn] = struct{}{}
+		d.connMu.Unlock()
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			defer func() {
+				conn.Close()
+				d.connMu.Lock()
+				delete(d.conns, conn)
+				d.connMu.Unlock()
+			}()
+			d.handle(conn)
+		}()
+	}
+}
+
+// Addr returns the listener's address; it is only valid after Serve.
+func (d *Device) Addr() string {
+	if d.listener == nil {
+		return ""
+	}
+	return d.listener.Addr().String()
+}
+
+// SetFailed toggles simulated failure: a failed device stops answering
+// requests, which the gateway observes as timeouts (§IV-G).
+func (d *Device) SetFailed(failed bool) { d.failed.Store(failed) }
+
+// Failed reports the simulated-failure state.
+func (d *Device) Failed() bool { return d.failed.Load() }
+
+func (d *Device) handle(conn net.Conn) {
+	for {
+		msg, err := wire.Decode(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				d.logger.Debug("decode error", "err", err)
+			}
+			return
+		}
+		if d.failed.Load() {
+			// A crashed device goes silent; it neither computes nor
+			// replies. The gateway's timeout handles the rest.
+			continue
+		}
+		switch m := msg.(type) {
+		case *wire.CaptureRequest:
+			if err := d.onCapture(conn, m); err != nil {
+				d.logger.Debug("capture failed", "sample", m.SampleID, "err", err)
+				return
+			}
+		case *wire.FeatureRequest:
+			if err := d.onFeatureRequest(conn, m); err != nil {
+				d.logger.Debug("feature upload failed", "sample", m.SampleID, "err", err)
+				return
+			}
+		case *wire.Heartbeat:
+			// Echo liveness probes so the gateway's failure detector can
+			// distinguish a live device from a crashed one.
+			if _, err := wire.Encode(conn, m); err != nil {
+				return
+			}
+		default:
+			_, _ = wire.Encode(conn, &wire.Error{Code: 400, Msg: fmt.Sprintf("unexpected %v", msg.MsgType())})
+		}
+	}
+}
+
+// onCapture processes the device's sensor frame through its DNN section
+// and replies with the exit summary vector. The binarized feature map is
+// retained so a later FeatureRequest can upload it without recomputing.
+func (d *Device) onCapture(conn net.Conn, m *wire.CaptureRequest) error {
+	x, err := d.feed(m.SampleID)
+	if err != nil {
+		_, werr := wire.Encode(conn, &wire.Error{Code: 404, Msg: err.Error()})
+		return werr
+	}
+	d.mu.Lock()
+	feat, exitVec := d.model.DeviceForward(d.index, x)
+	d.features[m.SampleID] = feat
+	d.mu.Unlock()
+
+	probs := make([]float32, exitVec.Dim(1))
+	copy(probs, exitVec.Row(0))
+	_, err = wire.Encode(conn, &wire.LocalSummary{
+		SampleID: m.SampleID,
+		Device:   uint16(d.index),
+		Probs:    probs,
+	})
+	return err
+}
+
+func (d *Device) onFeatureRequest(conn net.Conn, m *wire.FeatureRequest) error {
+	d.mu.Lock()
+	feat, ok := d.features[m.SampleID]
+	if ok {
+		delete(d.features, m.SampleID)
+	}
+	d.mu.Unlock()
+	if !ok {
+		_, err := wire.Encode(conn, &wire.Error{Code: 404, Msg: fmt.Sprintf("no features for sample %d", m.SampleID)})
+		return err
+	}
+	bits := d.model.PackFeature(feat)
+	_, err := wire.Encode(conn, &wire.FeatureUpload{
+		SampleID: m.SampleID,
+		Device:   uint16(d.index),
+		F:        uint16(feat.Dim(1)),
+		H:        uint16(feat.Dim(2)),
+		W:        uint16(feat.Dim(3)),
+		Bits:     bits,
+	})
+	return err
+}
+
+// Close stops the device node, terminating any in-flight connections.
+func (d *Device) Close() error {
+	d.closeOnce.Do(func() {
+		if d.listener != nil {
+			d.listener.Close()
+		}
+		d.connMu.Lock()
+		d.closed = true
+		for conn := range d.conns {
+			conn.Close()
+		}
+		d.connMu.Unlock()
+	})
+	d.wg.Wait()
+	return nil
+}

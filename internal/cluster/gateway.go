@@ -1,0 +1,376 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/ddnn/ddnn-go/internal/core"
+	"github.com/ddnn/ddnn-go/internal/metrics"
+	"github.com/ddnn/ddnn-go/internal/nn"
+	"github.com/ddnn/ddnn-go/internal/tensor"
+	"github.com/ddnn/ddnn-go/internal/transport"
+	"github.com/ddnn/ddnn-go/internal/wire"
+)
+
+// GatewayConfig controls the local aggregator node.
+type GatewayConfig struct {
+	// Threshold is the local exit's normalized-entropy threshold T
+	// (§III-D; the paper settles on 0.8).
+	Threshold float64
+	// DeviceTimeout bounds each device round trip; devices that miss it
+	// are treated as absent for the sample (graceful degradation, §IV-G).
+	DeviceTimeout time.Duration
+	// CloudTimeout bounds the cloud round trip.
+	CloudTimeout time.Duration
+	// MaxFailures marks a device as down after this many consecutive
+	// timeouts, so later samples skip it immediately. Zero disables
+	// sticky failure detection.
+	MaxFailures int
+}
+
+// DefaultGatewayConfig returns sensible simulation defaults.
+func DefaultGatewayConfig() GatewayConfig {
+	return GatewayConfig{
+		Threshold:     0.8,
+		DeviceTimeout: 2 * time.Second,
+		CloudTimeout:  5 * time.Second,
+		MaxFailures:   3,
+	}
+}
+
+// Result is the outcome of one distributed inference session.
+type Result struct {
+	SampleID uint64
+	Class    int
+	Exit     wire.ExitPoint
+	Probs    []float32
+	// Entropy is the normalized entropy of the local aggregate.
+	Entropy float64
+	// Present marks the devices that contributed to the sample.
+	Present []bool
+	// Latency is the wall-clock duration of the session.
+	Latency time.Duration
+}
+
+// Gateway is the local aggregator: it fans capture requests out to the
+// devices, aggregates their exit summaries, applies the entropy-threshold
+// exit rule, and escalates to the cloud when the local exit is not
+// confident.
+type Gateway struct {
+	model  *core.Model
+	cfg    GatewayConfig
+	logger *slog.Logger
+
+	devices []*deviceLink
+	cloud   net.Conn
+
+	// Meter accumulates Eq. (1) payload bytes by category
+	// ("local-summary", "cloud-upload").
+	Meter *metrics.CommMeter
+	// WireBytes counts actual bytes on each device uplink including
+	// framing, for comparison against the analytic model.
+	wireConns []*transport.CountingConn
+
+	mu sync.Mutex // serializes Classify sessions
+}
+
+type deviceLink struct {
+	index    int
+	conn     net.Conn
+	failures int
+	down     bool
+}
+
+// NewGateway connects to the device and cloud nodes and returns a ready
+// gateway.
+func NewGateway(model *core.Model, cfg GatewayConfig, tr transport.Transport, deviceAddrs []string, cloudAddr string, logger *slog.Logger) (*Gateway, error) {
+	if logger == nil {
+		logger = slog.Default()
+	}
+	if len(deviceAddrs) != model.Cfg.Devices {
+		return nil, fmt.Errorf("cluster: model has %d devices, got %d addresses", model.Cfg.Devices, len(deviceAddrs))
+	}
+	g := &Gateway{
+		model:  model,
+		cfg:    cfg,
+		logger: logger.With("node", "gateway"),
+		Meter:  metrics.NewCommMeter(),
+	}
+	for i, addr := range deviceAddrs {
+		conn, err := tr.Dial(addr)
+		if err != nil {
+			g.Close()
+			return nil, fmt.Errorf("cluster: dial device %d: %w", i, err)
+		}
+		cc := transport.NewCountingConn(conn)
+		g.wireConns = append(g.wireConns, cc)
+		g.devices = append(g.devices, &deviceLink{index: i, conn: cc})
+	}
+	conn, err := tr.Dial(cloudAddr)
+	if err != nil {
+		g.Close()
+		return nil, fmt.Errorf("cluster: dial cloud: %w", err)
+	}
+	g.cloud = conn
+	return g, nil
+}
+
+// WireBytesUp returns the total bytes written on all device uplinks,
+// including protocol framing.
+func (g *Gateway) WireBytesUp() int64 {
+	var t int64
+	for _, c := range g.wireConns {
+		t += c.BytesRead() // device→gateway direction
+	}
+	return t
+}
+
+// summaryReply carries one device's response to a capture request.
+type summaryReply struct {
+	device  int
+	probs   []float32
+	timeout bool
+}
+
+// Classify runs the full staged inference of §III-D for one sample.
+func (g *Gateway) Classify(sampleID uint64) (*Result, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	start := time.Now()
+
+	// Stage 1: every device processes its frame and sends its summary to
+	// the local aggregator.
+	replies := make(chan summaryReply, len(g.devices))
+	inFlight := 0
+	for _, dl := range g.devices {
+		if dl.down {
+			continue
+		}
+		inFlight++
+		go g.captureFrom(dl, sampleID, replies)
+	}
+	exitVecs := make([]*tensor.Tensor, len(g.devices))
+	present := make([]bool, len(g.devices))
+	classes := g.model.Cfg.Classes
+	for d := range exitVecs {
+		exitVecs[d] = tensor.New(1, classes)
+	}
+	for i := 0; i < inFlight; i++ {
+		r := <-replies
+		dl := g.devices[r.device]
+		if r.timeout {
+			dl.failures++
+			if g.cfg.MaxFailures > 0 && dl.failures >= g.cfg.MaxFailures {
+				if !dl.down {
+					g.logger.Warn("device marked down", "device", r.device, "consecutive_timeouts", dl.failures)
+				}
+				dl.down = true
+			}
+			continue
+		}
+		dl.failures = 0
+		if r.probs == nil {
+			continue // device had no frame (object absent / feed error)
+		}
+		copy(exitVecs[r.device].Row(0), r.probs)
+		present[r.device] = true
+		g.Meter.Add("local-summary", int64(wire.SummaryPayloadBytes(classes)))
+	}
+
+	anyPresent := false
+	for _, p := range present {
+		anyPresent = anyPresent || p
+	}
+	if !anyPresent {
+		return nil, fmt.Errorf("cluster: no device produced a summary for sample %d", sampleID)
+	}
+
+	// Stage 2: aggregate and decide the local exit.
+	logits := g.model.LocalAggregate(exitVecs, present)
+	probs := nn.Softmax(logits)
+	row := make([]float32, classes)
+	copy(row, probs.Row(0))
+	entropy := nn.NormalizedEntropy(row)
+	if entropy <= g.cfg.Threshold {
+		return &Result{
+			SampleID: sampleID,
+			Class:    probs.ArgMaxRow(0),
+			Exit:     wire.ExitLocal,
+			Probs:    row,
+			Entropy:  entropy,
+			Present:  present,
+			Latency:  time.Since(start),
+		}, nil
+	}
+
+	// Stage 3: the local exit is not confident; fetch binarized features
+	// from present devices and escalate to the cloud.
+	res, err := g.escalate(sampleID, present)
+	if err != nil {
+		return nil, err
+	}
+	res.Entropy = entropy
+	res.Present = present
+	res.Latency = time.Since(start)
+	return res, nil
+}
+
+func (g *Gateway) captureFrom(dl *deviceLink, sampleID uint64, replies chan<- summaryReply) {
+	deadline := time.Now().Add(g.cfg.DeviceTimeout)
+	if _, err := wire.Encode(dl.conn, &wire.CaptureRequest{SampleID: sampleID}); err != nil {
+		replies <- summaryReply{device: dl.index, timeout: true}
+		return
+	}
+	_ = dl.conn.SetReadDeadline(deadline)
+	defer dl.conn.SetReadDeadline(time.Time{})
+	for {
+		msg, err := wire.Decode(dl.conn)
+		if err != nil {
+			replies <- summaryReply{device: dl.index, timeout: true}
+			return
+		}
+		switch m := msg.(type) {
+		case *wire.LocalSummary:
+			if m.SampleID != sampleID {
+				continue // stale reply from a timed-out earlier sample
+			}
+			replies <- summaryReply{device: dl.index, probs: m.Probs}
+			return
+		case *wire.Error:
+			replies <- summaryReply{device: dl.index} // absent frame
+			return
+		default:
+			continue
+		}
+	}
+}
+
+// escalate fetches feature maps from present devices and asks the cloud
+// for the final classification.
+func (g *Gateway) escalate(sampleID uint64, present []bool) (*Result, error) {
+	type upload struct {
+		device int
+		msg    *wire.FeatureUpload
+		err    error
+	}
+	uploads := make(chan upload, len(g.devices))
+	inFlight := 0
+	for d, p := range present {
+		if !p {
+			continue
+		}
+		inFlight++
+		go func(dl *deviceLink) {
+			m, err := g.fetchFeatures(dl, sampleID)
+			uploads <- upload{device: dl.index, msg: m, err: err}
+		}(g.devices[d])
+	}
+	var collected []*wire.FeatureUpload
+	var mask uint16
+	for i := 0; i < inFlight; i++ {
+		u := <-uploads
+		if u.err != nil {
+			// The device answered the capture but died before the feature
+			// upload; degrade to the remaining devices.
+			g.logger.Warn("feature fetch failed", "device", u.device, "err", u.err)
+			present[u.device] = false
+			continue
+		}
+		collected = append(collected, u.msg)
+		mask |= 1 << uint(u.device)
+		g.Meter.Add("cloud-upload", int64(len(u.msg.Bits)))
+	}
+	if len(collected) == 0 {
+		return nil, fmt.Errorf("cluster: no features collected for sample %d", sampleID)
+	}
+
+	hdr := &wire.CloudClassify{
+		SampleID: sampleID,
+		Devices:  uint16(g.model.Cfg.Devices),
+		Mask:     mask,
+	}
+	_ = g.cloud.SetDeadline(time.Now().Add(g.cfg.CloudTimeout))
+	defer g.cloud.SetDeadline(time.Time{})
+	if _, err := wire.Encode(g.cloud, hdr); err != nil {
+		return nil, fmt.Errorf("cluster: send cloud header: %w", err)
+	}
+	for _, up := range collected {
+		if _, err := wire.Encode(g.cloud, up); err != nil {
+			return nil, fmt.Errorf("cluster: relay features: %w", err)
+		}
+	}
+	msg, err := wire.Decode(g.cloud)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: cloud reply: %w", err)
+	}
+	cr, ok := msg.(*wire.ClassifyResult)
+	if !ok {
+		if e, isErr := msg.(*wire.Error); isErr {
+			return nil, fmt.Errorf("cluster: cloud error %d: %s", e.Code, e.Msg)
+		}
+		return nil, fmt.Errorf("cluster: expected ClassifyResult, got %v", msg.MsgType())
+	}
+	return &Result{
+		SampleID: sampleID,
+		Class:    int(cr.Class),
+		Exit:     cr.Exit,
+		Probs:    cr.Probs,
+	}, nil
+}
+
+func (g *Gateway) fetchFeatures(dl *deviceLink, sampleID uint64) (*wire.FeatureUpload, error) {
+	deadline := time.Now().Add(g.cfg.DeviceTimeout)
+	if _, err := wire.Encode(dl.conn, &wire.FeatureRequest{SampleID: sampleID}); err != nil {
+		return nil, err
+	}
+	_ = dl.conn.SetReadDeadline(deadline)
+	defer dl.conn.SetReadDeadline(time.Time{})
+	for {
+		msg, err := wire.Decode(dl.conn)
+		if err != nil {
+			return nil, err
+		}
+		switch m := msg.(type) {
+		case *wire.FeatureUpload:
+			if m.SampleID != sampleID {
+				continue
+			}
+			return m, nil
+		case *wire.Error:
+			return nil, errors.New(m.Msg)
+		default:
+			continue
+		}
+	}
+}
+
+// DownDevices returns the indices of devices currently marked down by
+// sticky failure detection.
+func (g *Gateway) DownDevices() []int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var out []int
+	for _, dl := range g.devices {
+		if dl.down {
+			out = append(out, dl.index)
+		}
+	}
+	return out
+}
+
+// Close tears down all connections.
+func (g *Gateway) Close() error {
+	for _, dl := range g.devices {
+		if dl.conn != nil {
+			dl.conn.Close()
+		}
+	}
+	if g.cloud != nil {
+		g.cloud.Close()
+	}
+	return nil
+}

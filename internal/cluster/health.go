@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/ddnn/ddnn-go/internal/transport"
+	"github.com/ddnn/ddnn-go/internal/wire"
+)
+
+// HealthMonitor probes every device over dedicated connections and drives
+// the gateway's up/down state: a device that misses consecutive heartbeats
+// is marked down (so inference sessions skip it without waiting for
+// timeouts), and a device that answers again is marked up — giving the
+// cluster automatic recovery, the flip side of the fault tolerance
+// evaluated in §IV-G.
+type HealthMonitor struct {
+	gw       *Gateway
+	interval time.Duration
+	misses   int
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// StartHealthMonitor dials a probe connection to each device and begins
+// heartbeating every interval. A device is marked down after `misses`
+// consecutive unanswered probes and marked up again on the first answer.
+func (g *Gateway) StartHealthMonitor(tr transport.Transport, deviceAddrs []string, interval time.Duration, misses int) (*HealthMonitor, error) {
+	if len(deviceAddrs) != len(g.devices) {
+		return nil, fmt.Errorf("cluster: health monitor needs %d device addresses, got %d", len(g.devices), len(deviceAddrs))
+	}
+	if interval <= 0 {
+		return nil, fmt.Errorf("cluster: health interval must be positive, got %v", interval)
+	}
+	if misses <= 0 {
+		misses = 3
+	}
+	hm := &HealthMonitor{
+		gw:       g,
+		interval: interval,
+		misses:   misses,
+		stop:     make(chan struct{}),
+	}
+	for i, addr := range deviceAddrs {
+		conn, err := tr.Dial(addr)
+		if err != nil {
+			hm.Stop()
+			return nil, fmt.Errorf("cluster: health dial device %d: %w", i, err)
+		}
+		hm.wg.Add(1)
+		go hm.probeLoop(i, conn)
+	}
+	return hm, nil
+}
+
+func (hm *HealthMonitor) probeLoop(device int, conn net.Conn) {
+	defer hm.wg.Done()
+	defer conn.Close()
+	nodeID := fmt.Sprintf("gw-probe-%d", device)
+	ticker := time.NewTicker(hm.interval)
+	defer ticker.Stop()
+	consecutive := 0
+	var seq uint64
+	for {
+		select {
+		case <-hm.stop:
+			return
+		case <-ticker.C:
+		}
+		seq++
+		if ok := hm.probeOnce(conn, nodeID, seq); ok {
+			consecutive = 0
+			hm.gw.setDeviceDown(device, false)
+			continue
+		}
+		consecutive++
+		if consecutive >= hm.misses {
+			hm.gw.setDeviceDown(device, true)
+		}
+	}
+}
+
+// probeOnce sends one heartbeat and waits up to the probe interval for the
+// echo, discarding unrelated stale frames.
+func (hm *HealthMonitor) probeOnce(conn net.Conn, nodeID string, seq uint64) bool {
+	if _, err := wire.Encode(conn, &wire.Heartbeat{NodeID: nodeID, Seq: seq}); err != nil {
+		return false
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(hm.interval))
+	defer conn.SetReadDeadline(time.Time{})
+	for {
+		msg, err := wire.Decode(conn)
+		if err != nil {
+			return false
+		}
+		hb, ok := msg.(*wire.Heartbeat)
+		if !ok {
+			continue
+		}
+		if hb.Seq >= seq {
+			return true
+		}
+		// A stale echo from an earlier probe; keep reading.
+	}
+}
+
+// Stop terminates all probe loops and closes their connections.
+func (hm *HealthMonitor) Stop() {
+	hm.once.Do(func() { close(hm.stop) })
+	hm.wg.Wait()
+}
+
+// setDeviceDown flips a device's availability from the failure detector.
+func (g *Gateway) setDeviceDown(device int, down bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	dl := g.devices[device]
+	if dl.down == down {
+		return
+	}
+	dl.down = down
+	dl.failures = 0
+	if down {
+		g.logger.Warn("health monitor marked device down", "device", device)
+	} else {
+		g.logger.Info("health monitor marked device up", "device", device)
+	}
+}

@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"fmt"
+	"log/slog"
+
+	"github.com/ddnn/ddnn-go/internal/core"
+	"github.com/ddnn/ddnn-go/internal/dataset"
+	"github.com/ddnn/ddnn-go/internal/tensor"
+	"github.com/ddnn/ddnn-go/internal/transport"
+)
+
+// Sim assembles a complete DDNN cluster — device nodes, a gateway and a
+// cloud node — over a transport, feeding device sensors from a dataset.
+// Sample IDs are dataset indices.
+type Sim struct {
+	Devices []*Device
+	Cloud   *Cloud
+	Gateway *Gateway
+}
+
+// DatasetFeed builds a Feed serving one device's views from a dataset.
+func DatasetFeed(ds *dataset.Dataset, device int) Feed {
+	return func(sampleID uint64) (*tensor.Tensor, error) {
+		idx := int(sampleID)
+		if idx < 0 || idx >= ds.Len() {
+			return nil, fmt.Errorf("cluster: sample %d out of range [0,%d)", idx, ds.Len())
+		}
+		return ds.DeviceBatch(device, []int{idx}), nil
+	}
+}
+
+// NewSim starts every node of the hierarchy on the transport and connects
+// the gateway. Addresses are synthesized as "device-N" and "cloud"; with a
+// TCP transport pass explicit addresses via NewGateway instead.
+func NewSim(model *core.Model, ds *dataset.Dataset, cfg GatewayConfig, tr transport.Transport, logger *slog.Logger) (*Sim, error) {
+	s := &Sim{}
+	addrs := make([]string, model.Cfg.Devices)
+	for d := 0; d < model.Cfg.Devices; d++ {
+		dev := NewDevice(model, d, DatasetFeed(ds, d), logger)
+		addr := fmt.Sprintf("device-%d", d)
+		if err := dev.Serve(tr, addr); err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.Devices = append(s.Devices, dev)
+		addrs[d] = addr
+	}
+	s.Cloud = NewCloud(model, logger)
+	if err := s.Cloud.Serve(tr, "cloud"); err != nil {
+		s.Close()
+		return nil, err
+	}
+	gw, err := NewGateway(model, cfg, tr, addrs, "cloud", logger)
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	s.Gateway = gw
+	return s, nil
+}
+
+// Close tears the whole cluster down.
+func (s *Sim) Close() error {
+	if s.Gateway != nil {
+		s.Gateway.Close()
+	}
+	for _, d := range s.Devices {
+		d.Close()
+	}
+	if s.Cloud != nil {
+		s.Cloud.Close()
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/ddnn/ddnn-go/internal/bnn"
+	"github.com/ddnn/ddnn-go/internal/tensor"
+)
+
+// The methods in this file expose the DDNN's sections individually so the
+// cluster runtime can place each section on its own node (device, edge,
+// cloud), mirroring how the trained network is mapped onto the physical
+// hierarchy in §III-A. All methods run in inference mode and are not safe
+// for concurrent use on the same Model.
+
+// DeviceForward runs one device's section on a batch of its sensor views,
+// returning the binarized feature map (uploaded to the cloud on a
+// local-exit miss) and the exit summary vector sent to the local
+// aggregator.
+func (m *Model) DeviceForward(device int, x *tensor.Tensor) (feat, exitVec *tensor.Tensor) {
+	if device < 0 || device >= m.Cfg.Devices {
+		panic(fmt.Sprintf("core: device %d out of range [0,%d)", device, m.Cfg.Devices))
+	}
+	dev := m.devices[device]
+	feat = dev.convp.Forward(x, false)
+	n := feat.Dim(0)
+	exitVec = dev.exit.forward(feat.Reshape(n, feat.Size()/n), false)
+	return feat, exitVec
+}
+
+// LocalAggregate combines per-device exit vectors into local-exit logits.
+// mask marks present devices (nil = all).
+func (m *Model) LocalAggregate(exitVecs []*tensor.Tensor, mask []bool) *tensor.Tensor {
+	return m.localAgg.Forward(exitVecs, mask, false)
+}
+
+// CloudForward aggregates per-device feature maps and runs the cloud
+// section, returning cloud-exit logits. mask marks present devices (nil =
+// all). It must not be used on models built with an edge tier; those use
+// EdgeForward first.
+func (m *Model) CloudForward(feats []*tensor.Tensor, mask []bool) *tensor.Tensor {
+	if m.edge != nil {
+		panic("core: CloudForward on an edge-tier model; use EdgeForward")
+	}
+	return m.cloud.forward(m.cloudAgg.Forward(feats, mask, false), false)
+}
+
+// EdgeForward aggregates device feature maps and runs the edge section,
+// returning the edge feature map (forwarded to the cloud) and edge-exit
+// logits. It is only valid on models built with UseEdge.
+func (m *Model) EdgeForward(feats []*tensor.Tensor, mask []bool) (edgeFeat, edgeLogits *tensor.Tensor) {
+	if m.edge == nil {
+		panic("core: EdgeForward on a model without an edge tier")
+	}
+	edgeIn := m.edgeAgg.Forward(feats, mask, false)
+	edgeFeat = m.edge.convp.Forward(edgeIn, false)
+	n := edgeFeat.Dim(0)
+	edgeLogits = m.edge.exit.forward(edgeFeat.Reshape(n, edgeFeat.Size()/n), false)
+	return edgeFeat, edgeLogits
+}
+
+// CloudForwardFromEdge runs the cloud section on an edge feature map
+// (edge-tier models only).
+func (m *Model) CloudForwardFromEdge(edgeFeat *tensor.Tensor) *tensor.Tensor {
+	if m.edge == nil {
+		panic("core: CloudForwardFromEdge on a model without an edge tier")
+	}
+	return m.cloud.forward(edgeFeat, false)
+}
+
+// PackFeature bit-packs one sample's binarized feature map for upload
+// (eBNN representation, charged at f·o/8 bytes by Eq. 1). The tensor must
+// hold a single sample [1, F, H, W].
+func (m *Model) PackFeature(feat *tensor.Tensor) []byte {
+	return bnn.PackSigns(feat)
+}
+
+// UnpackFeature reverses PackFeature into a [1, F, H, W] ±1 tensor.
+func (m *Model) UnpackFeature(bits []byte, f, h, w int) (*tensor.Tensor, error) {
+	return bnn.UnpackSigns(bits, 1, f, h, w)
+}

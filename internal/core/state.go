@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/ddnn/ddnn-go/internal/bnn"
+	"github.com/ddnn/ddnn-go/internal/nn"
+	"github.com/ddnn/ddnn-go/internal/tensor"
+)
+
+// NamedTensor pairs a state tensor with its stable name for serialization.
+type NamedTensor struct {
+	Name string
+	T    *tensor.Tensor
+}
+
+// batchNorms enumerates every batch-norm layer in the model; their running
+// statistics are state that Params() does not cover but checkpoints must.
+func (m *Model) batchNorms() []*nn.BatchNorm {
+	var bns []*nn.BatchNorm
+	for _, d := range m.devices {
+		bns = append(bns, d.convp.BN, d.exit.bn)
+	}
+	// The CC projection of the local aggregator is a plain linear layer,
+	// covered by Params().
+	if m.edge != nil {
+		bns = append(bns, m.edge.convp.BN, m.edge.exit.bn)
+	}
+	bns = append(bns, blockBN(m.cloud.b1), blockBN(m.cloud.b2), m.cloud.exit.batchNorm())
+	return bns
+}
+
+// blockBN extracts the batch-norm layer from either conv-pool block kind.
+func blockBN(l nn.Layer) *nn.BatchNorm {
+	switch b := l.(type) {
+	case *bnn.ConvP:
+		return b.BN
+	case *nn.ConvPoolBlock:
+		return b.BN
+	default:
+		panic(fmt.Sprintf("core: unknown conv block %T", l))
+	}
+}
+
+// StateDict returns every tensor needed to reconstruct the trained model:
+// all learnable parameters plus batch-norm running statistics, with stable
+// names, sorted by name.
+func (m *Model) StateDict() []NamedTensor {
+	var out []NamedTensor
+	for _, p := range m.params {
+		out = append(out, NamedTensor{Name: p.Name, T: p.Value})
+	}
+	for _, bn := range m.batchNorms() {
+		base := bn.Gamma.Name // "<layer>.gamma"
+		base = base[:len(base)-len(".gamma")]
+		out = append(out, NamedTensor{Name: base + ".running_mean", T: bn.RunningMean})
+		out = append(out, NamedTensor{Name: base + ".running_var", T: bn.RunningVar})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// LoadStateDict copies values from a saved state into the model. Every
+// entry must match an existing tensor by name and size, and every model
+// tensor must be covered.
+func (m *Model) LoadStateDict(state []NamedTensor) error {
+	want := m.StateDict()
+	byName := make(map[string]*tensor.Tensor, len(want))
+	for _, nt := range want {
+		byName[nt.Name] = nt.T
+	}
+	seen := make(map[string]bool, len(state))
+	for _, nt := range state {
+		dst, ok := byName[nt.Name]
+		if !ok {
+			return fmt.Errorf("core: state has unknown tensor %q", nt.Name)
+		}
+		if seen[nt.Name] {
+			return fmt.Errorf("core: state has duplicate tensor %q", nt.Name)
+		}
+		seen[nt.Name] = true
+		if dst.Size() != nt.T.Size() {
+			return fmt.Errorf("core: tensor %q has %d elements, model needs %d", nt.Name, nt.T.Size(), dst.Size())
+		}
+		dst.CopyFrom(nt.T)
+	}
+	if len(seen) != len(byName) {
+		for name := range byName {
+			if !seen[name] {
+				return fmt.Errorf("core: state is missing tensor %q", name)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/ddnn/ddnn-go/internal/dataset"
+	"github.com/ddnn/ddnn-go/internal/nn"
+)
+
+// TrainConfig controls joint DDNN training. The defaults follow §IV-A:
+// Adam with α=0.001, β₁=0.9, β₂=0.999, ε=1e-8 for 100 epochs.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	LR        float32
+	Seed      int64
+	// Progress, if non-nil, is called after every epoch with the epoch
+	// index (0-based) and mean training loss.
+	Progress func(epoch int, loss float64)
+}
+
+// DefaultTrainConfig returns the paper's training hyper-parameters.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 100, BatchSize: 32, LR: 0.001, Seed: 1}
+}
+
+// Train jointly trains the DDNN on a dataset, minimizing the equally
+// weighted sum of the per-exit softmax cross-entropy losses (§III-C). It
+// returns the mean training loss of the final epoch.
+func (m *Model) Train(ds *dataset.Dataset, cfg TrainConfig) (float64, error) {
+	if cfg.Epochs <= 0 {
+		return 0, fmt.Errorf("core: epochs must be positive, got %d", cfg.Epochs)
+	}
+	if cfg.BatchSize <= 0 {
+		return 0, fmt.Errorf("core: batch size must be positive, got %d", cfg.BatchSize)
+	}
+	if ds.Devices() < m.Cfg.Devices {
+		return 0, fmt.Errorf("core: dataset has %d devices, model needs %d", ds.Devices(), m.Cfg.Devices)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	opt := nn.NewAdam(cfg.LR)
+	n := ds.Len()
+	indices := make([]int, n)
+	for i := range indices {
+		indices[i] = i
+	}
+	var lastLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(n, func(i, j int) { indices[i], indices[j] = indices[j], indices[i] })
+		var epochLoss float64
+		batches := 0
+		for start := 0; start < n; start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > n {
+				end = n
+			}
+			if end-start < 2 {
+				// Batch norm needs at least two samples for stable batch
+				// statistics; fold stragglers into the next epoch.
+				continue
+			}
+			batch := indices[start:end]
+			xs := ds.AllDeviceBatches(m.Cfg.Devices, batch)
+			labels := ds.Labels(batch)
+			nn.ZeroGrads(m.params)
+			loss, _ := m.TrainStep(xs, labels)
+			opt.Step(m.params)
+			epochLoss += loss
+			batches++
+		}
+		lastLoss = epochLoss / float64(batches)
+		if cfg.Progress != nil {
+			cfg.Progress(epoch, lastLoss)
+		}
+	}
+	return lastLoss, nil
+}

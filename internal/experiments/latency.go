@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"log/slog"
+	"net"
+	"strings"
+	"time"
+
+	"github.com/ddnn/ddnn-go/internal/agg"
+	"github.com/ddnn/ddnn-go/internal/cluster"
+	"github.com/ddnn/ddnn-go/internal/metrics"
+	"github.com/ddnn/ddnn-go/internal/transport"
+	"github.com/ddnn/ddnn-go/internal/wire"
+)
+
+// LatencyReport quantifies the vertical-scaling latency claim of §V:
+// samples exiting locally avoid the WAN round trip entirely, so their
+// response time is bounded by the local wireless link, while cloud-exited
+// samples pay the feature upload over both links.
+type LatencyReport struct {
+	Threshold    float64
+	Samples      int
+	LocalCount   int
+	CloudCount   int
+	LocalMean    time.Duration
+	LocalP95     time.Duration
+	CloudMean    time.Duration
+	CloudP95     time.Duration
+	DeviceLink   transport.LinkProfile
+	CloudLink    transport.LinkProfile
+	RawTransfer  time.Duration // time to move one raw image over both links
+	RawOffloadB  int
+	MeanAnalytic time.Duration // reference only
+}
+
+// LatencyByExit runs the trained MP-CC DDNN on an in-process cluster whose
+// links simulate a constrained device wireless uplink and a WAN path to
+// the cloud, and reports response latency separately for locally exited
+// and cloud-exited samples (E9, §V vertical scaling).
+func (r *Runner) LatencyByExit(threshold float64, maxSamples int) (*LatencyReport, error) {
+	m, err := r.model(agg.MP, agg.CC, r.opts.Model.DeviceFilters)
+	if err != nil {
+		return nil, err
+	}
+	deviceLink := transport.DeviceToGateway
+	cloudLink := transport.GatewayToCloud
+
+	mem := transport.NewMem()
+	quiet := slog.New(slog.NewTextHandler(discardWriter{}, &slog.HandlerOptions{Level: slog.LevelError}))
+
+	// Serve the nodes on the plain in-memory transport; the gateway dials
+	// through link simulators so each uplink gets its profile.
+	addrs := make([]string, m.Cfg.Devices)
+	var devices []*cluster.Device
+	for d := 0; d < m.Cfg.Devices; d++ {
+		dev := cluster.NewDevice(m, d, cluster.DatasetFeed(r.test, d), quiet)
+		addrs[d] = fmt.Sprintf("lat-device-%d", d)
+		if err := dev.Serve(mem, addrs[d]); err != nil {
+			return nil, err
+		}
+		devices = append(devices, dev)
+	}
+	defer func() {
+		for _, dev := range devices {
+			dev.Close()
+		}
+	}()
+	cloud := cluster.NewCloud(m, quiet)
+	if err := cloud.Serve(mem, "lat-cloud"); err != nil {
+		return nil, err
+	}
+	defer cloud.Close()
+
+	gcfg := cluster.DefaultGatewayConfig()
+	gcfg.Threshold = threshold
+	gw, err := cluster.NewGateway(m, gcfg, routeTransport{
+		inner: mem,
+		pick: func(addr string) transport.LinkProfile {
+			if addr == "lat-cloud" {
+				return cloudLink
+			}
+			return deviceLink
+		},
+	}, addrs, "lat-cloud", quiet)
+	if err != nil {
+		return nil, err
+	}
+	defer gw.Close()
+
+	n := r.test.Len()
+	if maxSamples > 0 && maxSamples < n {
+		n = maxSamples
+	}
+	localLat := metrics.NewLatencyRecorder()
+	cloudLat := metrics.NewLatencyRecorder()
+	for id := 0; id < n; id++ {
+		res, err := gw.Classify(uint64(id))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: latency sample %d: %w", id, err)
+		}
+		if res.Exit == wire.ExitLocal {
+			localLat.Record(res.Latency)
+		} else {
+			cloudLat.Record(res.Latency)
+		}
+	}
+	raw := m.Cfg.RawOffloadBytes()
+	return &LatencyReport{
+		Threshold:   threshold,
+		Samples:     n,
+		LocalCount:  localLat.Count(),
+		CloudCount:  cloudLat.Count(),
+		LocalMean:   localLat.Mean(),
+		LocalP95:    localLat.Percentile(95),
+		CloudMean:   cloudLat.Mean(),
+		CloudP95:    cloudLat.Percentile(95),
+		DeviceLink:  deviceLink,
+		CloudLink:   cloudLink,
+		RawTransfer: deviceLink.TransferTime(raw) + cloudLink.TransferTime(raw),
+		RawOffloadB: raw,
+	}, nil
+}
+
+// routeTransport applies a per-address link profile to dialed connections,
+// so device uplinks and the WAN path to the cloud carry different
+// latency/bandwidth characteristics within one cluster.
+type routeTransport struct {
+	inner transport.Transport
+	pick  func(addr string) transport.LinkProfile
+}
+
+var _ transport.Transport = routeTransport{}
+
+func (r routeTransport) Listen(addr string) (net.Listener, error) {
+	return r.inner.Listen(addr)
+}
+
+func (r routeTransport) Dial(addr string) (net.Conn, error) {
+	c, err := r.inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return transport.Simulate(c, r.pick(addr)), nil
+}
+
+// FormatLatencyReport renders the per-exit latency comparison.
+func FormatLatencyReport(rep *LatencyReport) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "links: device %v+%dB/s, cloud %v+%dB/s\n",
+		rep.DeviceLink.Latency, rep.DeviceLink.BandwidthBps, rep.CloudLink.Latency, rep.CloudLink.BandwidthBps)
+	fmt.Fprintf(&sb, "local exits: %d/%d samples, mean %v, p95 %v\n",
+		rep.LocalCount, rep.Samples, rep.LocalMean.Round(time.Microsecond), rep.LocalP95.Round(time.Microsecond))
+	fmt.Fprintf(&sb, "cloud exits: %d/%d samples, mean %v, p95 %v\n",
+		rep.CloudCount, rep.Samples, rep.CloudMean.Round(time.Microsecond), rep.CloudP95.Round(time.Microsecond))
+	fmt.Fprintf(&sb, "raw offload of one %d-B frame would serialize for %v before any compute\n",
+		rep.RawOffloadB, rep.RawTransfer.Round(time.Microsecond))
+	return sb.String()
+}

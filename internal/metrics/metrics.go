@@ -1,0 +1,207 @@
+// Package metrics provides evaluation utilities shared by the experiment
+// harness and the cluster runtime: confusion matrices, per-exit counters,
+// communication-byte accounting (both the analytic model of Eq. (1) and
+// bytes measured on the wire) and latency summaries.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Confusion is a square confusion matrix. Rows are true labels, columns
+// predicted labels.
+type Confusion struct {
+	classes int
+	counts  []int
+}
+
+// NewConfusion builds a confusion matrix over n classes.
+func NewConfusion(n int) *Confusion {
+	return &Confusion{classes: n, counts: make([]int, n*n)}
+}
+
+// Add records one prediction.
+func (c *Confusion) Add(trueLabel, predicted int) {
+	if trueLabel < 0 || trueLabel >= c.classes || predicted < 0 || predicted >= c.classes {
+		panic(fmt.Sprintf("metrics: label pair (%d,%d) out of range for %d classes", trueLabel, predicted, c.classes))
+	}
+	c.counts[trueLabel*c.classes+predicted]++
+}
+
+// At returns the count of samples with the given true label predicted as
+// the given class.
+func (c *Confusion) At(trueLabel, predicted int) int {
+	return c.counts[trueLabel*c.classes+predicted]
+}
+
+// Total returns the number of recorded predictions.
+func (c *Confusion) Total() int {
+	t := 0
+	for _, v := range c.counts {
+		t += v
+	}
+	return t
+}
+
+// Accuracy returns the fraction of correct predictions (trace / total).
+func (c *Confusion) Accuracy() float64 {
+	total := c.Total()
+	if total == 0 {
+		return 0
+	}
+	correct := 0
+	for i := 0; i < c.classes; i++ {
+		correct += c.At(i, i)
+	}
+	return float64(correct) / float64(total)
+}
+
+// PerClassRecall returns recall for each class; classes with no samples
+// report NaN.
+func (c *Confusion) PerClassRecall() []float64 {
+	out := make([]float64, c.classes)
+	for i := range out {
+		row := 0
+		for j := 0; j < c.classes; j++ {
+			row += c.At(i, j)
+		}
+		if row == 0 {
+			out[i] = math.NaN()
+			continue
+		}
+		out[i] = float64(c.At(i, i)) / float64(row)
+	}
+	return out
+}
+
+// String renders the matrix for reports.
+func (c *Confusion) String() string {
+	var sb strings.Builder
+	for i := 0; i < c.classes; i++ {
+		for j := 0; j < c.classes; j++ {
+			fmt.Fprintf(&sb, "%6d", c.At(i, j))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// CommMeter accumulates communication bytes by category. It is safe for
+// concurrent use, so cluster nodes can share one meter.
+type CommMeter struct {
+	mu     sync.Mutex
+	counts map[string]int64
+}
+
+// NewCommMeter builds an empty meter.
+func NewCommMeter() *CommMeter {
+	return &CommMeter{counts: make(map[string]int64)}
+}
+
+// Add records n bytes in a category (e.g. "local-summary", "cloud-upload").
+func (m *CommMeter) Add(category string, n int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.counts[category] += n
+}
+
+// Get returns the bytes recorded for a category.
+func (m *CommMeter) Get(category string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counts[category]
+}
+
+// Total returns the bytes recorded across all categories.
+func (m *CommMeter) Total() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var t int64
+	for _, v := range m.counts {
+		t += v
+	}
+	return t
+}
+
+// Categories returns the category names in sorted order.
+func (m *CommMeter) Categories() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.counts))
+	for k := range m.counts {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Reset clears all counters.
+func (m *CommMeter) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.counts = make(map[string]int64)
+}
+
+// LatencyRecorder collects durations and reports order statistics. It is
+// safe for concurrent use.
+type LatencyRecorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// NewLatencyRecorder builds an empty recorder.
+func NewLatencyRecorder() *LatencyRecorder { return &LatencyRecorder{} }
+
+// Record adds one duration sample.
+func (l *LatencyRecorder) Record(d time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.samples = append(l.samples, d)
+}
+
+// Count returns the number of samples recorded.
+func (l *LatencyRecorder) Count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.samples)
+}
+
+// Mean returns the mean latency, or 0 with no samples.
+func (l *LatencyRecorder) Mean() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range l.samples {
+		sum += d
+	}
+	return sum / time.Duration(len(l.samples))
+}
+
+// Percentile returns the p-th percentile latency (p in [0,100]), or 0 with
+// no samples.
+func (l *LatencyRecorder) Percentile(p float64) time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.samples) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(l.samples))
+	copy(sorted, l.samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

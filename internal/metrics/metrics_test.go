@@ -1,0 +1,130 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestConfusionAccuracy(t *testing.T) {
+	c := NewConfusion(3)
+	c.Add(0, 0)
+	c.Add(0, 0)
+	c.Add(1, 1)
+	c.Add(2, 0) // one mistake
+	if got := c.Total(); got != 4 {
+		t.Errorf("Total = %d, want 4", got)
+	}
+	if got := c.Accuracy(); got != 0.75 {
+		t.Errorf("Accuracy = %g, want 0.75", got)
+	}
+	if got := c.At(2, 0); got != 1 {
+		t.Errorf("At(2,0) = %d, want 1", got)
+	}
+}
+
+func TestConfusionEmptyAccuracyZero(t *testing.T) {
+	if got := NewConfusion(2).Accuracy(); got != 0 {
+		t.Errorf("empty Accuracy = %g, want 0", got)
+	}
+}
+
+func TestConfusionPerClassRecall(t *testing.T) {
+	c := NewConfusion(3)
+	c.Add(0, 0)
+	c.Add(0, 1)
+	c.Add(1, 1)
+	recall := c.PerClassRecall()
+	if recall[0] != 0.5 {
+		t.Errorf("class 0 recall = %g, want 0.5", recall[0])
+	}
+	if recall[1] != 1 {
+		t.Errorf("class 1 recall = %g, want 1", recall[1])
+	}
+	if !math.IsNaN(recall[2]) {
+		t.Errorf("class 2 recall = %g, want NaN (no samples)", recall[2])
+	}
+}
+
+func TestConfusionPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Add did not panic")
+		}
+	}()
+	NewConfusion(2).Add(0, 5)
+}
+
+func TestConfusionString(t *testing.T) {
+	c := NewConfusion(2)
+	c.Add(0, 1)
+	if s := c.String(); !strings.Contains(s, "1") {
+		t.Errorf("String() = %q missing count", s)
+	}
+}
+
+func TestCommMeter(t *testing.T) {
+	m := NewCommMeter()
+	m.Add("up", 100)
+	m.Add("up", 50)
+	m.Add("down", 7)
+	if got := m.Get("up"); got != 150 {
+		t.Errorf("Get(up) = %d, want 150", got)
+	}
+	if got := m.Total(); got != 157 {
+		t.Errorf("Total = %d, want 157", got)
+	}
+	cats := m.Categories()
+	if len(cats) != 2 || cats[0] != "down" || cats[1] != "up" {
+		t.Errorf("Categories = %v, want [down up]", cats)
+	}
+	m.Reset()
+	if m.Total() != 0 {
+		t.Error("Reset did not clear counters")
+	}
+}
+
+func TestCommMeterConcurrent(t *testing.T) {
+	m := NewCommMeter()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				m.Add("x", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Get("x"); got != 800 {
+		t.Errorf("concurrent Add lost updates: %d, want 800", got)
+	}
+}
+
+func TestLatencyRecorder(t *testing.T) {
+	l := NewLatencyRecorder()
+	if l.Mean() != 0 || l.Percentile(50) != 0 {
+		t.Error("empty recorder must report zero")
+	}
+	for _, d := range []time.Duration{10, 20, 30, 40, 50} {
+		l.Record(d * time.Millisecond)
+	}
+	if got := l.Count(); got != 5 {
+		t.Errorf("Count = %d, want 5", got)
+	}
+	if got := l.Mean(); got != 30*time.Millisecond {
+		t.Errorf("Mean = %v, want 30ms", got)
+	}
+	if got := l.Percentile(100); got != 50*time.Millisecond {
+		t.Errorf("p100 = %v, want 50ms", got)
+	}
+	if got := l.Percentile(50); got != 30*time.Millisecond {
+		t.Errorf("p50 = %v, want 30ms", got)
+	}
+	if got := l.Percentile(0); got != 10*time.Millisecond {
+		t.Errorf("p0 = %v, want 10ms", got)
+	}
+}

@@ -1,0 +1,246 @@
+// Package modelio serializes trained DDNN models to a compact, versioned
+// binary format, so a model trained once (in the cloud, §III-C) can be
+// checkpointed and deployed onto the nodes of the hierarchy.
+package modelio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"github.com/ddnn/ddnn-go/internal/agg"
+	"github.com/ddnn/ddnn-go/internal/core"
+	"github.com/ddnn/ddnn-go/internal/tensor"
+)
+
+// magic identifies DDNN model files.
+var magic = [8]byte{'D', 'D', 'N', 'N', 'M', 'O', 'D', 'L'}
+
+// version is the current file-format version.
+const version uint16 = 1
+
+// maxTensorElems guards against corrupt headers.
+const maxTensorElems = 64 << 20
+
+// ErrBadFormat reports a malformed model file.
+var ErrBadFormat = errors.New("modelio: bad model file")
+
+// Save writes the model's configuration and full state to w.
+func Save(w io.Writer, m *core.Model) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return fmt.Errorf("modelio: write magic: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, version); err != nil {
+		return fmt.Errorf("modelio: write version: %w", err)
+	}
+	if err := writeConfig(bw, m.Cfg); err != nil {
+		return err
+	}
+	state := m.StateDict()
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(state))); err != nil {
+		return fmt.Errorf("modelio: write tensor count: %w", err)
+	}
+	for _, nt := range state {
+		if err := writeTensor(bw, nt); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("modelio: flush: %w", err)
+	}
+	return nil
+}
+
+// Load reads a model file and reconstructs the trained model.
+func Load(r io.Reader) (*core.Model, error) {
+	br := bufio.NewReader(r)
+	var gotMagic [8]byte
+	if _, err := io.ReadFull(br, gotMagic[:]); err != nil {
+		return nil, fmt.Errorf("modelio: read magic: %w", err)
+	}
+	if gotMagic != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadFormat)
+	}
+	var v uint16
+	if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
+		return nil, fmt.Errorf("modelio: read version: %w", err)
+	}
+	if v != version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, v)
+	}
+	cfg, err := readConfig(br)
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.NewModel(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("modelio: rebuild model: %w", err)
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("modelio: read tensor count: %w", err)
+	}
+	state := make([]core.NamedTensor, 0, count)
+	for i := uint32(0); i < count; i++ {
+		nt, err := readTensor(br)
+		if err != nil {
+			return nil, err
+		}
+		state = append(state, nt)
+	}
+	if err := m.LoadStateDict(state); err != nil {
+		return nil, fmt.Errorf("modelio: %w", err)
+	}
+	return m, nil
+}
+
+// SaveFile writes the model to a file path.
+func SaveFile(path string, m *core.Model) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("modelio: %w", err)
+	}
+	if err := Save(f, m); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("modelio: close %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadFile reads a model from a file path.
+func LoadFile(path string) (*core.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("modelio: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+func writeConfig(w io.Writer, cfg core.Config) error {
+	useEdge := uint8(0)
+	if cfg.UseEdge {
+		useEdge = 1
+	}
+	floatCloud := uint8(0)
+	if cfg.FloatCloud {
+		floatCloud = 1
+	}
+	fields := []any{
+		uint32(cfg.Devices), uint32(cfg.Classes),
+		uint32(cfg.InputC), uint32(cfg.InputH), uint32(cfg.InputW),
+		uint32(cfg.DeviceFilters), uint32(cfg.CloudFilters),
+		uint8(cfg.LocalAgg), uint8(cfg.CloudAgg),
+		useEdge, uint32(cfg.EdgeFilters), uint8(cfg.EdgeAgg),
+		floatCloud, cfg.Seed,
+	}
+	for _, f := range fields {
+		if err := binary.Write(w, binary.LittleEndian, f); err != nil {
+			return fmt.Errorf("modelio: write config: %w", err)
+		}
+	}
+	return nil
+}
+
+func readConfig(r io.Reader) (core.Config, error) {
+	var (
+		devices, classes, inC, inH, inW, devF, cloudF, edgeF uint32
+		localAgg, cloudAgg, useEdge, edgeAgg, floatCloud     uint8
+		seed                                                 int64
+	)
+	fields := []any{
+		&devices, &classes, &inC, &inH, &inW, &devF, &cloudF,
+		&localAgg, &cloudAgg, &useEdge, &edgeF, &edgeAgg, &floatCloud, &seed,
+	}
+	for _, f := range fields {
+		if err := binary.Read(r, binary.LittleEndian, f); err != nil {
+			return core.Config{}, fmt.Errorf("modelio: read config: %w", err)
+		}
+	}
+	return core.Config{
+		Devices: int(devices), Classes: int(classes),
+		InputC: int(inC), InputH: int(inH), InputW: int(inW),
+		DeviceFilters: int(devF), CloudFilters: int(cloudF),
+		LocalAgg: agg.Scheme(localAgg), CloudAgg: agg.Scheme(cloudAgg),
+		UseEdge: useEdge != 0, EdgeFilters: int(edgeF), EdgeAgg: agg.Scheme(edgeAgg),
+		FloatCloud: floatCloud != 0, Seed: seed,
+	}, nil
+}
+
+func writeTensor(w io.Writer, nt core.NamedTensor) error {
+	name := []byte(nt.Name)
+	if err := binary.Write(w, binary.LittleEndian, uint16(len(name))); err != nil {
+		return fmt.Errorf("modelio: write tensor name len: %w", err)
+	}
+	if _, err := w.Write(name); err != nil {
+		return fmt.Errorf("modelio: write tensor name: %w", err)
+	}
+	shape := nt.T.Shape()
+	if err := binary.Write(w, binary.LittleEndian, uint8(len(shape))); err != nil {
+		return fmt.Errorf("modelio: write tensor rank: %w", err)
+	}
+	for _, d := range shape {
+		if err := binary.Write(w, binary.LittleEndian, uint32(d)); err != nil {
+			return fmt.Errorf("modelio: write tensor dim: %w", err)
+		}
+	}
+	buf := make([]byte, 4*len(nt.T.Data()))
+	for i, v := range nt.T.Data() {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+	}
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("modelio: write tensor data: %w", err)
+	}
+	return nil
+}
+
+func readTensor(r io.Reader) (core.NamedTensor, error) {
+	var nameLen uint16
+	if err := binary.Read(r, binary.LittleEndian, &nameLen); err != nil {
+		return core.NamedTensor{}, fmt.Errorf("modelio: read tensor name len: %w", err)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(r, name); err != nil {
+		return core.NamedTensor{}, fmt.Errorf("modelio: read tensor name: %w", err)
+	}
+	var rank uint8
+	if err := binary.Read(r, binary.LittleEndian, &rank); err != nil {
+		return core.NamedTensor{}, fmt.Errorf("modelio: read tensor rank: %w", err)
+	}
+	if rank == 0 || rank > 8 {
+		return core.NamedTensor{}, fmt.Errorf("%w: tensor %q has rank %d", ErrBadFormat, name, rank)
+	}
+	shape := make([]int, rank)
+	elems := 1
+	for i := range shape {
+		var d uint32
+		if err := binary.Read(r, binary.LittleEndian, &d); err != nil {
+			return core.NamedTensor{}, fmt.Errorf("modelio: read tensor dim: %w", err)
+		}
+		if d == 0 || int(d) > maxTensorElems {
+			return core.NamedTensor{}, fmt.Errorf("%w: tensor %q has dim %d", ErrBadFormat, name, d)
+		}
+		shape[i] = int(d)
+		elems *= int(d)
+		if elems > maxTensorElems {
+			return core.NamedTensor{}, fmt.Errorf("%w: tensor %q too large", ErrBadFormat, name)
+		}
+	}
+	buf := make([]byte, 4*elems)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return core.NamedTensor{}, fmt.Errorf("modelio: read tensor data: %w", err)
+	}
+	t := tensor.New(shape...)
+	for i := range t.Data() {
+		t.Data()[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	return core.NamedTensor{Name: string(name), T: t}, nil
+}

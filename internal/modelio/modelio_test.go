@@ -1,0 +1,169 @@
+package modelio
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"github.com/ddnn/ddnn-go/internal/agg"
+	"github.com/ddnn/ddnn-go/internal/core"
+	"github.com/ddnn/ddnn-go/internal/dataset"
+)
+
+func trainedModel(t *testing.T) *core.Model {
+	t.Helper()
+	dcfg := dataset.DefaultConfig()
+	dcfg.Train, dcfg.Test = 60, 20
+	train, _ := dataset.MustGenerate(dcfg)
+	cfg := core.DefaultConfig()
+	cfg.CloudFilters = 8
+	m := core.MustNewModel(cfg)
+	tc := core.DefaultTrainConfig()
+	tc.Epochs = 2
+	if _, err := m.Train(train, tc); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m := trainedModel(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Cfg != m.Cfg {
+		t.Errorf("config round trip: got %+v, want %+v", loaded.Cfg, m.Cfg)
+	}
+	want := m.StateDict()
+	got := loaded.StateDict()
+	if len(got) != len(want) {
+		t.Fatalf("state dict sizes %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Name != want[i].Name {
+			t.Fatalf("tensor %d name %q, want %q", i, got[i].Name, want[i].Name)
+		}
+		for j := range want[i].T.Data() {
+			if got[i].T.Data()[j] != want[i].T.Data()[j] {
+				t.Fatalf("tensor %q element %d differs", want[i].Name, j)
+			}
+		}
+	}
+}
+
+func TestLoadedModelPredictsIdentically(t *testing.T) {
+	m := trainedModel(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dcfg := dataset.DefaultConfig()
+	dcfg.Train, dcfg.Test = 60, 20
+	_, test := dataset.MustGenerate(dcfg)
+	xs := test.AllDeviceBatches(m.Cfg.Devices, []int{0, 1, 2, 3})
+
+	a := m.Infer(xs, nil)
+	b := loaded.Infer(xs, nil)
+	for i, v := range a.Local.Data() {
+		if b.Local.Data()[i] != v {
+			t.Fatalf("local logits differ at %d: %g vs %g", i, v, b.Local.Data()[i])
+		}
+	}
+	for i, v := range a.Cloud.Data() {
+		if b.Cloud.Data()[i] != v {
+			t.Fatalf("cloud logits differ at %d: %g vs %g", i, v, b.Cloud.Data()[i])
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	m := trainedModel(t)
+	path := filepath.Join(t.TempDir(), "model.ddnn")
+	if err := SaveFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Cfg != m.Cfg {
+		t.Error("file round trip changed config")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a model file at all"))); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("err = %v, want ErrBadFormat", err)
+	}
+}
+
+func TestLoadRejectsTruncated(t *testing.T) {
+	m := trainedModel(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := Load(bytes.NewReader(raw[:len(raw)/2])); err == nil {
+		t.Error("Load accepted truncated file")
+	}
+}
+
+func TestLoadRejectsWrongVersion(t *testing.T) {
+	m := trainedModel(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[8] = 0xFF // version low byte
+	if _, err := Load(bytes.NewReader(raw)); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("err = %v, want ErrBadFormat", err)
+	}
+}
+
+func TestStateDictCoversBatchNormStats(t *testing.T) {
+	m := trainedModel(t)
+	foundMean, foundVar := false, false
+	for _, nt := range m.StateDict() {
+		switch {
+		case len(nt.Name) > 12 && nt.Name[len(nt.Name)-12:] == "running_mean":
+			foundMean = true
+		case len(nt.Name) > 11 && nt.Name[len(nt.Name)-11:] == "running_var":
+			foundVar = true
+		}
+	}
+	if !foundMean || !foundVar {
+		t.Error("state dict missing batch-norm running statistics")
+	}
+}
+
+func TestRoundTripEdgeModel(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.UseEdge = true
+	cfg.CloudFilters = 8
+	cfg.LocalAgg, cfg.CloudAgg, cfg.EdgeAgg = agg.MP, agg.CC, agg.CC
+	m := core.MustNewModel(cfg)
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Cfg.UseEdge {
+		t.Error("edge flag lost in round trip")
+	}
+}

@@ -1,0 +1,83 @@
+package nn
+
+import (
+	"github.com/ddnn/ddnn-go/internal/tensor"
+)
+
+// ReLU is the rectified-linear activation. It is used by the optional
+// floating-point cloud variants (§VI future work); the binary blocks use
+// bnn.BinaryActivation instead.
+type ReLU struct {
+	mask []bool
+}
+
+var _ Layer = (*ReLU)(nil)
+
+// NewReLU constructs a ReLU activation.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward computes max(x, 0).
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := x.Clone()
+	yd := y.Data()
+	if train {
+		r.mask = make([]bool, len(yd))
+	}
+	for i, v := range yd {
+		if v <= 0 {
+			yd[i] = 0
+		} else if train {
+			r.mask[i] = true
+		}
+	}
+	return y
+}
+
+// Backward passes gradient only where the input was positive.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if r.mask == nil {
+		panic("nn: ReLU.Backward called before Forward(train=true)")
+	}
+	dx := grad.Clone()
+	dxd := dx.Data()
+	for i := range dxd {
+		if !r.mask[i] {
+			dxd[i] = 0
+		}
+	}
+	return dx
+}
+
+// Params returns nil.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Flatten reshapes [N, ...] inputs to [N, D] and restores the original
+// shape on the backward pass.
+type Flatten struct {
+	inShape []int
+}
+
+var _ Layer = (*Flatten)(nil)
+
+// NewFlatten constructs a flattening layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Forward returns a [N, D] view of x.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if train {
+		f.inShape = x.Shape()
+	}
+	n := x.Dim(0)
+	return x.Reshape(n, x.Size()/n)
+}
+
+// Backward restores the cached input shape.
+func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if f.inShape == nil {
+		panic("nn: Flatten.Backward called before Forward(train=true)")
+	}
+	return grad.Reshape(f.inShape...)
+}
+
+// Params returns nil.
+func (f *Flatten) Params() []*Param { return nil }

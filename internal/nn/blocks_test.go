@@ -1,0 +1,51 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/ddnn/ddnn-go/internal/tensor"
+)
+
+func TestConvPoolBlockShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := NewConvPoolBlock(rng, "cpb", 3, 8)
+	x := tensor.New(2, 3, 16, 16)
+	x.FillUniform(rng, -1, 1)
+	y := b.Forward(x, true)
+	wantShape := []int{2, 8, 8, 8}
+	for i, d := range wantShape {
+		if y.Dim(i) != d {
+			t.Fatalf("output shape %v, want %v", y.Shape(), wantShape)
+		}
+	}
+	for _, v := range y.Data() {
+		if v < 0 {
+			t.Fatal("ReLU output must be non-negative")
+		}
+	}
+}
+
+func TestConvPoolBlockGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	b := NewConvPoolBlock(rng, "cpb", 2, 3)
+	x := tensor.New(2, 2, 8, 8)
+	// Distinct values to keep max-pool argmax stable under perturbation.
+	perm := rng.Perm(x.Size())
+	for i, p := range perm {
+		x.Data()[i] = float32(p)*0.01 - 1.2
+	}
+	checkGrads(t, b, x, rng)
+}
+
+func TestConvPoolBlockParamsAndMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b := NewConvPoolBlock(rng, "cpb", 3, 4)
+	if got := len(b.Params()); got != 3 { // conv weight + γ + β
+		t.Errorf("Params() = %d entries, want 3", got)
+	}
+	// 4·3·9 weights × 32 bits + 2·32·4 BN bits.
+	if got, want := b.MemoryBits(), 32*108+256; got != want {
+		t.Errorf("MemoryBits = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,242 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/ddnn/ddnn-go/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over NCHW inputs with square kernels. The
+// DDNN paper uses 3×3 kernels with stride 1 and padding 1 everywhere; the
+// implementation supports general kernel/stride/padding so the cloud
+// sections can differ if desired.
+type Conv2D struct {
+	InC, OutC              int
+	Kernel, Stride, Pad    int
+	Weight                 *Param // [OutC, InC, K, K]
+	Bias                   *Param // [OutC], nil when disabled
+	x                      *tensor.Tensor
+	cachedInH, cachedInW   int
+	cachedOutH, cachedOutW int
+}
+
+var _ Layer = (*Conv2D)(nil)
+
+// NewConv2D constructs a convolution layer with He-initialized weights.
+func NewConv2D(rng *rand.Rand, name string, inC, outC, kernel, stride, pad int, withBias bool) *Conv2D {
+	c := &Conv2D{
+		InC:    inC,
+		OutC:   outC,
+		Kernel: kernel,
+		Stride: stride,
+		Pad:    pad,
+		Weight: NewParam(name+".weight", outC, inC, kernel, kernel),
+	}
+	c.Weight.Value.FillHe(rng, inC*kernel*kernel)
+	if withBias {
+		c.Bias = NewParam(name+".bias", outC)
+	}
+	return c
+}
+
+// OutSize returns the spatial output size for an input of size in.
+func (c *Conv2D) OutSize(in int) int {
+	return (in+2*c.Pad-c.Kernel)/c.Stride + 1
+}
+
+// Forward computes the convolution for x of shape [N, InC, H, W].
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Dims() != 4 || x.Dim(1) != c.InC {
+		panic(fmt.Sprintf("nn: Conv2D %s input shape %v, want [N %d H W]", c.Weight.Name, x.Shape(), c.InC))
+	}
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	oh, ow := c.OutSize(h), c.OutSize(w)
+	if train {
+		c.x = x
+	}
+	c.cachedInH, c.cachedInW, c.cachedOutH, c.cachedOutW = h, w, oh, ow
+
+	y := tensor.New(n, c.OutC, oh, ow)
+	xd, yd, wd := x.Data(), y.Data(), c.Weight.Value.Data()
+	k, st, pad := c.Kernel, c.Stride, c.Pad
+	inPlane := h * w
+	outPlane := oh * ow
+	for ni := 0; ni < n; ni++ {
+		xBase := ni * c.InC * inPlane
+		yBase := ni * c.OutC * outPlane
+		for f := 0; f < c.OutC; f++ {
+			out := yd[yBase+f*outPlane : yBase+(f+1)*outPlane]
+			for ci := 0; ci < c.InC; ci++ {
+				in := xd[xBase+ci*inPlane : xBase+(ci+1)*inPlane]
+				wBase := (f*c.InC + ci) * k * k
+				for ky := 0; ky < k; ky++ {
+					for kx := 0; kx < k; kx++ {
+						wv := wd[wBase+ky*k+kx]
+						if wv == 0 {
+							continue
+						}
+						convAccum(out, in, wv, oh, ow, h, w, ky-pad, kx-pad, st)
+					}
+				}
+			}
+			if c.Bias != nil {
+				bv := c.Bias.Value.Data()[f]
+				for i := range out {
+					out[i] += bv
+				}
+			}
+		}
+	}
+	return y
+}
+
+// convAccum adds wv * shifted(in) into out for one kernel tap. dy/dx are the
+// spatial offsets of the tap relative to the output origin; st is the
+// stride. Out-of-bounds input locations contribute zero (zero padding).
+func convAccum(out, in []float32, wv float32, oh, ow, ih, iw, dy, dx, st int) {
+	for oy := 0; oy < oh; oy++ {
+		iy := oy*st + dy
+		if iy < 0 || iy >= ih {
+			continue
+		}
+		orow := out[oy*ow : (oy+1)*ow]
+		irow := in[iy*iw : (iy+1)*iw]
+		// Valid output columns: 0 <= ox*st+dx < iw.
+		ox0, ox1 := colRange(ow, iw, dx, st)
+		if st == 1 {
+			// Contiguous fast path: orow[ox] += wv * irow[ox+dx].
+			src := irow[ox0+dx : ox1+dx]
+			dst := orow[ox0:ox1]
+			for i, sv := range src {
+				dst[i] += wv * sv
+			}
+			continue
+		}
+		for ox := ox0; ox < ox1; ox++ {
+			orow[ox] += wv * irow[ox*st+dx]
+		}
+	}
+}
+
+// colRange returns the half-open range of output columns whose sampled
+// input column ox*st+dx lies within [0, iw).
+func colRange(ow, iw, dx, st int) (int, int) {
+	ox0 := 0
+	if dx < 0 {
+		ox0 = (-dx + st - 1) / st
+	}
+	ox1 := ow
+	if maxOx := (iw - 1 - dx) / st; maxOx+1 < ox1 {
+		ox1 = maxOx + 1
+	}
+	if ox1 < ox0 {
+		ox1 = ox0
+	}
+	return ox0, ox1
+}
+
+// Backward accumulates weight/bias gradients and returns the input
+// gradient.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if c.x == nil {
+		panic("nn: Conv2D.Backward called before Forward(train=true)")
+	}
+	n := c.x.Dim(0)
+	h, w, oh, ow := c.cachedInH, c.cachedInW, c.cachedOutH, c.cachedOutW
+	k, st, pad := c.Kernel, c.Stride, c.Pad
+	dx := tensor.New(n, c.InC, h, w)
+	xd, gd, dxd := c.x.Data(), grad.Data(), dx.Data()
+	wd, dwd := c.Weight.Value.Data(), c.Weight.Grad.Data()
+	inPlane, outPlane := h*w, oh*ow
+
+	for ni := 0; ni < n; ni++ {
+		xBase := ni * c.InC * inPlane
+		gBase := ni * c.OutC * outPlane
+		for f := 0; f < c.OutC; f++ {
+			gout := gd[gBase+f*outPlane : gBase+(f+1)*outPlane]
+			if c.Bias != nil {
+				var s float32
+				for _, v := range gout {
+					s += v
+				}
+				c.Bias.Grad.Data()[f] += s
+			}
+			for ci := 0; ci < c.InC; ci++ {
+				in := xd[xBase+ci*inPlane : xBase+(ci+1)*inPlane]
+				din := dxd[xBase+ci*inPlane : xBase+(ci+1)*inPlane]
+				wBase := (f*c.InC + ci) * k * k
+				for ky := 0; ky < k; ky++ {
+					for kx := 0; kx < k; kx++ {
+						widx := wBase + ky*k + kx
+						dy, dxo := ky-pad, kx-pad
+						// dW[f,ci,ky,kx] += Σ gout[oy,ox] * in[oy*st+dy, ox*st+dxo]
+						// dIn[iy,ix]     += Σ gout[oy,ox] * w  (scatter)
+						dwd[widx] += convTapGradW(gout, in, oh, ow, h, w, dy, dxo, st)
+						convTapGradX(din, gout, wd[widx], oh, ow, h, w, dy, dxo, st)
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+func convTapGradW(gout, in []float32, oh, ow, ih, iw, dy, dx, st int) float32 {
+	var s float32
+	for oy := 0; oy < oh; oy++ {
+		iy := oy*st + dy
+		if iy < 0 || iy >= ih {
+			continue
+		}
+		grow := gout[oy*ow : (oy+1)*ow]
+		irow := in[iy*iw : (iy+1)*iw]
+		ox0, ox1 := colRange(ow, iw, dx, st)
+		if st == 1 {
+			src := irow[ox0+dx : ox1+dx]
+			g := grow[ox0:ox1]
+			for i, gv := range g {
+				s += gv * src[i]
+			}
+			continue
+		}
+		for ox := ox0; ox < ox1; ox++ {
+			s += grow[ox] * irow[ox*st+dx]
+		}
+	}
+	return s
+}
+
+func convTapGradX(din, gout []float32, wv float32, oh, ow, ih, iw, dy, dx, st int) {
+	if wv == 0 {
+		return
+	}
+	for oy := 0; oy < oh; oy++ {
+		iy := oy*st + dy
+		if iy < 0 || iy >= ih {
+			continue
+		}
+		grow := gout[oy*ow : (oy+1)*ow]
+		drow := din[iy*iw : (iy+1)*iw]
+		ox0, ox1 := colRange(ow, iw, dx, st)
+		if st == 1 {
+			dst := drow[ox0+dx : ox1+dx]
+			g := grow[ox0:ox1]
+			for i, gv := range g {
+				dst[i] += wv * gv
+			}
+			continue
+		}
+		for ox := ox0; ox < ox1; ox++ {
+			drow[ox*st+dx] += wv * grow[ox]
+		}
+	}
+}
+
+// Params returns the layer parameters.
+func (c *Conv2D) Params() []*Param {
+	if c.Bias == nil {
+		return []*Param{c.Weight}
+	}
+	return []*Param{c.Weight, c.Bias}
+}

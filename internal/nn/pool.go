@@ -1,0 +1,102 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/ddnn/ddnn-go/internal/tensor"
+)
+
+// MaxPool2D is a max-pooling layer over NCHW inputs. The DDNN paper's ConvP
+// block uses a 3×3 pool with stride 2 and padding 1, halving each spatial
+// dimension of a power-of-two input.
+type MaxPool2D struct {
+	Kernel, Stride, Pad int
+
+	argmax   []int32 // flat input index of each output's max, for backward
+	inShape  []int
+	outShape []int
+}
+
+var _ Layer = (*MaxPool2D)(nil)
+
+// NewMaxPool2D constructs a max-pooling layer.
+func NewMaxPool2D(kernel, stride, pad int) *MaxPool2D {
+	return &MaxPool2D{Kernel: kernel, Stride: stride, Pad: pad}
+}
+
+// OutSize returns the spatial output size for an input of size in.
+func (p *MaxPool2D) OutSize(in int) int {
+	return (in+2*p.Pad-p.Kernel)/p.Stride + 1
+}
+
+// Forward computes the max pool for x of shape [N, C, H, W]. Padded
+// locations never win the max (they are treated as -inf).
+func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Dims() != 4 {
+		panic(fmt.Sprintf("nn: MaxPool2D input shape %v, want 4-D", x.Shape()))
+	}
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh, ow := p.OutSize(h), p.OutSize(w)
+	y := tensor.New(n, c, oh, ow)
+	if train {
+		p.argmax = make([]int32, y.Size())
+		p.inShape = x.Shape()
+		p.outShape = y.Shape()
+	}
+	xd, yd := x.Data(), y.Data()
+	inPlane, outPlane := h*w, oh*ow
+	negInf := float32(math.Inf(-1))
+	for plane := 0; plane < n*c; plane++ {
+		in := xd[plane*inPlane : (plane+1)*inPlane]
+		out := yd[plane*outPlane : (plane+1)*outPlane]
+		for oy := 0; oy < oh; oy++ {
+			y0 := oy*p.Stride - p.Pad
+			for ox := 0; ox < ow; ox++ {
+				x0 := ox*p.Stride - p.Pad
+				best := negInf
+				bestIdx := int32(-1)
+				for ky := 0; ky < p.Kernel; ky++ {
+					iy := y0 + ky
+					if iy < 0 || iy >= h {
+						continue
+					}
+					rowOff := iy * w
+					for kx := 0; kx < p.Kernel; kx++ {
+						ix := x0 + kx
+						if ix < 0 || ix >= w {
+							continue
+						}
+						v := in[rowOff+ix]
+						if v > best {
+							best = v
+							bestIdx = int32(rowOff + ix)
+						}
+					}
+				}
+				out[oy*ow+ox] = best
+				if train {
+					p.argmax[plane*outPlane+oy*ow+ox] = int32(plane*inPlane) + bestIdx
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Backward scatters each output gradient to the input location that won the
+// max during the forward pass.
+func (p *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if p.argmax == nil {
+		panic("nn: MaxPool2D.Backward called before Forward(train=true)")
+	}
+	dx := tensor.New(p.inShape...)
+	dxd, gd := dx.Data(), grad.Data()
+	for i, src := range p.argmax {
+		dxd[src] += gd[i]
+	}
+	return dx
+}
+
+// Params returns nil: pooling has no learnable parameters.
+func (p *MaxPool2D) Params() []*Param { return nil }

@@ -1,0 +1,35 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// FillUniform fills t with samples from U[lo, hi) drawn from rng.
+func (t *Tensor) FillUniform(rng *rand.Rand, lo, hi float32) {
+	span := hi - lo
+	for i := range t.data {
+		t.data[i] = lo + span*rng.Float32()
+	}
+}
+
+// FillNormal fills t with samples from N(mean, std²) drawn from rng.
+func (t *Tensor) FillNormal(rng *rand.Rand, mean, std float32) {
+	for i := range t.data {
+		t.data[i] = mean + std*float32(rng.NormFloat64())
+	}
+}
+
+// FillGlorot fills t with the Glorot/Xavier uniform initialization for a
+// layer with the given fan-in and fan-out.
+func (t *Tensor) FillGlorot(rng *rand.Rand, fanIn, fanOut int) {
+	limit := float32(math.Sqrt(6.0 / float64(fanIn+fanOut)))
+	t.FillUniform(rng, -limit, limit)
+}
+
+// FillHe fills t with the He/Kaiming normal initialization for a layer with
+// the given fan-in.
+func (t *Tensor) FillHe(rng *rand.Rand, fanIn int) {
+	std := float32(math.Sqrt(2.0 / float64(fanIn)))
+	t.FillNormal(rng, 0, std)
+}

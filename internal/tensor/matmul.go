@@ -1,0 +1,108 @@
+package tensor
+
+import "fmt"
+
+// MatMul computes C = A·B for 2-D tensors A [m,k] and B [k,n], returning a
+// new [m,n] tensor. The inner loops are arranged for sequential access on
+// both operands (ikj order), which is the fastest portable layout for
+// row-major data.
+func MatMul(a, b *Tensor) *Tensor {
+	m, k, n := matmulDims(a, b)
+	c := New(m, n)
+	matmulInto(c.data, a.data, b.data, m, k, n, false)
+	return c
+}
+
+// MatMulInto computes C = A·B, writing into an existing [m,n] tensor,
+// avoiding an allocation. If accumulate is true the product is added to C
+// instead of overwriting it.
+func MatMulInto(c, a, b *Tensor, accumulate bool) {
+	m, k, n := matmulDims(a, b)
+	if len(c.shape) != 2 || c.shape[0] != m || c.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto destination shape %v, need [%d %d]", c.shape, m, n))
+	}
+	matmulInto(c.data, a.data, b.data, m, k, n, accumulate)
+}
+
+func matmulDims(a, b *Tensor) (m, k, n int) {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic("tensor: MatMul requires 2-D tensors")
+	}
+	if a.shape[1] != b.shape[0] {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v · %v", a.shape, b.shape))
+	}
+	return a.shape[0], a.shape[1], b.shape[1]
+}
+
+func matmulInto(c, a, b []float32, m, k, n int, accumulate bool) {
+	if !accumulate {
+		clear(c[:m*n])
+	}
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		crow := c[i*n : (i+1)*n]
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b[p*n : (p+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransB computes C = A·Bᵀ for A [m,k] and B [n,k], returning [m,n].
+// This layout (dot products of rows) is used for the backward pass of
+// linear layers.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic("tensor: MatMulTransB requires 2-D tensors")
+	}
+	if a.shape[1] != b.shape[1] {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dimension mismatch %v · %vᵀ", a.shape, b.shape))
+	}
+	m, k, n := a.shape[0], a.shape[1], b.shape[0]
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		crow := c.data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.data[j*k : (j+1)*k]
+			var s float32
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			crow[j] = s
+		}
+	}
+	return c
+}
+
+// MatMulTransA computes C = Aᵀ·B for A [k,m] and B [k,n], returning [m,n].
+// Used to accumulate weight gradients (xᵀ·dy).
+func MatMulTransA(a, b *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic("tensor: MatMulTransA requires 2-D tensors")
+	}
+	if a.shape[0] != b.shape[0] {
+		panic(fmt.Sprintf("tensor: MatMulTransA inner dimension mismatch %vᵀ · %v", a.shape, b.shape))
+	}
+	k, m, n := a.shape[0], a.shape[1], b.shape[1]
+	c := New(m, n)
+	for p := 0; p < k; p++ {
+		arow := a.data[p*m : (p+1)*m]
+		brow := b.data[p*n : (p+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			crow := c.data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	return c
+}

@@ -1,0 +1,116 @@
+package transport
+
+import (
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// LinkProfile describes a simulated network link.
+type LinkProfile struct {
+	// Latency is the one-way propagation delay added to every write.
+	Latency time.Duration
+	// BandwidthBps is the serialization rate in bytes per second; zero
+	// means unlimited.
+	BandwidthBps int64
+}
+
+// Common profiles for the hierarchy tiers. The numbers follow the typical
+// edge-computing setting the paper motivates: devices reach the local
+// gateway over a constrained wireless link, while the cloud sits behind a
+// wide-area path with higher latency.
+var (
+	// DeviceToGateway models a low-power local wireless link.
+	DeviceToGateway = LinkProfile{Latency: 2 * time.Millisecond, BandwidthBps: 250 << 10}
+	// GatewayToCloud models a WAN path to a datacenter.
+	GatewayToCloud = LinkProfile{Latency: 30 * time.Millisecond, BandwidthBps: 2 << 20}
+	// GatewayToEdge models a nearby edge (fog) node.
+	GatewayToEdge = LinkProfile{Latency: 5 * time.Millisecond, BandwidthBps: 1 << 20}
+)
+
+// TransferTime returns the simulated time to move n bytes across the link:
+// latency plus serialization at the configured bandwidth.
+func (p LinkProfile) TransferTime(n int) time.Duration {
+	d := p.Latency
+	if p.BandwidthBps > 0 {
+		d += time.Duration(int64(n) * int64(time.Second) / p.BandwidthBps)
+	}
+	return d
+}
+
+// simConn delays writes according to a link profile.
+type simConn struct {
+	net.Conn
+	profile LinkProfile
+}
+
+// Simulate wraps a connection so every write experiences the link's
+// latency and serialization delay (applied on the sender side, which is
+// where a constrained uplink throttles a real device).
+func Simulate(c net.Conn, p LinkProfile) net.Conn {
+	return &simConn{Conn: c, profile: p}
+}
+
+func (c *simConn) Write(b []byte) (int, error) {
+	time.Sleep(c.profile.TransferTime(len(b)))
+	return c.Conn.Write(b)
+}
+
+// SimTransport decorates a transport so every dialed connection
+// experiences a link profile. Listeners are passed through unchanged; the
+// delay is applied on the dialer's writes (its uplink).
+type SimTransport struct {
+	Inner   Transport
+	Profile LinkProfile
+}
+
+var _ Transport = SimTransport{}
+
+// Listen delegates to the inner transport.
+func (s SimTransport) Listen(addr string) (net.Listener, error) {
+	return s.Inner.Listen(addr)
+}
+
+// Dial delegates to the inner transport and wraps the connection with the
+// link simulation.
+func (s SimTransport) Dial(addr string) (net.Conn, error) {
+	c, err := s.Inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return Simulate(c, s.Profile), nil
+}
+
+// CountingConn wraps a connection and counts bytes read and written. It is
+// safe for concurrent Read/Write as long as each direction has a single
+// user, which is how the cluster nodes use connections.
+type CountingConn struct {
+	net.Conn
+	read    atomic.Int64
+	written atomic.Int64
+}
+
+// NewCountingConn wraps c with byte counters.
+func NewCountingConn(c net.Conn) *CountingConn {
+	return &CountingConn{Conn: c}
+}
+
+// Read implements net.Conn.
+func (c *CountingConn) Read(b []byte) (int, error) {
+	n, err := c.Conn.Read(b)
+	c.read.Add(int64(n))
+	return n, err
+}
+
+// Write implements net.Conn.
+func (c *CountingConn) Write(b []byte) (int, error) {
+	n, err := c.Conn.Write(b)
+	c.written.Add(int64(n))
+	return n, err
+}
+
+// BytesRead returns the total bytes read so far.
+func (c *CountingConn) BytesRead() int64 { return c.read.Load() }
+
+// BytesWritten returns the total bytes written so far.
+func (c *CountingConn) BytesWritten() int64 { return c.written.Load() }

@@ -1,0 +1,133 @@
+// Package transport abstracts the links between DDNN cluster nodes. It
+// provides a real TCP transport, an in-memory transport for tests and
+// single-process simulation, a link simulator that imposes propagation
+// latency and serialization bandwidth (modelling the bandwidth-constrained
+// wireless uplinks of §IV-B), and byte-counting connection wrappers that
+// feed the communication accounting.
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Transport creates listeners and connections by address.
+type Transport interface {
+	Listen(addr string) (net.Listener, error)
+	Dial(addr string) (net.Conn, error)
+}
+
+// TCP is the production transport over real sockets.
+type TCP struct{}
+
+var _ Transport = TCP{}
+
+// Listen opens a TCP listener.
+func (TCP) Listen(addr string) (net.Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return l, nil
+}
+
+// Dial connects to a TCP listener.
+func (TCP) Dial(addr string) (net.Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return c, nil
+}
+
+// Mem is an in-process transport: listeners register under arbitrary
+// address strings and dials create net.Pipe pairs. It allows the full
+// cluster protocol stack to run in one process with no sockets.
+type Mem struct {
+	mu        sync.Mutex
+	listeners map[string]*memListener
+}
+
+var _ Transport = (*Mem)(nil)
+
+// NewMem builds an empty in-memory transport.
+func NewMem() *Mem {
+	return &Mem{listeners: make(map[string]*memListener)}
+}
+
+// Listen registers a listener under addr.
+func (m *Mem) Listen(addr string) (net.Listener, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, exists := m.listeners[addr]; exists {
+		return nil, fmt.Errorf("transport: address %s already in use", addr)
+	}
+	l := &memListener{
+		addr:   addr,
+		conns:  make(chan net.Conn, 16),
+		closed: make(chan struct{}),
+		parent: m,
+	}
+	m.listeners[addr] = l
+	return l, nil
+}
+
+// Dial connects to a registered listener.
+func (m *Mem) Dial(addr string) (net.Conn, error) {
+	m.mu.Lock()
+	l, ok := m.listeners[addr]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: no listener at %s", addr)
+	}
+	client, server := net.Pipe()
+	select {
+	case l.conns <- server:
+		return client, nil
+	case <-l.closed:
+		client.Close()
+		server.Close()
+		return nil, fmt.Errorf("transport: listener at %s closed", addr)
+	}
+}
+
+func (m *Mem) remove(addr string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.listeners, addr)
+}
+
+type memListener struct {
+	addr      string
+	conns     chan net.Conn
+	closed    chan struct{}
+	closeOnce sync.Once
+	parent    *Mem
+}
+
+var _ net.Listener = (*memListener)(nil)
+
+func (l *memListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.conns:
+		return c, nil
+	case <-l.closed:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *memListener) Close() error {
+	l.closeOnce.Do(func() {
+		close(l.closed)
+		l.parent.remove(l.addr)
+	})
+	return nil
+}
+
+func (l *memListener) Addr() net.Addr { return memAddr(l.addr) }
+
+type memAddr string
+
+func (a memAddr) Network() string { return "mem" }
+func (a memAddr) String() string  { return string(a) }

@@ -1,0 +1,278 @@
+package transport
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMemDialAndListen(t *testing.T) {
+	m := NewMem()
+	l, err := m.Listen("gateway")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := l.Accept()
+		if err != nil {
+			t.Errorf("Accept: %v", err)
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 5)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			t.Errorf("read: %v", err)
+			return
+		}
+		if string(buf) != "hello" {
+			t.Errorf("got %q, want hello", buf)
+		}
+		if _, err := conn.Write([]byte("world")); err != nil {
+			t.Errorf("write: %v", err)
+		}
+	}()
+
+	c, err := m.Dial("gateway")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "world" {
+		t.Errorf("got %q, want world", buf)
+	}
+	wg.Wait()
+}
+
+func TestMemDialUnknownAddress(t *testing.T) {
+	if _, err := NewMem().Dial("nowhere"); err == nil {
+		t.Error("Dial to unregistered address succeeded")
+	}
+}
+
+func TestMemDuplicateListen(t *testing.T) {
+	m := NewMem()
+	l, err := m.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := m.Listen("a"); err == nil {
+		t.Error("duplicate Listen succeeded")
+	}
+}
+
+func TestMemListenerCloseUnblocksAccept(t *testing.T) {
+	m := NewMem()
+	l, err := m.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		done <- err
+	}()
+	l.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Errorf("Accept after Close = %v, want net.ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Accept did not unblock after Close")
+	}
+}
+
+func TestMemAddressReusableAfterClose(t *testing.T) {
+	m := NewMem()
+	l, err := m.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l2, err := m.Listen("a")
+	if err != nil {
+		t.Fatalf("re-Listen after Close: %v", err)
+	}
+	l2.Close()
+}
+
+func TestTCPLoopback(t *testing.T) {
+	tr := TCP{}
+	l, err := tr.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		io.Copy(conn, conn) // echo
+	}()
+
+	c, err := tr.Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	msg := []byte("ping")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "ping" {
+		t.Errorf("echo = %q, want ping", buf)
+	}
+}
+
+func TestLinkProfileTransferTime(t *testing.T) {
+	tests := []struct {
+		name string
+		p    LinkProfile
+		n    int
+		want time.Duration
+	}{
+		{"latency only", LinkProfile{Latency: 10 * time.Millisecond}, 1 << 20, 10 * time.Millisecond},
+		{"bandwidth only", LinkProfile{BandwidthBps: 1000}, 500, 500 * time.Millisecond},
+		{"both", LinkProfile{Latency: time.Millisecond, BandwidthBps: 1 << 20}, 1 << 20, time.Millisecond + time.Second},
+		{"zero bytes", LinkProfile{Latency: time.Millisecond, BandwidthBps: 1000}, 0, time.Millisecond},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p.TransferTime(tt.n); got != tt.want {
+				t.Errorf("TransferTime(%d) = %v, want %v", tt.n, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSimulateDelaysWrites(t *testing.T) {
+	m := NewMem()
+	l, err := m.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		io.Copy(io.Discard, conn)
+	}()
+	raw, err := m.Dial("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	sim := Simulate(raw, LinkProfile{Latency: 30 * time.Millisecond})
+	start := time.Now()
+	if _, err := sim.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Errorf("write completed in %v, want ≥ 30ms", elapsed)
+	}
+}
+
+func TestSimTransportWrapsDials(t *testing.T) {
+	mem := NewMem()
+	l, err := mem.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		io.Copy(io.Discard, conn)
+	}()
+	sim := SimTransport{Inner: mem, Profile: LinkProfile{Latency: 25 * time.Millisecond}}
+	c, err := sim.Dial("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	if _, err := c.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Errorf("dialed conn wrote in %v, want ≥ 25ms", elapsed)
+	}
+	// Listeners pass through unchanged.
+	if _, err := sim.Listen("b"); err != nil {
+		t.Errorf("Listen through SimTransport: %v", err)
+	}
+}
+
+func TestSimTransportDialError(t *testing.T) {
+	sim := SimTransport{Inner: NewMem()}
+	if _, err := sim.Dial("missing"); err == nil {
+		t.Error("Dial to missing address succeeded")
+	}
+}
+
+func TestCountingConn(t *testing.T) {
+	m := NewMem()
+	l, err := m.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 3)
+		io.ReadFull(conn, buf)
+		conn.Write([]byte("abcde"))
+	}()
+	raw, err := m.Dial("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	cc := NewCountingConn(raw)
+	if _, err := cc.Write([]byte("xyz")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(cc, buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := cc.BytesWritten(); got != 3 {
+		t.Errorf("BytesWritten = %d, want 3", got)
+	}
+	if got := cc.BytesRead(); got != 5 {
+		t.Errorf("BytesRead = %d, want 5", got)
+	}
+}

@@ -1,0 +1,375 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Role identifies a node's position in the distributed computing
+// hierarchy.
+type Role uint8
+
+// Node roles.
+const (
+	RoleDevice Role = iota + 1
+	RoleEdge
+	RoleCloud
+	RoleGateway
+)
+
+// String names the role.
+func (r Role) String() string {
+	switch r {
+	case RoleDevice:
+		return "device"
+	case RoleEdge:
+		return "edge"
+	case RoleCloud:
+		return "cloud"
+	case RoleGateway:
+		return "gateway"
+	default:
+		return fmt.Sprintf("Role(%d)", uint8(r))
+	}
+}
+
+// Hello announces a node after connecting.
+type Hello struct {
+	NodeID string
+	Role   Role
+	// Device is the device index for RoleDevice nodes.
+	Device uint16
+}
+
+// MsgType implements Message.
+func (*Hello) MsgType() MsgType { return TypeHello }
+
+func (m *Hello) appendPayload(dst []byte) []byte {
+	dst = appendString(dst, m.NodeID)
+	dst = append(dst, byte(m.Role))
+	return binary.LittleEndian.AppendUint16(dst, m.Device)
+}
+
+func (m *Hello) decodePayload(src []byte) error {
+	s, rest, err := readString(src)
+	if err != nil {
+		return err
+	}
+	if len(rest) < 3 {
+		return ErrShortPayload
+	}
+	m.NodeID = s
+	m.Role = Role(rest[0])
+	m.Device = binary.LittleEndian.Uint16(rest[1:3])
+	return nil
+}
+
+// LocalSummary is the per-sample class-probability vector a device sends to
+// the local aggregator. Its payload charges exactly 4 bytes per class, the
+// first term of Eq. (1).
+type LocalSummary struct {
+	SampleID uint64
+	Device   uint16
+	Probs    []float32
+}
+
+// MsgType implements Message.
+func (*LocalSummary) MsgType() MsgType { return TypeLocalSummary }
+
+func (m *LocalSummary) appendPayload(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, m.SampleID)
+	dst = binary.LittleEndian.AppendUint16(dst, m.Device)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(m.Probs)))
+	for _, p := range m.Probs {
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(p))
+	}
+	return dst
+}
+
+func (m *LocalSummary) decodePayload(src []byte) error {
+	if len(src) < 12 {
+		return ErrShortPayload
+	}
+	m.SampleID = binary.LittleEndian.Uint64(src[0:8])
+	m.Device = binary.LittleEndian.Uint16(src[8:10])
+	n := int(binary.LittleEndian.Uint16(src[10:12]))
+	src = src[12:]
+	if len(src) != 4*n {
+		return ErrShortPayload
+	}
+	m.Probs = make([]float32, n)
+	for i := range m.Probs {
+		m.Probs[i] = math.Float32frombits(binary.LittleEndian.Uint32(src[4*i:]))
+	}
+	return nil
+}
+
+// SummaryPayloadBytes returns the Eq. (1) accounting charge of a summary:
+// 4·|C| bytes, excluding framing overhead.
+func SummaryPayloadBytes(classes int) int { return 4 * classes }
+
+// FeatureRequest asks a device to upload its binarized feature map for a
+// sample that missed the local exit.
+type FeatureRequest struct {
+	SampleID uint64
+}
+
+// MsgType implements Message.
+func (*FeatureRequest) MsgType() MsgType { return TypeFeatureRequest }
+
+func (m *FeatureRequest) appendPayload(dst []byte) []byte {
+	return binary.LittleEndian.AppendUint64(dst, m.SampleID)
+}
+
+func (m *FeatureRequest) decodePayload(src []byte) error {
+	if len(src) != 8 {
+		return ErrShortPayload
+	}
+	m.SampleID = binary.LittleEndian.Uint64(src)
+	return nil
+}
+
+// FeatureUpload carries a device's bit-packed binarized feature map: f
+// filters of h×w bits each, f·h·w/8 bytes — the second term of Eq. (1).
+type FeatureUpload struct {
+	SampleID uint64
+	Device   uint16
+	F, H, W  uint16
+	Bits     []byte
+}
+
+// MsgType implements Message.
+func (*FeatureUpload) MsgType() MsgType { return TypeFeatureUpload }
+
+func (m *FeatureUpload) appendPayload(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, m.SampleID)
+	dst = binary.LittleEndian.AppendUint16(dst, m.Device)
+	dst = binary.LittleEndian.AppendUint16(dst, m.F)
+	dst = binary.LittleEndian.AppendUint16(dst, m.H)
+	dst = binary.LittleEndian.AppendUint16(dst, m.W)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(m.Bits)))
+	return append(dst, m.Bits...)
+}
+
+func (m *FeatureUpload) decodePayload(src []byte) error {
+	if len(src) < 20 {
+		return ErrShortPayload
+	}
+	m.SampleID = binary.LittleEndian.Uint64(src[0:8])
+	m.Device = binary.LittleEndian.Uint16(src[8:10])
+	m.F = binary.LittleEndian.Uint16(src[10:12])
+	m.H = binary.LittleEndian.Uint16(src[12:14])
+	m.W = binary.LittleEndian.Uint16(src[14:16])
+	n := int(binary.LittleEndian.Uint32(src[16:20]))
+	src = src[20:]
+	if len(src) != n {
+		return ErrShortPayload
+	}
+	want := (int(m.F)*int(m.H)*int(m.W) + 7) / 8
+	if n != want {
+		return fmt.Errorf("wire: feature upload has %d bytes for %d×%d×%d bits (want %d)", n, m.F, m.H, m.W, want)
+	}
+	m.Bits = append([]byte(nil), src...)
+	return nil
+}
+
+// ExitPoint identifies where a sample was classified.
+type ExitPoint uint8
+
+// Exit points in hierarchy order.
+const (
+	ExitLocal ExitPoint = iota + 1
+	ExitEdge
+	ExitCloud
+)
+
+// String names the exit point.
+func (e ExitPoint) String() string {
+	switch e {
+	case ExitLocal:
+		return "local"
+	case ExitEdge:
+		return "edge"
+	case ExitCloud:
+		return "cloud"
+	default:
+		return fmt.Sprintf("ExitPoint(%d)", uint8(e))
+	}
+}
+
+// ClassifyResult reports the classification of a sample.
+type ClassifyResult struct {
+	SampleID uint64
+	Exit     ExitPoint
+	Class    uint16
+	Probs    []float32
+}
+
+// MsgType implements Message.
+func (*ClassifyResult) MsgType() MsgType { return TypeClassifyResult }
+
+func (m *ClassifyResult) appendPayload(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, m.SampleID)
+	dst = append(dst, byte(m.Exit))
+	dst = binary.LittleEndian.AppendUint16(dst, m.Class)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(m.Probs)))
+	for _, p := range m.Probs {
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(p))
+	}
+	return dst
+}
+
+func (m *ClassifyResult) decodePayload(src []byte) error {
+	if len(src) < 13 {
+		return ErrShortPayload
+	}
+	m.SampleID = binary.LittleEndian.Uint64(src[0:8])
+	m.Exit = ExitPoint(src[8])
+	m.Class = binary.LittleEndian.Uint16(src[9:11])
+	n := int(binary.LittleEndian.Uint16(src[11:13]))
+	src = src[13:]
+	if len(src) != 4*n {
+		return ErrShortPayload
+	}
+	m.Probs = make([]float32, n)
+	for i := range m.Probs {
+		m.Probs[i] = math.Float32frombits(binary.LittleEndian.Uint32(src[4*i:]))
+	}
+	return nil
+}
+
+// Heartbeat is the liveness signal for failure detection.
+type Heartbeat struct {
+	NodeID string
+	Seq    uint64
+}
+
+// MsgType implements Message.
+func (*Heartbeat) MsgType() MsgType { return TypeHeartbeat }
+
+func (m *Heartbeat) appendPayload(dst []byte) []byte {
+	dst = appendString(dst, m.NodeID)
+	return binary.LittleEndian.AppendUint64(dst, m.Seq)
+}
+
+func (m *Heartbeat) decodePayload(src []byte) error {
+	s, rest, err := readString(src)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 8 {
+		return ErrShortPayload
+	}
+	m.NodeID = s
+	m.Seq = binary.LittleEndian.Uint64(rest)
+	return nil
+}
+
+// Error reports a protocol or processing failure.
+type Error struct {
+	Code uint16
+	Msg  string
+}
+
+// MsgType implements Message.
+func (*Error) MsgType() MsgType { return TypeError }
+
+func (m *Error) appendPayload(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, m.Code)
+	return appendString(dst, m.Msg)
+}
+
+func (m *Error) decodePayload(src []byte) error {
+	if len(src) < 2 {
+		return ErrShortPayload
+	}
+	m.Code = binary.LittleEndian.Uint16(src[0:2])
+	s, rest, err := readString(src[2:])
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return ErrShortPayload
+	}
+	m.Msg = s
+	return nil
+}
+
+// CaptureRequest asks a device to process its sensor frame for a sample
+// and reply with a LocalSummary.
+type CaptureRequest struct {
+	SampleID uint64
+}
+
+// MsgType implements Message.
+func (*CaptureRequest) MsgType() MsgType { return TypeCaptureRequest }
+
+func (m *CaptureRequest) appendPayload(dst []byte) []byte {
+	return binary.LittleEndian.AppendUint64(dst, m.SampleID)
+}
+
+func (m *CaptureRequest) decodePayload(src []byte) error {
+	if len(src) != 8 {
+		return ErrShortPayload
+	}
+	m.SampleID = binary.LittleEndian.Uint64(src)
+	return nil
+}
+
+// CloudClassify opens a cloud classification session for a sample: it
+// announces which devices are present (bitmask), after which the gateway
+// relays exactly popcount(Mask) FeatureUploads and the cloud replies with a
+// ClassifyResult.
+type CloudClassify struct {
+	SampleID uint64
+	// Devices is the total device count in the hierarchy.
+	Devices uint16
+	// Mask has bit d set when device d's features follow.
+	Mask uint16
+}
+
+// MsgType implements Message.
+func (*CloudClassify) MsgType() MsgType { return TypeCloudClassify }
+
+func (m *CloudClassify) appendPayload(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, m.SampleID)
+	dst = binary.LittleEndian.AppendUint16(dst, m.Devices)
+	return binary.LittleEndian.AppendUint16(dst, m.Mask)
+}
+
+func (m *CloudClassify) decodePayload(src []byte) error {
+	if len(src) != 12 {
+		return ErrShortPayload
+	}
+	m.SampleID = binary.LittleEndian.Uint64(src[0:8])
+	m.Devices = binary.LittleEndian.Uint16(src[8:10])
+	m.Mask = binary.LittleEndian.Uint16(src[10:12])
+	return nil
+}
+
+// PresentCount returns the number of devices whose features follow.
+func (m *CloudClassify) PresentCount() int {
+	n := 0
+	for b := m.Mask; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...)
+}
+
+func readString(src []byte) (string, []byte, error) {
+	if len(src) < 2 {
+		return "", nil, ErrShortPayload
+	}
+	n := int(binary.LittleEndian.Uint16(src[0:2]))
+	src = src[2:]
+	if len(src) < n {
+		return "", nil, ErrShortPayload
+	}
+	return string(src[:n]), src[n:], nil
+}

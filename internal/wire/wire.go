@@ -1,0 +1,194 @@
+// Package wire defines the binary message protocol spoken between DDNN
+// cluster nodes (end devices, the local aggregator/gateway, the edge and
+// the cloud). Frames are length-prefixed with a fixed header:
+//
+//	magic   uint16  0xDD17 ("DDNN ICDCS'17")
+//	version uint8   1
+//	type    uint8   message type
+//	length  uint32  payload length in bytes
+//
+// followed by a type-specific little-endian payload. The protocol carries
+// exactly the two payloads of the paper's communication model (Eq. 1): the
+// float32 class-summary vector each device sends to its local aggregator
+// (4·|C| bytes), and the bit-packed binarized feature map uploaded to the
+// cloud on a local-exit miss (f·o/8 bytes).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Magic identifies DDNN protocol frames.
+const Magic uint16 = 0xDD17
+
+// Version is the protocol version this package speaks.
+const Version uint8 = 1
+
+// MaxPayload bounds frame payloads to guard against corrupt or hostile
+// length fields. Feature maps in this system are tiny; 16 MiB is generous.
+const MaxPayload = 16 << 20
+
+// headerSize is the encoded frame-header length in bytes.
+const headerSize = 8
+
+// MsgType identifies a message's payload schema.
+type MsgType uint8
+
+// Message types.
+const (
+	// TypeHello announces a node and its role after connecting.
+	TypeHello MsgType = iota + 1
+	// TypeLocalSummary carries a device's per-class probability summary to
+	// the local aggregator (the first term of Eq. 1).
+	TypeLocalSummary
+	// TypeFeatureRequest asks a device to upload its feature map for a
+	// sample that missed the local exit.
+	TypeFeatureRequest
+	// TypeFeatureUpload carries a bit-packed binarized feature map (the
+	// second term of Eq. 1).
+	TypeFeatureUpload
+	// TypeClassifyResult reports the final classification of a sample and
+	// the exit that produced it.
+	TypeClassifyResult
+	// TypeHeartbeat is the liveness signal used for failure detection.
+	TypeHeartbeat
+	// TypeError reports a protocol or processing error.
+	TypeError
+	// TypeCaptureRequest asks a device to capture/process its current
+	// sensor frame for a sample and reply with a LocalSummary.
+	TypeCaptureRequest
+	// TypeCloudClassify announces a cloud classification session: the
+	// header that precedes the present devices' FeatureUploads.
+	TypeCloudClassify
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	switch t {
+	case TypeHello:
+		return "Hello"
+	case TypeLocalSummary:
+		return "LocalSummary"
+	case TypeFeatureRequest:
+		return "FeatureRequest"
+	case TypeFeatureUpload:
+		return "FeatureUpload"
+	case TypeClassifyResult:
+		return "ClassifyResult"
+	case TypeHeartbeat:
+		return "Heartbeat"
+	case TypeError:
+		return "Error"
+	case TypeCaptureRequest:
+		return "CaptureRequest"
+	case TypeCloudClassify:
+		return "CloudClassify"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(t))
+	}
+}
+
+// Message is any DDNN protocol message.
+type Message interface {
+	// MsgType returns the frame type tag.
+	MsgType() MsgType
+	// appendPayload appends the encoded payload.
+	appendPayload(dst []byte) []byte
+	// decodePayload parses the payload.
+	decodePayload(src []byte) error
+}
+
+// Protocol errors.
+var (
+	ErrBadMagic      = errors.New("wire: bad frame magic")
+	ErrBadVersion    = errors.New("wire: unsupported protocol version")
+	ErrUnknownType   = errors.New("wire: unknown message type")
+	ErrFrameTooLarge = errors.New("wire: frame exceeds MaxPayload")
+	ErrShortPayload  = errors.New("wire: payload truncated")
+)
+
+// Encode writes one framed message and returns the number of bytes
+// written.
+func Encode(w io.Writer, m Message) (int, error) {
+	payload := m.appendPayload(nil)
+	if len(payload) > MaxPayload {
+		return 0, ErrFrameTooLarge
+	}
+	frame := make([]byte, headerSize+len(payload))
+	binary.LittleEndian.PutUint16(frame[0:2], Magic)
+	frame[2] = Version
+	frame[3] = byte(m.MsgType())
+	binary.LittleEndian.PutUint32(frame[4:8], uint32(len(payload)))
+	copy(frame[headerSize:], payload)
+	n, err := w.Write(frame)
+	if err != nil {
+		return n, fmt.Errorf("wire: write frame: %w", err)
+	}
+	return n, nil
+}
+
+// Decode reads one framed message.
+func Decode(r io.Reader) (Message, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("wire: read header: %w", err)
+	}
+	if binary.LittleEndian.Uint16(hdr[0:2]) != Magic {
+		return nil, ErrBadMagic
+	}
+	if hdr[2] != Version {
+		return nil, ErrBadVersion
+	}
+	length := binary.LittleEndian.Uint32(hdr[4:8])
+	if length > MaxPayload {
+		return nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("wire: read payload: %w", err)
+	}
+	m, err := newMessage(MsgType(hdr[3]))
+	if err != nil {
+		return nil, err
+	}
+	if err := m.decodePayload(payload); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func newMessage(t MsgType) (Message, error) {
+	switch t {
+	case TypeHello:
+		return &Hello{}, nil
+	case TypeLocalSummary:
+		return &LocalSummary{}, nil
+	case TypeFeatureRequest:
+		return &FeatureRequest{}, nil
+	case TypeFeatureUpload:
+		return &FeatureUpload{}, nil
+	case TypeClassifyResult:
+		return &ClassifyResult{}, nil
+	case TypeHeartbeat:
+		return &Heartbeat{}, nil
+	case TypeError:
+		return &Error{}, nil
+	case TypeCaptureRequest:
+		return &CaptureRequest{}, nil
+	case TypeCloudClassify:
+		return &CloudClassify{}, nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, t)
+	}
+}
+
+// EncodedSize returns the full frame size Encode would produce for m.
+func EncodedSize(m Message) int {
+	return headerSize + len(m.appendPayload(nil))
+}

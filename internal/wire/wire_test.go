@@ -1,0 +1,273 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := Encode(&buf, m)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if n != buf.Len() {
+		t.Errorf("Encode reported %d bytes, wrote %d", n, buf.Len())
+	}
+	if n != EncodedSize(m) {
+		t.Errorf("EncodedSize = %d, Encode wrote %d", EncodedSize(m), n)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	return got
+}
+
+func TestRoundTripAllMessageTypes(t *testing.T) {
+	tests := []struct {
+		name string
+		msg  Message
+	}{
+		{"Hello", &Hello{NodeID: "device-3", Role: RoleDevice, Device: 3}},
+		{"Hello empty id", &Hello{NodeID: "", Role: RoleCloud}},
+		{"LocalSummary", &LocalSummary{SampleID: 42, Device: 1, Probs: []float32{0.1, 0.7, 0.2}}},
+		{"LocalSummary empty", &LocalSummary{SampleID: 1, Device: 0, Probs: []float32{}}},
+		{"FeatureRequest", &FeatureRequest{SampleID: 99}},
+		{"FeatureUpload", &FeatureUpload{SampleID: 7, Device: 2, F: 4, H: 16, W: 16, Bits: make([]byte, 4*16*16/8)}},
+		{"ClassifyResult", &ClassifyResult{SampleID: 5, Exit: ExitCloud, Class: 2, Probs: []float32{0.05, 0.05, 0.9}}},
+		{"Heartbeat", &Heartbeat{NodeID: "edge-0", Seq: 12345}},
+		{"Error", &Error{Code: 404, Msg: "no such sample"}},
+		{"CaptureRequest", &CaptureRequest{SampleID: 31337}},
+		{"CloudClassify", &CloudClassify{SampleID: 8, Devices: 6, Mask: 0b101101}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := roundTrip(t, tt.msg)
+			// Normalize nil-vs-empty slices before comparing.
+			if ls, ok := got.(*LocalSummary); ok && len(ls.Probs) == 0 {
+				ls.Probs = []float32{}
+			}
+			if !reflect.DeepEqual(got, tt.msg) {
+				t.Errorf("round trip = %+v, want %+v", got, tt.msg)
+			}
+		})
+	}
+}
+
+func TestLocalSummaryPayloadChargesEq1(t *testing.T) {
+	// Eq. (1) first term: 4 bytes per class.
+	if got := SummaryPayloadBytes(3); got != 12 {
+		t.Errorf("SummaryPayloadBytes(3) = %d, want 12", got)
+	}
+}
+
+func TestFeatureUploadBitsMatchEq1(t *testing.T) {
+	// Eq. (1) second term: f·o/8 bytes for f=4 filters of 16×16 bits.
+	m := &FeatureUpload{F: 4, H: 16, W: 16, Bits: make([]byte, 128)}
+	var buf bytes.Buffer
+	if _, err := Encode(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.(*FeatureUpload).Bits) != 128 {
+		t.Errorf("decoded %d feature bytes, want 128 = 4·256/8", len(got.(*FeatureUpload).Bits))
+	}
+}
+
+func TestFeatureUploadRejectsInconsistentBits(t *testing.T) {
+	m := &FeatureUpload{F: 4, H: 16, W: 16, Bits: make([]byte, 100)} // wrong size
+	var buf bytes.Buffer
+	if _, err := Encode(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(&buf); err == nil {
+		t.Error("Decode accepted feature upload with inconsistent bit count")
+	}
+}
+
+func TestDecodeRejectsBadMagic(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Encode(&buf, &Heartbeat{NodeID: "x", Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[0] = 0x00
+	if _, err := Decode(bytes.NewReader(raw)); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestDecodeRejectsBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Encode(&buf, &Heartbeat{NodeID: "x", Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[2] = 99
+	if _, err := Decode(bytes.NewReader(raw)); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestDecodeRejectsUnknownType(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Encode(&buf, &Heartbeat{NodeID: "x", Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[3] = 200
+	if _, err := Decode(bytes.NewReader(raw)); !errors.Is(err, ErrUnknownType) {
+		t.Errorf("err = %v, want ErrUnknownType", err)
+	}
+}
+
+func TestDecodeRejectsOversizeFrame(t *testing.T) {
+	raw := make([]byte, 8)
+	raw[0], raw[1] = byte(Magic&0xFF), byte(Magic>>8)
+	raw[2] = Version
+	raw[3] = byte(TypeHeartbeat)
+	raw[4], raw[5], raw[6], raw[7] = 0xFF, 0xFF, 0xFF, 0x7F
+	if _, err := Decode(bytes.NewReader(raw)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestDecodeEOFOnEmptyStream(t *testing.T) {
+	if _, err := Decode(bytes.NewReader(nil)); !errors.Is(err, io.EOF) {
+		t.Errorf("err = %v, want io.EOF", err)
+	}
+}
+
+func TestDecodeTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Encode(&buf, &LocalSummary{SampleID: 1, Probs: []float32{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := Decode(bytes.NewReader(raw[:len(raw)-4])); err == nil {
+		t.Error("Decode accepted truncated stream")
+	}
+}
+
+func TestStreamOfMessages(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []Message{
+		&Hello{NodeID: "d0", Role: RoleDevice},
+		&LocalSummary{SampleID: 1, Probs: []float32{0.9, 0.05, 0.05}},
+		&FeatureRequest{SampleID: 1},
+		&FeatureUpload{SampleID: 1, F: 1, H: 4, W: 4, Bits: []byte{0xAB, 0xCD}},
+		&ClassifyResult{SampleID: 1, Exit: ExitLocal, Class: 0, Probs: []float32{0.9, 0.05, 0.05}},
+	}
+	for _, m := range msgs {
+		if _, err := Encode(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range msgs {
+		got, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if got.MsgType() != want.MsgType() {
+			t.Errorf("message %d type = %v, want %v", i, got.MsgType(), want.MsgType())
+		}
+	}
+	if _, err := Decode(&buf); !errors.Is(err, io.EOF) {
+		t.Errorf("after stream end err = %v, want io.EOF", err)
+	}
+}
+
+func TestLocalSummaryRoundTripProperty(t *testing.T) {
+	f := func(id uint64, dev uint16, p0, p1, p2 float32) bool {
+		in := &LocalSummary{SampleID: id, Device: dev, Probs: []float32{p0, p1, p2}}
+		var buf bytes.Buffer
+		if _, err := Encode(&buf, in); err != nil {
+			return false
+		}
+		out, err := Decode(&buf)
+		if err != nil {
+			return false
+		}
+		got, ok := out.(*LocalSummary)
+		if !ok {
+			return false
+		}
+		if got.SampleID != id || got.Device != dev || len(got.Probs) != 3 {
+			return false
+		}
+		for i, p := range []float32{p0, p1, p2} {
+			// NaN round-trips bit-exactly but compares unequal; compare bits.
+			if got.Probs[i] != p && !(p != p && got.Probs[i] != got.Probs[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeartbeatRoundTripProperty(t *testing.T) {
+	f := func(id string, seq uint64) bool {
+		if len(id) > 60000 {
+			id = id[:60000]
+		}
+		in := &Heartbeat{NodeID: id, Seq: seq}
+		var buf bytes.Buffer
+		if _, err := Encode(&buf, in); err != nil {
+			return false
+		}
+		out, err := Decode(&buf)
+		if err != nil {
+			return false
+		}
+		got, ok := out.(*Heartbeat)
+		return ok && got.NodeID == id && got.Seq == seq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloudClassifyPresentCount(t *testing.T) {
+	tests := []struct {
+		mask uint16
+		want int
+	}{
+		{0, 0}, {1, 1}, {0b111111, 6}, {0b101010, 3}, {1 << 15, 1},
+	}
+	for _, tt := range tests {
+		m := &CloudClassify{Mask: tt.mask}
+		if got := m.PresentCount(); got != tt.want {
+			t.Errorf("PresentCount(%b) = %d, want %d", tt.mask, got, tt.want)
+		}
+	}
+}
+
+func TestMsgTypeAndRoleStrings(t *testing.T) {
+	for _, mt := range []MsgType{TypeHello, TypeLocalSummary, TypeFeatureRequest, TypeFeatureUpload, TypeClassifyResult, TypeHeartbeat, TypeError, TypeCaptureRequest, TypeCloudClassify} {
+		if mt.String() == "" || mt.String()[0] == 'M' {
+			t.Errorf("MsgType(%d) has no name", mt)
+		}
+	}
+	for _, r := range []Role{RoleDevice, RoleEdge, RoleCloud, RoleGateway} {
+		if r.String() == "" || r.String()[0] == 'R' {
+			t.Errorf("Role(%d) has no name", r)
+		}
+	}
+	for _, e := range []ExitPoint{ExitLocal, ExitEdge, ExitCloud} {
+		if e.String() == "" || e.String()[0] == 'E' {
+			t.Errorf("ExitPoint(%d) has no name", e)
+		}
+	}
+}
