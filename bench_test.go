@@ -7,10 +7,12 @@
 package ddnn_test
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
 
+	ddnn "github.com/ddnn/ddnn-go"
 	"github.com/ddnn/ddnn-go/internal/agg"
 	"github.com/ddnn/ddnn-go/internal/bnn"
 	"github.com/ddnn/ddnn-go/internal/branchy"
@@ -147,6 +149,76 @@ func BenchmarkCommunicationReduction(b *testing.B) {
 			b.Fatalf("reduction %.1fx, want > 1x", rep.Reduction)
 		}
 	}
+}
+
+// --- Engine serving benchmarks ---
+
+// serveBenchEngine builds one Engine over a quick-trained model, shared
+// across the serving benchmarks.
+var (
+	serveBenchOnce sync.Once
+	serveBenchEng  *ddnn.Engine
+	serveBenchN    int
+)
+
+func serveEngine(b *testing.B) (*ddnn.Engine, int) {
+	b.Helper()
+	serveBenchOnce.Do(func() {
+		dcfg := ddnn.DefaultDatasetConfig()
+		dcfg.Train, dcfg.Test = 200, 60
+		train, test := ddnn.GenerateDataset(dcfg)
+		cfg := ddnn.DefaultConfig()
+		cfg.CloudFilters = 8
+		m := ddnn.MustNewModel(cfg)
+		tc := ddnn.DefaultTrainConfig()
+		tc.Epochs = 3
+		if _, err := m.Train(train, tc); err != nil {
+			panic(err)
+		}
+		// Simulated §IV-B link profiles make the benchmark mirror a real
+		// deployment: concurrent sessions overlap link latency.
+		eng, err := ddnn.NewEngine(m, test,
+			ddnn.WithMaxConcurrency(16),
+			ddnn.WithSimulatedLinks(ddnn.DeviceToGatewayLink, ddnn.GatewayToCloudLink))
+		if err != nil {
+			panic(err)
+		}
+		serveBenchEng, serveBenchN = eng, test.Len()
+	})
+	return serveBenchEng, serveBenchN
+}
+
+// BenchmarkEngineClassifySerial measures single-flight serving: one
+// session at a time, the old facade's only mode.
+func BenchmarkEngineClassifySerial(b *testing.B) {
+	eng, n := serveEngine(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Classify(ctx, uint64(i%n)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineClassifyConcurrent measures multi-session serving
+// throughput: RunParallel keeps many sessions in flight, which the Engine
+// multiplexes over the same cluster links. Compare ns/op against
+// BenchmarkEngineClassifySerial for the concurrency speedup.
+func BenchmarkEngineClassifyConcurrent(b *testing.B) {
+	eng, n := serveEngine(b)
+	ctx := context.Background()
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := uint64(rand.Int63())
+		for pb.Next() {
+			id++
+			if _, err := eng.Classify(ctx, id%uint64(n)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // --- substrate micro-benchmarks ---

@@ -30,7 +30,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ddnn-bench", flag.ContinueOnError)
 	var (
-		exp       = fs.String("exp", "all", "experiment: all, table1, table2, fig6, fig7, fig8, fig9, fig10, comm, multifail, mixed, edge, latency")
+		exp       = fs.String("exp", "all", "experiment: all, table1, table2, fig6, fig7, fig8, fig9, fig10, comm, multifail, mixed, edge, latency, serve")
 		epochs    = fs.Int("epochs", 0, "override DDNN training epochs (default 50, paper uses 100)")
 		indEpochs = fs.Int("individual-epochs", 0, "override individual-model training epochs")
 		quick     = fs.Bool("quick", false, "reduced dataset and epochs for a fast smoke run")
@@ -163,6 +163,14 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintln(out, experiments.FormatLatencyReport(rep))
+	}
+	if want("serve") {
+		fmt.Fprintln(out, "== Engine: multi-session serving throughput vs single-flight ==")
+		points, err := runner.ServingThroughput(0.8, 0, []int{1, 2, 4, 8, 16})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, experiments.FormatServingThroughput(points))
 	}
 	if want("comm") {
 		fmt.Fprintln(out, "== §IV-H: communication cost vs raw offloading (measured on cluster) ==")

@@ -1,15 +1,17 @@
-// Command ddnn-gateway runs the local aggregator: it connects to the
-// device and cloud nodes, drives classification sessions over the test
-// set, and reports accuracy, exit distribution, latency and measured
-// communication.
+// Command ddnn-gateway runs the local aggregator: it connects an Engine to
+// the device and cloud nodes over TCP, drives concurrent classification
+// sessions over the test set, and reports accuracy, exit distribution,
+// latency, throughput and measured communication.
 //
 // Usage:
 //
 //	ddnn-gateway -model model.ddnn -devices 127.0.0.1:7001,...,127.0.0.1:7006 \
-//	             -cloud 127.0.0.1:7100 [-threshold 0.8] [-samples 0] [-data-seed 1]
+//	             -cloud 127.0.0.1:7100 [-threshold 0.8] [-concurrency 8]
+//	             [-samples 0] [-data-seed 1]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -17,9 +19,7 @@ import (
 	"time"
 
 	ddnn "github.com/ddnn/ddnn-go"
-	"github.com/ddnn/ddnn-go/internal/cluster"
 	"github.com/ddnn/ddnn-go/internal/metrics"
-	"github.com/ddnn/ddnn-go/internal/transport"
 	"github.com/ddnn/ddnn-go/internal/wire"
 )
 
@@ -33,15 +33,19 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("ddnn-gateway", flag.ContinueOnError)
 	var (
-		modelPath = fs.String("model", "model.ddnn", "trained model file")
-		devices   = fs.String("devices", "", "comma-separated device addresses, in device order")
-		cloudAddr = fs.String("cloud", "127.0.0.1:7100", "cloud node address")
-		threshold = fs.Float64("threshold", 0.8, "local exit entropy threshold T")
-		samples   = fs.Int("samples", 0, "number of test samples to classify (0 = all)")
-		dataSeed  = fs.Int64("data-seed", 1, "dataset seed (must match the devices)")
+		modelPath   = fs.String("model", "model.ddnn", "trained model file")
+		devices     = fs.String("devices", "", "comma-separated device addresses, in device order")
+		cloudAddr   = fs.String("cloud", "127.0.0.1:7100", "cloud node address")
+		threshold   = fs.Float64("threshold", 0.8, "local exit entropy threshold T")
+		concurrency = fs.Int("concurrency", 8, "concurrent classification sessions")
+		samples     = fs.Int("samples", 0, "number of test samples to classify (0 = all)")
+		dataSeed    = fs.Int64("data-seed", 1, "dataset seed (must match the devices)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *concurrency < 1 {
+		return fmt.Errorf("-concurrency must be at least 1, got %d", *concurrency)
 	}
 
 	model, err := ddnn.LoadModel(*modelPath)
@@ -56,28 +60,37 @@ func run(args []string) error {
 	dcfg.Seed = *dataSeed
 	_, test := ddnn.GenerateDataset(dcfg)
 
-	gcfg := ddnn.DefaultGatewayConfig()
-	gcfg.Threshold = *threshold
-	gw, err := cluster.NewGateway(model, gcfg, transport.TCP{}, addrs, *cloudAddr, nil)
+	ctx := context.Background()
+	dialCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	eng, err := ddnn.Connect(dialCtx, model, addrs, *cloudAddr,
+		ddnn.WithThreshold(*threshold),
+		ddnn.WithMaxConcurrency(*concurrency))
+	cancel()
 	if err != nil {
 		return err
 	}
-	defer gw.Close()
+	defer eng.Close()
 
 	n := test.Len()
 	if *samples > 0 && *samples < n {
 		n = *samples
 	}
+	ids := make([]uint64, n)
+	for i := range ids {
+		ids[i] = uint64(i)
+	}
 	labels := test.Labels(nil)
+	start := time.Now()
+	results, err := eng.ClassifyBatch(ctx, ids)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
 	correct, localExits := 0, 0
 	lat := metrics.NewLatencyRecorder()
-	start := time.Now()
-	for id := 0; id < n; id++ {
-		res, err := gw.Classify(uint64(id))
-		if err != nil {
-			return fmt.Errorf("sample %d: %w", id, err)
-		}
-		if res.Class == labels[id] {
+	for i, res := range results {
+		if res.Class == labels[i] {
 			correct++
 		}
 		if res.Exit == wire.ExitLocal {
@@ -85,17 +98,17 @@ func run(args []string) error {
 		}
 		lat.Record(res.Latency)
 	}
-	elapsed := time.Since(start)
 
 	l := float64(localExits) / float64(n)
-	fmt.Printf("classified %d samples in %v\n", n, elapsed.Round(time.Millisecond))
+	fmt.Printf("classified %d samples in %v (%.1f samples/s, %d concurrent sessions)\n",
+		n, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds(), *concurrency)
 	fmt.Printf("accuracy:            %.1f%%\n", 100*float64(correct)/float64(n))
 	fmt.Printf("local exits:         %.1f%% (T=%.2f)\n", l*100, *threshold)
 	fmt.Printf("latency mean/p95:    %v / %v\n", lat.Mean().Round(time.Microsecond), lat.Percentile(95).Round(time.Microsecond))
-	perDev := float64(gw.Meter.Total()) / float64(model.Cfg.Devices) / float64(n)
+	perDev := float64(eng.PayloadBytes()) / float64(model.Cfg.Devices) / float64(n)
 	fmt.Printf("payload per device:  %.1f B/sample (Eq. 1: %.1f B; raw offload: %d B)\n",
 		perDev, model.Cfg.CommCostBytes(l), model.Cfg.RawOffloadBytes())
-	if down := gw.DownDevices(); len(down) > 0 {
+	if down := eng.DownDevices(); len(down) > 0 {
 		fmt.Printf("devices marked down: %v\n", down)
 	}
 	return nil

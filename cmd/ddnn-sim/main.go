@@ -1,15 +1,18 @@
-// Command ddnn-sim trains (or loads) a DDNN and runs the complete
-// hierarchy in one process over in-memory links: device nodes, gateway
-// with health monitoring, and cloud. It can inject device failures partway
-// through to demonstrate detection, graceful degradation and recovery.
+// Command ddnn-sim trains (or loads) a DDNN and serves the complete
+// hierarchy in one process over in-memory links through the Engine API:
+// device nodes, gateway with health monitoring, and cloud, classifying
+// many samples concurrently. It can inject device failures partway through
+// to demonstrate detection, graceful degradation and recovery.
 //
 // Usage:
 //
 //	ddnn-sim [-model model.ddnn] [-epochs 25] [-threshold 0.8]
-//	         [-fail 2,5] [-fail-at 0.33] [-recover-at 0.66] [-samples 0]
+//	         [-concurrency 8] [-fail 2,5] [-fail-at 0.33]
+//	         [-recover-at 0.66] [-samples 0]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -19,9 +22,7 @@ import (
 	"time"
 
 	ddnn "github.com/ddnn/ddnn-go"
-	"github.com/ddnn/ddnn-go/internal/cluster"
 	"github.com/ddnn/ddnn-go/internal/metrics"
-	"github.com/ddnn/ddnn-go/internal/transport"
 	"github.com/ddnn/ddnn-go/internal/wire"
 )
 
@@ -35,16 +36,20 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("ddnn-sim", flag.ContinueOnError)
 	var (
-		modelPath = fs.String("model", "", "trained model file (empty: train now)")
-		epochs    = fs.Int("epochs", 25, "training epochs when -model is empty")
-		threshold = fs.Float64("threshold", 0.8, "local exit entropy threshold T")
-		failList  = fs.String("fail", "", "comma-separated device indices to crash mid-run")
-		failAt    = fs.Float64("fail-at", 0.33, "fraction of the run at which devices crash")
-		recoverAt = fs.Float64("recover-at", 0.66, "fraction at which crashed devices recover (>1: never)")
-		samples   = fs.Int("samples", 0, "number of test samples (0 = all)")
+		modelPath   = fs.String("model", "", "trained model file (empty: train now)")
+		epochs      = fs.Int("epochs", 25, "training epochs when -model is empty")
+		threshold   = fs.Float64("threshold", 0.8, "local exit entropy threshold T")
+		concurrency = fs.Int("concurrency", 8, "concurrent classification sessions")
+		failList    = fs.String("fail", "", "comma-separated device indices to crash mid-run")
+		failAt      = fs.Float64("fail-at", 0.33, "fraction of the run at which devices crash")
+		recoverAt   = fs.Float64("recover-at", 0.66, "fraction at which crashed devices recover (>1: never)")
+		samples     = fs.Int("samples", 0, "number of test samples (0 = all)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *concurrency < 1 {
+		return fmt.Errorf("-concurrency must be at least 1, got %d", *concurrency)
 	}
 
 	dcfg := ddnn.DefaultDatasetConfig()
@@ -79,23 +84,20 @@ func run(args []string) error {
 		}
 	}
 
-	gcfg := ddnn.DefaultGatewayConfig()
-	gcfg.Threshold = *threshold
-	gcfg.DeviceTimeout = 500 * time.Millisecond
-	gcfg.MaxFailures = 0 // leave detection to the health monitor
+	ctx := context.Background()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelWarn}))
-	tr := transport.NewMem()
-	sim, err := newSimWithTransport(model, test, gcfg, tr, logger)
+	eng, err := ddnn.NewEngine(model, test,
+		ddnn.WithThreshold(*threshold),
+		ddnn.WithDeviceTimeout(500*time.Millisecond),
+		ddnn.WithMaxFailures(0), // leave detection to the health monitor
+		ddnn.WithMaxConcurrency(*concurrency),
+		ddnn.WithLogger(logger))
 	if err != nil {
 		return err
 	}
-	defer sim.Close()
+	defer eng.Close()
 
-	addrs := make([]string, model.Cfg.Devices)
-	for d := range addrs {
-		addrs[d] = fmt.Sprintf("device-%d", d)
-	}
-	hm, err := sim.Gateway.StartHealthMonitor(tr, addrs, 50*time.Millisecond, 2)
+	hm, err := eng.StartHealthMonitor(ctx, 50*time.Millisecond, 2)
 	if err != nil {
 		return err
 	}
@@ -111,49 +113,58 @@ func run(args []string) error {
 	failPoint := int(*failAt * float64(n))
 	recoverPoint := int(*recoverAt * float64(n))
 
-	fmt.Printf("classifying %d samples (T=%.2f)...\n", n, *threshold)
-	for id := 0; id < n; id++ {
-		if id == failPoint && len(failures) > 0 {
-			fmt.Printf("  [%d/%d] crashing devices %v\n", id, n, failures)
+	fmt.Printf("classifying %d samples (T=%.2f, %d concurrent sessions)...\n", n, *threshold, *concurrency)
+	start := time.Now()
+	// Classify in windows of `concurrency` samples so failure injection
+	// lands between windows at a well-defined sample index.
+	for base := 0; base < n; base += *concurrency {
+		if len(failures) > 0 && base <= failPoint && failPoint < base+*concurrency {
+			fmt.Printf("  [%d/%d] crashing devices %v\n", base, n, failures)
 			for _, d := range failures {
-				sim.Devices[d].SetFailed(true)
+				eng.SetDeviceFailed(d, true)
 			}
 		}
-		if id == recoverPoint && len(failures) > 0 {
+		if len(failures) > 0 && base <= recoverPoint && recoverPoint < base+*concurrency {
 			fmt.Printf("  [%d/%d] recovering devices %v (down at this point: %v)\n",
-				id, n, failures, sim.Gateway.DownDevices())
+				base, n, failures, eng.DownDevices())
 			for _, d := range failures {
-				sim.Devices[d].SetFailed(false)
+				eng.SetDeviceFailed(d, false)
 			}
 		}
-		res, err := sim.Gateway.Classify(uint64(id))
+		end := base + *concurrency
+		if end > n {
+			end = n
+		}
+		ids := make([]uint64, 0, end-base)
+		for id := base; id < end; id++ {
+			ids = append(ids, uint64(id))
+		}
+		results, err := eng.ClassifyBatch(ctx, ids)
 		if err != nil {
-			return fmt.Errorf("sample %d: %w", id, err)
+			return fmt.Errorf("window at %d: %w", base, err)
 		}
-		if res.Class == labels[id] {
-			correct++
+		for i, res := range results {
+			if res.Class == labels[base+i] {
+				correct++
+			}
+			if res.Exit == wire.ExitLocal {
+				localExits++
+			}
+			lat.Record(res.Latency)
 		}
-		if res.Exit == wire.ExitLocal {
-			localExits++
-		}
-		lat.Record(res.Latency)
 	}
+	elapsed := time.Since(start)
 
 	l := float64(localExits) / float64(n)
-	fmt.Printf("\naccuracy:           %.1f%%\n", 100*float64(correct)/float64(n))
+	fmt.Printf("\nthroughput:         %.1f samples/s (%v total)\n", float64(n)/elapsed.Seconds(), elapsed.Round(time.Millisecond))
+	fmt.Printf("accuracy:           %.1f%%\n", 100*float64(correct)/float64(n))
 	fmt.Printf("local exits:        %.1f%%\n", l*100)
 	fmt.Printf("latency mean/p95:   %v / %v\n", lat.Mean().Round(time.Microsecond), lat.Percentile(95).Round(time.Microsecond))
-	perDev := float64(sim.Gateway.Meter.Total()) / float64(model.Cfg.Devices) / float64(n)
+	perDev := float64(eng.PayloadBytes()) / float64(model.Cfg.Devices) / float64(n)
 	fmt.Printf("payload per device: %.1f B/sample (Eq. 1: %.1f B, raw offload: %d B)\n",
 		perDev, model.Cfg.CommCostBytes(l), model.Cfg.RawOffloadBytes())
-	if down := sim.Gateway.DownDevices(); len(down) > 0 {
+	if down := eng.DownDevices(); len(down) > 0 {
 		fmt.Printf("still down:         %v\n", down)
 	}
 	return nil
-}
-
-// newSimWithTransport mirrors ddnn.NewClusterSim but keeps the transport
-// visible so the health monitor can dial probe connections over it.
-func newSimWithTransport(m *ddnn.Model, ds *ddnn.Dataset, cfg ddnn.GatewayConfig, tr *transport.Mem, logger *slog.Logger) (*cluster.Sim, error) {
-	return cluster.NewSim(m, ds, cfg, tr, logger)
 }

@@ -22,6 +22,24 @@
 //	policy := ddnn.NewPolicy(0.8, 1) // local exit threshold T=0.8
 //	fmt.Println(res.OverallAccuracy(policy), res.LocalExitFraction(policy))
 //
+// # Serving
+//
+// The Engine is the serving entry point: it runs the trained DDNN as an
+// always-on cluster (device nodes, gateway, cloud) and classifies any
+// number of samples concurrently. Every call is a context-aware session;
+// sessions are multiplexed over the node links and bounded by the
+// engine's concurrency limit:
+//
+//	eng, _ := ddnn.NewEngine(model, test,
+//		ddnn.WithThreshold(0.8),
+//		ddnn.WithMaxConcurrency(32))
+//	defer eng.Close()
+//	res, err := eng.Classify(ctx, 7)          // one session
+//	batch, err := eng.ClassifyBatch(ctx, ids) // concurrent sessions
+//
+// Use Connect instead of NewEngine to front device and cloud nodes that
+// run as separate processes over TCP (cmd/ddnn-device, cmd/ddnn-cloud).
+//
 // The package is a thin facade over the implementation packages:
 //
 //   - internal/core — the DDNN model, joint training, staged inference
@@ -29,7 +47,7 @@
 //   - internal/agg — MP/AP/CC aggregation with gradient routing
 //   - internal/branchy — early-exit policies and threshold search
 //   - internal/dataset — the synthetic multi-view multi-camera dataset
-//   - internal/cluster — the distributed runtime (devices/gateway/cloud)
+//   - internal/cluster — the concurrent distributed runtime and Engine
 //   - internal/experiments — regeneration of every paper table and figure
 package ddnn
 
@@ -97,10 +115,15 @@ type (
 // Cluster runtime types.
 type (
 	// ClusterSim is a complete in-process DDNN cluster.
+	//
+	// Deprecated: use Engine, which adds contexts, typed errors and
+	// concurrent sessions. ClusterSim remains for one release.
 	ClusterSim = cluster.Sim
 	// GatewayConfig controls the local aggregator node.
 	GatewayConfig = cluster.GatewayConfig
 	// InferenceResult is the outcome of one distributed inference session.
+	//
+	// Deprecated: use Result (the same type, renamed with the Engine).
 	InferenceResult = cluster.Result
 )
 
@@ -150,6 +173,10 @@ func DefaultGatewayConfig() GatewayConfig { return cluster.DefaultGatewayConfig(
 // NewClusterSim starts a complete in-process DDNN cluster — device nodes,
 // gateway and cloud over in-memory links — serving device sensors from the
 // dataset. Sample IDs are dataset indices.
+//
+// Deprecated: use NewEngine, which wraps the same cluster behind the
+// context-aware concurrent serving API. NewClusterSim remains for one
+// release.
 func NewClusterSim(m *Model, ds *Dataset, cfg GatewayConfig) (*ClusterSim, error) {
 	return cluster.NewSim(m, ds, cfg, transport.NewMem(), nil)
 }

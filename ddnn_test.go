@@ -1,12 +1,12 @@
 package ddnn_test
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 	"time"
 
 	ddnn "github.com/ddnn/ddnn-go"
-	"github.com/ddnn/ddnn-go/internal/wire"
 )
 
 // TestPublicAPIEndToEnd walks the README quick-start path: generate data,
@@ -57,20 +57,30 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		t.Error("loaded model disagrees with original")
 	}
 
-	// Cluster runtime through the facade.
-	gcfg := ddnn.DefaultGatewayConfig()
-	gcfg.DeviceTimeout = 2 * time.Second
-	sim, err := ddnn.NewClusterSim(loaded, test, gcfg)
+	// Serving runtime through the facade.
+	eng, err := ddnn.NewEngine(loaded, test,
+		ddnn.WithDeviceTimeout(2*time.Second),
+		ddnn.WithMaxConcurrency(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	r, err := eng.Classify(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Exit != ddnn.ExitLocal && r.Exit != ddnn.ExitCloud {
+		t.Errorf("unexpected exit %v", r.Exit)
+	}
+
+	// The deprecated shim still works for one release.
+	sim, err := ddnn.NewClusterSim(loaded, test, ddnn.DefaultGatewayConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer sim.Close()
-	r, err := sim.Gateway.Classify(0)
-	if err != nil {
+	if _, err := sim.Gateway.Classify(context.Background(), 1); err != nil {
 		t.Fatal(err)
-	}
-	if r.Exit != wire.ExitLocal && r.Exit != wire.ExitCloud {
-		t.Errorf("unexpected exit %v", r.Exit)
 	}
 }
 

@@ -1,10 +1,12 @@
 // Distributed: runs the full DDNN hierarchy as separate nodes over real
-// TCP sockets on loopback, with simulated link characteristics, and
-// reports per-exit latency and measured communication — the vertical
-// scaling story of §V on a real protocol stack.
+// TCP sockets on loopback and fronts them with the Engine — concurrent,
+// context-aware sessions over a real protocol stack — reporting per-exit
+// latency, throughput and measured communication (the vertical scaling
+// story of §V).
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
@@ -40,14 +42,12 @@ func run() error {
 	tr := transport.TCP{}
 	fmt.Println("deploying sections onto TCP nodes...")
 	addrs := make([]string, model.Cfg.Devices)
-	var devices []*cluster.Device
 	for d := 0; d < model.Cfg.Devices; d++ {
 		dev := cluster.NewDevice(model, d, cluster.DatasetFeed(test, d), nil)
 		if err := dev.Serve(tr, "127.0.0.1:0"); err != nil {
 			return err
 		}
 		defer dev.Close()
-		devices = append(devices, dev)
 		addrs[d] = dev.Addr()
 		fmt.Printf("  device %d  @ %s\n", d+1, addrs[d])
 	}
@@ -58,24 +58,36 @@ func run() error {
 	defer cloud.Close()
 	fmt.Printf("  cloud     @ %s\n", cloud.Addr())
 
-	gcfg := ddnn.DefaultGatewayConfig()
-	gw, err := cluster.NewGateway(model, gcfg, tr, addrs, cloud.Addr(), nil)
+	// Front the remote nodes with an Engine: each Classify is a session
+	// multiplexed over the shared TCP links.
+	ctx := context.Background()
+	eng, err := ddnn.Connect(ctx, model, addrs, cloud.Addr(),
+		ddnn.WithThreshold(0.8),
+		ddnn.WithMaxConcurrency(8))
 	if err != nil {
 		return err
 	}
-	defer gw.Close()
+	defer eng.Close()
+
+	n := test.Len()
+	ids := make([]uint64, n)
+	for i := range ids {
+		ids[i] = uint64(i)
+	}
+	fmt.Printf("\nclassifying %d samples over TCP (T=0.8, 8 concurrent sessions)...\n", n)
+	start := time.Now()
+	results, err := eng.ClassifyBatch(ctx, ids)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
 
 	localLat := metrics.NewLatencyRecorder()
 	cloudLat := metrics.NewLatencyRecorder()
 	labels := test.Labels(nil)
 	correct := 0
-	fmt.Printf("\nclassifying %d samples over TCP (T=%.1f)...\n", test.Len(), gcfg.Threshold)
-	for id := 0; id < test.Len(); id++ {
-		res, err := gw.Classify(uint64(id))
-		if err != nil {
-			return err
-		}
-		if res.Class == labels[id] {
+	for i, res := range results {
+		if res.Class == labels[i] {
 			correct++
 		}
 		if res.Exit == wire.ExitLocal {
@@ -85,13 +97,13 @@ func run() error {
 		}
 	}
 
-	n := test.Len()
-	fmt.Printf("\naccuracy:          %.1f%%\n", 100*float64(correct)/float64(n))
+	fmt.Printf("\nthroughput:        %.1f samples/s (%v total)\n", float64(n)/elapsed.Seconds(), elapsed.Round(time.Millisecond))
+	fmt.Printf("accuracy:          %.1f%%\n", 100*float64(correct)/float64(n))
 	fmt.Printf("local exits:       %d/%d samples, mean latency %v (p95 %v)\n",
 		localLat.Count(), n, localLat.Mean().Round(time.Microsecond), localLat.Percentile(95).Round(time.Microsecond))
 	fmt.Printf("cloud exits:       %d/%d samples, mean latency %v (p95 %v)\n",
 		cloudLat.Count(), n, cloudLat.Mean().Round(time.Microsecond), cloudLat.Percentile(95).Round(time.Microsecond))
-	perDev := float64(gw.Meter.Total()) / float64(model.Cfg.Devices) / float64(n)
+	perDev := float64(eng.PayloadBytes()) / float64(model.Cfg.Devices) / float64(n)
 	fmt.Printf("payload per device: %.1f B/sample (Eq. 1 predicts %.1f B at this exit rate)\n",
 		perDev, model.Cfg.CommCostBytes(float64(localLat.Count())/float64(n)))
 	fmt.Printf("raw-offload baseline would cost %d B/sample\n", model.Cfg.RawOffloadBytes())

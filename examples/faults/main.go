@@ -1,10 +1,11 @@
 // Faults: demonstrates built-in fault tolerance (§IV-G) on the live
-// cluster runtime. A DDNN cluster keeps classifying while devices crash
+// serving Engine. A DDNN cluster keeps classifying while devices crash
 // one by one; the gateway detects silent devices by timeout, masks them
 // out of aggregation, and accuracy degrades gracefully instead of failing.
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
@@ -32,47 +33,52 @@ func run() error {
 		return err
 	}
 
-	gcfg := ddnn.DefaultGatewayConfig()
-	gcfg.DeviceTimeout = 300 * time.Millisecond
-	gcfg.MaxFailures = 0 // retry failed devices on every sample
-	sim, err := ddnn.NewClusterSim(model, test, gcfg)
+	eng, err := ddnn.NewEngine(model, test,
+		ddnn.WithDeviceTimeout(300*time.Millisecond),
+		ddnn.WithMaxFailures(0), // retry failed devices on every sample
+		ddnn.WithMaxConcurrency(8))
 	if err != nil {
 		return err
 	}
-	defer sim.Close()
+	defer eng.Close()
 
+	ctx := context.Background()
+	ids := make([]uint64, test.Len())
+	for i := range ids {
+		ids[i] = uint64(i)
+	}
+	labels := test.Labels(nil)
 	evaluate := func(label string) error {
-		correct, n := 0, test.Len()
-		labels := test.Labels(nil)
-		for id := 0; id < n; id++ {
-			res, err := sim.Gateway.Classify(uint64(id))
-			if err != nil {
-				return err
-			}
-			if res.Class == labels[id] {
+		results, err := eng.ClassifyBatch(ctx, ids)
+		if err != nil {
+			return err
+		}
+		correct := 0
+		for i, res := range results {
+			if res.Class == labels[i] {
 				correct++
 			}
 		}
-		fmt.Printf("  %-28s %5.1f%% accuracy\n", label, 100*float64(correct)/float64(n))
+		fmt.Printf("  %-28s %5.1f%% accuracy\n", label, 100*float64(correct)/float64(len(ids)))
 		return nil
 	}
 
-	fmt.Println("\nclassifying the test set on the live cluster:")
+	fmt.Println("\nclassifying the test set on the live cluster (8 concurrent sessions):")
 	if err := evaluate("all 6 devices healthy:"); err != nil {
 		return err
 	}
 
 	// Kill devices one at a time, best-instrumented last.
 	for _, d := range []int{5, 1, 3} {
-		sim.Devices[d].SetFailed(true)
+		eng.SetDeviceFailed(d, true)
 		if err := evaluate(fmt.Sprintf("after device %d crashed:", d+1)); err != nil {
 			return err
 		}
 	}
 
 	fmt.Println("\nrecovering all devices...")
-	for _, d := range sim.Devices {
-		d.SetFailed(false)
+	for d := 0; d < model.Cfg.Devices; d++ {
+		eng.SetDeviceFailed(d, false)
 	}
 	if err := evaluate("all 6 devices recovered:"); err != nil {
 		return err

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -58,6 +59,33 @@ func run() error {
 	fmt.Printf("  DDNN local exit (fused, on-gateway):  %5.1f%%\n", res.LocalAccuracy()*100)
 	fmt.Printf("  DDNN cloud exit (fused, offloaded):   %5.1f%%\n", res.CloudAccuracy()*100)
 	fmt.Printf("  DDNN overall (staged, T=0.8):         %5.1f%%\n", res.OverallAccuracy(policy)*100)
+
+	// The same staged decisions, measured on the live serving Engine with
+	// concurrent sessions instead of in-process evaluation.
+	eng, err := ddnn.NewEngine(model, test,
+		ddnn.WithThreshold(0.8),
+		ddnn.WithMaxConcurrency(8))
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	ids := make([]uint64, test.Len())
+	for i := range ids {
+		ids[i] = uint64(i)
+	}
+	results, err := eng.ClassifyBatch(context.Background(), ids)
+	if err != nil {
+		return err
+	}
+	labels := test.Labels(nil)
+	correct := 0
+	for i, r := range results {
+		if r.Class == labels[i] {
+			correct++
+		}
+	}
+	fmt.Printf("  DDNN served live (Engine, staged):    %5.1f%%\n", 100*float64(correct)/float64(len(ids)))
+
 	fmt.Println("\nthe fusion gain comes from joint training: each camera's filters")
 	fmt.Println("are tuned to its own viewpoint while optimizing one shared objective.")
 	return nil

@@ -1,11 +1,14 @@
 // Quickstart: train a small DDNN on the synthetic multi-view dataset,
-// then run staged inference with a local exit threshold and report the
-// accuracy measures and communication cost of §III-E/F.
+// run staged inference with a local exit threshold and report the
+// accuracy measures and communication cost of §III-E/F, then serve the
+// trained model through the concurrent Engine API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"time"
 
 	ddnn "github.com/ddnn/ddnn-go"
 )
@@ -53,5 +56,35 @@ func run() error {
 	fmt.Printf("  local exits:       %.1f%% of samples\n", l*100)
 	fmt.Printf("  comm cost (Eq. 1): %.1f B/sample/device (raw offload: %d B)\n",
 		model.Cfg.CommCostBytes(l), model.Cfg.RawOffloadBytes())
+
+	// Serve the trained model: the Engine runs the full cluster (devices,
+	// gateway, cloud) in-process and classifies sessions concurrently.
+	eng, err := ddnn.NewEngine(model, test,
+		ddnn.WithThreshold(0.8),
+		ddnn.WithMaxConcurrency(8))
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	ids := make([]uint64, test.Len())
+	for i := range ids {
+		ids[i] = uint64(i)
+	}
+	start := time.Now()
+	results, err := eng.ClassifyBatch(context.Background(), ids)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	localExits := 0
+	for _, r := range results {
+		if r.Exit == ddnn.ExitLocal {
+			localExits++
+		}
+	}
+	fmt.Printf("\nlive serving through the Engine (8 concurrent sessions):\n")
+	fmt.Printf("  %d samples in %v (%.1f samples/s), %.1f%% exited locally\n",
+		len(ids), elapsed.Round(time.Millisecond),
+		float64(len(ids))/elapsed.Seconds(), 100*float64(localExits)/float64(len(ids)))
 	return nil
 }

@@ -1,0 +1,3 @@
+module github.com/ddnn/ddnn-go
+
+go 1.22

@@ -32,6 +32,13 @@ func Binarize(dst, src *tensor.Tensor) {
 // their binarization.
 func clipLatent(p *nn.Param) { p.Value.Clamp(-1, 1) }
 
+// WeightSyncer is implemented by layers and blocks whose deployed weights
+// are derived from latent parameters and must be re-synced after the
+// latents change, so that inference forwards stay write-free.
+type WeightSyncer interface {
+	SyncWeights()
+}
+
 // BinaryActivation applies sign(x) with the straight-through estimator on
 // the backward pass: gradients flow only where |x| ≤ 1 (hard-tanh window),
 // as in Courbariaux et al.
@@ -93,7 +100,9 @@ func NewBinaryConv2D(rng *rand.Rand, name string, inC, outC, kernel, stride, pad
 	latent.Value.CopyFrom(inner.Weight.Value)
 	latent.Value.Clamp(-1, 1)
 	latent.PostStep = clipLatent
-	return &BinaryConv2D{Latent: latent, inner: inner}
+	c := &BinaryConv2D{Latent: latent, inner: inner}
+	c.SyncWeights()
+	return c
 }
 
 // OutSize returns the spatial output size for an input of size in.
@@ -102,10 +111,22 @@ func (c *BinaryConv2D) OutSize(in int) int { return c.inner.OutSize(in) }
 // OutChannels returns the number of output feature maps.
 func (c *BinaryConv2D) OutChannels() int { return c.inner.OutC }
 
-// Forward binarizes the latent weights and runs the convolution.
+// Forward runs the convolution with binarized weights. Training forwards
+// re-binarize the latent weights (which the optimizer moves every step);
+// inference forwards use the weights as already synced, so concurrent
+// inference never writes to shared model state — see SyncWeights.
 func (c *BinaryConv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	Binarize(c.inner.Weight.Value, c.Latent.Value)
+	if train {
+		c.SyncWeights()
+	}
 	return c.inner.Forward(x, train)
+}
+
+// SyncWeights rewrites the effective weights as sign(latent). It must be
+// called after the latent weights change outside a training forward (state
+// loading, manual optimizer steps) and before concurrent inference starts.
+func (c *BinaryConv2D) SyncWeights() {
+	Binarize(c.inner.Weight.Value, c.Latent.Value)
 }
 
 // Backward routes the weight gradient to the latent parameter
@@ -125,7 +146,7 @@ func (c *BinaryConv2D) WeightBits() int { return c.Latent.Value.Size() }
 
 // PackedWeights returns the binarized weights bit-packed for deployment.
 func (c *BinaryConv2D) PackedWeights() []byte {
-	Binarize(c.inner.Weight.Value, c.Latent.Value)
+	c.SyncWeights()
 	return PackSigns(c.inner.Weight.Value)
 }
 
@@ -146,7 +167,9 @@ func NewBinaryLinear(rng *rand.Rand, name string, in, out int) *BinaryLinear {
 	latent.Value.CopyFrom(inner.Weight.Value)
 	latent.Value.Clamp(-1, 1)
 	latent.PostStep = clipLatent
-	return &BinaryLinear{Latent: latent, inner: inner}
+	l := &BinaryLinear{Latent: latent, inner: inner}
+	l.SyncWeights()
+	return l
 }
 
 // In returns the input width.
@@ -155,10 +178,20 @@ func (l *BinaryLinear) In() int { return l.inner.In }
 // Out returns the output width.
 func (l *BinaryLinear) Out() int { return l.inner.Out }
 
-// Forward binarizes the latent weights and runs the linear transform.
+// Forward runs the linear transform with binarized weights. Like
+// BinaryConv2D, only training forwards re-binarize; inference reads the
+// synced weights so concurrent sessions never race — see SyncWeights.
 func (l *BinaryLinear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	Binarize(l.inner.Weight.Value, l.Latent.Value)
+	if train {
+		l.SyncWeights()
+	}
 	return l.inner.Forward(x, train)
+}
+
+// SyncWeights rewrites the effective weights as sign(latent); call it
+// whenever the latent weights change outside a training forward.
+func (l *BinaryLinear) SyncWeights() {
+	Binarize(l.inner.Weight.Value, l.Latent.Value)
 }
 
 // Backward routes the weight gradient to the latent parameter and returns
@@ -178,6 +211,6 @@ func (l *BinaryLinear) WeightBits() int { return l.Latent.Value.Size() }
 
 // PackedWeights returns the binarized weights bit-packed for deployment.
 func (l *BinaryLinear) PackedWeights() []byte {
-	Binarize(l.inner.Weight.Value, l.Latent.Value)
+	l.SyncWeights()
 	return PackSigns(l.inner.Weight.Value)
 }

@@ -56,6 +56,10 @@ func (b *ConvP) Params() []*nn.Param {
 // Filters returns the number of output filters f.
 func (b *ConvP) Filters() int { return b.Conv.OutChannels() }
 
+// SyncWeights re-derives the block's binarized weights from the latent
+// parameters, making subsequent inference forwards read-only.
+func (b *ConvP) SyncWeights() { b.Conv.SyncWeights() }
+
 // MemoryBits returns the eBNN deployment footprint: 1 bit per binarized
 // weight plus 32 bits per batch-norm scale/shift pair (γ, β fused with the
 // running statistics into a single multiply-add per channel at inference).
@@ -107,6 +111,10 @@ func (b *FC) Params() []*nn.Param {
 func (b *FC) MemoryBits() int {
 	return b.Linear.WeightBits() + 2*32*b.BN.C
 }
+
+// SyncWeights re-derives the block's binarized weights from the latent
+// parameters, making subsequent inference forwards read-only.
+func (b *FC) SyncWeights() { b.Linear.SyncWeights() }
 
 // MemoryMeasurer is implemented by blocks and layers that can report their
 // deployed memory footprint.

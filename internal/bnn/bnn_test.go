@@ -52,6 +52,7 @@ func TestBinaryLinearUsesSignWeights(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	l := NewBinaryLinear(rng, "bl", 3, 2)
 	l.Latent.Value.CopyFrom(tensor.FromSlice([]float32{0.3, -0.7, -0.1, 0.9, 0.2, -0.4}, 3, 2))
+	l.SyncWeights() // manual latent edits must re-sync before inference
 	x := tensor.FromSlice([]float32{1, 1, 1}, 1, 3)
 	y := l.Forward(x, false)
 	// Effective weights are signs: [[+1,-1],[-1,+1],[+1,-1]] → y = [1, -1].
@@ -92,6 +93,7 @@ func TestBinaryConvOutputIsConvOfSigns(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	c := NewBinaryConv2D(rng, "bc", 1, 1, 3, 1, 1)
 	c.Latent.Value.Fill(0.25) // binarizes to all +1: box filter
+	c.SyncWeights()
 	x := tensor.New(1, 1, 3, 3)
 	x.Fill(1)
 	y := c.Forward(x, false)

@@ -19,11 +19,13 @@ import (
 // classification session it receives the present devices' bit-packed
 // feature maps, aggregates them, runs the upper NN layers and returns the
 // final classification (the last exit, which always classifies).
+//
+// Sessions are demultiplexed by wire session ID, so one gateway connection
+// carries any number of interleaved sessions; each complete session is
+// classified in its own goroutine against the shared read-only model.
 type Cloud struct {
 	model  *core.Model
 	logger *slog.Logger
-
-	mu sync.Mutex // serializes model use across connections
 
 	listener  net.Listener
 	wg        sync.WaitGroup
@@ -32,6 +34,15 @@ type Cloud struct {
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
+}
+
+// cloudSession accumulates one session's feature uploads until every
+// present device's map has arrived.
+type cloudSession struct {
+	hdr     *wire.CloudClassify
+	feats   []*tensor.Tensor
+	mask    []bool
+	pending int
 }
 
 // NewCloud constructs the cloud node around a trained model.
@@ -96,6 +107,16 @@ func (c *Cloud) acceptLoop() {
 }
 
 func (c *Cloud) handle(conn net.Conn) {
+	var wmu sync.Mutex
+	send := func(m wire.Message) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		_, err := wire.Encode(conn, m)
+		return err
+	}
+	sessions := make(map[uint64]*cloudSession)
+	var inflight sync.WaitGroup
+	defer inflight.Wait()
 	for {
 		msg, err := wire.Decode(conn)
 		if err != nil {
@@ -104,69 +125,99 @@ func (c *Cloud) handle(conn net.Conn) {
 			}
 			return
 		}
-		hdr, ok := msg.(*wire.CloudClassify)
-		if !ok {
-			_, _ = wire.Encode(conn, &wire.Error{Code: 400, Msg: fmt.Sprintf("expected CloudClassify, got %v", msg.MsgType())})
-			return
-		}
-		if err := c.classify(conn, hdr); err != nil {
-			c.logger.Debug("classify failed", "sample", hdr.SampleID, "err", err)
-			return
+		switch m := msg.(type) {
+		case *wire.CloudClassify:
+			sess, err := c.openSession(m)
+			if err != nil {
+				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: err.Error()})
+				continue
+			}
+			if sess.pending == 0 {
+				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: "empty device mask"})
+				continue
+			}
+			sessions[m.Session] = sess
+		case *wire.FeatureUpload:
+			sess, ok := sessions[m.Session]
+			if !ok {
+				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: fmt.Sprintf("upload for unknown session %d", m.Session)})
+				continue
+			}
+			if err := c.addUpload(sess, m); err != nil {
+				delete(sessions, m.Session)
+				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: err.Error()})
+				continue
+			}
+			if sess.pending == 0 {
+				delete(sessions, m.Session)
+				inflight.Add(1)
+				go func(sess *cloudSession) {
+					defer inflight.Done()
+					c.classify(send, sess)
+				}(sess)
+			}
+		default:
+			_ = send(&wire.Error{Code: 400, Msg: fmt.Sprintf("expected CloudClassify or FeatureUpload, got %v", msg.MsgType())})
 		}
 	}
 }
 
-func (c *Cloud) classify(conn net.Conn, hdr *wire.CloudClassify) error {
+func (c *Cloud) openSession(hdr *wire.CloudClassify) (*cloudSession, error) {
 	devices := int(hdr.Devices)
 	if devices != c.model.Cfg.Devices {
-		_, err := wire.Encode(conn, &wire.Error{Code: 400, Msg: fmt.Sprintf("model has %d devices, session says %d", c.model.Cfg.Devices, devices)})
-		return err
+		return nil, fmt.Errorf("model has %d devices, session says %d", c.model.Cfg.Devices, devices)
 	}
 	cfg := c.model.Cfg
 	fh, fw := cfg.FeatureH(), cfg.FeatureW()
-	feats := make([]*tensor.Tensor, devices)
-	mask := make([]bool, devices)
+	sess := &cloudSession{
+		hdr:     hdr,
+		feats:   make([]*tensor.Tensor, devices),
+		mask:    make([]bool, devices),
+		pending: hdr.PresentCount(),
+	}
 	for d := 0; d < devices; d++ {
-		feats[d] = tensor.New(1, cfg.DeviceFilters, fh, fw)
+		sess.feats[d] = tensor.New(1, cfg.DeviceFilters, fh, fw)
 	}
-	for i := 0; i < hdr.PresentCount(); i++ {
-		msg, err := wire.Decode(conn)
-		if err != nil {
-			return fmt.Errorf("cluster: cloud read upload %d: %w", i, err)
-		}
-		up, ok := msg.(*wire.FeatureUpload)
-		if !ok {
-			return fmt.Errorf("cluster: expected FeatureUpload, got %v", msg.MsgType())
-		}
-		if up.SampleID != hdr.SampleID {
-			return fmt.Errorf("cluster: upload for sample %d inside session %d", up.SampleID, hdr.SampleID)
-		}
-		dev := int(up.Device)
-		if dev < 0 || dev >= devices {
-			return fmt.Errorf("cluster: upload from unknown device %d", dev)
-		}
-		feat, err := c.model.UnpackFeature(up.Bits, int(up.F), int(up.H), int(up.W))
-		if err != nil {
-			return fmt.Errorf("cluster: unpack device %d: %w", dev, err)
-		}
-		feats[dev] = feat
-		mask[dev] = true
+	return sess, nil
+}
+
+func (c *Cloud) addUpload(sess *cloudSession, up *wire.FeatureUpload) error {
+	if up.SampleID != sess.hdr.SampleID {
+		return fmt.Errorf("upload for sample %d inside session for sample %d", up.SampleID, sess.hdr.SampleID)
 	}
+	dev := int(up.Device)
+	if dev < 0 || dev >= len(sess.feats) {
+		return fmt.Errorf("upload from unknown device %d", dev)
+	}
+	if sess.hdr.Mask&(1<<uint(dev)) == 0 || sess.mask[dev] {
+		return fmt.Errorf("unexpected upload from device %d", dev)
+	}
+	feat, err := c.model.UnpackFeature(up.Bits, int(up.F), int(up.H), int(up.W))
+	if err != nil {
+		return fmt.Errorf("unpack device %d: %w", dev, err)
+	}
+	sess.feats[dev] = feat
+	sess.mask[dev] = true
+	sess.pending--
+	return nil
+}
 
-	c.mu.Lock()
-	logits := c.model.CloudForward(feats, mask)
-	c.mu.Unlock()
-
+// classify runs the cloud section for one complete session. The model is
+// frozen (read-only) so sessions run genuinely in parallel.
+func (c *Cloud) classify(send func(wire.Message) error, sess *cloudSession) {
+	logits := c.model.CloudForward(sess.feats, sess.mask)
 	probs := nn.Softmax(logits)
 	row := make([]float32, probs.Dim(1))
 	copy(row, probs.Row(0))
-	_, err := wire.Encode(conn, &wire.ClassifyResult{
-		SampleID: hdr.SampleID,
+	if err := send(&wire.ClassifyResult{
+		Session:  sess.hdr.Session,
+		SampleID: sess.hdr.SampleID,
 		Exit:     wire.ExitCloud,
 		Class:    uint16(probs.ArgMaxRow(0)),
 		Probs:    row,
-	})
-	return err
+	}); err != nil {
+		c.logger.Debug("classify reply failed", "sample", sess.hdr.SampleID, "err", err)
+	}
 }
 
 // Close stops the cloud node, terminating any in-flight connections.

@@ -1,6 +1,9 @@
 package cluster
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"log/slog"
 	"sync"
 	"testing"
@@ -63,7 +66,7 @@ func TestClusterClassifiesSamples(t *testing.T) {
 	sim := newSim(t, DefaultGatewayConfig())
 	_, test := fixture(t)
 	for id := 0; id < 10; id++ {
-		res, err := sim.Gateway.Classify(uint64(id))
+		res, err := sim.Gateway.Classify(context.Background(), uint64(id))
 		if err != nil {
 			t.Fatalf("sample %d: %v", id, err)
 		}
@@ -88,7 +91,7 @@ func TestClusterMatchesInProcessInference(t *testing.T) {
 	model, test := fixture(t)
 
 	for id := 0; id < 25; id++ {
-		res, err := sim.Gateway.Classify(uint64(id))
+		res, err := sim.Gateway.Classify(context.Background(), uint64(id))
 		if err != nil {
 			t.Fatalf("sample %d: %v", id, err)
 		}
@@ -122,7 +125,7 @@ func TestThresholdZeroAlwaysGoesToCloud(t *testing.T) {
 	cfg := DefaultGatewayConfig()
 	cfg.Threshold = -1 // even zero entropy cannot pass
 	sim := newSim(t, cfg)
-	res, err := sim.Gateway.Classify(0)
+	res, err := sim.Gateway.Classify(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +139,7 @@ func TestThresholdOneAlwaysExitsLocally(t *testing.T) {
 	cfg.Threshold = 1
 	sim := newSim(t, cfg)
 	for id := 0; id < 5; id++ {
-		res, err := sim.Gateway.Classify(uint64(id))
+		res, err := sim.Gateway.Classify(context.Background(), uint64(id))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -152,7 +155,7 @@ func TestCommMeterTracksEquationOne(t *testing.T) {
 	sim := newSim(t, cfg)
 	model, _ := fixture(t)
 
-	if _, err := sim.Gateway.Classify(0); err != nil {
+	if _, err := sim.Gateway.Classify(context.Background(), 0); err != nil {
 		t.Fatal(err)
 	}
 	devices := int64(model.Cfg.Devices)
@@ -174,7 +177,7 @@ func TestLocalExitSendsNoFeatures(t *testing.T) {
 	cfg.Threshold = 1 // everything exits locally
 	sim := newSim(t, cfg)
 	for id := 0; id < 5; id++ {
-		if _, err := sim.Gateway.Classify(uint64(id)); err != nil {
+		if _, err := sim.Gateway.Classify(context.Background(), uint64(id)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -189,7 +192,7 @@ func TestFaultToleranceSingleDeviceFailure(t *testing.T) {
 	sim := newSim(t, cfg)
 
 	sim.Devices[2].SetFailed(true)
-	res, err := sim.Gateway.Classify(3)
+	res, err := sim.Gateway.Classify(context.Background(), 3)
 	if err != nil {
 		t.Fatalf("classification failed with one dead device: %v", err)
 	}
@@ -218,7 +221,7 @@ func TestStickyFailureDetection(t *testing.T) {
 
 	sim.Devices[1].SetFailed(true)
 	for id := 0; id < 3; id++ {
-		if _, err := sim.Gateway.Classify(uint64(id)); err != nil {
+		if _, err := sim.Gateway.Classify(context.Background(), uint64(id)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -229,7 +232,7 @@ func TestStickyFailureDetection(t *testing.T) {
 
 	// A down device is skipped immediately: the session must be fast.
 	start := time.Now()
-	if _, err := sim.Gateway.Classify(10); err != nil {
+	if _, err := sim.Gateway.Classify(context.Background(), 10); err != nil {
 		t.Fatal(err)
 	}
 	if elapsed := time.Since(start); elapsed > cfg.DeviceTimeout {
@@ -244,7 +247,7 @@ func TestAllDevicesFailedReturnsError(t *testing.T) {
 	for _, d := range sim.Devices {
 		d.SetFailed(true)
 	}
-	if _, err := sim.Gateway.Classify(0); err == nil {
+	if _, err := sim.Gateway.Classify(context.Background(), 0); err == nil {
 		t.Error("classification succeeded with every device dead")
 	}
 }
@@ -256,7 +259,7 @@ func TestDeviceRecovery(t *testing.T) {
 	sim := newSim(t, cfg)
 
 	sim.Devices[0].SetFailed(true)
-	res, err := sim.Gateway.Classify(0)
+	res, err := sim.Gateway.Classify(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +268,7 @@ func TestDeviceRecovery(t *testing.T) {
 	}
 
 	sim.Devices[0].SetFailed(false)
-	res, err = sim.Gateway.Classify(1)
+	res, err = sim.Gateway.Classify(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,13 +299,13 @@ func TestHealthMonitorDetectsFailureAndRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cloud.Close()
-	gw, err := NewGateway(model, cfg, tr, addrs, "hm-cloud", quietLogger())
+	gw, err := NewGateway(context.Background(), model, cfg, tr, addrs, "hm-cloud", quietLogger())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer gw.Close()
 
-	hm, err := gw.StartHealthMonitor(tr, addrs, 25*time.Millisecond, 2)
+	hm, err := gw.StartHealthMonitor(context.Background(), tr, addrs, 25*time.Millisecond, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -319,7 +322,7 @@ func TestHealthMonitorDetectsFailureAndRecovery(t *testing.T) {
 	}
 
 	// Classification keeps working and skips the dead device immediately.
-	res, err := gw.Classify(0)
+	res, err := gw.Classify(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -336,7 +339,7 @@ func TestHealthMonitorDetectsFailureAndRecovery(t *testing.T) {
 	if down := gw.DownDevices(); len(down) != 0 {
 		t.Fatalf("device did not recover: DownDevices = %v", down)
 	}
-	res, err = gw.Classify(1)
+	res, err = gw.Classify(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -348,7 +351,7 @@ func TestHealthMonitorDetectsFailureAndRecovery(t *testing.T) {
 func TestHealthMonitorRejectsBadArgs(t *testing.T) {
 	sim := newSim(t, DefaultGatewayConfig())
 	tr := transport.NewMem()
-	if _, err := sim.Gateway.StartHealthMonitor(tr, []string{"only-one"}, time.Second, 3); err == nil {
+	if _, err := sim.Gateway.StartHealthMonitor(context.Background(), tr, []string{"only-one"}, time.Second, 3); err == nil {
 		t.Error("accepted wrong address count")
 	}
 }
@@ -363,7 +366,7 @@ func TestCloudFailureSurfacesError(t *testing.T) {
 	sim.Cloud.Close()
 
 	start := time.Now()
-	_, err := sim.Gateway.Classify(0)
+	_, err := sim.Gateway.Classify(context.Background(), 0)
 	if err == nil {
 		t.Fatal("classification succeeded with the cloud down")
 	}
@@ -382,7 +385,7 @@ func TestCloudFailureSurfacesError(t *testing.T) {
 	}
 	defer sim2.Close()
 	sim2.Cloud.Close()
-	if _, err := sim2.Gateway.Classify(0); err != nil {
+	if _, err := sim2.Gateway.Classify(context.Background(), 0); err != nil {
 		t.Errorf("local-exit classification failed with cloud down: %v", err)
 	}
 }
@@ -395,7 +398,7 @@ func TestCloudRejectsWrongDeviceCount(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cloud.Close()
-	conn, err := tr.Dial("cloud-reject")
+	conn, err := tr.Dial(context.Background(), "cloud-reject")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -420,7 +423,7 @@ func TestDeviceRepliesErrorForUnknownSample(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer dev.Close()
-	conn, err := tr.Dial("dev-unknown")
+	conn, err := tr.Dial(context.Background(), "dev-unknown")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -458,14 +461,14 @@ func TestClusterOverTCP(t *testing.T) {
 	}
 	defer cloud.Close()
 
-	gw, err := NewGateway(model, DefaultGatewayConfig(), tr, addrs, cloud.listener.Addr().String(), quietLogger())
+	gw, err := NewGateway(context.Background(), model, DefaultGatewayConfig(), tr, addrs, cloud.listener.Addr().String(), quietLogger())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer gw.Close()
 
 	for id := 0; id < 5; id++ {
-		res, err := gw.Classify(uint64(id))
+		res, err := gw.Classify(context.Background(), uint64(id))
 		if err != nil {
 			t.Fatalf("TCP sample %d: %v", id, err)
 		}
@@ -474,6 +477,120 @@ func TestClusterOverTCP(t *testing.T) {
 		}
 	}
 	_ = devices
+}
+
+func TestGatewayConcurrentSessionsMatchSerial(t *testing.T) {
+	// Many concurrent sessions must produce exactly the decisions the
+	// serial gateway produced: same class, same exit, per sample.
+	sim := newSim(t, DefaultGatewayConfig())
+	const samples = 12
+	want := make([]*Result, samples)
+	for id := 0; id < samples; id++ {
+		res, err := sim.Gateway.Classify(context.Background(), uint64(id))
+		if err != nil {
+			t.Fatalf("serial sample %d: %v", id, err)
+		}
+		want[id] = res
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*samples)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for id := 0; id < samples; id++ {
+				res, err := sim.Gateway.Classify(context.Background(), uint64(id))
+				if err != nil {
+					errs <- fmt.Errorf("worker %d sample %d: %w", w, id, err)
+					return
+				}
+				if res.Class != want[id].Class || res.Exit != want[id].Exit {
+					errs <- fmt.Errorf("worker %d sample %d: got class %d exit %v, want %d %v",
+						w, id, res.Class, res.Exit, want[id].Class, want[id].Exit)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestEngineBoundsConcurrencyAndClassifies(t *testing.T) {
+	model, test := fixture(t)
+	eng, err := NewEngine(model, test, EngineConfig{
+		Gateway:        DefaultGatewayConfig(),
+		MaxConcurrency: 4,
+		Logger:         quietLogger(),
+	}, transport.NewMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	ids := make([]uint64, 16)
+	for i := range ids {
+		ids[i] = uint64(i % test.Len())
+	}
+	results, err := eng.ClassifyBatch(context.Background(), ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res == nil {
+			t.Fatalf("result %d missing", i)
+		}
+		if res.SampleID != ids[i] {
+			t.Errorf("result %d is for sample %d, want %d", i, res.SampleID, ids[i])
+		}
+	}
+}
+
+func TestEngineClassifyAfterCloseFails(t *testing.T) {
+	model, test := fixture(t)
+	eng, err := NewEngine(model, test, EngineConfig{Gateway: DefaultGatewayConfig(), Logger: quietLogger()}, transport.NewMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+	if _, err := eng.Classify(context.Background(), 0); !errors.Is(err, ErrClosed) {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestClassifyCanceledContext(t *testing.T) {
+	sim := newSim(t, DefaultGatewayConfig())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := sim.Gateway.Classify(ctx, 0)
+	if !errors.Is(err, ErrCanceled) {
+		t.Errorf("err = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v must also wrap context.Canceled", err)
+	}
+}
+
+func TestClassifyContextDeadline(t *testing.T) {
+	// A deadline shorter than any device round trip must surface as
+	// ErrDeadlineExceeded even though DeviceTimeout is generous.
+	cfg := DefaultGatewayConfig()
+	sim := newSim(t, cfg)
+	sim.Devices[0].SetFailed(true) // at least one silent device keeps the session waiting
+	for _, d := range sim.Devices {
+		d.SetFailed(true)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := sim.Gateway.Classify(ctx, 0)
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Errorf("err = %v, want ErrDeadlineExceeded", err)
+	}
 }
 
 func TestSimulatedLinksAddLatency(t *testing.T) {
@@ -492,7 +609,7 @@ func TestSimulatedLinksAddLatency(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer simAll.Close()
-	resLocal, err := simAll.Gateway.Classify(0)
+	resLocal, err := simAll.Gateway.Classify(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -507,7 +624,7 @@ func TestSimulatedLinksAddLatency(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer simCloud.Close()
-	resCloud, err := simCloud.Gateway.Classify(0)
+	resCloud, err := simCloud.Gateway.Classify(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,12 @@
 // layers for samples that miss the local exit (§III-D inference procedure).
 // The runtime degrades gracefully when devices fail (§IV-G): the gateway
 // masks out unresponsive devices and aggregation proceeds with the rest.
+//
+// Since the Engine redesign the runtime is fully concurrent: every
+// inference session carries a wire-level session ID, connections multiplex
+// frames from many sessions, and nodes process requests in parallel —
+// model forward passes are read-only on a frozen model (core.Model.Freeze)
+// so sessions never serialize on the network weights.
 package cluster
 
 import (
@@ -24,10 +30,18 @@ import (
 
 // Feed supplies a device's sensor view for a sample ID as a [1, C, H, W]
 // tensor. Returning an error means the device has no frame for the sample.
+// Feeds must be safe for concurrent use; DatasetFeed is.
 type Feed func(sampleID uint64) (*tensor.Tensor, error)
 
+// maxRetainedFeatures bounds the per-device cache of feature maps kept
+// between a capture and a possible feature request. Sessions that exit
+// locally never fetch their features, so entries are evicted oldest-first
+// once the cache is full.
+const maxRetainedFeatures = 256
+
 // Device is an end-device node: it owns one device section of the DDNN and
-// serves capture and feature-upload requests from the gateway.
+// serves capture and feature-upload requests from the gateway. Requests
+// are served concurrently; the model section is shared read-only.
 type Device struct {
 	model  *core.Model
 	index  int
@@ -36,8 +50,9 @@ type Device struct {
 
 	failed atomic.Bool
 
-	mu       sync.Mutex // serializes model use across connections
-	features map[uint64]*tensor.Tensor
+	mu        sync.Mutex // guards features/featOrder only
+	features  map[uint64]*tensor.Tensor
+	featOrder []uint64 // insertion order for eviction
 
 	listener net.Listener
 	wg       sync.WaitGroup
@@ -122,7 +137,19 @@ func (d *Device) SetFailed(failed bool) { d.failed.Store(failed) }
 // Failed reports the simulated-failure state.
 func (d *Device) Failed() bool { return d.failed.Load() }
 
+// handle decodes frames and serves each request in its own goroutine, so
+// one connection carries any number of concurrent sessions. Replies are
+// serialized through a per-connection write lock.
 func (d *Device) handle(conn net.Conn) {
+	var wmu sync.Mutex
+	send := func(m wire.Message) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		_, err := wire.Encode(conn, m)
+		return err
+	}
+	var reqs sync.WaitGroup
+	defer reqs.Wait()
 	for {
 		msg, err := wire.Decode(conn)
 		if err != nil {
@@ -138,64 +165,101 @@ func (d *Device) handle(conn net.Conn) {
 		}
 		switch m := msg.(type) {
 		case *wire.CaptureRequest:
-			if err := d.onCapture(conn, m); err != nil {
-				d.logger.Debug("capture failed", "sample", m.SampleID, "err", err)
-				return
-			}
+			reqs.Add(1)
+			go func() {
+				defer reqs.Done()
+				if err := d.onCapture(send, m); err != nil {
+					d.logger.Debug("capture failed", "sample", m.SampleID, "err", err)
+				}
+			}()
 		case *wire.FeatureRequest:
-			if err := d.onFeatureRequest(conn, m); err != nil {
-				d.logger.Debug("feature upload failed", "sample", m.SampleID, "err", err)
-				return
-			}
+			reqs.Add(1)
+			go func() {
+				defer reqs.Done()
+				if err := d.onFeatureRequest(send, m); err != nil {
+					d.logger.Debug("feature upload failed", "sample", m.SampleID, "err", err)
+				}
+			}()
 		case *wire.Heartbeat:
 			// Echo liveness probes so the gateway's failure detector can
 			// distinguish a live device from a crashed one.
-			if _, err := wire.Encode(conn, m); err != nil {
+			if err := send(m); err != nil {
 				return
 			}
 		default:
-			_, _ = wire.Encode(conn, &wire.Error{Code: 400, Msg: fmt.Sprintf("unexpected %v", msg.MsgType())})
+			_ = send(&wire.Error{Code: 400, Msg: fmt.Sprintf("unexpected %v", msg.MsgType())})
 		}
 	}
 }
 
 // onCapture processes the device's sensor frame through its DNN section
 // and replies with the exit summary vector. The binarized feature map is
-// retained so a later FeatureRequest can upload it without recomputing.
-func (d *Device) onCapture(conn net.Conn, m *wire.CaptureRequest) error {
+// retained under the session ID so a later FeatureRequest can upload it
+// without recomputing.
+func (d *Device) onCapture(send func(wire.Message) error, m *wire.CaptureRequest) error {
 	x, err := d.feed(m.SampleID)
 	if err != nil {
-		_, werr := wire.Encode(conn, &wire.Error{Code: 404, Msg: err.Error()})
-		return werr
+		return send(&wire.Error{Session: m.Session, Code: 404, Msg: err.Error()})
 	}
-	d.mu.Lock()
 	feat, exitVec := d.model.DeviceForward(d.index, x)
-	d.features[m.SampleID] = feat
-	d.mu.Unlock()
+	d.retainFeature(m.Session, feat)
 
 	probs := make([]float32, exitVec.Dim(1))
 	copy(probs, exitVec.Row(0))
-	_, err = wire.Encode(conn, &wire.LocalSummary{
+	return send(&wire.LocalSummary{
+		Session:  m.Session,
 		SampleID: m.SampleID,
 		Device:   uint16(d.index),
 		Probs:    probs,
 	})
-	return err
 }
 
-func (d *Device) onFeatureRequest(conn net.Conn, m *wire.FeatureRequest) error {
+func (d *Device) retainFeature(session uint64, feat *tensor.Tensor) {
 	d.mu.Lock()
-	feat, ok := d.features[m.SampleID]
-	if ok {
-		delete(d.features, m.SampleID)
+	defer d.mu.Unlock()
+	if _, exists := d.features[session]; !exists {
+		d.featOrder = append(d.featOrder, session)
 	}
-	d.mu.Unlock()
+	d.features[session] = feat
+	for len(d.featOrder) > maxRetainedFeatures {
+		oldest := d.featOrder[0]
+		d.featOrder = d.featOrder[1:]
+		delete(d.features, oldest)
+	}
+}
+
+func (d *Device) takeFeature(session uint64) (*tensor.Tensor, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	feat, ok := d.features[session]
 	if !ok {
-		_, err := wire.Encode(conn, &wire.Error{Code: 404, Msg: fmt.Sprintf("no features for sample %d", m.SampleID)})
-		return err
+		return nil, false
+	}
+	delete(d.features, session)
+	for i, s := range d.featOrder {
+		if s == session {
+			d.featOrder = append(d.featOrder[:i], d.featOrder[i+1:]...)
+			break
+		}
+	}
+	return feat, true
+}
+
+func (d *Device) onFeatureRequest(send func(wire.Message) error, m *wire.FeatureRequest) error {
+	feat, ok := d.takeFeature(m.Session)
+	if !ok {
+		// The cached map was evicted (or the capture never happened —
+		// e.g. a second gateway attached to this device); recompute from
+		// the sensor feed so eviction only costs time, not the session.
+		x, err := d.feed(m.SampleID)
+		if err != nil {
+			return send(&wire.Error{Session: m.Session, Code: 404, Msg: err.Error()})
+		}
+		feat, _ = d.model.DeviceForward(d.index, x)
 	}
 	bits := d.model.PackFeature(feat)
-	_, err := wire.Encode(conn, &wire.FeatureUpload{
+	return send(&wire.FeatureUpload{
+		Session:  m.Session,
 		SampleID: m.SampleID,
 		Device:   uint16(d.index),
 		F:        uint16(feat.Dim(1)),
@@ -203,7 +267,6 @@ func (d *Device) onFeatureRequest(conn net.Conn, m *wire.FeatureRequest) error {
 		W:        uint16(feat.Dim(3)),
 		Bits:     bits,
 	})
-	return err
 }
 
 // Close stops the device node, terminating any in-flight connections.

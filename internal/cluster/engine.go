@@ -1,0 +1,218 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/ddnn/ddnn-go/internal/core"
+	"github.com/ddnn/ddnn-go/internal/dataset"
+	"github.com/ddnn/ddnn-go/internal/transport"
+)
+
+// DefaultMaxConcurrency bounds in-flight sessions when EngineConfig does
+// not say otherwise.
+const DefaultMaxConcurrency = 16
+
+// EngineConfig assembles every knob of a serving engine. The public facade
+// builds it from functional options.
+type EngineConfig struct {
+	// Gateway holds the exit threshold, stage timeouts and failure
+	// detection settings.
+	Gateway GatewayConfig
+	// MaxConcurrency bounds the number of in-flight sessions; requests
+	// beyond it queue on a semaphore (respecting their contexts). Zero
+	// means DefaultMaxConcurrency.
+	MaxConcurrency int
+	// Logger receives node logs; nil means slog.Default().
+	Logger *slog.Logger
+	// DeviceLink and CloudLink, when non-zero, wrap the gateway's dialed
+	// connections in link simulators with these profiles (in-process
+	// engines only), modelling the constrained wireless uplinks and WAN
+	// path of §IV-B/§V.
+	DeviceLink transport.LinkProfile
+	CloudLink  transport.LinkProfile
+}
+
+// simulatesLinks reports whether any link profile is configured.
+func (c EngineConfig) simulatesLinks() bool {
+	zero := transport.LinkProfile{}
+	return c.DeviceLink != zero || c.CloudLink != zero
+}
+
+// Engine is the concurrent serving runtime: a gateway (plus, for
+// in-process engines, the device and cloud nodes it talks to) behind a
+// semaphore that bounds in-flight sessions. All methods are safe for
+// concurrent use.
+type Engine struct {
+	gw  *Gateway
+	sim *Sim // nil when attached to remote nodes
+
+	tr          transport.Transport
+	deviceAddrs []string
+
+	sem    chan struct{}
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// NewEngine starts a complete in-process cluster — device nodes, cloud and
+// gateway over the transport — and returns a serving engine for it.
+// Sample IDs are indices into ds.
+func NewEngine(m *core.Model, ds *dataset.Dataset, cfg EngineConfig, tr transport.Transport) (*Engine, error) {
+	simTr := tr
+	if cfg.simulatesLinks() {
+		simTr = transport.RouteSim{
+			Inner: tr,
+			Pick: func(addr string) transport.LinkProfile {
+				if addr == "cloud" {
+					return cfg.CloudLink
+				}
+				return cfg.DeviceLink
+			},
+		}
+	}
+	sim, err := NewSim(m, ds, cfg.Gateway, simTr, cfg.Logger)
+	if err != nil {
+		return nil, err
+	}
+	e := newEngine(sim.Gateway, cfg)
+	e.sim = sim
+	e.tr = simTr
+	e.deviceAddrs = sim.DeviceAddrs()
+	return e, nil
+}
+
+// AttachEngine connects a serving engine to already-running device and
+// cloud nodes (e.g. over TCP). The context bounds connection setup.
+func AttachEngine(ctx context.Context, m *core.Model, cfg EngineConfig, tr transport.Transport, deviceAddrs []string, cloudAddr string) (*Engine, error) {
+	gw, err := NewGateway(ctx, m, cfg.Gateway, tr, deviceAddrs, cloudAddr, cfg.Logger)
+	if err != nil {
+		return nil, err
+	}
+	e := newEngine(gw, cfg)
+	e.tr = tr
+	e.deviceAddrs = append([]string(nil), deviceAddrs...)
+	return e, nil
+}
+
+func newEngine(gw *Gateway, cfg EngineConfig) *Engine {
+	maxC := cfg.MaxConcurrency
+	if maxC <= 0 {
+		maxC = DefaultMaxConcurrency
+	}
+	return &Engine{gw: gw, sem: make(chan struct{}, maxC)}
+}
+
+// Classify runs one inference session, queueing on the engine's
+// concurrency semaphore first. The context governs both the queue wait and
+// every stage of the session.
+func (e *Engine) Classify(ctx context.Context, sampleID uint64) (*Result, error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctxErr(ctx.Err())
+	}
+	e.wg.Add(1)
+	defer func() {
+		<-e.sem
+		e.wg.Done()
+	}()
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
+	return e.gw.Classify(ctx, sampleID)
+}
+
+// ClassifyBatch classifies the samples concurrently (bounded by the
+// engine's MaxConcurrency) and returns results in input order. The first
+// session error cancels the remaining sessions and is returned; results
+// for sessions that completed before the failure are still filled in
+// (nil entries mark sessions that did not complete).
+func (e *Engine) ClassifyBatch(ctx context.Context, sampleIDs []uint64) ([]*Result, error) {
+	results := make([]*Result, len(sampleIDs))
+	if len(sampleIDs) == 0 {
+		return results, nil
+	}
+	bctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	// One worker per semaphore slot, not per sample: huge batches must
+	// not allocate a goroutine per ID just to park on the semaphore.
+	workers := cap(e.sem)
+	if workers > len(sampleIDs) {
+		workers = len(sampleIDs)
+	}
+	indices := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				res, err := e.Classify(bctx, sampleIDs[i])
+				if err != nil {
+					errOnce.Do(func() {
+						firstErr = fmt.Errorf("sample %d: %w", sampleIDs[i], err)
+						cancel()
+					})
+					continue
+				}
+				results[i] = res
+			}
+		}()
+	}
+	for i := range sampleIDs {
+		indices <- i
+	}
+	close(indices)
+	wg.Wait()
+	if firstErr != nil {
+		return results, firstErr
+	}
+	return results, nil
+}
+
+// Gateway exposes the underlying gateway for stats (Meter, WireBytesUp,
+// DownDevices).
+func (e *Engine) Gateway() *Gateway { return e.gw }
+
+// Devices returns the in-process device nodes, or nil for an attached
+// engine. Simulations use it to inject failures.
+func (e *Engine) Devices() []*Device {
+	if e.sim == nil {
+		return nil
+	}
+	return e.sim.Devices
+}
+
+// StartHealthMonitor begins heartbeat probing of the engine's devices over
+// its transport; see Gateway.StartHealthMonitor.
+func (e *Engine) StartHealthMonitor(ctx context.Context, interval time.Duration, misses int) (*HealthMonitor, error) {
+	if e.tr == nil || len(e.deviceAddrs) == 0 {
+		return nil, fmt.Errorf("cluster: engine has no device addresses to probe")
+	}
+	return e.gw.StartHealthMonitor(ctx, e.tr, e.deviceAddrs, interval, misses)
+}
+
+// Close drains in-flight sessions and tears the engine (and, for
+// in-process engines, the whole cluster) down.
+func (e *Engine) Close() error {
+	if !e.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	e.wg.Wait()
+	if e.sim != nil {
+		return e.sim.Close()
+	}
+	return e.gw.Close()
+}

@@ -1,0 +1,40 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Typed serving errors. The public facade re-exports these so callers can
+// errors.Is against stable sentinels instead of matching strings.
+var (
+	// ErrCanceled reports that the session's context was canceled before
+	// a classification was produced.
+	ErrCanceled = errors.New("ddnn: session canceled")
+	// ErrDeadlineExceeded reports that the session's context deadline
+	// expired before a classification was produced.
+	ErrDeadlineExceeded = errors.New("ddnn: session deadline exceeded")
+	// ErrClosed reports an operation on a closed Engine or Gateway.
+	ErrClosed = errors.New("ddnn: engine closed")
+	// ErrNoSummaries reports that no device produced an exit summary for
+	// the sample, so there is nothing to aggregate.
+	ErrNoSummaries = errors.New("ddnn: no device produced a summary")
+	// ErrCloudUnavailable reports that the sample missed the local exit
+	// and the cloud round trip failed.
+	ErrCloudUnavailable = errors.New("ddnn: cloud unavailable")
+)
+
+// ctxErr maps a context error onto the matching typed sentinel while
+// keeping the original error in the chain, so both
+// errors.Is(err, ErrCanceled) and errors.Is(err, context.Canceled) hold.
+func ctxErr(err error) error {
+	switch {
+	case errors.Is(err, context.Canceled):
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("%w: %w", ErrDeadlineExceeded, err)
+	default:
+		return err
+	}
+}

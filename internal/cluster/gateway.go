@@ -1,11 +1,11 @@
 package cluster
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"log/slog"
-	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/ddnn/ddnn-go/internal/core"
@@ -23,6 +23,7 @@ type GatewayConfig struct {
 	Threshold float64
 	// DeviceTimeout bounds each device round trip; devices that miss it
 	// are treated as absent for the sample (graceful degradation, §IV-G).
+	// A context with an earlier deadline wins.
 	DeviceTimeout time.Duration
 	// CloudTimeout bounds the cloud round trip.
 	CloudTimeout time.Duration
@@ -60,13 +61,20 @@ type Result struct {
 // devices, aggregates their exit summaries, applies the entropy-threshold
 // exit rule, and escalates to the cloud when the local exit is not
 // confident.
+//
+// Classify is safe for concurrent use: each call opens an independent
+// session, tagged with a unique session ID, and the device and cloud links
+// multiplex frames from all in-flight sessions. Only the per-device
+// failure bookkeeping is shared, behind a short-lived mutex.
 type Gateway struct {
 	model  *core.Model
 	cfg    GatewayConfig
 	logger *slog.Logger
 
 	devices []*deviceLink
-	cloud   net.Conn
+	cloud   *link
+
+	nextSession atomic.Uint64
 
 	// Meter accumulates Eq. (1) payload bytes by category
 	// ("local-summary", "cloud-upload").
@@ -75,19 +83,21 @@ type Gateway struct {
 	// framing, for comparison against the analytic model.
 	wireConns []*transport.CountingConn
 
-	mu sync.Mutex // serializes Classify sessions
+	stateMu sync.Mutex // guards deviceLink.failures / .down
 }
 
 type deviceLink struct {
-	index    int
-	conn     net.Conn
+	index int
+	link  *link
+	// guarded by Gateway.stateMu:
 	failures int
 	down     bool
 }
 
 // NewGateway connects to the device and cloud nodes and returns a ready
-// gateway.
-func NewGateway(model *core.Model, cfg GatewayConfig, tr transport.Transport, deviceAddrs []string, cloudAddr string, logger *slog.Logger) (*Gateway, error) {
+// gateway. The context bounds connection setup only; per-session deadlines
+// come from the contexts passed to Classify.
+func NewGateway(ctx context.Context, model *core.Model, cfg GatewayConfig, tr transport.Transport, deviceAddrs []string, cloudAddr string, logger *slog.Logger) (*Gateway, error) {
 	if logger == nil {
 		logger = slog.Default()
 	}
@@ -101,21 +111,21 @@ func NewGateway(model *core.Model, cfg GatewayConfig, tr transport.Transport, de
 		Meter:  metrics.NewCommMeter(),
 	}
 	for i, addr := range deviceAddrs {
-		conn, err := tr.Dial(addr)
+		conn, err := tr.Dial(ctx, addr)
 		if err != nil {
 			g.Close()
 			return nil, fmt.Errorf("cluster: dial device %d: %w", i, err)
 		}
 		cc := transport.NewCountingConn(conn)
 		g.wireConns = append(g.wireConns, cc)
-		g.devices = append(g.devices, &deviceLink{index: i, conn: cc})
+		g.devices = append(g.devices, &deviceLink{index: i, link: newLink(cc)})
 	}
-	conn, err := tr.Dial(cloudAddr)
+	conn, err := tr.Dial(ctx, cloudAddr)
 	if err != nil {
 		g.Close()
 		return nil, fmt.Errorf("cluster: dial cloud: %w", err)
 	}
-	g.cloud = conn
+	g.cloud = newLink(conn)
 	return g, nil
 }
 
@@ -129,50 +139,52 @@ func (g *Gateway) WireBytesUp() int64 {
 	return t
 }
 
-// summaryReply carries one device's response to a capture request.
-type summaryReply struct {
+// capReply carries one device's response to a capture request.
+type capReply struct {
 	device  int
 	probs   []float32
 	timeout bool
+	err     error // session-fatal (context) error
 }
 
-// Classify runs the full staged inference of §III-D for one sample.
-func (g *Gateway) Classify(sampleID uint64) (*Result, error) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+// Classify runs the full staged inference of §III-D for one sample as an
+// independent session. It honors ctx cancellation and deadlines at every
+// stage; on cancellation the error wraps ErrCanceled (or
+// ErrDeadlineExceeded) as well as the context error.
+func (g *Gateway) Classify(ctx context.Context, sampleID uint64) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, ctxErr(err)
+	}
+	sid := g.nextSession.Add(1)
 	start := time.Now()
+	classes := g.model.Cfg.Classes
 
-	// Stage 1: every device processes its frame and sends its summary to
-	// the local aggregator.
-	replies := make(chan summaryReply, len(g.devices))
+	// Stage 1: every live device processes its frame and sends its summary
+	// to the local aggregator.
+	replies := make(chan capReply, len(g.devices))
 	inFlight := 0
 	for _, dl := range g.devices {
-		if dl.down {
+		if g.deviceDown(dl.index) {
 			continue
 		}
 		inFlight++
-		go g.captureFrom(dl, sampleID, replies)
+		go g.captureFrom(ctx, dl, sid, sampleID, replies)
 	}
 	exitVecs := make([]*tensor.Tensor, len(g.devices))
 	present := make([]bool, len(g.devices))
-	classes := g.model.Cfg.Classes
 	for d := range exitVecs {
 		exitVecs[d] = tensor.New(1, classes)
 	}
 	for i := 0; i < inFlight; i++ {
 		r := <-replies
-		dl := g.devices[r.device]
+		if r.err != nil {
+			return nil, r.err
+		}
 		if r.timeout {
-			dl.failures++
-			if g.cfg.MaxFailures > 0 && dl.failures >= g.cfg.MaxFailures {
-				if !dl.down {
-					g.logger.Warn("device marked down", "device", r.device, "consecutive_timeouts", dl.failures)
-				}
-				dl.down = true
-			}
+			g.recordTimeout(r.device)
 			continue
 		}
-		dl.failures = 0
+		g.recordSuccess(r.device)
 		if r.probs == nil {
 			continue // device had no frame (object absent / feed error)
 		}
@@ -186,7 +198,7 @@ func (g *Gateway) Classify(sampleID uint64) (*Result, error) {
 		anyPresent = anyPresent || p
 	}
 	if !anyPresent {
-		return nil, fmt.Errorf("cluster: no device produced a summary for sample %d", sampleID)
+		return nil, fmt.Errorf("cluster: sample %d: %w", sampleID, ErrNoSummaries)
 	}
 
 	// Stage 2: aggregate and decide the local exit.
@@ -209,7 +221,7 @@ func (g *Gateway) Classify(sampleID uint64) (*Result, error) {
 
 	// Stage 3: the local exit is not confident; fetch binarized features
 	// from present devices and escalate to the cloud.
-	res, err := g.escalate(sampleID, present)
+	res, err := g.escalate(ctx, sid, sampleID, present)
 	if err != nil {
 		return nil, err
 	}
@@ -219,39 +231,29 @@ func (g *Gateway) Classify(sampleID uint64) (*Result, error) {
 	return res, nil
 }
 
-func (g *Gateway) captureFrom(dl *deviceLink, sampleID uint64, replies chan<- summaryReply) {
-	deadline := time.Now().Add(g.cfg.DeviceTimeout)
-	if _, err := wire.Encode(dl.conn, &wire.CaptureRequest{SampleID: sampleID}); err != nil {
-		replies <- summaryReply{device: dl.index, timeout: true}
+func (g *Gateway) captureFrom(ctx context.Context, dl *deviceLink, sid, sampleID uint64, replies chan<- capReply) {
+	msg, err := dl.link.request(ctx, sid, &wire.CaptureRequest{Session: sid, SampleID: sampleID}, g.cfg.DeviceTimeout)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			replies <- capReply{device: dl.index, err: ctxErr(cerr)}
+			return
+		}
+		replies <- capReply{device: dl.index, timeout: true}
 		return
 	}
-	_ = dl.conn.SetReadDeadline(deadline)
-	defer dl.conn.SetReadDeadline(time.Time{})
-	for {
-		msg, err := wire.Decode(dl.conn)
-		if err != nil {
-			replies <- summaryReply{device: dl.index, timeout: true}
-			return
-		}
-		switch m := msg.(type) {
-		case *wire.LocalSummary:
-			if m.SampleID != sampleID {
-				continue // stale reply from a timed-out earlier sample
-			}
-			replies <- summaryReply{device: dl.index, probs: m.Probs}
-			return
-		case *wire.Error:
-			replies <- summaryReply{device: dl.index} // absent frame
-			return
-		default:
-			continue
-		}
+	switch m := msg.(type) {
+	case *wire.LocalSummary:
+		replies <- capReply{device: dl.index, probs: m.Probs}
+	case *wire.Error:
+		replies <- capReply{device: dl.index} // absent frame
+	default:
+		replies <- capReply{device: dl.index, timeout: true}
 	}
 }
 
 // escalate fetches feature maps from present devices and asks the cloud
 // for the final classification.
-func (g *Gateway) escalate(sampleID uint64, present []bool) (*Result, error) {
+func (g *Gateway) escalate(ctx context.Context, sid, sampleID uint64, present []bool) (*Result, error) {
 	type upload struct {
 		device int
 		msg    *wire.FeatureUpload
@@ -265,7 +267,7 @@ func (g *Gateway) escalate(sampleID uint64, present []bool) (*Result, error) {
 		}
 		inFlight++
 		go func(dl *deviceLink) {
-			m, err := g.fetchFeatures(dl, sampleID)
+			m, err := g.fetchFeatures(ctx, dl, sid, sampleID)
 			uploads <- upload{device: dl.index, msg: m, err: err}
 		}(g.devices[d])
 	}
@@ -274,6 +276,9 @@ func (g *Gateway) escalate(sampleID uint64, present []bool) (*Result, error) {
 	for i := 0; i < inFlight; i++ {
 		u := <-uploads
 		if u.err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, ctxErr(cerr)
+			}
 			// The device answered the capture but died before the feature
 			// upload; degrade to the remaining devices.
 			g.logger.Warn("feature fetch failed", "device", u.device, "err", u.err)
@@ -285,32 +290,41 @@ func (g *Gateway) escalate(sampleID uint64, present []bool) (*Result, error) {
 		g.Meter.Add("cloud-upload", int64(len(u.msg.Bits)))
 	}
 	if len(collected) == 0 {
-		return nil, fmt.Errorf("cluster: no features collected for sample %d", sampleID)
+		return nil, fmt.Errorf("cluster: no features collected for sample %d: %w", sampleID, ErrNoSummaries)
 	}
 
-	hdr := &wire.CloudClassify{
+	// Relay the session header and all uploads as one atomic batch, then
+	// wait for this session's verdict on the shared cloud link.
+	frames := make([]wire.Message, 0, len(collected)+1)
+	frames = append(frames, &wire.CloudClassify{
+		Session:  sid,
 		SampleID: sampleID,
 		Devices:  uint16(g.model.Cfg.Devices),
 		Mask:     mask,
-	}
-	_ = g.cloud.SetDeadline(time.Now().Add(g.cfg.CloudTimeout))
-	defer g.cloud.SetDeadline(time.Time{})
-	if _, err := wire.Encode(g.cloud, hdr); err != nil {
-		return nil, fmt.Errorf("cluster: send cloud header: %w", err)
-	}
+	})
 	for _, up := range collected {
-		if _, err := wire.Encode(g.cloud, up); err != nil {
-			return nil, fmt.Errorf("cluster: relay features: %w", err)
-		}
+		up.Session = sid
+		frames = append(frames, up)
 	}
-	msg, err := wire.Decode(g.cloud)
+	ch, err := g.cloud.subscribe(sid)
 	if err != nil {
-		return nil, fmt.Errorf("cluster: cloud reply: %w", err)
+		return nil, fmt.Errorf("cluster: %w: %w", ErrCloudUnavailable, err)
+	}
+	defer g.cloud.unsubscribe(sid)
+	if err := g.cloud.send(g.cfg.CloudTimeout, frames...); err != nil {
+		return nil, fmt.Errorf("cluster: %w: relay features: %w", ErrCloudUnavailable, err)
+	}
+	msg, err := g.cloud.wait(ctx, ch, g.cfg.CloudTimeout)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, ctxErr(cerr)
+		}
+		return nil, fmt.Errorf("cluster: %w: %w", ErrCloudUnavailable, err)
 	}
 	cr, ok := msg.(*wire.ClassifyResult)
 	if !ok {
 		if e, isErr := msg.(*wire.Error); isErr {
-			return nil, fmt.Errorf("cluster: cloud error %d: %s", e.Code, e.Msg)
+			return nil, fmt.Errorf("cluster: %w: cloud error %d: %s", ErrCloudUnavailable, e.Code, e.Msg)
 		}
 		return nil, fmt.Errorf("cluster: expected ClassifyResult, got %v", msg.MsgType())
 	}
@@ -322,37 +336,52 @@ func (g *Gateway) escalate(sampleID uint64, present []bool) (*Result, error) {
 	}, nil
 }
 
-func (g *Gateway) fetchFeatures(dl *deviceLink, sampleID uint64) (*wire.FeatureUpload, error) {
-	deadline := time.Now().Add(g.cfg.DeviceTimeout)
-	if _, err := wire.Encode(dl.conn, &wire.FeatureRequest{SampleID: sampleID}); err != nil {
+func (g *Gateway) fetchFeatures(ctx context.Context, dl *deviceLink, sid, sampleID uint64) (*wire.FeatureUpload, error) {
+	msg, err := dl.link.request(ctx, sid, &wire.FeatureRequest{Session: sid, SampleID: sampleID}, g.cfg.DeviceTimeout)
+	if err != nil {
 		return nil, err
 	}
-	_ = dl.conn.SetReadDeadline(deadline)
-	defer dl.conn.SetReadDeadline(time.Time{})
-	for {
-		msg, err := wire.Decode(dl.conn)
-		if err != nil {
-			return nil, err
-		}
-		switch m := msg.(type) {
-		case *wire.FeatureUpload:
-			if m.SampleID != sampleID {
-				continue
-			}
-			return m, nil
-		case *wire.Error:
-			return nil, errors.New(m.Msg)
-		default:
-			continue
-		}
+	switch m := msg.(type) {
+	case *wire.FeatureUpload:
+		return m, nil
+	case *wire.Error:
+		return nil, fmt.Errorf("cluster: device %d: %s", dl.index, m.Msg)
+	default:
+		return nil, fmt.Errorf("cluster: expected FeatureUpload, got %v", msg.MsgType())
 	}
+}
+
+// deviceDown reports the sticky failure state of a device.
+func (g *Gateway) deviceDown(device int) bool {
+	g.stateMu.Lock()
+	defer g.stateMu.Unlock()
+	return g.devices[device].down
+}
+
+// recordTimeout counts a consecutive miss and applies sticky marking.
+func (g *Gateway) recordTimeout(device int) {
+	g.stateMu.Lock()
+	defer g.stateMu.Unlock()
+	dl := g.devices[device]
+	dl.failures++
+	if g.cfg.MaxFailures > 0 && dl.failures >= g.cfg.MaxFailures && !dl.down {
+		g.logger.Warn("device marked down", "device", device, "consecutive_timeouts", dl.failures)
+		dl.down = true
+	}
+}
+
+// recordSuccess resets the consecutive-miss counter.
+func (g *Gateway) recordSuccess(device int) {
+	g.stateMu.Lock()
+	defer g.stateMu.Unlock()
+	g.devices[device].failures = 0
 }
 
 // DownDevices returns the indices of devices currently marked down by
 // sticky failure detection.
 func (g *Gateway) DownDevices() []int {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	g.stateMu.Lock()
+	defer g.stateMu.Unlock()
 	var out []int
 	for _, dl := range g.devices {
 		if dl.down {
@@ -365,12 +394,12 @@ func (g *Gateway) DownDevices() []int {
 // Close tears down all connections.
 func (g *Gateway) Close() error {
 	for _, dl := range g.devices {
-		if dl.conn != nil {
-			dl.conn.Close()
+		if dl.link != nil {
+			dl.link.close()
 		}
 	}
 	if g.cloud != nil {
-		g.cloud.Close()
+		g.cloud.close()
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -29,7 +30,8 @@ type HealthMonitor struct {
 // StartHealthMonitor dials a probe connection to each device and begins
 // heartbeating every interval. A device is marked down after `misses`
 // consecutive unanswered probes and marked up again on the first answer.
-func (g *Gateway) StartHealthMonitor(tr transport.Transport, deviceAddrs []string, interval time.Duration, misses int) (*HealthMonitor, error) {
+// The context bounds the probe dials only.
+func (g *Gateway) StartHealthMonitor(ctx context.Context, tr transport.Transport, deviceAddrs []string, interval time.Duration, misses int) (*HealthMonitor, error) {
 	if len(deviceAddrs) != len(g.devices) {
 		return nil, fmt.Errorf("cluster: health monitor needs %d device addresses, got %d", len(g.devices), len(deviceAddrs))
 	}
@@ -46,7 +48,7 @@ func (g *Gateway) StartHealthMonitor(tr transport.Transport, deviceAddrs []strin
 		stop:     make(chan struct{}),
 	}
 	for i, addr := range deviceAddrs {
-		conn, err := tr.Dial(addr)
+		conn, err := tr.Dial(ctx, addr)
 		if err != nil {
 			hm.Stop()
 			return nil, fmt.Errorf("cluster: health dial device %d: %w", i, err)
@@ -116,8 +118,8 @@ func (hm *HealthMonitor) Stop() {
 
 // setDeviceDown flips a device's availability from the failure detector.
 func (g *Gateway) setDeviceDown(device int, down bool) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	g.stateMu.Lock()
+	defer g.stateMu.Unlock()
 	dl := g.devices[device]
 	if dl.down == down {
 		return

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"log/slog"
 
@@ -17,9 +18,12 @@ type Sim struct {
 	Devices []*Device
 	Cloud   *Cloud
 	Gateway *Gateway
+
+	addrs []string
 }
 
 // DatasetFeed builds a Feed serving one device's views from a dataset.
+// The returned feed is safe for concurrent sessions.
 func DatasetFeed(ds *dataset.Dataset, device int) Feed {
 	return func(sampleID uint64) (*tensor.Tensor, error) {
 		idx := int(sampleID)
@@ -51,14 +55,18 @@ func NewSim(model *core.Model, ds *dataset.Dataset, cfg GatewayConfig, tr transp
 		s.Close()
 		return nil, err
 	}
-	gw, err := NewGateway(model, cfg, tr, addrs, "cloud", logger)
+	gw, err := NewGateway(context.Background(), model, cfg, tr, addrs, "cloud", logger)
 	if err != nil {
 		s.Close()
 		return nil, err
 	}
 	s.Gateway = gw
+	s.addrs = addrs
 	return s, nil
 }
+
+// DeviceAddrs returns the synthesized device addresses, in device order.
+func (s *Sim) DeviceAddrs() []string { return append([]string(nil), s.addrs...) }
 
 // Close tears the whole cluster down.
 func (s *Sim) Close() error {

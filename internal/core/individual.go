@@ -43,6 +43,7 @@ func NewIndividualModel(cfg Config, device int) (*IndividualModel, error) {
 	}
 	im.params = append(im.params, im.convp.Params()...)
 	im.params = append(im.params, im.exit.params()...)
+	im.Freeze()
 	return im, nil
 }
 
@@ -98,6 +99,7 @@ func (im *IndividualModel) Train(ds *dataset.Dataset, cfg TrainConfig) (float64,
 			cfg.Progress(epoch, lastLoss)
 		}
 	}
+	im.Freeze()
 	return lastLoss, nil
 }
 

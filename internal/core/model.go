@@ -29,6 +29,7 @@ type head interface {
 	params() []*nn.Param
 	memoryBits() int
 	batchNorm() *nn.BatchNorm
+	syncWeights()
 }
 
 var (
@@ -58,6 +59,8 @@ func (e *exitHead) params() []*nn.Param {
 func (e *exitHead) memoryBits() int { return e.lin.WeightBits() + 2*32*e.bn.C }
 
 func (e *exitHead) batchNorm() *nn.BatchNorm { return e.bn }
+
+func (e *exitHead) syncWeights() { e.lin.SyncWeights() }
 
 // floatExitHead is the floating-point exit used by mixed-precision clouds:
 // a plain linear layer with bias and batch normalization.
@@ -90,6 +93,8 @@ func (e *floatExitHead) memoryBits() int {
 }
 
 func (e *floatExitHead) batchNorm() *nn.BatchNorm { return e.bn }
+
+func (e *floatExitHead) syncWeights() {} // no derived weights
 
 // deviceSection is the slice of the DDNN that runs on one end device: a
 // ConvP block producing the binarized feature map that is uploaded on a
@@ -231,6 +236,7 @@ func NewModel(cfg Config) (*Model, error) {
 		m.params = append(m.params, m.cloudAgg.Params()...)
 	}
 	m.params = append(m.params, m.cloud.params()...)
+	m.Freeze()
 	return m, nil
 }
 

@@ -10,8 +10,10 @@ import (
 // The methods in this file expose the DDNN's sections individually so the
 // cluster runtime can place each section on its own node (device, edge,
 // cloud), mirroring how the trained network is mapped onto the physical
-// hierarchy in §III-A. All methods run in inference mode and are not safe
-// for concurrent use on the same Model.
+// hierarchy in §III-A. All methods run in inference mode and are
+// read-only on a frozen model (NewModel, Train and LoadStateDict freeze
+// automatically; see Freeze), so any number of concurrent sessions may
+// call them on the same Model without locking.
 
 // DeviceForward runs one device's section on a batch of its sensor views,
 // returning the binarized feature map (uploaded to the cloud on a

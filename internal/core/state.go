@@ -92,5 +92,8 @@ func (m *Model) LoadStateDict(state []NamedTensor) error {
 			}
 		}
 	}
+	// The loaded latents replace whatever the binarized weights were
+	// derived from; re-sync so inference is correct and read-only.
+	m.Freeze()
 	return nil
 }

@@ -74,5 +74,8 @@ func (m *Model) Train(ds *dataset.Dataset, cfg TrainConfig) (float64, error) {
 			cfg.Progress(epoch, lastLoss)
 		}
 	}
+	// Re-sync the binarized weights from the final optimizer step so
+	// inference is up to date and read-only from here on.
+	m.Freeze()
 	return lastLoss, nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"log/slog"
 	"strings"
@@ -77,7 +78,7 @@ func (r *Runner) CommunicationReduction(threshold float64, maxSamples int) (*Com
 	var localLat, cloudLat time.Duration
 	var localN, cloudN int
 	for id := 0; id < n; id++ {
-		res, err := sim.Gateway.Classify(uint64(id))
+		res, err := sim.Gateway.Classify(context.Background(), uint64(id))
 		if err != nil {
 			return nil, fmt.Errorf("experiments: classify sample %d: %w", id, err)
 		}

@@ -1,9 +1,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"log/slog"
-	"net"
 	"strings"
 	"time"
 
@@ -74,9 +74,9 @@ func (r *Runner) LatencyByExit(threshold float64, maxSamples int) (*LatencyRepor
 
 	gcfg := cluster.DefaultGatewayConfig()
 	gcfg.Threshold = threshold
-	gw, err := cluster.NewGateway(m, gcfg, routeTransport{
-		inner: mem,
-		pick: func(addr string) transport.LinkProfile {
+	gw, err := cluster.NewGateway(context.Background(), m, gcfg, transport.RouteSim{
+		Inner: mem,
+		Pick: func(addr string) transport.LinkProfile {
 			if addr == "lat-cloud" {
 				return cloudLink
 			}
@@ -95,7 +95,7 @@ func (r *Runner) LatencyByExit(threshold float64, maxSamples int) (*LatencyRepor
 	localLat := metrics.NewLatencyRecorder()
 	cloudLat := metrics.NewLatencyRecorder()
 	for id := 0; id < n; id++ {
-		res, err := gw.Classify(uint64(id))
+		res, err := gw.Classify(context.Background(), uint64(id))
 		if err != nil {
 			return nil, fmt.Errorf("experiments: latency sample %d: %w", id, err)
 		}
@@ -120,28 +120,6 @@ func (r *Runner) LatencyByExit(threshold float64, maxSamples int) (*LatencyRepor
 		RawTransfer: deviceLink.TransferTime(raw) + cloudLink.TransferTime(raw),
 		RawOffloadB: raw,
 	}, nil
-}
-
-// routeTransport applies a per-address link profile to dialed connections,
-// so device uplinks and the WAN path to the cloud carry different
-// latency/bandwidth characteristics within one cluster.
-type routeTransport struct {
-	inner transport.Transport
-	pick  func(addr string) transport.LinkProfile
-}
-
-var _ transport.Transport = routeTransport{}
-
-func (r routeTransport) Listen(addr string) (net.Listener, error) {
-	return r.inner.Listen(addr)
-}
-
-func (r routeTransport) Dial(addr string) (net.Conn, error) {
-	c, err := r.inner.Dial(addr)
-	if err != nil {
-		return nil, err
-	}
-	return transport.Simulate(c, r.pick(addr)), nil
 }
 
 // FormatLatencyReport renders the per-exit latency comparison.

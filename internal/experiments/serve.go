@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"strings"
+	"time"
+
+	"github.com/ddnn/ddnn-go/internal/agg"
+	"github.com/ddnn/ddnn-go/internal/cluster"
+	"github.com/ddnn/ddnn-go/internal/transport"
+)
+
+// ServingPoint is one row of the serving-throughput comparison: sustained
+// classification throughput at a given number of concurrent sessions.
+type ServingPoint struct {
+	// Concurrency is the number of in-flight sessions.
+	Concurrency int
+	// Samples classified during the measurement.
+	Samples int
+	// Elapsed wall-clock time.
+	Elapsed time.Duration
+	// Throughput in samples per second.
+	Throughput float64
+	// Speedup relative to the single-flight baseline (first row).
+	Speedup float64
+}
+
+// ServingThroughput measures multi-session serving throughput on a live
+// in-process cluster at each concurrency level, quantifying what the
+// Engine's session multiplexing buys over the old single-flight gateway.
+// Connections carry the §IV-B link profiles (wireless device uplinks, WAN
+// cloud path), so concurrent sessions overlap link latency exactly as a
+// deployed gateway would. The first level should be 1 (the lock-step
+// baseline); speedups are reported relative to it.
+func (r *Runner) ServingThroughput(threshold float64, samples int, levels []int) ([]ServingPoint, error) {
+	m, err := r.model(agg.MP, agg.CC, r.opts.Model.DeviceFilters)
+	if err != nil {
+		return nil, err
+	}
+	if samples <= 0 || samples > r.test.Len() {
+		samples = r.test.Len()
+	}
+	quiet := slog.New(slog.NewTextHandler(discardWriter{}, &slog.HandlerOptions{Level: slog.LevelError}))
+
+	var points []ServingPoint
+	for _, level := range levels {
+		gcfg := cluster.DefaultGatewayConfig()
+		gcfg.Threshold = threshold
+		eng, err := cluster.NewEngine(m, r.test, cluster.EngineConfig{
+			Gateway:        gcfg,
+			MaxConcurrency: level,
+			Logger:         quiet,
+			DeviceLink:     transport.DeviceToGateway,
+			CloudLink:      transport.GatewayToCloud,
+		}, transport.NewMem())
+		if err != nil {
+			return nil, fmt.Errorf("experiments: start engine: %w", err)
+		}
+		ids := make([]uint64, samples)
+		for i := range ids {
+			ids[i] = uint64(i)
+		}
+		start := time.Now()
+		if _, err := eng.ClassifyBatch(context.Background(), ids); err != nil {
+			eng.Close()
+			return nil, fmt.Errorf("experiments: serving at concurrency %d: %w", level, err)
+		}
+		elapsed := time.Since(start)
+		eng.Close()
+
+		p := ServingPoint{
+			Concurrency: level,
+			Samples:     samples,
+			Elapsed:     elapsed,
+			Throughput:  float64(samples) / elapsed.Seconds(),
+		}
+		if len(points) == 0 {
+			p.Speedup = 1
+		} else {
+			p.Speedup = p.Throughput / points[0].Throughput
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// FormatServingThroughput renders the concurrency sweep.
+func FormatServingThroughput(points []ServingPoint) string {
+	var sb strings.Builder
+	sb.WriteString("Concurrency  Samples    Elapsed  Samples/s  Speedup\n")
+	for _, p := range points {
+		fmt.Fprintf(&sb, "%11d %8d %10v %10.1f %7.2fx\n",
+			p.Concurrency, p.Samples, p.Elapsed.Round(time.Millisecond), p.Throughput, p.Speedup)
+	}
+	return sb.String()
+}

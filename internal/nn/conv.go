@@ -52,10 +52,12 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
 	oh, ow := c.OutSize(h), c.OutSize(w)
+	// Cache only during training: backward needs the shapes, and inference
+	// must stay free of writes so concurrent sessions can share the layer.
 	if train {
 		c.x = x
+		c.cachedInH, c.cachedInW, c.cachedOutH, c.cachedOutW = h, w, oh, ow
 	}
-	c.cachedInH, c.cachedInW, c.cachedOutH, c.cachedOutW = h, w, oh, ow
 
 	y := tensor.New(n, c.OutC, oh, ow)
 	xd, yd, wd := x.Data(), y.Data(), c.Weight.Value.Data()

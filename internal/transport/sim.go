@@ -1,7 +1,9 @@
 package transport
 
 import (
+	"context"
 	"net"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -33,27 +35,131 @@ var (
 func (p LinkProfile) TransferTime(n int) time.Duration {
 	d := p.Latency
 	if p.BandwidthBps > 0 {
-		d += time.Duration(int64(n) * int64(time.Second) / p.BandwidthBps)
+		d += p.SerializeTime(n)
 	}
 	return d
 }
 
-// simConn delays writes according to a link profile.
+// SerializeTime returns the time the link is occupied putting n bytes on
+// the wire at the configured bandwidth (zero when unlimited).
+func (p LinkProfile) SerializeTime(n int) time.Duration {
+	if p.BandwidthBps <= 0 {
+		return 0
+	}
+	return time.Duration(int64(n) * int64(time.Second) / p.BandwidthBps)
+}
+
+// simConn imposes a link profile on writes. The sender is blocked only for
+// the serialization time — the period the link is actually occupied —
+// while the propagation latency is applied by an order-preserving delivery
+// queue, so multiple frames can be "in flight" at once exactly as on a
+// real link. This is what lets concurrent sessions sharing one connection
+// overlap propagation delays instead of serializing on them.
 type simConn struct {
 	net.Conn
 	profile LinkProfile
+
+	wmu    sync.Mutex // serializes senders (the link is one wire)
+	sendCh chan delayedFrame
+
+	errMu sync.Mutex
+	err   error
+
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+type delayedFrame struct {
+	data      []byte
+	deliverAt time.Time
 }
 
 // Simulate wraps a connection so every write experiences the link's
-// latency and serialization delay (applied on the sender side, which is
-// where a constrained uplink throttles a real device).
+// serialization delay (sender-side, where a constrained uplink throttles a
+// real device) and its propagation latency (in-flight, overlapping later
+// writes).
 func Simulate(c net.Conn, p LinkProfile) net.Conn {
-	return &simConn{Conn: c, profile: p}
+	s := &simConn{
+		Conn:    c,
+		profile: p,
+		sendCh:  make(chan delayedFrame, 256),
+		done:    make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.deliverLoop()
+	return s
+}
+
+func (c *simConn) deliverLoop() {
+	defer c.wg.Done()
+	for {
+		select {
+		case f := <-c.sendCh:
+			if d := time.Until(f.deliverAt); d > 0 {
+				time.Sleep(d)
+			}
+			if _, err := c.Conn.Write(f.data); err != nil {
+				c.setErr(err)
+				return
+			}
+		case <-c.done:
+			// Flush whatever is still in flight without further delay.
+			for {
+				select {
+				case f := <-c.sendCh:
+					if _, err := c.Conn.Write(f.data); err != nil {
+						c.setErr(err)
+						return
+					}
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (c *simConn) setErr(err error) {
+	c.errMu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.errMu.Unlock()
+}
+
+func (c *simConn) getErr() error {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	return c.err
 }
 
 func (c *simConn) Write(b []byte) (int, error) {
-	time.Sleep(c.profile.TransferTime(len(b)))
-	return c.Conn.Write(b)
+	if err := c.getErr(); err != nil {
+		return 0, err
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if d := c.profile.SerializeTime(len(b)); d > 0 {
+		time.Sleep(d)
+	}
+	frame := delayedFrame{
+		data:      append([]byte(nil), b...),
+		deliverAt: time.Now().Add(c.profile.Latency),
+	}
+	select {
+	case c.sendCh <- frame:
+		return len(b), nil
+	case <-c.done:
+		return 0, net.ErrClosed
+	}
+}
+
+// Close flushes in-flight frames and closes the underlying connection.
+func (c *simConn) Close() error {
+	c.closeOnce.Do(func() { close(c.done) })
+	c.wg.Wait()
+	return c.Conn.Close()
 }
 
 // SimTransport decorates a transport so every dialed connection
@@ -73,12 +179,39 @@ func (s SimTransport) Listen(addr string) (net.Listener, error) {
 
 // Dial delegates to the inner transport and wraps the connection with the
 // link simulation.
-func (s SimTransport) Dial(addr string) (net.Conn, error) {
-	c, err := s.Inner.Dial(addr)
+func (s SimTransport) Dial(ctx context.Context, addr string) (net.Conn, error) {
+	c, err := s.Inner.Dial(ctx, addr)
 	if err != nil {
 		return nil, err
 	}
 	return Simulate(c, s.Profile), nil
+}
+
+// RouteSim decorates a transport so each dialed connection experiences a
+// per-address link profile — device uplinks and the WAN path to the cloud
+// carry different latency/bandwidth within one cluster. Listeners pass
+// through unchanged; the delay applies to the dialer's writes.
+type RouteSim struct {
+	Inner Transport
+	// Pick returns the link profile for an address.
+	Pick func(addr string) LinkProfile
+}
+
+var _ Transport = RouteSim{}
+
+// Listen delegates to the inner transport.
+func (r RouteSim) Listen(addr string) (net.Listener, error) {
+	return r.Inner.Listen(addr)
+}
+
+// Dial delegates to the inner transport and wraps the connection with the
+// address's link simulation.
+func (r RouteSim) Dial(ctx context.Context, addr string) (net.Conn, error) {
+	c, err := r.Inner.Dial(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	return Simulate(c, r.Pick(addr)), nil
 }
 
 // CountingConn wraps a connection and counts bytes read and written. It is

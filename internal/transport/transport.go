@@ -7,15 +7,18 @@
 package transport
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
 )
 
-// Transport creates listeners and connections by address.
+// Transport creates listeners and connections by address. Dial honors the
+// context's deadline and cancellation, so callers bound connection setup
+// with the same ctx that governs the session using the connection.
 type Transport interface {
 	Listen(addr string) (net.Listener, error)
-	Dial(addr string) (net.Conn, error)
+	Dial(ctx context.Context, addr string) (net.Conn, error)
 }
 
 // TCP is the production transport over real sockets.
@@ -33,8 +36,9 @@ func (TCP) Listen(addr string) (net.Listener, error) {
 }
 
 // Dial connects to a TCP listener.
-func (TCP) Dial(addr string) (net.Conn, error) {
-	c, err := net.Dial("tcp", addr)
+func (TCP) Dial(ctx context.Context, addr string) (net.Conn, error) {
+	var d net.Dialer
+	c, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
@@ -74,12 +78,17 @@ func (m *Mem) Listen(addr string) (net.Listener, error) {
 }
 
 // Dial connects to a registered listener.
-func (m *Mem) Dial(addr string) (net.Conn, error) {
+func (m *Mem) Dial(ctx context.Context, addr string) (net.Conn, error) {
 	m.mu.Lock()
 	l, ok := m.listeners[addr]
 	m.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("transport: no listener at %s", addr)
+	}
+	select {
+	case <-l.closed:
+		return nil, fmt.Errorf("transport: listener at %s closed", addr)
+	default:
 	}
 	client, server := net.Pipe()
 	select {
@@ -89,6 +98,10 @@ func (m *Mem) Dial(addr string) (net.Conn, error) {
 		client.Close()
 		server.Close()
 		return nil, fmt.Errorf("transport: listener at %s closed", addr)
+	case <-ctx.Done():
+		client.Close()
+		server.Close()
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, ctx.Err())
 	}
 }
 
@@ -121,6 +134,16 @@ func (l *memListener) Close() error {
 	l.closeOnce.Do(func() {
 		close(l.closed)
 		l.parent.remove(l.addr)
+		// Close conns that were dialed but never accepted, so their
+		// peers observe EOF instead of hanging on a reader-less pipe.
+		for {
+			select {
+			case c := <-l.conns:
+				c.Close()
+			default:
+				return
+			}
+		}
 	})
 	return nil
 }

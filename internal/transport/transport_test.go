@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"io"
 	"net"
@@ -40,7 +41,7 @@ func TestMemDialAndListen(t *testing.T) {
 		}
 	}()
 
-	c, err := m.Dial("gateway")
+	c, err := m.Dial(context.Background(), "gateway")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,8 +60,43 @@ func TestMemDialAndListen(t *testing.T) {
 }
 
 func TestMemDialUnknownAddress(t *testing.T) {
-	if _, err := NewMem().Dial("nowhere"); err == nil {
+	if _, err := NewMem().Dial(context.Background(), "nowhere"); err == nil {
 		t.Error("Dial to unregistered address succeeded")
+	}
+}
+
+func TestMemDialHonorsContext(t *testing.T) {
+	m := NewMem()
+	if _, err := m.Listen("full"); err != nil {
+		t.Fatal(err)
+	}
+	// Saturate the listener's accept queue so Dial must block, then
+	// cancel: the dial has to fail with the context error, not hang.
+	ctx, cancel := context.WithCancel(context.Background())
+	saturated := false
+	for i := 0; i < 64 && !saturated; i++ {
+		done := make(chan error, 1)
+		go func() {
+			_, err := m.Dial(ctx, "full")
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("dial %d failed before saturation: %v", i, err)
+			}
+		case <-time.After(50 * time.Millisecond):
+			saturated = true
+		}
+	}
+	if !saturated {
+		t.Skip("accept queue never filled; cannot exercise blocking dial")
+	}
+	cancel()
+	// The blocked dial goroutine exits via ctx; give it a moment.
+	time.Sleep(20 * time.Millisecond)
+	if _, err := m.Dial(ctx, "full"); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled dial err = %v, want context.Canceled", err)
 	}
 }
 
@@ -129,7 +165,7 @@ func TestTCPLoopback(t *testing.T) {
 		io.Copy(conn, conn) // echo
 	}()
 
-	c, err := tr.Dial(l.Addr().String())
+	c, err := tr.Dial(context.Background(), l.Addr().String())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,33 +204,91 @@ func TestLinkProfileTransferTime(t *testing.T) {
 	}
 }
 
-func TestSimulateDelaysWrites(t *testing.T) {
+func TestSimulateDelaysDelivery(t *testing.T) {
 	m := NewMem()
 	l, err := m.Listen("a")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer l.Close()
+	arrived := make(chan time.Time, 1)
 	go func() {
 		conn, err := l.Accept()
 		if err != nil {
 			return
 		}
 		defer conn.Close()
-		io.Copy(io.Discard, conn)
+		buf := make([]byte, 1)
+		if _, err := io.ReadFull(conn, buf); err == nil {
+			arrived <- time.Now()
+		}
 	}()
-	raw, err := m.Dial("a")
+	raw, err := m.Dial(context.Background(), "a")
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer raw.Close()
 	sim := Simulate(raw, LinkProfile{Latency: 30 * time.Millisecond})
+	defer sim.Close()
 	start := time.Now()
 	if _, err := sim.Write([]byte("x")); err != nil {
 		t.Fatal(err)
 	}
-	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
-		t.Errorf("write completed in %v, want ≥ 30ms", elapsed)
+	// Propagation happens in flight: the sender returns quickly, the
+	// receiver sees the byte only after the link latency.
+	if sendTime := time.Since(start); sendTime > 25*time.Millisecond {
+		t.Errorf("sender blocked %v; propagation must not occupy the sender", sendTime)
+	}
+	select {
+	case at := <-arrived:
+		if elapsed := at.Sub(start); elapsed < 30*time.Millisecond {
+			t.Errorf("delivered after %v, want ≥ 30ms", elapsed)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("byte never delivered")
+	}
+}
+
+func TestSimulateOverlapsPropagation(t *testing.T) {
+	// Two back-to-back writes share the link: with in-flight propagation
+	// both must arrive in ~one latency, not two.
+	m := NewMem()
+	l, err := m.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	done := make(chan time.Time, 1)
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 2)
+		if _, err := io.ReadFull(conn, buf); err == nil {
+			done <- time.Now()
+		}
+	}()
+	raw, err := m.Dial(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := Simulate(raw, LinkProfile{Latency: 50 * time.Millisecond})
+	defer sim.Close()
+	start := time.Now()
+	if _, err := sim.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Write([]byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case at := <-done:
+		if elapsed := at.Sub(start); elapsed > 90*time.Millisecond {
+			t.Errorf("two frames took %v, want ~50ms (in-flight overlap), not 100ms", elapsed)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("frames never delivered")
 	}
 }
 
@@ -213,18 +307,19 @@ func TestSimTransportWrapsDials(t *testing.T) {
 		defer conn.Close()
 		io.Copy(io.Discard, conn)
 	}()
-	sim := SimTransport{Inner: mem, Profile: LinkProfile{Latency: 25 * time.Millisecond}}
-	c, err := sim.Dial("a")
+	sim := SimTransport{Inner: mem, Profile: LinkProfile{BandwidthBps: 10}}
+	c, err := sim.Dial(context.Background(), "a")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
 	start := time.Now()
+	// 1 byte at 10 B/s serializes for 100ms on the sender.
 	if _, err := c.Write([]byte("x")); err != nil {
 		t.Fatal(err)
 	}
-	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
-		t.Errorf("dialed conn wrote in %v, want ≥ 25ms", elapsed)
+	if elapsed := time.Since(start); elapsed < 100*time.Millisecond {
+		t.Errorf("dialed conn wrote in %v, want ≥ 100ms serialization", elapsed)
 	}
 	// Listeners pass through unchanged.
 	if _, err := sim.Listen("b"); err != nil {
@@ -234,7 +329,7 @@ func TestSimTransportWrapsDials(t *testing.T) {
 
 func TestSimTransportDialError(t *testing.T) {
 	sim := SimTransport{Inner: NewMem()}
-	if _, err := sim.Dial("missing"); err == nil {
+	if _, err := sim.Dial(context.Background(), "missing"); err == nil {
 		t.Error("Dial to missing address succeeded")
 	}
 }
@@ -256,7 +351,7 @@ func TestCountingConn(t *testing.T) {
 		io.ReadFull(conn, buf)
 		conn.Write([]byte("abcde"))
 	}()
-	raw, err := m.Dial("a")
+	raw, err := m.Dial(context.Background(), "a")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -69,6 +69,7 @@ func (m *Hello) decodePayload(src []byte) error {
 // the local aggregator. Its payload charges exactly 4 bytes per class, the
 // first term of Eq. (1).
 type LocalSummary struct {
+	Session  uint64
 	SampleID uint64
 	Device   uint16
 	Probs    []float32
@@ -77,7 +78,11 @@ type LocalSummary struct {
 // MsgType implements Message.
 func (*LocalSummary) MsgType() MsgType { return TypeLocalSummary }
 
+// SessionID implements Sessioned.
+func (m *LocalSummary) SessionID() uint64 { return m.Session }
+
 func (m *LocalSummary) appendPayload(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, m.Session)
 	dst = binary.LittleEndian.AppendUint64(dst, m.SampleID)
 	dst = binary.LittleEndian.AppendUint16(dst, m.Device)
 	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(m.Probs)))
@@ -88,13 +93,14 @@ func (m *LocalSummary) appendPayload(dst []byte) []byte {
 }
 
 func (m *LocalSummary) decodePayload(src []byte) error {
-	if len(src) < 12 {
+	if len(src) < 20 {
 		return ErrShortPayload
 	}
-	m.SampleID = binary.LittleEndian.Uint64(src[0:8])
-	m.Device = binary.LittleEndian.Uint16(src[8:10])
-	n := int(binary.LittleEndian.Uint16(src[10:12]))
-	src = src[12:]
+	m.Session = binary.LittleEndian.Uint64(src[0:8])
+	m.SampleID = binary.LittleEndian.Uint64(src[8:16])
+	m.Device = binary.LittleEndian.Uint16(src[16:18])
+	n := int(binary.LittleEndian.Uint16(src[18:20]))
+	src = src[20:]
 	if len(src) != 4*n {
 		return ErrShortPayload
 	}
@@ -110,29 +116,36 @@ func (m *LocalSummary) decodePayload(src []byte) error {
 func SummaryPayloadBytes(classes int) int { return 4 * classes }
 
 // FeatureRequest asks a device to upload its binarized feature map for a
-// sample that missed the local exit.
+// session that missed the local exit.
 type FeatureRequest struct {
+	Session  uint64
 	SampleID uint64
 }
 
 // MsgType implements Message.
 func (*FeatureRequest) MsgType() MsgType { return TypeFeatureRequest }
 
+// SessionID implements Sessioned.
+func (m *FeatureRequest) SessionID() uint64 { return m.Session }
+
 func (m *FeatureRequest) appendPayload(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, m.Session)
 	return binary.LittleEndian.AppendUint64(dst, m.SampleID)
 }
 
 func (m *FeatureRequest) decodePayload(src []byte) error {
-	if len(src) != 8 {
+	if len(src) != 16 {
 		return ErrShortPayload
 	}
-	m.SampleID = binary.LittleEndian.Uint64(src)
+	m.Session = binary.LittleEndian.Uint64(src[0:8])
+	m.SampleID = binary.LittleEndian.Uint64(src[8:16])
 	return nil
 }
 
 // FeatureUpload carries a device's bit-packed binarized feature map: f
 // filters of h×w bits each, f·h·w/8 bytes — the second term of Eq. (1).
 type FeatureUpload struct {
+	Session  uint64
 	SampleID uint64
 	Device   uint16
 	F, H, W  uint16
@@ -142,7 +155,11 @@ type FeatureUpload struct {
 // MsgType implements Message.
 func (*FeatureUpload) MsgType() MsgType { return TypeFeatureUpload }
 
+// SessionID implements Sessioned.
+func (m *FeatureUpload) SessionID() uint64 { return m.Session }
+
 func (m *FeatureUpload) appendPayload(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, m.Session)
 	dst = binary.LittleEndian.AppendUint64(dst, m.SampleID)
 	dst = binary.LittleEndian.AppendUint16(dst, m.Device)
 	dst = binary.LittleEndian.AppendUint16(dst, m.F)
@@ -153,16 +170,17 @@ func (m *FeatureUpload) appendPayload(dst []byte) []byte {
 }
 
 func (m *FeatureUpload) decodePayload(src []byte) error {
-	if len(src) < 20 {
+	if len(src) < 28 {
 		return ErrShortPayload
 	}
-	m.SampleID = binary.LittleEndian.Uint64(src[0:8])
-	m.Device = binary.LittleEndian.Uint16(src[8:10])
-	m.F = binary.LittleEndian.Uint16(src[10:12])
-	m.H = binary.LittleEndian.Uint16(src[12:14])
-	m.W = binary.LittleEndian.Uint16(src[14:16])
-	n := int(binary.LittleEndian.Uint32(src[16:20]))
-	src = src[20:]
+	m.Session = binary.LittleEndian.Uint64(src[0:8])
+	m.SampleID = binary.LittleEndian.Uint64(src[8:16])
+	m.Device = binary.LittleEndian.Uint16(src[16:18])
+	m.F = binary.LittleEndian.Uint16(src[18:20])
+	m.H = binary.LittleEndian.Uint16(src[20:22])
+	m.W = binary.LittleEndian.Uint16(src[22:24])
+	n := int(binary.LittleEndian.Uint32(src[24:28]))
+	src = src[28:]
 	if len(src) != n {
 		return ErrShortPayload
 	}
@@ -200,6 +218,7 @@ func (e ExitPoint) String() string {
 
 // ClassifyResult reports the classification of a sample.
 type ClassifyResult struct {
+	Session  uint64
 	SampleID uint64
 	Exit     ExitPoint
 	Class    uint16
@@ -209,7 +228,11 @@ type ClassifyResult struct {
 // MsgType implements Message.
 func (*ClassifyResult) MsgType() MsgType { return TypeClassifyResult }
 
+// SessionID implements Sessioned.
+func (m *ClassifyResult) SessionID() uint64 { return m.Session }
+
 func (m *ClassifyResult) appendPayload(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, m.Session)
 	dst = binary.LittleEndian.AppendUint64(dst, m.SampleID)
 	dst = append(dst, byte(m.Exit))
 	dst = binary.LittleEndian.AppendUint16(dst, m.Class)
@@ -221,14 +244,15 @@ func (m *ClassifyResult) appendPayload(dst []byte) []byte {
 }
 
 func (m *ClassifyResult) decodePayload(src []byte) error {
-	if len(src) < 13 {
+	if len(src) < 21 {
 		return ErrShortPayload
 	}
-	m.SampleID = binary.LittleEndian.Uint64(src[0:8])
-	m.Exit = ExitPoint(src[8])
-	m.Class = binary.LittleEndian.Uint16(src[9:11])
-	n := int(binary.LittleEndian.Uint16(src[11:13]))
-	src = src[13:]
+	m.Session = binary.LittleEndian.Uint64(src[0:8])
+	m.SampleID = binary.LittleEndian.Uint64(src[8:16])
+	m.Exit = ExitPoint(src[16])
+	m.Class = binary.LittleEndian.Uint16(src[17:19])
+	n := int(binary.LittleEndian.Uint16(src[19:21]))
+	src = src[21:]
 	if len(src) != 4*n {
 		return ErrShortPayload
 	}
@@ -266,26 +290,33 @@ func (m *Heartbeat) decodePayload(src []byte) error {
 	return nil
 }
 
-// Error reports a protocol or processing failure.
+// Error reports a protocol or processing failure. Session routes the error
+// to the inference session it aborts; zero means connection-scoped.
 type Error struct {
-	Code uint16
-	Msg  string
+	Session uint64
+	Code    uint16
+	Msg     string
 }
 
 // MsgType implements Message.
 func (*Error) MsgType() MsgType { return TypeError }
 
+// SessionID implements Sessioned.
+func (m *Error) SessionID() uint64 { return m.Session }
+
 func (m *Error) appendPayload(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, m.Session)
 	dst = binary.LittleEndian.AppendUint16(dst, m.Code)
 	return appendString(dst, m.Msg)
 }
 
 func (m *Error) decodePayload(src []byte) error {
-	if len(src) < 2 {
+	if len(src) < 10 {
 		return ErrShortPayload
 	}
-	m.Code = binary.LittleEndian.Uint16(src[0:2])
-	s, rest, err := readString(src[2:])
+	m.Session = binary.LittleEndian.Uint64(src[0:8])
+	m.Code = binary.LittleEndian.Uint16(src[8:10])
+	s, rest, err := readString(src[10:])
 	if err != nil {
 		return err
 	}
@@ -299,21 +330,27 @@ func (m *Error) decodePayload(src []byte) error {
 // CaptureRequest asks a device to process its sensor frame for a sample
 // and reply with a LocalSummary.
 type CaptureRequest struct {
+	Session  uint64
 	SampleID uint64
 }
 
 // MsgType implements Message.
 func (*CaptureRequest) MsgType() MsgType { return TypeCaptureRequest }
 
+// SessionID implements Sessioned.
+func (m *CaptureRequest) SessionID() uint64 { return m.Session }
+
 func (m *CaptureRequest) appendPayload(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, m.Session)
 	return binary.LittleEndian.AppendUint64(dst, m.SampleID)
 }
 
 func (m *CaptureRequest) decodePayload(src []byte) error {
-	if len(src) != 8 {
+	if len(src) != 16 {
 		return ErrShortPayload
 	}
-	m.SampleID = binary.LittleEndian.Uint64(src)
+	m.Session = binary.LittleEndian.Uint64(src[0:8])
+	m.SampleID = binary.LittleEndian.Uint64(src[8:16])
 	return nil
 }
 
@@ -322,6 +359,7 @@ func (m *CaptureRequest) decodePayload(src []byte) error {
 // relays exactly popcount(Mask) FeatureUploads and the cloud replies with a
 // ClassifyResult.
 type CloudClassify struct {
+	Session  uint64
 	SampleID uint64
 	// Devices is the total device count in the hierarchy.
 	Devices uint16
@@ -332,19 +370,24 @@ type CloudClassify struct {
 // MsgType implements Message.
 func (*CloudClassify) MsgType() MsgType { return TypeCloudClassify }
 
+// SessionID implements Sessioned.
+func (m *CloudClassify) SessionID() uint64 { return m.Session }
+
 func (m *CloudClassify) appendPayload(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, m.Session)
 	dst = binary.LittleEndian.AppendUint64(dst, m.SampleID)
 	dst = binary.LittleEndian.AppendUint16(dst, m.Devices)
 	return binary.LittleEndian.AppendUint16(dst, m.Mask)
 }
 
 func (m *CloudClassify) decodePayload(src []byte) error {
-	if len(src) != 12 {
+	if len(src) != 20 {
 		return ErrShortPayload
 	}
-	m.SampleID = binary.LittleEndian.Uint64(src[0:8])
-	m.Devices = binary.LittleEndian.Uint16(src[8:10])
-	m.Mask = binary.LittleEndian.Uint16(src[10:12])
+	m.Session = binary.LittleEndian.Uint64(src[0:8])
+	m.SampleID = binary.LittleEndian.Uint64(src[8:16])
+	m.Devices = binary.LittleEndian.Uint16(src[16:18])
+	m.Mask = binary.LittleEndian.Uint16(src[18:20])
 	return nil
 }
 

@@ -3,7 +3,7 @@
 // the cloud). Frames are length-prefixed with a fixed header:
 //
 //	magic   uint16  0xDD17 ("DDNN ICDCS'17")
-//	version uint8   1
+//	version uint8   2
 //	type    uint8   message type
 //	length  uint32  payload length in bytes
 //
@@ -12,6 +12,11 @@
 // float32 class-summary vector each device sends to its local aggregator
 // (4·|C| bytes), and the bit-packed binarized feature map uploaded to the
 // cloud on a local-exit miss (f·o/8 bytes).
+//
+// Since version 2 every session-scoped message carries a Session tag, so a
+// single connection can interleave frames from many concurrent inference
+// sessions and each endpoint demultiplexes replies by session instead of
+// assuming lock-step request/reply.
 package wire
 
 import (
@@ -24,8 +29,10 @@ import (
 // Magic identifies DDNN protocol frames.
 const Magic uint16 = 0xDD17
 
-// Version is the protocol version this package speaks.
-const Version uint8 = 1
+// Version is the protocol version this package speaks. Version 2 added
+// the Session tag that multiplexes concurrent inference sessions over one
+// connection.
+const Version uint8 = 2
 
 // MaxPayload bounds frame payloads to guard against corrupt or hostile
 // length fields. Feature maps in this system are tiny; 16 MiB is generous.
@@ -99,6 +106,13 @@ type Message interface {
 	appendPayload(dst []byte) []byte
 	// decodePayload parses the payload.
 	decodePayload(src []byte) error
+}
+
+// Sessioned is implemented by messages that belong to one classification
+// session. Receivers route such frames to the session's waiter, which is
+// what lets many sessions share a connection.
+type Sessioned interface {
+	SessionID() uint64
 }
 
 // Protocol errors.

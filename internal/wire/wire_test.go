@@ -36,15 +36,15 @@ func TestRoundTripAllMessageTypes(t *testing.T) {
 	}{
 		{"Hello", &Hello{NodeID: "device-3", Role: RoleDevice, Device: 3}},
 		{"Hello empty id", &Hello{NodeID: "", Role: RoleCloud}},
-		{"LocalSummary", &LocalSummary{SampleID: 42, Device: 1, Probs: []float32{0.1, 0.7, 0.2}}},
+		{"LocalSummary", &LocalSummary{Session: 17, SampleID: 42, Device: 1, Probs: []float32{0.1, 0.7, 0.2}}},
 		{"LocalSummary empty", &LocalSummary{SampleID: 1, Device: 0, Probs: []float32{}}},
-		{"FeatureRequest", &FeatureRequest{SampleID: 99}},
-		{"FeatureUpload", &FeatureUpload{SampleID: 7, Device: 2, F: 4, H: 16, W: 16, Bits: make([]byte, 4*16*16/8)}},
-		{"ClassifyResult", &ClassifyResult{SampleID: 5, Exit: ExitCloud, Class: 2, Probs: []float32{0.05, 0.05, 0.9}}},
+		{"FeatureRequest", &FeatureRequest{Session: 3, SampleID: 99}},
+		{"FeatureUpload", &FeatureUpload{Session: 9, SampleID: 7, Device: 2, F: 4, H: 16, W: 16, Bits: make([]byte, 4*16*16/8)}},
+		{"ClassifyResult", &ClassifyResult{Session: 1 << 40, SampleID: 5, Exit: ExitCloud, Class: 2, Probs: []float32{0.05, 0.05, 0.9}}},
 		{"Heartbeat", &Heartbeat{NodeID: "edge-0", Seq: 12345}},
-		{"Error", &Error{Code: 404, Msg: "no such sample"}},
-		{"CaptureRequest", &CaptureRequest{SampleID: 31337}},
-		{"CloudClassify", &CloudClassify{SampleID: 8, Devices: 6, Mask: 0b101101}},
+		{"Error", &Error{Session: 12, Code: 404, Msg: "no such sample"}},
+		{"CaptureRequest", &CaptureRequest{Session: 2, SampleID: 31337}},
+		{"CloudClassify", &CloudClassify{Session: 6, SampleID: 8, Devices: 6, Mask: 0b101101}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -57,6 +57,35 @@ func TestRoundTripAllMessageTypes(t *testing.T) {
 				t.Errorf("round trip = %+v, want %+v", got, tt.msg)
 			}
 		})
+	}
+}
+
+func TestSessionScopedMessagesImplementSessioned(t *testing.T) {
+	// Every message the gateway demultiplexes by session must carry the
+	// session tag; Hello and Heartbeat are connection-scoped.
+	sessioned := []Message{
+		&LocalSummary{Session: 7},
+		&FeatureRequest{Session: 7},
+		&FeatureUpload{Session: 7},
+		&ClassifyResult{Session: 7},
+		&Error{Session: 7},
+		&CaptureRequest{Session: 7},
+		&CloudClassify{Session: 7},
+	}
+	for _, m := range sessioned {
+		s, ok := m.(Sessioned)
+		if !ok {
+			t.Errorf("%v does not implement Sessioned", m.MsgType())
+			continue
+		}
+		if s.SessionID() != 7 {
+			t.Errorf("%v SessionID = %d, want 7", m.MsgType(), s.SessionID())
+		}
+	}
+	for _, m := range []Message{&Hello{}, &Heartbeat{}} {
+		if _, ok := m.(Sessioned); ok {
+			t.Errorf("%v must stay connection-scoped", m.MsgType())
+		}
 	}
 }
 

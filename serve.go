@@ -1,0 +1,211 @@
+package ddnn
+
+import (
+	"context"
+	"log/slog"
+	"time"
+
+	"github.com/ddnn/ddnn-go/internal/cluster"
+	"github.com/ddnn/ddnn-go/internal/transport"
+	"github.com/ddnn/ddnn-go/internal/wire"
+)
+
+// ExitPoint identifies where a sample was classified.
+type ExitPoint = wire.ExitPoint
+
+// LinkProfile describes a simulated network link (one-way latency plus
+// serialization bandwidth).
+type LinkProfile = transport.LinkProfile
+
+// Canned link profiles for the hierarchy tiers (§IV-B).
+var (
+	// DeviceToGatewayLink models a low-power local wireless uplink.
+	DeviceToGatewayLink = transport.DeviceToGateway
+	// GatewayToCloudLink models a WAN path to a datacenter.
+	GatewayToCloudLink = transport.GatewayToCloud
+)
+
+// Exit points in hierarchy order.
+const (
+	ExitLocal = wire.ExitLocal
+	ExitEdge  = wire.ExitEdge
+	ExitCloud = wire.ExitCloud
+)
+
+// Result is the outcome of one classification session: the predicted
+// class, the exit point that produced it, the class probabilities, the
+// local-aggregate entropy, device presence and wall-clock latency.
+type Result = cluster.Result
+
+// Typed serving errors, for errors.Is against Engine results. ErrCanceled
+// and ErrDeadlineExceeded also wrap the corresponding context error.
+var (
+	ErrCanceled         = cluster.ErrCanceled
+	ErrDeadlineExceeded = cluster.ErrDeadlineExceeded
+	ErrEngineClosed     = cluster.ErrClosed
+	ErrNoSummaries      = cluster.ErrNoSummaries
+	ErrCloudUnavailable = cluster.ErrCloudUnavailable
+)
+
+// engineOptions collects the functional options of NewEngine and Connect.
+type engineOptions struct {
+	cfg cluster.EngineConfig
+}
+
+// Option configures an Engine.
+type Option func(*engineOptions)
+
+// WithThreshold sets the local exit's normalized-entropy threshold T
+// (§III-D; default 0.8).
+func WithThreshold(t float64) Option {
+	return func(o *engineOptions) { o.cfg.Gateway.Threshold = t }
+}
+
+// WithDeviceTimeout bounds each device round trip; devices that miss it
+// are treated as absent for the sample (graceful degradation, §IV-G).
+func WithDeviceTimeout(d time.Duration) Option {
+	return func(o *engineOptions) { o.cfg.Gateway.DeviceTimeout = d }
+}
+
+// WithCloudTimeout bounds the cloud round trip.
+func WithCloudTimeout(d time.Duration) Option {
+	return func(o *engineOptions) { o.cfg.Gateway.CloudTimeout = d }
+}
+
+// WithMaxFailures marks a device down after n consecutive timeouts so
+// later sessions skip it immediately; 0 disables sticky detection.
+func WithMaxFailures(n int) Option {
+	return func(o *engineOptions) { o.cfg.Gateway.MaxFailures = n }
+}
+
+// WithMaxConcurrency bounds the number of in-flight sessions; additional
+// Classify calls queue (respecting their contexts). Default 16.
+func WithMaxConcurrency(n int) Option {
+	return func(o *engineOptions) { o.cfg.MaxConcurrency = n }
+}
+
+// WithLogger routes node logs to l instead of slog.Default().
+func WithLogger(l *slog.Logger) Option {
+	return func(o *engineOptions) { o.cfg.Logger = l }
+}
+
+// WithSimulatedLinks imposes link profiles on the in-process cluster's
+// connections: device uplinks get the device profile and the cloud path
+// the cloud profile. Only NewEngine honors it; Connect runs over real
+// sockets.
+func WithSimulatedLinks(device, cloud LinkProfile) Option {
+	return func(o *engineOptions) {
+		o.cfg.DeviceLink = device
+		o.cfg.CloudLink = cloud
+	}
+}
+
+func buildOptions(opts []Option) engineOptions {
+	o := engineOptions{cfg: cluster.EngineConfig{Gateway: cluster.DefaultGatewayConfig()}}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// Engine is the serving entry point of the package: a DDNN cluster behind
+// a context-aware, concurrency-bounded API. Every Classify call is an
+// independent inference session — sessions are multiplexed over the
+// device and cloud links and proceed in parallel up to the configured
+// concurrency limit. All methods are safe for concurrent use.
+type Engine struct {
+	inner *cluster.Engine
+}
+
+// NewEngine starts a complete in-process DDNN cluster — device nodes,
+// gateway and cloud over in-memory links — serving device sensors from
+// the dataset, and returns the engine fronting it. Sample IDs are dataset
+// indices. It replaces the deprecated NewClusterSim.
+func NewEngine(m *Model, ds *Dataset, opts ...Option) (*Engine, error) {
+	o := buildOptions(opts)
+	inner, err := cluster.NewEngine(m, ds, o.cfg, transport.NewMem())
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{inner: inner}, nil
+}
+
+// Connect attaches an engine to already-running device and cloud nodes
+// over TCP (see cmd/ddnn-device and cmd/ddnn-cloud). deviceAddrs must be
+// in device order. The context bounds connection setup.
+func Connect(ctx context.Context, m *Model, deviceAddrs []string, cloudAddr string, opts ...Option) (*Engine, error) {
+	o := buildOptions(opts)
+	inner, err := cluster.AttachEngine(ctx, m, o.cfg, transport.TCP{}, deviceAddrs, cloudAddr)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{inner: inner}, nil
+}
+
+// Classify runs the staged inference of §III-D for one sample as an
+// independent session. The context governs queueing, every device round
+// trip and the cloud escalation; cancellation surfaces as ErrCanceled and
+// an expired deadline as ErrDeadlineExceeded.
+func (e *Engine) Classify(ctx context.Context, sampleID uint64) (Result, error) {
+	res, err := e.inner.Classify(ctx, sampleID)
+	if err != nil {
+		return Result{}, err
+	}
+	return *res, nil
+}
+
+// ClassifyBatch classifies the samples concurrently — bounded by the
+// engine's max concurrency — and returns results in input order. On the
+// first session error the remaining sessions are canceled and only the
+// error is returned (no partial results: a zero Result is
+// indistinguishable from a real class-0 local exit).
+func (e *Engine) ClassifyBatch(ctx context.Context, sampleIDs []uint64) ([]Result, error) {
+	inner, err := e.inner.ClassifyBatch(ctx, sampleIDs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(inner))
+	for i, r := range inner {
+		out[i] = *r
+	}
+	return out, nil
+}
+
+// PayloadBytes returns the accumulated Eq. (1) payload bytes across all
+// sessions (local summaries plus cloud uploads).
+func (e *Engine) PayloadBytes() int64 { return e.inner.Gateway().Meter.Total() }
+
+// WireBytesUp returns the total bytes received on all device uplinks,
+// including protocol framing.
+func (e *Engine) WireBytesUp() int64 { return e.inner.Gateway().WireBytesUp() }
+
+// DownDevices returns the devices currently marked down by failure
+// detection.
+func (e *Engine) DownDevices() []int { return e.inner.Gateway().DownDevices() }
+
+// SetDeviceFailed toggles simulated failure of one in-process device node
+// (no-op reporting false when the engine is connected to remote nodes).
+// Crashed devices go silent; the gateway degrades gracefully (§IV-G).
+func (e *Engine) SetDeviceFailed(device int, failed bool) bool {
+	devs := e.inner.Devices()
+	if device < 0 || device >= len(devs) {
+		return false
+	}
+	devs[device].SetFailed(failed)
+	return true
+}
+
+// StartHealthMonitor begins heartbeat probing of the engine's devices:
+// a device missing `misses` consecutive probes is marked down (sessions
+// skip it immediately) and marked up again on its first answer. Stop the
+// returned monitor when done.
+func (e *Engine) StartHealthMonitor(ctx context.Context, interval time.Duration, misses int) (*HealthMonitor, error) {
+	return e.inner.StartHealthMonitor(ctx, interval, misses)
+}
+
+// HealthMonitor drives automatic device up/down detection; see
+// Engine.StartHealthMonitor.
+type HealthMonitor = cluster.HealthMonitor
+
+// Close drains in-flight sessions and tears the engine down.
+func (e *Engine) Close() error { return e.inner.Close() }

@@ -1,0 +1,183 @@
+package ddnn_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	ddnn "github.com/ddnn/ddnn-go"
+)
+
+// The serving tests share one small trained model; they exercise the
+// Engine's concurrency and error semantics, not model quality.
+var (
+	serveOnce  sync.Once
+	serveModel *ddnn.Model
+	serveTest  *ddnn.Dataset
+)
+
+func serveFixture(t *testing.T) (*ddnn.Model, *ddnn.Dataset) {
+	t.Helper()
+	serveOnce.Do(func() {
+		dcfg := ddnn.DefaultDatasetConfig()
+		dcfg.Train, dcfg.Test = 120, 40
+		train, test := ddnn.GenerateDataset(dcfg)
+		cfg := ddnn.DefaultConfig()
+		cfg.CloudFilters = 8
+		m := ddnn.MustNewModel(cfg)
+		tc := ddnn.DefaultTrainConfig()
+		tc.Epochs = 3
+		if _, err := m.Train(train, tc); err != nil {
+			panic(err)
+		}
+		serveModel, serveTest = m, test
+	})
+	return serveModel, serveTest
+}
+
+func newServeEngine(t *testing.T, opts ...ddnn.Option) *ddnn.Engine {
+	t.Helper()
+	model, test := serveFixture(t)
+	eng, err := ddnn.NewEngine(model, test, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	return eng
+}
+
+// TestEngineConcurrentSessions drives well over eight concurrent Classify
+// sessions through the in-memory transport. Run under -race (CI does) it
+// proves the whole serving path — wire mux, gateway, device and cloud
+// nodes, shared model — is data-race free, and it checks every session's
+// decision against the single-flight result.
+func TestEngineConcurrentSessions(t *testing.T) {
+	eng := newServeEngine(t, ddnn.WithMaxConcurrency(8))
+	ctx := context.Background()
+
+	const samples = 10
+	want := make([]ddnn.Result, samples)
+	for id := 0; id < samples; id++ {
+		res, err := eng.Classify(ctx, uint64(id))
+		if err != nil {
+			t.Fatalf("baseline sample %d: %v", id, err)
+		}
+		want[id] = res
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*samples)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for id := 0; id < samples; id++ {
+				res, err := eng.Classify(ctx, uint64(id))
+				if err != nil {
+					errs <- fmt.Errorf("worker %d sample %d: %w", w, id, err)
+					return
+				}
+				if res.Class != want[id].Class || res.Exit != want[id].Exit {
+					errs <- fmt.Errorf("worker %d sample %d: class/exit %d/%v, want %d/%v",
+						w, id, res.Class, res.Exit, want[id].Class, want[id].Exit)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestEngineClassifyBatchOrdersResults(t *testing.T) {
+	eng := newServeEngine(t, ddnn.WithMaxConcurrency(4))
+	ids := []uint64{5, 0, 9, 3, 7, 1, 8, 2}
+	results, err := eng.ClassifyBatch(context.Background(), ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(ids) {
+		t.Fatalf("got %d results for %d ids", len(results), len(ids))
+	}
+	for i, res := range results {
+		if res.SampleID != ids[i] {
+			t.Errorf("result %d is for sample %d, want %d", i, res.SampleID, ids[i])
+		}
+	}
+}
+
+func TestEngineCancellationSurfacesTypedError(t *testing.T) {
+	eng := newServeEngine(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := eng.Classify(ctx, 0)
+	if !errors.Is(err, ddnn.ErrCanceled) {
+		t.Errorf("err = %v, want ddnn.ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v must also wrap ctx.Err() (context.Canceled)", err)
+	}
+}
+
+func TestEngineDeadlineSurfacesTypedError(t *testing.T) {
+	eng := newServeEngine(t)
+	// Crash every device so the session can only end via the deadline.
+	model, _ := serveFixture(t)
+	for d := 0; d < model.Cfg.Devices; d++ {
+		eng.SetDeviceFailed(d, true)
+	}
+	t.Cleanup(func() {
+		for d := 0; d < model.Cfg.Devices; d++ {
+			eng.SetDeviceFailed(d, false)
+		}
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := eng.Classify(ctx, 0)
+	if !errors.Is(err, ddnn.ErrDeadlineExceeded) {
+		t.Errorf("err = %v, want ddnn.ErrDeadlineExceeded", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v must also wrap ctx.Err() (context.DeadlineExceeded)", err)
+	}
+}
+
+func TestEngineClosedError(t *testing.T) {
+	model, test := serveFixture(t)
+	eng, err := ddnn.NewEngine(model, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+	if _, err := eng.Classify(context.Background(), 0); !errors.Is(err, ddnn.ErrEngineClosed) {
+		t.Errorf("err = %v, want ddnn.ErrEngineClosed", err)
+	}
+}
+
+func TestEngineFaultToleranceUnderConcurrency(t *testing.T) {
+	eng := newServeEngine(t,
+		ddnn.WithDeviceTimeout(200*time.Millisecond),
+		ddnn.WithMaxFailures(0),
+		ddnn.WithMaxConcurrency(8))
+	eng.SetDeviceFailed(2, true)
+	ids := make([]uint64, 8)
+	for i := range ids {
+		ids[i] = uint64(i)
+	}
+	results, err := eng.ClassifyBatch(context.Background(), ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res.Present[2] {
+			t.Errorf("result %d: dead device marked present", i)
+		}
+	}
+}
