@@ -163,14 +163,26 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintln(out, experiments.FormatLatencyReport(rep))
-	}
-	if want("serve") {
-		fmt.Fprintln(out, "== Engine: multi-session serving throughput vs single-flight ==")
-		points, err := runner.ServingThroughput(0.8, 0, []int{1, 2, 4, 8, 16})
+		fmt.Fprintln(out, "== §V extension: three-stage latency over the edge tier ==")
+		erep, err := runner.EdgeLatencyByExit(0.8, 0.8, 0)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(out, experiments.FormatServingThroughput(points))
+		fmt.Fprintln(out, experiments.FormatLatencyReport(erep))
+	}
+	if want("serve") {
+		fmt.Fprintln(out, "== Engine: multi-session serving throughput vs single-flight ==")
+		rep, err := runner.ServingThroughput(0.8, 0, []int{1, 2, 4, 8, 16})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, experiments.FormatServingReport(rep))
+		fmt.Fprintln(out, "== Engine: three-stage device→edge→cloud serving (Fig. 2(e)) ==")
+		erep, err := runner.EdgeServingThroughput(0.8, 0.8, 0, []int{1, 2, 4, 8, 16})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, experiments.FormatServingReport(erep))
 	}
 	if want("comm") {
 		fmt.Fprintln(out, "== §IV-H: communication cost vs raw offloading (measured on cluster) ==")

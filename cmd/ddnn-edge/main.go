@@ -1,0 +1,77 @@
+// Command ddnn-edge runs the edge node — the middle tier of a three-tier
+// device→edge→cloud hierarchy (Fig. 2 configs d/e). It loads a trained
+// edge-tier model, serves escalation sessions from a gateway (aggregating
+// the devices' bit-packed feature maps and running the edge ConvP section
+// and exit head), answers mid-confidence samples at the edge exit, and
+// forwards only hard samples' edge feature maps to the cloud node.
+//
+// Usage:
+//
+//	ddnn-edge -model model.ddnn -listen 127.0.0.1:7050 -cloud 127.0.0.1:7100
+//
+// The model must be trained with the edge tier (ddnn-train -edge).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	ddnn "github.com/ddnn/ddnn-go"
+	"github.com/ddnn/ddnn-go/internal/cluster"
+	"github.com/ddnn/ddnn-go/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ddnn-edge:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ddnn-edge", flag.ContinueOnError)
+	var (
+		modelPath    = fs.String("model", "model.ddnn", "trained edge-tier model file")
+		listen       = fs.String("listen", "127.0.0.1:7050", "listen address for the gateway")
+		cloudAddr    = fs.String("cloud", "127.0.0.1:7100", "cloud node address")
+		cloudTimeout = fs.Duration("cloud-timeout", 5*time.Second, "edge→cloud round trip bound")
+		noFallback   = fs.Bool("no-fallback", false, "abort escalated sessions when the cloud is down instead of answering at the edge")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	model, err := ddnn.LoadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	node, err := cluster.NewEdge(model, cluster.EdgeConfig{
+		CloudTimeout:  *cloudTimeout,
+		CloudFallback: !*noFallback,
+	}, nil)
+	if err != nil {
+		return err
+	}
+	dialCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	err = node.ConnectCloud(dialCtx, transport.TCP{}, *cloudAddr)
+	cancel()
+	if err != nil {
+		return err
+	}
+	if err := node.Serve(transport.TCP{}, *listen); err != nil {
+		return err
+	}
+	fmt.Printf("edge serving on %s, escalating to cloud at %s (%d devices, %d edge filters, %v edge aggregation)\n",
+		node.Addr(), *cloudAddr, model.Cfg.Devices, model.Cfg.EdgeFilters, model.Cfg.EdgeAgg)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	fmt.Println("shutting down")
+	return node.Close()
+}

@@ -1,13 +1,18 @@
 // Command ddnn-gateway runs the local aggregator: it connects an Engine to
-// the device and cloud nodes over TCP, drives concurrent classification
+// the device nodes and the upstream tier over TCP — the edge node for
+// edge-tier models, the cloud otherwise — drives concurrent classification
 // sessions over the test set, and reports accuracy, exit distribution,
 // latency, throughput and measured communication.
 //
 // Usage:
 //
 //	ddnn-gateway -model model.ddnn -devices 127.0.0.1:7001,...,127.0.0.1:7006 \
-//	             -cloud 127.0.0.1:7100 [-threshold 0.8] [-concurrency 8]
-//	             [-samples 0] [-data-seed 1]
+//	             -cloud 127.0.0.1:7100 [-edge 127.0.0.1:7050] [-threshold 0.8]
+//	             [-edge-threshold 0.8] [-concurrency 8] [-samples 0] [-data-seed 1]
+//
+// With a model trained via ddnn-train -edge, pass -edge so the gateway
+// escalates local-exit misses to the edge node (which forwards hard
+// samples to the cloud itself); otherwise the gateway dials -cloud.
 package main
 
 import (
@@ -36,7 +41,9 @@ func run(args []string) error {
 		modelPath   = fs.String("model", "model.ddnn", "trained model file")
 		devices     = fs.String("devices", "", "comma-separated device addresses, in device order")
 		cloudAddr   = fs.String("cloud", "127.0.0.1:7100", "cloud node address")
+		edgeAddr    = fs.String("edge", "", "edge node address (required for edge-tier models)")
 		threshold   = fs.Float64("threshold", 0.8, "local exit entropy threshold T")
+		edgeT       = fs.Float64("edge-threshold", 0.8, "edge exit entropy threshold (edge-tier models)")
 		concurrency = fs.Int("concurrency", 8, "concurrent classification sessions")
 		samples     = fs.Int("samples", 0, "number of test samples to classify (0 = all)")
 		dataSeed    = fs.Int64("data-seed", 1, "dataset seed (must match the devices)")
@@ -52,6 +59,15 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	upstream := *cloudAddr
+	if model.Cfg.UseEdge {
+		if *edgeAddr == "" {
+			return fmt.Errorf("model has an edge tier; pass -edge with the ddnn-edge address")
+		}
+		upstream = *edgeAddr
+	} else if *edgeAddr != "" {
+		return fmt.Errorf("model has no edge tier; drop -edge or retrain with ddnn-train -edge")
+	}
 	addrs := strings.Split(*devices, ",")
 	if len(addrs) != model.Cfg.Devices {
 		return fmt.Errorf("model needs %d device addresses, got %d", model.Cfg.Devices, len(addrs))
@@ -62,8 +78,9 @@ func run(args []string) error {
 
 	ctx := context.Background()
 	dialCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
-	eng, err := ddnn.Connect(dialCtx, model, addrs, *cloudAddr,
+	eng, err := ddnn.Connect(dialCtx, model, addrs, upstream,
 		ddnn.WithThreshold(*threshold),
+		ddnn.WithEdgeThreshold(*edgeT),
 		ddnn.WithMaxConcurrency(*concurrency))
 	cancel()
 	if err != nil {
@@ -87,23 +104,26 @@ func run(args []string) error {
 	}
 	elapsed := time.Since(start)
 
-	correct, localExits := 0, 0
+	correct := 0
+	exits := make(map[wire.ExitPoint]int)
 	lat := metrics.NewLatencyRecorder()
 	for i, res := range results {
 		if res.Class == labels[i] {
 			correct++
 		}
-		if res.Exit == wire.ExitLocal {
-			localExits++
-		}
+		exits[res.Exit]++
 		lat.Record(res.Latency)
 	}
 
-	l := float64(localExits) / float64(n)
+	l := float64(exits[wire.ExitLocal]) / float64(n)
 	fmt.Printf("classified %d samples in %v (%.1f samples/s, %d concurrent sessions)\n",
 		n, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds(), *concurrency)
 	fmt.Printf("accuracy:            %.1f%%\n", 100*float64(correct)/float64(n))
 	fmt.Printf("local exits:         %.1f%% (T=%.2f)\n", l*100, *threshold)
+	if model.Cfg.UseEdge {
+		fmt.Printf("edge exits:          %.1f%% (T=%.2f)\n", 100*float64(exits[wire.ExitEdge])/float64(n), *edgeT)
+		fmt.Printf("cloud exits:         %.1f%%\n", 100*float64(exits[wire.ExitCloud])/float64(n))
+	}
 	fmt.Printf("latency mean/p95:    %v / %v\n", lat.Mean().Round(time.Microsecond), lat.Percentile(95).Round(time.Microsecond))
 	perDev := float64(eng.PayloadBytes()) / float64(model.Cfg.Devices) / float64(n)
 	fmt.Printf("payload per device:  %.1f B/sample (Eq. 1: %.1f B; raw offload: %d B)\n",

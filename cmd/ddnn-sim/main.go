@@ -1,14 +1,15 @@
 // Command ddnn-sim trains (or loads) a DDNN and serves the complete
 // hierarchy in one process over in-memory links through the Engine API:
-// device nodes, gateway with health monitoring, and cloud, classifying
-// many samples concurrently. It can inject device failures partway through
-// to demonstrate detection, graceful degradation and recovery.
+// device nodes, gateway with health monitoring, the edge node for
+// edge-tier models, and cloud, classifying many samples concurrently. It
+// can inject device failures partway through to demonstrate detection,
+// graceful degradation and recovery.
 //
 // Usage:
 //
-//	ddnn-sim [-model model.ddnn] [-epochs 25] [-threshold 0.8]
-//	         [-concurrency 8] [-fail 2,5] [-fail-at 0.33]
-//	         [-recover-at 0.66] [-samples 0]
+//	ddnn-sim [-model model.ddnn] [-edge] [-epochs 25] [-threshold 0.8]
+//	         [-edge-threshold 0.8] [-concurrency 8] [-fail 2,5]
+//	         [-fail-at 0.33] [-recover-at 0.66] [-samples 0]
 package main
 
 import (
@@ -37,8 +38,10 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("ddnn-sim", flag.ContinueOnError)
 	var (
 		modelPath   = fs.String("model", "", "trained model file (empty: train now)")
+		useEdge     = fs.Bool("edge", false, "train with an edge tier (three-stage local→edge→cloud escalation)")
 		epochs      = fs.Int("epochs", 25, "training epochs when -model is empty")
 		threshold   = fs.Float64("threshold", 0.8, "local exit entropy threshold T")
+		edgeT       = fs.Float64("edge-threshold", 0.8, "edge exit entropy threshold (edge-tier models)")
 		concurrency = fs.Int("concurrency", 8, "concurrent classification sessions")
 		failList    = fs.String("fail", "", "comma-separated device indices to crash mid-run")
 		failAt      = fs.Float64("fail-at", 0.33, "fraction of the run at which devices crash")
@@ -64,7 +67,9 @@ func run(args []string) error {
 		model = m
 		fmt.Printf("loaded %s\n", *modelPath)
 	} else {
-		model = ddnn.MustNewModel(ddnn.DefaultConfig())
+		cfg := ddnn.DefaultConfig()
+		cfg.UseEdge = *useEdge
+		model = ddnn.MustNewModel(cfg)
 		tc := ddnn.DefaultTrainConfig()
 		tc.Epochs = *epochs
 		fmt.Printf("training %d epochs...\n", *epochs)
@@ -88,6 +93,7 @@ func run(args []string) error {
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelWarn}))
 	eng, err := ddnn.NewEngine(model, test,
 		ddnn.WithThreshold(*threshold),
+		ddnn.WithEdgeThreshold(*edgeT),
 		ddnn.WithDeviceTimeout(500*time.Millisecond),
 		ddnn.WithMaxFailures(0), // leave detection to the health monitor
 		ddnn.WithMaxConcurrency(*concurrency),
@@ -108,7 +114,8 @@ func run(args []string) error {
 		n = *samples
 	}
 	labels := test.Labels(nil)
-	correct, localExits := 0, 0
+	correct := 0
+	exits := make(map[wire.ExitPoint]int)
 	lat := metrics.NewLatencyRecorder()
 	failPoint := int(*failAt * float64(n))
 	recoverPoint := int(*recoverAt * float64(n))
@@ -147,18 +154,20 @@ func run(args []string) error {
 			if res.Class == labels[base+i] {
 				correct++
 			}
-			if res.Exit == wire.ExitLocal {
-				localExits++
-			}
+			exits[res.Exit]++
 			lat.Record(res.Latency)
 		}
 	}
 	elapsed := time.Since(start)
 
-	l := float64(localExits) / float64(n)
+	l := float64(exits[wire.ExitLocal]) / float64(n)
 	fmt.Printf("\nthroughput:         %.1f samples/s (%v total)\n", float64(n)/elapsed.Seconds(), elapsed.Round(time.Millisecond))
 	fmt.Printf("accuracy:           %.1f%%\n", 100*float64(correct)/float64(n))
 	fmt.Printf("local exits:        %.1f%%\n", l*100)
+	if model.Cfg.UseEdge {
+		fmt.Printf("edge exits:         %.1f%%\n", 100*float64(exits[wire.ExitEdge])/float64(n))
+		fmt.Printf("cloud exits:        %.1f%%\n", 100*float64(exits[wire.ExitCloud])/float64(n))
+	}
 	fmt.Printf("latency mean/p95:   %v / %v\n", lat.Mean().Round(time.Microsecond), lat.Percentile(95).Round(time.Microsecond))
 	perDev := float64(eng.PayloadBytes()) / float64(model.Cfg.Devices) / float64(n)
 	fmt.Printf("payload per device: %.1f B/sample (Eq. 1: %.1f B, raw offload: %d B)\n",

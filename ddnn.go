@@ -7,11 +7,17 @@
 // binarized (BNN/eBNN) sections next to their sensors and send a compact
 // class-summary vector to a local aggregator; samples the local exit is
 // confident about (normalized entropy ≤ T) are classified immediately,
-// while hard samples upload bit-packed binarized feature maps to the cloud
-// for further NN-layer processing. Aggregation across geographically
-// distributed devices (max pooling, average pooling or concatenation) is
-// learned during joint training, which gives the system automatic sensor
-// fusion and fault tolerance.
+// while hard samples upload bit-packed binarized feature maps up the
+// hierarchy for further NN-layer processing. Models built with an edge
+// tier (Config.UseEdge, Fig. 2 configs d/e) escalate in three stages —
+// local → edge → cloud: the edge node aggregates the device feature maps,
+// runs the edge section and answers mid-confidence samples at its own
+// exit (ExitEdge); only samples that miss both lower exits pay the WAN
+// hop, as the edge forwards their bit-packed edge feature maps to the
+// cloud. Aggregation across geographically distributed devices (max
+// pooling, average pooling or concatenation) is learned during joint
+// training, which gives the system automatic sensor fusion and fault
+// tolerance.
 //
 // # Quick start
 //
@@ -37,8 +43,10 @@
 //	res, err := eng.Classify(ctx, 7)          // one session
 //	batch, err := eng.ClassifyBatch(ctx, ids) // concurrent sessions
 //
-// Use Connect instead of NewEngine to front device and cloud nodes that
-// run as separate processes over TCP (cmd/ddnn-device, cmd/ddnn-cloud).
+// Use Connect instead of NewEngine to front nodes that run as separate
+// processes over TCP (cmd/ddnn-device, cmd/ddnn-edge, cmd/ddnn-cloud):
+// the gateway then dials the devices plus its upstream tier — the edge
+// node for UseEdge models, the cloud otherwise.
 //
 // The package is a thin facade over the implementation packages:
 //
@@ -58,7 +66,6 @@ import (
 	"github.com/ddnn/ddnn-go/internal/core"
 	"github.com/ddnn/ddnn-go/internal/dataset"
 	"github.com/ddnn/ddnn-go/internal/modelio"
-	"github.com/ddnn/ddnn-go/internal/transport"
 )
 
 // Core model types.
@@ -114,17 +121,8 @@ type (
 
 // Cluster runtime types.
 type (
-	// ClusterSim is a complete in-process DDNN cluster.
-	//
-	// Deprecated: use Engine, which adds contexts, typed errors and
-	// concurrent sessions. ClusterSim remains for one release.
-	ClusterSim = cluster.Sim
 	// GatewayConfig controls the local aggregator node.
 	GatewayConfig = cluster.GatewayConfig
-	// InferenceResult is the outcome of one distributed inference session.
-	//
-	// Deprecated: use Result (the same type, renamed with the Engine).
-	InferenceResult = cluster.Result
 )
 
 // DefaultConfig returns the architecture evaluated in the paper's §IV: six
@@ -169,14 +167,3 @@ func LoadModel(path string) (*Model, error) { return modelio.LoadFile(path) }
 
 // DefaultGatewayConfig returns the cluster gateway defaults (T=0.8).
 func DefaultGatewayConfig() GatewayConfig { return cluster.DefaultGatewayConfig() }
-
-// NewClusterSim starts a complete in-process DDNN cluster — device nodes,
-// gateway and cloud over in-memory links — serving device sensors from the
-// dataset. Sample IDs are dataset indices.
-//
-// Deprecated: use NewEngine, which wraps the same cluster behind the
-// context-aware concurrent serving API. NewClusterSim remains for one
-// release.
-func NewClusterSim(m *Model, ds *Dataset, cfg GatewayConfig) (*ClusterSim, error) {
-	return cluster.NewSim(m, ds, cfg, transport.NewMem(), nil)
-}

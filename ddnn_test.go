@@ -72,15 +72,12 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if r.Exit != ddnn.ExitLocal && r.Exit != ddnn.ExitCloud {
 		t.Errorf("unexpected exit %v", r.Exit)
 	}
-
-	// The deprecated shim still works for one release.
-	sim, err := ddnn.NewClusterSim(loaded, test, ddnn.DefaultGatewayConfig())
+	batch, err := eng.ClassifyBatch(context.Background(), []uint64{1, 2, 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer sim.Close()
-	if _, err := sim.Gateway.Classify(context.Background(), 1); err != nil {
-		t.Fatal(err)
+	if len(batch) != 3 {
+		t.Fatalf("got %d batch results, want 3", len(batch))
 	}
 }
 

@@ -15,14 +15,17 @@ import (
 	"github.com/ddnn/ddnn-go/internal/wire"
 )
 
-// Cloud is the cloud node: it owns the cloud section of the DDNN. For each
-// classification session it receives the present devices' bit-packed
-// feature maps, aggregates them, runs the upper NN layers and returns the
-// final classification (the last exit, which always classifies).
+// Cloud is the cloud node: it owns the cloud section of the DDNN and runs
+// the final exit, which always classifies. In a two-tier hierarchy it
+// receives the present devices' bit-packed feature maps (CloudClassify +
+// FeatureUploads), aggregates them and runs the upper NN layers; in a
+// three-tier hierarchy it receives a single pre-aggregated EdgeFeature map
+// escalated by the edge node.
 //
-// Sessions are demultiplexed by wire session ID, so one gateway connection
-// carries any number of interleaved sessions; each complete session is
-// classified in its own goroutine against the shared read-only model.
+// Sessions are demultiplexed by wire session ID, so one downstream
+// connection carries any number of interleaved sessions; each complete
+// session is classified in its own goroutine against the shared read-only
+// model.
 type Cloud struct {
 	model  *core.Model
 	logger *slog.Logger
@@ -34,15 +37,6 @@ type Cloud struct {
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
-}
-
-// cloudSession accumulates one session's feature uploads until every
-// present device's map has arrived.
-type cloudSession struct {
-	hdr     *wire.CloudClassify
-	feats   []*tensor.Tensor
-	mask    []bool
-	pending int
 }
 
 // NewCloud constructs the cloud node around a trained model.
@@ -114,7 +108,11 @@ func (c *Cloud) handle(conn net.Conn) {
 		_, err := wire.Encode(conn, m)
 		return err
 	}
-	sessions := make(map[uint64]*cloudSession)
+	type openSession struct {
+		session uint64
+		up      *uploadSession
+	}
+	sessions := make(map[uint64]*openSession)
 	var inflight sync.WaitGroup
 	defer inflight.Wait()
 	for {
@@ -126,97 +124,104 @@ func (c *Cloud) handle(conn net.Conn) {
 			return
 		}
 		switch m := msg.(type) {
+		case *wire.Heartbeat:
+			// Echo liveness probes so the downstream tier's failure
+			// detector can watch the cloud.
+			if err := send(m); err != nil {
+				return
+			}
 		case *wire.CloudClassify:
-			sess, err := c.openSession(m)
+			if c.model.Cfg.UseEdge {
+				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: "edge-tier model: the cloud accepts EdgeFeature escalations only"})
+				continue
+			}
+			sess, err := newUploadSession(c.model.Cfg, m.SampleID, m.Devices, m.Mask, m.PresentCount())
 			if err != nil {
 				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: err.Error()})
 				continue
 			}
-			if sess.pending == 0 {
+			if sess.complete() {
 				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: "empty device mask"})
 				continue
 			}
-			sessions[m.Session] = sess
+			sessions[m.Session] = &openSession{session: m.Session, up: sess}
 		case *wire.FeatureUpload:
 			sess, ok := sessions[m.Session]
 			if !ok {
 				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: fmt.Sprintf("upload for unknown session %d", m.Session)})
 				continue
 			}
-			if err := c.addUpload(sess, m); err != nil {
+			if err := sess.up.add(c.model, m); err != nil {
 				delete(sessions, m.Session)
 				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: err.Error()})
 				continue
 			}
-			if sess.pending == 0 {
+			if sess.up.complete() {
 				delete(sessions, m.Session)
 				inflight.Add(1)
-				go func(sess *cloudSession) {
+				go func(sess *openSession) {
 					defer inflight.Done()
-					c.classify(send, sess)
+					c.classify(send, sess.session, sess.up)
 				}(sess)
 			}
+		case *wire.EdgeFeature:
+			if !c.model.Cfg.UseEdge {
+				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: "model has no edge tier; send CloudClassify + FeatureUploads"})
+				continue
+			}
+			feat, err := c.unpackEdgeFeature(m)
+			if err != nil {
+				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: err.Error()})
+				continue
+			}
+			inflight.Add(1)
+			go func(m *wire.EdgeFeature, feat *tensor.Tensor) {
+				defer inflight.Done()
+				c.classifyFromEdge(send, m, feat)
+			}(m, feat)
 		default:
-			_ = send(&wire.Error{Code: 400, Msg: fmt.Sprintf("expected CloudClassify or FeatureUpload, got %v", msg.MsgType())})
+			_ = send(&wire.Error{Session: sessionOf(msg), Code: 400, Msg: fmt.Sprintf("expected CloudClassify, FeatureUpload or EdgeFeature, got %v", msg.MsgType())})
 		}
 	}
 }
 
-func (c *Cloud) openSession(hdr *wire.CloudClassify) (*cloudSession, error) {
-	devices := int(hdr.Devices)
-	if devices != c.model.Cfg.Devices {
-		return nil, fmt.Errorf("model has %d devices, session says %d", c.model.Cfg.Devices, devices)
-	}
+// unpackEdgeFeature validates an escalated edge feature map against the
+// model's edge section output shape.
+func (c *Cloud) unpackEdgeFeature(m *wire.EdgeFeature) (*tensor.Tensor, error) {
 	cfg := c.model.Cfg
-	fh, fw := cfg.FeatureH(), cfg.FeatureW()
-	sess := &cloudSession{
-		hdr:     hdr,
-		feats:   make([]*tensor.Tensor, devices),
-		mask:    make([]bool, devices),
-		pending: hdr.PresentCount(),
+	eh, ew := cfg.FeatureH()/2, cfg.FeatureW()/2
+	if int(m.F) != cfg.EdgeFilters || int(m.H) != eh || int(m.W) != ew {
+		return nil, fmt.Errorf("edge feature shape %d×%d×%d, model expects %d×%d×%d", m.F, m.H, m.W, cfg.EdgeFilters, eh, ew)
 	}
-	for d := 0; d < devices; d++ {
-		sess.feats[d] = tensor.New(1, cfg.DeviceFilters, fh, fw)
-	}
-	return sess, nil
+	return c.model.UnpackFeature(m.Bits, int(m.F), int(m.H), int(m.W))
 }
 
-func (c *Cloud) addUpload(sess *cloudSession, up *wire.FeatureUpload) error {
-	if up.SampleID != sess.hdr.SampleID {
-		return fmt.Errorf("upload for sample %d inside session for sample %d", up.SampleID, sess.hdr.SampleID)
-	}
-	dev := int(up.Device)
-	if dev < 0 || dev >= len(sess.feats) {
-		return fmt.Errorf("upload from unknown device %d", dev)
-	}
-	if sess.hdr.Mask&(1<<uint(dev)) == 0 || sess.mask[dev] {
-		return fmt.Errorf("unexpected upload from device %d", dev)
-	}
-	feat, err := c.model.UnpackFeature(up.Bits, int(up.F), int(up.H), int(up.W))
-	if err != nil {
-		return fmt.Errorf("unpack device %d: %w", dev, err)
-	}
-	sess.feats[dev] = feat
-	sess.mask[dev] = true
-	sess.pending--
-	return nil
-}
-
-// classify runs the cloud section for one complete session. The model is
-// frozen (read-only) so sessions run genuinely in parallel.
-func (c *Cloud) classify(send func(wire.Message) error, sess *cloudSession) {
+// classify runs the cloud section for one complete two-tier session. The
+// model is frozen (read-only) so sessions run genuinely in parallel.
+func (c *Cloud) classify(send func(wire.Message) error, session uint64, sess *uploadSession) {
 	logits := c.model.CloudForward(sess.feats, sess.mask)
+	c.reply(send, session, sess.sampleID, logits)
+}
+
+// classifyFromEdge runs the cloud section on a pre-aggregated edge
+// feature map (three-tier hierarchies).
+func (c *Cloud) classifyFromEdge(send func(wire.Message) error, m *wire.EdgeFeature, feat *tensor.Tensor) {
+	logits := c.model.CloudForwardFromEdge(feat)
+	c.reply(send, m.Session, m.SampleID, logits)
+}
+
+func (c *Cloud) reply(send func(wire.Message) error, session, sampleID uint64, logits *tensor.Tensor) {
 	probs := nn.Softmax(logits)
 	row := make([]float32, probs.Dim(1))
 	copy(row, probs.Row(0))
 	if err := send(&wire.ClassifyResult{
-		Session:  sess.hdr.Session,
-		SampleID: sess.hdr.SampleID,
+		Session:  session,
+		SampleID: sampleID,
 		Exit:     wire.ExitCloud,
 		Class:    uint16(probs.ArgMaxRow(0)),
 		Probs:    row,
 	}); err != nil {
-		c.logger.Debug("classify reply failed", "sample", sess.hdr.SampleID, "err", err)
+		c.logger.Debug("classify reply failed", "sample", sampleID, "err", err)
 	}
 }
 

@@ -305,7 +305,7 @@ func TestHealthMonitorDetectsFailureAndRecovery(t *testing.T) {
 	}
 	defer gw.Close()
 
-	hm, err := gw.StartHealthMonitor(context.Background(), tr, addrs, 25*time.Millisecond, 2)
+	hm, err := gw.StartHealthMonitor(context.Background(), tr, addrs, "hm-cloud", 25*time.Millisecond, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -351,7 +351,7 @@ func TestHealthMonitorDetectsFailureAndRecovery(t *testing.T) {
 func TestHealthMonitorRejectsBadArgs(t *testing.T) {
 	sim := newSim(t, DefaultGatewayConfig())
 	tr := transport.NewMem()
-	if _, err := sim.Gateway.StartHealthMonitor(context.Background(), tr, []string{"only-one"}, time.Second, 3); err == nil {
+	if _, err := sim.Gateway.StartHealthMonitor(context.Background(), tr, []string{"only-one"}, "", time.Second, 3); err == nil {
 		t.Error("accepted wrong address count")
 	}
 }

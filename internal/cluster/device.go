@@ -1,10 +1,17 @@
 // Package cluster is the distributed runtime that deploys a trained DDNN
 // over real (or simulated) network links: device nodes run their DNN
 // section next to the sensor, a gateway performs local aggregation and the
-// entropy-thresholded exit decision, and a cloud node runs the upper NN
-// layers for samples that miss the local exit (§III-D inference procedure).
-// The runtime degrades gracefully when devices fail (§IV-G): the gateway
-// masks out unresponsive devices and aggregation proceeds with the rest.
+// entropy-thresholded exit decision, an optional edge node runs the middle
+// tier of a three-tier hierarchy (Fig. 2 configs d/e), and a cloud node
+// runs the upper NN layers for samples that miss every earlier exit
+// (§III-D inference procedure). Exit stages form a first-class Pipeline:
+// the gateway evaluates the first stage locally and relays the remaining
+// thresholds up the chain — local → edge → cloud — with each tier
+// answering the samples it is confident about and escalating only the
+// hard ones' feature maps. The runtime degrades gracefully when devices
+// fail (§IV-G): the gateway masks out unresponsive devices and
+// aggregation proceeds with the rest; when the cloud is unreachable the
+// edge answers escalated samples with its own exit as a best effort.
 //
 // Since the Engine redesign the runtime is fully concurrent: every
 // inference session carries a wire-level session ID, connections multiplex
@@ -187,7 +194,7 @@ func (d *Device) handle(conn net.Conn) {
 				return
 			}
 		default:
-			_ = send(&wire.Error{Code: 400, Msg: fmt.Sprintf("unexpected %v", msg.MsgType())})
+			_ = send(&wire.Error{Session: sessionOf(msg), Code: 400, Msg: fmt.Sprintf("unexpected %v", msg.MsgType())})
 		}
 	}
 }

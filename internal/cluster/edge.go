@@ -1,0 +1,350 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/ddnn/ddnn-go/internal/core"
+	"github.com/ddnn/ddnn-go/internal/metrics"
+	"github.com/ddnn/ddnn-go/internal/nn"
+	"github.com/ddnn/ddnn-go/internal/tensor"
+	"github.com/ddnn/ddnn-go/internal/transport"
+	"github.com/ddnn/ddnn-go/internal/wire"
+)
+
+// EdgeConfig controls the edge node.
+type EdgeConfig struct {
+	// CloudTimeout bounds the edge→cloud round trip for samples that
+	// miss the edge exit.
+	CloudTimeout time.Duration
+	// CloudFallback, when true, answers an escalated sample with the
+	// edge's own (unconfident) classification if the cloud round trip
+	// fails, instead of aborting the session — the serving system keeps
+	// answering at reduced accuracy while the WAN path is down.
+	CloudFallback bool
+}
+
+// DefaultEdgeConfig returns sensible defaults: a 5 s cloud round trip
+// bound and best-effort fallback to the edge exit when the cloud is
+// unreachable.
+func DefaultEdgeConfig() EdgeConfig {
+	return EdgeConfig{CloudTimeout: 5 * time.Second, CloudFallback: true}
+}
+
+// Edge is the middle tier of a three-tier hierarchy (Fig. 2 configs
+// d/e): it receives the present devices' bit-packed feature maps from
+// the gateway, aggregates them, runs the edge ConvP section and exit
+// head, answers confident samples immediately (ExitEdge), and escalates
+// only hard samples' edge feature maps to the cloud (§III-C staged
+// escalation, middle stage).
+//
+// Sessions are demultiplexed by wire session ID on both sides: one
+// gateway connection carries any number of interleaved sessions, and
+// all sessions share one multiplexed cloud link. The model is frozen
+// (read-only), so complete sessions classify in parallel goroutines.
+type Edge struct {
+	model  *core.Model
+	cfg    EdgeConfig
+	logger *slog.Logger
+
+	cloud *link // nil until ConnectCloud
+
+	// Meter accumulates the edge→cloud hop's Eq. (1)-style payload
+	// bytes under "cloud-upload".
+	Meter *metrics.CommMeter
+
+	// nextUpstream numbers the edge's own cloud-link sessions.
+	// Downstream (gateway-assigned) session IDs are only unique per
+	// gateway connection, and every connection shares the one cloud
+	// link — reusing them there would collide across gateways and
+	// misroute verdicts.
+	nextUpstream atomic.Uint64
+
+	failed atomic.Bool
+
+	listener  net.Listener
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// NewEdge constructs the edge node around a trained edge-tier model.
+func NewEdge(model *core.Model, cfg EdgeConfig, logger *slog.Logger) (*Edge, error) {
+	if !model.Cfg.UseEdge {
+		return nil, fmt.Errorf("cluster: edge node needs a model built with UseEdge")
+	}
+	if logger == nil {
+		logger = slog.Default()
+	}
+	if cfg.CloudTimeout <= 0 {
+		cfg.CloudTimeout = DefaultEdgeConfig().CloudTimeout
+	}
+	return &Edge{
+		model:  model,
+		cfg:    cfg,
+		logger: logger.With("node", "edge"),
+		Meter:  metrics.NewCommMeter(),
+		conns:  make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// ConnectCloud dials the upstream cloud node. Sessions escalated before
+// (or without) a cloud connection fail over per EdgeConfig.CloudFallback.
+// The context bounds connection setup only.
+func (e *Edge) ConnectCloud(ctx context.Context, tr transport.Transport, addr string) error {
+	conn, err := tr.Dial(ctx, addr)
+	if err != nil {
+		return fmt.Errorf("cluster: edge dial cloud: %w", err)
+	}
+	e.cloud = newLink(conn)
+	return nil
+}
+
+// Serve starts accepting gateway connections.
+func (e *Edge) Serve(tr transport.Transport, addr string) error {
+	l, err := tr.Listen(addr)
+	if err != nil {
+		return fmt.Errorf("cluster: edge: %w", err)
+	}
+	e.listener = l
+	e.wg.Add(1)
+	go e.acceptLoop()
+	return nil
+}
+
+// Addr returns the listener's address; it is only valid after Serve.
+func (e *Edge) Addr() string {
+	if e.listener == nil {
+		return ""
+	}
+	return e.listener.Addr().String()
+}
+
+// SetFailed toggles simulated failure: a failed edge node goes silent,
+// which the gateway observes as escalation timeouts.
+func (e *Edge) SetFailed(failed bool) { e.failed.Store(failed) }
+
+// Failed reports the simulated-failure state.
+func (e *Edge) Failed() bool { return e.failed.Load() }
+
+func (e *Edge) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.listener.Accept()
+		if err != nil {
+			return
+		}
+		e.connMu.Lock()
+		if e.closed {
+			e.connMu.Unlock()
+			conn.Close()
+			continue
+		}
+		e.conns[conn] = struct{}{}
+		e.connMu.Unlock()
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			defer func() {
+				conn.Close()
+				e.connMu.Lock()
+				delete(e.conns, conn)
+				e.connMu.Unlock()
+			}()
+			e.handle(conn)
+		}()
+	}
+}
+
+// edgeSession pairs the escalation header with the accumulating device
+// uploads.
+type edgeSession struct {
+	hdr *wire.EdgeClassify
+	up  *uploadSession
+}
+
+func (e *Edge) handle(conn net.Conn) {
+	var wmu sync.Mutex
+	send := func(m wire.Message) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		_, err := wire.Encode(conn, m)
+		return err
+	}
+	sessions := make(map[uint64]*edgeSession)
+	var inflight sync.WaitGroup
+	defer inflight.Wait()
+	for {
+		msg, err := wire.Decode(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				e.logger.Debug("decode error", "err", err)
+			}
+			return
+		}
+		if e.failed.Load() {
+			// A crashed edge goes silent; the gateway's escalation
+			// timeout handles the rest.
+			continue
+		}
+		switch m := msg.(type) {
+		case *wire.Heartbeat:
+			// Echo liveness probes for the gateway's failure detector.
+			if err := send(m); err != nil {
+				return
+			}
+		case *wire.EdgeClassify:
+			up, err := newUploadSession(e.model.Cfg, m.SampleID, m.Devices, m.Mask, m.PresentCount())
+			if err != nil {
+				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: err.Error()})
+				continue
+			}
+			if up.complete() {
+				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: "empty device mask"})
+				continue
+			}
+			sessions[m.Session] = &edgeSession{hdr: m, up: up}
+		case *wire.FeatureUpload:
+			sess, ok := sessions[m.Session]
+			if !ok {
+				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: fmt.Sprintf("upload for unknown session %d", m.Session)})
+				continue
+			}
+			if err := sess.up.add(e.model, m); err != nil {
+				delete(sessions, m.Session)
+				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: err.Error()})
+				continue
+			}
+			if sess.up.complete() {
+				delete(sessions, m.Session)
+				inflight.Add(1)
+				go func(sess *edgeSession) {
+					defer inflight.Done()
+					e.classify(send, sess)
+				}(sess)
+			}
+		default:
+			_ = send(&wire.Error{Session: sessionOf(msg), Code: 400, Msg: fmt.Sprintf("expected EdgeClassify or FeatureUpload, got %v", msg.MsgType())})
+		}
+	}
+}
+
+// classify runs the edge stage for one complete session: aggregate the
+// device feature maps, run the edge section, exit here when confident,
+// and otherwise escalate the edge feature map to the cloud.
+func (e *Edge) classify(send func(wire.Message) error, sess *edgeSession) {
+	edgeFeat, edgeLogits := e.model.EdgeForward(sess.up.feats, sess.up.mask)
+	probs := nn.Softmax(edgeLogits)
+	row := make([]float32, probs.Dim(1))
+	copy(row, probs.Row(0))
+
+	// The first relayed threshold is this tier's exit criterion; an
+	// empty list means the edge never exits and always escalates.
+	confident := len(sess.hdr.Thresholds) > 0 &&
+		nn.NormalizedEntropy(row) <= sess.hdr.Thresholds[0]
+	verdict := &wire.ClassifyResult{
+		Session:  sess.hdr.Session,
+		SampleID: sess.hdr.SampleID,
+		Exit:     wire.ExitEdge,
+		Class:    uint16(probs.ArgMaxRow(0)),
+		Probs:    row,
+	}
+	if confident {
+		if err := send(verdict); err != nil {
+			e.logger.Debug("edge verdict failed", "sample", sess.hdr.SampleID, "err", err)
+		}
+		return
+	}
+
+	cloudVerdict, err := e.escalate(sess, edgeFeat)
+	if err != nil {
+		if e.cfg.CloudFallback {
+			// Degrade rather than fail: answer with the edge's own
+			// best-effort classification while the cloud is down.
+			e.logger.Warn("cloud escalation failed; answering at the edge", "sample", sess.hdr.SampleID, "err", err)
+			if err := send(verdict); err != nil {
+				e.logger.Debug("edge fallback verdict failed", "sample", sess.hdr.SampleID, "err", err)
+			}
+			return
+		}
+		_ = send(&wire.Error{Session: sess.hdr.Session, Code: 503, Msg: fmt.Sprintf("cloud escalation failed: %v", err)})
+		return
+	}
+	if err := send(cloudVerdict); err != nil {
+		e.logger.Debug("cloud verdict relay failed", "sample", sess.hdr.SampleID, "err", err)
+	}
+}
+
+// escalate packs the edge feature map, forwards it to the cloud under a
+// fresh edge-owned session ID, waits for the verdict on the shared cloud
+// link and rewrites it back onto the downstream session.
+func (e *Edge) escalate(sess *edgeSession, edgeFeat *tensor.Tensor) (*wire.ClassifyResult, error) {
+	if e.cloud == nil {
+		return nil, fmt.Errorf("edge has no cloud connection")
+	}
+	upSession := e.nextUpstream.Add(1)
+	bits := e.model.PackFeature(edgeFeat)
+	up := &wire.EdgeFeature{
+		Session:  upSession,
+		SampleID: sess.hdr.SampleID,
+		F:        uint16(edgeFeat.Dim(1)),
+		H:        uint16(edgeFeat.Dim(2)),
+		W:        uint16(edgeFeat.Dim(3)),
+		Bits:     bits,
+	}
+	ch, err := e.cloud.subscribe(upSession)
+	if err != nil {
+		return nil, fmt.Errorf("cloud link failed: %w", err)
+	}
+	defer e.cloud.unsubscribe(upSession)
+	if err := e.cloud.send(e.cfg.CloudTimeout, up); err != nil {
+		return nil, fmt.Errorf("forward edge features: %w", err)
+	}
+	e.Meter.Add("cloud-upload", int64(len(bits)))
+	msg, err := e.cloud.wait(context.Background(), ch, e.cfg.CloudTimeout)
+	if err != nil {
+		return nil, err
+	}
+	switch m := msg.(type) {
+	case *wire.ClassifyResult:
+		if m.SampleID != sess.hdr.SampleID {
+			return nil, fmt.Errorf("cloud answered sample %d inside session for sample %d", m.SampleID, sess.hdr.SampleID)
+		}
+		m.Session = sess.hdr.Session
+		return m, nil
+	case *wire.Error:
+		return nil, fmt.Errorf("cloud error %d: %s", m.Code, m.Msg)
+	default:
+		return nil, fmt.Errorf("expected ClassifyResult, got %v", msg.MsgType())
+	}
+}
+
+// Close stops the edge node, terminating any in-flight connections.
+func (e *Edge) Close() error {
+	e.closeOnce.Do(func() {
+		if e.listener != nil {
+			e.listener.Close()
+		}
+		e.connMu.Lock()
+		e.closed = true
+		for conn := range e.conns {
+			conn.Close()
+		}
+		e.connMu.Unlock()
+		if e.cloud != nil {
+			e.cloud.close()
+		}
+	})
+	e.wg.Wait()
+	return nil
+}

@@ -29,18 +29,21 @@ type EngineConfig struct {
 	MaxConcurrency int
 	// Logger receives node logs; nil means slog.Default().
 	Logger *slog.Logger
-	// DeviceLink and CloudLink, when non-zero, wrap the gateway's dialed
-	// connections in link simulators with these profiles (in-process
-	// engines only), modelling the constrained wireless uplinks and WAN
-	// path of §IV-B/§V.
+	// DeviceLink, EdgeLink and CloudLink, when non-zero, wrap the
+	// cluster's dialed connections in link simulators with these
+	// profiles (in-process engines only), modelling the constrained
+	// wireless uplinks, the nearby edge hop and the WAN path of
+	// §IV-B/§V. EdgeLink applies to the gateway↔edge hop of edge-tier
+	// models; CloudLink to whichever hop reaches the cloud.
 	DeviceLink transport.LinkProfile
+	EdgeLink   transport.LinkProfile
 	CloudLink  transport.LinkProfile
 }
 
 // simulatesLinks reports whether any link profile is configured.
 func (c EngineConfig) simulatesLinks() bool {
 	zero := transport.LinkProfile{}
-	return c.DeviceLink != zero || c.CloudLink != zero
+	return c.DeviceLink != zero || c.EdgeLink != zero || c.CloudLink != zero
 }
 
 // Engine is the concurrent serving runtime: a gateway (plus, for
@@ -51,27 +54,32 @@ type Engine struct {
 	gw  *Gateway
 	sim *Sim // nil when attached to remote nodes
 
-	tr          transport.Transport
-	deviceAddrs []string
+	tr           transport.Transport
+	deviceAddrs  []string
+	upstreamAddr string
 
 	sem    chan struct{}
 	closed atomic.Bool
 	wg     sync.WaitGroup
 }
 
-// NewEngine starts a complete in-process cluster — device nodes, cloud and
-// gateway over the transport — and returns a serving engine for it.
-// Sample IDs are indices into ds.
+// NewEngine starts a complete in-process cluster — device nodes, the
+// edge node for edge-tier models, cloud and gateway over the transport —
+// and returns a serving engine for it. Sample IDs are indices into ds.
 func NewEngine(m *core.Model, ds *dataset.Dataset, cfg EngineConfig, tr transport.Transport) (*Engine, error) {
 	simTr := tr
 	if cfg.simulatesLinks() {
 		simTr = transport.RouteSim{
 			Inner: tr,
 			Pick: func(addr string) transport.LinkProfile {
-				if addr == "cloud" {
+				switch addr {
+				case "cloud":
 					return cfg.CloudLink
+				case "edge":
+					return cfg.EdgeLink
+				default:
+					return cfg.DeviceLink
 				}
-				return cfg.DeviceLink
 			},
 		}
 	}
@@ -83,19 +91,23 @@ func NewEngine(m *core.Model, ds *dataset.Dataset, cfg EngineConfig, tr transpor
 	e.sim = sim
 	e.tr = simTr
 	e.deviceAddrs = sim.DeviceAddrs()
+	e.upstreamAddr = sim.UpstreamAddr()
 	return e, nil
 }
 
-// AttachEngine connects a serving engine to already-running device and
-// cloud nodes (e.g. over TCP). The context bounds connection setup.
-func AttachEngine(ctx context.Context, m *core.Model, cfg EngineConfig, tr transport.Transport, deviceAddrs []string, cloudAddr string) (*Engine, error) {
-	gw, err := NewGateway(ctx, m, cfg.Gateway, tr, deviceAddrs, cloudAddr, cfg.Logger)
+// AttachEngine connects a serving engine to already-running nodes (e.g.
+// over TCP): the device nodes plus the gateway's upstream tier — the
+// edge node (cmd/ddnn-edge) for models built with UseEdge, the cloud
+// node otherwise. The context bounds connection setup.
+func AttachEngine(ctx context.Context, m *core.Model, cfg EngineConfig, tr transport.Transport, deviceAddrs []string, upstreamAddr string) (*Engine, error) {
+	gw, err := NewGateway(ctx, m, cfg.Gateway, tr, deviceAddrs, upstreamAddr, cfg.Logger)
 	if err != nil {
 		return nil, err
 	}
 	e := newEngine(gw, cfg)
 	e.tr = tr
 	e.deviceAddrs = append([]string(nil), deviceAddrs...)
+	e.upstreamAddr = upstreamAddr
 	return e, nil
 }
 
@@ -195,13 +207,23 @@ func (e *Engine) Devices() []*Device {
 	return e.sim.Devices
 }
 
-// StartHealthMonitor begins heartbeat probing of the engine's devices over
-// its transport; see Gateway.StartHealthMonitor.
+// Edge returns the in-process edge node, or nil for two-tier models and
+// attached engines. Simulations use it to inject failures and read the
+// edge→cloud hop's communication meter.
+func (e *Engine) Edge() *Edge {
+	if e.sim == nil {
+		return nil
+	}
+	return e.sim.Edge
+}
+
+// StartHealthMonitor begins heartbeat probing of the engine's devices and
+// upstream tier over its transport; see Gateway.StartHealthMonitor.
 func (e *Engine) StartHealthMonitor(ctx context.Context, interval time.Duration, misses int) (*HealthMonitor, error) {
 	if e.tr == nil || len(e.deviceAddrs) == 0 {
 		return nil, fmt.Errorf("cluster: engine has no device addresses to probe")
 	}
-	return e.gw.StartHealthMonitor(ctx, e.tr, e.deviceAddrs, interval, misses)
+	return e.gw.StartHealthMonitor(ctx, e.tr, e.deviceAddrs, e.upstreamAddr, interval, misses)
 }
 
 // Close drains in-flight sessions and tears the engine (and, for

@@ -23,6 +23,10 @@ var (
 	// ErrCloudUnavailable reports that the sample missed the local exit
 	// and the cloud round trip failed.
 	ErrCloudUnavailable = errors.New("ddnn: cloud unavailable")
+	// ErrEdgeUnavailable reports that the sample missed the local exit
+	// and the edge tier — the next escalation stage of a three-tier
+	// hierarchy — could not be reached.
+	ErrEdgeUnavailable = errors.New("ddnn: edge unavailable")
 )
 
 // ctxErr maps a context error onto the matching typed sentinel while

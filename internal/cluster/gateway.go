@@ -21,12 +21,19 @@ type GatewayConfig struct {
 	// Threshold is the local exit's normalized-entropy threshold T
 	// (§III-D; the paper settles on 0.8).
 	Threshold float64
+	// EdgeThreshold is the edge exit's normalized-entropy threshold,
+	// used only when the model has an edge tier. The gateway forwards
+	// it with every escalation so the edge node stays policy-free.
+	EdgeThreshold float64
 	// DeviceTimeout bounds each device round trip; devices that miss it
 	// are treated as absent for the sample (graceful degradation, §IV-G).
 	// A context with an earlier deadline wins.
 	DeviceTimeout time.Duration
-	// CloudTimeout bounds the cloud round trip.
+	// CloudTimeout bounds the cloud round trip (two-tier hierarchies).
 	CloudTimeout time.Duration
+	// EdgeTimeout bounds the gateway↔edge escalation round trip of a
+	// three-tier hierarchy, including any cloud relay behind the edge.
+	EdgeTimeout time.Duration
 	// MaxFailures marks a device as down after this many consecutive
 	// timeouts, so later samples skip it immediately. Zero disables
 	// sticky failure detection.
@@ -37,8 +44,10 @@ type GatewayConfig struct {
 func DefaultGatewayConfig() GatewayConfig {
 	return GatewayConfig{
 		Threshold:     0.8,
+		EdgeThreshold: 0.8,
 		DeviceTimeout: 2 * time.Second,
 		CloudTimeout:  5 * time.Second,
+		EdgeTimeout:   7 * time.Second,
 		MaxFailures:   3,
 	}
 }
@@ -59,31 +68,35 @@ type Result struct {
 
 // Gateway is the local aggregator: it fans capture requests out to the
 // devices, aggregates their exit summaries, applies the entropy-threshold
-// exit rule, and escalates to the cloud when the local exit is not
-// confident.
+// exit rule of the pipeline's first stage, and escalates samples the
+// local exit is not confident about to the next tier up — the edge node
+// of a three-tier hierarchy, or the cloud directly in a two-tier one.
 //
 // Classify is safe for concurrent use: each call opens an independent
-// session, tagged with a unique session ID, and the device and cloud links
-// multiplex frames from all in-flight sessions. Only the per-device
-// failure bookkeeping is shared, behind a short-lived mutex.
+// session, tagged with a unique session ID, and the device and upstream
+// links multiplex frames from all in-flight sessions. Only the
+// per-device failure bookkeeping is shared, behind a short-lived mutex.
 type Gateway struct {
-	model  *core.Model
-	cfg    GatewayConfig
-	logger *slog.Logger
+	model    *core.Model
+	cfg      GatewayConfig
+	pipeline Pipeline
+	logger   *slog.Logger
 
-	devices []*deviceLink
-	cloud   *link
+	devices  []*deviceLink
+	upstream *link // edge node for edge-tier models, cloud otherwise
 
 	nextSession atomic.Uint64
 
 	// Meter accumulates Eq. (1) payload bytes by category
-	// ("local-summary", "cloud-upload").
+	// ("local-summary", plus "cloud-upload" or "edge-upload" for the
+	// device feature maps relayed up the hierarchy's first hop).
 	Meter *metrics.CommMeter
 	// WireBytes counts actual bytes on each device uplink including
 	// framing, for comparison against the analytic model.
 	wireConns []*transport.CountingConn
 
-	stateMu sync.Mutex // guards deviceLink.failures / .down
+	stateMu      sync.Mutex // guards deviceLink.failures / .down, upstreamDown
+	upstreamDown bool       // driven by the health monitor
 }
 
 type deviceLink struct {
@@ -94,21 +107,27 @@ type deviceLink struct {
 	down     bool
 }
 
-// NewGateway connects to the device and cloud nodes and returns a ready
-// gateway. The context bounds connection setup only; per-session deadlines
-// come from the contexts passed to Classify.
-func NewGateway(ctx context.Context, model *core.Model, cfg GatewayConfig, tr transport.Transport, deviceAddrs []string, cloudAddr string, logger *slog.Logger) (*Gateway, error) {
+// NewGateway connects to the device nodes and the next tier up — the
+// edge node for edge-tier models, the cloud otherwise — and returns a
+// ready gateway. The context bounds connection setup only; per-session
+// deadlines come from the contexts passed to Classify.
+func NewGateway(ctx context.Context, model *core.Model, cfg GatewayConfig, tr transport.Transport, deviceAddrs []string, upstreamAddr string, logger *slog.Logger) (*Gateway, error) {
 	if logger == nil {
 		logger = slog.Default()
 	}
 	if len(deviceAddrs) != model.Cfg.Devices {
 		return nil, fmt.Errorf("cluster: model has %d devices, got %d addresses", model.Cfg.Devices, len(deviceAddrs))
 	}
+	pipeline := BuildPipeline(model.Cfg, cfg.Threshold, cfg.EdgeThreshold)
+	if err := pipeline.Validate(); err != nil {
+		return nil, err
+	}
 	g := &Gateway{
-		model:  model,
-		cfg:    cfg,
-		logger: logger.With("node", "gateway"),
-		Meter:  metrics.NewCommMeter(),
+		model:    model,
+		cfg:      cfg,
+		pipeline: pipeline,
+		logger:   logger.With("node", "gateway"),
+		Meter:    metrics.NewCommMeter(),
 	}
 	for i, addr := range deviceAddrs {
 		conn, err := tr.Dial(ctx, addr)
@@ -120,13 +139,43 @@ func NewGateway(ctx context.Context, model *core.Model, cfg GatewayConfig, tr tr
 		g.wireConns = append(g.wireConns, cc)
 		g.devices = append(g.devices, &deviceLink{index: i, link: newLink(cc)})
 	}
-	conn, err := tr.Dial(ctx, cloudAddr)
+	conn, err := tr.Dial(ctx, upstreamAddr)
 	if err != nil {
 		g.Close()
-		return nil, fmt.Errorf("cluster: dial cloud: %w", err)
+		return nil, fmt.Errorf("cluster: dial %v tier: %w", g.upstreamExit(), err)
 	}
-	g.cloud = newLink(conn)
+	g.upstream = newLink(conn)
 	return g, nil
+}
+
+// Pipeline returns the gateway's exit-stage list, lowest tier first.
+func (g *Gateway) Pipeline() Pipeline { return g.pipeline }
+
+// upstreamExit names the tier the gateway escalates to.
+func (g *Gateway) upstreamExit() wire.ExitPoint { return g.pipeline[1].Exit }
+
+// upstreamSentinel is the typed error for an unreachable upstream tier.
+func (g *Gateway) upstreamSentinel() error {
+	if g.upstreamExit() == wire.ExitEdge {
+		return ErrEdgeUnavailable
+	}
+	return ErrCloudUnavailable
+}
+
+// upstreamTimeout bounds one escalation round trip.
+func (g *Gateway) upstreamTimeout() time.Duration {
+	if g.upstreamExit() == wire.ExitEdge {
+		return g.cfg.EdgeTimeout
+	}
+	return g.cfg.CloudTimeout
+}
+
+// uploadCategory names the Meter bucket for relayed device features.
+func (g *Gateway) uploadCategory() string {
+	if g.upstreamExit() == wire.ExitEdge {
+		return "edge-upload"
+	}
+	return "cloud-upload"
 }
 
 // WireBytesUp returns the total bytes written on all device uplinks,
@@ -201,13 +250,13 @@ func (g *Gateway) Classify(ctx context.Context, sampleID uint64) (*Result, error
 		return nil, fmt.Errorf("cluster: sample %d: %w", sampleID, ErrNoSummaries)
 	}
 
-	// Stage 2: aggregate and decide the local exit.
+	// Stage 2: aggregate and decide the pipeline's first exit.
 	logits := g.model.LocalAggregate(exitVecs, present)
 	probs := nn.Softmax(logits)
 	row := make([]float32, classes)
 	copy(row, probs.Row(0))
 	entropy := nn.NormalizedEntropy(row)
-	if entropy <= g.cfg.Threshold {
+	if entropy <= g.pipeline[0].Threshold {
 		return &Result{
 			SampleID: sampleID,
 			Class:    probs.ArgMaxRow(0),
@@ -220,7 +269,7 @@ func (g *Gateway) Classify(ctx context.Context, sampleID uint64) (*Result, error
 	}
 
 	// Stage 3: the local exit is not confident; fetch binarized features
-	// from present devices and escalate to the cloud.
+	// from present devices and escalate to the next tier up.
 	res, err := g.escalate(ctx, sid, sampleID, present)
 	if err != nil {
 		return nil, err
@@ -251,9 +300,14 @@ func (g *Gateway) captureFrom(ctx context.Context, dl *deviceLink, sid, sampleID
 	}
 }
 
-// escalate fetches feature maps from present devices and asks the cloud
-// for the final classification.
+// escalate fetches feature maps from present devices and relays them to
+// the next tier of the pipeline — the edge node, which answers confident
+// samples itself and forwards the rest to the cloud, or the cloud
+// directly in a two-tier hierarchy.
 func (g *Gateway) escalate(ctx context.Context, sid, sampleID uint64, present []bool) (*Result, error) {
+	if g.UpstreamDown() {
+		return nil, fmt.Errorf("cluster: sample %d: %w: marked down by health monitor", sampleID, g.upstreamSentinel())
+	}
 	type upload struct {
 		device int
 		msg    *wire.FeatureUpload
@@ -287,46 +341,69 @@ func (g *Gateway) escalate(ctx context.Context, sid, sampleID uint64, present []
 		}
 		collected = append(collected, u.msg)
 		mask |= 1 << uint(u.device)
-		g.Meter.Add("cloud-upload", int64(len(u.msg.Bits)))
+		g.Meter.Add(g.uploadCategory(), int64(len(u.msg.Bits)))
 	}
 	if len(collected) == 0 {
 		return nil, fmt.Errorf("cluster: no features collected for sample %d: %w", sampleID, ErrNoSummaries)
 	}
 
 	// Relay the session header and all uploads as one atomic batch, then
-	// wait for this session's verdict on the shared cloud link.
+	// wait for this session's verdict on the shared upstream link. The
+	// header names the escalation target: the edge tier consumes its own
+	// threshold from the relayed pipeline and forwards the rest, while a
+	// two-tier cloud classifies unconditionally.
+	sentinel := g.upstreamSentinel()
+	timeout := g.upstreamTimeout()
 	frames := make([]wire.Message, 0, len(collected)+1)
-	frames = append(frames, &wire.CloudClassify{
-		Session:  sid,
-		SampleID: sampleID,
-		Devices:  uint16(g.model.Cfg.Devices),
-		Mask:     mask,
-	})
+	if g.upstreamExit() == wire.ExitEdge {
+		frames = append(frames, &wire.EdgeClassify{
+			Session:    sid,
+			SampleID:   sampleID,
+			Devices:    uint16(g.model.Cfg.Devices),
+			Mask:       mask,
+			Thresholds: g.pipeline.RelayThresholds(),
+		})
+	} else {
+		frames = append(frames, &wire.CloudClassify{
+			Session:  sid,
+			SampleID: sampleID,
+			Devices:  uint16(g.model.Cfg.Devices),
+			Mask:     mask,
+		})
+	}
 	for _, up := range collected {
 		up.Session = sid
 		frames = append(frames, up)
 	}
-	ch, err := g.cloud.subscribe(sid)
+	ch, err := g.upstream.subscribe(sid)
 	if err != nil {
-		return nil, fmt.Errorf("cluster: %w: %w", ErrCloudUnavailable, err)
+		return nil, fmt.Errorf("cluster: %w: %w", sentinel, err)
 	}
-	defer g.cloud.unsubscribe(sid)
-	if err := g.cloud.send(g.cfg.CloudTimeout, frames...); err != nil {
-		return nil, fmt.Errorf("cluster: %w: relay features: %w", ErrCloudUnavailable, err)
+	defer g.upstream.unsubscribe(sid)
+	if err := g.upstream.send(timeout, frames...); err != nil {
+		return nil, fmt.Errorf("cluster: %w: relay features: %w", sentinel, err)
 	}
-	msg, err := g.cloud.wait(ctx, ch, g.cfg.CloudTimeout)
+	msg, err := g.upstream.wait(ctx, ch, timeout)
 	if err != nil {
 		if cerr := ctx.Err(); cerr != nil {
 			return nil, ctxErr(cerr)
 		}
-		return nil, fmt.Errorf("cluster: %w: %w", ErrCloudUnavailable, err)
+		return nil, fmt.Errorf("cluster: %w: %w", sentinel, err)
 	}
 	cr, ok := msg.(*wire.ClassifyResult)
 	if !ok {
 		if e, isErr := msg.(*wire.Error); isErr {
-			return nil, fmt.Errorf("cluster: %w: cloud error %d: %s", ErrCloudUnavailable, e.Code, e.Msg)
+			if e.Code == 503 {
+				// The edge reached its own exit but the tier above it
+				// did not answer.
+				return nil, fmt.Errorf("cluster: %w: %v tier: %s", ErrCloudUnavailable, g.upstreamExit(), e.Msg)
+			}
+			return nil, fmt.Errorf("cluster: %w: %v error %d: %s", sentinel, g.upstreamExit(), e.Code, e.Msg)
 		}
 		return nil, fmt.Errorf("cluster: expected ClassifyResult, got %v", msg.MsgType())
+	}
+	if cr.SampleID != sampleID {
+		return nil, fmt.Errorf("cluster: %v tier answered sample %d inside session for sample %d", g.upstreamExit(), cr.SampleID, sampleID)
 	}
 	return &Result{
 		SampleID: sampleID,
@@ -391,6 +468,31 @@ func (g *Gateway) DownDevices() []int {
 	return out
 }
 
+// UpstreamDown reports whether the health monitor has marked the next
+// tier up (edge or cloud) unreachable; escalations then fail fast with
+// the tier's typed error instead of waiting out the timeout.
+func (g *Gateway) UpstreamDown() bool {
+	g.stateMu.Lock()
+	defer g.stateMu.Unlock()
+	return g.upstreamDown
+}
+
+// setUpstreamDown flips the upstream tier's availability from the
+// failure detector.
+func (g *Gateway) setUpstreamDown(down bool) {
+	g.stateMu.Lock()
+	defer g.stateMu.Unlock()
+	if g.upstreamDown == down {
+		return
+	}
+	g.upstreamDown = down
+	if down {
+		g.logger.Warn("health monitor marked upstream tier down", "tier", g.upstreamExit().String())
+	} else {
+		g.logger.Info("health monitor marked upstream tier up", "tier", g.upstreamExit().String())
+	}
+}
+
 // Close tears down all connections.
 func (g *Gateway) Close() error {
 	for _, dl := range g.devices {
@@ -398,8 +500,8 @@ func (g *Gateway) Close() error {
 			dl.link.close()
 		}
 	}
-	if g.cloud != nil {
-		g.cloud.close()
+	if g.upstream != nil {
+		g.upstream.close()
 	}
 	return nil
 }

@@ -11,12 +11,13 @@ import (
 	"github.com/ddnn/ddnn-go/internal/wire"
 )
 
-// HealthMonitor probes every device over dedicated connections and drives
-// the gateway's up/down state: a device that misses consecutive heartbeats
-// is marked down (so inference sessions skip it without waiting for
-// timeouts), and a device that answers again is marked up — giving the
-// cluster automatic recovery, the flip side of the fault tolerance
-// evaluated in §IV-G.
+// HealthMonitor probes every device — and, when an upstream address is
+// given, the next tier up (edge or cloud) — over dedicated connections
+// and drives the gateway's up/down state: a node that misses consecutive
+// heartbeats is marked down (so inference sessions skip it, or fail
+// escalations fast, without waiting for timeouts), and a node that
+// answers again is marked up — giving the cluster automatic recovery,
+// the flip side of the fault tolerance evaluated in §IV-G.
 type HealthMonitor struct {
 	gw       *Gateway
 	interval time.Duration
@@ -27,11 +28,15 @@ type HealthMonitor struct {
 	once sync.Once
 }
 
-// StartHealthMonitor dials a probe connection to each device and begins
-// heartbeating every interval. A device is marked down after `misses`
-// consecutive unanswered probes and marked up again on the first answer.
-// The context bounds the probe dials only.
-func (g *Gateway) StartHealthMonitor(ctx context.Context, tr transport.Transport, deviceAddrs []string, interval time.Duration, misses int) (*HealthMonitor, error) {
+// upstreamProbe is the probeLoop target index for the upstream tier.
+const upstreamProbe = -1
+
+// StartHealthMonitor dials a probe connection to each device (and to the
+// upstream tier when upstreamAddr is non-empty) and begins heartbeating
+// every interval. A node is marked down after `misses` consecutive
+// unanswered probes and marked up again on the first answer. The context
+// bounds the probe dials only.
+func (g *Gateway) StartHealthMonitor(ctx context.Context, tr transport.Transport, deviceAddrs []string, upstreamAddr string, interval time.Duration, misses int) (*HealthMonitor, error) {
 	if len(deviceAddrs) != len(g.devices) {
 		return nil, fmt.Errorf("cluster: health monitor needs %d device addresses, got %d", len(g.devices), len(deviceAddrs))
 	}
@@ -47,22 +52,38 @@ func (g *Gateway) StartHealthMonitor(ctx context.Context, tr transport.Transport
 		misses:   misses,
 		stop:     make(chan struct{}),
 	}
+	targets := make([]int, 0, len(deviceAddrs)+1)
+	addrs := make([]string, 0, len(deviceAddrs)+1)
 	for i, addr := range deviceAddrs {
+		targets = append(targets, i)
+		addrs = append(addrs, addr)
+	}
+	if upstreamAddr != "" {
+		targets = append(targets, upstreamProbe)
+		addrs = append(addrs, upstreamAddr)
+	}
+	for i, addr := range addrs {
 		conn, err := tr.Dial(ctx, addr)
 		if err != nil {
 			hm.Stop()
-			return nil, fmt.Errorf("cluster: health dial device %d: %w", i, err)
+			if targets[i] == upstreamProbe {
+				return nil, fmt.Errorf("cluster: health dial %v tier: %w", g.upstreamExit(), err)
+			}
+			return nil, fmt.Errorf("cluster: health dial device %d: %w", targets[i], err)
 		}
 		hm.wg.Add(1)
-		go hm.probeLoop(i, conn)
+		go hm.probeLoop(targets[i], conn)
 	}
 	return hm, nil
 }
 
-func (hm *HealthMonitor) probeLoop(device int, conn net.Conn) {
+func (hm *HealthMonitor) probeLoop(target int, conn net.Conn) {
 	defer hm.wg.Done()
 	defer conn.Close()
-	nodeID := fmt.Sprintf("gw-probe-%d", device)
+	nodeID := fmt.Sprintf("gw-probe-%d", target)
+	if target == upstreamProbe {
+		nodeID = "gw-probe-upstream"
+	}
 	ticker := time.NewTicker(hm.interval)
 	defer ticker.Stop()
 	consecutive := 0
@@ -76,14 +97,23 @@ func (hm *HealthMonitor) probeLoop(device int, conn net.Conn) {
 		seq++
 		if ok := hm.probeOnce(conn, nodeID, seq); ok {
 			consecutive = 0
-			hm.gw.setDeviceDown(device, false)
+			hm.setDown(target, false)
 			continue
 		}
 		consecutive++
 		if consecutive >= hm.misses {
-			hm.gw.setDeviceDown(device, true)
+			hm.setDown(target, true)
 		}
 	}
+}
+
+// setDown routes a probe verdict to the right availability flag.
+func (hm *HealthMonitor) setDown(target int, down bool) {
+	if target == upstreamProbe {
+		hm.gw.setUpstreamDown(down)
+		return
+	}
+	hm.gw.setDeviceDown(target, down)
 }
 
 // probeOnce sends one heartbeat and waits up to the probe interval for the

@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+
+	"github.com/ddnn/ddnn-go/internal/branchy"
+	"github.com/ddnn/ddnn-go/internal/core"
+	"github.com/ddnn/ddnn-go/internal/dataset"
+	"github.com/ddnn/ddnn-go/internal/transport"
+	"github.com/ddnn/ddnn-go/internal/wire"
+)
+
+// stagedExpectation replays core's staged Evaluate decision for one
+// sample: the first exit whose entropy passes its threshold classifies,
+// and the final exit always does.
+func stagedExpectation(res *core.EvalResult, pol branchy.Policy, i int) (wire.ExitPoint, int) {
+	probs := [][]float32{res.LocalProbs[i]}
+	exits := []wire.ExitPoint{wire.ExitLocal}
+	if res.EdgeProbs != nil {
+		probs = append(probs, res.EdgeProbs[i])
+		exits = append(exits, wire.ExitEdge)
+	}
+	probs = append(probs, res.CloudProbs[i])
+	exits = append(exits, wire.ExitCloud)
+	for e := range probs {
+		if pol.ShouldExit(e, probs[e]) {
+			return exits[e], argmaxRow(probs[e])
+		}
+	}
+	return exits[len(exits)-1], argmaxRow(probs[len(probs)-1])
+}
+
+func argmaxRow(row []float32) int {
+	best := 0
+	for i := 1; i < len(row); i++ {
+		if row[i] > row[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// checkStagedParity asserts that Engine.ClassifyBatch over the full test
+// set produces exactly the exit point and prediction of core's staged
+// Evaluate for every sample, at the given pipeline thresholds.
+func checkStagedParity(t *testing.T, model *core.Model, test *dataset.Dataset, localT, edgeT float64) {
+	t.Helper()
+	res := model.Evaluate(test, nil, 32)
+	var pol branchy.Policy
+	if model.Cfg.UseEdge {
+		pol = branchy.NewPolicy(localT, edgeT, 1)
+	} else {
+		pol = branchy.NewPolicy(localT, 1)
+	}
+
+	gcfg := DefaultGatewayConfig()
+	gcfg.Threshold = localT
+	gcfg.EdgeThreshold = edgeT
+	eng, err := NewEngine(model, test, EngineConfig{
+		Gateway:        gcfg,
+		MaxConcurrency: 8,
+		Logger:         quietLogger(),
+	}, transport.NewMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	ids := make([]uint64, test.Len())
+	for i := range ids {
+		ids[i] = uint64(i)
+	}
+	results, err := eng.ClassifyBatch(context.Background(), ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range results {
+		wantExit, wantClass := stagedExpectation(res, pol, i)
+		if got.Exit != wantExit {
+			t.Errorf("sample %d: engine exited at %v, staged Evaluate says %v", i, got.Exit, wantExit)
+		}
+		if got.Class != wantClass {
+			t.Errorf("sample %d: engine class %d, staged Evaluate says %d", i, got.Class, wantClass)
+		}
+	}
+}
+
+// TestEngineStagedParityTwoTier checks end-to-end parity between the
+// distributed serving runtime and in-process staged inference for the
+// two-tier hierarchy, over the full test set at several thresholds.
+func TestEngineStagedParityTwoTier(t *testing.T) {
+	model, test := fixture(t)
+	for _, localT := range []float64{0.3, 0.5, 0.8, 0.95} {
+		checkStagedParity(t, model, test, localT, 0.8)
+	}
+}
+
+// TestEngineStagedParityEdgeTier is the same contract over the
+// three-tier device→edge→cloud hierarchy: every sample must take the
+// same exit — local, edge or cloud — and produce the same class as
+// core's staged Evaluate, across several threshold pairs.
+func TestEngineStagedParityEdgeTier(t *testing.T) {
+	model, test := edgeFixture(t)
+	for _, ts := range [][2]float64{
+		{0.3, 0.8},
+		{0.5, 0.5},
+		{0.8, 0.3},
+		{0.8, 0.8},
+		{0.95, 0.95},
+	} {
+		checkStagedParity(t, model, test, ts[0], ts[1])
+	}
+}

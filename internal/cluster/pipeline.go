@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"fmt"
+
+	"github.com/ddnn/ddnn-go/internal/core"
+	"github.com/ddnn/ddnn-go/internal/wire"
+)
+
+// Stage is one exit point of the staged-inference pipeline (§III-D): a
+// tier of the physical hierarchy with an early-exit head and the
+// normalized-entropy threshold gating it.
+type Stage struct {
+	// Exit identifies the tier that classifies at this stage.
+	Exit wire.ExitPoint
+	// Threshold is the stage's exit criterion: a sample whose
+	// normalized entropy is ≤ Threshold exits here. The final stage
+	// always classifies regardless of its threshold.
+	Threshold float64
+}
+
+// Pipeline is the ordered exit-stage list of a hierarchy, lowest tier
+// first. The runtime routes escalations along it instead of hard-coding
+// device/cloud pairs, so deeper hierarchies are a configuration change:
+// the gateway evaluates the first stage locally and forwards the
+// remaining thresholds up the chain, each tier peeling off its own.
+type Pipeline []Stage
+
+// BuildPipeline derives the exit pipeline from a model configuration
+// and the per-tier thresholds: local(+edge)+cloud, where the cloud is
+// the final stage and always classifies.
+func BuildPipeline(cfg core.Config, localT, edgeT float64) Pipeline {
+	p := Pipeline{{Exit: wire.ExitLocal, Threshold: localT}}
+	if cfg.UseEdge {
+		p = append(p, Stage{Exit: wire.ExitEdge, Threshold: edgeT})
+	}
+	return append(p, Stage{Exit: wire.ExitCloud, Threshold: 1})
+}
+
+// Validate reports malformed pipelines.
+func (p Pipeline) Validate() error {
+	if len(p) < 2 {
+		return fmt.Errorf("cluster: pipeline needs at least a local and a final stage, got %d", len(p))
+	}
+	if p[0].Exit != wire.ExitLocal {
+		return fmt.Errorf("cluster: pipeline must start at the local exit, got %v", p[0].Exit)
+	}
+	return nil
+}
+
+// RelayThresholds returns the thresholds the gateway forwards with an
+// escalation: every stage above the local exit except the final stage,
+// which always classifies. Each intermediate tier consumes the first
+// entry and relays the rest.
+func (p Pipeline) RelayThresholds() []float64 {
+	if len(p) <= 2 {
+		return nil
+	}
+	ts := make([]float64, 0, len(p)-2)
+	for _, s := range p[1 : len(p)-1] {
+		ts = append(ts, s.Threshold)
+	}
+	return ts
+}
+
+// Exits returns the exit points in pipeline order.
+func (p Pipeline) Exits() []wire.ExitPoint {
+	out := make([]wire.ExitPoint, len(p))
+	for i, s := range p {
+		out[i] = s.Exit
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"fmt"
+
+	"github.com/ddnn/ddnn-go/internal/core"
+	"github.com/ddnn/ddnn-go/internal/tensor"
+	"github.com/ddnn/ddnn-go/internal/wire"
+)
+
+// uploadSession accumulates one escalation session's device feature
+// uploads until every present device's map has arrived. It is shared by
+// the cloud (two-tier hierarchies) and the edge node (three-tier), which
+// receive the same CloudClassify/EdgeClassify + FeatureUpload sequence.
+type uploadSession struct {
+	sampleID uint64
+	allowed  uint16 // mask of devices whose uploads are expected
+	feats    []*tensor.Tensor
+	mask     []bool
+	pending  int
+}
+
+// newUploadSession validates the escalation header against the model
+// configuration and prepares placeholder feature maps for every device,
+// so absent devices contribute zeros to the aggregation exactly as in
+// masked training (§IV-G).
+func newUploadSession(cfg core.Config, sampleID uint64, devices, allowed uint16, present int) (*uploadSession, error) {
+	if int(devices) != cfg.Devices {
+		return nil, fmt.Errorf("model has %d devices, session says %d", cfg.Devices, devices)
+	}
+	fh, fw := cfg.FeatureH(), cfg.FeatureW()
+	s := &uploadSession{
+		sampleID: sampleID,
+		allowed:  allowed,
+		feats:    make([]*tensor.Tensor, cfg.Devices),
+		mask:     make([]bool, cfg.Devices),
+		pending:  present,
+	}
+	for d := 0; d < cfg.Devices; d++ {
+		s.feats[d] = tensor.New(1, cfg.DeviceFilters, fh, fw)
+	}
+	return s, nil
+}
+
+// add unpacks one device's upload into the session. It rejects uploads
+// for the wrong sample, from devices outside the announced mask, and
+// duplicates.
+func (s *uploadSession) add(m *core.Model, up *wire.FeatureUpload) error {
+	if up.SampleID != s.sampleID {
+		return fmt.Errorf("upload for sample %d inside session for sample %d", up.SampleID, s.sampleID)
+	}
+	dev := int(up.Device)
+	if dev < 0 || dev >= len(s.feats) {
+		return fmt.Errorf("upload from unknown device %d", dev)
+	}
+	if s.allowed&(1<<uint(dev)) == 0 || s.mask[dev] {
+		return fmt.Errorf("unexpected upload from device %d", dev)
+	}
+	feat, err := m.UnpackFeature(up.Bits, int(up.F), int(up.H), int(up.W))
+	if err != nil {
+		return fmt.Errorf("unpack device %d: %w", dev, err)
+	}
+	s.feats[dev] = feat
+	s.mask[dev] = true
+	s.pending--
+	return nil
+}
+
+// complete reports whether every announced upload has arrived.
+func (s *uploadSession) complete() bool { return s.pending == 0 }
+
+// sessionOf extracts a message's session tag, or 0 for connection-scoped
+// frames, so error replies to unexpected messages still reach the
+// session's waiter instead of being dropped by the demultiplexer.
+func sessionOf(m wire.Message) uint64 {
+	if s, ok := m.(wire.Sessioned); ok {
+		return s.SessionID()
+	}
+	return 0
+}

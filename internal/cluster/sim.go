@@ -11,15 +11,17 @@ import (
 	"github.com/ddnn/ddnn-go/internal/transport"
 )
 
-// Sim assembles a complete DDNN cluster — device nodes, a gateway and a
-// cloud node — over a transport, feeding device sensors from a dataset.
-// Sample IDs are dataset indices.
+// Sim assembles a complete DDNN cluster — device nodes, an edge node for
+// edge-tier models, a gateway and a cloud node — over a transport,
+// feeding device sensors from a dataset. Sample IDs are dataset indices.
 type Sim struct {
 	Devices []*Device
+	Edge    *Edge // nil without an edge tier
 	Cloud   *Cloud
 	Gateway *Gateway
 
-	addrs []string
+	addrs        []string
+	upstreamAddr string
 }
 
 // DatasetFeed builds a Feed serving one device's views from a dataset.
@@ -35,8 +37,10 @@ func DatasetFeed(ds *dataset.Dataset, device int) Feed {
 }
 
 // NewSim starts every node of the hierarchy on the transport and connects
-// the gateway. Addresses are synthesized as "device-N" and "cloud"; with a
-// TCP transport pass explicit addresses via NewGateway instead.
+// the gateway to its upstream tier: the edge node for edge-tier models,
+// the cloud otherwise. Addresses are synthesized as "device-N", "edge"
+// and "cloud"; with a TCP transport pass explicit addresses via
+// NewGateway instead.
 func NewSim(model *core.Model, ds *dataset.Dataset, cfg GatewayConfig, tr transport.Transport, logger *slog.Logger) (*Sim, error) {
 	s := &Sim{}
 	addrs := make([]string, model.Cfg.Devices)
@@ -55,18 +59,40 @@ func NewSim(model *core.Model, ds *dataset.Dataset, cfg GatewayConfig, tr transp
 		s.Close()
 		return nil, err
 	}
-	gw, err := NewGateway(context.Background(), model, cfg, tr, addrs, "cloud", logger)
+	upstream := "cloud"
+	if model.Cfg.UseEdge {
+		edge, err := NewEdge(model, DefaultEdgeConfig(), logger)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.Edge = edge
+		if err := edge.Serve(tr, "edge"); err != nil {
+			s.Close()
+			return nil, err
+		}
+		if err := edge.ConnectCloud(context.Background(), tr, "cloud"); err != nil {
+			s.Close()
+			return nil, err
+		}
+		upstream = "edge"
+	}
+	gw, err := NewGateway(context.Background(), model, cfg, tr, addrs, upstream, logger)
 	if err != nil {
 		s.Close()
 		return nil, err
 	}
 	s.Gateway = gw
 	s.addrs = addrs
+	s.upstreamAddr = upstream
 	return s, nil
 }
 
 // DeviceAddrs returns the synthesized device addresses, in device order.
 func (s *Sim) DeviceAddrs() []string { return append([]string(nil), s.addrs...) }
+
+// UpstreamAddr returns the address of the tier the gateway escalates to.
+func (s *Sim) UpstreamAddr() string { return s.upstreamAddr }
 
 // Close tears the whole cluster down.
 func (s *Sim) Close() error {
@@ -75,6 +101,9 @@ func (s *Sim) Close() error {
 	}
 	for _, d := range s.Devices {
 		d.Close()
+	}
+	if s.Edge != nil {
+		s.Edge.Close()
 	}
 	if s.Cloud != nil {
 		s.Cloud.Close()

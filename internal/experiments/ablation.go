@@ -102,35 +102,45 @@ type EdgeHierarchyRow struct {
 	ExitFractions               []float64
 }
 
+// edgeModel trains (or returns the cached) device-edge-cloud DDNN of
+// configuration (e) of Fig. 2, shared by every edge-tier experiment.
+func (r *Runner) edgeModel() (*core.Model, error) {
+	key := "edge-hierarchy"
+	r.mu.Lock()
+	m, ok := r.models[key]
+	r.mu.Unlock()
+	if ok {
+		return m, nil
+	}
+	cfg := r.opts.Model
+	cfg.UseEdge = true
+	cfg.LocalAgg, cfg.EdgeAgg, cfg.CloudAgg = agg.MP, agg.CC, agg.CC
+	m, err := core.NewModel(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r.logf("training device-edge-cloud DDNN (%d epochs)", r.opts.Epochs)
+	tc := core.DefaultTrainConfig()
+	tc.Epochs = r.opts.Epochs
+	tc.BatchSize = r.opts.BatchSize
+	if _, err := m.Train(r.train, tc); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.models[key] = m
+	r.mu.Unlock()
+	return m, nil
+}
+
 // EdgeHierarchy trains a device-edge-cloud DDNN (configuration (e) of
 // Fig. 2) and reports accuracy at all three exits plus staged inference
 // across the full hierarchy. The paper evaluates configuration (c) only
 // and leaves the edge tier as a described capability; this experiment
 // exercises it end to end.
 func (r *Runner) EdgeHierarchy() (*EdgeHierarchyRow, error) {
-	key := "edge-hierarchy"
-	r.mu.Lock()
-	m, ok := r.models[key]
-	r.mu.Unlock()
-	if !ok {
-		cfg := r.opts.Model
-		cfg.UseEdge = true
-		cfg.LocalAgg, cfg.EdgeAgg, cfg.CloudAgg = agg.MP, agg.CC, agg.CC
-		var err error
-		m, err = core.NewModel(cfg)
-		if err != nil {
-			return nil, err
-		}
-		r.logf("training device-edge-cloud DDNN (%d epochs)", r.opts.Epochs)
-		tc := core.DefaultTrainConfig()
-		tc.Epochs = r.opts.Epochs
-		tc.BatchSize = r.opts.BatchSize
-		if _, err := m.Train(r.train, tc); err != nil {
-			return nil, err
-		}
-		r.mu.Lock()
-		r.models[key] = m
-		r.mu.Unlock()
+	m, err := r.edgeModel()
+	if err != nil {
+		return nil, err
 	}
 	res := m.Evaluate(r.test, nil, r.opts.BatchSize)
 	pol := branchy.NewPolicy(0.8, 0.8, 1)

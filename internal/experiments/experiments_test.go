@@ -247,6 +247,79 @@ func TestLatencyByExit(t *testing.T) {
 	}
 }
 
+func TestServingThroughputSweep(t *testing.T) {
+	r := runner(t)
+	rep, err := r.ServingThroughput(0.8, 10, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Exits) != 2 {
+		t.Fatalf("two-tier sweep has %d exits, want 2", len(rep.Exits))
+	}
+	if len(rep.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(rep.Points))
+	}
+	if rep.Points[0].Speedup != 1 {
+		t.Errorf("baseline speedup = %v, want 1", rep.Points[0].Speedup)
+	}
+	for _, p := range rep.Points {
+		total := 0
+		for _, c := range p.ExitCounts {
+			total += c
+		}
+		if total != p.Samples {
+			t.Errorf("exit counts sum to %d, want %d", total, p.Samples)
+		}
+	}
+	if rep.SummaryBytes <= 0 {
+		t.Error("no summary bytes measured on the device hop")
+	}
+}
+
+func TestEdgeServingThroughputReportsThreeExits(t *testing.T) {
+	r := runner(t)
+	rep, err := r.EdgeServingThroughput(0.8, 0.8, 20, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Exits) != 3 {
+		t.Fatalf("edge sweep has %d exits, want 3", len(rep.Exits))
+	}
+	for _, p := range rep.Points {
+		total := 0
+		for _, c := range p.ExitCounts {
+			total += c
+		}
+		if total != p.Samples {
+			t.Errorf("exit counts sum to %d, want %d", total, p.Samples)
+		}
+	}
+	out := FormatServingReport(rep)
+	for _, want := range []string{"%local", "%edge", "%cloud", "hop 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatServingReport missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEdgeLatencyByExitCoversThreeExits(t *testing.T) {
+	r := runner(t)
+	rep, err := r.EdgeLatencyByExit(0.8, 0.8, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Exits != 3 {
+		t.Fatalf("Exits = %d, want 3", rep.Exits)
+	}
+	if rep.LocalCount+rep.EdgeCount+rep.CloudCount != rep.Samples {
+		t.Errorf("exit counts %d+%d+%d != %d samples",
+			rep.LocalCount, rep.EdgeCount, rep.CloudCount, rep.Samples)
+	}
+	if !strings.Contains(FormatLatencyReport(rep), "edge exits") {
+		t.Error("FormatLatencyReport missing edge line")
+	}
+}
+
 func TestMixedPrecisionAblation(t *testing.T) {
 	r := runner(t)
 	rows, err := r.MixedPrecisionAblation()

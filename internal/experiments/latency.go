@@ -9,126 +9,146 @@ import (
 
 	"github.com/ddnn/ddnn-go/internal/agg"
 	"github.com/ddnn/ddnn-go/internal/cluster"
+	"github.com/ddnn/ddnn-go/internal/core"
 	"github.com/ddnn/ddnn-go/internal/metrics"
 	"github.com/ddnn/ddnn-go/internal/transport"
 	"github.com/ddnn/ddnn-go/internal/wire"
 )
 
 // LatencyReport quantifies the vertical-scaling latency claim of §V:
-// samples exiting locally avoid the WAN round trip entirely, so their
-// response time is bounded by the local wireless link, while cloud-exited
-// samples pay the feature upload over both links.
+// samples exiting locally avoid every upstream round trip, samples
+// exiting at the edge of a three-tier hierarchy pay only the nearby edge
+// hop, and cloud-exited samples pay the feature upload over the full
+// path including the WAN link.
 type LatencyReport struct {
-	Threshold    float64
-	Samples      int
-	LocalCount   int
-	CloudCount   int
-	LocalMean    time.Duration
-	LocalP95     time.Duration
-	CloudMean    time.Duration
-	CloudP95     time.Duration
-	DeviceLink   transport.LinkProfile
-	CloudLink    transport.LinkProfile
-	RawTransfer  time.Duration // time to move one raw image over both links
-	RawOffloadB  int
-	MeanAnalytic time.Duration // reference only
+	Threshold     float64
+	EdgeThreshold float64 // meaningful only when Exits == 3
+	Exits         int     // 2 for device→cloud, 3 for device→edge→cloud
+	Samples       int
+	LocalCount    int
+	EdgeCount     int
+	CloudCount    int
+	LocalMean     time.Duration
+	LocalP95      time.Duration
+	EdgeMean      time.Duration
+	EdgeP95       time.Duration
+	CloudMean     time.Duration
+	CloudP95      time.Duration
+	DeviceLink    transport.LinkProfile
+	EdgeLink      transport.LinkProfile // zero for two-tier hierarchies
+	CloudLink     transport.LinkProfile
+	RawTransfer   time.Duration // time to move one raw image over every hop
+	RawOffloadB   int
 }
 
-// LatencyByExit runs the trained MP-CC DDNN on an in-process cluster whose
-// links simulate a constrained device wireless uplink and a WAN path to
-// the cloud, and reports response latency separately for locally exited
-// and cloud-exited samples (E9, §V vertical scaling).
+// LatencyByExit runs the trained two-tier MP-CC DDNN on an in-process
+// cluster whose links simulate a constrained device wireless uplink and
+// a WAN path to the cloud, and reports response latency separately for
+// locally exited and cloud-exited samples (E9, §V vertical scaling).
 func (r *Runner) LatencyByExit(threshold float64, maxSamples int) (*LatencyReport, error) {
 	m, err := r.model(agg.MP, agg.CC, r.opts.Model.DeviceFilters)
 	if err != nil {
 		return nil, err
 	}
-	deviceLink := transport.DeviceToGateway
-	cloudLink := transport.GatewayToCloud
-
-	mem := transport.NewMem()
-	quiet := slog.New(slog.NewTextHandler(discardWriter{}, &slog.HandlerOptions{Level: slog.LevelError}))
-
-	// Serve the nodes on the plain in-memory transport; the gateway dials
-	// through link simulators so each uplink gets its profile.
-	addrs := make([]string, m.Cfg.Devices)
-	var devices []*cluster.Device
-	for d := 0; d < m.Cfg.Devices; d++ {
-		dev := cluster.NewDevice(m, d, cluster.DatasetFeed(r.test, d), quiet)
-		addrs[d] = fmt.Sprintf("lat-device-%d", d)
-		if err := dev.Serve(mem, addrs[d]); err != nil {
-			return nil, err
-		}
-		devices = append(devices, dev)
-	}
-	defer func() {
-		for _, dev := range devices {
-			dev.Close()
-		}
-	}()
-	cloud := cluster.NewCloud(m, quiet)
-	if err := cloud.Serve(mem, "lat-cloud"); err != nil {
-		return nil, err
-	}
-	defer cloud.Close()
-
 	gcfg := cluster.DefaultGatewayConfig()
 	gcfg.Threshold = threshold
-	gw, err := cluster.NewGateway(context.Background(), m, gcfg, transport.RouteSim{
-		Inner: mem,
-		Pick: func(addr string) transport.LinkProfile {
-			if addr == "lat-cloud" {
-				return cloudLink
-			}
-			return deviceLink
-		},
-	}, addrs, "lat-cloud", quiet)
+	return r.latencyOnCluster(m, gcfg, maxSamples)
+}
+
+// EdgeLatencyByExit is LatencyByExit over the three-tier hierarchy: the
+// gateway↔edge hop carries the nearby-edge profile, so edge-exited
+// samples land between local and cloud latency — the three-stage
+// escalation cost staircase of §III-C.
+func (r *Runner) EdgeLatencyByExit(localT, edgeT float64, maxSamples int) (*LatencyReport, error) {
+	m, err := r.edgeModel()
 	if err != nil {
 		return nil, err
 	}
-	defer gw.Close()
+	gcfg := cluster.DefaultGatewayConfig()
+	gcfg.Threshold = localT
+	gcfg.EdgeThreshold = edgeT
+	return r.latencyOnCluster(m, gcfg, maxSamples)
+}
+
+// latencyOnCluster classifies samples one at a time on a link-simulated
+// in-process cluster and groups session latencies by exit point.
+func (r *Runner) latencyOnCluster(m *core.Model, gcfg cluster.GatewayConfig, maxSamples int) (*LatencyReport, error) {
+	quiet := slog.New(slog.NewTextHandler(discardWriter{}, &slog.HandlerOptions{Level: slog.LevelError}))
+	eng, err := cluster.NewEngine(m, r.test, cluster.EngineConfig{
+		Gateway:        gcfg,
+		MaxConcurrency: 1, // serial sessions: latency, not throughput
+		Logger:         quiet,
+		DeviceLink:     transport.DeviceToGateway,
+		EdgeLink:       transport.GatewayToEdge,
+		CloudLink:      transport.GatewayToCloud,
+	}, transport.NewMem())
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
 
 	n := r.test.Len()
 	if maxSamples > 0 && maxSamples < n {
 		n = maxSamples
 	}
-	localLat := metrics.NewLatencyRecorder()
-	cloudLat := metrics.NewLatencyRecorder()
+	recorders := map[wire.ExitPoint]*metrics.LatencyRecorder{
+		wire.ExitLocal: metrics.NewLatencyRecorder(),
+		wire.ExitEdge:  metrics.NewLatencyRecorder(),
+		wire.ExitCloud: metrics.NewLatencyRecorder(),
+	}
 	for id := 0; id < n; id++ {
-		res, err := gw.Classify(context.Background(), uint64(id))
+		res, err := eng.Classify(context.Background(), uint64(id))
 		if err != nil {
 			return nil, fmt.Errorf("experiments: latency sample %d: %w", id, err)
 		}
-		if res.Exit == wire.ExitLocal {
-			localLat.Record(res.Latency)
-		} else {
-			cloudLat.Record(res.Latency)
+		if rec, ok := recorders[res.Exit]; ok {
+			rec.Record(res.Latency)
 		}
 	}
+
 	raw := m.Cfg.RawOffloadBytes()
-	return &LatencyReport{
-		Threshold:   threshold,
-		Samples:     n,
-		LocalCount:  localLat.Count(),
-		CloudCount:  cloudLat.Count(),
-		LocalMean:   localLat.Mean(),
-		LocalP95:    localLat.Percentile(95),
-		CloudMean:   cloudLat.Mean(),
-		CloudP95:    cloudLat.Percentile(95),
-		DeviceLink:  deviceLink,
-		CloudLink:   cloudLink,
-		RawTransfer: deviceLink.TransferTime(raw) + cloudLink.TransferTime(raw),
-		RawOffloadB: raw,
-	}, nil
+	rep := &LatencyReport{
+		Threshold:     gcfg.Threshold,
+		EdgeThreshold: gcfg.EdgeThreshold,
+		Exits:         m.Cfg.ExitCount(),
+		Samples:       n,
+		LocalCount:    recorders[wire.ExitLocal].Count(),
+		EdgeCount:     recorders[wire.ExitEdge].Count(),
+		CloudCount:    recorders[wire.ExitCloud].Count(),
+		LocalMean:     recorders[wire.ExitLocal].Mean(),
+		LocalP95:      recorders[wire.ExitLocal].Percentile(95),
+		EdgeMean:      recorders[wire.ExitEdge].Mean(),
+		EdgeP95:       recorders[wire.ExitEdge].Percentile(95),
+		CloudMean:     recorders[wire.ExitCloud].Mean(),
+		CloudP95:      recorders[wire.ExitCloud].Percentile(95),
+		DeviceLink:    transport.DeviceToGateway,
+		CloudLink:     transport.GatewayToCloud,
+		RawOffloadB:   raw,
+	}
+	rawTransfer := transport.DeviceToGateway.TransferTime(raw) + transport.GatewayToCloud.TransferTime(raw)
+	if m.Cfg.UseEdge {
+		rep.EdgeLink = transport.GatewayToEdge
+		rawTransfer += transport.GatewayToEdge.TransferTime(raw)
+	}
+	rep.RawTransfer = rawTransfer
+	return rep, nil
 }
 
 // FormatLatencyReport renders the per-exit latency comparison.
 func FormatLatencyReport(rep *LatencyReport) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "links: device %v+%dB/s, cloud %v+%dB/s\n",
+	fmt.Fprintf(&sb, "links: device %v+%dB/s, cloud %v+%dB/s",
 		rep.DeviceLink.Latency, rep.DeviceLink.BandwidthBps, rep.CloudLink.Latency, rep.CloudLink.BandwidthBps)
+	if rep.Exits > 2 {
+		fmt.Fprintf(&sb, ", edge %v+%dB/s", rep.EdgeLink.Latency, rep.EdgeLink.BandwidthBps)
+	}
+	sb.WriteString("\n")
 	fmt.Fprintf(&sb, "local exits: %d/%d samples, mean %v, p95 %v\n",
 		rep.LocalCount, rep.Samples, rep.LocalMean.Round(time.Microsecond), rep.LocalP95.Round(time.Microsecond))
+	if rep.Exits > 2 {
+		fmt.Fprintf(&sb, "edge exits:  %d/%d samples, mean %v, p95 %v\n",
+			rep.EdgeCount, rep.Samples, rep.EdgeMean.Round(time.Microsecond), rep.EdgeP95.Round(time.Microsecond))
+	}
 	fmt.Fprintf(&sb, "cloud exits: %d/%d samples, mean %v, p95 %v\n",
 		rep.CloudCount, rep.Samples, rep.CloudMean.Round(time.Microsecond), rep.CloudP95.Round(time.Microsecond))
 	fmt.Fprintf(&sb, "raw offload of one %d-B frame would serialize for %v before any compute\n",

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"math/bits"
 )
 
 // Role identifies a node's position in the distributed computing
@@ -393,11 +394,123 @@ func (m *CloudClassify) decodePayload(src []byte) error {
 
 // PresentCount returns the number of devices whose features follow.
 func (m *CloudClassify) PresentCount() int {
-	n := 0
-	for b := m.Mask; b != 0; b &= b - 1 {
-		n++
+	return bits.OnesCount16(m.Mask)
+}
+
+// EdgeClassify opens an edge classification session for a sample: it
+// announces which devices' FeatureUploads follow (exactly
+// popcount(Mask) of them) and carries the remaining exit-stage
+// thresholds of the escalation pipeline, nearest tier first —
+// Thresholds[0] is the receiving edge's own exit threshold, and any
+// further entries ride along to deeper tiers. An empty list means the
+// receiving tier never exits and always escalates. The edge answers
+// with a ClassifyResult (ExitEdge for confident samples, or the
+// relayed upstream verdict).
+type EdgeClassify struct {
+	Session  uint64
+	SampleID uint64
+	// Devices is the total device count in the hierarchy.
+	Devices uint16
+	// Mask has bit d set when device d's features follow.
+	Mask uint16
+	// Thresholds holds normalized-entropy exit thresholds for this and
+	// deeper tiers, encoded at full float64 precision so distributed
+	// exit decisions are bit-identical to in-process staged inference.
+	Thresholds []float64
+}
+
+// MsgType implements Message.
+func (*EdgeClassify) MsgType() MsgType { return TypeEdgeClassify }
+
+// SessionID implements Sessioned.
+func (m *EdgeClassify) SessionID() uint64 { return m.Session }
+
+func (m *EdgeClassify) appendPayload(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, m.Session)
+	dst = binary.LittleEndian.AppendUint64(dst, m.SampleID)
+	dst = binary.LittleEndian.AppendUint16(dst, m.Devices)
+	dst = binary.LittleEndian.AppendUint16(dst, m.Mask)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(m.Thresholds)))
+	for _, t := range m.Thresholds {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(t))
 	}
-	return n
+	return dst
+}
+
+func (m *EdgeClassify) decodePayload(src []byte) error {
+	if len(src) < 22 {
+		return ErrShortPayload
+	}
+	m.Session = binary.LittleEndian.Uint64(src[0:8])
+	m.SampleID = binary.LittleEndian.Uint64(src[8:16])
+	m.Devices = binary.LittleEndian.Uint16(src[16:18])
+	m.Mask = binary.LittleEndian.Uint16(src[18:20])
+	n := int(binary.LittleEndian.Uint16(src[20:22]))
+	src = src[22:]
+	if len(src) != 8*n {
+		return ErrShortPayload
+	}
+	m.Thresholds = make([]float64, n)
+	for i := range m.Thresholds {
+		m.Thresholds[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[8*i:]))
+	}
+	return nil
+}
+
+// PresentCount returns the number of devices whose features follow.
+func (m *EdgeClassify) PresentCount() int {
+	return bits.OnesCount16(m.Mask)
+}
+
+// EdgeFeature carries the bit-packed binarized edge feature map an edge
+// node escalates to the cloud when a sample misses the edge exit: f
+// edge filters of h×w bits each, f·h·w/8 bytes — the edge-tier analogue
+// of the device FeatureUpload. It is a complete escalation on its own
+// (the edge has already aggregated the devices), so the cloud replies
+// with a ClassifyResult directly.
+type EdgeFeature struct {
+	Session  uint64
+	SampleID uint64
+	F, H, W  uint16
+	Bits     []byte
+}
+
+// MsgType implements Message.
+func (*EdgeFeature) MsgType() MsgType { return TypeEdgeFeature }
+
+// SessionID implements Sessioned.
+func (m *EdgeFeature) SessionID() uint64 { return m.Session }
+
+func (m *EdgeFeature) appendPayload(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, m.Session)
+	dst = binary.LittleEndian.AppendUint64(dst, m.SampleID)
+	dst = binary.LittleEndian.AppendUint16(dst, m.F)
+	dst = binary.LittleEndian.AppendUint16(dst, m.H)
+	dst = binary.LittleEndian.AppendUint16(dst, m.W)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(m.Bits)))
+	return append(dst, m.Bits...)
+}
+
+func (m *EdgeFeature) decodePayload(src []byte) error {
+	if len(src) < 26 {
+		return ErrShortPayload
+	}
+	m.Session = binary.LittleEndian.Uint64(src[0:8])
+	m.SampleID = binary.LittleEndian.Uint64(src[8:16])
+	m.F = binary.LittleEndian.Uint16(src[16:18])
+	m.H = binary.LittleEndian.Uint16(src[18:20])
+	m.W = binary.LittleEndian.Uint16(src[20:22])
+	n := int(binary.LittleEndian.Uint32(src[22:26]))
+	src = src[26:]
+	if len(src) != n {
+		return ErrShortPayload
+	}
+	want := (int(m.F)*int(m.H)*int(m.W) + 7) / 8
+	if n != want {
+		return fmt.Errorf("wire: edge feature has %d bytes for %d×%d×%d bits (want %d)", n, m.F, m.H, m.W, want)
+	}
+	m.Bits = append([]byte(nil), src...)
+	return nil
 }
 
 func appendString(dst []byte, s string) []byte {

@@ -8,10 +8,12 @@
 //	length  uint32  payload length in bytes
 //
 // followed by a type-specific little-endian payload. The protocol carries
-// exactly the two payloads of the paper's communication model (Eq. 1): the
+// exactly the payloads of the paper's communication model (Eq. 1): the
 // float32 class-summary vector each device sends to its local aggregator
-// (4·|C| bytes), and the bit-packed binarized feature map uploaded to the
-// cloud on a local-exit miss (f·o/8 bytes).
+// (4·|C| bytes), the bit-packed binarized feature map uploaded on a
+// local-exit miss (f·o/8 bytes), and — for three-tier hierarchies (Fig. 2
+// configs d/e) — the bit-packed edge feature map the edge escalates to the
+// cloud on an edge-exit miss.
 //
 // Since version 2 every session-scoped message carries a Session tag, so a
 // single connection can interleave frames from many concurrent inference
@@ -70,6 +72,13 @@ const (
 	// TypeCloudClassify announces a cloud classification session: the
 	// header that precedes the present devices' FeatureUploads.
 	TypeCloudClassify
+	// TypeEdgeClassify announces an edge classification session: the
+	// header that precedes the present devices' FeatureUploads on the
+	// gateway→edge hop, carrying the remaining pipeline thresholds.
+	TypeEdgeClassify
+	// TypeEdgeFeature carries the bit-packed edge feature map escalated
+	// from an edge node to the cloud on an edge-exit miss.
+	TypeEdgeFeature
 )
 
 // String names the message type.
@@ -93,6 +102,10 @@ func (t MsgType) String() string {
 		return "CaptureRequest"
 	case TypeCloudClassify:
 		return "CloudClassify"
+	case TypeEdgeClassify:
+		return "EdgeClassify"
+	case TypeEdgeFeature:
+		return "EdgeFeature"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -197,6 +210,10 @@ func newMessage(t MsgType) (Message, error) {
 		return &CaptureRequest{}, nil
 	case TypeCloudClassify:
 		return &CloudClassify{}, nil
+	case TypeEdgeClassify:
+		return &EdgeClassify{}, nil
+	case TypeEdgeFeature:
+		return &EdgeFeature{}, nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownType, t)
 	}

@@ -45,6 +45,9 @@ func TestRoundTripAllMessageTypes(t *testing.T) {
 		{"Error", &Error{Session: 12, Code: 404, Msg: "no such sample"}},
 		{"CaptureRequest", &CaptureRequest{Session: 2, SampleID: 31337}},
 		{"CloudClassify", &CloudClassify{Session: 6, SampleID: 8, Devices: 6, Mask: 0b101101}},
+		{"EdgeClassify", &EdgeClassify{Session: 11, SampleID: 9, Devices: 6, Mask: 0b011011, Thresholds: []float64{0.8}}},
+		{"EdgeClassify deep", &EdgeClassify{Session: 12, SampleID: 10, Devices: 4, Mask: 0b1111, Thresholds: []float64{0.8, 0.5, 0.3}}},
+		{"EdgeFeature", &EdgeFeature{Session: 13, SampleID: 21, F: 8, H: 8, W: 8, Bits: make([]byte, 8*8*8/8)}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -71,6 +74,8 @@ func TestSessionScopedMessagesImplementSessioned(t *testing.T) {
 		&Error{Session: 7},
 		&CaptureRequest{Session: 7},
 		&CloudClassify{Session: 7},
+		&EdgeClassify{Session: 7},
+		&EdgeFeature{Session: 7},
 	}
 	for _, m := range sessioned {
 		s, ok := m.(Sessioned)
@@ -284,7 +289,7 @@ func TestCloudClassifyPresentCount(t *testing.T) {
 }
 
 func TestMsgTypeAndRoleStrings(t *testing.T) {
-	for _, mt := range []MsgType{TypeHello, TypeLocalSummary, TypeFeatureRequest, TypeFeatureUpload, TypeClassifyResult, TypeHeartbeat, TypeError, TypeCaptureRequest, TypeCloudClassify} {
+	for _, mt := range []MsgType{TypeHello, TypeLocalSummary, TypeFeatureRequest, TypeFeatureUpload, TypeClassifyResult, TypeHeartbeat, TypeError, TypeCaptureRequest, TypeCloudClassify, TypeEdgeClassify, TypeEdgeFeature} {
 		if mt.String() == "" || mt.String()[0] == 'M' {
 			t.Errorf("MsgType(%d) has no name", mt)
 		}

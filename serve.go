@@ -21,6 +21,8 @@ type LinkProfile = transport.LinkProfile
 var (
 	// DeviceToGatewayLink models a low-power local wireless uplink.
 	DeviceToGatewayLink = transport.DeviceToGateway
+	// GatewayToEdgeLink models the short hop to a nearby edge (fog) node.
+	GatewayToEdgeLink = transport.GatewayToEdge
 	// GatewayToCloudLink models a WAN path to a datacenter.
 	GatewayToCloudLink = transport.GatewayToCloud
 )
@@ -45,6 +47,7 @@ var (
 	ErrEngineClosed     = cluster.ErrClosed
 	ErrNoSummaries      = cluster.ErrNoSummaries
 	ErrCloudUnavailable = cluster.ErrCloudUnavailable
+	ErrEdgeUnavailable  = cluster.ErrEdgeUnavailable
 )
 
 // engineOptions collects the functional options of NewEngine and Connect.
@@ -70,6 +73,20 @@ func WithDeviceTimeout(d time.Duration) Option {
 // WithCloudTimeout bounds the cloud round trip.
 func WithCloudTimeout(d time.Duration) Option {
 	return func(o *engineOptions) { o.cfg.Gateway.CloudTimeout = d }
+}
+
+// WithEdgeThreshold sets the edge exit's normalized-entropy threshold
+// for models built with an edge tier (default 0.8). Samples that miss
+// the local exit are answered at the edge when the edge exit's entropy
+// is within this threshold; only the rest travel on to the cloud.
+func WithEdgeThreshold(t float64) Option {
+	return func(o *engineOptions) { o.cfg.Gateway.EdgeThreshold = t }
+}
+
+// WithEdgeTimeout bounds the gateway↔edge escalation round trip of an
+// edge-tier hierarchy, including any cloud relay behind the edge.
+func WithEdgeTimeout(d time.Duration) Option {
+	return func(o *engineOptions) { o.cfg.Gateway.EdgeTimeout = d }
 }
 
 // WithMaxFailures marks a device down after n consecutive timeouts so
@@ -100,6 +117,13 @@ func WithSimulatedLinks(device, cloud LinkProfile) Option {
 	}
 }
 
+// WithSimulatedEdgeLink imposes a link profile on the gateway↔edge hop
+// of an in-process edge-tier cluster (typically GatewayToEdgeLink),
+// composing with WithSimulatedLinks. Only NewEngine honors it.
+func WithSimulatedEdgeLink(edge LinkProfile) Option {
+	return func(o *engineOptions) { o.cfg.EdgeLink = edge }
+}
+
 func buildOptions(opts []Option) engineOptions {
 	o := engineOptions{cfg: cluster.EngineConfig{Gateway: cluster.DefaultGatewayConfig()}}
 	for _, opt := range opts {
@@ -118,9 +142,9 @@ type Engine struct {
 }
 
 // NewEngine starts a complete in-process DDNN cluster — device nodes,
-// gateway and cloud over in-memory links — serving device sensors from
-// the dataset, and returns the engine fronting it. Sample IDs are dataset
-// indices. It replaces the deprecated NewClusterSim.
+// gateway, the edge node for models built with UseEdge, and cloud over
+// in-memory links — serving device sensors from the dataset, and returns
+// the engine fronting it. Sample IDs are dataset indices.
 func NewEngine(m *Model, ds *Dataset, opts ...Option) (*Engine, error) {
 	o := buildOptions(opts)
 	inner, err := cluster.NewEngine(m, ds, o.cfg, transport.NewMem())
@@ -130,12 +154,14 @@ func NewEngine(m *Model, ds *Dataset, opts ...Option) (*Engine, error) {
 	return &Engine{inner: inner}, nil
 }
 
-// Connect attaches an engine to already-running device and cloud nodes
-// over TCP (see cmd/ddnn-device and cmd/ddnn-cloud). deviceAddrs must be
-// in device order. The context bounds connection setup.
-func Connect(ctx context.Context, m *Model, deviceAddrs []string, cloudAddr string, opts ...Option) (*Engine, error) {
+// Connect attaches an engine to already-running nodes over TCP: the
+// device nodes (cmd/ddnn-device) plus the gateway's upstream tier —
+// the edge node (cmd/ddnn-edge) for models built with UseEdge, the
+// cloud node (cmd/ddnn-cloud) otherwise. deviceAddrs must be in device
+// order. The context bounds connection setup.
+func Connect(ctx context.Context, m *Model, deviceAddrs []string, upstreamAddr string, opts ...Option) (*Engine, error) {
 	o := buildOptions(opts)
-	inner, err := cluster.AttachEngine(ctx, m, o.cfg, transport.TCP{}, deviceAddrs, cloudAddr)
+	inner, err := cluster.AttachEngine(ctx, m, o.cfg, transport.TCP{}, deviceAddrs, upstreamAddr)
 	if err != nil {
 		return nil, err
 	}
@@ -172,8 +198,21 @@ func (e *Engine) ClassifyBatch(ctx context.Context, sampleIDs []uint64) ([]Resul
 }
 
 // PayloadBytes returns the accumulated Eq. (1) payload bytes across all
-// sessions (local summaries plus cloud uploads).
+// sessions on the first hop (local summaries plus the device feature
+// maps relayed up the hierarchy).
 func (e *Engine) PayloadBytes() int64 { return e.inner.Gateway().Meter.Total() }
+
+// EdgePayloadBytes returns the accumulated payload bytes on the
+// edge→cloud hop — the bit-packed edge feature maps escalated for
+// samples that missed both the local and the edge exit. It is 0 for
+// two-tier models and engines attached to remote nodes.
+func (e *Engine) EdgePayloadBytes() int64 {
+	edge := e.inner.Edge()
+	if edge == nil {
+		return 0
+	}
+	return edge.Meter.Total()
+}
 
 // WireBytesUp returns the total bytes received on all device uplinks,
 // including protocol framing.
@@ -195,10 +234,23 @@ func (e *Engine) SetDeviceFailed(device int, failed bool) bool {
 	return true
 }
 
-// StartHealthMonitor begins heartbeat probing of the engine's devices:
-// a device missing `misses` consecutive probes is marked down (sessions
-// skip it immediately) and marked up again on its first answer. Stop the
-// returned monitor when done.
+// SetEdgeFailed toggles simulated failure of the in-process edge node
+// (no-op reporting false for two-tier models or attached engines). A
+// crashed edge goes silent; escalations surface ErrEdgeUnavailable while
+// confident samples keep exiting locally.
+func (e *Engine) SetEdgeFailed(failed bool) bool {
+	edge := e.inner.Edge()
+	if edge == nil {
+		return false
+	}
+	edge.SetFailed(failed)
+	return true
+}
+
+// StartHealthMonitor begins heartbeat probing of the engine's devices
+// and upstream tier: a node missing `misses` consecutive probes is
+// marked down (sessions skip it, or fail escalations fast) and marked up
+// again on its first answer. Stop the returned monitor when done.
 func (e *Engine) StartHealthMonitor(ctx context.Context, interval time.Duration, misses int) (*HealthMonitor, error) {
 	return e.inner.StartHealthMonitor(ctx, interval, misses)
 }
