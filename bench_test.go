@@ -8,6 +8,7 @@ package ddnn_test
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -153,17 +154,20 @@ func BenchmarkCommunicationReduction(b *testing.B) {
 
 // --- Engine serving benchmarks ---
 
-// serveBenchEngine builds one Engine over a quick-trained model, shared
-// across the serving benchmarks.
+// serveBenchModel trains one quick-scale model shared across the serving
+// benchmarks; each benchmark builds its own Engine over it.
 var (
+	serveBenchModelOnce sync.Once
+	serveBenchModel     *ddnn.Model
+	serveBenchTest      *ddnn.Dataset
+
 	serveBenchOnce sync.Once
 	serveBenchEng  *ddnn.Engine
-	serveBenchN    int
 )
 
-func serveEngine(b *testing.B) (*ddnn.Engine, int) {
+func serveBenchFixture(b *testing.B) (*ddnn.Model, *ddnn.Dataset) {
 	b.Helper()
-	serveBenchOnce.Do(func() {
+	serveBenchModelOnce.Do(func() {
 		dcfg := ddnn.DefaultDatasetConfig()
 		dcfg.Train, dcfg.Test = 200, 60
 		train, test := ddnn.GenerateDataset(dcfg)
@@ -175,6 +179,15 @@ func serveEngine(b *testing.B) (*ddnn.Engine, int) {
 		if _, err := m.Train(train, tc); err != nil {
 			panic(err)
 		}
+		serveBenchModel, serveBenchTest = m, test
+	})
+	return serveBenchModel, serveBenchTest
+}
+
+func serveEngine(b *testing.B) (*ddnn.Engine, int) {
+	b.Helper()
+	m, test := serveBenchFixture(b)
+	serveBenchOnce.Do(func() {
 		// Simulated §IV-B link profiles make the benchmark mirror a real
 		// deployment: concurrent sessions overlap link latency.
 		eng, err := ddnn.NewEngine(m, test,
@@ -183,9 +196,9 @@ func serveEngine(b *testing.B) (*ddnn.Engine, int) {
 		if err != nil {
 			panic(err)
 		}
-		serveBenchEng, serveBenchN = eng, test.Len()
+		serveBenchEng = eng
 	})
-	return serveBenchEng, serveBenchN
+	return serveBenchEng, serveBenchTest.Len()
 }
 
 // BenchmarkEngineClassifySerial measures single-flight serving: one
@@ -215,6 +228,68 @@ func BenchmarkEngineClassifyConcurrent(b *testing.B) {
 		for pb.Next() {
 			id++
 			if _, err := eng.Classify(ctx, id%uint64(n)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEngineServeByBatch measures full-test-set serving throughput
+// at micro-batch sizes 1 and 32 under the default §IV-B link profiles.
+// Compare ns/op between the sub-benchmarks for the batching speedup: one
+// batched session pays wire framing and conv/GEMM dispatch once for the
+// whole batch, so batch 32 should sustain well over 2x the throughput of
+// batch 1 (the per-sample path).
+func BenchmarkEngineServeByBatch(b *testing.B) {
+	m, test := serveBenchFixture(b)
+	ids := make([]uint64, test.Len())
+	for i := range ids {
+		ids[i] = uint64(i)
+	}
+	for _, batch := range []int{1, 32} {
+		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) {
+			eng, err := ddnn.NewEngine(m, test,
+				ddnn.WithMaxConcurrency(16),
+				ddnn.WithBatching(batch, 0),
+				ddnn.WithSimulatedLinks(ddnn.DeviceToGatewayLink, ddnn.GatewayToCloudLink))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.ClassifyBatch(ctx, ids); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(ids))*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+		})
+	}
+}
+
+// BenchmarkEngineClassifyCollector measures the adaptive micro-batch
+// collector under concurrent load: parallel Classify callers coalesce
+// into shared sessions (max batch 32, 2 ms linger).
+func BenchmarkEngineClassifyCollector(b *testing.B) {
+	m, test := serveBenchFixture(b)
+	eng, err := ddnn.NewEngine(m, test,
+		ddnn.WithMaxConcurrency(16),
+		ddnn.WithBatching(32, 0),
+		ddnn.WithSimulatedLinks(ddnn.DeviceToGatewayLink, ddnn.GatewayToCloudLink))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	ctx := context.Background()
+	n := uint64(test.Len())
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := uint64(rand.Int63())
+		for pb.Next() {
+			id++
+			if _, err := eng.Classify(ctx, id%n); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	ddnn-bench [-exp all|table1|table2|fig6|fig7|fig8|fig9|fig10|comm|multifail]
-//	           [-epochs N] [-individual-epochs N] [-quick] [-v]
+//	           [-epochs N] [-individual-epochs N] [-quick] [-batch N] [-v]
 package main
 
 import (
@@ -34,6 +34,7 @@ func run(args []string, out io.Writer) error {
 		epochs    = fs.Int("epochs", 0, "override DDNN training epochs (default 50, paper uses 100)")
 		indEpochs = fs.Int("individual-epochs", 0, "override individual-model training epochs")
 		quick     = fs.Bool("quick", false, "reduced dataset and epochs for a fast smoke run")
+		batch     = fs.Int("batch", 32, "micro-batch size for the serve experiment (compared against batch 1)")
 		verbose   = fs.Bool("v", false, "log training progress")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -171,14 +172,18 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(out, experiments.FormatLatencyReport(erep))
 	}
 	if want("serve") {
+		batches := []int{1}
+		if *batch > 1 {
+			batches = append(batches, *batch)
+		}
 		fmt.Fprintln(out, "== Engine: multi-session serving throughput vs single-flight ==")
-		rep, err := runner.ServingThroughput(0.8, 0, []int{1, 2, 4, 8, 16})
+		rep, err := runner.ServingThroughput(0.8, 0, []int{1, 2, 4, 8, 16}, batches)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(out, experiments.FormatServingReport(rep))
 		fmt.Fprintln(out, "== Engine: three-stage device→edge→cloud serving (Fig. 2(e)) ==")
-		erep, err := runner.EdgeServingThroughput(0.8, 0.8, 0, []int{1, 2, 4, 8, 16})
+		erep, err := runner.EdgeServingThroughput(0.8, 0.8, 0, []int{1, 2, 4, 8, 16}, batches)
 		if err != nil {
 			return err
 		}

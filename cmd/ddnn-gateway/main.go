@@ -8,7 +8,8 @@
 //
 //	ddnn-gateway -model model.ddnn -devices 127.0.0.1:7001,...,127.0.0.1:7006 \
 //	             -cloud 127.0.0.1:7100 [-edge 127.0.0.1:7050] [-threshold 0.8]
-//	             [-edge-threshold 0.8] [-concurrency 8] [-samples 0] [-data-seed 1]
+//	             [-edge-threshold 0.8] [-concurrency 8] [-batch 1] [-samples 0]
+//	             [-data-seed 1]
 //
 // With a model trained via ddnn-train -edge, pass -edge so the gateway
 // escalates local-exit misses to the edge node (which forwards hard
@@ -45,6 +46,7 @@ func run(args []string) error {
 		threshold   = fs.Float64("threshold", 0.8, "local exit entropy threshold T")
 		edgeT       = fs.Float64("edge-threshold", 0.8, "edge exit entropy threshold (edge-tier models)")
 		concurrency = fs.Int("concurrency", 8, "concurrent classification sessions")
+		batch       = fs.Int("batch", 1, "micro-batch size: coalesce up to this many samples into one session per tier (1 = per-sample)")
 		samples     = fs.Int("samples", 0, "number of test samples to classify (0 = all)")
 		dataSeed    = fs.Int64("data-seed", 1, "dataset seed (must match the devices)")
 	)
@@ -81,7 +83,8 @@ func run(args []string) error {
 	eng, err := ddnn.Connect(dialCtx, model, addrs, upstream,
 		ddnn.WithThreshold(*threshold),
 		ddnn.WithEdgeThreshold(*edgeT),
-		ddnn.WithMaxConcurrency(*concurrency))
+		ddnn.WithMaxConcurrency(*concurrency),
+		ddnn.WithBatching(*batch, 0))
 	cancel()
 	if err != nil {
 		return err

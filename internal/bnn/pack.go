@@ -42,3 +42,36 @@ func UnpackSigns(data []byte, shape ...int) (*tensor.Tensor, error) {
 
 // PackedSize returns the number of bytes PackSigns produces for n elements.
 func PackedSize(n int) int { return (n + 7) / 8 }
+
+// PackSignsSample bit-packs the signs of one leading-dimension sample
+// block of a batched tensor, producing exactly the bytes PackSigns would
+// produce for that sample alone — each sample of a micro-batch starts on
+// its own byte boundary, so batched and per-sample uploads stay
+// bit-identical.
+func PackSignsSample(t *tensor.Tensor, i int) []byte {
+	td := t.Sample(i)
+	out := make([]byte, (len(td)+7)/8)
+	for j, v := range td {
+		if v >= 0 {
+			out[j/8] |= 1 << uint(j%8)
+		}
+	}
+	return out
+}
+
+// UnpackSignsInto expands a bit-packed sign vector into dst as ±1 values.
+// It is the in-place analogue of UnpackSigns, used to fill one sample row
+// of a pre-allocated batch tensor.
+func UnpackSignsInto(dst []float32, data []byte) error {
+	if need := (len(dst) + 7) / 8; len(data) != need {
+		return fmt.Errorf("bnn: packed data is %d bytes, %d elements need %d", len(data), len(dst), need)
+	}
+	for i := range dst {
+		if data[i/8]&(1<<uint(i%8)) != 0 {
+			dst[i] = 1
+		} else {
+			dst[i] = -1
+		}
+	}
+	return nil
+}

@@ -1,0 +1,196 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"github.com/ddnn/ddnn-go/internal/wire"
+)
+
+// DefaultMaxLinger is how long the collector holds a partial batch open
+// waiting for more Classify calls before flushing it.
+const DefaultMaxLinger = 2 * time.Millisecond
+
+// DefaultMaxBatch is a sensible micro-batch cap for callers that enable
+// batching without picking a size (the public facade option and the CLI
+// -batch flags default to it). It is small enough that one batch's
+// frames stay far under wire.MaxPayload while amortizing most of the
+// per-session overhead.
+const DefaultMaxBatch = 32
+
+// BatchConfig tunes the engine's adaptive micro-batching: concurrent
+// Classify calls coalesce into one multi-sample session per tier, so
+// wire framing, im2col/conv dispatch and semaphore round trips amortize
+// across the batch. Batching trades a bounded amount of added latency
+// (at most MaxLinger on an idle engine) for substantially higher
+// throughput under load; results are bit-identical to per-sample
+// sessions.
+type BatchConfig struct {
+	// MaxBatch caps the samples coalesced into one session. 0 and 1
+	// disable micro-batching; values above wire.MaxBatch (the largest
+	// batch one wire frame can carry) are clamped to it.
+	MaxBatch int
+	// MaxLinger bounds how long a partial batch waits for more callers
+	// before flushing. Zero means DefaultMaxLinger.
+	MaxLinger time.Duration
+}
+
+// enabled reports whether the config actually coalesces sessions.
+func (c BatchConfig) enabled() bool { return c.MaxBatch > 1 }
+
+// linger returns the effective linger bound.
+func (c BatchConfig) linger() time.Duration {
+	if c.MaxLinger <= 0 {
+		return DefaultMaxLinger
+	}
+	return c.MaxLinger
+}
+
+// batchOutcome is one caller's share of a flushed batch session.
+type batchOutcome struct {
+	res *Result
+	err error
+}
+
+// batchItem is one queued Classify call.
+type batchItem struct {
+	id uint64
+	ch chan batchOutcome
+}
+
+// batchCollector coalesces concurrent Classify calls into multi-sample
+// gateway sessions: a batch flushes as soon as it reaches maxBatch
+// samples, or maxLinger after its first sample arrived, whichever comes
+// first. Callers that cancel while waiting detach immediately (the batch
+// still classifies their sample; the result is dropped).
+type batchCollector struct {
+	eng      *Engine
+	maxBatch int
+	linger   time.Duration
+
+	mu      sync.Mutex
+	pending []batchItem
+	timer   *time.Timer
+	// gen identifies the batch the armed timer belongs to; it advances
+	// whenever the pending batch is taken, so a linger callback that
+	// lost the race with a full-batch flush recognizes its batch is
+	// gone and must not flush the successor early.
+	gen     uint64
+	stopped bool
+}
+
+func newBatchCollector(e *Engine, cfg BatchConfig) *batchCollector {
+	maxBatch := cfg.MaxBatch
+	if maxBatch > wire.MaxBatch {
+		maxBatch = wire.MaxBatch
+	}
+	return &batchCollector{eng: e, maxBatch: maxBatch, linger: cfg.linger()}
+}
+
+// classify queues the sample on the current batch and waits for its
+// verdict. The context governs only this caller's wait: the coalesced
+// session itself is bounded by the gateway's per-stage timeouts, so one
+// impatient caller cannot cancel a batch other callers share.
+func (c *batchCollector) classify(ctx context.Context, sampleID uint64) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, ctxErr(err)
+	}
+	item := batchItem{id: sampleID, ch: make(chan batchOutcome, 1)}
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.pending = append(c.pending, item)
+	if len(c.pending) >= c.maxBatch {
+		batch := c.takeLocked()
+		c.mu.Unlock()
+		c.flush(batch)
+	} else {
+		if c.timer == nil {
+			gen := c.gen
+			c.timer = time.AfterFunc(c.linger, func() { c.flushAfterLinger(gen) })
+		}
+		c.mu.Unlock()
+	}
+	select {
+	case out := <-item.ch:
+		return out.res, out.err
+	case <-ctx.Done():
+		return nil, ctxErr(ctx.Err())
+	}
+}
+
+// takeLocked detaches the pending batch and advances the generation;
+// the caller must hold c.mu.
+func (c *batchCollector) takeLocked() []batchItem {
+	batch := c.pending
+	c.pending = nil
+	c.gen++
+	if c.timer != nil {
+		c.timer.Stop()
+		c.timer = nil
+	}
+	return batch
+}
+
+// flushAfterLinger is the linger-timer callback for the batch of
+// generation gen. If that batch was already flushed (full, or taken by
+// stop) the callback is stale and must leave the successor batch — and
+// its own fresh timer — alone.
+func (c *batchCollector) flushAfterLinger(gen uint64) {
+	c.mu.Lock()
+	if c.gen != gen {
+		c.mu.Unlock()
+		return
+	}
+	batch := c.takeLocked()
+	c.mu.Unlock()
+	c.flush(batch)
+}
+
+// flush launches one multi-sample session for the batch. The session is
+// registered with the engine's WaitGroup before flush returns, so
+// Engine.Close cannot complete while a flushed batch is starting.
+func (c *batchCollector) flush(batch []batchItem) {
+	if len(batch) == 0 {
+		return
+	}
+	if err := c.eng.beginSession(); err != nil {
+		for _, item := range batch {
+			item.ch <- batchOutcome{err: err}
+		}
+		return
+	}
+	go func() {
+		defer c.eng.endSession()
+		c.eng.sem <- struct{}{}
+		defer func() { <-c.eng.sem }()
+		ids := make([]uint64, len(batch))
+		for i, item := range batch {
+			ids[i] = item.id
+		}
+		results, err := c.eng.gw.ClassifyBatch(context.Background(), ids)
+		for i, item := range batch {
+			out := batchOutcome{err: err}
+			if i < len(results) && results[i] != nil {
+				out = batchOutcome{res: results[i]}
+			} else if out.err == nil {
+				out.err = ErrNoSummaries
+			}
+			item.ch <- out
+		}
+	}()
+}
+
+// stop rejects new callers and flushes whatever is pending. It is called
+// by Engine.Close before the close flag flips, so the final batch still
+// runs and queued callers get real results.
+func (c *batchCollector) stop() {
+	c.mu.Lock()
+	c.stopped = true
+	batch := c.takeLocked()
+	c.mu.Unlock()
+	c.flush(batch)
+}

@@ -113,6 +113,11 @@ func (c *Cloud) handle(conn net.Conn) {
 		up      *uploadSession
 	}
 	sessions := make(map[uint64]*openSession)
+	type openBatch struct {
+		session uint64
+		up      *batchUploadSession
+	}
+	batches := make(map[uint64]*openBatch)
 	var inflight sync.WaitGroup
 	defer inflight.Wait()
 	for {
@@ -164,6 +169,51 @@ func (c *Cloud) handle(conn net.Conn) {
 					c.classify(send, sess.session, sess.up)
 				}(sess)
 			}
+		case *wire.CloudClassifyBatch:
+			if c.model.Cfg.UseEdge {
+				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: "edge-tier model: the cloud accepts EdgeFeature escalations only"})
+				continue
+			}
+			up, err := newBatchUploadSession(c.model.Cfg, m.SampleIDs, m.Devices, m.Masks)
+			if err != nil {
+				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: err.Error()})
+				continue
+			}
+			batches[m.Session] = &openBatch{session: m.Session, up: up}
+		case *wire.FeatureBatch:
+			sess, ok := batches[m.Session]
+			if !ok {
+				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: fmt.Sprintf("feature batch for unknown session %d", m.Session)})
+				continue
+			}
+			if err := sess.up.add(c.model, m); err != nil {
+				delete(batches, m.Session)
+				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: err.Error()})
+				continue
+			}
+			if sess.up.complete() {
+				delete(batches, m.Session)
+				inflight.Add(1)
+				go func(sess *openBatch) {
+					defer inflight.Done()
+					c.classifyBatch(send, sess.session, sess.up)
+				}(sess)
+			}
+		case *wire.EdgeFeatureBatch:
+			if !c.model.Cfg.UseEdge {
+				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: "model has no edge tier; send CloudClassifyBatch + FeatureBatches"})
+				continue
+			}
+			feat, err := c.unpackEdgeFeatureBatch(m)
+			if err != nil {
+				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: err.Error()})
+				continue
+			}
+			inflight.Add(1)
+			go func(m *wire.EdgeFeatureBatch, feat *tensor.Tensor) {
+				defer inflight.Done()
+				c.classifyFromEdgeBatch(send, m, feat)
+			}(m, feat)
 		case *wire.EdgeFeature:
 			if !c.model.Cfg.UseEdge {
 				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: "model has no edge tier; send CloudClassify + FeatureUploads"})
@@ -180,7 +230,7 @@ func (c *Cloud) handle(conn net.Conn) {
 				c.classifyFromEdge(send, m, feat)
 			}(m, feat)
 		default:
-			_ = send(&wire.Error{Session: sessionOf(msg), Code: 400, Msg: fmt.Sprintf("expected CloudClassify, FeatureUpload or EdgeFeature, got %v", msg.MsgType())})
+			_ = send(&wire.Error{Session: sessionOf(msg), Code: 400, Msg: fmt.Sprintf("expected CloudClassify(Batch), FeatureUpload/FeatureBatch or EdgeFeature(Batch), got %v", msg.MsgType())})
 		}
 	}
 }
@@ -208,6 +258,64 @@ func (c *Cloud) classify(send func(wire.Message) error, session uint64, sess *up
 func (c *Cloud) classifyFromEdge(send func(wire.Message) error, m *wire.EdgeFeature, feat *tensor.Tensor) {
 	logits := c.model.CloudForwardFromEdge(feat)
 	c.reply(send, m.Session, m.SampleID, logits)
+}
+
+// classifyBatch runs the cloud section for one complete batched two-tier
+// session: samples sharing a device mask classify in one masked forward
+// pass, and the whole batch answers with a single ResultBatch whose
+// verdicts follow the header's sample order.
+func (c *Cloud) classifyBatch(send func(wire.Message) error, session uint64, up *batchUploadSession) {
+	verdicts := make([]wire.BatchVerdict, len(up.ids))
+	for _, grp := range groupByMask(up.masks, c.model.Cfg.Devices) {
+		feats := make([]*tensor.Tensor, len(up.feats))
+		for d := range feats {
+			feats[d] = up.feats[d].SelectSamples(grp.indices)
+		}
+		logits := c.model.CloudForward(feats, grp.present)
+		probs := nn.Softmax(logits)
+		for k, idx := range grp.indices {
+			verdicts[idx] = verdictRow(probs, k, up.ids[idx], wire.ExitCloud)
+		}
+	}
+	if err := send(&wire.ResultBatch{Session: session, Verdicts: verdicts}); err != nil {
+		c.logger.Debug("batch classify reply failed", "session", session, "err", err)
+	}
+}
+
+// unpackEdgeFeatureBatch validates an escalated batch of edge feature
+// maps against the model's edge section output shape and assembles the
+// [N, F, H, W] batch tensor.
+func (c *Cloud) unpackEdgeFeatureBatch(m *wire.EdgeFeatureBatch) (*tensor.Tensor, error) {
+	cfg := c.model.Cfg
+	eh, ew := cfg.FeatureH()/2, cfg.FeatureW()/2
+	if int(m.F) != cfg.EdgeFilters || int(m.H) != eh || int(m.W) != ew {
+		return nil, fmt.Errorf("edge feature shape %d×%d×%d, model expects %d×%d×%d", m.F, m.H, m.W, cfg.EdgeFilters, eh, ew)
+	}
+	if len(m.SampleIDs) == 0 {
+		return nil, fmt.Errorf("empty edge feature batch")
+	}
+	feat := tensor.New(len(m.SampleIDs), int(m.F), int(m.H), int(m.W))
+	for i := range m.SampleIDs {
+		if err := c.model.UnpackFeatureInto(feat, i, m.Sample(i)); err != nil {
+			return nil, err
+		}
+	}
+	return feat, nil
+}
+
+// classifyFromEdgeBatch runs the cloud section once over a batch of
+// pre-aggregated edge feature maps — the samples that missed the edge
+// exit — and answers with one ResultBatch in SampleIDs order.
+func (c *Cloud) classifyFromEdgeBatch(send func(wire.Message) error, m *wire.EdgeFeatureBatch, feat *tensor.Tensor) {
+	logits := c.model.CloudForwardFromEdge(feat)
+	probs := nn.Softmax(logits)
+	verdicts := make([]wire.BatchVerdict, len(m.SampleIDs))
+	for i, id := range m.SampleIDs {
+		verdicts[i] = verdictRow(probs, i, id, wire.ExitCloud)
+	}
+	if err := send(&wire.ResultBatch{Session: m.Session, Verdicts: verdicts}); err != nil {
+		c.logger.Debug("edge batch reply failed", "session", m.Session, "err", err)
+	}
 }
 
 func (c *Cloud) reply(send func(wire.Message) error, session, sampleID uint64, logits *tensor.Tensor) {

@@ -58,7 +58,7 @@ type Device struct {
 	failed atomic.Bool
 
 	mu        sync.Mutex // guards features/featOrder only
-	features  map[uint64]*tensor.Tensor
+	features  map[uint64]*retainedFeature
 	featOrder []uint64 // insertion order for eviction
 
 	listener net.Listener
@@ -82,7 +82,7 @@ func NewDevice(model *core.Model, index int, feed Feed, logger *slog.Logger) *De
 		index:    index,
 		feed:     feed,
 		logger:   logger.With("node", fmt.Sprintf("device-%d", index)),
-		features: make(map[uint64]*tensor.Tensor),
+		features: make(map[uint64]*retainedFeature),
 		conns:    make(map[net.Conn]struct{}),
 	}
 }
@@ -187,6 +187,22 @@ func (d *Device) handle(conn net.Conn) {
 					d.logger.Debug("feature upload failed", "sample", m.SampleID, "err", err)
 				}
 			}()
+		case *wire.CaptureBatch:
+			reqs.Add(1)
+			go func() {
+				defer reqs.Done()
+				if err := d.onCaptureBatch(send, m); err != nil {
+					d.logger.Debug("batch capture failed", "session", m.Session, "err", err)
+				}
+			}()
+		case *wire.FeatureBatchRequest:
+			reqs.Add(1)
+			go func() {
+				defer reqs.Done()
+				if err := d.onFeatureBatchRequest(send, m); err != nil {
+					d.logger.Debug("batch feature upload failed", "session", m.Session, "err", err)
+				}
+			}()
 		case *wire.Heartbeat:
 			// Echo liveness probes so the gateway's failure detector can
 			// distinguish a live device from a crashed one.
@@ -209,7 +225,7 @@ func (d *Device) onCapture(send func(wire.Message) error, m *wire.CaptureRequest
 		return send(&wire.Error{Session: m.Session, Code: 404, Msg: err.Error()})
 	}
 	feat, exitVec := d.model.DeviceForward(d.index, x)
-	d.retainFeature(m.Session, feat)
+	d.retainFeature(m.Session, feat, nil)
 
 	probs := make([]float32, exitVec.Dim(1))
 	copy(probs, exitVec.Row(0))
@@ -221,13 +237,22 @@ func (d *Device) onCapture(send func(wire.Message) error, m *wire.CaptureRequest
 	})
 }
 
-func (d *Device) retainFeature(session uint64, feat *tensor.Tensor) {
+// retainedFeature caches the binarized feature maps of one capture under
+// its session ID: a [N, F, H, W] tensor plus, for batched captures, the
+// row index of each sample ID (nil for single-sample captures, whose
+// tensor is [1, ...]).
+type retainedFeature struct {
+	feat *tensor.Tensor
+	rows map[uint64]int
+}
+
+func (d *Device) retainFeature(session uint64, feat *tensor.Tensor, rows map[uint64]int) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if _, exists := d.features[session]; !exists {
 		d.featOrder = append(d.featOrder, session)
 	}
-	d.features[session] = feat
+	d.features[session] = &retainedFeature{feat: feat, rows: rows}
 	for len(d.featOrder) > maxRetainedFeatures {
 		oldest := d.featOrder[0]
 		d.featOrder = d.featOrder[1:]
@@ -235,10 +260,10 @@ func (d *Device) retainFeature(session uint64, feat *tensor.Tensor) {
 	}
 }
 
-func (d *Device) takeFeature(session uint64) (*tensor.Tensor, bool) {
+func (d *Device) takeFeature(session uint64) (*retainedFeature, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	feat, ok := d.features[session]
+	rf, ok := d.features[session]
 	if !ok {
 		return nil, false
 	}
@@ -249,12 +274,14 @@ func (d *Device) takeFeature(session uint64) (*tensor.Tensor, bool) {
 			break
 		}
 	}
-	return feat, true
+	return rf, true
 }
 
 func (d *Device) onFeatureRequest(send func(wire.Message) error, m *wire.FeatureRequest) error {
-	feat, ok := d.takeFeature(m.Session)
-	if !ok {
+	var feat *tensor.Tensor
+	if rf, ok := d.takeFeature(m.Session); ok && rf.rows == nil {
+		feat = rf.feat
+	} else {
 		// The cached map was evicted (or the capture never happened —
 		// e.g. a second gateway attached to this device); recompute from
 		// the sensor feed so eviction only costs time, not the session.
@@ -273,6 +300,86 @@ func (d *Device) onFeatureRequest(send func(wire.Message) error, m *wire.Feature
 		H:        uint16(feat.Dim(2)),
 		W:        uint16(feat.Dim(3)),
 		Bits:     bits,
+	})
+}
+
+// onCaptureBatch stacks the batch's sensor frames into one tensor and
+// runs the device section once, so conv/GEMM setup amortizes across the
+// whole micro-batch. Samples whose feed has no frame are marked absent in
+// the reply's presence bitmask; the rest get one summary row each, and
+// their feature rows are retained for a possible FeatureBatchRequest.
+func (d *Device) onCaptureBatch(send func(wire.Message) error, m *wire.CaptureBatch) error {
+	n := len(m.SampleIDs)
+	present := make([]bool, n)
+	frames := make([]*tensor.Tensor, 0, n)
+	rows := make(map[uint64]int, n)
+	for i, id := range m.SampleIDs {
+		x, err := d.feed(id)
+		if err != nil {
+			continue // absent frame (object not in view / feed error)
+		}
+		present[i] = true
+		if _, dup := rows[id]; !dup {
+			rows[id] = len(frames)
+			frames = append(frames, x)
+		}
+	}
+	classes := uint16(d.model.Cfg.Classes)
+	if len(frames) == 0 {
+		return send(&wire.SummaryBatch{
+			Session: m.Session, Device: uint16(d.index), Classes: classes,
+			Count: uint16(n), Present: wire.PackPresent(present),
+		})
+	}
+	feat, exitVec := d.model.DeviceForward(d.index, tensor.Stack(frames))
+	d.retainFeature(m.Session, feat, rows)
+
+	probs := make([]float32, 0, n*int(classes))
+	for i, id := range m.SampleIDs {
+		if !present[i] {
+			continue
+		}
+		probs = append(probs, exitVec.Row(rows[id])...)
+	}
+	return send(&wire.SummaryBatch{
+		Session: m.Session, Device: uint16(d.index), Classes: classes,
+		Count: uint16(n), Present: wire.PackPresent(present), Probs: probs,
+	})
+}
+
+// onFeatureBatchRequest packs the retained feature rows of the requested
+// samples — the batch subset that missed the local exit — into one
+// FeatureBatch frame. Evicted (or never-captured) samples are recomputed
+// from the feed; a sample the feed cannot produce fails the whole fetch,
+// and the gateway degrades by dropping this device from the batch.
+func (d *Device) onFeatureBatchRequest(send func(wire.Message) error, m *wire.FeatureBatchRequest) error {
+	rf, _ := d.takeFeature(m.Session)
+	if rf != nil && rf.rows == nil {
+		rf = nil // single-sample capture under the same session tag
+	}
+	cfg := d.model.Cfg
+	f, h, w := cfg.DeviceFilters, cfg.FeatureH(), cfg.FeatureW()
+	bits := make([]byte, 0, len(m.SampleIDs)*((f*h*w+7)/8))
+	for _, id := range m.SampleIDs {
+		if rf != nil {
+			if row, ok := rf.rows[id]; ok {
+				bits = append(bits, d.model.PackFeatureSample(rf.feat, row)...)
+				continue
+			}
+		}
+		x, err := d.feed(id)
+		if err != nil {
+			return send(&wire.Error{Session: m.Session, Code: 404, Msg: err.Error()})
+		}
+		feat, _ := d.model.DeviceForward(d.index, x)
+		bits = append(bits, d.model.PackFeature(feat)...)
+	}
+	return send(&wire.FeatureBatch{
+		Session: m.Session,
+		Device:  uint16(d.index),
+		F:       uint16(f), H: uint16(h), W: uint16(w),
+		Count: uint16(len(m.SampleIDs)),
+		Bits:  bits,
 	})
 }
 

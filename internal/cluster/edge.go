@@ -173,6 +173,13 @@ type edgeSession struct {
 	up  *uploadSession
 }
 
+// edgeBatchSession pairs a batched escalation header with the
+// accumulating per-device FeatureBatch frames.
+type edgeBatchSession struct {
+	hdr *wire.EdgeClassifyBatch
+	up  *batchUploadSession
+}
+
 func (e *Edge) handle(conn net.Conn) {
 	var wmu sync.Mutex
 	send := func(m wire.Message) error {
@@ -182,6 +189,7 @@ func (e *Edge) handle(conn net.Conn) {
 		return err
 	}
 	sessions := make(map[uint64]*edgeSession)
+	batches := make(map[uint64]*edgeBatchSession)
 	var inflight sync.WaitGroup
 	defer inflight.Wait()
 	for {
@@ -233,8 +241,34 @@ func (e *Edge) handle(conn net.Conn) {
 					e.classify(send, sess)
 				}(sess)
 			}
+		case *wire.EdgeClassifyBatch:
+			up, err := newBatchUploadSession(e.model.Cfg, m.SampleIDs, m.Devices, m.Masks)
+			if err != nil {
+				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: err.Error()})
+				continue
+			}
+			batches[m.Session] = &edgeBatchSession{hdr: m, up: up}
+		case *wire.FeatureBatch:
+			sess, ok := batches[m.Session]
+			if !ok {
+				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: fmt.Sprintf("feature batch for unknown session %d", m.Session)})
+				continue
+			}
+			if err := sess.up.add(e.model, m); err != nil {
+				delete(batches, m.Session)
+				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: err.Error()})
+				continue
+			}
+			if sess.up.complete() {
+				delete(batches, m.Session)
+				inflight.Add(1)
+				go func(sess *edgeBatchSession) {
+					defer inflight.Done()
+					e.classifyBatch(send, sess)
+				}(sess)
+			}
 		default:
-			_ = send(&wire.Error{Session: sessionOf(msg), Code: 400, Msg: fmt.Sprintf("expected EdgeClassify or FeatureUpload, got %v", msg.MsgType())})
+			_ = send(&wire.Error{Session: sessionOf(msg), Code: 400, Msg: fmt.Sprintf("expected EdgeClassify(Batch) or FeatureUpload/FeatureBatch, got %v", msg.MsgType())})
 		}
 	}
 }
@@ -282,6 +316,115 @@ func (e *Edge) classify(send func(wire.Message) error, sess *edgeSession) {
 	}
 	if err := send(cloudVerdict); err != nil {
 		e.logger.Debug("cloud verdict relay failed", "sample", sess.hdr.SampleID, "err", err)
+	}
+}
+
+// classifyBatch runs the edge stage for one complete batched session:
+// samples sharing a device mask aggregate and run the edge section in one
+// forward pass, confident samples exit here (ExitEdge), and only the hard
+// remainder rides a single EdgeFeatureBatch to the cloud — the batched
+// partial exit that keeps upstream hops small. The whole batch answers
+// with one ResultBatch in header order.
+func (e *Edge) classifyBatch(send func(wire.Message) error, sess *edgeBatchSession) {
+	up := sess.up
+	n := len(up.ids)
+	cfg := e.model.Cfg
+	eh, ew := cfg.FeatureH()/2, cfg.FeatureW()/2
+	edgeFeats := tensor.New(n, cfg.EdgeFilters, eh, ew)
+	verdicts := make([]wire.BatchVerdict, n)
+	var hard []int
+	for _, grp := range groupByMask(up.masks, cfg.Devices) {
+		feats := make([]*tensor.Tensor, len(up.feats))
+		for d := range feats {
+			feats[d] = up.feats[d].SelectSamples(grp.indices)
+		}
+		edgeFeat, edgeLogits := e.model.EdgeForward(feats, grp.present)
+		probs := nn.Softmax(edgeLogits)
+		for k, idx := range grp.indices {
+			copy(edgeFeats.Sample(idx), edgeFeat.Sample(k))
+			verdicts[idx] = verdictRow(probs, k, up.ids[idx], wire.ExitEdge)
+		}
+	}
+	// The first relayed threshold is this tier's exit criterion; an empty
+	// list means the edge never exits and always escalates.
+	for i, v := range verdicts {
+		confident := len(sess.hdr.Thresholds) > 0 &&
+			nn.NormalizedEntropy(v.Probs) <= sess.hdr.Thresholds[0]
+		if !confident {
+			hard = append(hard, i)
+		}
+	}
+	if len(hard) > 0 {
+		cloudVerdicts, err := e.escalateBatch(up.ids, hard, edgeFeats)
+		if err != nil && !e.cfg.CloudFallback {
+			_ = send(&wire.Error{Session: sess.hdr.Session, Code: 503, Msg: fmt.Sprintf("cloud escalation failed: %v", err)})
+			return
+		}
+		if err != nil {
+			// Degrade rather than fail: the hard samples keep the edge's
+			// own best-effort verdicts while the cloud is down.
+			e.logger.Warn("cloud escalation failed; answering batch at the edge", "samples", len(hard), "err", err)
+		} else {
+			for k, idx := range hard {
+				verdicts[idx] = cloudVerdicts[k]
+			}
+		}
+	}
+	if err := send(&wire.ResultBatch{Session: sess.hdr.Session, Verdicts: verdicts}); err != nil {
+		e.logger.Debug("edge batch verdict failed", "session", sess.hdr.Session, "err", err)
+	}
+}
+
+// escalateBatch packs the hard samples' edge feature rows into one
+// EdgeFeatureBatch, forwards it to the cloud under a fresh edge-owned
+// session ID and returns the cloud's verdicts in hard-index order.
+func (e *Edge) escalateBatch(ids []uint64, hard []int, edgeFeats *tensor.Tensor) ([]wire.BatchVerdict, error) {
+	if e.cloud == nil {
+		return nil, fmt.Errorf("edge has no cloud connection")
+	}
+	upSession := e.nextUpstream.Add(1)
+	hardIDs := make([]uint64, len(hard))
+	var bits []byte
+	for k, idx := range hard {
+		hardIDs[k] = ids[idx]
+		bits = append(bits, e.model.PackFeatureSample(edgeFeats, idx)...)
+	}
+	msg := &wire.EdgeFeatureBatch{
+		Session:   upSession,
+		F:         uint16(edgeFeats.Dim(1)),
+		H:         uint16(edgeFeats.Dim(2)),
+		W:         uint16(edgeFeats.Dim(3)),
+		SampleIDs: hardIDs,
+		Bits:      bits,
+	}
+	ch, err := e.cloud.subscribe(upSession)
+	if err != nil {
+		return nil, fmt.Errorf("cloud link failed: %w", err)
+	}
+	defer e.cloud.unsubscribe(upSession)
+	if err := e.cloud.send(e.cfg.CloudTimeout, msg); err != nil {
+		return nil, fmt.Errorf("forward edge feature batch: %w", err)
+	}
+	e.Meter.Add("cloud-upload", int64(len(bits)))
+	reply, err := e.cloud.wait(context.Background(), ch, e.cfg.CloudTimeout)
+	if err != nil {
+		return nil, err
+	}
+	switch m := reply.(type) {
+	case *wire.ResultBatch:
+		if len(m.Verdicts) != len(hardIDs) {
+			return nil, fmt.Errorf("cloud answered %d verdicts for %d samples", len(m.Verdicts), len(hardIDs))
+		}
+		for k, v := range m.Verdicts {
+			if v.SampleID != hardIDs[k] {
+				return nil, fmt.Errorf("cloud verdict %d is for sample %d, want %d", k, v.SampleID, hardIDs[k])
+			}
+		}
+		return m.Verdicts, nil
+	case *wire.Error:
+		return nil, fmt.Errorf("cloud error %d: %s", m.Code, m.Msg)
+	default:
+		return nil, fmt.Errorf("expected ResultBatch, got %v", reply.MsgType())
 	}
 }
 

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"log/slog"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"github.com/ddnn/ddnn-go/internal/core"
@@ -27,6 +26,10 @@ type EngineConfig struct {
 	// beyond it queue on a semaphore (respecting their contexts). Zero
 	// means DefaultMaxConcurrency.
 	MaxConcurrency int
+	// Batch enables adaptive micro-batching: concurrent Classify calls
+	// coalesce into one multi-sample session per tier (see BatchConfig).
+	// The zero value disables batching.
+	Batch BatchConfig
 	// Logger receives node logs; nil means slog.Default().
 	Logger *slog.Logger
 	// DeviceLink, EdgeLink and CloudLink, when non-zero, wrap the
@@ -58,9 +61,18 @@ type Engine struct {
 	deviceAddrs  []string
 	upstreamAddr string
 
-	sem    chan struct{}
-	closed atomic.Bool
-	wg     sync.WaitGroup
+	sem       chan struct{}
+	collector *batchCollector // nil unless Batch.MaxBatch > 1
+
+	// mu guards the closed/closing flags AND every wg.Add: a session may
+	// only register with the WaitGroup while `closed` is false under mu,
+	// and Close sets `closed` under mu before calling wg.Wait, so Wait
+	// can never race an Add on a zero counter (the documented WaitGroup
+	// misuse the previous atomic-flag handshake allowed).
+	mu      sync.Mutex
+	closed  bool
+	closing bool
+	wg      sync.WaitGroup
 }
 
 // NewEngine starts a complete in-process cluster — device nodes, the
@@ -116,41 +128,79 @@ func newEngine(gw *Gateway, cfg EngineConfig) *Engine {
 	if maxC <= 0 {
 		maxC = DefaultMaxConcurrency
 	}
-	return &Engine{gw: gw, sem: make(chan struct{}, maxC)}
+	e := &Engine{gw: gw, sem: make(chan struct{}, maxC)}
+	if cfg.Batch.enabled() {
+		e.collector = newBatchCollector(e, cfg.Batch)
+	}
+	return e
 }
+
+// beginSession registers a session with the engine's lifecycle tracking.
+// It must be paired with endSession; it fails once Close has begun.
+func (e *Engine) beginSession() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	e.wg.Add(1)
+	return nil
+}
+
+func (e *Engine) endSession() { e.wg.Done() }
 
 // Classify runs one inference session, queueing on the engine's
 // concurrency semaphore first. The context governs both the queue wait and
-// every stage of the session.
+// every stage of the session. With micro-batching enabled the call
+// instead joins the collector's current batch and shares one
+// multi-sample session with other concurrent callers.
 func (e *Engine) Classify(ctx context.Context, sampleID uint64) (*Result, error) {
-	if e.closed.Load() {
-		return nil, ErrClosed
+	if e.collector != nil {
+		return e.collector.classify(ctx, sampleID)
 	}
 	select {
 	case e.sem <- struct{}{}:
 	case <-ctx.Done():
 		return nil, ctxErr(ctx.Err())
 	}
-	e.wg.Add(1)
-	defer func() {
-		<-e.sem
-		e.wg.Done()
-	}()
-	if e.closed.Load() {
-		return nil, ErrClosed
+	defer func() { <-e.sem }()
+	if err := e.beginSession(); err != nil {
+		return nil, err
 	}
+	defer e.endSession()
 	return e.gw.Classify(ctx, sampleID)
 }
 
-// ClassifyBatch classifies the samples concurrently (bounded by the
-// engine's MaxConcurrency) and returns results in input order. The first
-// session error cancels the remaining sessions and is returned; results
-// for sessions that completed before the failure are still filled in
-// (nil entries mark sessions that did not complete).
+// runBatch runs one multi-sample gateway session under the engine's
+// semaphore and lifecycle tracking.
+func (e *Engine) runBatch(ctx context.Context, sampleIDs []uint64) ([]*Result, error) {
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctxErr(ctx.Err())
+	}
+	defer func() { <-e.sem }()
+	if err := e.beginSession(); err != nil {
+		return nil, err
+	}
+	defer e.endSession()
+	return e.gw.ClassifyBatch(ctx, sampleIDs)
+}
+
+// ClassifyBatch classifies the samples and returns results in input
+// order. With micro-batching enabled the IDs are chunked into
+// Batch.MaxBatch-sized multi-sample sessions that run concurrently
+// (bounded by MaxConcurrency); otherwise each sample runs as its own
+// session. The first session error cancels the remaining sessions and is
+// returned; results for sessions that completed before the failure are
+// still filled in (nil entries mark samples that did not complete).
 func (e *Engine) ClassifyBatch(ctx context.Context, sampleIDs []uint64) ([]*Result, error) {
 	results := make([]*Result, len(sampleIDs))
 	if len(sampleIDs) == 0 {
 		return results, nil
+	}
+	if e.collector != nil {
+		return e.classifyChunked(ctx, sampleIDs, results)
 	}
 	bctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -194,6 +244,51 @@ func (e *Engine) ClassifyBatch(ctx context.Context, sampleIDs []uint64) ([]*Resu
 	return results, nil
 }
 
+// classifyChunked splits the IDs into MaxBatch-sized chunks, each a
+// single multi-sample session, and runs the chunks concurrently.
+func (e *Engine) classifyChunked(ctx context.Context, sampleIDs []uint64, results []*Result) ([]*Result, error) {
+	bctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	size := e.collector.maxBatch
+	type chunk struct{ lo, hi int }
+	chunks := make(chan chunk)
+	workers := cap(e.sem)
+	if max := (len(sampleIDs) + size - 1) / size; workers > max {
+		workers = max
+	}
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range chunks {
+				res, err := e.runBatch(bctx, sampleIDs[c.lo:c.hi])
+				copy(results[c.lo:c.hi], res)
+				if err != nil {
+					errOnce.Do(func() {
+						firstErr = err
+						cancel()
+					})
+				}
+			}
+		}()
+	}
+	for lo := 0; lo < len(sampleIDs); lo += size {
+		hi := lo + size
+		if hi > len(sampleIDs) {
+			hi = len(sampleIDs)
+		}
+		chunks <- chunk{lo, hi}
+	}
+	close(chunks)
+	wg.Wait()
+	return results, firstErr
+}
+
 // Gateway exposes the underlying gateway for stats (Meter, WireBytesUp,
 // DownDevices).
 func (e *Engine) Gateway() *Gateway { return e.gw }
@@ -227,11 +322,26 @@ func (e *Engine) StartHealthMonitor(ctx context.Context, interval time.Duration,
 }
 
 // Close drains in-flight sessions and tears the engine (and, for
-// in-process engines, the whole cluster) down.
+// in-process engines, the whole cluster) down. Samples already queued in
+// the micro-batch collector are flushed and complete normally; sessions
+// that have not started by then fail with ErrClosed.
 func (e *Engine) Close() error {
-	if !e.closed.CompareAndSwap(false, true) {
+	e.mu.Lock()
+	if e.closing {
+		e.mu.Unlock()
 		return nil
 	}
+	e.closing = true
+	e.mu.Unlock()
+	if e.collector != nil {
+		// Flush pending callers into a final batch session (registered
+		// with the WaitGroup before stop returns) so they get results,
+		// not ErrClosed.
+		e.collector.stop()
+	}
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
 	e.wg.Wait()
 	if e.sim != nil {
 		return e.sim.Close()

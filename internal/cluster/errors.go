@@ -27,6 +27,11 @@ var (
 	// and the edge tier — the next escalation stage of a three-tier
 	// hierarchy — could not be reached.
 	ErrEdgeUnavailable = errors.New("ddnn: edge unavailable")
+	// ErrTooManyDevices reports a hierarchy with more devices than the
+	// wire protocol's uint16 present-device masks can describe
+	// (wire.MaxDevices); such configs are rejected at gateway
+	// construction time instead of silently corrupting the masks.
+	ErrTooManyDevices = errors.New("ddnn: hierarchy exceeds wire.MaxDevices devices")
 )
 
 // ctxErr maps a context error onto the matching typed sentinel while

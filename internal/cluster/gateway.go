@@ -118,6 +118,24 @@ func NewGateway(ctx context.Context, model *core.Model, cfg GatewayConfig, tr tr
 	if len(deviceAddrs) != model.Cfg.Devices {
 		return nil, fmt.Errorf("cluster: model has %d devices, got %d addresses", model.Cfg.Devices, len(deviceAddrs))
 	}
+	if model.Cfg.Devices > wire.MaxDevices {
+		// The wire protocol's present-device masks are uint16 bitmasks;
+		// a 17th device would silently alias bit 0 and corrupt every
+		// escalation header, so such hierarchies are rejected up front.
+		return nil, fmt.Errorf("cluster: model has %d devices: %w", model.Cfg.Devices, ErrTooManyDevices)
+	}
+	// Zero timeouts would otherwise expire instantly; an unset
+	// GatewayConfig means "use the defaults", not "always time out".
+	def := DefaultGatewayConfig()
+	if cfg.DeviceTimeout <= 0 {
+		cfg.DeviceTimeout = def.DeviceTimeout
+	}
+	if cfg.CloudTimeout <= 0 {
+		cfg.CloudTimeout = def.CloudTimeout
+	}
+	if cfg.EdgeTimeout <= 0 {
+		cfg.EdgeTimeout = def.EdgeTimeout
+	}
 	pipeline := BuildPipeline(model.Cfg, cfg.Threshold, cfg.EdgeThreshold)
 	if err := pipeline.Validate(); err != nil {
 		return nil, err
@@ -178,12 +196,24 @@ func (g *Gateway) uploadCategory() string {
 	return "cloud-upload"
 }
 
-// WireBytesUp returns the total bytes written on all device uplinks,
-// including protocol framing.
+// WireBytesUp returns the total bytes the gateway has received on all
+// device uplinks (the device→gateway direction: summaries and feature
+// uploads), including protocol framing.
 func (g *Gateway) WireBytesUp() int64 {
 	var t int64
 	for _, c := range g.wireConns {
 		t += c.BytesRead() // device→gateway direction
+	}
+	return t
+}
+
+// WireBytesDown returns the total bytes the gateway has written to all
+// device links (the gateway→device direction: capture and feature
+// requests), including protocol framing.
+func (g *Gateway) WireBytesDown() int64 {
+	var t int64
+	for _, c := range g.wireConns {
+		t += c.BytesWritten() // gateway→device direction
 	}
 	return t
 }

@@ -1,0 +1,345 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/ddnn/ddnn-go/internal/nn"
+	"github.com/ddnn/ddnn-go/internal/tensor"
+	"github.com/ddnn/ddnn-go/internal/wire"
+)
+
+// batchCapReply carries one device's response to a batched capture
+// request: per-sample presence plus the present samples' summary rows.
+type batchCapReply struct {
+	device  int
+	present []bool
+	probs   []float32 // popcount(present) rows of classes values
+	timeout bool
+	err     error // session-fatal (context) error
+}
+
+// ClassifyBatch runs the full staged inference of §III-D for a whole
+// micro-batch as one session: one capture round trip per device, one
+// aggregated forward pass per device-mask group, and — for the samples
+// that miss the local exit — one batched escalation carrying only the
+// hard remainder upstream. Decisions and probabilities are bit-identical
+// to per-sample Classify: every stage processes samples row-wise, so
+// batching changes wire framing and dispatch overhead, never results.
+//
+// The returned slice always has len(sampleIDs) entries in input order.
+// When some samples fail (e.g. no device produced a summary for them, or
+// the upstream tier was unreachable) their entries are nil and the first
+// such failure is returned alongside the successful results.
+func (g *Gateway) ClassifyBatch(ctx context.Context, sampleIDs []uint64) ([]*Result, error) {
+	n := len(sampleIDs)
+	if n == 0 {
+		return nil, nil
+	}
+	if n > wire.MaxBatch {
+		return nil, fmt.Errorf("cluster: batch of %d samples exceeds wire.MaxBatch (%d)", n, wire.MaxBatch)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, ctxErr(err)
+	}
+	sid := g.nextSession.Add(1)
+	start := time.Now()
+	classes := g.model.Cfg.Classes
+
+	// Stage 1: every live device processes the whole batch in one forward
+	// pass and sends a single summary frame.
+	replies := make(chan batchCapReply, len(g.devices))
+	inFlight := 0
+	for _, dl := range g.devices {
+		if g.deviceDown(dl.index) {
+			continue
+		}
+		inFlight++
+		go g.captureBatchFrom(ctx, dl, sid, sampleIDs, replies)
+	}
+	exitVecs := make([]*tensor.Tensor, len(g.devices))
+	for d := range exitVecs {
+		exitVecs[d] = tensor.New(n, classes)
+	}
+	present := make([][]bool, n) // per sample, per device
+	for i := range present {
+		present[i] = make([]bool, len(g.devices))
+	}
+	for i := 0; i < inFlight; i++ {
+		r := <-replies
+		if r.err != nil {
+			return nil, r.err
+		}
+		if r.timeout {
+			g.recordTimeout(r.device)
+			continue
+		}
+		g.recordSuccess(r.device)
+		row := 0
+		for s := 0; s < n; s++ {
+			if !r.present[s] {
+				continue
+			}
+			copy(exitVecs[r.device].Row(s), r.probs[row*classes:(row+1)*classes])
+			row++
+			present[s][r.device] = true
+			g.Meter.Add("local-summary", int64(wire.SummaryPayloadBytes(classes)))
+		}
+	}
+
+	// Stage 2: aggregate and decide the first exit. Samples sharing a
+	// device-presence mask aggregate in one masked forward pass, which is
+	// the common whole-batch case when every device is up.
+	results := make([]*Result, n)
+	entropies := make([]float64, n)
+	masks := make([]uint16, n)
+	var firstErr error
+	var escalate []int
+	for i := range present {
+		masks[i] = maskOf(present[i])
+	}
+	for _, grp := range groupByMask(masks, len(g.devices)) {
+		if grp.mask == 0 {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: sample %d: %w", sampleIDs[grp.indices[0]], ErrNoSummaries)
+			}
+			continue
+		}
+		vecs := make([]*tensor.Tensor, len(g.devices))
+		for d := range vecs {
+			vecs[d] = exitVecs[d].SelectSamples(grp.indices)
+		}
+		logits := g.model.LocalAggregate(vecs, grp.present)
+		probs := nn.Softmax(logits)
+		for k, idx := range grp.indices {
+			row := make([]float32, classes)
+			copy(row, probs.Row(k))
+			entropy := nn.NormalizedEntropy(row)
+			entropies[idx] = entropy
+			if entropy <= g.pipeline[0].Threshold {
+				results[idx] = &Result{
+					SampleID: sampleIDs[idx],
+					Class:    probs.ArgMaxRow(k),
+					Exit:     wire.ExitLocal,
+					Probs:    row,
+					Entropy:  entropy,
+					Present:  present[idx],
+					Latency:  time.Since(start),
+				}
+			} else {
+				escalate = append(escalate, idx)
+			}
+		}
+	}
+	if len(escalate) == 0 {
+		return results, firstErr
+	}
+
+	// Stage 3: the hard remainder — and only it — rides upstream as one
+	// batched escalation (the paper's staged partial exit, batched).
+	err := g.escalateBatch(ctx, sid, sampleIDs, escalate, present, masks, entropies, results, start)
+	if err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return results, firstErr
+}
+
+func (g *Gateway) captureBatchFrom(ctx context.Context, dl *deviceLink, sid uint64, sampleIDs []uint64, replies chan<- batchCapReply) {
+	msg, err := dl.link.request(ctx, sid, &wire.CaptureBatch{Session: sid, SampleIDs: sampleIDs}, g.cfg.DeviceTimeout)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			replies <- batchCapReply{device: dl.index, err: ctxErr(cerr)}
+			return
+		}
+		replies <- batchCapReply{device: dl.index, timeout: true}
+		return
+	}
+	switch m := msg.(type) {
+	case *wire.SummaryBatch:
+		if int(m.Count) != len(sampleIDs) || int(m.Classes) != g.model.Cfg.Classes {
+			replies <- batchCapReply{device: dl.index, timeout: true}
+			return
+		}
+		replies <- batchCapReply{
+			device:  dl.index,
+			present: wire.UnpackPresent(m.Present, len(sampleIDs)),
+			probs:   m.Probs,
+		}
+	case *wire.Error:
+		// The device had no frame for any sample (feed failure).
+		replies <- batchCapReply{device: dl.index, present: make([]bool, len(sampleIDs))}
+	default:
+		replies <- batchCapReply{device: dl.index, timeout: true}
+	}
+}
+
+// escalateBatch fetches the escalating samples' feature maps from the
+// devices that cover them — each device packs its whole subset into one
+// frame — and relays them with a batched classify header to the next
+// tier, filling results for every escalating index from the returned
+// ResultBatch.
+func (g *Gateway) escalateBatch(ctx context.Context, sid uint64, sampleIDs []uint64, escalate []int, present [][]bool, masks []uint16, entropies []float64, results []*Result, start time.Time) error {
+	sentinel := g.upstreamSentinel()
+	if g.UpstreamDown() {
+		return fmt.Errorf("cluster: batch of %d samples: %w: marked down by health monitor", len(escalate), sentinel)
+	}
+
+	// Which escalating samples does each device cover?
+	covered := make([][]int, len(g.devices)) // device → escalate positions
+	for k, idx := range escalate {
+		for d, p := range present[idx] {
+			if p {
+				covered[d] = append(covered[d], k)
+			}
+		}
+	}
+	type fetchReply struct {
+		device int
+		fb     *wire.FeatureBatch
+		err    error
+	}
+	fetches := make(chan fetchReply, len(g.devices))
+	inFlight := 0
+	for d, ks := range covered {
+		if len(ks) == 0 {
+			continue
+		}
+		inFlight++
+		ids := make([]uint64, len(ks))
+		for i, k := range ks {
+			ids[i] = sampleIDs[escalate[k]]
+		}
+		go func(dl *deviceLink, ids []uint64) {
+			msg, err := dl.link.request(ctx, sid, &wire.FeatureBatchRequest{Session: sid, SampleIDs: ids}, g.cfg.DeviceTimeout)
+			if err != nil {
+				fetches <- fetchReply{device: dl.index, err: err}
+				return
+			}
+			switch m := msg.(type) {
+			case *wire.FeatureBatch:
+				if int(m.Count) != len(ids) {
+					fetches <- fetchReply{device: dl.index, err: fmt.Errorf("cluster: device %d sent %d feature maps, want %d", dl.index, m.Count, len(ids))}
+					return
+				}
+				fetches <- fetchReply{device: dl.index, fb: m}
+			case *wire.Error:
+				fetches <- fetchReply{device: dl.index, err: fmt.Errorf("cluster: device %d: %s", dl.index, m.Msg)}
+			default:
+				fetches <- fetchReply{device: dl.index, err: fmt.Errorf("cluster: expected FeatureBatch, got %v", msg.MsgType())}
+			}
+		}(g.devices[d], ids)
+	}
+	var frames []wire.Message
+	for i := 0; i < inFlight; i++ {
+		f := <-fetches
+		if f.err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return ctxErr(cerr)
+			}
+			// The device answered the capture but died before the feature
+			// fetch; degrade to the remaining devices for the whole batch.
+			g.logger.Warn("batch feature fetch failed", "device", f.device, "err", f.err)
+			for _, idx := range escalate {
+				present[idx][f.device] = false
+				masks[idx] = maskOf(present[idx])
+			}
+			continue
+		}
+		f.fb.Session = sid
+		frames = append(frames, f.fb)
+		g.Meter.Add(g.uploadCategory(), int64(f.fb.Count)*int64(f.fb.SampleBytes()))
+	}
+	if len(frames) == 0 {
+		return fmt.Errorf("cluster: no features collected for batch of %d samples: %w", len(escalate), ErrNoSummaries)
+	}
+	// Samples whose every covering device died before the fetch have no
+	// features to escalate; drop them (their results stay nil) so the
+	// header masks exactly describe the relayed frames. A sample covered
+	// by any successful frame still has that device's mask bit set and is
+	// kept, so frames and header stay consistent.
+	var dropErr error
+	kept := make([]int, 0, len(escalate))
+	for _, idx := range escalate {
+		if masks[idx] == 0 {
+			if dropErr == nil {
+				dropErr = fmt.Errorf("cluster: sample %d: %w", sampleIDs[idx], ErrNoSummaries)
+			}
+			continue
+		}
+		kept = append(kept, idx)
+	}
+	escalate = kept
+	if len(escalate) == 0 {
+		return dropErr
+	}
+
+	escIDs := make([]uint64, len(escalate))
+	escMasks := make([]uint16, len(escalate))
+	for k, idx := range escalate {
+		escIDs[k] = sampleIDs[idx]
+		escMasks[k] = masks[idx]
+	}
+	var hdr wire.Message
+	if g.upstreamExit() == wire.ExitEdge {
+		hdr = &wire.EdgeClassifyBatch{
+			Session:    sid,
+			Devices:    uint16(g.model.Cfg.Devices),
+			SampleIDs:  escIDs,
+			Masks:      escMasks,
+			Thresholds: g.pipeline.RelayThresholds(),
+		}
+	} else {
+		hdr = &wire.CloudClassifyBatch{
+			Session:   sid,
+			Devices:   uint16(g.model.Cfg.Devices),
+			SampleIDs: escIDs,
+			Masks:     escMasks,
+		}
+	}
+	timeout := g.upstreamTimeout()
+	ch, err := g.upstream.subscribe(sid)
+	if err != nil {
+		return fmt.Errorf("cluster: %w: %w", sentinel, err)
+	}
+	defer g.upstream.unsubscribe(sid)
+	if err := g.upstream.send(timeout, append([]wire.Message{hdr}, frames...)...); err != nil {
+		return fmt.Errorf("cluster: %w: relay feature batch: %w", sentinel, err)
+	}
+	msg, err := g.upstream.wait(ctx, ch, timeout)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return ctxErr(cerr)
+		}
+		return fmt.Errorf("cluster: %w: %w", sentinel, err)
+	}
+	rb, ok := msg.(*wire.ResultBatch)
+	if !ok {
+		if e, isErr := msg.(*wire.Error); isErr {
+			if e.Code == 503 {
+				return fmt.Errorf("cluster: %w: %v tier: %s", ErrCloudUnavailable, g.upstreamExit(), e.Msg)
+			}
+			return fmt.Errorf("cluster: %w: %v error %d: %s", sentinel, g.upstreamExit(), e.Code, e.Msg)
+		}
+		return fmt.Errorf("cluster: expected ResultBatch, got %v", msg.MsgType())
+	}
+	if len(rb.Verdicts) != len(escalate) {
+		return fmt.Errorf("cluster: %v tier answered %d verdicts for %d samples", g.upstreamExit(), len(rb.Verdicts), len(escalate))
+	}
+	for k, v := range rb.Verdicts {
+		idx := escalate[k]
+		if v.SampleID != sampleIDs[idx] {
+			return fmt.Errorf("cluster: %v tier verdict %d is for sample %d, want %d", g.upstreamExit(), k, v.SampleID, sampleIDs[idx])
+		}
+		results[idx] = &Result{
+			SampleID: sampleIDs[idx],
+			Class:    int(v.Class),
+			Exit:     v.Exit,
+			Probs:    v.Probs,
+			Entropy:  entropies[idx],
+			Present:  present[idx],
+			Latency:  time.Since(start),
+		}
+	}
+	return dropErr
+}

@@ -95,7 +95,8 @@ func (l *link) unsubscribe(session uint64) {
 
 // send writes frames atomically with respect to other sessions. A
 // positive timeout bounds the whole batch via a write deadline, so a
-// stalled peer cannot wedge the link's writer.
+// stalled peer cannot wedge the link's writer; a zero or negative timeout
+// leaves the write unbounded (context-only callers).
 func (l *link) send(timeout time.Duration, msgs ...wire.Message) error {
 	l.wmu.Lock()
 	defer l.wmu.Unlock()
@@ -112,15 +113,22 @@ func (l *link) send(timeout time.Duration, msgs ...wire.Message) error {
 }
 
 // wait blocks until the session's next frame, the timeout, the context, or
-// link failure. The timeout bounds this stage even when ctx has no
-// deadline; ctx cancellation and earlier ctx deadlines still win.
+// link failure. A positive timeout bounds this stage even when ctx has no
+// deadline; ctx cancellation and earlier ctx deadlines still win. A zero
+// or negative timeout means the stage is bounded by the context alone —
+// it must never make the wait expire instantly (a zero-value config is
+// "no per-stage timeout", not "always time out").
 func (l *link) wait(ctx context.Context, ch <-chan wire.Message, timeout time.Duration) (wire.Message, error) {
-	timer := time.NewTimer(timeout)
-	defer timer.Stop()
+	var timerC <-chan time.Time
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		timerC = timer.C
+	}
 	select {
 	case msg := <-ch:
 		return msg, nil
-	case <-timer.C:
+	case <-timerC:
 		return nil, fmt.Errorf("cluster: %w after %v", ErrDeadlineExceeded, timeout)
 	case <-ctx.Done():
 		return nil, ctxErr(ctx.Err())

@@ -43,8 +43,10 @@ func argmaxRow(row []float32) int {
 
 // checkStagedParity asserts that Engine.ClassifyBatch over the full test
 // set produces exactly the exit point and prediction of core's staged
-// Evaluate for every sample, at the given pipeline thresholds.
-func checkStagedParity(t *testing.T, model *core.Model, test *dataset.Dataset, localT, edgeT float64) {
+// Evaluate for every sample, at the given pipeline thresholds. batch <= 1
+// uses per-sample sessions; larger values drive the micro-batched wire
+// path in batch-sized multi-sample sessions.
+func checkStagedParity(t *testing.T, model *core.Model, test *dataset.Dataset, localT, edgeT float64, batch int) {
 	t.Helper()
 	res := model.Evaluate(test, nil, 32)
 	var pol branchy.Policy
@@ -60,6 +62,7 @@ func checkStagedParity(t *testing.T, model *core.Model, test *dataset.Dataset, l
 	eng, err := NewEngine(model, test, EngineConfig{
 		Gateway:        gcfg,
 		MaxConcurrency: 8,
+		Batch:          BatchConfig{MaxBatch: batch},
 		Logger:         quietLogger(),
 	}, transport.NewMem())
 	if err != nil {
@@ -71,17 +74,31 @@ func checkStagedParity(t *testing.T, model *core.Model, test *dataset.Dataset, l
 	for i := range ids {
 		ids[i] = uint64(i)
 	}
-	results, err := eng.ClassifyBatch(context.Background(), ids)
-	if err != nil {
-		t.Fatal(err)
+	var results []*Result
+	if batch == 1 {
+		// Exercise the batched wire path with single-sample batches,
+		// which the collector never produces on its own.
+		gw := eng.Gateway()
+		for _, id := range ids {
+			rs, err := gw.ClassifyBatch(context.Background(), []uint64{id})
+			if err != nil {
+				t.Fatal(err)
+			}
+			results = append(results, rs...)
+		}
+	} else {
+		results, err = eng.ClassifyBatch(context.Background(), ids)
+		if err != nil {
+			t.Fatal(err)
+		}
 	}
 	for i, got := range results {
 		wantExit, wantClass := stagedExpectation(res, pol, i)
 		if got.Exit != wantExit {
-			t.Errorf("sample %d: engine exited at %v, staged Evaluate says %v", i, got.Exit, wantExit)
+			t.Errorf("sample %d (batch %d): engine exited at %v, staged Evaluate says %v", i, batch, got.Exit, wantExit)
 		}
 		if got.Class != wantClass {
-			t.Errorf("sample %d: engine class %d, staged Evaluate says %d", i, got.Class, wantClass)
+			t.Errorf("sample %d (batch %d): engine class %d, staged Evaluate says %d", i, batch, got.Class, wantClass)
 		}
 	}
 }
@@ -92,7 +109,20 @@ func checkStagedParity(t *testing.T, model *core.Model, test *dataset.Dataset, l
 func TestEngineStagedParityTwoTier(t *testing.T) {
 	model, test := fixture(t)
 	for _, localT := range []float64{0.3, 0.5, 0.8, 0.95} {
-		checkStagedParity(t, model, test, localT, 0.8)
+		checkStagedParity(t, model, test, localT, 0.8, 0)
+	}
+}
+
+// TestEngineStagedParityTwoTierBatched is the same contract through the
+// micro-batched path: batch sizes 1, 8 and 32 must all be bit-identical
+// to core's staged Evaluate — batching may only change framing and
+// dispatch, never decisions.
+func TestEngineStagedParityTwoTierBatched(t *testing.T) {
+	model, test := fixture(t)
+	for _, batch := range []int{1, 8, 32} {
+		for _, localT := range []float64{0.5, 0.8} {
+			checkStagedParity(t, model, test, localT, 0.8, batch)
+		}
 	}
 }
 
@@ -109,6 +139,22 @@ func TestEngineStagedParityEdgeTier(t *testing.T) {
 		{0.8, 0.8},
 		{0.95, 0.95},
 	} {
-		checkStagedParity(t, model, test, ts[0], ts[1])
+		checkStagedParity(t, model, test, ts[0], ts[1], 0)
+	}
+}
+
+// TestEngineStagedParityEdgeTierBatched drives the batched path through
+// all three tiers: partial exits must drop confident samples from the
+// batch at the local and edge stages while the hard remainder rides to
+// the cloud, with every verdict bit-identical to staged Evaluate.
+func TestEngineStagedParityEdgeTierBatched(t *testing.T) {
+	model, test := edgeFixture(t)
+	for _, batch := range []int{1, 8, 32} {
+		for _, ts := range [][2]float64{
+			{0.5, 0.5},
+			{0.8, 0.8},
+		} {
+			checkStagedParity(t, model, test, ts[0], ts[1], batch)
+		}
 	}
 }

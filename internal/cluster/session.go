@@ -69,6 +69,163 @@ func (s *uploadSession) add(m *core.Model, up *wire.FeatureUpload) error {
 // complete reports whether every announced upload has arrived.
 func (s *uploadSession) complete() bool { return s.pending == 0 }
 
+// batchUploadSession accumulates one batched escalation session's
+// per-device FeatureBatch frames until every device in the union of the
+// per-sample masks has reported. It is the batched analogue of
+// uploadSession, shared by the cloud (CloudClassifyBatch) and the edge
+// node (EdgeClassifyBatch).
+type batchUploadSession struct {
+	ids   []uint64
+	masks []uint16
+	// feats[d] is the [N, F, H, W] feature tensor of device d; rows of
+	// samples the device does not cover stay zero, exactly like the
+	// placeholder maps of masked per-sample aggregation (§IV-G).
+	feats []*tensor.Tensor
+	got   []bool
+	// pending counts devices in the mask union that have not uploaded.
+	pending int
+}
+
+// newBatchUploadSession validates a batched escalation header against the
+// model configuration and allocates the per-device batch tensors.
+func newBatchUploadSession(cfg core.Config, ids []uint64, devices uint16, masks []uint16) (*batchUploadSession, error) {
+	if int(devices) != cfg.Devices {
+		return nil, fmt.Errorf("model has %d devices, session says %d", cfg.Devices, devices)
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("empty batch")
+	}
+	if len(ids) != len(masks) {
+		return nil, fmt.Errorf("batch has %d samples but %d masks", len(ids), len(masks))
+	}
+	var union uint16
+	for _, m := range masks {
+		union |= m
+	}
+	if union == 0 {
+		return nil, fmt.Errorf("empty device mask")
+	}
+	fh, fw := cfg.FeatureH(), cfg.FeatureW()
+	s := &batchUploadSession{
+		ids:   ids,
+		masks: masks,
+		feats: make([]*tensor.Tensor, cfg.Devices),
+		got:   make([]bool, cfg.Devices),
+	}
+	for d := 0; d < cfg.Devices; d++ {
+		s.feats[d] = tensor.New(len(ids), cfg.DeviceFilters, fh, fw)
+		if union&(1<<uint(d)) != 0 {
+			s.pending++
+		}
+	}
+	return s, nil
+}
+
+// expectedCount returns how many of the batch's samples device d covers.
+func (s *batchUploadSession) expectedCount(d int) int {
+	c := 0
+	for _, m := range s.masks {
+		if m&(1<<uint(d)) != 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// add unpacks one device's FeatureBatch into the session: sample k of the
+// frame fills the k-th batch row the device covers, in batch order.
+func (s *batchUploadSession) add(m *core.Model, fb *wire.FeatureBatch) error {
+	d := int(fb.Device)
+	if d < 0 || d >= len(s.feats) {
+		return fmt.Errorf("feature batch from unknown device %d", d)
+	}
+	want := s.expectedCount(d)
+	if want == 0 || s.got[d] {
+		return fmt.Errorf("unexpected feature batch from device %d", d)
+	}
+	if int(fb.Count) != want {
+		return fmt.Errorf("device %d sent %d feature maps, mask expects %d", d, fb.Count, want)
+	}
+	cfg := m.Cfg
+	if int(fb.F) != cfg.DeviceFilters || int(fb.H) != cfg.FeatureH() || int(fb.W) != cfg.FeatureW() {
+		return fmt.Errorf("device %d feature shape %d×%d×%d, model expects %d×%d×%d",
+			d, fb.F, fb.H, fb.W, cfg.DeviceFilters, cfg.FeatureH(), cfg.FeatureW())
+	}
+	k := 0
+	for i, mask := range s.masks {
+		if mask&(1<<uint(d)) == 0 {
+			continue
+		}
+		if err := m.UnpackFeatureInto(s.feats[d], i, fb.Sample(k)); err != nil {
+			return fmt.Errorf("unpack device %d sample %d: %w", d, i, err)
+		}
+		k++
+	}
+	s.got[d] = true
+	s.pending--
+	return nil
+}
+
+// complete reports whether every expected device upload has arrived.
+func (s *batchUploadSession) complete() bool { return s.pending == 0 }
+
+// maskGroup is a batch subset whose samples share one device-presence
+// mask, so a single masked forward pass covers the whole group and stays
+// bit-identical to running each sample alone.
+type maskGroup struct {
+	mask uint16
+	// indices are batch positions, in batch order.
+	indices []int
+	// present is the mask expanded to per-device booleans.
+	present []bool
+}
+
+// groupByMask splits batch positions by device-presence mask. Group order
+// is first-appearance order; the common all-devices-up case yields a
+// single group spanning the whole batch.
+func groupByMask(masks []uint16, devices int) []maskGroup {
+	var groups []maskGroup
+	at := make(map[uint16]int)
+	for i, m := range masks {
+		gi, ok := at[m]
+		if !ok {
+			present := make([]bool, devices)
+			for d := 0; d < devices; d++ {
+				present[d] = m&(1<<uint(d)) != 0
+			}
+			gi = len(groups)
+			at[m] = gi
+			groups = append(groups, maskGroup{mask: m, present: present})
+		}
+		groups[gi].indices = append(groups[gi].indices, i)
+	}
+	return groups
+}
+
+// maskOf packs per-device presence booleans into a wire bitmask.
+func maskOf(present []bool) uint16 {
+	var m uint16
+	for d, p := range present {
+		if p {
+			m |= 1 << uint(d)
+		}
+	}
+	return m
+}
+
+// verdictRow assembles one sample's BatchVerdict from row k of a softmax
+// probability tensor — the shared tail of every tier's batched classify.
+func verdictRow(probs *tensor.Tensor, k int, id uint64, exit wire.ExitPoint) wire.BatchVerdict {
+	row := make([]float32, probs.Dim(1))
+	copy(row, probs.Row(k))
+	return wire.BatchVerdict{
+		SampleID: id,
+		Exit:     exit,
+		Class:    uint16(probs.ArgMaxRow(k)),
+		Probs:    row,
+	}
+}
+
 // sessionOf extracts a message's session tag, or 0 for connection-scoped
 // frames, so error replies to unexpected messages still reach the
 // session's waiter instead of being dropped by the demultiplexer.

@@ -81,3 +81,17 @@ func (m *Model) PackFeature(feat *tensor.Tensor) []byte {
 func (m *Model) UnpackFeature(bits []byte, f, h, w int) (*tensor.Tensor, error) {
 	return bnn.UnpackSigns(bits, 1, f, h, w)
 }
+
+// PackFeatureSample bit-packs sample i of a batched [N, F, H, W] feature
+// map, producing exactly the bytes PackFeature would for that sample
+// alone. Batched sessions pack each sample separately so partial exits
+// can drop samples from the upload without re-packing the rest.
+func (m *Model) PackFeatureSample(feat *tensor.Tensor, i int) []byte {
+	return bnn.PackSignsSample(feat, i)
+}
+
+// UnpackFeatureInto reverses PackFeatureSample into sample row i of a
+// pre-allocated batched ±1 tensor.
+func (m *Model) UnpackFeatureInto(dst *tensor.Tensor, i int, bits []byte) error {
+	return bnn.UnpackSignsInto(dst.Sample(i), bits)
+}

@@ -249,15 +249,21 @@ func TestLatencyByExit(t *testing.T) {
 
 func TestServingThroughputSweep(t *testing.T) {
 	r := runner(t)
-	rep, err := r.ServingThroughput(0.8, 10, []int{1, 2})
+	rep, err := r.ServingThroughput(0.8, 10, []int{1, 2}, []int{1, 8})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(rep.Exits) != 2 {
 		t.Fatalf("two-tier sweep has %d exits, want 2", len(rep.Exits))
 	}
-	if len(rep.Points) != 2 {
-		t.Fatalf("got %d points, want 2", len(rep.Points))
+	if len(rep.Points) != 4 {
+		t.Fatalf("got %d points, want 4 (2 levels × 2 batch sizes)", len(rep.Points))
+	}
+	if rep.Points[0].Batch != 1 || rep.Points[len(rep.Points)-1].Batch != 8 {
+		t.Errorf("batch sweep order wrong: first %d, last %d", rep.Points[0].Batch, rep.Points[len(rep.Points)-1].Batch)
+	}
+	if rep.WireUpBytes <= 0 || rep.WireDownBytes <= 0 {
+		t.Errorf("wire traffic not measured: up %.1f down %.1f", rep.WireUpBytes, rep.WireDownBytes)
 	}
 	if rep.Points[0].Speedup != 1 {
 		t.Errorf("baseline speedup = %v, want 1", rep.Points[0].Speedup)
@@ -278,7 +284,7 @@ func TestServingThroughputSweep(t *testing.T) {
 
 func TestEdgeServingThroughputReportsThreeExits(t *testing.T) {
 	r := runner(t)
-	rep, err := r.EdgeServingThroughput(0.8, 0.8, 20, []int{1, 4})
+	rep, err := r.EdgeServingThroughput(0.8, 0.8, 20, []int{1, 4}, []int{1, 8})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -20,6 +20,8 @@ import (
 type ServingPoint struct {
 	// Concurrency is the number of in-flight sessions.
 	Concurrency int
+	// Batch is the micro-batch size; 1 means per-sample sessions.
+	Batch int
 	// Samples classified during the measurement.
 	Samples int
 	// Elapsed wall-clock time.
@@ -54,24 +56,35 @@ type ServingReport struct {
 	// hop — the bit-packed edge feature maps of samples that missed both
 	// lower exits. Zero for two-tier hierarchies.
 	EdgeHopBytes float64
+	// WireUpBytes and WireDownBytes are the measured per-sample wire
+	// traffic on the device links including protocol framing: up is the
+	// device→gateway direction (summaries, feature uploads), down the
+	// gateway→device direction (capture and feature requests). Both are
+	// taken from the last sweep point, whose batch size amortizes
+	// framing the most.
+	WireUpBytes   float64
+	WireDownBytes float64
 }
 
 // ServingThroughput measures multi-session serving throughput of the
-// two-tier MP-CC DDNN on a live in-process cluster at each concurrency
-// level, quantifying what the Engine's session multiplexing buys over the
-// old single-flight gateway. Connections carry the §IV-B link profiles
-// (wireless device uplinks, WAN cloud path), so concurrent sessions
-// overlap link latency exactly as a deployed gateway would. The first
-// level should be 1 (the lock-step baseline); speedups are reported
-// relative to it.
-func (r *Runner) ServingThroughput(threshold float64, samples int, levels []int) (*ServingReport, error) {
+// two-tier MP-CC DDNN on a live in-process cluster at each (concurrency,
+// micro-batch) point, quantifying what the Engine's session multiplexing
+// and cross-session batching buy over the old single-flight gateway.
+// Connections carry the §IV-B link profiles (wireless device uplinks,
+// WAN cloud path), so concurrent sessions overlap link latency exactly
+// as a deployed gateway would. The first level should be 1 (the
+// lock-step baseline); speedups are reported relative to it. batches
+// lists micro-batch sizes to sweep per level (nil means per-sample
+// only); batch sizes above 1 coalesce whole chunks into one session per
+// tier.
+func (r *Runner) ServingThroughput(threshold float64, samples int, levels, batches []int) (*ServingReport, error) {
 	m, err := r.model(agg.MP, agg.CC, r.opts.Model.DeviceFilters)
 	if err != nil {
 		return nil, err
 	}
 	gcfg := cluster.DefaultGatewayConfig()
 	gcfg.Threshold = threshold
-	return r.servingSweep(m, gcfg, samples, levels)
+	return r.servingSweep(m, gcfg, samples, levels, batches)
 }
 
 // EdgeServingThroughput is ServingThroughput over the three-tier
@@ -79,7 +92,7 @@ func (r *Runner) ServingThroughput(threshold float64, samples int, levels []int)
 // carries the nearby-edge profile and the edge↔cloud hop the WAN
 // profile, so the sweep reports per-exit fractions for all three exits
 // and the communication cost of both hops.
-func (r *Runner) EdgeServingThroughput(localT, edgeT float64, samples int, levels []int) (*ServingReport, error) {
+func (r *Runner) EdgeServingThroughput(localT, edgeT float64, samples int, levels, batches []int) (*ServingReport, error) {
 	m, err := r.edgeModel()
 	if err != nil {
 		return nil, err
@@ -87,14 +100,18 @@ func (r *Runner) EdgeServingThroughput(localT, edgeT float64, samples int, level
 	gcfg := cluster.DefaultGatewayConfig()
 	gcfg.Threshold = localT
 	gcfg.EdgeThreshold = edgeT
-	return r.servingSweep(m, gcfg, samples, levels)
+	return r.servingSweep(m, gcfg, samples, levels, batches)
 }
 
-// servingSweep runs the concurrency sweep on an in-process cluster with
-// the §IV-B link profiles for every hop the model's hierarchy has.
-func (r *Runner) servingSweep(m *core.Model, gcfg cluster.GatewayConfig, samples int, levels []int) (*ServingReport, error) {
+// servingSweep runs the (batch × concurrency) sweep on an in-process
+// cluster with the §IV-B link profiles for every hop the model's
+// hierarchy has.
+func (r *Runner) servingSweep(m *core.Model, gcfg cluster.GatewayConfig, samples int, levels, batches []int) (*ServingReport, error) {
 	if samples <= 0 || samples > r.test.Len() {
 		samples = r.test.Len()
+	}
+	if len(batches) == 0 {
+		batches = []int{1}
 	}
 	quiet := slog.New(slog.NewTextHandler(discardWriter{}, &slog.HandlerOptions{Level: slog.LevelError}))
 
@@ -108,78 +125,85 @@ func (r *Runner) servingSweep(m *core.Model, gcfg cluster.GatewayConfig, samples
 		exitIndex[e] = i
 	}
 
-	for _, level := range levels {
-		eng, err := cluster.NewEngine(m, r.test, cluster.EngineConfig{
-			Gateway:        gcfg,
-			MaxConcurrency: level,
-			Logger:         quiet,
-			DeviceLink:     transport.DeviceToGateway,
-			EdgeLink:       transport.GatewayToEdge,
-			CloudLink:      transport.GatewayToCloud,
-		}, transport.NewMem())
-		if err != nil {
-			return nil, fmt.Errorf("experiments: start engine: %w", err)
-		}
-		ids := make([]uint64, samples)
-		for i := range ids {
-			ids[i] = uint64(i)
-		}
-		start := time.Now()
-		results, err := eng.ClassifyBatch(context.Background(), ids)
-		if err != nil {
-			eng.Close()
-			return nil, fmt.Errorf("experiments: serving at concurrency %d: %w", level, err)
-		}
-		elapsed := time.Since(start)
-
-		p := ServingPoint{
-			Concurrency: level,
-			Samples:     samples,
-			Elapsed:     elapsed,
-			Throughput:  float64(samples) / elapsed.Seconds(),
-			ExitCounts:  make([]int, len(rep.Exits)),
-		}
-		for _, res := range results {
-			if i, ok := exitIndex[res.Exit]; ok {
-				p.ExitCounts[i]++
+	for _, batch := range batches {
+		for _, level := range levels {
+			eng, err := cluster.NewEngine(m, r.test, cluster.EngineConfig{
+				Gateway:        gcfg,
+				MaxConcurrency: level,
+				Batch:          cluster.BatchConfig{MaxBatch: batch},
+				Logger:         quiet,
+				DeviceLink:     transport.DeviceToGateway,
+				EdgeLink:       transport.GatewayToEdge,
+				CloudLink:      transport.GatewayToCloud,
+			}, transport.NewMem())
+			if err != nil {
+				return nil, fmt.Errorf("experiments: start engine: %w", err)
 			}
-		}
-		if len(rep.Points) == 0 {
-			p.Speedup = 1
-		} else {
-			p.Speedup = p.Throughput / rep.Points[0].Throughput
-		}
-		rep.Points = append(rep.Points, p)
+			ids := make([]uint64, samples)
+			for i := range ids {
+				ids[i] = uint64(i)
+			}
+			start := time.Now()
+			results, err := eng.ClassifyBatch(context.Background(), ids)
+			if err != nil {
+				eng.Close()
+				return nil, fmt.Errorf("experiments: serving at concurrency %d batch %d: %w", level, batch, err)
+			}
+			elapsed := time.Since(start)
 
-		// Per-hop communication, measured on the last level's run (the
-		// exit decisions, and hence the payloads, are identical at every
-		// level).
-		devices := float64(m.Cfg.Devices)
-		n := float64(samples)
-		gw := eng.Gateway()
-		rep.SummaryBytes = float64(gw.Meter.Get("local-summary")) / (devices * n)
-		feat := gw.Meter.Get("edge-upload") + gw.Meter.Get("cloud-upload")
-		rep.FeatureBytes = float64(feat) / (devices * n)
-		if edge := eng.Edge(); edge != nil {
-			rep.EdgeHopBytes = float64(edge.Meter.Get("cloud-upload")) / n
+			p := ServingPoint{
+				Concurrency: level,
+				Batch:       batch,
+				Samples:     samples,
+				Elapsed:     elapsed,
+				Throughput:  float64(samples) / elapsed.Seconds(),
+				ExitCounts:  make([]int, len(rep.Exits)),
+			}
+			for _, res := range results {
+				if i, ok := exitIndex[res.Exit]; ok {
+					p.ExitCounts[i]++
+				}
+			}
+			if len(rep.Points) == 0 {
+				p.Speedup = 1
+			} else {
+				p.Speedup = p.Throughput / rep.Points[0].Throughput
+			}
+			rep.Points = append(rep.Points, p)
+
+			// Per-hop communication, measured on the last point's run
+			// (the exit decisions, and hence the Eq. (1) payloads, are
+			// identical at every level and batch size — the parity
+			// contract — while wire framing shrinks as batches grow).
+			devices := float64(m.Cfg.Devices)
+			n := float64(samples)
+			gw := eng.Gateway()
+			rep.SummaryBytes = float64(gw.Meter.Get("local-summary")) / (devices * n)
+			feat := gw.Meter.Get("edge-upload") + gw.Meter.Get("cloud-upload")
+			rep.FeatureBytes = float64(feat) / (devices * n)
+			if edge := eng.Edge(); edge != nil {
+				rep.EdgeHopBytes = float64(edge.Meter.Get("cloud-upload")) / n
+			}
+			rep.WireUpBytes = float64(gw.WireBytesUp()) / n
+			rep.WireDownBytes = float64(gw.WireBytesDown()) / n
+			eng.Close()
 		}
-		eng.Close()
 	}
 	return rep, nil
 }
 
-// FormatServingReport renders the concurrency sweep with per-exit
-// fractions and the per-hop communication summary.
+// FormatServingReport renders the (batch × concurrency) sweep with
+// per-exit fractions and the per-hop communication summary.
 func FormatServingReport(rep *ServingReport) string {
 	var sb strings.Builder
-	sb.WriteString("Concurrency  Samples    Elapsed  Samples/s  Speedup")
+	sb.WriteString("Concurrency  Batch  Samples    Elapsed  Samples/s  Speedup")
 	for _, e := range rep.Exits {
 		fmt.Fprintf(&sb, "  %%%s", e)
 	}
 	sb.WriteString("\n")
 	for _, p := range rep.Points {
-		fmt.Fprintf(&sb, "%11d %8d %10v %10.1f %7.2fx",
-			p.Concurrency, p.Samples, p.Elapsed.Round(time.Millisecond), p.Throughput, p.Speedup)
+		fmt.Fprintf(&sb, "%11d %6d %8d %10v %10.1f %7.2fx",
+			p.Concurrency, p.Batch, p.Samples, p.Elapsed.Round(time.Millisecond), p.Throughput, p.Speedup)
 		for _, c := range p.ExitCounts {
 			fmt.Fprintf(&sb, " %6.1f", 100*float64(c)/float64(p.Samples))
 		}
@@ -190,5 +214,7 @@ func FormatServingReport(rep *ServingReport) string {
 	if len(rep.Exits) > 2 {
 		fmt.Fprintf(&sb, "hop 2 (edge→cloud):    %.1f B/sample escalated edge features\n", rep.EdgeHopBytes)
 	}
+	fmt.Fprintf(&sb, "device wire traffic:   %.1f B/sample up, %.1f B/sample down (incl. framing, last point)\n",
+		rep.WireUpBytes, rep.WireDownBytes)
 	return sb.String()
 }

@@ -1,6 +1,9 @@
 package tensor
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Add computes t += o elementwise.
 func (t *Tensor) Add(o *Tensor) {
@@ -149,4 +152,63 @@ func (t *Tensor) Row(r int) []float32 {
 	}
 	cols := t.shape[1]
 	return t.data[r*cols : (r+1)*cols]
+}
+
+// SampleSize returns the number of elements in one leading-dimension
+// sample block: Size()/Dim(0).
+func (t *Tensor) SampleSize() int { return len(t.data) / t.shape[0] }
+
+// Sample returns a view of the i-th leading-dimension block as a slice
+// (row-major, all trailing dimensions flattened).
+func (t *Tensor) Sample(i int) []float32 {
+	ss := t.SampleSize()
+	return t.data[i*ss : (i+1)*ss]
+}
+
+// Stack concatenates tensors along the leading dimension into a new
+// tensor: inputs of shape [n_i, d...] (identical trailing dimensions)
+// produce [Σn_i, d...]. It is how the cluster runtime coalesces
+// per-sample tensors into one micro-batch so conv/GEMM amortize setup
+// across samples.
+func Stack(ts []*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: Stack of no tensors")
+	}
+	trailing := ts[0].shape[1:]
+	n := 0
+	for i, t := range ts {
+		if len(t.shape) != len(trailing)+1 {
+			panic(fmt.Sprintf("tensor: Stack input %d has %d dims, want %d", i, len(t.shape), len(trailing)+1))
+		}
+		for j, d := range trailing {
+			if t.shape[j+1] != d {
+				panic(fmt.Sprintf("tensor: Stack input %d shape %v, want trailing %v", i, t.shape, trailing))
+			}
+		}
+		n += t.shape[0]
+	}
+	shape := append([]int{n}, trailing...)
+	out := New(shape...)
+	off := 0
+	for _, t := range ts {
+		off += copy(out.data[off:], t.data)
+	}
+	return out
+}
+
+// SelectSamples gathers the listed leading-dimension blocks into a new
+// tensor of shape [len(indices), d...], preserving order. The inverse
+// operation for micro-batching: a subset of a batch (e.g. the samples
+// that missed an exit) becomes its own smaller batch.
+func (t *Tensor) SelectSamples(indices []int) *Tensor {
+	if len(t.shape) < 2 {
+		panic("tensor: SelectSamples requires at least 2 dims")
+	}
+	shape := append([]int{len(indices)}, t.shape[1:]...)
+	out := New(shape...)
+	ss := t.SampleSize()
+	for k, i := range indices {
+		copy(out.data[k*ss:(k+1)*ss], t.Sample(i))
+	}
+	return out
 }

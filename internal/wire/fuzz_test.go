@@ -32,6 +32,19 @@ func seedMessages() []Message {
 		&CloudClassify{Session: 6, SampleID: 8, Devices: 6, Mask: 0b101101},
 		&EdgeClassify{Session: 11, SampleID: 9, Devices: 6, Mask: 0b011011, Thresholds: []float64{0.8, 0.5}},
 		&EdgeFeature{Session: 13, SampleID: 21, F: 8, H: 8, W: 8, Bits: make([]byte, 64)},
+		&CaptureBatch{Session: 14, SampleIDs: []uint64{3, 1, 4}},
+		&SummaryBatch{Session: 15, Device: 2, Classes: 3, Count: 3,
+			Present: PackPresent([]bool{true, false, true}),
+			Probs:   []float32{0.1, 0.7, 0.2, 0.9, 0.05, 0.05}},
+		&FeatureBatchRequest{Session: 16, SampleIDs: []uint64{7, 9}},
+		&FeatureBatch{Session: 17, Device: 1, F: 4, H: 16, W: 16, Count: 2, Bits: make([]byte, 256)},
+		&CloudClassifyBatch{Session: 18, Devices: 6, SampleIDs: []uint64{5, 6}, Masks: []uint16{0b111111, 0b101101}},
+		&EdgeClassifyBatch{Session: 19, Devices: 6, SampleIDs: []uint64{5}, Masks: []uint16{0b011011}, Thresholds: []float64{0.8, 0.5}},
+		&EdgeFeatureBatch{Session: 20, F: 8, H: 8, W: 8, SampleIDs: []uint64{11, 12}, Bits: make([]byte, 128)},
+		&ResultBatch{Session: 21, Verdicts: []BatchVerdict{
+			{SampleID: 5, Exit: ExitEdge, Class: 1, Probs: []float32{0.1, 0.8, 0.1}},
+			{SampleID: 6, Exit: ExitCloud, Class: 0, Probs: []float32{0.9, 0.05, 0.05}},
+		}},
 	}
 }
 
@@ -128,7 +141,16 @@ func buildMessage(kind uint8, session, sample uint64, a, b uint16, s string, blo
 		copy(bits, blob)
 		return fDim, h, w, bits
 	}
-	switch kind % 11 {
+	// Batched frames derive their variable-length lists from the blob.
+	ids := make([]uint64, len(blob)/3%9)
+	for i := range ids {
+		ids[i] = sample + uint64(i)*uint64(a+1)
+	}
+	masks := make([]uint16, len(ids))
+	for i := range masks {
+		masks[i] = b + uint16(i)
+	}
+	switch kind % 19 {
 	case 0:
 		return &Hello{NodeID: s, Role: Role(a), Device: b}
 	case 1:
@@ -154,8 +176,58 @@ func buildMessage(kind uint8, session, sample uint64, a, b uint16, s string, blo
 			ts[i] = math.Float64frombits(binary.LittleEndian.Uint64(blob[8*i:]))
 		}
 		return &EdgeClassify{Session: session, SampleID: sample, Devices: a, Mask: b, Thresholds: ts}
-	default:
+	case 10:
 		fDim, h, w, bits := shape(b, a)
 		return &EdgeFeature{Session: session, SampleID: sample, F: fDim, H: h, W: w, Bits: bits}
+	case 11:
+		return &CaptureBatch{Session: session, SampleIDs: ids}
+	case 12:
+		classes := int(b%4) + 1
+		count := int(a % 8)
+		present := make([]bool, count)
+		popcount := 0
+		for i := range present {
+			present[i] = i < len(blob) && blob[i]&1 != 0
+			if present[i] {
+				popcount++
+			}
+		}
+		sProbs := make([]float32, popcount*classes)
+		for i := range sProbs {
+			sProbs[i] = float32(i) / 7
+		}
+		return &SummaryBatch{Session: session, Device: a, Classes: uint16(classes),
+			Count: uint16(count), Present: PackPresent(present), Probs: sProbs}
+	case 13:
+		return &FeatureBatchRequest{Session: session, SampleIDs: ids}
+	case 14:
+		fDim, h, w, one := shape(a, b)
+		count := int(b % 4)
+		bits := make([]byte, 0, count*len(one))
+		for i := 0; i < count; i++ {
+			bits = append(bits, one...)
+		}
+		return &FeatureBatch{Session: session, Device: b, F: fDim, H: h, W: w, Count: uint16(count), Bits: bits}
+	case 15:
+		return &CloudClassifyBatch{Session: session, Devices: a, SampleIDs: ids, Masks: masks}
+	case 16:
+		ts := make([]float64, len(blob)/8%16)
+		for i := range ts {
+			ts[i] = math.Float64frombits(binary.LittleEndian.Uint64(blob[8*i:]))
+		}
+		return &EdgeClassifyBatch{Session: session, Devices: a, SampleIDs: ids, Masks: masks, Thresholds: ts}
+	case 17:
+		fDim, h, w, one := shape(b, a)
+		bits := make([]byte, 0, len(ids)*len(one))
+		for range ids {
+			bits = append(bits, one...)
+		}
+		return &EdgeFeatureBatch{Session: session, F: fDim, H: h, W: w, SampleIDs: ids, Bits: bits}
+	default:
+		vs := make([]BatchVerdict, len(ids))
+		for i := range vs {
+			vs[i] = BatchVerdict{SampleID: ids[i], Exit: ExitPoint(uint8(a) + uint8(i)), Class: b, Probs: probs}
+		}
+		return &ResultBatch{Session: session, Verdicts: vs}
 	}
 }

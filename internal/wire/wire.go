@@ -79,6 +79,30 @@ const (
 	// TypeEdgeFeature carries the bit-packed edge feature map escalated
 	// from an edge node to the cloud on an edge-exit miss.
 	TypeEdgeFeature
+	// TypeCaptureBatch asks a device to process a micro-batch of sensor
+	// frames in one forward pass and reply with a SummaryBatch.
+	TypeCaptureBatch
+	// TypeSummaryBatch carries a device's per-sample class summaries for
+	// a whole capture batch, with a presence bitmask for absent frames.
+	TypeSummaryBatch
+	// TypeFeatureBatchRequest asks a device for the feature maps of the
+	// batch subset that missed the local exit.
+	TypeFeatureBatchRequest
+	// TypeFeatureBatch carries one device's bit-packed feature maps for
+	// several samples in a single frame.
+	TypeFeatureBatch
+	// TypeCloudClassifyBatch announces a batched cloud classification
+	// session with per-sample device masks.
+	TypeCloudClassifyBatch
+	// TypeEdgeClassifyBatch announces a batched edge classification
+	// session with per-sample device masks and relayed thresholds.
+	TypeEdgeClassifyBatch
+	// TypeEdgeFeatureBatch carries the edge feature maps of the batch
+	// subset that missed the edge exit.
+	TypeEdgeFeatureBatch
+	// TypeResultBatch reports the per-sample verdicts of one batched
+	// session in a single frame.
+	TypeResultBatch
 )
 
 // String names the message type.
@@ -106,6 +130,22 @@ func (t MsgType) String() string {
 		return "EdgeClassify"
 	case TypeEdgeFeature:
 		return "EdgeFeature"
+	case TypeCaptureBatch:
+		return "CaptureBatch"
+	case TypeSummaryBatch:
+		return "SummaryBatch"
+	case TypeFeatureBatchRequest:
+		return "FeatureBatchRequest"
+	case TypeFeatureBatch:
+		return "FeatureBatch"
+	case TypeCloudClassifyBatch:
+		return "CloudClassifyBatch"
+	case TypeEdgeClassifyBatch:
+		return "EdgeClassifyBatch"
+	case TypeEdgeFeatureBatch:
+		return "EdgeFeatureBatch"
+	case TypeResultBatch:
+		return "ResultBatch"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -214,6 +254,22 @@ func newMessage(t MsgType) (Message, error) {
 		return &EdgeClassify{}, nil
 	case TypeEdgeFeature:
 		return &EdgeFeature{}, nil
+	case TypeCaptureBatch:
+		return &CaptureBatch{}, nil
+	case TypeSummaryBatch:
+		return &SummaryBatch{}, nil
+	case TypeFeatureBatchRequest:
+		return &FeatureBatchRequest{}, nil
+	case TypeFeatureBatch:
+		return &FeatureBatch{}, nil
+	case TypeCloudClassifyBatch:
+		return &CloudClassifyBatch{}, nil
+	case TypeEdgeClassifyBatch:
+		return &EdgeClassifyBatch{}, nil
+	case TypeEdgeFeatureBatch:
+		return &EdgeFeatureBatch{}, nil
+	case TypeResultBatch:
+		return &ResultBatch{}, nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownType, t)
 	}

@@ -48,6 +48,24 @@ func TestRoundTripAllMessageTypes(t *testing.T) {
 		{"EdgeClassify", &EdgeClassify{Session: 11, SampleID: 9, Devices: 6, Mask: 0b011011, Thresholds: []float64{0.8}}},
 		{"EdgeClassify deep", &EdgeClassify{Session: 12, SampleID: 10, Devices: 4, Mask: 0b1111, Thresholds: []float64{0.8, 0.5, 0.3}}},
 		{"EdgeFeature", &EdgeFeature{Session: 13, SampleID: 21, F: 8, H: 8, W: 8, Bits: make([]byte, 8*8*8/8)}},
+		{"CaptureBatch", &CaptureBatch{Session: 14, SampleIDs: []uint64{3, 1, 4, 1 << 40}}},
+		{"SummaryBatch", &SummaryBatch{Session: 15, Device: 2, Classes: 3, Count: 4,
+			Present: PackPresent([]bool{true, false, true, true}),
+			Probs:   []float32{0.1, 0.7, 0.2, 0.3, 0.3, 0.4, 0.9, 0.05, 0.05}}},
+		{"SummaryBatch all absent", &SummaryBatch{Session: 15, Device: 2, Classes: 3, Count: 2,
+			Present: PackPresent([]bool{false, false}), Probs: []float32{}}},
+		{"FeatureBatchRequest", &FeatureBatchRequest{Session: 16, SampleIDs: []uint64{7, 9}}},
+		{"FeatureBatch", &FeatureBatch{Session: 17, Device: 1, F: 4, H: 16, W: 16, Count: 2, Bits: make([]byte, 2*4*16*16/8)}},
+		{"CloudClassifyBatch", &CloudClassifyBatch{Session: 18, Devices: 6,
+			SampleIDs: []uint64{5, 6, 7}, Masks: []uint16{0b111111, 0b101101, 0b000001}}},
+		{"EdgeClassifyBatch", &EdgeClassifyBatch{Session: 19, Devices: 6,
+			SampleIDs: []uint64{5, 6}, Masks: []uint16{0b111111, 0b011011}, Thresholds: []float64{0.8, 0.5}}},
+		{"EdgeFeatureBatch", &EdgeFeatureBatch{Session: 20, F: 8, H: 8, W: 8,
+			SampleIDs: []uint64{11, 12, 13}, Bits: make([]byte, 3*8*8*8/8)}},
+		{"ResultBatch", &ResultBatch{Session: 21, Verdicts: []BatchVerdict{
+			{SampleID: 5, Exit: ExitLocal, Class: 1, Probs: []float32{0.1, 0.8, 0.1}},
+			{SampleID: 6, Exit: ExitCloud, Class: 0, Probs: []float32{0.9, 0.05, 0.05}},
+		}}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -76,6 +94,14 @@ func TestSessionScopedMessagesImplementSessioned(t *testing.T) {
 		&CloudClassify{Session: 7},
 		&EdgeClassify{Session: 7},
 		&EdgeFeature{Session: 7},
+		&CaptureBatch{Session: 7},
+		&SummaryBatch{Session: 7},
+		&FeatureBatchRequest{Session: 7},
+		&FeatureBatch{Session: 7},
+		&CloudClassifyBatch{Session: 7},
+		&EdgeClassifyBatch{Session: 7},
+		&EdgeFeatureBatch{Session: 7},
+		&ResultBatch{Session: 7},
 	}
 	for _, m := range sessioned {
 		s, ok := m.(Sessioned)

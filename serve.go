@@ -48,6 +48,7 @@ var (
 	ErrNoSummaries      = cluster.ErrNoSummaries
 	ErrCloudUnavailable = cluster.ErrCloudUnavailable
 	ErrEdgeUnavailable  = cluster.ErrEdgeUnavailable
+	ErrTooManyDevices   = cluster.ErrTooManyDevices
 )
 
 // engineOptions collects the functional options of NewEngine and Connect.
@@ -100,6 +101,24 @@ func WithMaxFailures(n int) Option {
 func WithMaxConcurrency(n int) Option {
 	return func(o *engineOptions) { o.cfg.MaxConcurrency = n }
 }
+
+// WithBatching enables adaptive cross-session micro-batching: concurrent
+// Classify calls coalesce into one multi-sample session per tier — one
+// capture round trip per device, one batched escalation for the samples
+// that miss the local exit — so wire framing and conv/GEMM dispatch
+// amortize across up to maxBatch samples. A partial batch flushes after
+// linger (<= 0 means the 2 ms default), which is the latency an isolated
+// request can pay in exchange for load throughput; results are
+// bit-identical to per-sample sessions. maxBatch <= 1 disables batching.
+// ClassifyBatch chunks its IDs into maxBatch-sized sessions directly.
+func WithBatching(maxBatch int, linger time.Duration) Option {
+	return func(o *engineOptions) {
+		o.cfg.Batch = cluster.BatchConfig{MaxBatch: maxBatch, MaxLinger: linger}
+	}
+}
+
+// DefaultMaxBatch is a sensible micro-batch cap for WithBatching.
+const DefaultMaxBatch = cluster.DefaultMaxBatch
 
 // WithLogger routes node logs to l instead of slog.Default().
 func WithLogger(l *slog.Logger) Option {
@@ -214,9 +233,14 @@ func (e *Engine) EdgePayloadBytes() int64 {
 	return edge.Meter.Total()
 }
 
-// WireBytesUp returns the total bytes received on all device uplinks,
-// including protocol framing.
+// WireBytesUp returns the total bytes the gateway has received on all
+// device uplinks (device→gateway direction), including protocol framing.
 func (e *Engine) WireBytesUp() int64 { return e.inner.Gateway().WireBytesUp() }
+
+// WireBytesDown returns the total bytes the gateway has written to all
+// device links (gateway→device direction: capture and feature requests),
+// including protocol framing.
+func (e *Engine) WireBytesDown() int64 { return e.inner.Gateway().WireBytesDown() }
 
 // DownDevices returns the devices currently marked down by failure
 // detection.

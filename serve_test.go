@@ -181,3 +181,44 @@ func TestEngineFaultToleranceUnderConcurrency(t *testing.T) {
 		}
 	}
 }
+
+// TestEngineBatchingMatchesPerSample checks the public batching option:
+// micro-batched serving must produce exactly the per-sample results, in
+// order, and report wire traffic in both directions.
+func TestEngineBatchingMatchesPerSample(t *testing.T) {
+	model, test := serveFixture(t)
+	plain, err := ddnn.NewEngine(model, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	batched, err := ddnn.NewEngine(model, test,
+		ddnn.WithBatching(8, 2*time.Millisecond),
+		ddnn.WithMaxConcurrency(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer batched.Close()
+
+	ids := make([]uint64, test.Len())
+	for i := range ids {
+		ids[i] = uint64(i)
+	}
+	want, err := plain.ClassifyBatch(context.Background(), ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := batched.ClassifyBatch(context.Background(), ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i].SampleID != want[i].SampleID || got[i].Class != want[i].Class || got[i].Exit != want[i].Exit {
+			t.Errorf("sample %d: batched (id %d class %d exit %v) != per-sample (id %d class %d exit %v)",
+				i, got[i].SampleID, got[i].Class, got[i].Exit, want[i].SampleID, want[i].Class, want[i].Exit)
+		}
+	}
+	if up, down := batched.WireBytesUp(), batched.WireBytesDown(); up <= 0 || down <= 0 {
+		t.Errorf("wire traffic not measured: up %d down %d", up, down)
+	}
+}
