@@ -47,6 +47,7 @@ func quickRunner(b *testing.B) *experiments.Runner {
 // BenchmarkTableIAggregationSchemes regenerates Table I: local/cloud
 // accuracy for all nine aggregation-scheme combinations (E1).
 func BenchmarkTableIAggregationSchemes(b *testing.B) {
+	b.ReportAllocs()
 	r := quickRunner(b)
 	for i := 0; i < b.N; i++ {
 		rows, err := r.TableI()
@@ -62,6 +63,7 @@ func BenchmarkTableIAggregationSchemes(b *testing.B) {
 // BenchmarkTableIIThresholdSweep regenerates Table II: exit threshold vs
 // local exit %, overall accuracy and Eq. (1) communication (E2).
 func BenchmarkTableIIThresholdSweep(b *testing.B) {
+	b.ReportAllocs()
 	r := quickRunner(b)
 	for i := 0; i < b.N; i++ {
 		rows, err := r.ThresholdSweep([]float64{0.1, 0.3, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0})
@@ -77,6 +79,7 @@ func BenchmarkTableIIThresholdSweep(b *testing.B) {
 // BenchmarkFigure6ClassDistribution regenerates the Fig. 6 dataset
 // histogram (E3).
 func BenchmarkFigure6ClassDistribution(b *testing.B) {
+	b.ReportAllocs()
 	r := quickRunner(b)
 	for i := 0; i < b.N; i++ {
 		stats := r.ClassDistribution()
@@ -88,6 +91,7 @@ func BenchmarkFigure6ClassDistribution(b *testing.B) {
 
 // BenchmarkFigure7ThresholdCurve regenerates the dense Fig. 7 sweep (E4).
 func BenchmarkFigure7ThresholdCurve(b *testing.B) {
+	b.ReportAllocs()
 	r := quickRunner(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := r.ThresholdSweep(branchy.Grid(20)); err != nil {
@@ -99,6 +103,7 @@ func BenchmarkFigure7ThresholdCurve(b *testing.B) {
 // BenchmarkFigure8DeviceScaling regenerates Fig. 8: accuracy as devices
 // are added worst-to-best (E5).
 func BenchmarkFigure8DeviceScaling(b *testing.B) {
+	b.ReportAllocs()
 	r := quickRunner(b)
 	for i := 0; i < b.N; i++ {
 		points, err := r.DeviceScaling()
@@ -114,6 +119,7 @@ func BenchmarkFigure8DeviceScaling(b *testing.B) {
 // BenchmarkFigure9CloudOffloading regenerates Fig. 9: accuracy vs
 // communication as the device model grows (E6).
 func BenchmarkFigure9CloudOffloading(b *testing.B) {
+	b.ReportAllocs()
 	r := quickRunner(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := r.CloudOffloading([]int{1, 2, 4}); err != nil {
@@ -125,6 +131,7 @@ func BenchmarkFigure9CloudOffloading(b *testing.B) {
 // BenchmarkFigure10FaultTolerance regenerates Fig. 10: accuracy with each
 // single device failed (E7).
 func BenchmarkFigure10FaultTolerance(b *testing.B) {
+	b.ReportAllocs()
 	r := quickRunner(b)
 	for i := 0; i < b.N; i++ {
 		points, err := r.FaultTolerance()
@@ -140,6 +147,7 @@ func BenchmarkFigure10FaultTolerance(b *testing.B) {
 // BenchmarkCommunicationReduction regenerates the §IV-H comparison on a
 // live in-process cluster (E8).
 func BenchmarkCommunicationReduction(b *testing.B) {
+	b.ReportAllocs()
 	r := quickRunner(b)
 	for i := 0; i < b.N; i++ {
 		rep, err := r.CommunicationReduction(0.8, 40)
@@ -204,6 +212,7 @@ func serveEngine(b *testing.B) (*ddnn.Engine, int) {
 // BenchmarkEngineClassifySerial measures single-flight serving: one
 // session at a time, the old facade's only mode.
 func BenchmarkEngineClassifySerial(b *testing.B) {
+	b.ReportAllocs()
 	eng, n := serveEngine(b)
 	ctx := context.Background()
 	b.ResetTimer()
@@ -219,6 +228,7 @@ func BenchmarkEngineClassifySerial(b *testing.B) {
 // multiplexes over the same cluster links. Compare ns/op against
 // BenchmarkEngineClassifySerial for the concurrency speedup.
 func BenchmarkEngineClassifyConcurrent(b *testing.B) {
+	b.ReportAllocs()
 	eng, n := serveEngine(b)
 	ctx := context.Background()
 	b.SetParallelism(8)
@@ -241,6 +251,7 @@ func BenchmarkEngineClassifyConcurrent(b *testing.B) {
 // whole batch, so batch 32 should sustain well over 2x the throughput of
 // batch 1 (the per-sample path).
 func BenchmarkEngineServeByBatch(b *testing.B) {
+	b.ReportAllocs()
 	m, test := serveBenchFixture(b)
 	ids := make([]uint64, test.Len())
 	for i := range ids {
@@ -248,6 +259,7 @@ func BenchmarkEngineServeByBatch(b *testing.B) {
 	}
 	for _, batch := range []int{1, 32} {
 		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) {
+			b.ReportAllocs()
 			eng, err := ddnn.NewEngine(m, test,
 				ddnn.WithMaxConcurrency(16),
 				ddnn.WithBatching(batch, 0),
@@ -272,6 +284,7 @@ func BenchmarkEngineServeByBatch(b *testing.B) {
 // collector under concurrent load: parallel Classify callers coalesce
 // into shared sessions (max batch 32, 2 ms linger).
 func BenchmarkEngineClassifyCollector(b *testing.B) {
+	b.ReportAllocs()
 	m, test := serveBenchFixture(b)
 	eng, err := ddnn.NewEngine(m, test,
 		ddnn.WithMaxConcurrency(16),
@@ -301,6 +314,7 @@ func BenchmarkEngineClassifyCollector(b *testing.B) {
 // BenchmarkDeviceSectionInference measures one end device's per-frame
 // cost: ConvP block + exit head on a single 3×32×32 frame.
 func BenchmarkDeviceSectionInference(b *testing.B) {
+	b.ReportAllocs()
 	m := core.MustNewModel(core.DefaultConfig())
 	x := tensor.New(1, 3, 32, 32)
 	x.FillUniform(rand.New(rand.NewSource(1)), 0, 1)
@@ -313,6 +327,7 @@ func BenchmarkDeviceSectionInference(b *testing.B) {
 // BenchmarkCloudSectionInference measures the cloud's per-sample cost:
 // aggregation of six uploaded feature maps plus the upper NN layers.
 func BenchmarkCloudSectionInference(b *testing.B) {
+	b.ReportAllocs()
 	m := core.MustNewModel(core.DefaultConfig())
 	rng := rand.New(rand.NewSource(1))
 	feats := make([]*tensor.Tensor, m.Cfg.Devices)
@@ -329,6 +344,7 @@ func BenchmarkCloudSectionInference(b *testing.B) {
 // BenchmarkTrainStep measures one joint forward/backward pass over a
 // 32-sample batch (all six devices plus the cloud).
 func BenchmarkTrainStep(b *testing.B) {
+	b.ReportAllocs()
 	dcfg := dataset.DefaultConfig()
 	dcfg.Train, dcfg.Test = 64, 8
 	train, _ := dataset.MustGenerate(dcfg)
@@ -349,6 +365,7 @@ func BenchmarkTrainStep(b *testing.B) {
 // BenchmarkConvPForward measures the fused binary convolution-pool block
 // on a device-sized input.
 func BenchmarkConvPForward(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	blk := bnn.NewConvP(rng, "bench", 3, 4)
 	x := tensor.New(1, 3, 32, 32)
@@ -362,6 +379,7 @@ func BenchmarkConvPForward(b *testing.B) {
 // BenchmarkPackSigns measures eBNN bit-packing of one feature map
 // (4×16×16 bits → 128 B), the upload payload of Eq. (1).
 func BenchmarkPackSigns(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	t := tensor.New(1, 4, 16, 16)
 	t.FillUniform(rng, -1, 1)
@@ -373,6 +391,7 @@ func BenchmarkPackSigns(b *testing.B) {
 
 // BenchmarkUnpackSigns measures the cloud-side unpacking.
 func BenchmarkUnpackSigns(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	t := tensor.New(1, 4, 16, 16)
 	t.FillUniform(rng, -1, 1)
@@ -388,6 +407,7 @@ func BenchmarkUnpackSigns(b *testing.B) {
 // BenchmarkAggregators measures the three aggregation schemes over six
 // device feature maps.
 func BenchmarkAggregators(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	inputs := make([]*tensor.Tensor, 6)
 	for d := range inputs {
@@ -395,18 +415,21 @@ func BenchmarkAggregators(b *testing.B) {
 		inputs[d].FillUniform(rng, -1, 1)
 	}
 	b.Run("MP", func(b *testing.B) {
+		b.ReportAllocs()
 		a := agg.NewMax()
 		for i := 0; i < b.N; i++ {
 			a.Forward(inputs, nil, false)
 		}
 	})
 	b.Run("AP", func(b *testing.B) {
+		b.ReportAllocs()
 		a := agg.NewAvg()
 		for i := 0; i < b.N; i++ {
 			a.Forward(inputs, nil, false)
 		}
 	})
 	b.Run("CC", func(b *testing.B) {
+		b.ReportAllocs()
 		a := agg.NewConcatFeat(6)
 		for i := 0; i < b.N; i++ {
 			a.Forward(inputs, nil, false)
@@ -417,6 +440,7 @@ func BenchmarkAggregators(b *testing.B) {
 // BenchmarkWireFeatureUpload measures encode+decode of the Eq. (1) upload
 // message (128-B payload).
 func BenchmarkWireFeatureUpload(b *testing.B) {
+	b.ReportAllocs()
 	msg := &wire.FeatureUpload{SampleID: 1, Device: 2, F: 4, H: 16, W: 16, Bits: make([]byte, 128)}
 	var buf loopBuffer
 	b.ResetTimer()
@@ -433,6 +457,7 @@ func BenchmarkWireFeatureUpload(b *testing.B) {
 
 // BenchmarkNormalizedEntropy measures the exit-confidence criterion.
 func BenchmarkNormalizedEntropy(b *testing.B) {
+	b.ReportAllocs()
 	probs := []float32{0.7, 0.2, 0.1}
 	for i := 0; i < b.N; i++ {
 		nn.NormalizedEntropy(probs)
@@ -442,6 +467,7 @@ func BenchmarkNormalizedEntropy(b *testing.B) {
 // BenchmarkMatMul measures the core GEMM on a cloud-exit-head-sized
 // multiply.
 func BenchmarkMatMul(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	x := tensor.New(32, 256)
 	w := tensor.New(256, 64)
@@ -451,6 +477,125 @@ func BenchmarkMatMul(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		tensor.MatMul(x, w)
 	}
+}
+
+// --- compute-kernel micro-benchmarks (naive vs optimized) ---
+
+// BenchmarkIm2col measures lowering one device frame (3×32×32, 3×3
+// kernel, stride 1, pad 1) into its GEMM operand with a reused buffer.
+func BenchmarkIm2col(b *testing.B) {
+	b.ReportAllocs()
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.New(1, 3, 32, 32)
+	x.FillUniform(rng, 0, 1)
+	rows, cols := tensor.Im2colShape(x, 3, 1, 1)
+	buf := make([]float32, rows*cols)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.Im2colInto(buf, x, 0, 3, 1, 1)
+	}
+}
+
+// BenchmarkMatMulNaive is the reference ikj kernel on the same shapes as
+// BenchmarkMatMul; the ratio is the register-tiling speedup.
+func BenchmarkMatMulNaive(b *testing.B) {
+	b.ReportAllocs()
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.New(32, 256)
+	w := tensor.New(256, 64)
+	x.FillUniform(rng, -1, 1)
+	w.FillUniform(rng, -1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulNaive(x, w)
+	}
+}
+
+// BenchmarkXnorDot compares the word-wide (64-bit lanes, deployed)
+// kernel against the byte-wide reference on a device-exit-sized dot
+// (1024 weights, the 4×16×16 feature map against one weight column).
+func BenchmarkXnorDot(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	v := make([]float32, 1024)
+	w := make([]float32, 1024)
+	for i := range v {
+		v[i] = float32(rng.Intn(2)*2 - 1)
+		w[i] = float32(rng.Intn(2)*2 - 1)
+	}
+	pv, pw := bnn.PackVector(v), bnn.PackVector(w)
+	vb, wb := pv.Bytes(), pw.Bytes()
+	b.Run("word", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := bnn.XnorDot(pv, pw); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("byte", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := bnn.XnorDotBytes(1024, vb, wb); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPackedLinear measures the deployed XNOR-popcount exit head
+// (1024→3): Forward allocates its output, ForwardInto reuses one.
+func BenchmarkPackedLinear(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	l := bnn.NewBinaryLinear(rng, "bench", 1024, 3)
+	p := bnn.Deploy(l)
+	v := make([]float32, 1024)
+	for i := range v {
+		v[i] = float32(rng.Intn(2)*2 - 1)
+	}
+	x := bnn.PackVector(v)
+	b.Run("forward", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Forward(x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("into", func(b *testing.B) {
+		b.ReportAllocs()
+		dst := make([]int, 3)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := p.ForwardInto(dst, x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDeviceForward compares the unpooled section forward (fresh
+// tensors every call) against the pooled serving path (zero-ish
+// steady-state allocation).
+func BenchmarkDeviceForward(b *testing.B) {
+	m := core.MustNewModel(core.DefaultConfig())
+	x := tensor.New(1, 3, 32, 32)
+	x.FillUniform(rand.New(rand.NewSource(1)), 0, 1)
+	b.Run("unpooled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.DeviceForward(0, x)
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		pool := tensor.NewPool()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			feat, exitVec := m.DeviceForwardPooled(0, x, pool)
+			pool.Put(exitVec)
+			pool.Put(feat)
+		}
+	})
 }
 
 // loopBuffer is a minimal in-memory read/write buffer for the wire bench.

@@ -1,0 +1,183 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"testing"
+
+	"github.com/ddnn/ddnn-go/internal/bnn"
+	"github.com/ddnn/ddnn-go/internal/core"
+	"github.com/ddnn/ddnn-go/internal/tensor"
+)
+
+// kernelResult is one benchmark row of the kernels experiment.
+type kernelResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// kernelComparison pairs a reference kernel with its optimized
+// replacement; the CI smoke fails when an optimized kernel is not
+// actually faster than its reference.
+type kernelComparison struct {
+	Label     string  `json:"label"`
+	Naive     string  `json:"naive"`
+	Optimized string  `json:"optimized"`
+	Speedup   float64 `json:"speedup"`
+}
+
+// kernelReport is what -json serializes (BENCH_pr4.json in CI).
+type kernelReport struct {
+	Results     []kernelResult     `json:"results"`
+	Comparisons []kernelComparison `json:"comparisons"`
+}
+
+func benchNs(f func(b *testing.B)) kernelResult {
+	r := testing.Benchmark(f)
+	return kernelResult{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// runKernels benchmarks the rewritten compute core against the retained
+// reference kernels and the per-tier section forwards, writes the table
+// to out and, when jsonPath is non-empty, the JSON report. It returns an
+// error when an optimized kernel measures slower than its naive
+// reference, which is the CI regression gate.
+func runKernels(out io.Writer, jsonPath string) error {
+	// Pin the worker pool to one goroutine: the naive references are
+	// serial, so the comparisons must measure kernel quality, not the
+	// host's core count.
+	tensor.SetMaxWorkers(1)
+	defer tensor.SetMaxWorkers(0)
+	rng := rand.New(rand.NewSource(1))
+	report := kernelReport{}
+	add := func(name string, f func(b *testing.B)) kernelResult {
+		r := benchNs(f)
+		r.Name = name
+		report.Results = append(report.Results, r)
+		fmt.Fprintf(out, "%-28s %12.0f ns/op %8d B/op %6d allocs/op\n", name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		return r
+	}
+
+	// GEMM: naive ikj reference vs register-tiled kernel.
+	x := tensor.New(32, 256)
+	w := tensor.New(256, 64)
+	x.FillUniform(rng, -1, 1)
+	w.FillUniform(rng, -1, 1)
+	naiveMM := add("matmul_naive_32x256x64", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tensor.MatMulNaive(x, w)
+		}
+	})
+	blockedMM := add("matmul_blocked_32x256x64", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tensor.MatMul(x, w)
+		}
+	})
+
+	// XNOR dot: byte-wide reference vs 64-bit word kernel.
+	av := make([]float32, 1024)
+	bv := make([]float32, 1024)
+	for i := range av {
+		av[i] = float32(rng.Intn(2)*2 - 1)
+		bv[i] = float32(rng.Intn(2)*2 - 1)
+	}
+	pa, pb := bnn.PackVector(av), bnn.PackVector(bv)
+	ab, bb := pa.Bytes(), pb.Bytes()
+	byteDot := add("xnor_dot_byte_1024", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := bnn.XnorDotBytes(1024, ab, bb); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	wordDot := add("xnor_dot_word_1024", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := bnn.XnorDot(pa, pb); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Per-tier section forwards on the paper's architecture, plus the
+	// pooled serving path.
+	m := core.MustNewModel(core.DefaultConfig())
+	frame := tensor.New(1, 3, 32, 32)
+	frame.FillUniform(rng, 0, 1)
+	add("device_forward", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.DeviceForward(0, frame)
+		}
+	})
+	add("device_forward_pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		pool := tensor.NewPool()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			feat, exitVec := m.DeviceForwardPooled(0, frame, pool)
+			pool.Put(exitVec)
+			pool.Put(feat)
+		}
+	})
+	feats := make([]*tensor.Tensor, m.Cfg.Devices)
+	for d := range feats {
+		feats[d] = tensor.New(1, m.Cfg.DeviceFilters, m.Cfg.FeatureH(), m.Cfg.FeatureW())
+		feats[d].FillUniform(rng, -1, 1)
+	}
+	add("cloud_forward", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.CloudForward(feats, nil)
+		}
+	})
+	add("cloud_forward_pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		pool := tensor.NewPool()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pool.Put(m.CloudForwardPooled(feats, nil, pool))
+		}
+	})
+
+	report.Comparisons = []kernelComparison{
+		{Label: "blocked GEMM vs naive", Naive: "matmul_naive_32x256x64", Optimized: "matmul_blocked_32x256x64", Speedup: naiveMM.NsPerOp / blockedMM.NsPerOp},
+		{Label: "word-wide XNOR vs byte", Naive: "xnor_dot_byte_1024", Optimized: "xnor_dot_word_1024", Speedup: byteDot.NsPerOp / wordDot.NsPerOp},
+	}
+	fmt.Fprintln(out)
+	var slow []string
+	for _, cmp := range report.Comparisons {
+		fmt.Fprintf(out, "%-28s %5.2fx\n", cmp.Label, cmp.Speedup)
+		if cmp.Speedup < 1 {
+			slow = append(slow, cmp.Label)
+		}
+	}
+	fmt.Fprintln(out)
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n\n", jsonPath)
+	}
+	if len(slow) > 0 {
+		return fmt.Errorf("optimized kernels slower than naive reference: %v", slow)
+	}
+	return nil
+}

@@ -30,11 +30,12 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ddnn-bench", flag.ContinueOnError)
 	var (
-		exp       = fs.String("exp", "all", "experiment: all, table1, table2, fig6, fig7, fig8, fig9, fig10, comm, multifail, mixed, edge, latency, serve")
+		exp       = fs.String("exp", "all", "experiment: all, table1, table2, fig6, fig7, fig8, fig9, fig10, comm, multifail, mixed, edge, latency, serve, kernels")
 		epochs    = fs.Int("epochs", 0, "override DDNN training epochs (default 50, paper uses 100)")
 		indEpochs = fs.Int("individual-epochs", 0, "override individual-model training epochs")
 		quick     = fs.Bool("quick", false, "reduced dataset and epochs for a fast smoke run")
 		batch     = fs.Int("batch", 32, "micro-batch size for the serve experiment (compared against batch 1)")
+		jsonOut   = fs.String("json", "", "write the kernels experiment's results to this JSON file (e.g. BENCH_pr4.json)")
 		verbose   = fs.Bool("v", false, "log training progress")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -55,11 +56,6 @@ func run(args []string, out io.Writer) error {
 		opts.Verbose = os.Stderr
 	}
 
-	runner, err := experiments.NewRunner(opts)
-	if err != nil {
-		return err
-	}
-
 	wanted := strings.Split(*exp, ",")
 	want := func(name string) bool {
 		for _, w := range wanted {
@@ -71,6 +67,32 @@ func run(args []string, out io.Writer) error {
 	}
 
 	start := time.Now()
+
+	// The kernels experiment needs no dataset or training; run it first
+	// so `-exp kernels` stays a seconds-long smoke (the CI regression
+	// gate for the rewritten compute core).
+	if want("kernels") {
+		fmt.Fprintln(out, "== Compute kernels: naive vs optimized (per-sample, 1 worker) ==")
+		if err := runKernels(out, *jsonOut); err != nil {
+			return err
+		}
+	}
+	onlyKernels := true
+	for _, w := range wanted {
+		if w != "kernels" {
+			onlyKernels = false
+		}
+	}
+	if onlyKernels {
+		fmt.Fprintf(out, "total wall clock: %v\n", time.Since(start).Round(time.Second))
+		return nil
+	}
+
+	runner, err := experiments.NewRunner(opts)
+	if err != nil {
+		return err
+	}
+
 	fmt.Fprintf(out, "DDNN evaluation harness (epochs=%d, individual=%d, train=%d, test=%d)\n\n",
 		opts.Epochs, opts.IndividualEpochs, opts.Data.Train, opts.Data.Test)
 

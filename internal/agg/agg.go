@@ -64,6 +64,22 @@ type Aggregator interface {
 	Params() []*nn.Param
 }
 
+// PooledAggregator is implemented by aggregators whose inference forward
+// can draw the output from a tensor.Pool; the caller owns the returned
+// tensor and should Put it back once consumed.
+type PooledAggregator interface {
+	ForwardPooled(inputs []*tensor.Tensor, mask []bool, p *tensor.Pool) *tensor.Tensor
+}
+
+// ForwardPooled runs a's pooled inference forward when it has one,
+// falling back to a plain inference Forward otherwise.
+func ForwardPooled(a Aggregator, inputs []*tensor.Tensor, mask []bool, p *tensor.Pool) *tensor.Tensor {
+	if pa, ok := a.(PooledAggregator); ok {
+		return pa.ForwardPooled(inputs, mask, p)
+	}
+	return a.Forward(inputs, mask, false)
+}
+
 func checkInputs(inputs []*tensor.Tensor, mask []bool) {
 	if len(inputs) == 0 {
 		panic("agg: no inputs")
@@ -147,6 +163,37 @@ func (a *Max) Forward(inputs []*tensor.Tensor, mask []bool, train bool) *tensor.
 	return out
 }
 
+// ForwardPooled is the inference forward against a tensor pool. It skips
+// the winner bookkeeping (only backward needs it) but reproduces
+// Forward's values exactly: elements no present device raised above -inf
+// fall back to zero.
+func (a *Max) ForwardPooled(inputs []*tensor.Tensor, mask []bool, p *tensor.Pool) *tensor.Tensor {
+	checkInputs(inputs, mask)
+	out := p.GetDirty(inputs[0].Shape()...)
+	od := out.Data()
+	negInf := float32(math.Inf(-1))
+	for i := range od {
+		od[i] = negInf
+	}
+	for d, in := range inputs {
+		if !present(mask, d) {
+			continue
+		}
+		id := in.Data()
+		for i, v := range id {
+			if v > od[i] {
+				od[i] = v
+			}
+		}
+	}
+	for i := range od {
+		if od[i] == negInf {
+			od[i] = 0
+		}
+	}
+	return out
+}
+
 // Backward routes each gradient element to the winning device.
 func (a *Max) Backward(grad *tensor.Tensor) []*tensor.Tensor {
 	if a.winner == nil {
@@ -208,6 +255,28 @@ func (a *Avg) Forward(inputs []*tensor.Tensor, mask []bool, train bool) *tensor.
 		a.mask = mask
 		a.count = k
 	}
+	return out
+}
+
+// ForwardPooled is the inference forward against a tensor pool.
+func (a *Avg) ForwardPooled(inputs []*tensor.Tensor, mask []bool, p *tensor.Pool) *tensor.Tensor {
+	checkInputs(inputs, mask)
+	out := p.Get(inputs[0].Shape()...)
+	k := presentCount(mask, len(inputs))
+	if k == 0 {
+		return out
+	}
+	od := out.Data()
+	for d, in := range inputs {
+		if !present(mask, d) {
+			continue
+		}
+		id := in.Data()
+		for i, v := range id {
+			od[i] += v
+		}
+	}
+	out.Scale(1 / float32(k))
 	return out
 }
 

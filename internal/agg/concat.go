@@ -53,6 +53,29 @@ func (a *ConcatVec) Forward(inputs []*tensor.Tensor, mask []bool, train bool) *t
 	return a.linear.Forward(cat, train)
 }
 
+// ForwardPooled is the inference forward against a tensor pool: the
+// concatenation buffer is borrowed and returned, and the projection
+// output comes from the pool.
+func (a *ConcatVec) ForwardPooled(inputs []*tensor.Tensor, mask []bool, p *tensor.Pool) *tensor.Tensor {
+	checkInputs(inputs, mask)
+	if len(inputs) != a.n {
+		panic(fmt.Sprintf("agg: ConcatVec built for %d devices, got %d", a.n, len(inputs)))
+	}
+	batch := inputs[0].Dim(0)
+	cat := p.Get(batch, a.n*a.c)
+	for d, in := range inputs {
+		if !present(mask, d) {
+			continue
+		}
+		for b := 0; b < batch; b++ {
+			copy(cat.Row(b)[d*a.c:(d+1)*a.c], in.Row(b))
+		}
+	}
+	out := a.linear.ForwardPooled(cat, p)
+	p.Put(cat)
+	return out
+}
+
 // Backward propagates through the projection and splits the gradient back
 // into per-device slices.
 func (a *ConcatVec) Backward(grad *tensor.Tensor) []*tensor.Tensor {
@@ -122,6 +145,34 @@ func (a *ConcatFeat) Forward(inputs []*tensor.Tensor, mask []bool, train bool) *
 	if train {
 		a.shape = in0.Shape()
 		a.mask = mask
+	}
+	return out
+}
+
+// ForwardPooled is the inference forward against a tensor pool.
+func (a *ConcatFeat) ForwardPooled(inputs []*tensor.Tensor, mask []bool, p *tensor.Pool) *tensor.Tensor {
+	checkInputs(inputs, mask)
+	if len(inputs) != a.n {
+		panic(fmt.Sprintf("agg: ConcatFeat built for %d devices, got %d", a.n, len(inputs)))
+	}
+	in0 := inputs[0]
+	if in0.Dims() != 4 {
+		panic(fmt.Sprintf("agg: ConcatFeat input shape %v, want 4-D", in0.Shape()))
+	}
+	batch, f, h, w := in0.Dim(0), in0.Dim(1), in0.Dim(2), in0.Dim(3)
+	// Zero-filled Get: absent devices must contribute zero channels.
+	out := p.Get(batch, a.n*f, h, w)
+	plane := f * h * w
+	od := out.Data()
+	for d, in := range inputs {
+		if !present(mask, d) {
+			continue
+		}
+		id := in.Data()
+		for b := 0; b < batch; b++ {
+			dst := od[(b*a.n+d)*plane : (b*a.n+d+1)*plane]
+			copy(dst, id[b*plane:(b+1)*plane])
+		}
 	}
 	return out
 }

@@ -61,6 +61,14 @@ func (a *BinaryActivation) Forward(x *tensor.Tensor, train bool) *tensor.Tensor 
 	return y
 }
 
+// ForwardPooled is the inference forward against a tensor pool; the
+// caller owns the returned tensor and should Put it back when done.
+func (a *BinaryActivation) ForwardPooled(x *tensor.Tensor, p *tensor.Pool) *tensor.Tensor {
+	y := p.GetDirty(x.Shape()...)
+	Binarize(y, x)
+	return y
+}
+
 // Backward passes the incoming gradient where the pre-activation magnitude
 // was at most 1 and zeroes it elsewhere.
 func (a *BinaryActivation) Backward(grad *tensor.Tensor) *tensor.Tensor {
@@ -94,6 +102,9 @@ var _ nn.Layer = (*BinaryConv2D)(nil)
 // norm that follows in a ConvP block provides the affine shift).
 func NewBinaryConv2D(rng *rand.Rand, name string, inC, outC, kernel, stride, pad int) *BinaryConv2D {
 	inner := nn.NewConv2D(rng, name, inC, outC, kernel, stride, pad, false)
+	// The effective weights are always sign(latent), so the conv may use
+	// the add/sub sign GEMM (bit-identical to the float kernel for ±1).
+	inner.SignWeights = true
 	latent := nn.NewParam(name+".latent", outC, inC, kernel, kernel)
 	// Start the latent weights from the He initialization of the inner
 	// conv, scaled into the clip window.
@@ -120,6 +131,12 @@ func (c *BinaryConv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		c.SyncWeights()
 	}
 	return c.inner.Forward(x, train)
+}
+
+// ForwardPooled is the inference forward against a tensor pool; the
+// caller owns the returned tensor and should Put it back when done.
+func (c *BinaryConv2D) ForwardPooled(x *tensor.Tensor, p *tensor.Pool) *tensor.Tensor {
+	return c.inner.ForwardPooled(x, p)
 }
 
 // SyncWeights rewrites the effective weights as sign(latent). It must be
@@ -186,6 +203,12 @@ func (l *BinaryLinear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		l.SyncWeights()
 	}
 	return l.inner.Forward(x, train)
+}
+
+// ForwardPooled is the inference forward against a tensor pool; the
+// caller owns the returned tensor and should Put it back when done.
+func (l *BinaryLinear) ForwardPooled(x *tensor.Tensor, p *tensor.Pool) *tensor.Tensor {
+	return l.inner.ForwardPooled(x, p)
 }
 
 // SyncWeights rewrites the effective weights as sign(latent); call it

@@ -3,8 +3,6 @@ package bnn
 import (
 	"fmt"
 	"math/bits"
-
-	"github.com/ddnn/ddnn-go/internal/tensor"
 )
 
 // This file implements the eBNN-style deployed inference kernel: once a
@@ -14,90 +12,188 @@ import (
 //	Σᵢ xᵢ·wᵢ = n − 2·popcount(xor(bits(x), bits(w))),
 //
 // which is how the <2 KB device sections execute on real microcontrollers
-// without any floating-point multiplies. The float training path
-// (BinaryLinear) and this packed path are verified against each other in
-// the tests.
+// without any floating-point multiplies. The vectors are stored in 64-bit
+// words so one XNOR+popcount covers 64 weights; the byte-level PackSigns
+// wire format is unchanged (word w holds bytes 8w..8w+7, little-endian),
+// so Bytes/PackedVectorFromBytes round-trip without bit shuffling. The
+// float training path (BinaryLinear) and this packed path are verified
+// against each other in the tests, as are the word-wide kernels against
+// the byte-wide reference (XnorDotBytes).
 
-// PackedVector is a bit-packed ±1 vector: bit i set means +1.
+// PackedVector is a bit-packed ±1 vector in 64-bit lanes: bit i (counting
+// little-endian within and across words) is set when element i is +1.
+// Bits past N in the last word are zero.
 type PackedVector struct {
-	N    int
-	Bits []byte
+	N     int
+	Words []uint64
 }
 
-// PackVector packs the signs of a float vector.
+// packedWords returns the number of 64-bit words holding n elements.
+func packedWords(n int) int { return (n + 63) / 64 }
+
+// PackVector packs the signs of a float vector (non-negative = +1).
 func PackVector(v []float32) PackedVector {
-	t := tensor.FromSlice(append([]float32(nil), v...), len(v))
-	return PackedVector{N: len(v), Bits: PackSigns(t)}
+	p := PackedVector{N: len(v), Words: make([]uint64, packedWords(len(v)))}
+	for i, x := range v {
+		if x >= 0 {
+			p.Words[i/64] |= 1 << uint(i%64)
+		}
+	}
+	return p
+}
+
+// PackedVectorFromBytes reassembles a packed vector from its PackSigns
+// byte form (the wire representation). Bits past n in the last byte are
+// masked off.
+func PackedVectorFromBytes(n int, data []byte) (PackedVector, error) {
+	if need := PackedSize(n); len(data) != need {
+		return PackedVector{}, fmt.Errorf("bnn: packed data is %d bytes, %d elements need %d", len(data), n, need)
+	}
+	p := PackedVector{N: n, Words: make([]uint64, packedWords(n))}
+	for i, b := range data {
+		p.Words[i/8] |= uint64(b) << uint(8*(i%8))
+	}
+	if rem := n % 64; rem != 0 && len(p.Words) > 0 {
+		p.Words[len(p.Words)-1] &= 1<<uint(rem) - 1
+	}
+	return p, nil
+}
+
+// Bytes returns the vector in PackSigns byte form ((N+7)/8 bytes,
+// little-endian within each byte), the representation the wire codec and
+// the Eq. (1) cost model use.
+func (p PackedVector) Bytes() []byte {
+	out := make([]byte, PackedSize(p.N))
+	for i := range out {
+		out[i] = byte(p.Words[i/8] >> uint(8*(i%8)))
+	}
+	return out
 }
 
 // XnorDot computes the ±1 dot product of two packed vectors of equal
-// length using XNOR and popcount.
+// length with XNOR and a 64-bit popcount per word — 8x wider than the
+// byte-wide reference kernel (XnorDotBytes).
 func XnorDot(a, b PackedVector) (int, error) {
 	if a.N != b.N {
 		return 0, fmt.Errorf("bnn: XnorDot length mismatch %d vs %d", a.N, b.N)
 	}
-	if len(a.Bits) != len(b.Bits) {
-		return 0, fmt.Errorf("bnn: XnorDot packed size mismatch %d vs %d", len(a.Bits), len(b.Bits))
+	if len(a.Words) != len(b.Words) {
+		return 0, fmt.Errorf("bnn: XnorDot packed size mismatch %d vs %d", len(a.Words), len(b.Words))
 	}
 	hamming := 0
-	n := a.N
+	full := a.N / 64
+	for i := 0; i < full; i++ {
+		hamming += bits.OnesCount64(a.Words[i] ^ b.Words[i])
+	}
+	if rem := a.N % 64; rem != 0 {
+		mask := uint64(1)<<uint(rem) - 1
+		hamming += bits.OnesCount64((a.Words[full] ^ b.Words[full]) & mask)
+	}
+	return a.N - 2*hamming, nil
+}
+
+// XnorDotBytes is the byte-wide reference kernel (the original
+// implementation, one OnesCount8 per byte) over PackSigns byte forms. It
+// is kept as ground truth for the word-wide kernel's parity tests and
+// the naive-vs-optimized benchmarks.
+func XnorDotBytes(n int, a, b []byte) (int, error) {
+	if need := PackedSize(n); len(a) != need || len(b) != need {
+		return 0, fmt.Errorf("bnn: XnorDotBytes packed size %d vs %d, want %d", len(a), len(b), need)
+	}
+	hamming := 0
 	full := n / 8
 	for i := 0; i < full; i++ {
-		hamming += bits.OnesCount8(a.Bits[i] ^ b.Bits[i])
+		hamming += bits.OnesCount8(a[i] ^ b[i])
 	}
 	if rem := n % 8; rem != 0 {
 		mask := byte(1<<uint(rem)) - 1
-		hamming += bits.OnesCount8((a.Bits[full] ^ b.Bits[full]) & mask)
+		hamming += bits.OnesCount8((a[full] ^ b[full]) & mask)
 	}
 	return n - 2*hamming, nil
 }
 
-// PackedLinear is the deployed form of a BinaryLinear layer: weights stored
-// 1 bit each, column-major per output, evaluated with XNOR-popcount.
+// PackedLinear is the deployed form of a BinaryLinear layer: weights
+// stored 1 bit each, evaluated with XNOR-popcount. The packed columns are
+// interleaved by word index — w[wi·Out+j] is word wi of output j's column
+// — so Forward streams the weights sequentially while evaluating every
+// output column in one pass over the input.
 type PackedLinear struct {
 	In, Out int
-	// cols[j] holds output j's packed weight column.
-	cols []PackedVector
+	words   int // 64-bit words per column
+	w       []uint64
 }
 
 // Deploy converts a trained BinaryLinear into its packed deployment form.
 func Deploy(l *BinaryLinear) *PackedLinear {
 	in, out := l.In(), l.Out()
-	p := &PackedLinear{In: in, Out: out, cols: make([]PackedVector, out)}
+	p := &PackedLinear{In: in, Out: out, words: packedWords(in)}
+	p.w = make([]uint64, p.words*out)
 	w := l.Latent.Value // [in, out]
 	col := make([]float32, in)
 	for j := 0; j < out; j++ {
 		for i := 0; i < in; i++ {
 			col[i] = w.At(i, j)
 		}
-		p.cols[j] = PackVector(col)
+		pv := PackVector(col)
+		for wi, word := range pv.Words {
+			p.w[wi*out+j] = word
+		}
 	}
 	return p
 }
 
-// MemoryBytes returns the deployed weight footprint.
+// MemoryBytes returns the deployed weight footprint in the byte-packed
+// eBNN representation ((In+7)/8 bytes per output column).
 func (p *PackedLinear) MemoryBytes() int {
-	total := 0
-	for _, c := range p.cols {
-		total += len(c.Bits)
-	}
-	return total
+	return p.Out * PackedSize(p.In)
 }
 
 // Forward evaluates the layer on a packed ±1 input vector, producing the
 // integer pre-activations (one per output). They equal the float path's
 // x·sign(W) exactly when x is itself a sign vector.
 func (p *PackedLinear) Forward(x PackedVector) ([]int, error) {
-	if x.N != p.In {
-		return nil, fmt.Errorf("bnn: PackedLinear input length %d, want %d", x.N, p.In)
-	}
 	out := make([]int, p.Out)
-	for j, col := range p.cols {
-		d, err := XnorDot(x, col)
-		if err != nil {
-			return nil, err
-		}
-		out[j] = d
+	if err := p.ForwardInto(out, x); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// ForwardInto evaluates the layer into a caller-provided slice, avoiding
+// the per-call allocation of Forward. Validation happens once up front;
+// the fused kernel then visits every output column per input word, so the
+// input is read exactly once regardless of layer width.
+func (p *PackedLinear) ForwardInto(dst []int, x PackedVector) error {
+	if x.N != p.In {
+		return fmt.Errorf("bnn: PackedLinear input length %d, want %d", x.N, p.In)
+	}
+	if len(x.Words) != p.words {
+		return fmt.Errorf("bnn: PackedLinear input has %d words, want %d", len(x.Words), p.words)
+	}
+	if len(dst) != p.Out {
+		return fmt.Errorf("bnn: PackedLinear output length %d, want %d", len(dst), p.Out)
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	tailMask := ^uint64(0)
+	if rem := p.In % 64; rem != 0 {
+		tailMask = 1<<uint(rem) - 1
+	}
+	for wi := 0; wi < p.words; wi++ {
+		xw := x.Words[wi]
+		if wi == p.words-1 {
+			// The deployed columns have zero tail bits, so masking the
+			// input's tail once makes the xor of the tails zero.
+			xw &= tailMask
+		}
+		row := p.w[wi*p.Out : (wi+1)*p.Out]
+		for j, cw := range row {
+			dst[j] += bits.OnesCount64(xw ^ cw)
+		}
+	}
+	for j := range dst {
+		dst[j] = p.In - 2*dst[j]
+	}
+	return nil
 }

@@ -53,6 +53,122 @@ func TestXnorDotMatchesFloatDotProperty(t *testing.T) {
 	}
 }
 
+// TestXnorDotWordMatchesByte checks the 64-bit-lane kernel against the
+// byte-wide reference on randomized lengths, deliberately covering
+// non-multiples of 64 and 8, exact word boundaries, and their
+// neighbours.
+func TestXnorDotWordMatchesByte(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	lengths := []int{1, 7, 8, 9, 63, 64, 65, 127, 128, 129, 191, 192, 200}
+	for i := 0; i < 60; i++ {
+		lengths = append(lengths, 1+rng.Intn(300))
+	}
+	for _, n := range lengths {
+		a := make([]float32, n)
+		b := make([]float32, n)
+		for i := range a {
+			a[i] = float32(rng.Intn(2)*2 - 1)
+			b[i] = float32(rng.Intn(2)*2 - 1)
+		}
+		pa, pb := PackVector(a), PackVector(b)
+		word, err := XnorDot(pa, pb)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		byteWide, err := XnorDotBytes(n, pa.Bytes(), pb.Bytes())
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if word != byteWide {
+			t.Errorf("n=%d: word kernel %d, byte kernel %d", n, word, byteWide)
+		}
+	}
+}
+
+// TestPackedVectorBytesRoundTrip checks that the word representation
+// stays byte-compatible with the PackSigns wire form.
+func TestPackedVectorBytesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, n := range []int{1, 8, 9, 64, 65, 100, 128, 200} {
+		v := make([]float32, n)
+		for i := range v {
+			v[i] = float32(rng.Intn(2)*2 - 1)
+		}
+		p := PackVector(v)
+		wire := PackSigns(tensor.FromSlice(append([]float32(nil), v...), n))
+		got := p.Bytes()
+		if len(got) != len(wire) {
+			t.Fatalf("n=%d: %d bytes, PackSigns gives %d", n, len(got), len(wire))
+		}
+		for i := range wire {
+			if got[i] != wire[i] {
+				t.Fatalf("n=%d: byte %d = %02x, PackSigns %02x", n, i, got[i], wire[i])
+			}
+		}
+		back, err := PackedVectorFromBytes(n, wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.N != p.N || len(back.Words) != len(p.Words) {
+			t.Fatalf("n=%d: round-trip size mismatch", n)
+		}
+		for i := range p.Words {
+			if back.Words[i] != p.Words[i] {
+				t.Fatalf("n=%d: word %d = %x, want %x", n, i, back.Words[i], p.Words[i])
+			}
+		}
+	}
+}
+
+// TestPackedVectorFromBytesMasksTail checks that garbage bits past N in
+// the last wire byte do not affect dot products.
+func TestPackedVectorFromBytesMasksTail(t *testing.T) {
+	n := 13
+	clean := make([]byte, PackedSize(n))
+	clean[0], clean[1] = 0xAB, 0x1F&0x1F
+	dirty := append([]byte(nil), clean...)
+	dirty[1] |= 0xE0 // bits 13..15 are past N
+	pc, err := PackedVectorFromBytes(n, clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := PackedVectorFromBytes(n, dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.Words[0] != pd.Words[0] {
+		t.Fatalf("tail bits leaked: %x vs %x", pc.Words[0], pd.Words[0])
+	}
+}
+
+func TestPackedLinearForwardInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, in := range []int{5, 64, 100, 129} {
+		l := NewBinaryLinear(rng, "bl", in, 7)
+		p := Deploy(l)
+		x := tensor.New(1, in)
+		for i := range x.Data() {
+			x.Data()[i] = float32(rng.Intn(2)*2 - 1)
+		}
+		want := l.Forward(x, false)
+		dst := make([]int, 7)
+		if err := p.ForwardInto(dst, PackVector(x.Row(0))); err != nil {
+			t.Fatal(err)
+		}
+		for j, got := range dst {
+			if float32(got) != want.At(0, j) {
+				t.Errorf("in=%d output %d: packed %d vs float %g", in, j, got, want.At(0, j))
+			}
+		}
+		if err := p.ForwardInto(make([]int, 6), PackVector(x.Row(0))); err == nil {
+			t.Error("accepted wrong output width")
+		}
+		if err := p.ForwardInto(dst, PackVector(make([]float32, in+1))); err == nil {
+			t.Error("accepted wrong input width")
+		}
+	}
+}
+
 func TestXnorDotRejectsMismatch(t *testing.T) {
 	if _, err := XnorDot(PackVector([]float32{1}), PackVector([]float32{1, 1})); err == nil {
 		t.Error("accepted mismatched lengths")

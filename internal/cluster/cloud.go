@@ -30,6 +30,10 @@ type Cloud struct {
 	model  *core.Model
 	logger *slog.Logger
 
+	// pool recycles session feature maps and forward tensors across
+	// classifications, keeping the steady-state handler allocation-free.
+	pool *tensor.Pool
+
 	listener  net.Listener
 	wg        sync.WaitGroup
 	closeOnce sync.Once
@@ -47,6 +51,7 @@ func NewCloud(model *core.Model, logger *slog.Logger) *Cloud {
 	return &Cloud{
 		model:  model,
 		logger: logger.With("node", "cloud"),
+		pool:   tensor.NewPool(),
 		conns:  make(map[net.Conn]struct{}),
 	}
 }
@@ -140,7 +145,7 @@ func (c *Cloud) handle(conn net.Conn) {
 				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: "edge-tier model: the cloud accepts EdgeFeature escalations only"})
 				continue
 			}
-			sess, err := newUploadSession(c.model.Cfg, m.SampleID, m.Devices, m.Mask, m.PresentCount())
+			sess, err := newUploadSession(c.model.Cfg, m.SampleID, m.Devices, m.Mask, m.PresentCount(), c.pool)
 			if err != nil {
 				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: err.Error()})
 				continue
@@ -174,7 +179,7 @@ func (c *Cloud) handle(conn net.Conn) {
 				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: "edge-tier model: the cloud accepts EdgeFeature escalations only"})
 				continue
 			}
-			up, err := newBatchUploadSession(c.model.Cfg, m.SampleIDs, m.Devices, m.Masks)
+			up, err := newBatchUploadSession(c.model.Cfg, m.SampleIDs, m.Devices, m.Masks, c.pool)
 			if err != nil {
 				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: err.Error()})
 				continue
@@ -243,21 +248,30 @@ func (c *Cloud) unpackEdgeFeature(m *wire.EdgeFeature) (*tensor.Tensor, error) {
 	if int(m.F) != cfg.EdgeFilters || int(m.H) != eh || int(m.W) != ew {
 		return nil, fmt.Errorf("edge feature shape %d×%d×%d, model expects %d×%d×%d", m.F, m.H, m.W, cfg.EdgeFilters, eh, ew)
 	}
-	return c.model.UnpackFeature(m.Bits, int(m.F), int(m.H), int(m.W))
+	feat := c.pool.GetDirty(1, int(m.F), int(m.H), int(m.W))
+	if err := c.model.UnpackFeatureInto(feat, 0, m.Bits); err != nil {
+		c.pool.Put(feat)
+		return nil, err
+	}
+	return feat, nil
 }
 
 // classify runs the cloud section for one complete two-tier session. The
 // model is frozen (read-only) so sessions run genuinely in parallel.
 func (c *Cloud) classify(send func(wire.Message) error, session uint64, sess *uploadSession) {
-	logits := c.model.CloudForward(sess.feats, sess.mask)
+	logits := c.model.CloudForwardPooled(sess.feats, sess.mask, c.pool)
+	sess.release(c.pool)
 	c.reply(send, session, sess.sampleID, logits)
+	c.pool.Put(logits)
 }
 
 // classifyFromEdge runs the cloud section on a pre-aggregated edge
 // feature map (three-tier hierarchies).
 func (c *Cloud) classifyFromEdge(send func(wire.Message) error, m *wire.EdgeFeature, feat *tensor.Tensor) {
-	logits := c.model.CloudForwardFromEdge(feat)
+	logits := c.model.CloudForwardFromEdgePooled(feat, c.pool)
+	c.pool.Put(feat)
 	c.reply(send, m.Session, m.SampleID, logits)
+	c.pool.Put(logits)
 }
 
 // classifyBatch runs the cloud section for one complete batched two-tier
@@ -267,16 +281,16 @@ func (c *Cloud) classifyFromEdge(send func(wire.Message) error, m *wire.EdgeFeat
 func (c *Cloud) classifyBatch(send func(wire.Message) error, session uint64, up *batchUploadSession) {
 	verdicts := make([]wire.BatchVerdict, len(up.ids))
 	for _, grp := range groupByMask(up.masks, c.model.Cfg.Devices) {
-		feats := make([]*tensor.Tensor, len(up.feats))
-		for d := range feats {
-			feats[d] = up.feats[d].SelectSamples(grp.indices)
-		}
-		logits := c.model.CloudForward(feats, grp.present)
+		feats := selectGroup(up.feats, grp.indices, len(up.ids), c.pool)
+		logits := c.model.CloudForwardPooled(feats, grp.present, c.pool)
+		releaseGroup(up.feats, feats, c.pool)
 		probs := nn.Softmax(logits)
+		c.pool.Put(logits)
 		for k, idx := range grp.indices {
 			verdicts[idx] = verdictRow(probs, k, up.ids[idx], wire.ExitCloud)
 		}
 	}
+	up.release(c.pool)
 	if err := send(&wire.ResultBatch{Session: session, Verdicts: verdicts}); err != nil {
 		c.logger.Debug("batch classify reply failed", "session", session, "err", err)
 	}
@@ -294,9 +308,10 @@ func (c *Cloud) unpackEdgeFeatureBatch(m *wire.EdgeFeatureBatch) (*tensor.Tensor
 	if len(m.SampleIDs) == 0 {
 		return nil, fmt.Errorf("empty edge feature batch")
 	}
-	feat := tensor.New(len(m.SampleIDs), int(m.F), int(m.H), int(m.W))
+	feat := c.pool.GetDirty(len(m.SampleIDs), int(m.F), int(m.H), int(m.W))
 	for i := range m.SampleIDs {
 		if err := c.model.UnpackFeatureInto(feat, i, m.Sample(i)); err != nil {
+			c.pool.Put(feat)
 			return nil, err
 		}
 	}
@@ -307,8 +322,10 @@ func (c *Cloud) unpackEdgeFeatureBatch(m *wire.EdgeFeatureBatch) (*tensor.Tensor
 // pre-aggregated edge feature maps — the samples that missed the edge
 // exit — and answers with one ResultBatch in SampleIDs order.
 func (c *Cloud) classifyFromEdgeBatch(send func(wire.Message) error, m *wire.EdgeFeatureBatch, feat *tensor.Tensor) {
-	logits := c.model.CloudForwardFromEdge(feat)
+	logits := c.model.CloudForwardFromEdgePooled(feat, c.pool)
+	c.pool.Put(feat)
 	probs := nn.Softmax(logits)
+	c.pool.Put(logits)
 	verdicts := make([]wire.BatchVerdict, len(m.SampleIDs))
 	for i, id := range m.SampleIDs {
 		verdicts[i] = verdictRow(probs, i, id, wire.ExitCloud)

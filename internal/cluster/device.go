@@ -57,6 +57,11 @@ type Device struct {
 
 	failed atomic.Bool
 
+	// pool recycles the node's forward tensors (feature maps, exit
+	// vectors, conv scratch) across sessions, keeping steady-state
+	// capture handling free of per-sample heap allocation.
+	pool *tensor.Pool
+
 	mu        sync.Mutex // guards features/featOrder only
 	features  map[uint64]*retainedFeature
 	featOrder []uint64 // insertion order for eviction
@@ -82,6 +87,7 @@ func NewDevice(model *core.Model, index int, feed Feed, logger *slog.Logger) *De
 		index:    index,
 		feed:     feed,
 		logger:   logger.With("node", fmt.Sprintf("device-%d", index)),
+		pool:     tensor.NewPool(),
 		features: make(map[uint64]*retainedFeature),
 		conns:    make(map[net.Conn]struct{}),
 	}
@@ -224,11 +230,12 @@ func (d *Device) onCapture(send func(wire.Message) error, m *wire.CaptureRequest
 	if err != nil {
 		return send(&wire.Error{Session: m.Session, Code: 404, Msg: err.Error()})
 	}
-	feat, exitVec := d.model.DeviceForward(d.index, x)
+	feat, exitVec := d.model.DeviceForwardPooled(d.index, x, d.pool)
 	d.retainFeature(m.Session, feat, nil)
 
 	probs := make([]float32, exitVec.Dim(1))
 	copy(probs, exitVec.Row(0))
+	d.pool.Put(exitVec)
 	return send(&wire.LocalSummary{
 		Session:  m.Session,
 		SampleID: m.SampleID,
@@ -249,13 +256,18 @@ type retainedFeature struct {
 func (d *Device) retainFeature(session uint64, feat *tensor.Tensor, rows map[uint64]int) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if _, exists := d.features[session]; !exists {
+	if prev, exists := d.features[session]; exists {
+		d.pool.Put(prev.feat)
+	} else {
 		d.featOrder = append(d.featOrder, session)
 	}
 	d.features[session] = &retainedFeature{feat: feat, rows: rows}
 	for len(d.featOrder) > maxRetainedFeatures {
 		oldest := d.featOrder[0]
 		d.featOrder = d.featOrder[1:]
+		if rf, ok := d.features[oldest]; ok {
+			d.pool.Put(rf.feat)
+		}
 		delete(d.features, oldest)
 	}
 }
@@ -282,6 +294,11 @@ func (d *Device) onFeatureRequest(send func(wire.Message) error, m *wire.Feature
 	if rf, ok := d.takeFeature(m.Session); ok && rf.rows == nil {
 		feat = rf.feat
 	} else {
+		if ok {
+			// Batch-retained feature under the same session tag: not
+			// usable for a single-sample request, but still pool-owned.
+			d.pool.Put(rf.feat)
+		}
 		// The cached map was evicted (or the capture never happened —
 		// e.g. a second gateway attached to this device); recompute from
 		// the sensor feed so eviction only costs time, not the session.
@@ -289,16 +306,20 @@ func (d *Device) onFeatureRequest(send func(wire.Message) error, m *wire.Feature
 		if err != nil {
 			return send(&wire.Error{Session: m.Session, Code: 404, Msg: err.Error()})
 		}
-		feat, _ = d.model.DeviceForward(d.index, x)
+		var exitVec *tensor.Tensor
+		feat, exitVec = d.model.DeviceForwardPooled(d.index, x, d.pool)
+		d.pool.Put(exitVec)
 	}
 	bits := d.model.PackFeature(feat)
+	f, h, w := feat.Dim(1), feat.Dim(2), feat.Dim(3)
+	d.pool.Put(feat)
 	return send(&wire.FeatureUpload{
 		Session:  m.Session,
 		SampleID: m.SampleID,
 		Device:   uint16(d.index),
-		F:        uint16(feat.Dim(1)),
-		H:        uint16(feat.Dim(2)),
-		W:        uint16(feat.Dim(3)),
+		F:        uint16(f),
+		H:        uint16(h),
+		W:        uint16(w),
 		Bits:     bits,
 	})
 }
@@ -331,7 +352,11 @@ func (d *Device) onCaptureBatch(send func(wire.Message) error, m *wire.CaptureBa
 			Count: uint16(n), Present: wire.PackPresent(present),
 		})
 	}
-	feat, exitVec := d.model.DeviceForward(d.index, tensor.Stack(frames))
+	cfg := d.model.Cfg
+	stacked := d.pool.GetDirty(len(frames), cfg.InputC, cfg.InputH, cfg.InputW)
+	tensor.StackInto(stacked, frames)
+	feat, exitVec := d.model.DeviceForwardPooled(d.index, stacked, d.pool)
+	d.pool.Put(stacked)
 	d.retainFeature(m.Session, feat, rows)
 
 	probs := make([]float32, 0, n*int(classes))
@@ -341,6 +366,7 @@ func (d *Device) onCaptureBatch(send func(wire.Message) error, m *wire.CaptureBa
 		}
 		probs = append(probs, exitVec.Row(rows[id])...)
 	}
+	d.pool.Put(exitVec)
 	return send(&wire.SummaryBatch{
 		Session: m.Session, Device: uint16(d.index), Classes: classes,
 		Count: uint16(n), Present: wire.PackPresent(present), Probs: probs,
@@ -355,7 +381,11 @@ func (d *Device) onCaptureBatch(send func(wire.Message) error, m *wire.CaptureBa
 func (d *Device) onFeatureBatchRequest(send func(wire.Message) error, m *wire.FeatureBatchRequest) error {
 	rf, _ := d.takeFeature(m.Session)
 	if rf != nil && rf.rows == nil {
+		d.pool.Put(rf.feat)
 		rf = nil // single-sample capture under the same session tag
+	}
+	if rf != nil {
+		defer d.pool.Put(rf.feat)
 	}
 	cfg := d.model.Cfg
 	f, h, w := cfg.DeviceFilters, cfg.FeatureH(), cfg.FeatureW()
@@ -371,8 +401,10 @@ func (d *Device) onFeatureBatchRequest(send func(wire.Message) error, m *wire.Fe
 		if err != nil {
 			return send(&wire.Error{Session: m.Session, Code: 404, Msg: err.Error()})
 		}
-		feat, _ := d.model.DeviceForward(d.index, x)
+		feat, exitVec := d.model.DeviceForwardPooled(d.index, x, d.pool)
 		bits = append(bits, d.model.PackFeature(feat)...)
+		d.pool.Put(feat)
+		d.pool.Put(exitVec)
 	}
 	return send(&wire.FeatureBatch{
 		Session: m.Session,

@@ -54,6 +54,10 @@ type Edge struct {
 	cfg    EdgeConfig
 	logger *slog.Logger
 
+	// pool recycles session feature maps and forward tensors across
+	// classifications, keeping the steady-state handler allocation-free.
+	pool *tensor.Pool
+
 	cloud *link // nil until ConnectCloud
 
 	// Meter accumulates the edge→cloud hop's Eq. (1)-style payload
@@ -93,6 +97,7 @@ func NewEdge(model *core.Model, cfg EdgeConfig, logger *slog.Logger) (*Edge, err
 		model:  model,
 		cfg:    cfg,
 		logger: logger.With("node", "edge"),
+		pool:   tensor.NewPool(),
 		Meter:  metrics.NewCommMeter(),
 		conns:  make(map[net.Conn]struct{}),
 	}, nil
@@ -212,7 +217,7 @@ func (e *Edge) handle(conn net.Conn) {
 				return
 			}
 		case *wire.EdgeClassify:
-			up, err := newUploadSession(e.model.Cfg, m.SampleID, m.Devices, m.Mask, m.PresentCount())
+			up, err := newUploadSession(e.model.Cfg, m.SampleID, m.Devices, m.Mask, m.PresentCount(), e.pool)
 			if err != nil {
 				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: err.Error()})
 				continue
@@ -242,7 +247,7 @@ func (e *Edge) handle(conn net.Conn) {
 				}(sess)
 			}
 		case *wire.EdgeClassifyBatch:
-			up, err := newBatchUploadSession(e.model.Cfg, m.SampleIDs, m.Devices, m.Masks)
+			up, err := newBatchUploadSession(e.model.Cfg, m.SampleIDs, m.Devices, m.Masks, e.pool)
 			if err != nil {
 				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: err.Error()})
 				continue
@@ -277,8 +282,11 @@ func (e *Edge) handle(conn net.Conn) {
 // device feature maps, run the edge section, exit here when confident,
 // and otherwise escalate the edge feature map to the cloud.
 func (e *Edge) classify(send func(wire.Message) error, sess *edgeSession) {
-	edgeFeat, edgeLogits := e.model.EdgeForward(sess.up.feats, sess.up.mask)
+	edgeFeat, edgeLogits := e.model.EdgeForwardPooled(sess.up.feats, sess.up.mask, e.pool)
+	sess.up.release(e.pool)
+	defer e.pool.Put(edgeFeat)
 	probs := nn.Softmax(edgeLogits)
+	e.pool.Put(edgeLogits)
 	row := make([]float32, probs.Dim(1))
 	copy(row, probs.Row(0))
 
@@ -330,21 +338,23 @@ func (e *Edge) classifyBatch(send func(wire.Message) error, sess *edgeBatchSessi
 	n := len(up.ids)
 	cfg := e.model.Cfg
 	eh, ew := cfg.FeatureH()/2, cfg.FeatureW()/2
-	edgeFeats := tensor.New(n, cfg.EdgeFilters, eh, ew)
+	edgeFeats := e.pool.GetDirty(n, cfg.EdgeFilters, eh, ew)
+	defer e.pool.Put(edgeFeats)
 	verdicts := make([]wire.BatchVerdict, n)
 	var hard []int
 	for _, grp := range groupByMask(up.masks, cfg.Devices) {
-		feats := make([]*tensor.Tensor, len(up.feats))
-		for d := range feats {
-			feats[d] = up.feats[d].SelectSamples(grp.indices)
-		}
-		edgeFeat, edgeLogits := e.model.EdgeForward(feats, grp.present)
+		feats := selectGroup(up.feats, grp.indices, n, e.pool)
+		edgeFeat, edgeLogits := e.model.EdgeForwardPooled(feats, grp.present, e.pool)
+		releaseGroup(up.feats, feats, e.pool)
 		probs := nn.Softmax(edgeLogits)
+		e.pool.Put(edgeLogits)
 		for k, idx := range grp.indices {
 			copy(edgeFeats.Sample(idx), edgeFeat.Sample(k))
 			verdicts[idx] = verdictRow(probs, k, up.ids[idx], wire.ExitEdge)
 		}
+		e.pool.Put(edgeFeat)
 	}
+	up.release(e.pool)
 	// The first relayed threshold is this tier's exit criterion; an empty
 	// list means the edge never exits and always escalates.
 	for i, v := range verdicts {

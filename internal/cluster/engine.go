@@ -9,6 +9,7 @@ import (
 
 	"github.com/ddnn/ddnn-go/internal/core"
 	"github.com/ddnn/ddnn-go/internal/dataset"
+	"github.com/ddnn/ddnn-go/internal/tensor"
 	"github.com/ddnn/ddnn-go/internal/transport"
 )
 
@@ -30,6 +31,13 @@ type EngineConfig struct {
 	// coalesce into one multi-sample session per tier (see BatchConfig).
 	// The zero value disables batching.
 	Batch BatchConfig
+	// Workers bounds the worker pool that splits a coalesced batch's
+	// tier forwards across cores — per-sample convolutions and
+	// output-channel blocks of large single-sample convolutions. Zero
+	// keeps the current bound (default GOMAXPROCS). The bound is
+	// process-wide (all engines share the machine's cores), so the last
+	// configured engine wins; see tensor.SetMaxWorkers.
+	Workers int
 	// Logger receives node logs; nil means slog.Default().
 	Logger *slog.Logger
 	// DeviceLink, EdgeLink and CloudLink, when non-zero, wrap the
@@ -124,6 +132,9 @@ func AttachEngine(ctx context.Context, m *core.Model, cfg EngineConfig, tr trans
 }
 
 func newEngine(gw *Gateway, cfg EngineConfig) *Engine {
+	if cfg.Workers > 0 {
+		tensor.SetMaxWorkers(cfg.Workers)
+	}
 	maxC := cfg.MaxConcurrency
 	if maxC <= 0 {
 		maxC = DefaultMaxConcurrency

@@ -23,8 +23,9 @@ type uploadSession struct {
 // newUploadSession validates the escalation header against the model
 // configuration and prepares placeholder feature maps for every device,
 // so absent devices contribute zeros to the aggregation exactly as in
-// masked training (§IV-G).
-func newUploadSession(cfg core.Config, sampleID uint64, devices, allowed uint16, present int) (*uploadSession, error) {
+// masked training (§IV-G). The placeholders come from pool (nil pool
+// allocates); release returns them once the session is classified.
+func newUploadSession(cfg core.Config, sampleID uint64, devices, allowed uint16, present int, pool *tensor.Pool) (*uploadSession, error) {
 	if int(devices) != cfg.Devices {
 		return nil, fmt.Errorf("model has %d devices, session says %d", cfg.Devices, devices)
 	}
@@ -37,14 +38,15 @@ func newUploadSession(cfg core.Config, sampleID uint64, devices, allowed uint16,
 		pending:  present,
 	}
 	for d := 0; d < cfg.Devices; d++ {
-		s.feats[d] = tensor.New(1, cfg.DeviceFilters, fh, fw)
+		s.feats[d] = pool.Get(1, cfg.DeviceFilters, fh, fw)
 	}
 	return s, nil
 }
 
-// add unpacks one device's upload into the session. It rejects uploads
-// for the wrong sample, from devices outside the announced mask, and
-// duplicates.
+// add unpacks one device's upload into the session's pre-allocated
+// feature map. It rejects uploads for the wrong sample, from devices
+// outside the announced mask, duplicates, and shape mismatches against
+// the model configuration.
 func (s *uploadSession) add(m *core.Model, up *wire.FeatureUpload) error {
 	if up.SampleID != s.sampleID {
 		return fmt.Errorf("upload for sample %d inside session for sample %d", up.SampleID, s.sampleID)
@@ -56,11 +58,14 @@ func (s *uploadSession) add(m *core.Model, up *wire.FeatureUpload) error {
 	if s.allowed&(1<<uint(dev)) == 0 || s.mask[dev] {
 		return fmt.Errorf("unexpected upload from device %d", dev)
 	}
-	feat, err := m.UnpackFeature(up.Bits, int(up.F), int(up.H), int(up.W))
-	if err != nil {
+	cfg := m.Cfg
+	if int(up.F) != cfg.DeviceFilters || int(up.H) != cfg.FeatureH() || int(up.W) != cfg.FeatureW() {
+		return fmt.Errorf("device %d feature shape %d×%d×%d, model expects %d×%d×%d",
+			dev, up.F, up.H, up.W, cfg.DeviceFilters, cfg.FeatureH(), cfg.FeatureW())
+	}
+	if err := m.UnpackFeatureInto(s.feats[dev], 0, up.Bits); err != nil {
 		return fmt.Errorf("unpack device %d: %w", dev, err)
 	}
-	s.feats[dev] = feat
 	s.mask[dev] = true
 	s.pending--
 	return nil
@@ -68,6 +73,13 @@ func (s *uploadSession) add(m *core.Model, up *wire.FeatureUpload) error {
 
 // complete reports whether every announced upload has arrived.
 func (s *uploadSession) complete() bool { return s.pending == 0 }
+
+// release returns the session's feature maps to the pool.
+func (s *uploadSession) release(pool *tensor.Pool) {
+	for _, f := range s.feats {
+		pool.Put(f)
+	}
+}
 
 // batchUploadSession accumulates one batched escalation session's
 // per-device FeatureBatch frames until every device in the union of the
@@ -87,8 +99,9 @@ type batchUploadSession struct {
 }
 
 // newBatchUploadSession validates a batched escalation header against the
-// model configuration and allocates the per-device batch tensors.
-func newBatchUploadSession(cfg core.Config, ids []uint64, devices uint16, masks []uint16) (*batchUploadSession, error) {
+// model configuration and draws the per-device batch tensors from pool
+// (nil pool allocates); release returns them after classification.
+func newBatchUploadSession(cfg core.Config, ids []uint64, devices uint16, masks []uint16, pool *tensor.Pool) (*batchUploadSession, error) {
 	if int(devices) != cfg.Devices {
 		return nil, fmt.Errorf("model has %d devices, session says %d", cfg.Devices, devices)
 	}
@@ -113,12 +126,19 @@ func newBatchUploadSession(cfg core.Config, ids []uint64, devices uint16, masks 
 		got:   make([]bool, cfg.Devices),
 	}
 	for d := 0; d < cfg.Devices; d++ {
-		s.feats[d] = tensor.New(len(ids), cfg.DeviceFilters, fh, fw)
+		s.feats[d] = pool.Get(len(ids), cfg.DeviceFilters, fh, fw)
 		if union&(1<<uint(d)) != 0 {
 			s.pending++
 		}
 	}
 	return s, nil
+}
+
+// release returns the session's batch tensors to the pool.
+func (s *batchUploadSession) release(pool *tensor.Pool) {
+	for _, f := range s.feats {
+		pool.Put(f)
+	}
 }
 
 // expectedCount returns how many of the batch's samples device d covers.
@@ -168,6 +188,35 @@ func (s *batchUploadSession) add(m *core.Model, fb *wire.FeatureBatch) error {
 
 // complete reports whether every expected device upload has arrived.
 func (s *batchUploadSession) complete() bool { return s.pending == 0 }
+
+// selectGroup gathers a mask group's batch rows from each per-device
+// tensor into pool-backed sub-batches. When the group spans the whole
+// batch — the common all-devices-up case — the original tensors are
+// returned as-is, skipping the copy; releaseGroup knows the difference.
+func selectGroup(feats []*tensor.Tensor, indices []int, total int, pool *tensor.Pool) []*tensor.Tensor {
+	if len(indices) == total {
+		return feats
+	}
+	sel := make([]*tensor.Tensor, len(feats))
+	for d, f := range feats {
+		shape := append([]int{len(indices)}, f.Shape()[1:]...)
+		t := pool.GetDirty(shape...)
+		f.SelectSamplesInto(t, indices)
+		sel[d] = t
+	}
+	return sel
+}
+
+// releaseGroup returns selectGroup's copies to the pool; a group that
+// reused the originals is left alone (the session's release owns them).
+func releaseGroup(orig, sel []*tensor.Tensor, pool *tensor.Pool) {
+	if len(sel) > 0 && len(orig) > 0 && sel[0] == orig[0] {
+		return
+	}
+	for _, t := range sel {
+		pool.Put(t)
+	}
+}
 
 // maskGroup is a batch subset whose samples share one device-presence
 // mask, so a single masked forward pass covers the whole group and stays

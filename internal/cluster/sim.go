@@ -25,14 +25,16 @@ type Sim struct {
 }
 
 // DatasetFeed builds a Feed serving one device's views from a dataset.
-// The returned feed is safe for concurrent sessions.
+// The returned feed is safe for concurrent sessions. Frames are views of
+// the dataset's storage (no copy); consumers must treat them as
+// read-only, which the inference path guarantees.
 func DatasetFeed(ds *dataset.Dataset, device int) Feed {
 	return func(sampleID uint64) (*tensor.Tensor, error) {
 		idx := int(sampleID)
 		if idx < 0 || idx >= ds.Len() {
 			return nil, fmt.Errorf("cluster: sample %d out of range [0,%d)", idx, ds.Len())
 		}
-		return ds.DeviceBatch(device, []int{idx}), nil
+		return ds.DeviceView(device, idx), nil
 	}
 }
 

@@ -25,6 +25,7 @@ type exitHead struct {
 // the mixed-precision cloud (§VI) can swap implementations.
 type head interface {
 	forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	forwardPooled(x *tensor.Tensor, p *tensor.Pool) *tensor.Tensor
 	backward(grad *tensor.Tensor) *tensor.Tensor
 	params() []*nn.Param
 	memoryBits() int
@@ -46,6 +47,16 @@ func newExitHead(rng *rand.Rand, name string, in, classes int) *exitHead {
 
 func (e *exitHead) forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return e.bn.Forward(e.lin.Forward(x, train), train)
+}
+
+// forwardPooled accepts the unflattened feature map directly — the
+// pooled linear layers flatten implicitly, so the hot path skips the
+// Reshape view allocation.
+func (e *exitHead) forwardPooled(x *tensor.Tensor, p *tensor.Pool) *tensor.Tensor {
+	y := e.lin.ForwardPooled(x, p)
+	out := e.bn.ForwardPooled(y, p)
+	p.Put(y)
+	return out
 }
 
 func (e *exitHead) backward(grad *tensor.Tensor) *tensor.Tensor {
@@ -78,6 +89,13 @@ func newFloatExitHead(rng *rand.Rand, name string, in, classes int) *floatExitHe
 
 func (e *floatExitHead) forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return e.bn.Forward(e.lin.Forward(x, train), train)
+}
+
+func (e *floatExitHead) forwardPooled(x *tensor.Tensor, p *tensor.Pool) *tensor.Tensor {
+	y := e.lin.ForwardPooled(x, p)
+	out := e.bn.ForwardPooled(y, p)
+	p.Put(y)
+	return out
 }
 
 func (e *floatExitHead) backward(grad *tensor.Tensor) *tensor.Tensor {
@@ -144,6 +162,15 @@ func (c *cloudSection) forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	n := y.Dim(0)
 	return c.exit.forward(y.Reshape(n, y.Size()/n), train)
+}
+
+func (c *cloudSection) forwardPooled(x *tensor.Tensor, p *tensor.Pool) *tensor.Tensor {
+	y1 := nn.ForwardPooled(c.b1, x, p)
+	y2 := nn.ForwardPooled(c.b2, y1, p)
+	p.Put(y1)
+	logits := c.exit.forwardPooled(y2, p)
+	p.Put(y2)
+	return logits
 }
 
 func (c *cloudSection) backward(grad *tensor.Tensor) *tensor.Tensor {

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/ddnn/ddnn-go/internal/tensor"
+)
+
+// TestPooledForwardsMatchUnpooled checks every tier's pooled section
+// forward against the plain allocation path — the pooled serving runtime
+// must be bit-identical, including when the pool hands back recycled
+// dirty buffers (hence several rounds through one pool).
+func TestPooledForwardsMatchUnpooled(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := MustNewModel(DefaultConfig())
+	pool := tensor.NewPool()
+
+	equal := func(name string, a, b *tensor.Tensor) {
+		t.Helper()
+		if !a.SameShape(b) {
+			t.Fatalf("%s: shape %v vs %v", name, a.Shape(), b.Shape())
+		}
+		for i, v := range a.Data() {
+			if b.Data()[i] != v {
+				t.Fatalf("%s: element %d = %g pooled, %g unpooled", name, i, b.Data()[i], v)
+			}
+		}
+	}
+
+	for round := 0; round < 3; round++ {
+		x := tensor.New(2, m.Cfg.InputC, m.Cfg.InputH, m.Cfg.InputW)
+		x.FillUniform(rng, 0, 1)
+		feat, exitVec := m.DeviceForward(0, x)
+		pfeat, pexit := m.DeviceForwardPooled(0, x, pool)
+		equal("device feat", feat, pfeat)
+		equal("device exit", exitVec, pexit)
+
+		feats := make([]*tensor.Tensor, m.Cfg.Devices)
+		for d := range feats {
+			feats[d] = tensor.New(2, m.Cfg.DeviceFilters, m.Cfg.FeatureH(), m.Cfg.FeatureW())
+			feats[d].FillUniform(rng, -1, 1)
+		}
+		mask := []bool{true, false, true, true, true, false}[:m.Cfg.Devices]
+		logits := m.CloudForward(feats, mask)
+		plogits := m.CloudForwardPooled(feats, mask, pool)
+		equal("cloud logits", logits, plogits)
+
+		pool.Put(pfeat)
+		pool.Put(pexit)
+		pool.Put(plogits)
+	}
+
+	// Edge tier: EdgeForwardPooled + CloudForwardFromEdgePooled.
+	ecfg := DefaultConfig()
+	ecfg.UseEdge = true
+	em := MustNewModel(ecfg)
+	feats := make([]*tensor.Tensor, em.Cfg.Devices)
+	for d := range feats {
+		feats[d] = tensor.New(1, em.Cfg.DeviceFilters, em.Cfg.FeatureH(), em.Cfg.FeatureW())
+		feats[d].FillUniform(rng, -1, 1)
+	}
+	ef, el := em.EdgeForward(feats, nil)
+	pef, pel := em.EdgeForwardPooled(feats, nil, pool)
+	equal("edge feat", ef, pef)
+	equal("edge logits", el, pel)
+	cl := em.CloudForwardFromEdge(ef)
+	pcl := em.CloudForwardFromEdgePooled(pef, pool)
+	equal("cloud-from-edge logits", cl, pcl)
+}
+
+// TestDeviceForwardPooledZeroAllocs verifies the PR's zero-alloc
+// contract: once the pool is warm, a device section forward touches the
+// heap zero times per sample. The pool's free lists are deliberately
+// GC-proof (not sync.Pool), so this is stable, not a lucky average.
+func TestDeviceForwardPooledZeroAllocs(t *testing.T) {
+	m := MustNewModel(DefaultConfig())
+	x := tensor.New(1, m.Cfg.InputC, m.Cfg.InputH, m.Cfg.InputW)
+	x.FillUniform(rand.New(rand.NewSource(1)), 0, 1)
+	pool := tensor.NewPool()
+	run := func() {
+		feat, exitVec := m.DeviceForwardPooled(0, x, pool)
+		pool.Put(exitVec)
+		pool.Put(feat)
+	}
+	for i := 0; i < 8; i++ {
+		run() // warm the pool
+	}
+	if n := testing.AllocsPerRun(100, run); n > 0.5 {
+		t.Errorf("DeviceForwardPooled allocates %.2f times per run, want 0", n)
+	}
+}
+
+// TestCloudForwardPooledZeroAllocs is the same contract for the cloud
+// section (aggregation + two ConvP blocks + exit head).
+func TestCloudForwardPooledZeroAllocs(t *testing.T) {
+	m := MustNewModel(DefaultConfig())
+	rng := rand.New(rand.NewSource(1))
+	feats := make([]*tensor.Tensor, m.Cfg.Devices)
+	for d := range feats {
+		feats[d] = tensor.New(1, m.Cfg.DeviceFilters, m.Cfg.FeatureH(), m.Cfg.FeatureW())
+		feats[d].FillUniform(rng, -1, 1)
+	}
+	pool := tensor.NewPool()
+	run := func() {
+		pool.Put(m.CloudForwardPooled(feats, nil, pool))
+	}
+	for i := 0; i < 8; i++ {
+		run()
+	}
+	if n := testing.AllocsPerRun(100, run); n > 0.5 {
+		t.Errorf("CloudForwardPooled allocates %.2f times per run, want 0", n)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"github.com/ddnn/ddnn-go/internal/agg"
 	"github.com/ddnn/ddnn-go/internal/bnn"
 	"github.com/ddnn/ddnn-go/internal/tensor"
 )
@@ -20,13 +21,20 @@ import (
 // local-exit miss) and the exit summary vector sent to the local
 // aggregator.
 func (m *Model) DeviceForward(device int, x *tensor.Tensor) (feat, exitVec *tensor.Tensor) {
+	return m.DeviceForwardPooled(device, x, nil)
+}
+
+// DeviceForwardPooled is DeviceForward drawing its outputs and scratch
+// from a tensor pool: both returned tensors come from p, and the caller
+// should Put them back once consumed. A nil pool allocates, making
+// DeviceForward the p == nil special case.
+func (m *Model) DeviceForwardPooled(device int, x *tensor.Tensor, p *tensor.Pool) (feat, exitVec *tensor.Tensor) {
 	if device < 0 || device >= m.Cfg.Devices {
 		panic(fmt.Sprintf("core: device %d out of range [0,%d)", device, m.Cfg.Devices))
 	}
 	dev := m.devices[device]
-	feat = dev.convp.Forward(x, false)
-	n := feat.Dim(0)
-	exitVec = dev.exit.forward(feat.Reshape(n, feat.Size()/n), false)
+	feat = dev.convp.ForwardPooled(x, p)
+	exitVec = dev.exit.forwardPooled(feat, p)
 	return feat, exitVec
 }
 
@@ -41,33 +49,56 @@ func (m *Model) LocalAggregate(exitVecs []*tensor.Tensor, mask []bool) *tensor.T
 // all). It must not be used on models built with an edge tier; those use
 // EdgeForward first.
 func (m *Model) CloudForward(feats []*tensor.Tensor, mask []bool) *tensor.Tensor {
+	return m.CloudForwardPooled(feats, mask, nil)
+}
+
+// CloudForwardPooled is CloudForward drawing the aggregation buffer,
+// layer intermediates and returned logits from a tensor pool; the caller
+// should Put the logits back once consumed. A nil pool allocates.
+func (m *Model) CloudForwardPooled(feats []*tensor.Tensor, mask []bool, p *tensor.Pool) *tensor.Tensor {
 	if m.edge != nil {
 		panic("core: CloudForward on an edge-tier model; use EdgeForward")
 	}
-	return m.cloud.forward(m.cloudAgg.Forward(feats, mask, false), false)
+	cloudIn := agg.ForwardPooled(m.cloudAgg, feats, mask, p)
+	logits := m.cloud.forwardPooled(cloudIn, p)
+	p.Put(cloudIn)
+	return logits
 }
 
 // EdgeForward aggregates device feature maps and runs the edge section,
 // returning the edge feature map (forwarded to the cloud) and edge-exit
 // logits. It is only valid on models built with UseEdge.
 func (m *Model) EdgeForward(feats []*tensor.Tensor, mask []bool) (edgeFeat, edgeLogits *tensor.Tensor) {
+	return m.EdgeForwardPooled(feats, mask, nil)
+}
+
+// EdgeForwardPooled is EdgeForward drawing its outputs and scratch from
+// a tensor pool: both returned tensors come from p, and the caller
+// should Put them back once consumed. A nil pool allocates.
+func (m *Model) EdgeForwardPooled(feats []*tensor.Tensor, mask []bool, p *tensor.Pool) (edgeFeat, edgeLogits *tensor.Tensor) {
 	if m.edge == nil {
 		panic("core: EdgeForward on a model without an edge tier")
 	}
-	edgeIn := m.edgeAgg.Forward(feats, mask, false)
-	edgeFeat = m.edge.convp.Forward(edgeIn, false)
-	n := edgeFeat.Dim(0)
-	edgeLogits = m.edge.exit.forward(edgeFeat.Reshape(n, edgeFeat.Size()/n), false)
+	edgeIn := agg.ForwardPooled(m.edgeAgg, feats, mask, p)
+	edgeFeat = m.edge.convp.ForwardPooled(edgeIn, p)
+	p.Put(edgeIn)
+	edgeLogits = m.edge.exit.forwardPooled(edgeFeat, p)
 	return edgeFeat, edgeLogits
 }
 
 // CloudForwardFromEdge runs the cloud section on an edge feature map
 // (edge-tier models only).
 func (m *Model) CloudForwardFromEdge(edgeFeat *tensor.Tensor) *tensor.Tensor {
+	return m.CloudForwardFromEdgePooled(edgeFeat, nil)
+}
+
+// CloudForwardFromEdgePooled is CloudForwardFromEdge against a tensor
+// pool; the caller should Put the returned logits back once consumed.
+func (m *Model) CloudForwardFromEdgePooled(edgeFeat *tensor.Tensor, p *tensor.Pool) *tensor.Tensor {
 	if m.edge == nil {
 		panic("core: CloudForwardFromEdge on a model without an edge tier")
 	}
-	return m.cloud.forward(edgeFeat, false)
+	return m.cloud.forwardPooled(edgeFeat, p)
 }
 
 // PackFeature bit-packs one sample's binarized feature map for upload

@@ -383,6 +383,14 @@ func (d *Dataset) DeviceBatch(device int, indices []int) *tensor.Tensor {
 	return t
 }
 
+// DeviceView returns one device's view of one sample as a
+// [1, C, H, W] tensor sharing the dataset's storage — no copy, so the
+// caller must not mutate it. It is the zero-allocation-path analogue of
+// DeviceBatch(device, []int{idx}) used by the serving runtime's feeds.
+func (d *Dataset) DeviceView(device, idx int) *tensor.Tensor {
+	return tensor.FromSlice(d.Samples[idx].Views[device], 1, ImageC, ImageH, ImageW)
+}
+
 // AllDeviceBatches assembles the input tensors for the first k devices; a
 // nil indices slice selects every sample.
 func (d *Dataset) AllDeviceBatches(k int, indices []int) []*tensor.Tensor {

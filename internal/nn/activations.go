@@ -33,6 +33,20 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return y
 }
 
+// ForwardPooled is the inference forward against a tensor pool; the
+// caller owns the returned tensor and should Put it back when done.
+func (r *ReLU) ForwardPooled(x *tensor.Tensor, p *tensor.Pool) *tensor.Tensor {
+	y := p.GetDirty(x.Shape()...)
+	yd, xd := y.Data(), x.Data()
+	for i, v := range xd {
+		if v <= 0 {
+			v = 0
+		}
+		yd[i] = v
+	}
+	return y
+}
+
 // Backward passes gradient only where the input was positive.
 func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if r.mask == nil {

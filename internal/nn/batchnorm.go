@@ -77,14 +77,7 @@ func (bn *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	g, b := bn.Gamma.Value.Data(), bn.Beta.Value.Data()
 
 	if !train {
-		rm, rv := bn.RunningMean.Data(), bn.RunningVar.Data()
-		for ci := 0; ci < c; ci++ {
-			inv := float32(1 / math.Sqrt(float64(rv[ci])+float64(bn.Eps)))
-			scale, shift := g[ci]*inv, b[ci]-g[ci]*inv*rm[ci]
-			forEachChannel(xd, yd, n, c, s, ci, func(xv float32) float32 {
-				return scale*xv + shift
-			})
-		}
+		bn.inferInto(yd, xd, n, s)
 		return y
 	}
 
@@ -117,6 +110,37 @@ func (bn *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		rv[ci] = bn.Momentum*rv[ci] + (1-bn.Momentum)*variance
 	}
 	return y
+}
+
+// ForwardPooled is the inference forward against a tensor pool; the
+// caller owns the returned tensor and should Put it back when done.
+func (bn *BatchNorm) ForwardPooled(x *tensor.Tensor, p *tensor.Pool) *tensor.Tensor {
+	n, s := bn.dims(x)
+	y := p.GetDirty(x.Shape()...)
+	bn.inferInto(y.Data(), x.Data(), n, s)
+	return y
+}
+
+// inferInto applies the running statistics as a fused per-channel
+// multiply-add: y = scale·x + shift with scale = γ/√(var+ε) and
+// shift = β − scale·mean, the same arithmetic as the per-element closure
+// form it replaces.
+func (bn *BatchNorm) inferInto(yd, xd []float32, n, s int) {
+	c := bn.C
+	g, b := bn.Gamma.Value.Data(), bn.Beta.Value.Data()
+	rm, rv := bn.RunningMean.Data(), bn.RunningVar.Data()
+	for ci := 0; ci < c; ci++ {
+		inv := float32(1 / math.Sqrt(float64(rv[ci])+float64(bn.Eps)))
+		scale, shift := g[ci]*inv, b[ci]-g[ci]*inv*rm[ci]
+		for ni := 0; ni < n; ni++ {
+			base := (ni*c + ci) * s
+			seg := xd[base : base+s]
+			out := yd[base : base+s]
+			for i, v := range seg {
+				out[i] = scale*v + shift
+			}
+		}
+	}
 }
 
 // Backward implements the standard batch-norm gradient.
@@ -162,15 +186,6 @@ func iterChannel(n, c, s, ci int, fn func(off int)) {
 		base := (ni*c + ci) * s
 		for si := 0; si < s; si++ {
 			fn(base + si)
-		}
-	}
-}
-
-func forEachChannel(xd, yd []float32, n, c, s, ci int, fn func(float32) float32) {
-	for ni := 0; ni < n; ni++ {
-		base := (ni*c + ci) * s
-		for si := 0; si < s; si++ {
-			yd[base+si] = fn(xd[base+si])
 		}
 	}
 }

@@ -39,6 +39,20 @@ func (b *ConvPoolBlock) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return b.Act.Forward(y, train)
 }
 
+// ForwardPooled is the inference forward against a tensor pool:
+// intermediates are returned to the pool as soon as the next stage has
+// consumed them, and the caller owns the returned tensor.
+func (b *ConvPoolBlock) ForwardPooled(x *tensor.Tensor, p *tensor.Pool) *tensor.Tensor {
+	y1 := b.Conv.ForwardPooled(x, p)
+	y2 := b.Pool.ForwardPooled(y1, p)
+	p.Put(y1)
+	y3 := b.BN.ForwardPooled(y2, p)
+	p.Put(y2)
+	y4 := b.Act.ForwardPooled(y3, p)
+	p.Put(y3)
+	return y4
+}
+
 // Backward propagates through the block in reverse.
 func (b *ConvPoolBlock) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	grad = b.Act.Backward(grad)

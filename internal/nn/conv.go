@@ -19,6 +19,20 @@ type Conv2D struct {
 	x                      *tensor.Tensor
 	cachedInH, cachedInW   int
 	cachedOutH, cachedOutW int
+
+	// SignWeights declares that every weight is exactly ±1 (binarized
+	// layers), switching the GEMM to the add/sub sign kernel. Results
+	// are bit-identical to the float kernel; see tensor.GemmSign.
+	SignWeights bool
+
+	// w2d views the weights as the [OutC, InC·K·K] GEMM operand of the
+	// im2col forward. It shares storage with Weight.Value, so weight
+	// updates (and binarization syncs) need no re-pack.
+	w2d *tensor.Tensor
+
+	// scratch recycles per-sample im2col buffers across forward calls;
+	// each concurrent sample borrows its own buffer.
+	scratch tensor.Pool
 }
 
 var _ Layer = (*Conv2D)(nil)
@@ -34,6 +48,7 @@ func NewConv2D(rng *rand.Rand, name string, inC, outC, kernel, stride, pad int, 
 		Weight: NewParam(name+".weight", outC, inC, kernel, kernel),
 	}
 	c.Weight.Value.FillHe(rng, inC*kernel*kernel)
+	c.w2d = c.Weight.Value.Reshape(outC, inC*kernel*kernel)
 	if withBias {
 		c.Bias = NewParam(name+".bias", outC)
 	}
@@ -45,12 +60,12 @@ func (c *Conv2D) OutSize(in int) int {
 	return (in+2*c.Pad-c.Kernel)/c.Stride + 1
 }
 
-// Forward computes the convolution for x of shape [N, InC, H, W].
+// Forward computes the convolution for x of shape [N, InC, H, W] by
+// lowering each sample to its im2col matrix and running one blocked GEMM
+// per sample (see forwardInto). Results match the tap-loop reference
+// (forwardTaps) exactly.
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	if x.Dims() != 4 || x.Dim(1) != c.InC {
-		panic(fmt.Sprintf("nn: Conv2D %s input shape %v, want [N %d H W]", c.Weight.Name, x.Shape(), c.InC))
-	}
-	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	n, h, w := c.checkInput(x)
 	oh, ow := c.OutSize(h), c.OutSize(w)
 	// Cache only during training: backward needs the shapes, and inference
 	// must stay free of writes so concurrent sessions can share the layer.
@@ -58,7 +73,110 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		c.x = x
 		c.cachedInH, c.cachedInW, c.cachedOutH, c.cachedOutW = h, w, oh, ow
 	}
+	y := tensor.New(n, c.OutC, oh, ow)
+	c.forwardInto(y, x, nil)
+	return y
+}
 
+// ForwardPooled is the inference forward against a tensor pool: the
+// returned tensor comes from p (the caller owns it and should Put it
+// back when done). A nil pool falls back to plain allocation.
+func (c *Conv2D) ForwardPooled(x *tensor.Tensor, p *tensor.Pool) *tensor.Tensor {
+	n, h, w := c.checkInput(x)
+	y := p.GetDirty(n, c.OutC, c.OutSize(h), c.OutSize(w))
+	c.forwardInto(y, x, p)
+	return y
+}
+
+func (c *Conv2D) checkInput(x *tensor.Tensor) (n, h, w int) {
+	if x.Dims() != 4 || x.Dim(1) != c.InC {
+		panic(fmt.Sprintf("nn: Conv2D %s input shape %v, want [N %d H W]", c.Weight.Name, x.Shape(), c.InC))
+	}
+	return x.Dim(0), x.Dim(2), x.Dim(3)
+}
+
+// convParallelOps is the per-GEMM multiply-add count above which a
+// forward is split across the worker pool: over samples when the batch
+// has several, over output-channel row blocks for big single-sample
+// convolutions (the cloud section). Small convolutions stay serial —
+// goroutine handoff would dominate.
+const convParallelOps = 1 << 15
+
+// forwardInto computes the convolution into y. Each sample's input is
+// lowered to a [InC·K·K, oh·ow] im2col matrix (borrowed from p, or from
+// the layer's own scratch pool when p is nil) and multiplied by the
+// [OutC, InC·K·K] weight view. The im2col row order equals the tap
+// loop's (channel, kernel-row, kernel-column) accumulation order and the
+// GEMM accumulates rows in ascending order, so every output element sums
+// its products in exactly the tap loop's sequence.
+func (c *Conv2D) forwardInto(y, x *tensor.Tensor, p *tensor.Pool) {
+	n := x.Dim(0)
+	oh, ow := y.Dim(2), y.Dim(3)
+	rows := c.InC * c.Kernel * c.Kernel
+	cols := oh * ow
+	scratch := p
+	if scratch == nil {
+		scratch = &c.scratch
+	}
+	wd := c.w2d.Data()
+	outPlane := c.OutC * cols
+	gemm := tensor.Gemm
+	if c.SignWeights {
+		gemm = tensor.GemmSign
+	}
+
+	ops := c.OutC * rows * cols
+	switch {
+	case n > 1 && ops >= convParallelOps && tensor.MaxWorkers() > 1:
+		// Intra-batch parallelism: samples are independent, each worker
+		// borrows its own im2col buffer.
+		tensor.ParallelFor(n, 1, func(lo, hi int) {
+			buf := scratch.GetDirty(rows, cols)
+			defer scratch.Put(buf)
+			for ni := lo; ni < hi; ni++ {
+				tensor.Im2colInto(buf.Data(), x, ni, c.Kernel, c.Stride, c.Pad)
+				gemm(y.Data()[ni*outPlane:(ni+1)*outPlane], wd, buf.Data(), c.OutC, rows, cols)
+			}
+		})
+	case n == 1 && c.OutC >= 8 && ops >= convParallelOps && tensor.MaxWorkers() > 1:
+		// Single big sample (cloud-section convs): lower once, then split
+		// the GEMM over output-channel row blocks.
+		buf := scratch.GetDirty(rows, cols)
+		defer scratch.Put(buf)
+		tensor.Im2colInto(buf.Data(), x, 0, c.Kernel, c.Stride, c.Pad)
+		yd := y.Data()
+		tensor.ParallelFor(c.OutC, 4, func(lo, hi int) {
+			gemm(yd[lo*cols:hi*cols], wd[lo*rows:hi*rows], buf.Data(), hi-lo, rows, cols)
+		})
+	default:
+		buf := scratch.GetDirty(rows, cols)
+		for ni := 0; ni < n; ni++ {
+			tensor.Im2colInto(buf.Data(), x, ni, c.Kernel, c.Stride, c.Pad)
+			gemm(y.Data()[ni*outPlane:(ni+1)*outPlane], wd, buf.Data(), c.OutC, rows, cols)
+		}
+		scratch.Put(buf)
+	}
+
+	if c.Bias != nil {
+		yd, bd := y.Data(), c.Bias.Value.Data()
+		for ni := 0; ni < n; ni++ {
+			for f := 0; f < c.OutC; f++ {
+				out := yd[ni*outPlane+f*cols : ni*outPlane+(f+1)*cols]
+				bv := bd[f]
+				for i := range out {
+					out[i] += bv
+				}
+			}
+		}
+	}
+}
+
+// forwardTaps is the scalar per-tap reference convolution the GEMM path
+// replaced. It is retained as the ground truth for the im2col+GEMM
+// parity tests.
+func (c *Conv2D) forwardTaps(x *tensor.Tensor) *tensor.Tensor {
+	n, h, w := c.checkInput(x)
+	oh, ow := c.OutSize(h), c.OutSize(w)
 	y := tensor.New(n, c.OutC, oh, ow)
 	xd, yd, wd := x.Data(), y.Data(), c.Weight.Value.Data()
 	k, st, pad := c.Kernel, c.Stride, c.Pad

@@ -1,0 +1,127 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/ddnn/ddnn-go/internal/tensor"
+)
+
+// TestConvForwardMatchesTapLoop checks the im2col+GEMM forward against
+// the retained tap-loop reference on randomized shapes — kernel sizes,
+// strides, paddings (including pad 0 and pad > kernel/2), non-square
+// inputs, batches, and bias. The GEMM accumulates every output element's
+// taps in the tap loop's exact order, so outputs must be equal.
+func TestConvForwardMatchesTapLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 80; trial++ {
+		kernel := 1 + rng.Intn(4)
+		stride := 1 + rng.Intn(3)
+		pad := rng.Intn(3)
+		inC := 1 + rng.Intn(4)
+		outC := 1 + rng.Intn(9)
+		h := kernel + rng.Intn(12)
+		w := kernel + rng.Intn(12)
+		n := 1 + rng.Intn(3)
+		withBias := rng.Intn(2) == 0
+
+		conv := NewConv2D(rng, "t", inC, outC, kernel, stride, pad, withBias)
+		if withBias {
+			conv.Bias.Value.FillUniform(rng, -1, 1)
+		}
+		x := tensor.New(n, inC, h, w)
+		x.FillUniform(rng, -1, 1)
+
+		want := conv.forwardTaps(x)
+		got := conv.Forward(x, false)
+		if !got.SameShape(want) {
+			t.Fatalf("k=%d s=%d p=%d: shape %v, want %v", kernel, stride, pad, got.Shape(), want.Shape())
+		}
+		for i, wv := range want.Data() {
+			if got.Data()[i] != wv {
+				t.Fatalf("k=%d s=%d p=%d inC=%d outC=%d %dx%d n=%d bias=%v: element %d = %g, taps %g",
+					kernel, stride, pad, inC, outC, h, w, n, withBias, i, got.Data()[i], wv)
+			}
+		}
+	}
+}
+
+// TestConvForwardSignKernelMatchesTapLoop is the same contract for
+// binarized ±1 weights, which take the add/sub sign-GEMM path.
+func TestConvForwardSignKernelMatchesTapLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 60; trial++ {
+		kernel := 1 + rng.Intn(4)
+		stride := 1 + rng.Intn(2)
+		pad := rng.Intn(2)
+		inC := 1 + rng.Intn(4)
+		outC := 1 + rng.Intn(9)
+		h := kernel + rng.Intn(10)
+		w := kernel + rng.Intn(10)
+		n := 1 + rng.Intn(3)
+
+		conv := NewConv2D(rng, "t", inC, outC, kernel, stride, pad, false)
+		wd := conv.Weight.Value.Data()
+		for i := range wd {
+			wd[i] = float32(rng.Intn(2)*2 - 1)
+		}
+		conv.SignWeights = true
+		x := tensor.New(n, inC, h, w)
+		x.FillUniform(rng, -1, 1)
+
+		want := conv.forwardTaps(x)
+		got := conv.Forward(x, false)
+		for i, wv := range want.Data() {
+			if got.Data()[i] != wv {
+				t.Fatalf("k=%d s=%d p=%d inC=%d outC=%d %dx%d n=%d: element %d = %g, taps %g",
+					kernel, stride, pad, inC, outC, h, w, n, i, got.Data()[i], wv)
+			}
+		}
+	}
+}
+
+// TestConvForwardPooledMatchesForward checks that the pooled inference
+// forward (pool-provided output and scratch) produces exactly the plain
+// forward's result, including when the pool recycles dirty buffers.
+func TestConvForwardPooledMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	conv := NewConv2D(rng, "t", 3, 4, 3, 1, 1, false)
+	pool := tensor.NewPool()
+	for trial := 0; trial < 5; trial++ {
+		x := tensor.New(2, 3, 8, 8)
+		x.FillUniform(rng, -1, 1)
+		want := conv.Forward(x, false)
+		got := conv.ForwardPooled(x, pool)
+		for i, wv := range want.Data() {
+			if got.Data()[i] != wv {
+				t.Fatalf("trial %d: element %d = %g, want %g", trial, i, got.Data()[i], wv)
+			}
+		}
+		pool.Put(got)
+	}
+}
+
+// TestMaxPoolInferenceMatchesTraining checks the unrolled inference scan
+// against the argmax-tracking training scan across shapes and strides.
+func TestMaxPoolInferenceMatchesTraining(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 60; trial++ {
+		kernel := 1 + rng.Intn(4)
+		stride := 1 + rng.Intn(3)
+		pad := rng.Intn(kernel) // pad < kernel keeps windows non-empty
+		h := kernel + rng.Intn(12)
+		w := kernel + rng.Intn(12)
+		p := NewMaxPool2D(kernel, stride, pad)
+		x := tensor.New(2, 3, h, w)
+		x.FillUniform(rng, -1, 1)
+
+		want := p.Forward(x, true) // training scan
+		got := p.Forward(x, false) // inference scan
+		for i, wv := range want.Data() {
+			if got.Data()[i] != wv {
+				t.Fatalf("k=%d s=%d p=%d %dx%d: element %d = %g, training scan %g",
+					kernel, stride, pad, h, w, i, got.Data()[i], wv)
+			}
+		}
+	}
+}

@@ -53,6 +53,27 @@ type Layer interface {
 	Params() []*Param
 }
 
+// PooledLayer is implemented by layers whose inference forward can draw
+// its output (and internal scratch) from a tensor.Pool instead of the
+// heap. The returned tensor comes from the pool: the caller owns it and
+// should Put it back once consumed. ForwardPooled is always
+// inference-mode (no activation caching) and, like inference Forward,
+// never writes to layer state, so it is safe for concurrent sessions.
+type PooledLayer interface {
+	ForwardPooled(x *tensor.Tensor, p *tensor.Pool) *tensor.Tensor
+}
+
+// ForwardPooled runs l's pooled inference forward when it has one and
+// falls back to a plain inference Forward otherwise (the fallback's
+// output is heap-allocated; Put-ting it into the pool afterwards is
+// still valid and lets it recycle).
+func ForwardPooled(l Layer, x *tensor.Tensor, p *tensor.Pool) *tensor.Tensor {
+	if pl, ok := l.(PooledLayer); ok {
+		return pl.ForwardPooled(x, p)
+	}
+	return l.Forward(x, false)
+}
+
 // Sequential chains layers, feeding each layer's output to the next.
 type Sequential struct {
 	layers []Layer

@@ -56,6 +56,30 @@ func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return y
 }
 
+// ForwardPooled is the inference forward against a tensor pool; the
+// caller owns the returned tensor and should Put it back when done.
+// Unlike Forward it accepts any input whose per-sample element count is
+// In — a [N, F, H, W] feature map flattens implicitly, sparing callers
+// the Reshape view (an allocation on the serving hot path).
+func (l *Linear) ForwardPooled(x *tensor.Tensor, p *tensor.Pool) *tensor.Tensor {
+	n := x.Dim(0)
+	if x.Size()/n != l.In {
+		panic(fmt.Sprintf("nn: Linear %s input shape %v, want %d elements per sample", l.Weight.Name, x.Shape(), l.In))
+	}
+	y := p.GetDirty(n, l.Out)
+	tensor.Gemm(y.Data(), x.Data(), l.Weight.Value.Data(), n, l.In, l.Out)
+	if l.Bias != nil {
+		bd := l.Bias.Value.Data()
+		for i := 0; i < n; i++ {
+			row := y.Row(i)
+			for j := range row {
+				row[j] += bd[j]
+			}
+		}
+	}
+	return y
+}
+
 // Backward accumulates dW = xᵀ·dy and db = Σ dy, and returns dx = dy·Wᵀ.
 func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if l.x == nil {

@@ -33,17 +33,143 @@ func (p *MaxPool2D) OutSize(in int) int {
 // Forward computes the max pool for x of shape [N, C, H, W]. Padded
 // locations never win the max (they are treated as -inf).
 func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	if x.Dims() != 4 {
-		panic(fmt.Sprintf("nn: MaxPool2D input shape %v, want 4-D", x.Shape()))
-	}
-	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
-	oh, ow := p.OutSize(h), p.OutSize(w)
-	y := tensor.New(n, c, oh, ow)
+	n, c, h, w := p.checkInput(x)
+	y := tensor.New(n, c, p.OutSize(h), p.OutSize(w))
 	if train {
 		p.argmax = make([]int32, y.Size())
 		p.inShape = x.Shape()
 		p.outShape = y.Shape()
 	}
+	p.forwardInto(y, x, train)
+	return y
+}
+
+// ForwardPooled is the inference forward against a tensor pool; the
+// caller owns the returned tensor and should Put it back when done.
+func (p *MaxPool2D) ForwardPooled(x *tensor.Tensor, pool *tensor.Pool) *tensor.Tensor {
+	n, c, h, w := p.checkInput(x)
+	y := pool.GetDirty(n, c, p.OutSize(h), p.OutSize(w))
+	p.forwardInto(y, x, false)
+	return y
+}
+
+// inferInto is the inference-only scan: no argmax bookkeeping, and
+// outputs whose 3×3 window lies fully inside the input take an unrolled
+// branch-light path. Max is order-independent over the window (NaNs
+// never win, exactly as in the clipped scan), so outputs are identical
+// to the training path's.
+func (p *MaxPool2D) inferInto(y, x *tensor.Tensor) {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh, ow := y.Dim(2), y.Dim(3)
+	k, st, pad := p.Kernel, p.Stride, p.Pad
+	xd, yd := x.Data(), y.Data()
+	inPlane, outPlane := h*w, oh*ow
+	negInf := float32(math.Inf(-1))
+
+	// Interior output columns: window fully inside [0, w).
+	oxLo := (pad + st - 1) / st
+	oxHi := (w - k + pad) / st // inclusive
+	if oxHi > ow-1 {
+		oxHi = ow - 1
+	}
+
+	general := func(in, orow []float32, iy0, iy1, ox0, ox1 int) {
+		for ox := ox0; ox < ox1; ox++ {
+			x0 := ox*st - pad
+			ix0, ix1 := x0, x0+k
+			if ix0 < 0 {
+				ix0 = 0
+			}
+			if ix1 > w {
+				ix1 = w
+			}
+			best := negInf
+			for iy := iy0; iy < iy1; iy++ {
+				row := in[iy*w+ix0 : iy*w+ix1]
+				for _, v := range row {
+					if v > best {
+						best = v
+					}
+				}
+			}
+			orow[ox] = best
+		}
+	}
+
+	for plane := 0; plane < n*c; plane++ {
+		in := xd[plane*inPlane : (plane+1)*inPlane]
+		out := yd[plane*outPlane : (plane+1)*outPlane]
+		for oy := 0; oy < oh; oy++ {
+			y0 := oy*st - pad
+			iy0, iy1 := y0, y0+k
+			if iy0 < 0 {
+				iy0 = 0
+			}
+			if iy1 > h {
+				iy1 = h
+			}
+			orow := out[oy*ow : (oy+1)*ow]
+			general(in, orow, iy0, iy1, 0, min(oxLo, ow))
+			if k == 3 && iy1-iy0 == 3 && oxLo <= oxHi {
+				r0 := in[(iy0+0)*w : (iy0+1)*w]
+				r1 := in[(iy0+1)*w : (iy0+2)*w]
+				r2 := in[(iy0+2)*w : (iy0+3)*w]
+				for ox := oxLo; ox <= oxHi; ox++ {
+					x0 := ox*st - pad
+					m := r0[x0]
+					if v := r0[x0+1]; v > m {
+						m = v
+					}
+					if v := r0[x0+2]; v > m {
+						m = v
+					}
+					if v := r1[x0]; v > m {
+						m = v
+					}
+					if v := r1[x0+1]; v > m {
+						m = v
+					}
+					if v := r1[x0+2]; v > m {
+						m = v
+					}
+					if v := r2[x0]; v > m {
+						m = v
+					}
+					if v := r2[x0+1]; v > m {
+						m = v
+					}
+					if v := r2[x0+2]; v > m {
+						m = v
+					}
+					orow[ox] = m
+				}
+			} else if oxLo <= oxHi {
+				general(in, orow, iy0, iy1, oxLo, oxHi+1)
+			}
+			general(in, orow, iy0, iy1, max(oxHi+1, oxLo), ow)
+		}
+	}
+}
+
+func (p *MaxPool2D) checkInput(x *tensor.Tensor) (n, c, h, w int) {
+	if x.Dims() != 4 {
+		panic(fmt.Sprintf("nn: MaxPool2D input shape %v, want 4-D", x.Shape()))
+	}
+	return x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+}
+
+// forwardInto scans each output's pooling window with the bounds hoisted
+// out of the inner loops: the window's valid row/column ranges are
+// clipped once, so the hot loop is branch-free apart from the compare.
+// The scan order (window row-major) matches the original per-element
+// bounds-checked loop, so the winning index on ties is unchanged.
+func (p *MaxPool2D) forwardInto(y, x *tensor.Tensor, train bool) {
+	if !train {
+		p.inferInto(y, x)
+		return
+	}
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh, ow := y.Dim(2), y.Dim(3)
 	xd, yd := x.Data(), y.Data()
 	inPlane, outPlane := h*w, oh*ow
 	negInf := float32(math.Inf(-1))
@@ -52,36 +178,41 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		out := yd[plane*outPlane : (plane+1)*outPlane]
 		for oy := 0; oy < oh; oy++ {
 			y0 := oy*p.Stride - p.Pad
+			iy0, iy1 := y0, y0+p.Kernel
+			if iy0 < 0 {
+				iy0 = 0
+			}
+			if iy1 > h {
+				iy1 = h
+			}
+			orow := out[oy*ow : (oy+1)*ow]
 			for ox := 0; ox < ow; ox++ {
 				x0 := ox*p.Stride - p.Pad
+				ix0, ix1 := x0, x0+p.Kernel
+				if ix0 < 0 {
+					ix0 = 0
+				}
+				if ix1 > w {
+					ix1 = w
+				}
 				best := negInf
 				bestIdx := int32(-1)
-				for ky := 0; ky < p.Kernel; ky++ {
-					iy := y0 + ky
-					if iy < 0 || iy >= h {
-						continue
-					}
-					rowOff := iy * w
-					for kx := 0; kx < p.Kernel; kx++ {
-						ix := x0 + kx
-						if ix < 0 || ix >= w {
-							continue
-						}
-						v := in[rowOff+ix]
+				for iy := iy0; iy < iy1; iy++ {
+					row := in[iy*w+ix0 : iy*w+ix1]
+					for i, v := range row {
 						if v > best {
 							best = v
-							bestIdx = int32(rowOff + ix)
+							bestIdx = int32(iy*w + ix0 + i)
 						}
 					}
 				}
-				out[oy*ow+ox] = best
+				orow[ox] = best
 				if train {
 					p.argmax[plane*outPlane+oy*ow+ox] = int32(plane*inPlane) + bestIdx
 				}
 			}
 		}
 	}
-	return y
 }
 
 // Backward scatters each output gradient to the input location that won the

@@ -3,13 +3,24 @@ package tensor
 import "fmt"
 
 // MatMul computes C = A·B for 2-D tensors A [m,k] and B [k,n], returning a
-// new [m,n] tensor. The inner loops are arranged for sequential access on
-// both operands (ikj order), which is the fastest portable layout for
-// row-major data.
+// new [m,n] tensor. The kernel is register-blocked (four rows of A share
+// each streamed row of B) and splits large products across the package
+// worker pool; per-element accumulation order is identical to the naive
+// ikj kernel, so results match MatMulNaive exactly.
 func MatMul(a, b *Tensor) *Tensor {
 	m, k, n := matmulDims(a, b)
 	c := New(m, n)
 	matmulInto(c.data, a.data, b.data, m, k, n, false)
+	return c
+}
+
+// MatMulNaive is the reference ikj kernel: one row of A at a time, B
+// streamed per shared-dimension step. It is kept as the ground truth for
+// the blocked kernel's parity tests and benchmarks.
+func MatMulNaive(a, b *Tensor) *Tensor {
+	m, k, n := matmulDims(a, b)
+	c := New(m, n)
+	matmulRows(c.data, a.data, b.data, 0, m, k, n)
 	return c
 }
 
@@ -24,6 +35,156 @@ func MatMulInto(c, a, b *Tensor, accumulate bool) {
 	matmulInto(c.data, a.data, b.data, m, k, n, accumulate)
 }
 
+// Gemm computes C = A·B over raw row-major slices: A is [m,k], B is [k,n]
+// and C is [m,n]. It is the allocation-free entry point used by the
+// im2col convolution path, which views samples of larger tensors as
+// matrices without wrapping them. Gemm never splits work itself — callers
+// like the convolution layer own the parallelism decision.
+func Gemm(c, a, b []float32, m, k, n int) {
+	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
+		panic(fmt.Sprintf("tensor: Gemm slice sizes %d,%d,%d too small for [%d %d]·[%d %d]", len(c), len(a), len(b), m, k, k, n))
+	}
+	clear(c[:m*n])
+	matmulBlocked(c, a, b, 0, m, k, n)
+}
+
+// GemmSign is Gemm for a sign matrix A whose every element is exactly +1
+// or −1 (binarized weights): multiplies become adds and subtracts, which
+// the scalar pipeline retires notably faster. The results are
+// bit-identical to Gemm — c += 1·b and c += (−1)·b are exactly c += b
+// and c −= b in IEEE arithmetic — and the per-element accumulation order
+// is unchanged. Calling it with other A values silently computes
+// C = sign(A)·B instead; the convolution layer gates it on binarized
+// weights.
+func GemmSign(c, a, b []float32, m, k, n int) {
+	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
+		panic(fmt.Sprintf("tensor: GemmSign slice sizes %d,%d,%d too small for [%d %d]·[%d %d]", len(c), len(a), len(b), m, k, k, n))
+	}
+	clear(c[:m*n])
+	if n <= 4 {
+		matmulSmallN(c, a, b, 0, m, k, n)
+		return
+	}
+	i := 0
+	for ; i+4 <= m; i += 4 {
+		a0 := a[(i+0)*k : (i+1)*k]
+		a1 := a[(i+1)*k : (i+2)*k]
+		a2 := a[(i+2)*k : (i+3)*k]
+		a3 := a[(i+3)*k : (i+4)*k]
+		c0 := c[(i+0)*n : (i+1)*n]
+		c1 := c[(i+1)*n : (i+2)*n]
+		c2 := c[(i+2)*n : (i+3)*n]
+		c3 := c[(i+3)*n : (i+4)*n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			s00, s01, s02, s03 := c0[j], c0[j+1], c0[j+2], c0[j+3]
+			s10, s11, s12, s13 := c1[j], c1[j+1], c1[j+2], c1[j+3]
+			s20, s21, s22, s23 := c2[j], c2[j+1], c2[j+2], c2[j+3]
+			s30, s31, s32, s33 := c3[j], c3[j+1], c3[j+2], c3[j+3]
+			bi := j
+			for p := 0; p < k; p++ {
+				bp := b[bi : bi+4 : bi+4]
+				b0, b1, b2, b3 := bp[0], bp[1], bp[2], bp[3]
+				if a0[p] > 0 {
+					s00 += b0
+					s01 += b1
+					s02 += b2
+					s03 += b3
+				} else {
+					s00 -= b0
+					s01 -= b1
+					s02 -= b2
+					s03 -= b3
+				}
+				if a1[p] > 0 {
+					s10 += b0
+					s11 += b1
+					s12 += b2
+					s13 += b3
+				} else {
+					s10 -= b0
+					s11 -= b1
+					s12 -= b2
+					s13 -= b3
+				}
+				if a2[p] > 0 {
+					s20 += b0
+					s21 += b1
+					s22 += b2
+					s23 += b3
+				} else {
+					s20 -= b0
+					s21 -= b1
+					s22 -= b2
+					s23 -= b3
+				}
+				if a3[p] > 0 {
+					s30 += b0
+					s31 += b1
+					s32 += b2
+					s33 += b3
+				} else {
+					s30 -= b0
+					s31 -= b1
+					s32 -= b2
+					s33 -= b3
+				}
+				bi += n
+			}
+			c0[j], c0[j+1], c0[j+2], c0[j+3] = s00, s01, s02, s03
+			c1[j], c1[j+1], c1[j+2], c1[j+3] = s10, s11, s12, s13
+			c2[j], c2[j+1], c2[j+2], c2[j+3] = s20, s21, s22, s23
+			c3[j], c3[j+1], c3[j+2], c3[j+3] = s30, s31, s32, s33
+		}
+		for ; j < n; j++ {
+			s0, s1, s2, s3 := c0[j], c1[j], c2[j], c3[j]
+			bi := j
+			for p := 0; p < k; p++ {
+				bv := b[bi]
+				if a0[p] > 0 {
+					s0 += bv
+				} else {
+					s0 -= bv
+				}
+				if a1[p] > 0 {
+					s1 += bv
+				} else {
+					s1 -= bv
+				}
+				if a2[p] > 0 {
+					s2 += bv
+				} else {
+					s2 -= bv
+				}
+				if a3[p] > 0 {
+					s3 += bv
+				} else {
+					s3 -= bv
+				}
+				bi += n
+			}
+			c0[j], c1[j], c2[j], c3[j] = s0, s1, s2, s3
+		}
+	}
+	// Row tail: stream whole B rows, adding or subtracting per sign.
+	for ; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		crow := c[i*n : (i+1)*n : (i+1)*n]
+		for p, av := range arow {
+			brow := b[p*n : (p+1)*n : (p+1)*n]
+			if av > 0 {
+				for j, bv := range brow {
+					crow[j] += bv
+				}
+			} else {
+				for j, bv := range brow {
+					crow[j] -= bv
+				}
+			}
+		}
+	}
+}
+
 func matmulDims(a, b *Tensor) (m, k, n int) {
 	if len(a.shape) != 2 || len(b.shape) != 2 {
 		panic("tensor: MatMul requires 2-D tensors")
@@ -34,11 +195,134 @@ func matmulDims(a, b *Tensor) (m, k, n int) {
 	return a.shape[0], a.shape[1], b.shape[1]
 }
 
+// gemmParallelOps is the m·k·n product above which a single matmul is
+// split row-wise across the worker pool. Below it the goroutine handoff
+// costs more than the multiply.
+const gemmParallelOps = 1 << 18
+
 func matmulInto(c, a, b []float32, m, k, n int, accumulate bool) {
 	if !accumulate {
 		clear(c[:m*n])
 	}
-	for i := 0; i < m; i++ {
+	if m >= 8 && m*k*n >= gemmParallelOps && MaxWorkers() > 1 {
+		// Row blocks of C are independent, and each element still
+		// accumulates its products in ascending shared-dimension order, so
+		// splitting changes nothing but wall-clock time.
+		ParallelFor(m, 4, func(lo, hi int) {
+			matmulBlocked(c, a, b, lo, hi, k, n)
+		})
+		return
+	}
+	matmulBlocked(c, a, b, 0, m, k, n)
+}
+
+// matmulBlocked processes C rows [i0,i1) with a 2×4 register-tiled
+// micro-kernel: a 2-row × 4-column tile of C lives in registers for the
+// whole shared-dimension sweep, so the inner loop does 8 multiply-adds
+// per 6 loads and no stores. (Larger tiles need more accumulators than
+// the scalar register file holds; 2×4 measured fastest.) Matrices with
+// at most 4 columns — the class-logit exit heads — skip the tiling and
+// accumulate whole rows in registers instead. Every C element still
+// accumulates its products in ascending p order — exactly the naive
+// kernel's order — so results are identical.
+func matmulBlocked(c, a, b []float32, i0, i1, k, n int) {
+	if n <= 4 {
+		matmulSmallN(c, a, b, i0, i1, k, n)
+		return
+	}
+	i := i0
+	for ; i+2 <= i1; i += 2 {
+		a0 := a[(i+0)*k : (i+1)*k]
+		a1 := a[(i+1)*k : (i+2)*k]
+		c0 := c[(i+0)*n : (i+1)*n]
+		c1 := c[(i+1)*n : (i+2)*n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			s00, s01, s02, s03 := c0[j], c0[j+1], c0[j+2], c0[j+3]
+			s10, s11, s12, s13 := c1[j], c1[j+1], c1[j+2], c1[j+3]
+			bi := j
+			for p := 0; p < k; p++ {
+				bp := b[bi : bi+4 : bi+4]
+				b0, b1, b2, b3 := bp[0], bp[1], bp[2], bp[3]
+				av := a0[p]
+				s00 += av * b0
+				s01 += av * b1
+				s02 += av * b2
+				s03 += av * b3
+				av = a1[p]
+				s10 += av * b0
+				s11 += av * b1
+				s12 += av * b2
+				s13 += av * b3
+				bi += n
+			}
+			c0[j], c0[j+1], c0[j+2], c0[j+3] = s00, s01, s02, s03
+			c1[j], c1[j+1], c1[j+2], c1[j+3] = s10, s11, s12, s13
+		}
+		for ; j < n; j++ {
+			s0, s1 := c0[j], c1[j]
+			bi := j
+			for p := 0; p < k; p++ {
+				bv := b[bi]
+				s0 += a0[p] * bv
+				s1 += a1[p] * bv
+				bi += n
+			}
+			c0[j], c1[j] = s0, s1
+		}
+	}
+	matmulRows(c, a, b, i, i1, k, n)
+}
+
+// matmulSmallN handles n ≤ 4 output columns (class-logit heads): each C
+// row fits in registers, so one sweep of an A row does all columns with
+// no C traffic. Accumulation order per element is p ascending, as
+// everywhere else.
+func matmulSmallN(c, a, b []float32, i0, i1, k, n int) {
+	for i := i0; i < i1; i++ {
+		arow := a[i*k : (i+1)*k]
+		crow := c[i*n : (i+1)*n]
+		switch n {
+		case 1:
+			s0 := crow[0]
+			for p, av := range arow {
+				s0 += av * b[p]
+			}
+			crow[0] = s0
+		case 2:
+			s0, s1 := crow[0], crow[1]
+			for p, av := range arow {
+				s0 += av * b[2*p]
+				s1 += av * b[2*p+1]
+			}
+			crow[0], crow[1] = s0, s1
+		case 3:
+			s0, s1, s2 := crow[0], crow[1], crow[2]
+			for p, av := range arow {
+				bp := b[3*p : 3*p+3 : 3*p+3]
+				s0 += av * bp[0]
+				s1 += av * bp[1]
+				s2 += av * bp[2]
+			}
+			crow[0], crow[1], crow[2] = s0, s1, s2
+		default:
+			s0, s1, s2, s3 := crow[0], crow[1], crow[2], crow[3]
+			for p, av := range arow {
+				bp := b[4*p : 4*p+4 : 4*p+4]
+				s0 += av * bp[0]
+				s1 += av * bp[1]
+				s2 += av * bp[2]
+				s3 += av * bp[3]
+			}
+			crow[0], crow[1], crow[2], crow[3] = s0, s1, s2, s3
+		}
+	}
+}
+
+// matmulRows is the 1-row ikj kernel over C rows [i0,i1): the naive
+// reference layout, also used for the tail rows of the blocked kernel.
+func matmulRows(c, a, b []float32, i0, i1, k, n int) {
+	for i := i0; i < i1; i++ {
 		arow := a[i*k : (i+1)*k]
 		crow := c[i*n : (i+1)*n]
 		for p, av := range arow {

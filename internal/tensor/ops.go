@@ -196,6 +196,21 @@ func Stack(ts []*Tensor) *Tensor {
 	return out
 }
 
+// StackInto is Stack writing into a pre-sized destination (shape
+// [Σn_i, d...]), so pooled batch assembly avoids the allocation.
+func StackInto(dst *Tensor, ts []*Tensor) {
+	if len(ts) == 0 {
+		panic("tensor: StackInto of no tensors")
+	}
+	off := 0
+	for _, t := range ts {
+		off += copy(dst.data[off:], t.data)
+	}
+	if off != len(dst.data) {
+		panic(fmt.Sprintf("tensor: StackInto wrote %d of %d elements", off, len(dst.data)))
+	}
+}
+
 // SelectSamples gathers the listed leading-dimension blocks into a new
 // tensor of shape [len(indices), d...], preserving order. The inverse
 // operation for micro-batching: a subset of a batch (e.g. the samples
@@ -206,9 +221,15 @@ func (t *Tensor) SelectSamples(indices []int) *Tensor {
 	}
 	shape := append([]int{len(indices)}, t.shape[1:]...)
 	out := New(shape...)
+	t.SelectSamplesInto(out, indices)
+	return out
+}
+
+// SelectSamplesInto is SelectSamples writing into a pre-sized
+// destination of shape [len(indices), d...].
+func (t *Tensor) SelectSamplesInto(dst *Tensor, indices []int) {
 	ss := t.SampleSize()
 	for k, i := range indices {
-		copy(out.data[k*ss:(k+1)*ss], t.Sample(i))
+		copy(dst.data[k*ss:(k+1)*ss], t.Sample(i))
 	}
-	return out
 }

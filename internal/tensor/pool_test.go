@@ -1,0 +1,66 @@
+package tensor
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPoolGetZeroesAndReshapes(t *testing.T) {
+	p := NewPool()
+	a := p.Get(2, 3)
+	a.Fill(7)
+	p.Put(a)
+	b := p.Get(3, 2) // same element count, different shape
+	if b.Dim(0) != 3 || b.Dim(1) != 2 {
+		t.Fatalf("shape %v, want [3 2]", b.Shape())
+	}
+	for i, v := range b.Data() {
+		if v != 0 {
+			t.Fatalf("element %d = %g after Get, want 0", i, v)
+		}
+	}
+}
+
+func TestPoolNilIsPlainAllocation(t *testing.T) {
+	var p *Pool
+	a := p.Get(4)
+	if a == nil || a.Size() != 4 {
+		t.Fatal("nil pool Get failed")
+	}
+	p.Put(a) // must not panic
+	if d := p.GetDirty(2, 2); d.Size() != 4 {
+		t.Fatal("nil pool GetDirty failed")
+	}
+}
+
+// TestPoolConcurrentSessions hammers one shared pool from many
+// goroutines mixing sizes, a -race guard for the serving runtime where
+// every session of a node shares the node's pool.
+func TestPoolConcurrentSessions(t *testing.T) {
+	p := NewPool()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			sizes := [][]int{{1, 4, 16, 16}, {4, 27}, {1, 3}, {2, 2, 8, 8}}
+			for iter := 0; iter < 300; iter++ {
+				shape := sizes[(seed+iter)%len(sizes)]
+				a := p.Get(shape...)
+				b := p.GetDirty(shape...)
+				// Exclusive ownership: concurrent writes must not race.
+				a.Fill(float32(seed))
+				b.CopyFrom(a)
+				for i, v := range a.Data() {
+					if v != float32(seed) {
+						t.Errorf("goroutine %d: element %d = %g, want %d", seed, i, v, seed)
+						return
+					}
+				}
+				p.Put(a)
+				p.Put(b)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

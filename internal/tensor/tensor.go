@@ -47,13 +47,24 @@ func checkShape(shape []int) int {
 		panic("tensor: empty shape")
 	}
 	n := 1
+	ok := true
 	for _, d := range shape {
 		if d <= 0 {
-			panic(fmt.Sprintf("tensor: non-positive dimension in shape %v", shape))
+			ok = false
 		}
 		n *= d
 	}
+	if !ok {
+		// Formatting in a helper on a copy keeps `shape` itself from
+		// escaping: callers' variadic slices stay on their stacks, which
+		// the zero-allocation serving path depends on.
+		panicBadShape(append([]int(nil), shape...))
+	}
 	return n
+}
+
+func panicBadShape(shape []int) {
+	panic(fmt.Sprintf("tensor: non-positive dimension in shape %v", shape))
 }
 
 // Shape returns the tensor's dimensions. The returned slice must not be

@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Magic identifies DDNN protocol frames.
@@ -177,19 +178,34 @@ var (
 	ErrShortPayload  = errors.New("wire: payload truncated")
 )
 
+// frameBufs recycles encode buffers: every io.Writer this package
+// targets (net.Conn, net.Pipe, the link simulator) has released or
+// copied the slice by the time Write returns, so frames can be reused.
+var frameBufs = sync.Pool{New: func() any {
+	b := make([]byte, 0, 1024)
+	return &b
+}}
+
 // Encode writes one framed message and returns the number of bytes
-// written.
+// written. The frame is assembled in a pooled buffer, so steady-state
+// encoding does not allocate.
 func Encode(w io.Writer, m Message) (int, error) {
-	payload := m.appendPayload(nil)
-	if len(payload) > MaxPayload {
+	bp := frameBufs.Get().(*[]byte)
+	defer func() {
+		*bp = (*bp)[:0]
+		frameBufs.Put(bp)
+	}()
+	frame := (*bp)[:headerSize] // pool's New caps at 1024 ≥ headerSize
+	frame = m.appendPayload(frame)
+	*bp = frame
+	payloadLen := len(frame) - headerSize
+	if payloadLen > MaxPayload {
 		return 0, ErrFrameTooLarge
 	}
-	frame := make([]byte, headerSize+len(payload))
 	binary.LittleEndian.PutUint16(frame[0:2], Magic)
 	frame[2] = Version
 	frame[3] = byte(m.MsgType())
-	binary.LittleEndian.PutUint32(frame[4:8], uint32(len(payload)))
-	copy(frame[headerSize:], payload)
+	binary.LittleEndian.PutUint32(frame[4:8], uint32(payloadLen))
 	n, err := w.Write(frame)
 	if err != nil {
 		return n, fmt.Errorf("wire: write frame: %w", err)

@@ -102,6 +102,16 @@ func WithMaxConcurrency(n int) Option {
 	return func(o *engineOptions) { o.cfg.MaxConcurrency = n }
 }
 
+// WithWorkers bounds the intra-batch compute worker pool: when a
+// coalesced micro-batch reaches a tier, its samples (and the
+// output-channel blocks of large convolutions) split across up to n
+// goroutines. The default is GOMAXPROCS. The bound is process-wide —
+// every engine in the process shares the machine's cores — so the last
+// configured engine wins.
+func WithWorkers(n int) Option {
+	return func(o *engineOptions) { o.cfg.Workers = n }
+}
+
 // WithBatching enables adaptive cross-session micro-batching: concurrent
 // Classify calls coalesce into one multi-sample session per tier — one
 // capture round trip per device, one batched escalation for the samples
