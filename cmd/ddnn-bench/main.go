@@ -5,7 +5,8 @@
 // Usage:
 //
 //	ddnn-bench [-exp all|table1|table2|fig6|fig7|fig8|fig9|fig10|comm|multifail]
-//	           [-epochs N] [-individual-epochs N] [-quick] [-batch N] [-v]
+//	           [-epochs N] [-individual-epochs N] [-quick] [-batch N]
+//	           [-replicas 1,2,4] [-v]
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"github.com/ddnn/ddnn-go/internal/branchy"
+	"github.com/ddnn/ddnn-go/internal/cliutil"
 	"github.com/ddnn/ddnn-go/internal/experiments"
 )
 
@@ -30,11 +32,12 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ddnn-bench", flag.ContinueOnError)
 	var (
-		exp       = fs.String("exp", "all", "experiment: all, table1, table2, fig6, fig7, fig8, fig9, fig10, comm, multifail, mixed, edge, latency, serve, kernels")
+		exp       = fs.String("exp", "all", "experiment: all, table1, table2, fig6, fig7, fig8, fig9, fig10, comm, multifail, mixed, edge, latency, serve, replicas, kernels")
 		epochs    = fs.Int("epochs", 0, "override DDNN training epochs (default 50, paper uses 100)")
 		indEpochs = fs.Int("individual-epochs", 0, "override individual-model training epochs")
 		quick     = fs.Bool("quick", false, "reduced dataset and epochs for a fast smoke run")
 		batch     = fs.Int("batch", 32, "micro-batch size for the serve experiment (compared against batch 1)")
+		replicaLv = fs.String("replicas", "1,2,4", "comma-separated cloud replica counts for the replica scale-out sweep")
 		jsonOut   = fs.String("json", "", "write the kernels experiment's results to this JSON file (e.g. BENCH_pr4.json)")
 		verbose   = fs.Bool("v", false, "log training progress")
 	)
@@ -210,6 +213,18 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintln(out, experiments.FormatServingReport(erep))
+	}
+	if want("serve") || want("replicas") {
+		counts, err := cliutil.ParseInts(*replicaLv, 1)
+		if err != nil {
+			return fmt.Errorf("bad -replicas: %w", err)
+		}
+		fmt.Fprintln(out, "== Scale-out: cloud replica pool throughput + kill-a-replica failover ==")
+		rrep, err := runner.ReplicaScaling(counts, 0, 16, *batch)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, experiments.FormatReplicaReport(rrep))
 	}
 	if want("comm") {
 		fmt.Fprintln(out, "== §IV-H: communication cost vs raw offloading (measured on cluster) ==")

@@ -7,9 +7,16 @@
 //
 // Usage:
 //
-//	ddnn-edge -model model.ddnn -listen 127.0.0.1:7050 -cloud 127.0.0.1:7100
+//	ddnn-edge -model model.ddnn -listen 127.0.0.1:7050 \
+//	          -cloud 127.0.0.1:7100 [-cloud 127.0.0.1:7101 ...]
 //
 // The model must be trained with the edge tier (ddnn-train -edge).
+// -cloud is repeatable (and accepts comma-separated lists): every
+// address names one cloud replica, and the edge load-balances its
+// escalations across the healthy replicas, failing over mid-session
+// when one dies. Run several ddnn-edge processes on different ports to
+// replicate the edge tier itself; the gateway pools them via its own
+// repeatable -edge flag.
 package main
 
 import (
@@ -18,10 +25,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	ddnn "github.com/ddnn/ddnn-go"
+	"github.com/ddnn/ddnn-go/internal/cliutil"
 	"github.com/ddnn/ddnn-go/internal/cluster"
 	"github.com/ddnn/ddnn-go/internal/transport"
 )
@@ -35,10 +44,11 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("ddnn-edge", flag.ContinueOnError)
+	var cloudAddrs cliutil.AddrList
+	fs.Var(&cloudAddrs, "cloud", "cloud replica address (repeatable; default 127.0.0.1:7100)")
 	var (
 		modelPath    = fs.String("model", "model.ddnn", "trained edge-tier model file")
 		listen       = fs.String("listen", "127.0.0.1:7050", "listen address for the gateway")
-		cloudAddr    = fs.String("cloud", "127.0.0.1:7100", "cloud node address")
 		cloudTimeout = fs.Duration("cloud-timeout", 5*time.Second, "edge→cloud round trip bound")
 		noFallback   = fs.Bool("no-fallback", false, "abort escalated sessions when the cloud is down instead of answering at the edge")
 	)
@@ -57,8 +67,11 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	if len(cloudAddrs) == 0 {
+		cloudAddrs = cliutil.AddrList{"127.0.0.1:7100"}
+	}
 	dialCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	err = node.ConnectCloud(dialCtx, transport.TCP{}, *cloudAddr)
+	err = node.ConnectCloud(dialCtx, transport.TCP{}, cloudAddrs...)
 	cancel()
 	if err != nil {
 		return err
@@ -66,8 +79,8 @@ func run(args []string) error {
 	if err := node.Serve(transport.TCP{}, *listen); err != nil {
 		return err
 	}
-	fmt.Printf("edge serving on %s, escalating to cloud at %s (%d devices, %d edge filters, %v edge aggregation)\n",
-		node.Addr(), *cloudAddr, model.Cfg.Devices, model.Cfg.EdgeFilters, model.Cfg.EdgeAgg)
+	fmt.Printf("edge serving on %s, escalating to %d cloud replica(s) at %s (%d devices, %d edge filters, %v edge aggregation)\n",
+		node.Addr(), len(cloudAddrs), strings.Join(cloudAddrs, ","), model.Cfg.Devices, model.Cfg.EdgeFilters, model.Cfg.EdgeAgg)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

@@ -1,19 +1,24 @@
-// Command ddnn-gateway runs the local aggregator: it connects an Engine to
-// the device nodes and the upstream tier over TCP — the edge node for
-// edge-tier models, the cloud otherwise — drives concurrent classification
-// sessions over the test set, and reports accuracy, exit distribution,
-// latency, throughput and measured communication.
+// Command ddnn-gateway runs the local aggregator: it connects an Engine
+// to the device nodes and the upstream tier over TCP — the edge replicas
+// for edge-tier models, the cloud replicas otherwise — drives concurrent
+// classification sessions over the test set, and reports accuracy, exit
+// distribution, latency, throughput and measured communication.
 //
 // Usage:
 //
 //	ddnn-gateway -model model.ddnn -devices 127.0.0.1:7001,...,127.0.0.1:7006 \
-//	             -cloud 127.0.0.1:7100 [-edge 127.0.0.1:7050] [-threshold 0.8]
-//	             [-edge-threshold 0.8] [-concurrency 8] [-batch 1] [-samples 0]
-//	             [-data-seed 1]
+//	             -cloud 127.0.0.1:7100 [-cloud 127.0.0.1:7101 ...]
+//	             [-edge 127.0.0.1:7050 [-edge 127.0.0.1:7051 ...]]
+//	             [-threshold 0.8] [-edge-threshold 0.8] [-concurrency 8]
+//	             [-batch 1] [-samples 0] [-data-seed 1]
 //
 // With a model trained via ddnn-train -edge, pass -edge so the gateway
-// escalates local-exit misses to the edge node (which forwards hard
+// escalates local-exit misses to the edge tier (which forwards hard
 // samples to the cloud itself); otherwise the gateway dials -cloud.
+// Both flags are repeatable (and accept comma-separated lists): every
+// address names one replica of that tier, and the gateway load-balances
+// escalations across the healthy replicas, failing over mid-session when
+// one dies.
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"time"
 
 	ddnn "github.com/ddnn/ddnn-go"
+	"github.com/ddnn/ddnn-go/internal/cliutil"
 	"github.com/ddnn/ddnn-go/internal/metrics"
 	"github.com/ddnn/ddnn-go/internal/wire"
 )
@@ -38,11 +44,12 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("ddnn-gateway", flag.ContinueOnError)
+	var cloudAddrs, edgeAddrs cliutil.AddrList
+	fs.Var(&cloudAddrs, "cloud", "cloud replica address (repeatable; default 127.0.0.1:7100)")
+	fs.Var(&edgeAddrs, "edge", "edge replica address (repeatable; required for edge-tier models)")
 	var (
 		modelPath   = fs.String("model", "model.ddnn", "trained model file")
 		devices     = fs.String("devices", "", "comma-separated device addresses, in device order")
-		cloudAddr   = fs.String("cloud", "127.0.0.1:7100", "cloud node address")
-		edgeAddr    = fs.String("edge", "", "edge node address (required for edge-tier models)")
 		threshold   = fs.Float64("threshold", 0.8, "local exit entropy threshold T")
 		edgeT       = fs.Float64("edge-threshold", 0.8, "edge exit entropy threshold (edge-tier models)")
 		concurrency = fs.Int("concurrency", 8, "concurrent classification sessions")
@@ -61,13 +68,16 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	upstream := *cloudAddr
+	if len(cloudAddrs) == 0 {
+		cloudAddrs = cliutil.AddrList{"127.0.0.1:7100"}
+	}
+	upstream := []string(cloudAddrs)
 	if model.Cfg.UseEdge {
-		if *edgeAddr == "" {
-			return fmt.Errorf("model has an edge tier; pass -edge with the ddnn-edge address")
+		if len(edgeAddrs) == 0 {
+			return fmt.Errorf("model has an edge tier; pass -edge with the ddnn-edge address(es)")
 		}
-		upstream = *edgeAddr
-	} else if *edgeAddr != "" {
+		upstream = edgeAddrs
+	} else if len(edgeAddrs) > 0 {
 		return fmt.Errorf("model has no edge tier; drop -edge or retrain with ddnn-train -edge")
 	}
 	addrs := strings.Split(*devices, ",")
@@ -119,8 +129,8 @@ func run(args []string) error {
 	}
 
 	l := float64(exits[wire.ExitLocal]) / float64(n)
-	fmt.Printf("classified %d samples in %v (%.1f samples/s, %d concurrent sessions)\n",
-		n, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds(), *concurrency)
+	fmt.Printf("classified %d samples in %v (%.1f samples/s, %d concurrent sessions, %d upstream replicas)\n",
+		n, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds(), *concurrency, len(upstream))
 	fmt.Printf("accuracy:            %.1f%%\n", 100*float64(correct)/float64(n))
 	fmt.Printf("local exits:         %.1f%% (T=%.2f)\n", l*100, *threshold)
 	if model.Cfg.UseEdge {

@@ -1,15 +1,18 @@
 // Command ddnn-sim trains (or loads) a DDNN and serves the complete
 // hierarchy in one process over in-memory links through the Engine API:
-// device nodes, gateway with health monitoring, the edge node for
-// edge-tier models, and cloud, classifying many samples concurrently. It
-// can inject device failures partway through to demonstrate detection,
-// graceful degradation and recovery.
+// device nodes, gateway with health monitoring, the edge replicas for
+// edge-tier models, and the cloud replicas, classifying many samples
+// concurrently. It can inject device failures partway through to
+// demonstrate detection, graceful degradation and recovery, and — with
+// -replicas > 1 — crash an upper-tier replica mid-run to demonstrate
+// health-aware failover.
 //
 // Usage:
 //
 //	ddnn-sim [-model model.ddnn] [-edge] [-epochs 25] [-threshold 0.8]
-//	         [-edge-threshold 0.8] [-concurrency 8] [-fail 2,5]
-//	         [-fail-at 0.33] [-recover-at 0.66] [-samples 0]
+//	         [-edge-threshold 0.8] [-concurrency 8] [-replicas 1]
+//	         [-fail 2,5] [-fail-replica] [-fail-at 0.33]
+//	         [-recover-at 0.66] [-samples 0]
 package main
 
 import (
@@ -18,11 +21,10 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
-	"strconv"
-	"strings"
 	"time"
 
 	ddnn "github.com/ddnn/ddnn-go"
+	"github.com/ddnn/ddnn-go/internal/cliutil"
 	"github.com/ddnn/ddnn-go/internal/metrics"
 	"github.com/ddnn/ddnn-go/internal/wire"
 )
@@ -43,6 +45,8 @@ func run(args []string) error {
 		threshold   = fs.Float64("threshold", 0.8, "local exit entropy threshold T")
 		edgeT       = fs.Float64("edge-threshold", 0.8, "edge exit entropy threshold (edge-tier models)")
 		concurrency = fs.Int("concurrency", 8, "concurrent classification sessions")
+		replicas    = fs.Int("replicas", 1, "replicas of each upper tier (cloud, and edge with -edge)")
+		failReplica = fs.Bool("fail-replica", false, "also crash upper-tier replica 0 at -fail-at and recover it at -recover-at (needs -replicas > 1)")
 		failList    = fs.String("fail", "", "comma-separated device indices to crash mid-run")
 		failAt      = fs.Float64("fail-at", 0.33, "fraction of the run at which devices crash")
 		recoverAt   = fs.Float64("recover-at", 0.66, "fraction at which crashed devices recover (>1: never)")
@@ -53,6 +57,20 @@ func run(args []string) error {
 	}
 	if *concurrency < 1 {
 		return fmt.Errorf("-concurrency must be at least 1, got %d", *concurrency)
+	}
+	if *replicas < 1 {
+		return fmt.Errorf("-replicas must be at least 1, got %d", *replicas)
+	}
+	if *failReplica && *replicas < 2 {
+		return fmt.Errorf("-fail-replica needs -replicas of at least 2 so the survivors can take over")
+	}
+
+	// Parse the failure list before spending minutes on training; the
+	// per-device range check follows once the model (and so the device
+	// count) is known.
+	failures, err := cliutil.ParseInts(*failList, 0)
+	if err != nil {
+		return fmt.Errorf("bad -fail: %w", err)
 	}
 
 	dcfg := ddnn.DefaultDatasetConfig()
@@ -78,14 +96,9 @@ func run(args []string) error {
 		}
 	}
 
-	var failures []int
-	if *failList != "" {
-		for _, s := range strings.Split(*failList, ",") {
-			d, err := strconv.Atoi(strings.TrimSpace(s))
-			if err != nil || d < 0 || d >= model.Cfg.Devices {
-				return fmt.Errorf("bad -fail entry %q", s)
-			}
-			failures = append(failures, d)
+	for _, d := range failures {
+		if d >= model.Cfg.Devices {
+			return fmt.Errorf("bad -fail entry %d: model has %d devices", d, model.Cfg.Devices)
 		}
 	}
 
@@ -95,8 +108,12 @@ func run(args []string) error {
 		ddnn.WithThreshold(*threshold),
 		ddnn.WithEdgeThreshold(*edgeT),
 		ddnn.WithDeviceTimeout(500*time.Millisecond),
+		ddnn.WithCloudTimeout(time.Second),
+		ddnn.WithEdgeTimeout(2*time.Second),
 		ddnn.WithMaxFailures(0), // leave detection to the health monitor
 		ddnn.WithMaxConcurrency(*concurrency),
+		ddnn.WithCloudReplicas(*replicas),
+		ddnn.WithEdgeReplicas(*replicas),
 		ddnn.WithLogger(logger))
 	if err != nil {
 		return err
@@ -120,7 +137,9 @@ func run(args []string) error {
 	failPoint := int(*failAt * float64(n))
 	recoverPoint := int(*recoverAt * float64(n))
 
-	fmt.Printf("classifying %d samples (T=%.2f, %d concurrent sessions)...\n", n, *threshold, *concurrency)
+	total, healthy := eng.UpstreamReplicas()
+	fmt.Printf("classifying %d samples (T=%.2f, %d concurrent sessions, %d/%d upstream replicas healthy)...\n",
+		n, *threshold, *concurrency, healthy, total)
 	start := time.Now()
 	// Classify in windows of `concurrency` samples so failure injection
 	// lands between windows at a well-defined sample index.
@@ -129,6 +148,23 @@ func run(args []string) error {
 			fmt.Printf("  [%d/%d] crashing devices %v\n", base, n, failures)
 			for _, d := range failures {
 				eng.SetDeviceFailed(d, true)
+			}
+		}
+		if *failReplica && base <= failPoint && failPoint < base+*concurrency {
+			if model.Cfg.UseEdge {
+				fmt.Printf("  [%d/%d] crashing edge replica 0 (of %d)\n", base, n, *replicas)
+				eng.SetEdgeFailed(0, true)
+			} else {
+				fmt.Printf("  [%d/%d] crashing cloud replica 0 (of %d)\n", base, n, *replicas)
+				eng.SetCloudFailed(0, true)
+			}
+		}
+		if *failReplica && base <= recoverPoint && recoverPoint < base+*concurrency {
+			fmt.Printf("  [%d/%d] recovering crashed replica 0\n", base, n)
+			if model.Cfg.UseEdge {
+				eng.SetEdgeFailed(0, false)
+			} else {
+				eng.SetCloudFailed(0, false)
 			}
 		}
 		if len(failures) > 0 && base <= recoverPoint && recoverPoint < base+*concurrency {

@@ -31,10 +31,12 @@
 // # Serving
 //
 // The Engine is the serving entry point: it runs the trained DDNN as an
-// always-on cluster (device nodes, gateway, cloud) and classifies any
-// number of samples concurrently. Every call is a context-aware session;
-// sessions are multiplexed over the node links and bounded by the
-// engine's concurrency limit:
+// always-on cluster — device nodes, gateway, and replica pools for the
+// edge and cloud tiers (WithEdgeReplicas / WithCloudReplicas) — and
+// classifies any number of samples concurrently. Every call is a
+// context-aware session; sessions are multiplexed over the node links,
+// load-balanced across healthy upstream replicas with mid-session
+// failover, and bounded by the engine's concurrency limit:
 //
 //	eng, _ := ddnn.NewEngine(model, test,
 //		ddnn.WithThreshold(0.8),

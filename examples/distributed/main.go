@@ -61,7 +61,7 @@ func run() error {
 	// Front the remote nodes with an Engine: each Classify is a session
 	// multiplexed over the shared TCP links.
 	ctx := context.Background()
-	eng, err := ddnn.Connect(ctx, model, addrs, cloud.Addr(),
+	eng, err := ddnn.Connect(ctx, model, addrs, []string{cloud.Addr()},
 		ddnn.WithThreshold(0.8),
 		ddnn.WithMaxConcurrency(8))
 	if err != nil {

@@ -173,7 +173,7 @@ func TestNewGatewayRejectsTooManyDevices(t *testing.T) {
 	for i := range addrs {
 		addrs[i] = fmt.Sprintf("overflow-device-%d", i)
 	}
-	_, err = NewGateway(context.Background(), model, DefaultGatewayConfig(), transport.NewMem(), addrs, "overflow-cloud", quietLogger())
+	_, err = NewGateway(context.Background(), model, DefaultGatewayConfig(), transport.NewMem(), addrs, []string{"overflow-cloud"}, quietLogger())
 	if !errors.Is(err, ErrTooManyDevices) {
 		t.Fatalf("NewGateway with 17 devices: err = %v, want ErrTooManyDevices", err)
 	}

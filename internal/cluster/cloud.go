@@ -7,6 +7,7 @@ import (
 	"log/slog"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"github.com/ddnn/ddnn-go/internal/core"
 	"github.com/ddnn/ddnn-go/internal/nn"
@@ -29,6 +30,8 @@ import (
 type Cloud struct {
 	model  *core.Model
 	logger *slog.Logger
+
+	failed atomic.Bool
 
 	// pool recycles session feature maps and forward tensors across
 	// classifications, keeping the steady-state handler allocation-free.
@@ -75,6 +78,15 @@ func (c *Cloud) Addr() string {
 	}
 	return c.listener.Addr().String()
 }
+
+// SetFailed toggles simulated failure: a failed cloud replica goes
+// silent, which downstream tiers observe as escalation timeouts — their
+// replica pools then fence it and fail sessions over to the remaining
+// replicas.
+func (c *Cloud) SetFailed(failed bool) { c.failed.Store(failed) }
+
+// Failed reports the simulated-failure state.
+func (c *Cloud) Failed() bool { return c.failed.Load() }
 
 func (c *Cloud) acceptLoop() {
 	defer c.wg.Done()
@@ -132,6 +144,11 @@ func (c *Cloud) handle(conn net.Conn) {
 				c.logger.Debug("decode error", "err", err)
 			}
 			return
+		}
+		if c.failed.Load() {
+			// A crashed cloud replica goes silent; the downstream pool's
+			// escalation timeout and failover handle the rest.
+			continue
 		}
 		switch m := msg.(type) {
 		case *wire.Heartbeat:

@@ -299,13 +299,13 @@ func TestHealthMonitorDetectsFailureAndRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cloud.Close()
-	gw, err := NewGateway(context.Background(), model, cfg, tr, addrs, "hm-cloud", quietLogger())
+	gw, err := NewGateway(context.Background(), model, cfg, tr, addrs, []string{"hm-cloud"}, quietLogger())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer gw.Close()
 
-	hm, err := gw.StartHealthMonitor(context.Background(), tr, addrs, "hm-cloud", 25*time.Millisecond, 2)
+	hm, err := gw.StartHealthMonitor(context.Background(), tr, addrs, []string{"hm-cloud"}, 25*time.Millisecond, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -351,7 +351,7 @@ func TestHealthMonitorDetectsFailureAndRecovery(t *testing.T) {
 func TestHealthMonitorRejectsBadArgs(t *testing.T) {
 	sim := newSim(t, DefaultGatewayConfig())
 	tr := transport.NewMem()
-	if _, err := sim.Gateway.StartHealthMonitor(context.Background(), tr, []string{"only-one"}, "", time.Second, 3); err == nil {
+	if _, err := sim.Gateway.StartHealthMonitor(context.Background(), tr, []string{"only-one"}, nil, time.Second, 3); err == nil {
 		t.Error("accepted wrong address count")
 	}
 }
@@ -363,7 +363,7 @@ func TestCloudFailureSurfacesError(t *testing.T) {
 	cfg.Threshold = -1 // force every sample to the cloud
 	cfg.CloudTimeout = 300 * time.Millisecond
 	sim := newSim(t, cfg)
-	sim.Cloud.Close()
+	sim.Cloud().Close()
 
 	start := time.Now()
 	_, err := sim.Gateway.Classify(context.Background(), 0)
@@ -384,7 +384,7 @@ func TestCloudFailureSurfacesError(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer sim2.Close()
-	sim2.Cloud.Close()
+	sim2.Cloud().Close()
 	if _, err := sim2.Gateway.Classify(context.Background(), 0); err != nil {
 		t.Errorf("local-exit classification failed with cloud down: %v", err)
 	}
@@ -461,7 +461,7 @@ func TestClusterOverTCP(t *testing.T) {
 	}
 	defer cloud.Close()
 
-	gw, err := NewGateway(context.Background(), model, DefaultGatewayConfig(), tr, addrs, cloud.listener.Addr().String(), quietLogger())
+	gw, err := NewGateway(context.Background(), model, DefaultGatewayConfig(), tr, addrs, []string{cloud.listener.Addr().String()}, quietLogger())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -21,8 +21,14 @@ import (
 
 // EdgeConfig controls the edge node.
 type EdgeConfig struct {
-	// CloudTimeout bounds the edge→cloud round trip for samples that
-	// miss the edge exit.
+	// CloudTimeout bounds the whole edge→cloud escalation of a sample
+	// that misses the edge exit, including any failover retries across
+	// cloud replicas — the budget must stay below the gateway's
+	// EdgeTimeout or the downstream tier gives up before the edge can
+	// answer (or fall back). A replica that dies fast leaves the rest of
+	// the budget to the retry; one that hangs consumes it, and the
+	// session falls back while fencing removes the replica for later
+	// sessions.
 	CloudTimeout time.Duration
 	// CloudFallback, when true, answers an escalated sample with the
 	// edge's own (unconfident) classification if the cloud round trip
@@ -47,8 +53,9 @@ func DefaultEdgeConfig() EdgeConfig {
 //
 // Sessions are demultiplexed by wire session ID on both sides: one
 // gateway connection carries any number of interleaved sessions, and
-// all sessions share one multiplexed cloud link. The model is frozen
-// (read-only), so complete sessions classify in parallel goroutines.
+// all sessions share one multiplexed link per cloud replica. The model
+// is frozen (read-only), so complete sessions classify in parallel
+// goroutines.
 type Edge struct {
 	model  *core.Model
 	cfg    EdgeConfig
@@ -58,17 +65,17 @@ type Edge struct {
 	// classifications, keeping the steady-state handler allocation-free.
 	pool *tensor.Pool
 
-	cloud *link // nil until ConnectCloud
+	cloud *ReplicaPool // nil until ConnectCloud
 
 	// Meter accumulates the edge→cloud hop's Eq. (1)-style payload
 	// bytes under "cloud-upload".
 	Meter *metrics.CommMeter
 
-	// nextUpstream numbers the edge's own cloud-link sessions.
+	// nextUpstream numbers the edge's own cloud-pool sessions.
 	// Downstream (gateway-assigned) session IDs are only unique per
 	// gateway connection, and every connection shares the one cloud
-	// link — reusing them there would collide across gateways and
-	// misroute verdicts.
+	// replica pool — reusing them there would collide across gateways
+	// and misroute verdicts.
 	nextUpstream atomic.Uint64
 
 	failed atomic.Bool
@@ -103,15 +110,17 @@ func NewEdge(model *core.Model, cfg EdgeConfig, logger *slog.Logger) (*Edge, err
 	}, nil
 }
 
-// ConnectCloud dials the upstream cloud node. Sessions escalated before
+// ConnectCloud dials the upstream cloud replicas and pools them: edge
+// escalations load-balance across healthy cloud replicas and retry on
+// another replica when one dies mid-session. Sessions escalated before
 // (or without) a cloud connection fail over per EdgeConfig.CloudFallback.
 // The context bounds connection setup only.
-func (e *Edge) ConnectCloud(ctx context.Context, tr transport.Transport, addr string) error {
-	conn, err := tr.Dial(ctx, addr)
+func (e *Edge) ConnectCloud(ctx context.Context, tr transport.Transport, addrs ...string) error {
+	pool, err := newReplicaPool(ctx, wire.ExitCloud, tr, addrs, e.logger)
 	if err != nil {
 		return fmt.Errorf("cluster: edge dial cloud: %w", err)
 	}
-	e.cloud = newLink(conn)
+	e.cloud = pool
 	return nil
 }
 
@@ -386,8 +395,9 @@ func (e *Edge) classifyBatch(send func(wire.Message) error, sess *edgeBatchSessi
 }
 
 // escalateBatch packs the hard samples' edge feature rows into one
-// EdgeFeatureBatch, forwards it to the cloud under a fresh edge-owned
-// session ID and returns the cloud's verdicts in hard-index order.
+// EdgeFeatureBatch, forwards it to a pool-scheduled cloud replica under
+// a fresh edge-owned session ID and returns the cloud's verdicts in
+// hard-index order.
 func (e *Edge) escalateBatch(ids []uint64, hard []int, edgeFeats *tensor.Tensor) ([]wire.BatchVerdict, error) {
 	if e.cloud == nil {
 		return nil, fmt.Errorf("edge has no cloud connection")
@@ -407,16 +417,12 @@ func (e *Edge) escalateBatch(ids []uint64, hard []int, edgeFeats *tensor.Tensor)
 		SampleIDs: hardIDs,
 		Bits:      bits,
 	}
-	ch, err := e.cloud.subscribe(upSession)
-	if err != nil {
-		return nil, fmt.Errorf("cloud link failed: %w", err)
-	}
-	defer e.cloud.unsubscribe(upSession)
-	if err := e.cloud.send(e.cfg.CloudTimeout, msg); err != nil {
-		return nil, fmt.Errorf("forward edge feature batch: %w", err)
-	}
 	e.Meter.Add("cloud-upload", int64(len(bits)))
-	reply, err := e.cloud.wait(context.Background(), ch, e.cfg.CloudTimeout)
+	// One overall budget for pick + send + wait + any failover retries,
+	// so N hung replicas cannot stack N full timeouts (see CloudTimeout).
+	ctx, cancel := context.WithTimeout(context.Background(), e.cfg.CloudTimeout)
+	defer cancel()
+	reply, err := e.cloud.relay(ctx, upSession, e.cfg.CloudTimeout, msg)
 	if err != nil {
 		return nil, err
 	}
@@ -438,9 +444,10 @@ func (e *Edge) escalateBatch(ids []uint64, hard []int, edgeFeats *tensor.Tensor)
 	}
 }
 
-// escalate packs the edge feature map, forwards it to the cloud under a
-// fresh edge-owned session ID, waits for the verdict on the shared cloud
-// link and rewrites it back onto the downstream session.
+// escalate packs the edge feature map, forwards it to a pool-scheduled
+// cloud replica under a fresh edge-owned session ID, waits for the
+// verdict on that replica's link and rewrites it back onto the
+// downstream session.
 func (e *Edge) escalate(sess *edgeSession, edgeFeat *tensor.Tensor) (*wire.ClassifyResult, error) {
 	if e.cloud == nil {
 		return nil, fmt.Errorf("edge has no cloud connection")
@@ -455,16 +462,12 @@ func (e *Edge) escalate(sess *edgeSession, edgeFeat *tensor.Tensor) (*wire.Class
 		W:        uint16(edgeFeat.Dim(3)),
 		Bits:     bits,
 	}
-	ch, err := e.cloud.subscribe(upSession)
-	if err != nil {
-		return nil, fmt.Errorf("cloud link failed: %w", err)
-	}
-	defer e.cloud.unsubscribe(upSession)
-	if err := e.cloud.send(e.cfg.CloudTimeout, up); err != nil {
-		return nil, fmt.Errorf("forward edge features: %w", err)
-	}
 	e.Meter.Add("cloud-upload", int64(len(bits)))
-	msg, err := e.cloud.wait(context.Background(), ch, e.cfg.CloudTimeout)
+	// One overall budget for pick + send + wait + any failover retries,
+	// so N hung replicas cannot stack N full timeouts (see CloudTimeout).
+	ctx, cancel := context.WithTimeout(context.Background(), e.cfg.CloudTimeout)
+	defer cancel()
+	msg, err := e.cloud.relay(ctx, upSession, e.cfg.CloudTimeout, up)
 	if err != nil {
 		return nil, err
 	}

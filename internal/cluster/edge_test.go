@@ -56,11 +56,11 @@ func newEdgeSim(t *testing.T, cfg GatewayConfig) *Sim {
 
 func TestEdgeSimStartsThreeTierTopology(t *testing.T) {
 	sim := newEdgeSim(t, DefaultGatewayConfig())
-	if sim.Edge == nil {
+	if sim.Edge() == nil {
 		t.Fatal("edge-tier sim has no edge node")
 	}
-	if sim.UpstreamAddr() != "edge" {
-		t.Errorf("upstream addr = %q, want edge", sim.UpstreamAddr())
+	if addrs := sim.UpstreamAddrs(); len(addrs) != 1 || addrs[0] != "edge-0" {
+		t.Errorf("upstream addrs = %v, want [edge-0]", addrs)
 	}
 	p := sim.Gateway.Pipeline()
 	want := []wire.ExitPoint{wire.ExitLocal, wire.ExitEdge, wire.ExitCloud}
@@ -133,7 +133,7 @@ func TestEdgeTierMetersBothHops(t *testing.T) {
 		t.Errorf("gateway cloud-upload bytes = %d, want 0 (the edge owns the second hop)", got)
 	}
 	edgeBytes := int64(model.Cfg.EdgeFilters*(model.Cfg.FeatureH()/2)*(model.Cfg.FeatureW()/2)) / 8
-	if got := sim.Edge.Meter.Get("cloud-upload"); got != edgeBytes {
+	if got := sim.Edge().Meter.Get("cloud-upload"); got != edgeBytes {
 		t.Errorf("edge→cloud bytes = %d, want %d (bit-packed edge features)", got, edgeBytes)
 	}
 }
@@ -148,7 +148,7 @@ func TestEdgeExitSendsNothingToCloud(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if got := sim.Edge.Meter.Get("cloud-upload"); got != 0 {
+	if got := sim.Edge().Meter.Get("cloud-upload"); got != 0 {
 		t.Errorf("edge→cloud bytes = %d, want 0 when the edge answers everything", got)
 	}
 }
@@ -158,7 +158,7 @@ func TestEdgeDownSurfacesTypedError(t *testing.T) {
 	cfg.Threshold = -1 // force escalation
 	cfg.EdgeTimeout = 300 * time.Millisecond
 	sim := newEdgeSim(t, cfg)
-	sim.Edge.SetFailed(true)
+	sim.Edge().SetFailed(true)
 
 	start := time.Now()
 	_, err := sim.Gateway.Classify(context.Background(), 0)
@@ -178,7 +178,7 @@ func TestEdgeDownSurfacesTypedError(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer sim2.Close()
-	sim2.Edge.SetFailed(true)
+	sim2.Edge().SetFailed(true)
 	res, err := sim2.Gateway.Classify(context.Background(), 0)
 	if err != nil {
 		t.Fatalf("local-exit classification failed with edge down: %v", err)
@@ -197,7 +197,7 @@ func TestEdgeAnswersWhenCloudDown(t *testing.T) {
 	cfg.Threshold = -1
 	cfg.EdgeThreshold = -1 // every sample wants the cloud
 	sim := newEdgeSim(t, cfg)
-	sim.Cloud.Close()
+	sim.Cloud().Close()
 
 	start := time.Now()
 	res, err := sim.Gateway.Classify(context.Background(), 0)
@@ -303,7 +303,7 @@ func TestAttachEngineToEdgeTierOverTCP(t *testing.T) {
 		Gateway:        gcfg,
 		MaxConcurrency: 4,
 		Logger:         quietLogger(),
-	}, tr, addrs, edge.Addr())
+	}, tr, addrs, []string{edge.Addr()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -365,7 +365,7 @@ func TestTwoGatewaysShareOneEdge(t *testing.T) {
 	gcfg.EdgeThreshold = -1 // all sessions traverse the shared cloud link
 	var gws [2]*Gateway
 	for i := range gws {
-		gw, err := NewGateway(context.Background(), model, gcfg, tr, addrs, "2gw-edge", quietLogger())
+		gw, err := NewGateway(context.Background(), model, gcfg, tr, addrs, []string{"2gw-edge"}, quietLogger())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"log/slog"
+	"strings"
 	"sync"
 	"time"
 
@@ -31,6 +32,14 @@ type EngineConfig struct {
 	// coalesce into one multi-sample session per tier (see BatchConfig).
 	// The zero value disables batching.
 	Batch BatchConfig
+	// EdgeReplicas is the number of edge nodes an in-process engine
+	// starts for edge-tier models (NewEngine only; attached engines take
+	// explicit address lists). Zero means one. Sessions load-balance
+	// across the replicas and fail over when one dies.
+	EdgeReplicas int
+	// CloudReplicas is the number of cloud nodes an in-process engine
+	// starts (NewEngine only). Zero means one.
+	CloudReplicas int
 	// Workers bounds the worker pool that splits a coalesced batch's
 	// tier forwards across cores — per-sample convolutions and
 	// output-channel blocks of large single-sample convolutions. Zero
@@ -47,8 +56,10 @@ type EngineConfig struct {
 	// §IV-B/§V. EdgeLink applies to the gateway↔edge hop of edge-tier
 	// models; CloudLink to whichever hop reaches the cloud.
 	DeviceLink transport.LinkProfile
-	EdgeLink   transport.LinkProfile
-	CloudLink  transport.LinkProfile
+	// EdgeLink is the gateway↔edge hop's simulated profile; see DeviceLink.
+	EdgeLink transport.LinkProfile
+	// CloudLink is the simulated profile of whichever hop reaches the cloud; see DeviceLink.
+	CloudLink transport.LinkProfile
 }
 
 // simulatesLinks reports whether any link profile is configured.
@@ -65,9 +76,9 @@ type Engine struct {
 	gw  *Gateway
 	sim *Sim // nil when attached to remote nodes
 
-	tr           transport.Transport
-	deviceAddrs  []string
-	upstreamAddr string
+	tr            transport.Transport
+	deviceAddrs   []string
+	upstreamAddrs []string
 
 	sem       chan struct{}
 	collector *batchCollector // nil unless Batch.MaxBatch > 1
@@ -84,18 +95,22 @@ type Engine struct {
 }
 
 // NewEngine starts a complete in-process cluster — device nodes, the
-// edge node for edge-tier models, cloud and gateway over the transport —
-// and returns a serving engine for it. Sample IDs are indices into ds.
+// edge replicas for edge-tier models, the cloud replicas and a gateway
+// over the transport — and returns a serving engine for it. Replica
+// counts come from EngineConfig.EdgeReplicas/CloudReplicas. Sample IDs
+// are indices into ds.
 func NewEngine(m *core.Model, ds *dataset.Dataset, cfg EngineConfig, tr transport.Transport) (*Engine, error) {
 	simTr := tr
 	if cfg.simulatesLinks() {
 		simTr = transport.RouteSim{
 			Inner: tr,
 			Pick: func(addr string) transport.LinkProfile {
-				switch addr {
-				case "cloud":
+				// Replicated tiers listen as "cloud-N" / "edge-N"; every
+				// replica of a tier shares that tier's link profile.
+				switch {
+				case strings.HasPrefix(addr, "cloud"):
 					return cfg.CloudLink
-				case "edge":
+				case strings.HasPrefix(addr, "edge"):
 					return cfg.EdgeLink
 				default:
 					return cfg.DeviceLink
@@ -103,7 +118,8 @@ func NewEngine(m *core.Model, ds *dataset.Dataset, cfg EngineConfig, tr transpor
 			},
 		}
 	}
-	sim, err := NewSim(m, ds, cfg.Gateway, simTr, cfg.Logger)
+	topo := Topology{EdgeReplicas: cfg.EdgeReplicas, CloudReplicas: cfg.CloudReplicas}
+	sim, err := NewReplicatedSim(m, ds, cfg.Gateway, topo, simTr, cfg.Logger)
 	if err != nil {
 		return nil, err
 	}
@@ -111,23 +127,24 @@ func NewEngine(m *core.Model, ds *dataset.Dataset, cfg EngineConfig, tr transpor
 	e.sim = sim
 	e.tr = simTr
 	e.deviceAddrs = sim.DeviceAddrs()
-	e.upstreamAddr = sim.UpstreamAddr()
+	e.upstreamAddrs = sim.UpstreamAddrs()
 	return e, nil
 }
 
 // AttachEngine connects a serving engine to already-running nodes (e.g.
-// over TCP): the device nodes plus the gateway's upstream tier — the
-// edge node (cmd/ddnn-edge) for models built with UseEdge, the cloud
-// node otherwise. The context bounds connection setup.
-func AttachEngine(ctx context.Context, m *core.Model, cfg EngineConfig, tr transport.Transport, deviceAddrs []string, upstreamAddr string) (*Engine, error) {
-	gw, err := NewGateway(ctx, m, cfg.Gateway, tr, deviceAddrs, upstreamAddr, cfg.Logger)
+// over TCP): the device nodes plus the replicas of the gateway's
+// upstream tier — edge nodes (cmd/ddnn-edge) for models built with
+// UseEdge, cloud nodes otherwise. Sessions load-balance across the
+// upstream replicas. The context bounds connection setup.
+func AttachEngine(ctx context.Context, m *core.Model, cfg EngineConfig, tr transport.Transport, deviceAddrs []string, upstreamAddrs []string) (*Engine, error) {
+	gw, err := NewGateway(ctx, m, cfg.Gateway, tr, deviceAddrs, upstreamAddrs, cfg.Logger)
 	if err != nil {
 		return nil, err
 	}
 	e := newEngine(gw, cfg)
 	e.tr = tr
 	e.deviceAddrs = append([]string(nil), deviceAddrs...)
-	e.upstreamAddr = upstreamAddr
+	e.upstreamAddrs = append([]string(nil), upstreamAddrs...)
 	return e, nil
 }
 
@@ -313,23 +330,42 @@ func (e *Engine) Devices() []*Device {
 	return e.sim.Devices
 }
 
-// Edge returns the in-process edge node, or nil for two-tier models and
-// attached engines. Simulations use it to inject failures and read the
-// edge→cloud hop's communication meter.
+// Edge returns the first in-process edge replica, or nil for two-tier
+// models and attached engines. Simulations use it to inject failures and
+// read the edge→cloud hop's communication meter.
 func (e *Engine) Edge() *Edge {
 	if e.sim == nil {
 		return nil
 	}
-	return e.sim.Edge
+	return e.sim.Edge()
 }
 
-// StartHealthMonitor begins heartbeat probing of the engine's devices and
-// upstream tier over its transport; see Gateway.StartHealthMonitor.
+// Edges returns the in-process edge replicas, or nil for two-tier models
+// and attached engines. Simulations use them to inject replica failures.
+func (e *Engine) Edges() []*Edge {
+	if e.sim == nil {
+		return nil
+	}
+	return e.sim.Edges
+}
+
+// Clouds returns the in-process cloud replicas, or nil for attached
+// engines. Simulations use them to inject replica failures.
+func (e *Engine) Clouds() []*Cloud {
+	if e.sim == nil {
+		return nil
+	}
+	return e.sim.Clouds
+}
+
+// StartHealthMonitor begins heartbeat probing of the engine's devices
+// and every upstream replica over its transport; see
+// Gateway.StartHealthMonitor.
 func (e *Engine) StartHealthMonitor(ctx context.Context, interval time.Duration, misses int) (*HealthMonitor, error) {
 	if e.tr == nil || len(e.deviceAddrs) == 0 {
 		return nil, fmt.Errorf("cluster: engine has no device addresses to probe")
 	}
-	return e.gw.StartHealthMonitor(ctx, e.tr, e.deviceAddrs, e.upstreamAddr, interval, misses)
+	return e.gw.StartHealthMonitor(ctx, e.tr, e.deviceAddrs, e.upstreamAddrs, interval, misses)
 }
 
 // Close drains in-flight sessions and tears the engine (and, for

@@ -27,6 +27,12 @@ var (
 	// and the edge tier — the next escalation stage of a three-tier
 	// hierarchy — could not be reached.
 	ErrEdgeUnavailable = errors.New("ddnn: edge unavailable")
+	// ErrNoHealthyReplica reports that every replica of an upstream tier
+	// (edge or cloud pool) is fenced — marked down by the health monitor
+	// or by in-session failure detection — so an escalation had no
+	// replica to run on. It is always wrapped in the tier's sentinel
+	// (ErrEdgeUnavailable or ErrCloudUnavailable).
+	ErrNoHealthyReplica = errors.New("ddnn: no healthy replica")
 	// ErrTooManyDevices reports a hierarchy with more devices than the
 	// wire protocol's uint16 present-device masks can describe
 	// (wire.MaxDevices); such configs are rejected at gateway

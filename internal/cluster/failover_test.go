@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/ddnn/ddnn-go/internal/branchy"
+	"github.com/ddnn/ddnn-go/internal/transport"
+	"github.com/ddnn/ddnn-go/internal/wire"
+)
+
+// TestCloudReplicaFailoverMidBatch is the availability contract of the
+// replicated cloud tier (run with -race in CI): a 2-replica cloud pool
+// serves a cloud-bound micro-batched stream, one replica is crashed
+// mid-run, and every sample must still be classified with exactly the
+// class the staged single-process reference assigns — the failed-over
+// escalation re-sends the same bit-packed feature frames to a replica
+// holding the same frozen model, so the answer is bit-identical.
+func TestCloudReplicaFailoverMidBatch(t *testing.T) {
+	model, test := fixture(t)
+	ref := model.Evaluate(test, nil, 32)
+
+	gcfg := DefaultGatewayConfig()
+	gcfg.Threshold = -1 // force every sample through the cloud pool
+	gcfg.CloudTimeout = 400 * time.Millisecond
+	eng, err := NewEngine(model, test, EngineConfig{
+		Gateway:        gcfg,
+		MaxConcurrency: 4,
+		Batch:          BatchConfig{MaxBatch: 8},
+		CloudReplicas:  2,
+		Logger:         quietLogger(),
+	}, transport.NewMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if got := len(eng.Clouds()); got != 2 {
+		t.Fatalf("engine started %d cloud replicas, want 2", got)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	n := test.Len()
+	killAt := n / 2
+	const window = 16
+	for base := 0; base < n; base += window {
+		if base <= killAt && killAt < base+window {
+			eng.Clouds()[0].SetFailed(true)
+		}
+		end := base + window
+		if end > n {
+			end = n
+		}
+		ids := make([]uint64, 0, end-base)
+		for id := base; id < end; id++ {
+			ids = append(ids, uint64(id))
+		}
+		results, err := eng.ClassifyBatch(ctx, ids)
+		if err != nil {
+			t.Fatalf("window at %d (kill at %d): %v", base, killAt, err)
+		}
+		for i, res := range results {
+			if res == nil {
+				t.Fatalf("sample %d: nil result", base+i)
+			}
+			if res.Exit != wire.ExitCloud {
+				t.Errorf("sample %d exit = %v, want cloud", base+i, res.Exit)
+			}
+			if want := argmaxRow(ref.CloudProbs[base+i]); res.Class != want {
+				t.Errorf("sample %d class = %d, want %d (bit-identical failover)", base+i, res.Class, want)
+			}
+		}
+	}
+
+	// Under continued traffic the crashed replica must end up fenced
+	// (consecutive escalation timeouts), with the survivor serving. The
+	// short run above may have routed too few sessions its way, so keep
+	// classifying until the detector trips.
+	deadline := time.Now().Add(20 * time.Second)
+	for eng.Gateway().Upstream().Healthy() != 1 && time.Now().Before(deadline) {
+		if _, err := eng.ClassifyBatch(ctx, []uint64{0, 1, 2, 3}); err != nil {
+			t.Fatalf("classification while waiting for fencing: %v", err)
+		}
+	}
+	if got := eng.Gateway().Upstream().Healthy(); got != 1 {
+		t.Errorf("healthy replicas = %d after the crash, want 1", got)
+	}
+	if eng.Gateway().UpstreamDown() {
+		t.Error("UpstreamDown() = true with one healthy replica left")
+	}
+}
+
+// TestEdgeReplicaFailoverMidStream is the same contract one tier down in
+// the three-tier hierarchy: two edge replicas (each pooling the cloud),
+// one crashed mid-stream, every sample still classified exactly as the
+// staged reference dictates.
+func TestEdgeReplicaFailoverMidStream(t *testing.T) {
+	model, test := edgeFixture(t)
+	res := model.Evaluate(test, nil, 32)
+	const localT, edgeT = -1, 0.8 // skip local, exit edge or cloud
+	pol := branchy.NewPolicy(localT, edgeT, 1)
+
+	gcfg := DefaultGatewayConfig()
+	gcfg.Threshold = localT
+	gcfg.EdgeThreshold = edgeT
+	gcfg.EdgeTimeout = 600 * time.Millisecond
+	eng, err := NewEngine(model, test, EngineConfig{
+		Gateway:        gcfg,
+		MaxConcurrency: 4,
+		EdgeReplicas:   2,
+		Logger:         quietLogger(),
+	}, transport.NewMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if got := len(eng.Edges()); got != 2 {
+		t.Fatalf("engine started %d edge replicas, want 2", got)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	n := test.Len()
+	killAt := n / 3
+	for i := 0; i < n; i++ {
+		if i == killAt {
+			eng.Edges()[0].SetFailed(true)
+		}
+		r, err := eng.Classify(ctx, uint64(i))
+		if err != nil {
+			t.Fatalf("sample %d (kill at %d): %v", i, killAt, err)
+		}
+		wantExit, wantClass := stagedExpectation(res, pol, i)
+		if r.Exit != wantExit || r.Class != wantClass {
+			t.Errorf("sample %d = (%v, %d), want (%v, %d)", i, r.Exit, r.Class, wantExit, wantClass)
+		}
+	}
+}

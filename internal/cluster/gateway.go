@@ -29,10 +29,14 @@ type GatewayConfig struct {
 	// are treated as absent for the sample (graceful degradation, §IV-G).
 	// A context with an earlier deadline wins.
 	DeviceTimeout time.Duration
-	// CloudTimeout bounds the cloud round trip (two-tier hierarchies).
+	// CloudTimeout bounds each cloud escalation attempt (two-tier
+	// hierarchies); a failover retry on another replica gets its own
+	// budget, since nothing above the gateway is waiting on a shorter
+	// clock.
 	CloudTimeout time.Duration
-	// EdgeTimeout bounds the gateway↔edge escalation round trip of a
-	// three-tier hierarchy, including any cloud relay behind the edge.
+	// EdgeTimeout bounds each gateway↔edge escalation attempt of a
+	// three-tier hierarchy, including any cloud relay behind the edge;
+	// as with CloudTimeout, a failover retry gets its own budget.
 	EdgeTimeout time.Duration
 	// MaxFailures marks a device as down after this many consecutive
 	// timeouts, so later samples skip it immediately. Zero disables
@@ -54,10 +58,14 @@ func DefaultGatewayConfig() GatewayConfig {
 
 // Result is the outcome of one distributed inference session.
 type Result struct {
+	// SampleID identifies the sample being classified.
 	SampleID uint64
-	Class    int
-	Exit     wire.ExitPoint
-	Probs    []float32
+	// Class is the predicted class index.
+	Class int
+	// Exit names the tier that produced the verdict.
+	Exit wire.ExitPoint
+	// Probs holds the per-class probabilities.
+	Probs []float32
 	// Entropy is the normalized entropy of the local aggregate.
 	Entropy float64
 	// Present marks the devices that contributed to the sample.
@@ -69,8 +77,11 @@ type Result struct {
 // Gateway is the local aggregator: it fans capture requests out to the
 // devices, aggregates their exit summaries, applies the entropy-threshold
 // exit rule of the pipeline's first stage, and escalates samples the
-// local exit is not confident about to the next tier up — the edge node
+// local exit is not confident about to the next tier up — the edge tier
 // of a three-tier hierarchy, or the cloud directly in a two-tier one.
+// The upstream tier is a replica pool: escalations load-balance across
+// its healthy replicas and fail over to another replica when one dies
+// mid-session.
 //
 // Classify is safe for concurrent use: each call opens an independent
 // session, tagged with a unique session ID, and the device and upstream
@@ -83,7 +94,7 @@ type Gateway struct {
 	logger   *slog.Logger
 
 	devices  []*deviceLink
-	upstream *link // edge node for edge-tier models, cloud otherwise
+	upstream *ReplicaPool // edge tier for edge-tier models, cloud otherwise
 
 	nextSession atomic.Uint64
 
@@ -91,12 +102,11 @@ type Gateway struct {
 	// ("local-summary", plus "cloud-upload" or "edge-upload" for the
 	// device feature maps relayed up the hierarchy's first hop).
 	Meter *metrics.CommMeter
-	// WireBytes counts actual bytes on each device uplink including
+	// wireConns counts actual bytes on each device uplink including
 	// framing, for comparison against the analytic model.
 	wireConns []*transport.CountingConn
 
-	stateMu      sync.Mutex // guards deviceLink.failures / .down, upstreamDown
-	upstreamDown bool       // driven by the health monitor
+	stateMu sync.Mutex // guards deviceLink.failures / .down
 }
 
 type deviceLink struct {
@@ -108,10 +118,12 @@ type deviceLink struct {
 }
 
 // NewGateway connects to the device nodes and the next tier up — the
-// edge node for edge-tier models, the cloud otherwise — and returns a
-// ready gateway. The context bounds connection setup only; per-session
-// deadlines come from the contexts passed to Classify.
-func NewGateway(ctx context.Context, model *core.Model, cfg GatewayConfig, tr transport.Transport, deviceAddrs []string, upstreamAddr string, logger *slog.Logger) (*Gateway, error) {
+// edge replicas for edge-tier models, the cloud replicas otherwise — and
+// returns a ready gateway. upstreamAddrs lists the replicas of that one
+// tier; sessions load-balance across them. The context bounds connection
+// setup only; per-session deadlines come from the contexts passed to
+// Classify.
+func NewGateway(ctx context.Context, model *core.Model, cfg GatewayConfig, tr transport.Transport, deviceAddrs []string, upstreamAddrs []string, logger *slog.Logger) (*Gateway, error) {
 	if logger == nil {
 		logger = slog.Default()
 	}
@@ -157,14 +169,18 @@ func NewGateway(ctx context.Context, model *core.Model, cfg GatewayConfig, tr tr
 		g.wireConns = append(g.wireConns, cc)
 		g.devices = append(g.devices, &deviceLink{index: i, link: newLink(cc)})
 	}
-	conn, err := tr.Dial(ctx, upstreamAddr)
+	pool, err := newReplicaPool(ctx, g.upstreamExit(), tr, upstreamAddrs, g.logger)
 	if err != nil {
 		g.Close()
-		return nil, fmt.Errorf("cluster: dial %v tier: %w", g.upstreamExit(), err)
+		return nil, err
 	}
-	g.upstream = newLink(conn)
+	g.upstream = pool
 	return g, nil
 }
+
+// Upstream exposes the gateway's upstream replica pool for stats
+// (replica count, health).
+func (g *Gateway) Upstream() *ReplicaPool { return g.upstream }
 
 // Pipeline returns the gateway's exit-stage list, lowest tier first.
 func (g *Gateway) Pipeline() Pipeline { return g.pipeline }
@@ -331,12 +347,14 @@ func (g *Gateway) captureFrom(ctx context.Context, dl *deviceLink, sid, sampleID
 }
 
 // escalate fetches feature maps from present devices and relays them to
-// the next tier of the pipeline — the edge node, which answers confident
-// samples itself and forwards the rest to the cloud, or the cloud
-// directly in a two-tier hierarchy.
+// the next tier of the pipeline — an edge replica, which answers
+// confident samples itself and forwards the rest to the cloud, or a
+// cloud replica directly in a two-tier hierarchy. The replica pool picks
+// the least-loaded healthy replica and retries on another if the chosen
+// one dies mid-session.
 func (g *Gateway) escalate(ctx context.Context, sid, sampleID uint64, present []bool) (*Result, error) {
-	if g.UpstreamDown() {
-		return nil, fmt.Errorf("cluster: sample %d: %w: marked down by health monitor", sampleID, g.upstreamSentinel())
+	if g.upstream.Down() {
+		return nil, fmt.Errorf("cluster: sample %d: %w: %w", sampleID, g.upstreamSentinel(), ErrNoHealthyReplica)
 	}
 	type upload struct {
 		device int
@@ -377,11 +395,14 @@ func (g *Gateway) escalate(ctx context.Context, sid, sampleID uint64, present []
 		return nil, fmt.Errorf("cluster: no features collected for sample %d: %w", sampleID, ErrNoSummaries)
 	}
 
-	// Relay the session header and all uploads as one atomic batch, then
-	// wait for this session's verdict on the shared upstream link. The
-	// header names the escalation target: the edge tier consumes its own
-	// threshold from the relayed pipeline and forwards the rest, while a
-	// two-tier cloud classifies unconditionally.
+	// Relay the session header and all uploads as one atomic batch to a
+	// pool-scheduled replica, then wait for this session's verdict on
+	// that replica's link. The header names the escalation target: the
+	// edge tier consumes its own threshold from the relayed pipeline and
+	// forwards the rest, while a two-tier cloud classifies
+	// unconditionally. Because the frames carry the session's complete
+	// feature payload, the pool can re-send them verbatim to a different
+	// replica if the first one dies mid-session.
 	sentinel := g.upstreamSentinel()
 	timeout := g.upstreamTimeout()
 	frames := make([]wire.Message, 0, len(collected)+1)
@@ -405,15 +426,7 @@ func (g *Gateway) escalate(ctx context.Context, sid, sampleID uint64, present []
 		up.Session = sid
 		frames = append(frames, up)
 	}
-	ch, err := g.upstream.subscribe(sid)
-	if err != nil {
-		return nil, fmt.Errorf("cluster: %w: %w", sentinel, err)
-	}
-	defer g.upstream.unsubscribe(sid)
-	if err := g.upstream.send(timeout, frames...); err != nil {
-		return nil, fmt.Errorf("cluster: %w: relay features: %w", sentinel, err)
-	}
-	msg, err := g.upstream.wait(ctx, ch, timeout)
+	msg, err := g.upstream.relay(ctx, sid, timeout, frames...)
 	if err != nil {
 		if cerr := ctx.Err(); cerr != nil {
 			return nil, ctxErr(cerr)
@@ -498,29 +511,17 @@ func (g *Gateway) DownDevices() []int {
 	return out
 }
 
-// UpstreamDown reports whether the health monitor has marked the next
-// tier up (edge or cloud) unreachable; escalations then fail fast with
-// the tier's typed error instead of waiting out the timeout.
-func (g *Gateway) UpstreamDown() bool {
-	g.stateMu.Lock()
-	defer g.stateMu.Unlock()
-	return g.upstreamDown
-}
+// UpstreamDown reports whether no replica of the next tier up (edge or
+// cloud) can currently serve — every replica is fenced by the health
+// monitor or by in-session failure detection, and none is eligible for
+// a trial. Escalations then fail fast with the tier's typed error
+// wrapping ErrNoHealthyReplica instead of waiting out the timeout.
+func (g *Gateway) UpstreamDown() bool { return g.upstream.Down() }
 
-// setUpstreamDown flips the upstream tier's availability from the
-// failure detector.
-func (g *Gateway) setUpstreamDown(down bool) {
-	g.stateMu.Lock()
-	defer g.stateMu.Unlock()
-	if g.upstreamDown == down {
-		return
-	}
-	g.upstreamDown = down
-	if down {
-		g.logger.Warn("health monitor marked upstream tier down", "tier", g.upstreamExit().String())
-	} else {
-		g.logger.Info("health monitor marked upstream tier up", "tier", g.upstreamExit().String())
-	}
+// setUpstreamReplicaDown flips one upstream replica's availability from
+// the failure detector.
+func (g *Gateway) setUpstreamReplicaDown(replica int, down bool) {
+	g.upstream.setDown(replica, down)
 }
 
 // Close tears down all connections.

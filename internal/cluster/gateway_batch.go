@@ -176,13 +176,14 @@ func (g *Gateway) captureBatchFrom(ctx context.Context, dl *deviceLink, sid uint
 
 // escalateBatch fetches the escalating samples' feature maps from the
 // devices that cover them — each device packs its whole subset into one
-// frame — and relays them with a batched classify header to the next
-// tier, filling results for every escalating index from the returned
-// ResultBatch.
+// frame — and relays them with a batched classify header to a
+// pool-scheduled replica of the next tier, filling results for every
+// escalating index from the returned ResultBatch. If the replica dies
+// mid-session the whole batch is retried on another replica.
 func (g *Gateway) escalateBatch(ctx context.Context, sid uint64, sampleIDs []uint64, escalate []int, present [][]bool, masks []uint16, entropies []float64, results []*Result, start time.Time) error {
 	sentinel := g.upstreamSentinel()
-	if g.UpstreamDown() {
-		return fmt.Errorf("cluster: batch of %d samples: %w: marked down by health monitor", len(escalate), sentinel)
+	if g.upstream.Down() {
+		return fmt.Errorf("cluster: batch of %d samples: %w: %w", len(escalate), sentinel, ErrNoHealthyReplica)
 	}
 
 	// Which escalating samples does each device cover?
@@ -298,15 +299,7 @@ func (g *Gateway) escalateBatch(ctx context.Context, sid uint64, sampleIDs []uin
 		}
 	}
 	timeout := g.upstreamTimeout()
-	ch, err := g.upstream.subscribe(sid)
-	if err != nil {
-		return fmt.Errorf("cluster: %w: %w", sentinel, err)
-	}
-	defer g.upstream.unsubscribe(sid)
-	if err := g.upstream.send(timeout, append([]wire.Message{hdr}, frames...)...); err != nil {
-		return fmt.Errorf("cluster: %w: relay feature batch: %w", sentinel, err)
-	}
-	msg, err := g.upstream.wait(ctx, ch, timeout)
+	msg, err := g.upstream.relay(ctx, sid, timeout, append([]wire.Message{hdr}, frames...)...)
 	if err != nil {
 		if cerr := ctx.Err(); cerr != nil {
 			return ctxErr(cerr)

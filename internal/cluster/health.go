@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -11,32 +12,38 @@ import (
 	"github.com/ddnn/ddnn-go/internal/wire"
 )
 
-// HealthMonitor probes every device — and, when an upstream address is
-// given, the next tier up (edge or cloud) — over dedicated connections
-// and drives the gateway's up/down state: a node that misses consecutive
-// heartbeats is marked down (so inference sessions skip it, or fail
-// escalations fast, without waiting for timeouts), and a node that
-// answers again is marked up — giving the cluster automatic recovery,
-// the flip side of the fault tolerance evaluated in §IV-G.
+// HealthMonitor probes every device — and every replica of the upstream
+// tier (edge or cloud) when upstream addresses are given — over
+// dedicated connections and drives the gateway's up/down state: a node
+// that misses consecutive heartbeats is marked down (so inference
+// sessions skip the device, or the replica pool stops scheduling the
+// replica, without waiting for timeouts), and a node that answers again
+// is marked up — giving the cluster automatic recovery, the flip side of
+// the fault tolerance evaluated in §IV-G. A probe connection that dies
+// (e.g. the peer process was killed) is re-dialed on the next tick, so
+// a restarted node is re-admitted instead of staying down forever.
 type HealthMonitor struct {
 	gw       *Gateway
+	tr       transport.Transport
 	interval time.Duration
 	misses   int
+
+	// monitored records that this monitor took over the upstream pool's
+	// recovery; Stop must hand it back.
+	monitored bool
 
 	stop chan struct{}
 	wg   sync.WaitGroup
 	once sync.Once
 }
 
-// upstreamProbe is the probeLoop target index for the upstream tier.
-const upstreamProbe = -1
-
-// StartHealthMonitor dials a probe connection to each device (and to the
-// upstream tier when upstreamAddr is non-empty) and begins heartbeating
-// every interval. A node is marked down after `misses` consecutive
-// unanswered probes and marked up again on the first answer. The context
-// bounds the probe dials only.
-func (g *Gateway) StartHealthMonitor(ctx context.Context, tr transport.Transport, deviceAddrs []string, upstreamAddr string, interval time.Duration, misses int) (*HealthMonitor, error) {
+// StartHealthMonitor dials a probe connection to each device and to each
+// upstream replica and begins heartbeating every interval. A node is
+// marked down after `misses` consecutive unanswered probes and marked up
+// again on the first answer. Attaching a monitor hands the upstream
+// pool's recovery to it: the pool stops sending half-open trial sessions
+// to fenced replicas. The context bounds the initial probe dials only.
+func (g *Gateway) StartHealthMonitor(ctx context.Context, tr transport.Transport, deviceAddrs []string, upstreamAddrs []string, interval time.Duration, misses int) (*HealthMonitor, error) {
 	if len(deviceAddrs) != len(g.devices) {
 		return nil, fmt.Errorf("cluster: health monitor needs %d device addresses, got %d", len(g.devices), len(deviceAddrs))
 	}
@@ -48,41 +55,54 @@ func (g *Gateway) StartHealthMonitor(ctx context.Context, tr transport.Transport
 	}
 	hm := &HealthMonitor{
 		gw:       g,
+		tr:       tr,
 		interval: interval,
 		misses:   misses,
 		stop:     make(chan struct{}),
 	}
-	targets := make([]int, 0, len(deviceAddrs)+1)
-	addrs := make([]string, 0, len(deviceAddrs)+1)
+	// Targets: device i probes as target i; upstream replica i probes as
+	// target -(i+1), routed to the replica pool's health state.
+	targets := make([]int, 0, len(deviceAddrs)+len(upstreamAddrs))
+	addrs := make([]string, 0, len(deviceAddrs)+len(upstreamAddrs))
 	for i, addr := range deviceAddrs {
 		targets = append(targets, i)
 		addrs = append(addrs, addr)
 	}
-	if upstreamAddr != "" {
-		targets = append(targets, upstreamProbe)
-		addrs = append(addrs, upstreamAddr)
+	for i, addr := range upstreamAddrs {
+		targets = append(targets, -(i + 1))
+		addrs = append(addrs, addr)
 	}
 	for i, addr := range addrs {
-		conn, err := tr.Dial(ctx, addr)
+		conn, err := hm.tr.Dial(ctx, addr)
 		if err != nil {
 			hm.Stop()
-			if targets[i] == upstreamProbe {
-				return nil, fmt.Errorf("cluster: health dial %v tier: %w", g.upstreamExit(), err)
+			if targets[i] < 0 {
+				return nil, fmt.Errorf("cluster: health dial %v replica %d: %w", g.upstreamExit(), -targets[i]-1, err)
 			}
 			return nil, fmt.Errorf("cluster: health dial device %d: %w", targets[i], err)
 		}
 		hm.wg.Add(1)
-		go hm.probeLoop(targets[i], conn)
+		go hm.probeLoop(targets[i], addr, conn)
+	}
+	if len(upstreamAddrs) > 0 {
+		// Only a running monitor may own the pool's recovery; Stop hands
+		// it back to half-open trial sessions.
+		hm.monitored = true
+		g.upstream.setMonitored(true)
 	}
 	return hm, nil
 }
 
-func (hm *HealthMonitor) probeLoop(target int, conn net.Conn) {
+func (hm *HealthMonitor) probeLoop(target int, addr string, conn net.Conn) {
 	defer hm.wg.Done()
-	defer conn.Close()
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
 	nodeID := fmt.Sprintf("gw-probe-%d", target)
-	if target == upstreamProbe {
-		nodeID = "gw-probe-upstream"
+	if target < 0 {
+		nodeID = fmt.Sprintf("gw-probe-upstream-%d", -target-1)
 	}
 	ticker := time.NewTicker(hm.interval)
 	defer ticker.Stop()
@@ -95,10 +115,30 @@ func (hm *HealthMonitor) probeLoop(target int, conn net.Conn) {
 		case <-ticker.C:
 		}
 		seq++
-		if ok := hm.probeOnce(conn, nodeID, seq); ok {
+		if conn == nil {
+			// The previous probe connection died; re-dial so a restarted
+			// node can be re-admitted.
+			dctx, cancel := context.WithTimeout(context.Background(), hm.interval)
+			c, err := hm.tr.Dial(dctx, addr)
+			cancel()
+			if err != nil {
+				consecutive++
+				if consecutive >= hm.misses {
+					hm.setDown(target, true)
+				}
+				continue
+			}
+			conn = c
+		}
+		ok, connDead := hm.probeOnce(conn, nodeID, seq)
+		if ok {
 			consecutive = 0
 			hm.setDown(target, false)
 			continue
+		}
+		if connDead {
+			conn.Close()
+			conn = nil
 		}
 		consecutive++
 		if consecutive >= hm.misses {
@@ -109,41 +149,55 @@ func (hm *HealthMonitor) probeLoop(target int, conn net.Conn) {
 
 // setDown routes a probe verdict to the right availability flag.
 func (hm *HealthMonitor) setDown(target int, down bool) {
-	if target == upstreamProbe {
-		hm.gw.setUpstreamDown(down)
+	if target < 0 {
+		hm.gw.setUpstreamReplicaDown(-target-1, down)
 		return
 	}
 	hm.gw.setDeviceDown(target, down)
 }
 
-// probeOnce sends one heartbeat and waits up to the probe interval for the
-// echo, discarding unrelated stale frames.
-func (hm *HealthMonitor) probeOnce(conn net.Conn, nodeID string, seq uint64) bool {
+// probeOnce sends one heartbeat and waits up to the probe interval for
+// the echo, discarding unrelated stale frames. connDead reports that the
+// connection itself failed (write error), as opposed to a live peer that
+// stayed silent; dead connections are re-dialed on the next tick.
+func (hm *HealthMonitor) probeOnce(conn net.Conn, nodeID string, seq uint64) (ok, connDead bool) {
 	if _, err := wire.Encode(conn, &wire.Heartbeat{NodeID: nodeID, Seq: seq}); err != nil {
-		return false
+		return false, true
 	}
 	_ = conn.SetReadDeadline(time.Now().Add(hm.interval))
 	defer conn.SetReadDeadline(time.Time{})
 	for {
 		msg, err := wire.Decode(conn)
 		if err != nil {
-			return false
+			// A read timeout means the peer stayed silent; any other
+			// decode failure poisons the stream, so re-dial.
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				return false, false
+			}
+			return false, true
 		}
-		hb, ok := msg.(*wire.Heartbeat)
-		if !ok {
+		hb, isHB := msg.(*wire.Heartbeat)
+		if !isHB {
 			continue
 		}
 		if hb.Seq >= seq {
-			return true
+			return true, false
 		}
 		// A stale echo from an earlier probe; keep reading.
 	}
 }
 
-// Stop terminates all probe loops and closes their connections.
+// Stop terminates all probe loops and closes their connections. If the
+// monitor owned the upstream pool's recovery, ownership reverts to the
+// pool's half-open trial sessions, so replicas fenced after Stop can
+// still be re-admitted.
 func (hm *HealthMonitor) Stop() {
 	hm.once.Do(func() { close(hm.stop) })
 	hm.wg.Wait()
+	if hm.monitored {
+		hm.gw.upstream.setMonitored(false)
+	}
 }
 
 // setDeviceDown flips a device's availability from the failure detector.

@@ -63,6 +63,14 @@ func (l *link) readLoop() {
 	}
 }
 
+// broken reports whether the link has hit its terminal read error and can
+// no longer deliver replies; replica pools re-dial broken links lazily.
+func (l *link) broken() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err != nil
+}
+
 // fail records the terminal error and wakes every pending waiter.
 func (l *link) fail(err error) {
 	l.mu.Lock()

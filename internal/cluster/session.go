@@ -10,8 +10,9 @@ import (
 
 // uploadSession accumulates one escalation session's device feature
 // uploads until every present device's map has arrived. It is shared by
-// the cloud (two-tier hierarchies) and the edge node (three-tier), which
-// receive the same CloudClassify/EdgeClassify + FeatureUpload sequence.
+// cloud replicas (two-tier hierarchies) and edge replicas (three-tier),
+// which receive the same CloudClassify/EdgeClassify + FeatureUpload
+// sequence.
 type uploadSession struct {
 	sampleID uint64
 	allowed  uint16 // mask of devices whose uploads are expected

@@ -11,17 +11,44 @@ import (
 	"github.com/ddnn/ddnn-go/internal/transport"
 )
 
-// Sim assembles a complete DDNN cluster — device nodes, an edge node for
-// edge-tier models, a gateway and a cloud node — over a transport,
-// feeding device sensors from a dataset. Sample IDs are dataset indices.
+// Topology sizes the replicated tiers of an in-process cluster. The zero
+// value means one replica per tier — the paper's original single-edge,
+// single-cloud hierarchy.
+type Topology struct {
+	// EdgeReplicas is the number of edge nodes to start for edge-tier
+	// models (ignored otherwise); 0 means 1.
+	EdgeReplicas int
+	// CloudReplicas is the number of cloud nodes to start; 0 means 1.
+	CloudReplicas int
+}
+
+// normalize applies the zero-value defaults.
+func (t Topology) normalize() Topology {
+	if t.EdgeReplicas <= 0 {
+		t.EdgeReplicas = 1
+	}
+	if t.CloudReplicas <= 0 {
+		t.CloudReplicas = 1
+	}
+	return t
+}
+
+// Sim assembles a complete DDNN cluster — device nodes, the edge replicas
+// for edge-tier models, a gateway and the cloud replicas — over a
+// transport, feeding device sensors from a dataset. Sample IDs are
+// dataset indices.
 type Sim struct {
+	// Devices are the in-process device nodes, in device order.
 	Devices []*Device
-	Edge    *Edge // nil without an edge tier
-	Cloud   *Cloud
+	// Edges are the edge replicas; empty without an edge tier.
+	Edges []*Edge
+	// Clouds are the cloud replicas.
+	Clouds []*Cloud
+	// Gateway is the local aggregator fronting the hierarchy.
 	Gateway *Gateway
 
-	addrs        []string
-	upstreamAddr string
+	addrs         []string
+	upstreamAddrs []string
 }
 
 // DatasetFeed builds a Feed serving one device's views from a dataset.
@@ -38,12 +65,22 @@ func DatasetFeed(ds *dataset.Dataset, device int) Feed {
 	}
 }
 
-// NewSim starts every node of the hierarchy on the transport and connects
-// the gateway to its upstream tier: the edge node for edge-tier models,
-// the cloud otherwise. Addresses are synthesized as "device-N", "edge"
-// and "cloud"; with a TCP transport pass explicit addresses via
-// NewGateway instead.
+// NewSim starts a single-replica hierarchy on the transport; it is
+// NewReplicatedSim with the zero Topology.
 func NewSim(model *core.Model, ds *dataset.Dataset, cfg GatewayConfig, tr transport.Transport, logger *slog.Logger) (*Sim, error) {
+	return NewReplicatedSim(model, ds, cfg, Topology{}, tr, logger)
+}
+
+// NewReplicatedSim starts every node of the hierarchy on the transport —
+// topo.CloudReplicas cloud nodes, topo.EdgeReplicas edge nodes for
+// edge-tier models, one device node per sensor — and connects the
+// gateway to its upstream replica pool: the edge tier for edge-tier
+// models, the cloud tier otherwise. Every edge replica pools all cloud
+// replicas. Addresses are synthesized as "device-N", "edge-N" and
+// "cloud-N"; with a TCP transport pass explicit addresses via NewGateway
+// instead.
+func NewReplicatedSim(model *core.Model, ds *dataset.Dataset, cfg GatewayConfig, topo Topology, tr transport.Transport, logger *slog.Logger) (*Sim, error) {
+	topo = topo.normalize()
 	s := &Sim{}
 	addrs := make([]string, model.Cfg.Devices)
 	for d := 0; d < model.Cfg.Devices; d++ {
@@ -56,28 +93,37 @@ func NewSim(model *core.Model, ds *dataset.Dataset, cfg GatewayConfig, tr transp
 		s.Devices = append(s.Devices, dev)
 		addrs[d] = addr
 	}
-	s.Cloud = NewCloud(model, logger)
-	if err := s.Cloud.Serve(tr, "cloud"); err != nil {
-		s.Close()
-		return nil, err
+	cloudAddrs := make([]string, topo.CloudReplicas)
+	for i := 0; i < topo.CloudReplicas; i++ {
+		cloud := NewCloud(model, logger)
+		cloudAddrs[i] = fmt.Sprintf("cloud-%d", i)
+		if err := cloud.Serve(tr, cloudAddrs[i]); err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.Clouds = append(s.Clouds, cloud)
 	}
-	upstream := "cloud"
+	upstream := cloudAddrs
 	if model.Cfg.UseEdge {
-		edge, err := NewEdge(model, DefaultEdgeConfig(), logger)
-		if err != nil {
-			s.Close()
-			return nil, err
+		edgeAddrs := make([]string, topo.EdgeReplicas)
+		for i := 0; i < topo.EdgeReplicas; i++ {
+			edge, err := NewEdge(model, DefaultEdgeConfig(), logger)
+			if err != nil {
+				s.Close()
+				return nil, err
+			}
+			s.Edges = append(s.Edges, edge)
+			edgeAddrs[i] = fmt.Sprintf("edge-%d", i)
+			if err := edge.Serve(tr, edgeAddrs[i]); err != nil {
+				s.Close()
+				return nil, err
+			}
+			if err := edge.ConnectCloud(context.Background(), tr, cloudAddrs...); err != nil {
+				s.Close()
+				return nil, err
+			}
 		}
-		s.Edge = edge
-		if err := edge.Serve(tr, "edge"); err != nil {
-			s.Close()
-			return nil, err
-		}
-		if err := edge.ConnectCloud(context.Background(), tr, "cloud"); err != nil {
-			s.Close()
-			return nil, err
-		}
-		upstream = "edge"
+		upstream = edgeAddrs
 	}
 	gw, err := NewGateway(context.Background(), model, cfg, tr, addrs, upstream, logger)
 	if err != nil {
@@ -86,15 +132,33 @@ func NewSim(model *core.Model, ds *dataset.Dataset, cfg GatewayConfig, tr transp
 	}
 	s.Gateway = gw
 	s.addrs = addrs
-	s.upstreamAddr = upstream
+	s.upstreamAddrs = upstream
 	return s, nil
 }
 
 // DeviceAddrs returns the synthesized device addresses, in device order.
 func (s *Sim) DeviceAddrs() []string { return append([]string(nil), s.addrs...) }
 
-// UpstreamAddr returns the address of the tier the gateway escalates to.
-func (s *Sim) UpstreamAddr() string { return s.upstreamAddr }
+// UpstreamAddrs returns the addresses of the tier the gateway escalates
+// to, in replica order.
+func (s *Sim) UpstreamAddrs() []string { return append([]string(nil), s.upstreamAddrs...) }
+
+// Edge returns the first edge replica, or nil without an edge tier.
+func (s *Sim) Edge() *Edge {
+	if len(s.Edges) == 0 {
+		return nil
+	}
+	return s.Edges[0]
+}
+
+// Cloud returns the first cloud replica, or nil before construction
+// finished.
+func (s *Sim) Cloud() *Cloud {
+	if len(s.Clouds) == 0 {
+		return nil
+	}
+	return s.Clouds[0]
+}
 
 // Close tears the whole cluster down.
 func (s *Sim) Close() error {
@@ -104,11 +168,11 @@ func (s *Sim) Close() error {
 	for _, d := range s.Devices {
 		d.Close()
 	}
-	if s.Edge != nil {
-		s.Edge.Close()
+	for _, e := range s.Edges {
+		e.Close()
 	}
-	if s.Cloud != nil {
-		s.Cloud.Close()
+	for _, c := range s.Clouds {
+		c.Close()
 	}
 	return nil
 }

@@ -393,3 +393,31 @@ func TestCommunicationReductionMeasuredMatchesAnalytic(t *testing.T) {
 		t.Error("FormatCommReport missing reduction line")
 	}
 }
+
+func TestReplicaScalingAndFailover(t *testing.T) {
+	r := runner(t)
+	rep, err := r.ReplicaScaling([]int{1, 2}, 64, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(rep.Points))
+	}
+	if rep.Points[0].Replicas != 1 || rep.Points[0].Speedup != 1 {
+		t.Errorf("baseline point = %+v, want 1 replica at speedup 1", rep.Points[0])
+	}
+	if rep.Points[1].Throughput <= 0 {
+		t.Errorf("2-replica throughput = %v, want > 0", rep.Points[1].Throughput)
+	}
+	fo := rep.Failover
+	if fo.Errors != 0 {
+		t.Errorf("failover run had %d errors, want 0 (every sample must be classified)", fo.Errors)
+	}
+	if fo.Mismatches != 0 {
+		t.Errorf("failover run had %d mismatches vs the staged reference, want 0 (bit-identical)", fo.Mismatches)
+	}
+	out := FormatReplicaReport(rep)
+	if !strings.Contains(out, "failover: PASS") {
+		t.Errorf("report missing failover verdict:\n%s", out)
+	}
+}

@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"strings"
+	"time"
+
+	"github.com/ddnn/ddnn-go/internal/agg"
+	"github.com/ddnn/ddnn-go/internal/cluster"
+	"github.com/ddnn/ddnn-go/internal/core"
+	"github.com/ddnn/ddnn-go/internal/transport"
+	"github.com/ddnn/ddnn-go/internal/wire"
+)
+
+// replicaWAN is the per-replica WAN profile of the replica-scaling
+// experiment: the same 30 ms propagation as transport.GatewayToCloud but
+// a scarcer 256 KB/s uplink, so the cloud tier's ingress — the resource
+// each added replica genuinely multiplies, since every replica brings
+// its own WAN path — is the system bottleneck rather than in-process
+// compute, which all replicas of a single-machine simulation share.
+var replicaWAN = transport.LinkProfile{Latency: 30 * time.Millisecond, BandwidthBps: 256 << 10}
+
+// ReplicaPoint is one row of the cloud-replica throughput sweep.
+type ReplicaPoint struct {
+	// Replicas is the number of cloud replicas behind the gateway.
+	Replicas int
+	// Samples classified during the measurement.
+	Samples int
+	// Elapsed wall-clock time.
+	Elapsed time.Duration
+	// Throughput in samples per second.
+	Throughput float64
+	// Speedup relative to the single-replica baseline (first row).
+	Speedup float64
+}
+
+// FailoverPoint summarizes the kill-a-replica availability run: one
+// cloud replica is crashed while a cloud-bound classification stream is
+// in flight, and the replica pool must fail every affected session over
+// to the survivors with zero failed and zero changed classifications.
+type FailoverPoint struct {
+	// Replicas is the pool size the run started with.
+	Replicas int
+	// Samples classified across the whole run.
+	Samples int
+	// KillAfter is how far into the run replica 0 was crashed.
+	KillAfter time.Duration
+	// Errors counts sessions that returned an error; failover demands 0.
+	Errors int
+	// FirstError is the first session error, empty when Errors is 0 —
+	// without it a failed run would be undebuggable from the report.
+	FirstError string
+	// Mismatches counts classifications that differ from the staged
+	// single-process reference; determinism demands 0.
+	Mismatches int
+	// Elapsed wall-clock time, including the failover stall.
+	Elapsed time.Duration
+	// Throughput in samples per second.
+	Throughput float64
+}
+
+// ReplicaReport is the scale-out evaluation of the replicated cloud
+// tier: throughput versus replica count at a fixed load, plus the
+// kill-a-replica availability result.
+type ReplicaReport struct {
+	// Concurrency is the number of in-flight sessions at every point.
+	Concurrency int
+	// Batch is the micro-batch size at every point.
+	Batch int
+	// Points is the replica sweep, in replicas order.
+	Points []ReplicaPoint
+	// Failover is the kill-a-replica run (2 replicas).
+	Failover FailoverPoint
+}
+
+// ReplicaScaling measures serving throughput of the two-tier MP-CC DDNN
+// as the cloud tier scales out from one replica to many, then runs the
+// kill-a-replica availability experiment. The local exit is disabled
+// (threshold -1) so every sample escalates: the sweep measures the
+// cloud-bound operating point, which is exactly the regime where the
+// upper tier is the throughput ceiling and the single point of failure
+// the replica pool exists to remove. Each gateway→replica connection
+// carries its own constrained WAN profile, so added replicas add
+// aggregate WAN capacity just as physically separate replicas would.
+func (r *Runner) ReplicaScaling(replicas []int, samples, concurrency, batch int) (*ReplicaReport, error) {
+	m, err := r.model(agg.MP, agg.CC, r.opts.Model.DeviceFilters)
+	if err != nil {
+		return nil, err
+	}
+	// The sweep needs enough concurrent batch sessions to occupy every
+	// replica, so by default it streams several passes over the test set
+	// (sample IDs wrap around); throughput is per classification.
+	if samples <= 0 {
+		samples = 8 * r.test.Len()
+		if samples > 960 {
+			samples = 960
+		}
+	}
+	if len(replicas) == 0 {
+		replicas = []int{1, 2, 4}
+	}
+	quiet := slog.New(slog.NewTextHandler(discardWriter{}, &slog.HandlerOptions{Level: slog.LevelError}))
+	gcfg := cluster.DefaultGatewayConfig()
+	gcfg.Threshold = -1 // cloud-bound: every sample escalates
+	rep := &ReplicaReport{Concurrency: concurrency, Batch: batch}
+
+	ids := make([]uint64, samples)
+	for i := range ids {
+		ids[i] = uint64(i % r.test.Len())
+	}
+	for _, n := range replicas {
+		eng, err := cluster.NewEngine(m, r.test, cluster.EngineConfig{
+			Gateway:        gcfg,
+			MaxConcurrency: concurrency,
+			Batch:          cluster.BatchConfig{MaxBatch: batch},
+			CloudReplicas:  n,
+			Logger:         quiet,
+			DeviceLink:     transport.DeviceToGateway,
+			CloudLink:      replicaWAN,
+		}, transport.NewMem())
+		if err != nil {
+			return nil, fmt.Errorf("experiments: start engine with %d replicas: %w", n, err)
+		}
+		start := time.Now()
+		if _, err := eng.ClassifyBatch(context.Background(), ids); err != nil {
+			eng.Close()
+			return nil, fmt.Errorf("experiments: replica sweep at %d replicas: %w", n, err)
+		}
+		elapsed := time.Since(start)
+		eng.Close()
+		p := ReplicaPoint{
+			Replicas:   n,
+			Samples:    samples,
+			Elapsed:    elapsed,
+			Throughput: float64(samples) / elapsed.Seconds(),
+		}
+		if len(rep.Points) == 0 {
+			p.Speedup = 1
+		} else {
+			p.Speedup = p.Throughput / rep.Points[0].Throughput
+		}
+		rep.Points = append(rep.Points, p)
+	}
+
+	// Crash the replica roughly a third of the way into a run the size
+	// of the 2-replica sweep point.
+	killAfter := rep.Points[0].Elapsed / 3
+	for _, p := range rep.Points {
+		if p.Replicas == 2 {
+			killAfter = p.Elapsed / 3
+		}
+	}
+	fo, err := r.replicaFailover(m, gcfg, samples, concurrency, batch, killAfter, quiet)
+	if err != nil {
+		return nil, err
+	}
+	rep.Failover = *fo
+	return rep, nil
+}
+
+// replicaFailover runs the availability experiment: a 2-replica cloud
+// pool serves a cloud-bound stream, replica 0 is crashed mid-flight, and
+// every sample must still be classified — with the exact class the
+// staged single-process reference assigns, since a failed-over
+// escalation re-sends the same bit-packed features to a replica holding
+// the same frozen model.
+func (r *Runner) replicaFailover(m *core.Model, gcfg cluster.GatewayConfig, samples, concurrency, batch int, killAfter time.Duration, quiet *slog.Logger) (*FailoverPoint, error) {
+	// Staged reference: with the local exit disabled every sample exits
+	// at the cloud, so the reference class is the cloud head's argmax.
+	ref := m.Evaluate(r.test, nil, 32)
+
+	fcfg := gcfg
+	fcfg.CloudTimeout = 500 * time.Millisecond // detect the crash quickly
+	eng, err := cluster.NewEngine(m, r.test, cluster.EngineConfig{
+		Gateway:        fcfg,
+		MaxConcurrency: concurrency,
+		Batch:          cluster.BatchConfig{MaxBatch: batch},
+		CloudReplicas:  2,
+		Logger:         quiet,
+		DeviceLink:     transport.DeviceToGateway,
+		CloudLink:      replicaWAN,
+	}, transport.NewMem())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: start failover engine: %w", err)
+	}
+	defer eng.Close()
+
+	fo := &FailoverPoint{Replicas: 2, Samples: samples, KillAfter: killAfter}
+	ids := make([]uint64, samples)
+	for i := range ids {
+		ids[i] = uint64(i % r.test.Len())
+	}
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		time.Sleep(killAfter)
+		eng.Clouds()[0].SetFailed(true)
+	}()
+	start := time.Now()
+	results, runErr := eng.ClassifyBatch(context.Background(), ids)
+	if runErr != nil {
+		fo.FirstError = runErr.Error()
+	}
+	fo.Elapsed = time.Since(start)
+	fo.Throughput = float64(samples) / fo.Elapsed.Seconds()
+	<-killed
+	for i, res := range results {
+		if res == nil {
+			fo.Errors++
+			continue
+		}
+		if res.Exit != wire.ExitCloud || res.Class != argmax32(ref.CloudProbs[ids[i]]) {
+			fo.Mismatches++
+		}
+	}
+	return fo, nil
+}
+
+// argmax32 returns the index of the row's largest value.
+func argmax32(row []float32) int {
+	best := 0
+	for i := 1; i < len(row); i++ {
+		if row[i] > row[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// FormatReplicaReport renders the replica sweep and the failover run.
+func FormatReplicaReport(rep *ReplicaReport) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cloud-bound serving (T disabled), concurrency %d, micro-batch %d, %v+%dKB/s WAN per replica\n",
+		rep.Concurrency, rep.Batch, replicaWAN.Latency, replicaWAN.BandwidthBps>>10)
+	sb.WriteString("Replicas  Samples    Elapsed  Samples/s  Speedup\n")
+	for _, p := range rep.Points {
+		fmt.Fprintf(&sb, "%8d %8d %10v %10.1f %7.2fx\n",
+			p.Replicas, p.Samples, p.Elapsed.Round(time.Millisecond), p.Throughput, p.Speedup)
+	}
+	f := rep.Failover
+	fmt.Fprintf(&sb, "failover: killed 1 of %d replicas %v into a %d-sample run: %d errors, %d mismatches vs staged reference (%.1f samples/s, %v)\n",
+		f.Replicas, f.KillAfter.Round(time.Millisecond), f.Samples, f.Errors, f.Mismatches, f.Throughput, f.Elapsed.Round(time.Millisecond))
+	if f.Errors == 0 && f.Mismatches == 0 {
+		sb.WriteString("failover: PASS — every sample classified, bit-identical to the reference\n")
+	} else if f.FirstError != "" {
+		fmt.Fprintf(&sb, "failover: FAIL (first error: %s)\n", f.FirstError)
+	} else {
+		sb.WriteString("failover: FAIL\n")
+	}
+	return sb.String()
+}

@@ -72,7 +72,9 @@ func UnpackPresent(packed []byte, n int) []bool {
 // micro-batch of samples in one forward pass and reply with a
 // SummaryBatch. It is the batched analogue of CaptureRequest.
 type CaptureBatch struct {
-	Session   uint64
+	// Session tags the inference session this frame belongs to.
+	Session uint64
+	// SampleIDs lists the batch's samples, in batch order.
 	SampleIDs []uint64
 }
 
@@ -110,8 +112,11 @@ func (m *CaptureBatch) decodePayload(src []byte) error {
 // popcount(Present)·Classes float32 values. Each present row charges the
 // same 4·|C| bytes of Eq. (1) as an unbatched LocalSummary.
 type SummaryBatch struct {
+	// Session tags the inference session this frame belongs to.
 	Session uint64
-	Device  uint16
+	// Device is the sending device's index.
+	Device uint16
+	// Classes is the model's class count (the width of each Probs row).
 	Classes uint16
 	// Count is the batch length (the number of samples in the
 	// CaptureBatch this answers).
@@ -179,7 +184,9 @@ func (m *SummaryBatch) decodePayload(src []byte) error {
 // listed samples — the subset of an earlier CaptureBatch that missed the
 // local exit. The device answers with a FeatureBatch in the same order.
 type FeatureBatchRequest struct {
-	Session   uint64
+	// Session tags the inference session this frame belongs to.
+	Session uint64
+	// SampleIDs lists the batch's samples, in batch order.
 	SampleIDs []uint64
 }
 
@@ -217,11 +224,16 @@ func (m *FeatureBatchRequest) decodePayload(src []byte) error {
 // the relay upstream). Each sample charges the same f·o/8 bytes of Eq. (1)
 // as an unbatched FeatureUpload.
 type FeatureBatch struct {
+	// Session tags the inference session this frame belongs to.
 	Session uint64
-	Device  uint16
+	// Device is the sending device's index.
+	Device uint16
+	// F, H, W give the packed feature map's shape: filters × height × width.
 	F, H, W uint16
-	Count   uint16
-	Bits    []byte
+	// Count is the number of samples in the batch.
+	Count uint16
+	// Bits is the LSB-first bit-packed binarized feature payload.
+	Bits []byte
 }
 
 // MsgType implements Message.
@@ -279,6 +291,7 @@ func (m *FeatureBatch) decodePayload(src []byte) error {
 // samples in batch order, and the cloud answers with a single
 // ResultBatch.
 type CloudClassifyBatch struct {
+	// Session tags the inference session this frame belongs to.
 	Session uint64
 	// Devices is the total device count in the hierarchy.
 	Devices uint16
@@ -353,6 +366,7 @@ func (m *CloudClassifyBatch) decodePayload(src []byte) error {
 // confident at the edge exit carry ExitEdge, the rest ride an
 // EdgeFeatureBatch to the cloud and come back with its verdicts.
 type EdgeClassifyBatch struct {
+	// Session tags the inference session this frame belongs to.
 	Session uint64
 	// Devices is the total device count in the hierarchy.
 	Devices uint16
@@ -414,10 +428,14 @@ func (m *EdgeClassifyBatch) decodePayload(src []byte) error {
 // bytes per sample, in SampleIDs order. The cloud answers with one
 // ResultBatch.
 type EdgeFeatureBatch struct {
-	Session   uint64
-	F, H, W   uint16
+	// Session tags the inference session this frame belongs to.
+	Session uint64
+	// F, H, W give the packed feature map's shape: filters × height × width.
+	F, H, W uint16
+	// SampleIDs lists the batch's samples, in batch order.
 	SampleIDs []uint64
-	Bits      []byte
+	// Bits is the LSB-first bit-packed binarized feature payload.
+	Bits []byte
 }
 
 // MsgType implements Message.
@@ -470,10 +488,14 @@ func (m *EdgeFeatureBatch) decodePayload(src []byte) error {
 
 // BatchVerdict is one sample's outcome inside a ResultBatch.
 type BatchVerdict struct {
+	// SampleID identifies the sample being classified.
 	SampleID uint64
-	Exit     ExitPoint
-	Class    uint16
-	Probs    []float32
+	// Exit names the tier that produced the verdict.
+	Exit ExitPoint
+	// Class is the predicted class index.
+	Class uint16
+	// Probs holds the per-class probabilities.
+	Probs []float32
 }
 
 // ResultBatch reports the per-sample verdicts of one batched
@@ -482,7 +504,9 @@ type BatchVerdict struct {
 // hierarchy the edge answers its confident samples at ExitEdge and relays
 // cloud verdicts for the rest.
 type ResultBatch struct {
-	Session  uint64
+	// Session tags the inference session this frame belongs to.
+	Session uint64
+	// Verdicts are the per-sample results, in header order.
 	Verdicts []BatchVerdict
 }
 

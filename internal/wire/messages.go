@@ -37,8 +37,10 @@ func (r Role) String() string {
 
 // Hello announces a node after connecting.
 type Hello struct {
+	// NodeID names the sending node.
 	NodeID string
-	Role   Role
+	// Role is the sender's role in the hierarchy.
+	Role Role
 	// Device is the device index for RoleDevice nodes.
 	Device uint16
 }
@@ -70,10 +72,14 @@ func (m *Hello) decodePayload(src []byte) error {
 // the local aggregator. Its payload charges exactly 4 bytes per class, the
 // first term of Eq. (1).
 type LocalSummary struct {
-	Session  uint64
+	// Session tags the inference session this frame belongs to.
+	Session uint64
+	// SampleID identifies the sample being classified.
 	SampleID uint64
-	Device   uint16
-	Probs    []float32
+	// Device is the sending device's index.
+	Device uint16
+	// Probs holds the per-class probabilities.
+	Probs []float32
 }
 
 // MsgType implements Message.
@@ -119,7 +125,9 @@ func SummaryPayloadBytes(classes int) int { return 4 * classes }
 // FeatureRequest asks a device to upload its binarized feature map for a
 // session that missed the local exit.
 type FeatureRequest struct {
-	Session  uint64
+	// Session tags the inference session this frame belongs to.
+	Session uint64
+	// SampleID identifies the sample being classified.
 	SampleID uint64
 }
 
@@ -146,11 +154,16 @@ func (m *FeatureRequest) decodePayload(src []byte) error {
 // FeatureUpload carries a device's bit-packed binarized feature map: f
 // filters of h×w bits each, f·h·w/8 bytes — the second term of Eq. (1).
 type FeatureUpload struct {
-	Session  uint64
+	// Session tags the inference session this frame belongs to.
+	Session uint64
+	// SampleID identifies the sample being classified.
 	SampleID uint64
-	Device   uint16
-	F, H, W  uint16
-	Bits     []byte
+	// Device is the sending device's index.
+	Device uint16
+	// F, H, W give the packed feature map's shape: filters × height × width.
+	F, H, W uint16
+	// Bits is the LSB-first bit-packed binarized feature payload.
+	Bits []byte
 }
 
 // MsgType implements Message.
@@ -219,11 +232,16 @@ func (e ExitPoint) String() string {
 
 // ClassifyResult reports the classification of a sample.
 type ClassifyResult struct {
-	Session  uint64
+	// Session tags the inference session this frame belongs to.
+	Session uint64
+	// SampleID identifies the sample being classified.
 	SampleID uint64
-	Exit     ExitPoint
-	Class    uint16
-	Probs    []float32
+	// Exit names the tier that produced the verdict.
+	Exit ExitPoint
+	// Class is the predicted class index.
+	Class uint16
+	// Probs holds the per-class probabilities.
+	Probs []float32
 }
 
 // MsgType implements Message.
@@ -266,8 +284,10 @@ func (m *ClassifyResult) decodePayload(src []byte) error {
 
 // Heartbeat is the liveness signal for failure detection.
 type Heartbeat struct {
+	// NodeID names the sending node.
 	NodeID string
-	Seq    uint64
+	// Seq is the probe sequence number the receiver echoes back.
+	Seq uint64
 }
 
 // MsgType implements Message.
@@ -294,9 +314,12 @@ func (m *Heartbeat) decodePayload(src []byte) error {
 // Error reports a protocol or processing failure. Session routes the error
 // to the inference session it aborts; zero means connection-scoped.
 type Error struct {
+	// Session tags the inference session this frame belongs to.
 	Session uint64
-	Code    uint16
-	Msg     string
+	// Code is an HTTP-style status (400 bad request, 503 tier above the responder unreachable).
+	Code uint16
+	// Msg is the human-readable error description.
+	Msg string
 }
 
 // MsgType implements Message.
@@ -331,7 +354,9 @@ func (m *Error) decodePayload(src []byte) error {
 // CaptureRequest asks a device to process its sensor frame for a sample
 // and reply with a LocalSummary.
 type CaptureRequest struct {
-	Session  uint64
+	// Session tags the inference session this frame belongs to.
+	Session uint64
+	// SampleID identifies the sample being classified.
 	SampleID uint64
 }
 
@@ -360,7 +385,9 @@ func (m *CaptureRequest) decodePayload(src []byte) error {
 // relays exactly popcount(Mask) FeatureUploads and the cloud replies with a
 // ClassifyResult.
 type CloudClassify struct {
-	Session  uint64
+	// Session tags the inference session this frame belongs to.
+	Session uint64
+	// SampleID identifies the sample being classified.
 	SampleID uint64
 	// Devices is the total device count in the hierarchy.
 	Devices uint16
@@ -407,7 +434,9 @@ func (m *CloudClassify) PresentCount() int {
 // with a ClassifyResult (ExitEdge for confident samples, or the
 // relayed upstream verdict).
 type EdgeClassify struct {
-	Session  uint64
+	// Session tags the inference session this frame belongs to.
+	Session uint64
+	// SampleID identifies the sample being classified.
 	SampleID uint64
 	// Devices is the total device count in the hierarchy.
 	Devices uint16
@@ -469,10 +498,14 @@ func (m *EdgeClassify) PresentCount() int {
 // (the edge has already aggregated the devices), so the cloud replies
 // with a ClassifyResult directly.
 type EdgeFeature struct {
-	Session  uint64
+	// Session tags the inference session this frame belongs to.
+	Session uint64
+	// SampleID identifies the sample being classified.
 	SampleID uint64
-	F, H, W  uint16
-	Bits     []byte
+	// F, H, W give the packed feature map's shape: filters × height × width.
+	F, H, W uint16
+	// Bits is the LSB-first bit-packed binarized feature payload.
+	Bits []byte
 }
 
 // MsgType implements Message.

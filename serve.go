@@ -48,6 +48,7 @@ var (
 	ErrNoSummaries      = cluster.ErrNoSummaries
 	ErrCloudUnavailable = cluster.ErrCloudUnavailable
 	ErrEdgeUnavailable  = cluster.ErrEdgeUnavailable
+	ErrNoHealthyReplica = cluster.ErrNoHealthyReplica
 	ErrTooManyDevices   = cluster.ErrTooManyDevices
 )
 
@@ -100,6 +101,25 @@ func WithMaxFailures(n int) Option {
 // Classify calls queue (respecting their contexts). Default 16.
 func WithMaxConcurrency(n int) Option {
 	return func(o *engineOptions) { o.cfg.MaxConcurrency = n }
+}
+
+// WithCloudReplicas makes an in-process engine (NewEngine) start n cloud
+// replicas instead of one. Escalations load-balance across the healthy
+// replicas (power-of-two-choices on in-flight count) and fail over to
+// another replica when one dies mid-session, so the cloud tier is no
+// longer a single point of failure or the throughput ceiling. Connect
+// ignores it — its upstream address list defines the replicas.
+func WithCloudReplicas(n int) Option {
+	return func(o *engineOptions) { o.cfg.CloudReplicas = n }
+}
+
+// WithEdgeReplicas makes an in-process engine (NewEngine) start n edge
+// replicas for models built with an edge tier; each replica pools every
+// cloud replica. Escalations load-balance and fail over exactly as with
+// WithCloudReplicas. Connect ignores it — its upstream address list
+// defines the replicas.
+func WithEdgeReplicas(n int) Option {
+	return func(o *engineOptions) { o.cfg.EdgeReplicas = n }
 }
 
 // WithWorkers bounds the intra-batch compute worker pool: when a
@@ -164,14 +184,16 @@ func buildOptions(opts []Option) engineOptions {
 // Engine is the serving entry point of the package: a DDNN cluster behind
 // a context-aware, concurrency-bounded API. Every Classify call is an
 // independent inference session — sessions are multiplexed over the
-// device and cloud links and proceed in parallel up to the configured
-// concurrency limit. All methods are safe for concurrent use.
+// device links, load-balanced across the upstream tier's replica pool,
+// and proceed in parallel up to the configured concurrency limit. All
+// methods are safe for concurrent use.
 type Engine struct {
 	inner *cluster.Engine
 }
 
 // NewEngine starts a complete in-process DDNN cluster — device nodes,
-// gateway, the edge node for models built with UseEdge, and cloud over
+// gateway, the edge replicas for models built with UseEdge
+// (WithEdgeReplicas) and the cloud replicas (WithCloudReplicas) over
 // in-memory links — serving device sensors from the dataset, and returns
 // the engine fronting it. Sample IDs are dataset indices.
 func NewEngine(m *Model, ds *Dataset, opts ...Option) (*Engine, error) {
@@ -184,13 +206,15 @@ func NewEngine(m *Model, ds *Dataset, opts ...Option) (*Engine, error) {
 }
 
 // Connect attaches an engine to already-running nodes over TCP: the
-// device nodes (cmd/ddnn-device) plus the gateway's upstream tier —
-// the edge node (cmd/ddnn-edge) for models built with UseEdge, the
-// cloud node (cmd/ddnn-cloud) otherwise. deviceAddrs must be in device
-// order. The context bounds connection setup.
-func Connect(ctx context.Context, m *Model, deviceAddrs []string, upstreamAddr string, opts ...Option) (*Engine, error) {
+// device nodes (cmd/ddnn-device) plus the replicas of the gateway's
+// upstream tier — edge nodes (cmd/ddnn-edge) for models built with
+// UseEdge, cloud nodes (cmd/ddnn-cloud) otherwise. deviceAddrs must be
+// in device order; upstreamAddrs lists the upstream tier's replicas, and
+// sessions load-balance across them and fail over when one dies. The
+// context bounds connection setup.
+func Connect(ctx context.Context, m *Model, deviceAddrs []string, upstreamAddrs []string, opts ...Option) (*Engine, error) {
 	o := buildOptions(opts)
-	inner, err := cluster.AttachEngine(ctx, m, o.cfg, transport.TCP{}, deviceAddrs, upstreamAddr)
+	inner, err := cluster.AttachEngine(ctx, m, o.cfg, transport.TCP{}, deviceAddrs, upstreamAddrs)
 	if err != nil {
 		return nil, err
 	}
@@ -268,23 +292,49 @@ func (e *Engine) SetDeviceFailed(device int, failed bool) bool {
 	return true
 }
 
-// SetEdgeFailed toggles simulated failure of the in-process edge node
-// (no-op reporting false for two-tier models or attached engines). A
-// crashed edge goes silent; escalations surface ErrEdgeUnavailable while
-// confident samples keep exiting locally.
-func (e *Engine) SetEdgeFailed(failed bool) bool {
-	edge := e.inner.Edge()
-	if edge == nil {
+// SetEdgeFailed toggles simulated failure of one in-process edge replica
+// (no-op reporting false for two-tier models, attached engines, or an
+// out-of-range replica index). A crashed edge goes silent; the gateway's
+// replica pool fails sessions over to the remaining edge replicas, and
+// escalations surface ErrEdgeUnavailable only once every replica is
+// down — confident samples keep exiting locally throughout.
+func (e *Engine) SetEdgeFailed(replica int, failed bool) bool {
+	edges := e.inner.Edges()
+	if replica < 0 || replica >= len(edges) {
 		return false
 	}
-	edge.SetFailed(failed)
+	edges[replica].SetFailed(failed)
 	return true
 }
 
+// SetCloudFailed toggles simulated failure of one in-process cloud
+// replica (no-op reporting false for attached engines or an out-of-range
+// replica index). A crashed cloud replica goes silent; the downstream
+// tier's replica pool fences it and fails in-flight escalations over to
+// the remaining replicas, re-sending the full feature frames so every
+// sample still gets its deterministic answer.
+func (e *Engine) SetCloudFailed(replica int, failed bool) bool {
+	clouds := e.inner.Clouds()
+	if replica < 0 || replica >= len(clouds) {
+		return false
+	}
+	clouds[replica].SetFailed(failed)
+	return true
+}
+
+// UpstreamReplicas returns the number of replicas in the gateway's
+// upstream tier (edge for edge-tier models, cloud otherwise) and how
+// many of them are currently healthy.
+func (e *Engine) UpstreamReplicas() (total, healthy int) {
+	pool := e.inner.Gateway().Upstream()
+	return pool.Size(), pool.Healthy()
+}
+
 // StartHealthMonitor begins heartbeat probing of the engine's devices
-// and upstream tier: a node missing `misses` consecutive probes is
-// marked down (sessions skip it, or fail escalations fast) and marked up
-// again on its first answer. Stop the returned monitor when done.
+// and every upstream replica: a node missing `misses` consecutive probes
+// is marked down (sessions skip the device, or the replica pool stops
+// scheduling the replica) and marked up again on its first answer. Stop
+// the returned monitor when done.
 func (e *Engine) StartHealthMonitor(ctx context.Context, interval time.Duration, misses int) (*HealthMonitor, error) {
 	return e.inner.StartHealthMonitor(ctx, interval, misses)
 }

@@ -1,0 +1,152 @@
+// Command doccheck enforces the repository's godoc contract: every
+// exported identifier in the packages it is pointed at — package-level
+// functions, methods, types, consts, vars, and exported fields of
+// exported structs — must carry a doc comment. It is the CI docs gate's
+// replacement for an external linter, so documentation on the serving
+// API cannot rot silently.
+//
+// Usage:
+//
+//	go run ./tools/doccheck DIR [DIR...]
+//
+// Each DIR is one package directory (not recursive). Exit status 1 and
+// one line per finding when anything exported is undocumented.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck DIR [DIR...]")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range os.Args[1:] {
+		findings, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			os.Exit(2)
+		}
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+		bad += len(findings)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d exported identifier(s) missing doc comments\n", bad)
+		os.Exit(1)
+	}
+}
+
+// checkDir parses one package directory (tests excluded) and returns one
+// finding per undocumented exported identifier.
+func checkDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var findings []string
+	report := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		findings = append(findings, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, what, name))
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					checkFunc(d, report)
+				case *ast.GenDecl:
+					checkGen(d, report)
+				}
+			}
+		}
+	}
+	return findings, nil
+}
+
+// checkFunc flags undocumented exported functions and methods (methods
+// only when the receiver's base type is exported too).
+func checkFunc(d *ast.FuncDecl, report func(token.Pos, string, string)) {
+	if !d.Name.IsExported() || d.Doc != nil {
+		return
+	}
+	what, name := "function", d.Name.Name
+	if d.Recv != nil && len(d.Recv.List) == 1 {
+		recv := receiverName(d.Recv.List[0].Type)
+		if recv == "" || !ast.IsExported(recv) {
+			return
+		}
+		what, name = "method", recv+"."+d.Name.Name
+	}
+	report(d.Pos(), what, name)
+}
+
+// receiverName unwraps a method receiver type to its base identifier.
+func receiverName(expr ast.Expr) string {
+	switch t := expr.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return receiverName(t.X)
+	case *ast.IndexExpr: // generic receiver
+		return receiverName(t.X)
+	default:
+		return ""
+	}
+}
+
+// checkGen flags undocumented exported types, consts and vars, plus
+// exported fields of exported struct types. A doc comment on the decl
+// covers grouped specs; a spec-level doc or trailing line comment
+// counts too.
+func checkGen(d *ast.GenDecl, report func(token.Pos, string, string)) {
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+				report(s.Pos(), "type", s.Name.Name)
+			}
+			if !s.Name.IsExported() {
+				continue
+			}
+			if st, ok := s.Type.(*ast.StructType); ok {
+				checkFields(s.Name.Name, st, report)
+			}
+		case *ast.ValueSpec:
+			for _, name := range s.Names {
+				if name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+					kind := "var"
+					if d.Tok == token.CONST {
+						kind = "const"
+					}
+					report(name.Pos(), kind, name.Name)
+				}
+			}
+		}
+	}
+}
+
+// checkFields flags undocumented exported fields of an exported struct.
+func checkFields(typeName string, st *ast.StructType, report func(token.Pos, string, string)) {
+	for _, f := range st.Fields.List {
+		if f.Doc != nil || f.Comment != nil {
+			continue
+		}
+		for _, name := range f.Names {
+			if name.IsExported() {
+				report(name.Pos(), "field", typeName+"."+name.Name)
+			}
+		}
+	}
+}

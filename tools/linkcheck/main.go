@@ -1,0 +1,139 @@
+// Command linkcheck validates relative markdown links so the docs can't
+// rot silently: every `[text](target)` in the given files/directories
+// must resolve to an existing file, and anchors (`file.md#heading` or
+// `#heading`) must match a heading in the target document. External
+// links (http/https/mailto) are not fetched — CI must not depend on the
+// network.
+//
+// Usage:
+//
+//	go run ./tools/linkcheck PATH [PATH...]
+//
+// Directories are scanned (non-recursively) for *.md files. Exit status
+// 1 and one line per finding when any link is broken.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links; images share the syntax and are
+// checked the same way.
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// headingRe matches ATX headings, whose GitHub anchor slugs we emulate.
+var headingRe = regexp.MustCompile(`(?m)^#{1,6}\s+(.*)$`)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: linkcheck PATH [PATH...]")
+		os.Exit(2)
+	}
+	var files []string
+	for _, arg := range os.Args[1:] {
+		fi, err := os.Stat(arg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+			os.Exit(2)
+		}
+		if !fi.IsDir() {
+			files = append(files, arg)
+			continue
+		}
+		entries, err := os.ReadDir(arg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+			os.Exit(2)
+		}
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".md") {
+				files = append(files, filepath.Join(arg, e.Name()))
+			}
+		}
+	}
+	bad := 0
+	for _, f := range files {
+		for _, finding := range checkFile(f) {
+			fmt.Println(finding)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken link(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// checkFile validates every relative link in one markdown file.
+func checkFile(path string) []string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v", path, err)}
+	}
+	var findings []string
+	for _, m := range linkRe.FindAllStringSubmatch(string(data), -1) {
+		target := m[1]
+		if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+			continue // external; not fetched
+		}
+		file, anchor, _ := strings.Cut(target, "#")
+		resolved := path
+		if file != "" {
+			resolved = filepath.Join(filepath.Dir(path), file)
+			if _, err := os.Stat(resolved); err != nil {
+				findings = append(findings, fmt.Sprintf("%s: broken link %q: %s does not exist", path, target, resolved))
+				continue
+			}
+		}
+		if anchor == "" {
+			continue
+		}
+		if !strings.HasSuffix(resolved, ".md") {
+			continue // anchors only checked in markdown targets
+		}
+		if !hasAnchor(resolved, anchor) {
+			findings = append(findings, fmt.Sprintf("%s: broken anchor %q: no heading slugs to %q in %s", path, target, anchor, resolved))
+		}
+	}
+	return findings
+}
+
+// hasAnchor reports whether the markdown file has a heading whose
+// GitHub-style slug equals the anchor.
+func hasAnchor(path, anchor string) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false
+	}
+	for _, m := range headingRe.FindAllStringSubmatch(string(data), -1) {
+		if slugify(m[1]) == strings.ToLower(anchor) {
+			return true
+		}
+	}
+	return false
+}
+
+// slugify approximates GitHub's heading-anchor algorithm: lowercase,
+// strip everything but letters, digits, spaces and hyphens, then turn
+// spaces into hyphens.
+func slugify(heading string) string {
+	heading = strings.TrimSpace(strings.ToLower(heading))
+	var b strings.Builder
+	for _, r := range heading {
+		switch {
+		case r == ' ':
+			b.WriteByte('-')
+		case r == '-' || r == '_':
+			b.WriteRune(r)
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			// punctuation is dropped
+		}
+	}
+	return b.String()
+}
