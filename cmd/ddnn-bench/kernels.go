@@ -22,16 +22,26 @@ type kernelResult struct {
 }
 
 // kernelComparison pairs a reference kernel with its optimized
-// replacement; the CI smoke fails when an optimized kernel is not
-// actually faster than its reference.
+// replacement; the CI smoke fails when the measured speedup falls below
+// the comparison's floor. Kernel rewrites must beat their reference
+// outright (floor 1.0); the pooled serving forwards run the same
+// compute as their unpooled twins and only shed allocations, so they
+// get a small tolerance (pooledFloor) for run-to-run scheduler noise —
+// BENCH_pr4.json recorded a 40% pooled-cloud "regression" that five
+// repeated runs could not reproduce (see ROADMAP item 4).
 type kernelComparison struct {
-	Label     string  `json:"label"`
-	Naive     string  `json:"naive"`
-	Optimized string  `json:"optimized"`
-	Speedup   float64 `json:"speedup"`
+	Label      string  `json:"label"`
+	Naive      string  `json:"naive"`
+	Optimized  string  `json:"optimized"`
+	Speedup    float64 `json:"speedup"`
+	MinSpeedup float64 `json:"min_speedup"`
 }
 
-// kernelReport is what -json serializes (BENCH_pr4.json in CI).
+// pooledFloor is the speedup floor for pooled-vs-unpooled comparisons:
+// equal-compute paths are allowed 5% measurement noise.
+const pooledFloor = 0.95
+
+// kernelReport is what -json serializes (BENCH_pr6.json in CI).
 type kernelReport struct {
 	Results     []kernelResult     `json:"results"`
 	Comparisons []kernelComparison `json:"comparisons"`
@@ -116,13 +126,13 @@ func runKernels(out io.Writer, jsonPath string) error {
 	m := core.MustNewModel(core.DefaultConfig())
 	frame := tensor.New(1, 3, 32, 32)
 	frame.FillUniform(rng, 0, 1)
-	add("device_forward", func(b *testing.B) {
+	devFwd := add("device_forward", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			m.DeviceForward(0, frame)
 		}
 	})
-	add("device_forward_pooled", func(b *testing.B) {
+	devFwdPooled := add("device_forward_pooled", func(b *testing.B) {
 		b.ReportAllocs()
 		pool := tensor.NewPool()
 		b.ResetTimer()
@@ -137,13 +147,13 @@ func runKernels(out io.Writer, jsonPath string) error {
 		feats[d] = tensor.New(1, m.Cfg.DeviceFilters, m.Cfg.FeatureH(), m.Cfg.FeatureW())
 		feats[d].FillUniform(rng, -1, 1)
 	}
-	add("cloud_forward", func(b *testing.B) {
+	cloudFwd := add("cloud_forward", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			m.CloudForward(feats, nil)
 		}
 	})
-	add("cloud_forward_pooled", func(b *testing.B) {
+	cloudFwdPooled := add("cloud_forward_pooled", func(b *testing.B) {
 		b.ReportAllocs()
 		pool := tensor.NewPool()
 		b.ResetTimer()
@@ -153,14 +163,16 @@ func runKernels(out io.Writer, jsonPath string) error {
 	})
 
 	report.Comparisons = []kernelComparison{
-		{Label: "blocked GEMM vs naive", Naive: "matmul_naive_32x256x64", Optimized: "matmul_blocked_32x256x64", Speedup: naiveMM.NsPerOp / blockedMM.NsPerOp},
-		{Label: "word-wide XNOR vs byte", Naive: "xnor_dot_byte_1024", Optimized: "xnor_dot_word_1024", Speedup: byteDot.NsPerOp / wordDot.NsPerOp},
+		{Label: "blocked GEMM vs naive", Naive: "matmul_naive_32x256x64", Optimized: "matmul_blocked_32x256x64", Speedup: naiveMM.NsPerOp / blockedMM.NsPerOp, MinSpeedup: 1},
+		{Label: "word-wide XNOR vs byte", Naive: "xnor_dot_byte_1024", Optimized: "xnor_dot_word_1024", Speedup: byteDot.NsPerOp / wordDot.NsPerOp, MinSpeedup: 1},
+		{Label: "pooled device forward", Naive: "device_forward", Optimized: "device_forward_pooled", Speedup: devFwd.NsPerOp / devFwdPooled.NsPerOp, MinSpeedup: pooledFloor},
+		{Label: "pooled cloud forward", Naive: "cloud_forward", Optimized: "cloud_forward_pooled", Speedup: cloudFwd.NsPerOp / cloudFwdPooled.NsPerOp, MinSpeedup: pooledFloor},
 	}
 	fmt.Fprintln(out)
 	var slow []string
 	for _, cmp := range report.Comparisons {
-		fmt.Fprintf(out, "%-28s %5.2fx\n", cmp.Label, cmp.Speedup)
-		if cmp.Speedup < 1 {
+		fmt.Fprintf(out, "%-28s %5.2fx (floor %.2fx)\n", cmp.Label, cmp.Speedup, cmp.MinSpeedup)
+		if cmp.Speedup < cmp.MinSpeedup {
 			slow = append(slow, cmp.Label)
 		}
 	}

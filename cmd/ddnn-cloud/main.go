@@ -8,11 +8,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	ddnn "github.com/ddnn/ddnn-go"
 	"github.com/ddnn/ddnn-go/internal/cluster"
@@ -29,8 +31,9 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("ddnn-cloud", flag.ContinueOnError)
 	var (
-		modelPath = fs.String("model", "model.ddnn", "trained model file")
-		listen    = fs.String("listen", "127.0.0.1:7100", "listen address")
+		modelPath    = fs.String("model", "model.ddnn", "trained model file")
+		listen       = fs.String("listen", "127.0.0.1:7100", "listen address")
+		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown deadline for in-flight classifications")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -50,6 +53,14 @@ func run(args []string) error {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	fmt.Println("shutting down")
-	return node.Close()
+	// Drain instead of closing abruptly: stop accepting, let in-flight
+	// classifications answer, then tear down. A drain-deadline overrun
+	// is reported but not an error — the process still exits cleanly.
+	fmt.Printf("shutting down (draining up to %v)\n", *drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := node.Drain(ctx); err != nil {
+		fmt.Println("drain deadline exceeded; closed with sessions in flight")
+	}
+	return nil
 }

@@ -51,6 +51,7 @@ func run(args []string) error {
 		listen       = fs.String("listen", "127.0.0.1:7050", "listen address for the gateway")
 		cloudTimeout = fs.Duration("cloud-timeout", 5*time.Second, "edge→cloud round trip bound")
 		noFallback   = fs.Bool("no-fallback", false, "abort escalated sessions when the cloud is down instead of answering at the edge")
+		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown deadline for in-flight classifications")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,6 +86,14 @@ func run(args []string) error {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	fmt.Println("shutting down")
-	return node.Close()
+	// Drain instead of closing abruptly: stop accepting, let in-flight
+	// classifications (and their cloud escalations) answer, then tear
+	// down. A drain-deadline overrun is reported but not an error.
+	fmt.Printf("shutting down (draining up to %v)\n", *drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := node.Drain(ctx); err != nil {
+		fmt.Println("drain deadline exceeded; closed with sessions in flight")
+	}
+	return nil
 }

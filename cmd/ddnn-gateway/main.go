@@ -23,10 +23,13 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	ddnn "github.com/ddnn/ddnn-go"
@@ -88,7 +91,10 @@ func run(args []string) error {
 	dcfg.Seed = *dataSeed
 	_, test := ddnn.GenerateDataset(dcfg)
 
-	ctx := context.Background()
+	// SIGINT/SIGTERM cancel the run: in-flight sessions drain through
+	// Engine.Close (deferred below) and the process exits cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	dialCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
 	eng, err := ddnn.Connect(dialCtx, model, addrs, upstream,
 		ddnn.WithThreshold(*threshold),
@@ -113,6 +119,10 @@ func run(args []string) error {
 	start := time.Now()
 	results, err := eng.ClassifyBatch(ctx, ids)
 	if err != nil {
+		if errors.Is(err, ddnn.ErrCanceled) && ctx.Err() != nil {
+			fmt.Println("interrupted; drained in-flight sessions")
+			return nil
+		}
 		return err
 	}
 	elapsed := time.Since(start)

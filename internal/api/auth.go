@@ -1,0 +1,117 @@
+package api
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"crypto/subtle"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+)
+
+// Authenticator maps bearer tokens to client identities. Tokens are
+// stored only as SHA-256 digests, and lookup compares the presented
+// token's digest against every entry with a constant-time comparison,
+// so neither a heap dump nor response timing leaks token material.
+type Authenticator struct {
+	byDigest map[[sha256.Size]byte]string
+}
+
+// NewAuthenticator builds an authenticator from client→token pairs.
+func NewAuthenticator(tokens map[string]string) *Authenticator {
+	a := &Authenticator{byDigest: make(map[[sha256.Size]byte]string, len(tokens))}
+	for client, token := range tokens {
+		a.byDigest[sha256.Sum256([]byte(token))] = client
+	}
+	return a
+}
+
+// LoadTokenFile reads a token file: one "client:token" pair per line,
+// blank lines and #-comments ignored. Tokens may contain colons; the
+// client name may not.
+func LoadTokenFile(path string) (*Authenticator, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("api: token file: %w", err)
+	}
+	defer f.Close()
+	a, err := ParseTokens(f)
+	if err != nil {
+		return nil, fmt.Errorf("api: token file %s: %w", path, err)
+	}
+	return a, nil
+}
+
+// ParseTokens parses token lines from a reader; see LoadTokenFile.
+func ParseTokens(r io.Reader) (*Authenticator, error) {
+	tokens := make(map[string]string)
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		client, token, ok := strings.Cut(text, ":")
+		client, token = strings.TrimSpace(client), strings.TrimSpace(token)
+		if !ok || client == "" || token == "" {
+			return nil, fmt.Errorf("line %d: want client:token", line)
+		}
+		if _, dup := tokens[client]; dup {
+			return nil, fmt.Errorf("line %d: duplicate client %q", line, client)
+		}
+		tokens[client] = token
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(tokens) == 0 {
+		return nil, fmt.Errorf("no tokens")
+	}
+	return NewAuthenticator(tokens), nil
+}
+
+// Len returns the number of registered clients.
+func (a *Authenticator) Len() int { return len(a.byDigest) }
+
+// Identify resolves a presented token to its client identity. Every
+// registered digest is compared in constant time regardless of where
+// (or whether) a match occurs.
+func (a *Authenticator) Identify(token string) (client string, ok bool) {
+	d := sha256.Sum256([]byte(token))
+	for digest, c := range a.byDigest {
+		if subtle.ConstantTimeCompare(digest[:], d[:]) == 1 {
+			client, ok = c, true
+		}
+	}
+	return client, ok
+}
+
+// anonymousClient identifies requests when authentication is disabled.
+const anonymousClient = "anonymous"
+
+// clientFor authenticates the request, returning the client identity or
+// writing the 401 itself. Without an Authenticator every request runs
+// as anonymousClient.
+func (s *Server) clientFor(w http.ResponseWriter, r *http.Request) (string, bool) {
+	if s.auth == nil {
+		return anonymousClient, true
+	}
+	header := r.Header.Get("Authorization")
+	token, ok := strings.CutPrefix(header, "Bearer ")
+	if !ok || token == "" {
+		w.Header().Set("WWW-Authenticate", `Bearer realm="ddnn"`)
+		writeError(w, http.StatusUnauthorized, "missing or malformed Authorization header")
+		return "", false
+	}
+	client, ok := s.auth.Identify(token)
+	if !ok {
+		w.Header().Set("WWW-Authenticate", `Bearer realm="ddnn", error="invalid_token"`)
+		writeError(w, http.StatusUnauthorized, "unknown token")
+		return "", false
+	}
+	return client, true
+}

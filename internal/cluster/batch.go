@@ -59,24 +59,35 @@ type batchItem struct {
 	ch chan batchOutcome
 }
 
-// batchCollector coalesces concurrent Classify calls into multi-sample
-// gateway sessions: a batch flushes as soon as it reaches maxBatch
-// samples, or maxLinger after its first sample arrived, whichever comes
-// first. Callers that cancel while waiting detach immediately (the batch
-// still classifies their sample; the result is dropped).
-type batchCollector struct {
-	eng      *Engine
-	maxBatch int
-	linger   time.Duration
-
-	mu      sync.Mutex
+// batchLane is one shed level's pending batch. Lanes exist because a
+// coalesced session runs every sample over one exit pipeline: requests
+// admitted at different shed levels must never share a batch, or a
+// normal request would silently inherit a degraded pipeline (and vice
+// versa).
+type batchLane struct {
+	level   ShedLevel
 	pending []batchItem
 	timer   *time.Timer
 	// gen identifies the batch the armed timer belongs to; it advances
 	// whenever the pending batch is taken, so a linger callback that
 	// lost the race with a full-batch flush recognizes its batch is
 	// gone and must not flush the successor early.
-	gen     uint64
+	gen uint64
+}
+
+// batchCollector coalesces concurrent Classify calls into multi-sample
+// gateway sessions, one lane per shed level: a lane's batch flushes as
+// soon as it reaches maxBatch samples, or maxLinger after its first
+// sample arrived, whichever comes first. Callers that cancel while
+// waiting detach immediately (the batch still classifies their sample;
+// the result is dropped).
+type batchCollector struct {
+	eng      *Engine
+	maxBatch int
+	linger   time.Duration
+
+	mu      sync.Mutex
+	lanes   map[ShedLevel]*batchLane
 	stopped bool
 }
 
@@ -85,14 +96,20 @@ func newBatchCollector(e *Engine, cfg BatchConfig) *batchCollector {
 	if maxBatch > wire.MaxBatch {
 		maxBatch = wire.MaxBatch
 	}
-	return &batchCollector{eng: e, maxBatch: maxBatch, linger: cfg.linger()}
+	return &batchCollector{
+		eng:      e,
+		maxBatch: maxBatch,
+		linger:   cfg.linger(),
+		lanes:    make(map[ShedLevel]*batchLane),
+	}
 }
 
-// classify queues the sample on the current batch and waits for its
-// verdict. The context governs only this caller's wait: the coalesced
-// session itself is bounded by the gateway's per-stage timeouts, so one
-// impatient caller cannot cancel a batch other callers share.
-func (c *batchCollector) classify(ctx context.Context, sampleID uint64) (*Result, error) {
+// classify queues the sample on the shed level's current batch and waits
+// for its verdict. The context governs only this caller's wait: the
+// coalesced session itself is bounded by the gateway's per-stage
+// timeouts, so one impatient caller cannot cancel a batch other callers
+// share.
+func (c *batchCollector) classify(ctx context.Context, sampleID uint64, level ShedLevel) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, ctxErr(err)
 	}
@@ -102,15 +119,20 @@ func (c *batchCollector) classify(ctx context.Context, sampleID uint64) (*Result
 		c.mu.Unlock()
 		return nil, ErrClosed
 	}
-	c.pending = append(c.pending, item)
-	if len(c.pending) >= c.maxBatch {
-		batch := c.takeLocked()
+	lane := c.lanes[level]
+	if lane == nil {
+		lane = &batchLane{level: level}
+		c.lanes[level] = lane
+	}
+	lane.pending = append(lane.pending, item)
+	if len(lane.pending) >= c.maxBatch {
+		batch := c.takeLocked(lane)
 		c.mu.Unlock()
-		c.flush(batch)
+		c.flush(batch, level)
 	} else {
-		if c.timer == nil {
-			gen := c.gen
-			c.timer = time.AfterFunc(c.linger, func() { c.flushAfterLinger(gen) })
+		if lane.timer == nil {
+			gen := lane.gen
+			lane.timer = time.AfterFunc(c.linger, func() { c.flushAfterLinger(level, gen) })
 		}
 		c.mu.Unlock()
 	}
@@ -122,38 +144,40 @@ func (c *batchCollector) classify(ctx context.Context, sampleID uint64) (*Result
 	}
 }
 
-// takeLocked detaches the pending batch and advances the generation;
-// the caller must hold c.mu.
-func (c *batchCollector) takeLocked() []batchItem {
-	batch := c.pending
-	c.pending = nil
-	c.gen++
-	if c.timer != nil {
-		c.timer.Stop()
-		c.timer = nil
+// takeLocked detaches the lane's pending batch and advances its
+// generation; the caller must hold c.mu.
+func (c *batchCollector) takeLocked(lane *batchLane) []batchItem {
+	batch := lane.pending
+	lane.pending = nil
+	lane.gen++
+	if lane.timer != nil {
+		lane.timer.Stop()
+		lane.timer = nil
 	}
 	return batch
 }
 
 // flushAfterLinger is the linger-timer callback for the batch of
-// generation gen. If that batch was already flushed (full, or taken by
-// stop) the callback is stale and must leave the successor batch — and
-// its own fresh timer — alone.
-func (c *batchCollector) flushAfterLinger(gen uint64) {
+// generation gen on one lane. If that batch was already flushed (full,
+// or taken by stop) the callback is stale and must leave the successor
+// batch — and its own fresh timer — alone.
+func (c *batchCollector) flushAfterLinger(level ShedLevel, gen uint64) {
 	c.mu.Lock()
-	if c.gen != gen {
+	lane := c.lanes[level]
+	if lane == nil || lane.gen != gen {
 		c.mu.Unlock()
 		return
 	}
-	batch := c.takeLocked()
+	batch := c.takeLocked(lane)
 	c.mu.Unlock()
-	c.flush(batch)
+	c.flush(batch, level)
 }
 
-// flush launches one multi-sample session for the batch. The session is
-// registered with the engine's WaitGroup before flush returns, so
-// Engine.Close cannot complete while a flushed batch is starting.
-func (c *batchCollector) flush(batch []batchItem) {
+// flush launches one multi-sample session for the batch at its lane's
+// shed level. The session is registered with the engine's WaitGroup
+// before flush returns, so Engine.Close cannot complete while a flushed
+// batch is starting.
+func (c *batchCollector) flush(batch []batchItem, level ShedLevel) {
 	if len(batch) == 0 {
 		return
 	}
@@ -171,7 +195,7 @@ func (c *batchCollector) flush(batch []batchItem) {
 		for i, item := range batch {
 			ids[i] = item.id
 		}
-		results, err := c.eng.gw.ClassifyBatch(context.Background(), ids)
+		results, err := c.eng.gw.ClassifyBatchShed(context.Background(), ids, level)
 		for i, item := range batch {
 			out := batchOutcome{err: err}
 			if i < len(results) && results[i] != nil {
@@ -184,13 +208,22 @@ func (c *batchCollector) flush(batch []batchItem) {
 	}()
 }
 
-// stop rejects new callers and flushes whatever is pending. It is called
-// by Engine.Close before the close flag flips, so the final batch still
-// runs and queued callers get real results.
+// stop rejects new callers and flushes whatever is pending on every
+// lane. It is called by Engine.Close before the close flag flips, so
+// the final batches still run and queued callers get real results.
 func (c *batchCollector) stop() {
 	c.mu.Lock()
 	c.stopped = true
-	batch := c.takeLocked()
+	type takenBatch struct {
+		items []batchItem
+		level ShedLevel
+	}
+	var taken []takenBatch
+	for level, lane := range c.lanes {
+		taken = append(taken, takenBatch{items: c.takeLocked(lane), level: level})
+	}
 	c.mu.Unlock()
-	c.flush(batch)
+	for _, t := range taken {
+		c.flush(t.items, t.level)
+	}
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -32,6 +33,9 @@ type Cloud struct {
 	logger *slog.Logger
 
 	failed atomic.Bool
+	// active counts in-flight classifications (goroutines spawned by the
+	// connection handlers); Drain polls it to zero before tearing down.
+	active atomic.Int64
 
 	// pool recycles session feature maps and forward tensors across
 	// classifications, keeping the steady-state handler allocation-free.
@@ -186,8 +190,10 @@ func (c *Cloud) handle(conn net.Conn) {
 			if sess.up.complete() {
 				delete(sessions, m.Session)
 				inflight.Add(1)
+				c.active.Add(1)
 				go func(sess *openSession) {
 					defer inflight.Done()
+					defer c.active.Add(-1)
 					c.classify(send, sess.session, sess.up)
 				}(sess)
 			}
@@ -216,8 +222,10 @@ func (c *Cloud) handle(conn net.Conn) {
 			if sess.up.complete() {
 				delete(batches, m.Session)
 				inflight.Add(1)
+				c.active.Add(1)
 				go func(sess *openBatch) {
 					defer inflight.Done()
+					defer c.active.Add(-1)
 					c.classifyBatch(send, sess.session, sess.up)
 				}(sess)
 			}
@@ -232,8 +240,10 @@ func (c *Cloud) handle(conn net.Conn) {
 				continue
 			}
 			inflight.Add(1)
+			c.active.Add(1)
 			go func(m *wire.EdgeFeatureBatch, feat *tensor.Tensor) {
 				defer inflight.Done()
+				defer c.active.Add(-1)
 				c.classifyFromEdgeBatch(send, m, feat)
 			}(m, feat)
 		case *wire.EdgeFeature:
@@ -247,8 +257,10 @@ func (c *Cloud) handle(conn net.Conn) {
 				continue
 			}
 			inflight.Add(1)
+			c.active.Add(1)
 			go func(m *wire.EdgeFeature, feat *tensor.Tensor) {
 				defer inflight.Done()
+				defer c.active.Add(-1)
 				c.classifyFromEdge(send, m, feat)
 			}(m, feat)
 		default:
@@ -365,6 +377,22 @@ func (c *Cloud) reply(send func(wire.Message) error, session, sampleID uint64, l
 	}); err != nil {
 		c.logger.Debug("classify reply failed", "sample", sampleID, "err", err)
 	}
+}
+
+// Drain gracefully shuts the cloud node down: it stops accepting new
+// connections immediately, then waits for in-flight classifications to
+// settle (their replies still go out on the open connections) before
+// tearing the node down. Downstream gateways hold their connections open
+// indefinitely, so Drain waits on the classification counter, not on
+// connection EOFs. When the context expires first, the node is torn down
+// anyway and the context error is returned.
+func (c *Cloud) Drain(ctx context.Context) error {
+	if c.listener != nil {
+		c.listener.Close()
+	}
+	err := awaitIdle(ctx, &c.active)
+	c.Close()
+	return err
 }
 
 // Close stops the cloud node, terminating any in-flight connections.

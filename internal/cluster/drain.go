@@ -1,0 +1,34 @@
+package cluster
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// drainPollInterval is how often awaitIdle re-checks a node's in-flight
+// counter while draining.
+const drainPollInterval = 5 * time.Millisecond
+
+// awaitIdle waits until the in-flight counter reaches zero or the
+// context expires, returning the context error in the latter case. The
+// counter is polled rather than signalled because drains are rare,
+// human-scale events; a few-millisecond poll keeps the hot classify path
+// free of drain bookkeeping.
+func awaitIdle(ctx context.Context, active *atomic.Int64) error {
+	if active.Load() == 0 {
+		return nil
+	}
+	ticker := time.NewTicker(drainPollInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			if active.Load() == 0 {
+				return nil
+			}
+		case <-ctx.Done():
+			return ctxErr(ctx.Err())
+		}
+	}
+}

@@ -79,6 +79,9 @@ type Edge struct {
 	nextUpstream atomic.Uint64
 
 	failed atomic.Bool
+	// active counts in-flight classifications (goroutines spawned by the
+	// connection handlers); Drain polls it to zero before tearing down.
+	active atomic.Int64
 
 	listener  net.Listener
 	wg        sync.WaitGroup
@@ -250,8 +253,10 @@ func (e *Edge) handle(conn net.Conn) {
 			if sess.up.complete() {
 				delete(sessions, m.Session)
 				inflight.Add(1)
+				e.active.Add(1)
 				go func(sess *edgeSession) {
 					defer inflight.Done()
+					defer e.active.Add(-1)
 					e.classify(send, sess)
 				}(sess)
 			}
@@ -276,8 +281,10 @@ func (e *Edge) handle(conn net.Conn) {
 			if sess.up.complete() {
 				delete(batches, m.Session)
 				inflight.Add(1)
+				e.active.Add(1)
 				go func(sess *edgeBatchSession) {
 					defer inflight.Done()
+					defer e.active.Add(-1)
 					e.classifyBatch(send, sess)
 				}(sess)
 			}
@@ -483,6 +490,22 @@ func (e *Edge) escalate(sess *edgeSession, edgeFeat *tensor.Tensor) (*wire.Class
 	default:
 		return nil, fmt.Errorf("expected ClassifyResult, got %v", msg.MsgType())
 	}
+}
+
+// Drain gracefully shuts the edge node down: it stops accepting new
+// connections immediately, then waits for in-flight classifications
+// (including their cloud escalations) to settle before tearing the node
+// down. Downstream gateways hold their connections open indefinitely, so
+// Drain waits on the classification counter, not on connection EOFs.
+// When the context expires first, the node is torn down anyway and the
+// context error is returned.
+func (e *Edge) Drain(ctx context.Context) error {
+	if e.listener != nil {
+		e.listener.Close()
+	}
+	err := awaitIdle(ctx, &e.active)
+	e.Close()
+	return err
 }
 
 // Close stops the edge node, terminating any in-flight connections.

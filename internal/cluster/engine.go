@@ -183,8 +183,17 @@ func (e *Engine) endSession() { e.wg.Done() }
 // instead joins the collector's current batch and shares one
 // multi-sample session with other concurrent callers.
 func (e *Engine) Classify(ctx context.Context, sampleID uint64) (*Result, error) {
+	return e.ClassifyShed(ctx, sampleID, ShedNone)
+}
+
+// ClassifyShed is Classify over the exit pipeline tightened for a shed
+// level: an overloaded front door degrades answer quality (a cheaper
+// exit) instead of availability. Requests at different shed levels never
+// share a micro-batch, so a coalesced session's single pipeline stays
+// per-request accurate.
+func (e *Engine) ClassifyShed(ctx context.Context, sampleID uint64, level ShedLevel) (*Result, error) {
 	if e.collector != nil {
-		return e.collector.classify(ctx, sampleID)
+		return e.collector.classify(ctx, sampleID, level)
 	}
 	select {
 	case e.sem <- struct{}{}:
@@ -196,12 +205,12 @@ func (e *Engine) Classify(ctx context.Context, sampleID uint64) (*Result, error)
 		return nil, err
 	}
 	defer e.endSession()
-	return e.gw.Classify(ctx, sampleID)
+	return e.gw.ClassifyShed(ctx, sampleID, level)
 }
 
 // runBatch runs one multi-sample gateway session under the engine's
 // semaphore and lifecycle tracking.
-func (e *Engine) runBatch(ctx context.Context, sampleIDs []uint64) ([]*Result, error) {
+func (e *Engine) runBatch(ctx context.Context, sampleIDs []uint64, level ShedLevel) ([]*Result, error) {
 	select {
 	case e.sem <- struct{}{}:
 	case <-ctx.Done():
@@ -212,7 +221,7 @@ func (e *Engine) runBatch(ctx context.Context, sampleIDs []uint64) ([]*Result, e
 		return nil, err
 	}
 	defer e.endSession()
-	return e.gw.ClassifyBatch(ctx, sampleIDs)
+	return e.gw.ClassifyBatchShed(ctx, sampleIDs, level)
 }
 
 // ClassifyBatch classifies the samples and returns results in input
@@ -223,12 +232,18 @@ func (e *Engine) runBatch(ctx context.Context, sampleIDs []uint64) ([]*Result, e
 // returned; results for sessions that completed before the failure are
 // still filled in (nil entries mark samples that did not complete).
 func (e *Engine) ClassifyBatch(ctx context.Context, sampleIDs []uint64) ([]*Result, error) {
+	return e.ClassifyBatchShed(ctx, sampleIDs, ShedNone)
+}
+
+// ClassifyBatchShed is ClassifyBatch over the exit pipeline tightened
+// for a shed level; see ClassifyShed.
+func (e *Engine) ClassifyBatchShed(ctx context.Context, sampleIDs []uint64, level ShedLevel) ([]*Result, error) {
 	results := make([]*Result, len(sampleIDs))
 	if len(sampleIDs) == 0 {
 		return results, nil
 	}
 	if e.collector != nil {
-		return e.classifyChunked(ctx, sampleIDs, results)
+		return e.classifyChunked(ctx, sampleIDs, results, level)
 	}
 	bctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -249,7 +264,7 @@ func (e *Engine) ClassifyBatch(ctx context.Context, sampleIDs []uint64) ([]*Resu
 		go func() {
 			defer wg.Done()
 			for i := range indices {
-				res, err := e.Classify(bctx, sampleIDs[i])
+				res, err := e.ClassifyShed(bctx, sampleIDs[i], level)
 				if err != nil {
 					errOnce.Do(func() {
 						firstErr = fmt.Errorf("sample %d: %w", sampleIDs[i], err)
@@ -274,7 +289,7 @@ func (e *Engine) ClassifyBatch(ctx context.Context, sampleIDs []uint64) ([]*Resu
 
 // classifyChunked splits the IDs into MaxBatch-sized chunks, each a
 // single multi-sample session, and runs the chunks concurrently.
-func (e *Engine) classifyChunked(ctx context.Context, sampleIDs []uint64, results []*Result) ([]*Result, error) {
+func (e *Engine) classifyChunked(ctx context.Context, sampleIDs []uint64, results []*Result, level ShedLevel) ([]*Result, error) {
 	bctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	size := e.collector.maxBatch
@@ -294,7 +309,7 @@ func (e *Engine) classifyChunked(ctx context.Context, sampleIDs []uint64, result
 		go func() {
 			defer wg.Done()
 			for c := range chunks {
-				res, err := e.runBatch(bctx, sampleIDs[c.lo:c.hi])
+				res, err := e.runBatch(bctx, sampleIDs[c.lo:c.hi], level)
 				copy(results[c.lo:c.hi], res)
 				if err != nil {
 					errOnce.Do(func() {

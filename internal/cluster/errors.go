@@ -33,6 +33,11 @@ var (
 	// replica to run on. It is always wrapped in the tier's sentinel
 	// (ErrEdgeUnavailable or ErrCloudUnavailable).
 	ErrNoHealthyReplica = errors.New("ddnn: no healthy replica")
+	// ErrUploadUnsupported reports ClassifyUpload on an engine attached to
+	// remote nodes: uploaded samples are staged in the in-process cluster's
+	// shared store, which remote devices (owning their own sensors) do not
+	// consult.
+	ErrUploadUnsupported = errors.New("ddnn: uploads require an in-process engine")
 	// ErrTooManyDevices reports a hierarchy with more devices than the
 	// wire protocol's uint16 present-device masks can describe
 	// (wire.MaxDevices); such configs are rejected at gateway

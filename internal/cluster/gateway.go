@@ -106,6 +106,10 @@ type Gateway struct {
 	// framing, for comparison against the analytic model.
 	wireConns []*transport.CountingConn
 
+	// instr holds the optional observability callbacks installed with
+	// SetInstrumentation.
+	instr instrumentation
+
 	stateMu sync.Mutex // guards deviceLink.failures / .down
 }
 
@@ -247,6 +251,21 @@ type capReply struct {
 // stage; on cancellation the error wraps ErrCanceled (or
 // ErrDeadlineExceeded) as well as the context error.
 func (g *Gateway) Classify(ctx context.Context, sampleID uint64) (*Result, error) {
+	return g.classify(ctx, sampleID, g.pipeline)
+}
+
+// ClassifyShed is Classify over the pipeline tightened for a shed level:
+// the session answers at a cheaper exit than the configured thresholds
+// would pick, trading answer quality for upstream-tier load. Results are
+// produced by exactly the same staged computation — only the exit
+// decision moves.
+func (g *Gateway) ClassifyShed(ctx context.Context, sampleID uint64, level ShedLevel) (*Result, error) {
+	return g.classify(ctx, sampleID, g.pipeline.Shed(level))
+}
+
+// classify runs one session over an explicit exit pipeline (the
+// configured one, or a per-request shed override).
+func (g *Gateway) classify(ctx context.Context, sampleID uint64, pipeline Pipeline) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, ctxErr(err)
 	}
@@ -302,8 +321,9 @@ func (g *Gateway) Classify(ctx context.Context, sampleID uint64) (*Result, error
 	row := make([]float32, classes)
 	copy(row, probs.Row(0))
 	entropy := nn.NormalizedEntropy(row)
-	if entropy <= g.pipeline[0].Threshold {
-		return &Result{
+	g.instr.observeStage(wire.ExitLocal, time.Since(start))
+	if entropy <= pipeline[0].Threshold {
+		res := &Result{
 			SampleID: sampleID,
 			Class:    probs.ArgMaxRow(0),
 			Exit:     wire.ExitLocal,
@@ -311,18 +331,23 @@ func (g *Gateway) Classify(ctx context.Context, sampleID uint64) (*Result, error
 			Entropy:  entropy,
 			Present:  present,
 			Latency:  time.Since(start),
-		}, nil
+		}
+		g.instr.observeExit(res.Exit, res.Latency)
+		return res, nil
 	}
 
 	// Stage 3: the local exit is not confident; fetch binarized features
 	// from present devices and escalate to the next tier up.
-	res, err := g.escalate(ctx, sid, sampleID, present)
+	escStart := time.Now()
+	res, err := g.escalate(ctx, sid, sampleID, present, pipeline)
 	if err != nil {
 		return nil, err
 	}
+	g.instr.observeStage(g.upstreamExit(), time.Since(escStart))
 	res.Entropy = entropy
 	res.Present = present
 	res.Latency = time.Since(start)
+	g.instr.observeExit(res.Exit, res.Latency)
 	return res, nil
 }
 
@@ -351,8 +376,9 @@ func (g *Gateway) captureFrom(ctx context.Context, dl *deviceLink, sid, sampleID
 // confident samples itself and forwards the rest to the cloud, or a
 // cloud replica directly in a two-tier hierarchy. The replica pool picks
 // the least-loaded healthy replica and retries on another if the chosen
-// one dies mid-session.
-func (g *Gateway) escalate(ctx context.Context, sid, sampleID uint64, present []bool) (*Result, error) {
+// one dies mid-session. The relayed thresholds come from the session's
+// pipeline, so per-request shed overrides reach the upper tiers.
+func (g *Gateway) escalate(ctx context.Context, sid, sampleID uint64, present []bool, pipeline Pipeline) (*Result, error) {
 	if g.upstream.Down() {
 		return nil, fmt.Errorf("cluster: sample %d: %w: %w", sampleID, g.upstreamSentinel(), ErrNoHealthyReplica)
 	}
@@ -412,7 +438,7 @@ func (g *Gateway) escalate(ctx context.Context, sid, sampleID uint64, present []
 			SampleID:   sampleID,
 			Devices:    uint16(g.model.Cfg.Devices),
 			Mask:       mask,
-			Thresholds: g.pipeline.RelayThresholds(),
+			Thresholds: pipeline.RelayThresholds(),
 		})
 	} else {
 		frames = append(frames, &wire.CloudClassify{

@@ -33,6 +33,18 @@ type batchCapReply struct {
 // the upstream tier was unreachable) their entries are nil and the first
 // such failure is returned alongside the successful results.
 func (g *Gateway) ClassifyBatch(ctx context.Context, sampleIDs []uint64) ([]*Result, error) {
+	return g.classifyBatch(ctx, sampleIDs, g.pipeline)
+}
+
+// ClassifyBatchShed is ClassifyBatch over the pipeline tightened for a
+// shed level; see Gateway.ClassifyShed.
+func (g *Gateway) ClassifyBatchShed(ctx context.Context, sampleIDs []uint64, level ShedLevel) ([]*Result, error) {
+	return g.classifyBatch(ctx, sampleIDs, g.pipeline.Shed(level))
+}
+
+// classifyBatch runs one multi-sample session over an explicit exit
+// pipeline (the configured one, or a per-request shed override).
+func (g *Gateway) classifyBatch(ctx context.Context, sampleIDs []uint64, pipeline Pipeline) ([]*Result, error) {
 	n := len(sampleIDs)
 	if n == 0 {
 		return nil, nil
@@ -99,6 +111,15 @@ func (g *Gateway) ClassifyBatch(ctx context.Context, sampleIDs []uint64) ([]*Res
 	for i := range present {
 		masks[i] = maskOf(present[i])
 	}
+	defer func() {
+		// One exit observation per classified sample, after the session
+		// settles (local exits and escalated verdicts alike).
+		for _, r := range results {
+			if r != nil {
+				g.instr.observeExit(r.Exit, r.Latency)
+			}
+		}
+	}()
 	for _, grp := range groupByMask(masks, len(g.devices)) {
 		if grp.mask == 0 {
 			if firstErr == nil {
@@ -117,7 +138,7 @@ func (g *Gateway) ClassifyBatch(ctx context.Context, sampleIDs []uint64) ([]*Res
 			copy(row, probs.Row(k))
 			entropy := nn.NormalizedEntropy(row)
 			entropies[idx] = entropy
-			if entropy <= g.pipeline[0].Threshold {
+			if entropy <= pipeline[0].Threshold {
 				results[idx] = &Result{
 					SampleID: sampleIDs[idx],
 					Class:    probs.ArgMaxRow(k),
@@ -132,13 +153,18 @@ func (g *Gateway) ClassifyBatch(ctx context.Context, sampleIDs []uint64) ([]*Res
 			}
 		}
 	}
+	g.instr.observeStage(wire.ExitLocal, time.Since(start))
 	if len(escalate) == 0 {
 		return results, firstErr
 	}
 
 	// Stage 3: the hard remainder — and only it — rides upstream as one
 	// batched escalation (the paper's staged partial exit, batched).
-	err := g.escalateBatch(ctx, sid, sampleIDs, escalate, present, masks, entropies, results, start)
+	escStart := time.Now()
+	err := g.escalateBatch(ctx, sid, sampleIDs, escalate, present, masks, entropies, results, start, pipeline)
+	if err == nil {
+		g.instr.observeStage(g.upstreamExit(), time.Since(escStart))
+	}
 	if err != nil && firstErr == nil {
 		firstErr = err
 	}
@@ -180,7 +206,7 @@ func (g *Gateway) captureBatchFrom(ctx context.Context, dl *deviceLink, sid uint
 // pool-scheduled replica of the next tier, filling results for every
 // escalating index from the returned ResultBatch. If the replica dies
 // mid-session the whole batch is retried on another replica.
-func (g *Gateway) escalateBatch(ctx context.Context, sid uint64, sampleIDs []uint64, escalate []int, present [][]bool, masks []uint16, entropies []float64, results []*Result, start time.Time) error {
+func (g *Gateway) escalateBatch(ctx context.Context, sid uint64, sampleIDs []uint64, escalate []int, present [][]bool, masks []uint16, entropies []float64, results []*Result, start time.Time, pipeline Pipeline) error {
 	sentinel := g.upstreamSentinel()
 	if g.upstream.Down() {
 		return fmt.Errorf("cluster: batch of %d samples: %w: %w", len(escalate), sentinel, ErrNoHealthyReplica)
@@ -288,7 +314,7 @@ func (g *Gateway) escalateBatch(ctx context.Context, sid uint64, sampleIDs []uin
 			Devices:    uint16(g.model.Cfg.Devices),
 			SampleIDs:  escIDs,
 			Masks:      escMasks,
-			Thresholds: g.pipeline.RelayThresholds(),
+			Thresholds: pipeline.RelayThresholds(),
 		}
 	} else {
 		hdr = &wire.CloudClassifyBatch{

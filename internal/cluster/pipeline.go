@@ -37,6 +37,61 @@ func BuildPipeline(cfg core.Config, localT, edgeT float64) Pipeline {
 	return append(p, Stage{Exit: wire.ExitCloud, Threshold: 1})
 }
 
+// ShedLevel selects how much of the exit pipeline one session may use.
+// It is the staged hierarchy acting as a load-shedding mechanism: under
+// overload an admission controller raises the level, which answers
+// requests at cheaper (lower) exits instead of queueing or refusing them
+// — quality degrades before availability does.
+type ShedLevel int
+
+// Shed levels, cheapest-pipeline last.
+const (
+	// ShedNone runs the session over the full configured pipeline.
+	ShedNone ShedLevel = iota
+	// ShedPreferEdge forces every escalated sample to exit at the tier
+	// directly below the final one — the edge of a three-tier hierarchy
+	// — keeping the top tier idle. In a two-tier hierarchy (no edge) it
+	// degenerates to ShedLocalOnly.
+	ShedPreferEdge
+	// ShedLocalOnly answers every sample at the local exit; nothing
+	// escalates past the gateway.
+	ShedLocalOnly
+)
+
+// String names the level for headers, logs and metric labels.
+func (s ShedLevel) String() string {
+	switch s {
+	case ShedNone:
+		return "normal"
+	case ShedPreferEdge:
+		return "prefer-edge"
+	case ShedLocalOnly:
+		return "device-only"
+	default:
+		return fmt.Sprintf("shed(%d)", int(s))
+	}
+}
+
+// Shed returns a tightened copy of the pipeline for one session: the
+// stage `level` tiers below the final one has its threshold raised to 1,
+// so every sample that reaches it passes the normalized-entropy test
+// (entropy is always ≤ 1) and the tiers above it never see the session.
+// Shed(ShedNone) returns the pipeline unchanged; levels past the bottom
+// of the pipeline clamp to the local exit. The receiver is never mutated.
+func (p Pipeline) Shed(level ShedLevel) Pipeline {
+	if level <= ShedNone || len(p) == 0 {
+		return p
+	}
+	stop := len(p) - 1 - int(level)
+	if stop < 0 {
+		stop = 0
+	}
+	out := make(Pipeline, len(p))
+	copy(out, p)
+	out[stop].Threshold = 1
+	return out
+}
+
 // Validate reports malformed pipelines.
 func (p Pipeline) Validate() error {
 	if len(p) < 2 {

@@ -49,6 +49,7 @@ type Sim struct {
 
 	addrs         []string
 	upstreamAddrs []string
+	uploads       *uploadStore
 }
 
 // DatasetFeed builds a Feed serving one device's views from a dataset.
@@ -81,10 +82,10 @@ func NewSim(model *core.Model, ds *dataset.Dataset, cfg GatewayConfig, tr transp
 // instead.
 func NewReplicatedSim(model *core.Model, ds *dataset.Dataset, cfg GatewayConfig, topo Topology, tr transport.Transport, logger *slog.Logger) (*Sim, error) {
 	topo = topo.normalize()
-	s := &Sim{}
+	s := &Sim{uploads: newUploadStore()}
 	addrs := make([]string, model.Cfg.Devices)
 	for d := 0; d < model.Cfg.Devices; d++ {
-		dev := NewDevice(model, d, DatasetFeed(ds, d), logger)
+		dev := NewDevice(model, d, uploadFeed(s.uploads, DatasetFeed(ds, d), d), logger)
 		addr := fmt.Sprintf("device-%d", d)
 		if err := dev.Serve(tr, addr); err != nil {
 			s.Close()

@@ -6,6 +6,8 @@ import (
 	"time"
 
 	"github.com/ddnn/ddnn-go/internal/cluster"
+	"github.com/ddnn/ddnn-go/internal/dataset"
+	"github.com/ddnn/ddnn-go/internal/tensor"
 	"github.com/ddnn/ddnn-go/internal/transport"
 	"github.com/ddnn/ddnn-go/internal/wire"
 )
@@ -39,17 +41,55 @@ const (
 // local-aggregate entropy, device presence and wall-clock latency.
 type Result = cluster.Result
 
+// Tensor is the dense float32 tensor type used for uploaded sensor
+// views (see Engine.ClassifyUpload).
+type Tensor = tensor.Tensor
+
+// NewTensor allocates a zeroed tensor with the given shape.
+func NewTensor(shape ...int) *Tensor { return tensor.New(shape...) }
+
+// Uploaded sensor view dimensions: each device view of a sample is a
+// [1, ImageC, ImageH, ImageW] tensor.
+const (
+	ImageC = dataset.ImageC
+	ImageH = dataset.ImageH
+	ImageW = dataset.ImageW
+)
+
+// ShedLevel selects how aggressively an overloaded serving system
+// degrades answer quality to preserve availability: each level forces
+// the exit pipeline to stop one stage earlier, so requests are answered
+// by a cheaper exit instead of queueing for the full hierarchy.
+type ShedLevel = cluster.ShedLevel
+
+// Shed levels in escalation order.
+const (
+	// ShedNone runs the configured exit pipeline unchanged.
+	ShedNone = cluster.ShedNone
+	// ShedPreferEdge caps three-tier hierarchies at the edge exit (the
+	// cloud is never consulted); two-tier hierarchies degrade straight to
+	// the local exit.
+	ShedPreferEdge = cluster.ShedPreferEdge
+	// ShedLocalOnly answers every sample at the device-local exit.
+	ShedLocalOnly = cluster.ShedLocalOnly
+)
+
+// Instrumentation holds optional serving-observability callbacks; see
+// Engine.SetInstrumentation.
+type Instrumentation = cluster.Instrumentation
+
 // Typed serving errors, for errors.Is against Engine results. ErrCanceled
 // and ErrDeadlineExceeded also wrap the corresponding context error.
 var (
-	ErrCanceled         = cluster.ErrCanceled
-	ErrDeadlineExceeded = cluster.ErrDeadlineExceeded
-	ErrEngineClosed     = cluster.ErrClosed
-	ErrNoSummaries      = cluster.ErrNoSummaries
-	ErrCloudUnavailable = cluster.ErrCloudUnavailable
-	ErrEdgeUnavailable  = cluster.ErrEdgeUnavailable
-	ErrNoHealthyReplica = cluster.ErrNoHealthyReplica
-	ErrTooManyDevices   = cluster.ErrTooManyDevices
+	ErrCanceled          = cluster.ErrCanceled
+	ErrDeadlineExceeded  = cluster.ErrDeadlineExceeded
+	ErrEngineClosed      = cluster.ErrClosed
+	ErrNoSummaries       = cluster.ErrNoSummaries
+	ErrCloudUnavailable  = cluster.ErrCloudUnavailable
+	ErrEdgeUnavailable   = cluster.ErrEdgeUnavailable
+	ErrNoHealthyReplica  = cluster.ErrNoHealthyReplica
+	ErrTooManyDevices    = cluster.ErrTooManyDevices
+	ErrUploadUnsupported = cluster.ErrUploadUnsupported
 )
 
 // engineOptions collects the functional options of NewEngine and Connect.
@@ -233,6 +273,43 @@ func (e *Engine) Classify(ctx context.Context, sampleID uint64) (Result, error) 
 	return *res, nil
 }
 
+// ClassifyShed is Classify over the exit pipeline tightened for a shed
+// level: under overload the caller trades answer quality (a cheaper
+// exit) for availability instead of queueing. ShedNone behaves exactly
+// like Classify. Requests at different shed levels never share a
+// micro-batch.
+func (e *Engine) ClassifyShed(ctx context.Context, sampleID uint64, level ShedLevel) (Result, error) {
+	res, err := e.inner.ClassifyShed(ctx, sampleID, level)
+	if err != nil {
+		return Result{}, err
+	}
+	return *res, nil
+}
+
+// ClassifyUpload classifies one caller-supplied sample instead of a
+// dataset index: views holds one [1, ImageC, ImageH, ImageW] tensor per
+// device of the model. The sample rides the normal staged session
+// (micro-batching, shed level, replica failover included); the returned
+// Result.SampleID is a transient upload ID. Only in-process engines
+// (NewEngine) support uploads — Connect-ed engines return
+// ErrUploadUnsupported because remote devices own their own sensors.
+func (e *Engine) ClassifyUpload(ctx context.Context, views []*Tensor, level ShedLevel) (Result, error) {
+	res, err := e.inner.ClassifyUpload(ctx, views, level)
+	if err != nil {
+		return Result{}, err
+	}
+	return *res, nil
+}
+
+// SetInstrumentation installs serving-observability callbacks on the
+// engine's gateway: ExitObserved fires once per classified sample with
+// its exit point and session latency, StageObserved once per tier round
+// trip. Callbacks must be fast and safe for concurrent use; nil fields
+// are skipped. Passing a zero Instrumentation removes the callbacks.
+func (e *Engine) SetInstrumentation(in Instrumentation) {
+	e.inner.Gateway().SetInstrumentation(in)
+}
+
 // ClassifyBatch classifies the samples concurrently — bounded by the
 // engine's max concurrency — and returns results in input order. On the
 // first session error the remaining sessions are canceled and only the
@@ -240,6 +317,20 @@ func (e *Engine) Classify(ctx context.Context, sampleID uint64) (Result, error) 
 // indistinguishable from a real class-0 local exit).
 func (e *Engine) ClassifyBatch(ctx context.Context, sampleIDs []uint64) ([]Result, error) {
 	inner, err := e.inner.ClassifyBatch(ctx, sampleIDs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(inner))
+	for i, r := range inner {
+		out[i] = *r
+	}
+	return out, nil
+}
+
+// ClassifyBatchShed is ClassifyBatch over the exit pipeline tightened
+// for a shed level; see ClassifyShed.
+func (e *Engine) ClassifyBatchShed(ctx context.Context, sampleIDs []uint64, level ShedLevel) ([]Result, error) {
+	inner, err := e.inner.ClassifyBatchShed(ctx, sampleIDs, level)
 	if err != nil {
 		return nil, err
 	}
