@@ -2,9 +2,10 @@
 // an authenticated, rate-limited, observable REST surface over the
 // staged device→edge→cloud hierarchy.
 //
-// The handler chain composes, outermost first: panic recovery, request
-// ID + structured access logging, bearer-token authentication with
-// per-client identities, per-client token-bucket rate limiting, and an
+// The handler chain composes, outermost first: request ID + structured
+// access logging, panic recovery (inside the log so panics are logged
+// and counted), bearer-token authentication with per-client
+// identities, per-client token-bucket rate limiting, and an
 // admission controller that bounds in-flight work. Under overload the
 // admission controller sheds load gracefully — requests are answered by
 // progressively cheaper exits of the hierarchy (normal → prefer-edge →
@@ -132,7 +133,9 @@ func NewServer(cfg Config) (*Server, error) {
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // Handler returns the complete front door: routed endpoints wrapped in
-// the middleware chain.
+// the middleware chain. The access log wraps panic recovery so a
+// panicking request still produces an access-log line and a response
+// counter increment (the recovered 500 flows through the recorder).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/classify", s.requireAuth(s.handleClassify))
@@ -141,7 +144,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	var h http.Handler = mux
-	h = s.withAccessLog(h)
 	h = s.withRecover(h)
+	h = s.withAccessLog(h)
 	return h
 }

@@ -44,10 +44,16 @@ func LoadTokenFile(path string) (*Authenticator, error) {
 	return a, nil
 }
 
+// maxTokenLine bounds one token-file line. bufio.Scanner's 64KB default
+// is too small for generously sized machine tokens; anything over 1MB
+// on one line is a corrupt file, not a token.
+const maxTokenLine = 1 << 20
+
 // ParseTokens parses token lines from a reader; see LoadTokenFile.
 func ParseTokens(r io.Reader) (*Authenticator, error) {
 	tokens := make(map[string]string)
 	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), maxTokenLine)
 	line := 0
 	for sc.Scan() {
 		line++
@@ -66,7 +72,9 @@ func ParseTokens(r io.Reader) (*Authenticator, error) {
 		tokens[client] = token
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		// The scanner stopped on the line after the last one delivered;
+		// name it so an over-long or unreadable line is findable.
+		return nil, fmt.Errorf("line %d: %w", line+1, err)
 	}
 	if len(tokens) == 0 {
 		return nil, fmt.Errorf("no tokens")

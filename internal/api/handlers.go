@@ -28,13 +28,16 @@ type classifyRequest struct {
 	SampleID *uint64 `json:"sample_id"`
 }
 
-// classifyResponse is one classified sample.
+// classifyResponse is one classified sample. Present marks the device
+// views that contributed to the answer, so callers can observe
+// degradation (a dead sensor) per sample.
 type classifyResponse struct {
 	SampleID  uint64    `json:"sample_id"`
 	Class     int       `json:"class"`
 	Exit      string    `json:"exit"`
 	Probs     []float32 `json:"probs"`
 	Entropy   float64   `json:"entropy"`
+	Present   []bool    `json:"present,omitempty"`
 	LatencyMs float64   `json:"latency_ms"`
 	ShedLevel string    `json:"shed_level"`
 }
@@ -57,6 +60,7 @@ func toResponse(res ddnn.Result, level ddnn.ShedLevel) classifyResponse {
 		Exit:      res.Exit.String(),
 		Probs:     res.Probs,
 		Entropy:   res.Entropy,
+		Present:   res.Present,
 		LatencyMs: float64(res.Latency.Microseconds()) / 1000,
 		ShedLevel: level.String(),
 	}
@@ -135,23 +139,23 @@ func (s *Server) admit(w http.ResponseWriter, client string) (ddnn.ShedLevel, fu
 // body classifies a dataset sample; a raw application/octet-stream body
 // of Devices×3×32×32 little-endian float32 values classifies an
 // uploaded sample (one view per device, concatenated in device order).
+//
+// The whole body is read and validated before admission, like
+// handleClassifyBatch: a slow client trickling a 4MB upload must not
+// hold a MaxInFlight slot for its entire transfer, and malformed bodies
+// must not count as shed work or carry a shed-level header.
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request, client string) {
-	level, release, ok := s.admit(w, client)
-	if !ok {
-		return
-	}
-	defer release()
 	var (
-		res ddnn.Result
-		err error
+		views    []*ddnn.Tensor
+		sampleID uint64
 	)
 	if isRawTensor(r) {
-		views, perr := s.readViews(r.Body)
+		v, perr := s.readViews(r.Body)
 		if perr != nil {
 			writeBodyError(w, perr)
 			return
 		}
-		res, err = s.cfg.Engine.ClassifyUpload(r.Context(), views, level)
+		views = v
 	} else {
 		var req classifyRequest
 		if perr := json.NewDecoder(r.Body).Decode(&req); perr != nil {
@@ -162,7 +166,21 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request, client s
 			writeError(w, http.StatusBadRequest, "missing sample_id")
 			return
 		}
-		res, err = s.cfg.Engine.ClassifyShed(r.Context(), *req.SampleID, level)
+		sampleID = *req.SampleID
+	}
+	level, release, ok := s.admit(w, client)
+	if !ok {
+		return
+	}
+	defer release()
+	var (
+		res ddnn.Result
+		err error
+	)
+	if views != nil {
+		res, err = s.cfg.Engine.ClassifyUpload(r.Context(), views, level)
+	} else {
+		res, err = s.cfg.Engine.ClassifyShed(r.Context(), sampleID, level)
 	}
 	if err != nil {
 		writeError(w, httpStatus(err), err.Error())

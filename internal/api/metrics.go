@@ -28,6 +28,9 @@ type Metrics struct {
 	// Exits counts classified samples by the hierarchy exit that
 	// answered them.
 	Exits *promtext.CounterVec
+	// ExitLatency observes whole-session classification latency
+	// (seconds) by the hierarchy exit that answered the sample.
+	ExitLatency *promtext.HistogramVec
 	// StageLatency observes per-tier round-trip latency (seconds): the
 	// local device fan-out under "local", escalations under the tier
 	// that ran them.
@@ -49,6 +52,7 @@ func NewMetrics() *Metrics {
 		Responses:      promtext.NewCounterVec(reg, "ddnn_http_responses_total", "HTTP responses by status code.", "code"),
 		ShedRequests:   promtext.NewCounterVec(reg, "ddnn_http_shed_requests_total", "Admitted classify requests by shed level.", "level"),
 		Exits:          promtext.NewCounterVec(reg, "ddnn_exit_classifications_total", "Classified samples by hierarchy exit.", "exit"),
+		ExitLatency:    promtext.NewHistogramVec(reg, "ddnn_exit_latency_seconds", "Whole-session classification latency by hierarchy exit.", "exit", nil),
 		StageLatency:   promtext.NewHistogramVec(reg, "ddnn_stage_latency_seconds", "Per-tier round-trip latency.", "tier", nil),
 		RequestLatency: promtext.NewHistogram(reg, "ddnn_http_request_seconds", "Whole-request HTTP latency.", nil),
 		InFlight:       promtext.NewGauge(reg, "ddnn_http_inflight_requests", "Currently admitted classify requests."),
@@ -61,6 +65,7 @@ func (m *Metrics) Instrumentation() ddnn.Instrumentation {
 	return ddnn.Instrumentation{
 		ExitObserved: func(exit ddnn.ExitPoint, latency time.Duration) {
 			m.Exits.Inc(exit.String())
+			m.ExitLatency.Observe(exit.String(), latency.Seconds())
 		},
 		StageObserved: func(tier ddnn.ExitPoint, latency time.Duration) {
 			m.StageLatency.Observe(tier.String(), latency.Seconds())

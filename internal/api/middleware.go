@@ -68,17 +68,21 @@ func (s *Server) withAccessLog(next http.Handler) http.Handler {
 }
 
 // withRecover converts handler panics into 500s instead of tearing down
-// the whole connection (and, pre-1.19 servers, the process).
+// the whole connection (and, pre-1.19 servers, the process). The 500 is
+// written only when the handler had not started a response yet — a
+// panic after WriteHeader must not write a second status line.
 func (s *Server) withRecover(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w}
 		defer func() {
 			if v := recover(); v != nil {
 				s.logger.Error("handler panic", "path", r.URL.Path, "panic", v)
-				// Headers may already be gone; best-effort 500.
-				writeError(w, http.StatusInternalServerError, "internal error")
+				if rec.status == 0 {
+					writeError(w, http.StatusInternalServerError, "internal error")
+				}
 			}
 		}()
-		next.ServeHTTP(w, r)
+		next.ServeHTTP(rec, r)
 	})
 }
 

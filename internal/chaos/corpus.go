@@ -1,0 +1,109 @@
+package chaos
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"github.com/ddnn/ddnn-go/internal/wire"
+)
+
+// fuzzCorpusDir is where the wire package's fuzz findings live,
+// relative to this package's directory (the working directory under
+// `go test`). The chaos harness replays them against live nodes.
+const fuzzCorpusDir = "../wire/testdata/fuzz/FuzzDecode"
+
+// loadCorpus returns the attack frames the corrupter injects: the wire
+// package's fuzz corpus when its testdata is reachable, plus a built-in
+// set of handcrafted corruptions so the harness never runs unarmed
+// (e.g. inside a compiled binary with no testdata nearby).
+func loadCorpus() [][]byte {
+	frames := builtinCorpus()
+	entries, err := os.ReadDir(fuzzCorpusDir)
+	if err != nil {
+		return frames
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(fuzzCorpusDir, e.Name()))
+		if err != nil {
+			continue
+		}
+		if b, ok := parseFuzzFile(raw); ok && len(b) > 0 {
+			frames = append(frames, b)
+		}
+	}
+	return frames
+}
+
+// parseFuzzFile extracts the []byte argument from a "go test fuzz v1"
+// corpus file.
+func parseFuzzFile(raw []byte) ([]byte, bool) {
+	lines := strings.Split(string(raw), "\n")
+	if len(lines) == 0 || !strings.HasPrefix(lines[0], "go test fuzz v1") {
+		return nil, false
+	}
+	for _, line := range lines[1:] {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "[]byte(") || !strings.HasSuffix(line, ")") {
+			continue
+		}
+		quoted := strings.TrimSuffix(strings.TrimPrefix(line, "[]byte("), ")")
+		s, err := strconv.Unquote(quoted)
+		if err != nil {
+			return nil, false
+		}
+		return []byte(s), true
+	}
+	return nil, false
+}
+
+// builtinCorpus covers the classic frame corruptions: garbage where the
+// magic goes, a frame cut mid-payload, a lone zero byte, and a valid
+// heartbeat to seed mutations from.
+func builtinCorpus() [][]byte {
+	valid := validFrame()
+	truncated := valid[:len(valid)/2]
+	return [][]byte{
+		bytes.Repeat([]byte{0xff}, 64),
+		truncated,
+		{0x00},
+		valid,
+	}
+}
+
+// validFrame encodes one well-formed heartbeat frame.
+func validFrame() []byte {
+	var buf bytes.Buffer
+	if _, err := wire.Encode(&buf, &wire.Heartbeat{NodeID: "chaos", Seq: 1}); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// mutateFrame returns a corrupted copy of frame: random byte flips
+// (which hit magic, type, length and payload bytes alike), a truncation
+// or trailing junk.
+func mutateFrame(rng *rand.Rand, frame []byte) []byte {
+	out := append([]byte(nil), frame...)
+	switch rng.Intn(3) {
+	case 0:
+		for i, n := 0, 1+rng.Intn(4); i < n && len(out) > 0; i++ {
+			out[rng.Intn(len(out))] ^= byte(1 + rng.Intn(255))
+		}
+	case 1:
+		if len(out) > 1 {
+			out = out[:1+rng.Intn(len(out)-1)]
+		}
+	default:
+		junk := make([]byte, 1+rng.Intn(32))
+		rng.Read(junk)
+		out = append(out, junk...)
+	}
+	return out
+}

@@ -1,0 +1,284 @@
+package chaos
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/ddnn/ddnn-go/internal/transport"
+)
+
+// faultTransport wraps a transport with runtime-switchable link faults,
+// keyed by the listener address of the node whose links are faulted:
+// partitioning an address silently discards every frame written to or
+// from that node (the connections stay open, exactly like a network
+// partition), and degrading it delays each write. Whole Writes are
+// dropped, never split — wire.Encode emits one Write per frame, so a
+// partition loses frames but never desynchronizes the stream framing.
+type faultTransport struct {
+	inner transport.Transport
+
+	mu    sync.Mutex
+	cut   map[string]bool
+	delay map[string]time.Duration
+}
+
+func newFaultTransport(inner transport.Transport) *faultTransport {
+	return &faultTransport{
+		inner: inner,
+		cut:   make(map[string]bool),
+		delay: make(map[string]time.Duration),
+	}
+}
+
+// Partition switches frame blackholing for every link of addr.
+func (t *faultTransport) Partition(addr string, on bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if on {
+		t.cut[addr] = true
+	} else {
+		delete(t.cut, addr)
+	}
+}
+
+// Degrade delays every write on addr's links by d; 0 clears the fault.
+func (t *faultTransport) Degrade(addr string, d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if d > 0 {
+		t.delay[addr] = d
+	} else {
+		delete(t.delay, addr)
+	}
+}
+
+// Heal clears every partition and degradation at once.
+func (t *faultTransport) Heal() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.cut = make(map[string]bool)
+	t.delay = make(map[string]time.Duration)
+}
+
+func (t *faultTransport) state(addr string) (cut bool, delay time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cut[addr], t.delay[addr]
+}
+
+func (t *faultTransport) Listen(addr string) (net.Listener, error) {
+	l, err := t.inner.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &faultListener{Listener: l, addr: addr, ft: t}, nil
+}
+
+func (t *faultTransport) Dial(ctx context.Context, addr string) (net.Conn, error) {
+	c, err := t.inner.Dial(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &faultConn{Conn: c, addr: addr, ft: t}, nil
+}
+
+// faultListener wraps accepted connections so the faulted node's own
+// writes are subject to its address's faults too — a partition cuts
+// both directions of every link touching the node.
+type faultListener struct {
+	net.Listener
+	addr string
+	ft   *faultTransport
+}
+
+func (l *faultListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &faultConn{Conn: c, addr: l.addr, ft: l.ft}, nil
+}
+
+type faultConn struct {
+	net.Conn
+	addr string
+	ft   *faultTransport
+}
+
+func (c *faultConn) Write(b []byte) (int, error) {
+	cut, delay := c.ft.state(c.addr)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if cut {
+		// Swallow the frame: the peer sees silence, not a closed link.
+		return len(b), nil
+	}
+	return c.Conn.Write(b)
+}
+
+// sleepCtx sleeps for d or until the context is done.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+// jitter returns a duration uniform in [min, max).
+func jitter(rng *rand.Rand, min, max time.Duration) time.Duration {
+	if max <= min {
+		return min
+	}
+	return min + time.Duration(rng.Int63n(int64(max-min)))
+}
+
+// deviceKiller flips random devices into silent failure (SetFailed) and
+// back — the sensor process wedged, its link still open.
+func (h *Harness) deviceKiller(ctx context.Context, rng *rand.Rand) {
+	devices := h.eng.Devices()
+	for ctx.Err() == nil {
+		d := rng.Intn(len(devices))
+		devices[d].SetFailed(true)
+		h.report.countFault("device-kill")
+		sleepCtx(ctx, jitter(rng, 40*time.Millisecond, 250*time.Millisecond))
+		devices[d].SetFailed(false)
+		sleepCtx(ctx, jitter(rng, 20*time.Millisecond, 150*time.Millisecond))
+	}
+	// Leave every device healthy for the heal phase.
+	for _, d := range devices {
+		d.SetFailed(false)
+	}
+}
+
+// replicaKiller alternates between silently failing an upper-tier
+// replica for a while and hard-restarting one (listener and links die,
+// a fresh node reclaims the address). A single actor owns every replica
+// fault so kills never overlap restarts of the same node.
+func (h *Harness) replicaKiller(ctx context.Context, rng *rand.Rand) {
+	edges := h.cfg.EdgeReplicas
+	if !h.model.Cfg.UseEdge {
+		edges = 0
+	}
+	clouds := h.cfg.CloudReplicas
+	for ctx.Err() == nil {
+		useEdge := edges > 0 && rng.Intn(2) == 0
+		switch {
+		case rng.Intn(3) != 0: // silent failure, then recover
+			if useEdge {
+				i := rng.Intn(edges)
+				if e := h.eng.EdgeReplica(i); e != nil {
+					e.SetFailed(true)
+					h.report.countFault("edge-fail")
+					sleepCtx(ctx, jitter(rng, 80*time.Millisecond, 350*time.Millisecond))
+					// The node may have been restarted meanwhile; unfailing
+					// the current holder of the address is always safe.
+					if e := h.eng.EdgeReplica(i); e != nil {
+						e.SetFailed(false)
+					}
+				}
+			} else {
+				i := rng.Intn(clouds)
+				if c := h.eng.CloudReplica(i); c != nil {
+					c.SetFailed(true)
+					h.report.countFault("cloud-fail")
+					sleepCtx(ctx, jitter(rng, 80*time.Millisecond, 350*time.Millisecond))
+					if c := h.eng.CloudReplica(i); c != nil {
+						c.SetFailed(false)
+					}
+				}
+			}
+		case useEdge:
+			if err := h.eng.RestartEdgeReplica(rng.Intn(edges)); err == nil {
+				h.report.countFault("edge-restart")
+			}
+		default:
+			if err := h.eng.RestartCloudReplica(rng.Intn(clouds)); err == nil {
+				h.report.countFault("cloud-restart")
+			}
+		}
+		sleepCtx(ctx, jitter(rng, 50*time.Millisecond, 300*time.Millisecond))
+	}
+}
+
+// linkFaulter partitions and degrades random node addresses.
+func (h *Harness) linkFaulter(ctx context.Context, rng *rand.Rand) {
+	addrs := h.faultAddrs
+	for ctx.Err() == nil {
+		addr := addrs[rng.Intn(len(addrs))]
+		if rng.Intn(3) == 0 {
+			h.ft.Degrade(addr, jitter(rng, 2*time.Millisecond, 25*time.Millisecond))
+			h.report.countFault("degrade")
+			sleepCtx(ctx, jitter(rng, 50*time.Millisecond, 250*time.Millisecond))
+			h.ft.Degrade(addr, 0)
+		} else {
+			h.ft.Partition(addr, true)
+			h.report.countFault("partition")
+			sleepCtx(ctx, jitter(rng, 50*time.Millisecond, 300*time.Millisecond))
+			h.ft.Partition(addr, false)
+		}
+		sleepCtx(ctx, jitter(rng, 20*time.Millisecond, 150*time.Millisecond))
+	}
+	h.ft.Heal()
+}
+
+// healthFlapper stops and restarts the health monitor so recovery
+// ownership bounces between probe verdicts and the pool's half-open
+// trial sessions, and briefly flaps devices so probe verdicts churn.
+func (h *Harness) healthFlapper(ctx context.Context, rng *rand.Rand) {
+	devices := h.eng.Devices()
+	for ctx.Err() == nil {
+		switch rng.Intn(3) {
+		case 0:
+			h.stopMonitor()
+			h.report.countFault("monitor-flap")
+			sleepCtx(ctx, jitter(rng, 50*time.Millisecond, 250*time.Millisecond))
+			h.startMonitor(ctx)
+		default:
+			d := rng.Intn(len(devices))
+			devices[d].SetFailed(true)
+			h.report.countFault("probe-flap")
+			sleepCtx(ctx, jitter(rng, 10*time.Millisecond, 60*time.Millisecond))
+			devices[d].SetFailed(false)
+		}
+		sleepCtx(ctx, jitter(rng, 50*time.Millisecond, 250*time.Millisecond))
+	}
+	// The monitor must be running again when the heal phase starts; a
+	// replica may be mid-restart, so retry briefly.
+	for i := 0; i < 50 && !h.monitorRunning(); i++ {
+		h.startMonitor(context.Background())
+		if !h.monitorRunning() {
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+}
+
+// frameCorrupter dials nodes directly — never touching the cluster's
+// own session links — and writes corrupt, truncated or fuzz-corpus
+// frames at them, asserting nothing ever takes a node down for good.
+func (h *Harness) frameCorrupter(ctx context.Context, rng *rand.Rand) {
+	frames := h.corpus
+	addrs := h.faultAddrs
+	for ctx.Err() == nil {
+		addr := addrs[rng.Intn(len(addrs))]
+		dctx, cancel := context.WithTimeout(ctx, 200*time.Millisecond)
+		conn, err := h.ft.Dial(dctx, addr)
+		cancel()
+		if err == nil {
+			frame := frames[rng.Intn(len(frames))]
+			if rng.Intn(2) == 0 {
+				frame = mutateFrame(rng, frame)
+			}
+			_ = conn.SetWriteDeadline(time.Now().Add(200 * time.Millisecond))
+			_, _ = conn.Write(frame)
+			conn.Close()
+			h.report.countFault("corrupt-frame")
+		}
+		sleepCtx(ctx, jitter(rng, 10*time.Millisecond, 80*time.Millisecond))
+	}
+}

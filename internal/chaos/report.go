@@ -1,0 +1,188 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Outcome classifies one observed request for the availability curve.
+type Outcome int
+
+const (
+	// OutcomeOK is a full-fidelity answer: every device present, no
+	// shedding.
+	OutcomeOK Outcome = iota
+	// OutcomeDegraded is a correct answer at reduced fidelity — devices
+	// missing from the presence mask or a shed exit pipeline.
+	OutcomeDegraded
+	// OutcomeRejected is an orderly refusal (429/503 admission or rate
+	// rejection).
+	OutcomeRejected
+	// OutcomeFailed is a typed serving failure (tier unreachable,
+	// deadline, canceled) or a client-side transport error.
+	OutcomeFailed
+)
+
+// counts is one availability bucket.
+type counts struct {
+	OK, Degraded, Rejected, Failed int
+}
+
+func (c counts) total() int { return c.OK + c.Degraded + c.Rejected + c.Failed }
+
+// available is the fraction of requests that got an answer (full or
+// degraded) out of everything attempted in the bucket.
+func (c counts) available() float64 {
+	t := c.total()
+	if t == 0 {
+		return 1
+	}
+	return float64(c.OK+c.Degraded) / float64(t)
+}
+
+// Report accumulates the run's availability curve, injected-fault
+// census and invariant violations. All methods are safe for concurrent
+// use.
+type Report struct {
+	// Seed reproduces the run: ddnn-chaos -seed N.
+	Seed int64
+
+	start  time.Time
+	bucket time.Duration
+
+	mu         sync.Mutex
+	buckets    []counts
+	faults     map[string]int
+	violations []string
+	checked    int
+}
+
+// maxViolations bounds how many violation strings a run stores; one is
+// enough to fail it, and a systemic bug would otherwise flood memory.
+const maxViolations = 64
+
+func newReport(seed int64, bucket time.Duration) *Report {
+	return &Report{
+		Seed:   seed,
+		start:  time.Now(),
+		bucket: bucket,
+		faults: make(map[string]int),
+	}
+}
+
+// Record files one request outcome into the current time bucket.
+func (r *Report) Record(o Outcome) {
+	i := int(time.Since(r.start) / r.bucket)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for len(r.buckets) <= i {
+		r.buckets = append(r.buckets, counts{})
+	}
+	switch o {
+	case OutcomeOK:
+		r.buckets[i].OK++
+	case OutcomeDegraded:
+		r.buckets[i].Degraded++
+	case OutcomeRejected:
+		r.buckets[i].Rejected++
+	default:
+		r.buckets[i].Failed++
+	}
+}
+
+// countFault tallies one injected fault by kind.
+func (r *Report) countFault(kind string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.faults[kind]++
+}
+
+// countChecked tallies one verifier-checked classification.
+func (r *Report) countChecked() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checked++
+}
+
+// violate files one invariant violation.
+func (r *Report) violate(format string, args ...any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.violations) < maxViolations {
+		r.violations = append(r.violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// Violations returns the invariant violations observed so far.
+func (r *Report) Violations() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.violations...)
+}
+
+// Checked returns how many completed classifications the verifier
+// compared against the staged core reference.
+func (r *Report) Checked() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.checked
+}
+
+// Faults returns how many faults of any kind were injected.
+func (r *Report) Faults() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, c := range r.faults {
+		n += c
+	}
+	return n
+}
+
+// FaultKinds returns how many distinct fault kinds fired.
+func (r *Report) FaultKinds() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.faults)
+}
+
+// String renders the availability curve and run summary.
+func (r *Report) String() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos run seed=%d (replay: ddnn-chaos -seed %d)\n", r.Seed, r.Seed)
+	var total counts
+	for i, c := range r.buckets {
+		total.OK += c.OK
+		total.Degraded += c.Degraded
+		total.Rejected += c.Rejected
+		total.Failed += c.Failed
+		fmt.Fprintf(&b, "  t=%5.1fs ok=%-4d degraded=%-4d rejected=%-4d failed=%-4d avail=%5.1f%%\n",
+			(time.Duration(i) * r.bucket).Seconds(), c.OK, c.Degraded, c.Rejected, c.Failed, 100*c.available())
+	}
+	fmt.Fprintf(&b, "  total ok=%d degraded=%d rejected=%d failed=%d avail=%.1f%% (answered %d of %d attempts)\n",
+		total.OK, total.Degraded, total.Rejected, total.Failed, 100*total.available(), total.OK+total.Degraded, total.total())
+	kinds := make([]string, 0, len(r.faults))
+	for k := range r.faults {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	fmt.Fprintf(&b, "  faults:")
+	for _, k := range kinds {
+		fmt.Fprintf(&b, " %s=%d", k, r.faults[k])
+	}
+	fmt.Fprintf(&b, "\n  verified %d classifications bit-identical to the staged reference\n", r.checked)
+	if len(r.violations) == 0 {
+		fmt.Fprintf(&b, "  invariant violations: none\n")
+	} else {
+		fmt.Fprintf(&b, "  INVARIANT VIOLATIONS (%d):\n", len(r.violations))
+		for _, v := range r.violations {
+			fmt.Fprintf(&b, "    - %s\n", v)
+		}
+	}
+	return b.String()
+}

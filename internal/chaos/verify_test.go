@@ -1,0 +1,237 @@
+package chaos
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/ddnn/ddnn-go/internal/cluster"
+	"github.com/ddnn/ddnn-go/internal/wire"
+)
+
+// newTestVerifier builds a verifier over the two-tier fixture.
+func newTestVerifier(t *testing.T) (*Verifier, *Report) {
+	t.Helper()
+	model, test := twoTier(t)
+	rep := newReport(0, time.Second)
+	return newVerifier(model, test, rep), rep
+}
+
+// goodResult builds a classification that matches the staged reference
+// for sample id at the local exit under the full mask.
+func goodResult(v *Verifier, id int) *cluster.Result {
+	er := v.reference(fullPresence(v.devices))
+	probs := append([]float32(nil), er.LocalProbs[id]...)
+	return &cluster.Result{
+		SampleID: uint64(id),
+		Class:    argmax(probs),
+		Exit:     wire.ExitLocal,
+		Probs:    probs,
+		Entropy:  0.5,
+		Present:  fullPresence(v.devices),
+	}
+}
+
+func fullPresence(n int) []bool {
+	p := make([]bool, n)
+	for i := range p {
+		p[i] = true
+	}
+	return p
+}
+
+// TestVerifierAcceptsReferenceResult: a bit-identical result produces
+// no violations — the harness's green path is actually reachable.
+func TestVerifierAcceptsReferenceResult(t *testing.T) {
+	v, rep := newTestVerifier(t)
+	v.CheckResult("test", goodResult(v, 0), cluster.ShedNone, 0)
+	if got := rep.Violations(); len(got) != 0 {
+		t.Fatalf("reference result flagged: %v", got)
+	}
+	if rep.Checked() != 1 {
+		t.Fatalf("checked = %d, want 1", rep.Checked())
+	}
+}
+
+// TestVerifierCatchesTamperedProbs: flipping one mantissa bit in one
+// probability must trip the bit-identity invariant. If this test
+// fails, every "verified" chaos run was vacuous.
+func TestVerifierCatchesTamperedProbs(t *testing.T) {
+	v, rep := newTestVerifier(t)
+	res := goodResult(v, 1)
+	res.Probs[0] += 1e-7
+	v.CheckResult("test", res, cluster.ShedNone, 1)
+	if !hasViolation(rep, "diverge") {
+		t.Fatalf("tampered probs not flagged; violations: %v", rep.Violations())
+	}
+}
+
+// TestVerifierCatchesWrongArgmax: a class that is not the argmax of
+// its own probabilities is flagged even when the probs are genuine.
+func TestVerifierCatchesWrongArgmax(t *testing.T) {
+	v, rep := newTestVerifier(t)
+	res := goodResult(v, 2)
+	res.Class = (res.Class + 1) % len(res.Probs)
+	v.CheckResult("test", res, cluster.ShedNone, 2)
+	if !hasViolation(rep, "argmax") {
+		t.Fatalf("wrong argmax not flagged; violations: %v", rep.Violations())
+	}
+}
+
+// TestVerifierCatchesShedViolation: a cloud exit under a local-only
+// shed grant is a contract breach regardless of the numbers.
+func TestVerifierCatchesShedViolation(t *testing.T) {
+	v, rep := newTestVerifier(t)
+	res := goodResult(v, 3)
+	v.CheckResult("test", res, cluster.ShedLocalOnly, 3)
+	if len(rep.Violations()) != 0 {
+		t.Fatalf("local exit under local-only flagged: %v", rep.Violations())
+	}
+	er := v.reference(fullPresence(v.devices))
+	res = goodResult(v, 3)
+	res.Exit = wire.ExitCloud
+	res.Probs = append([]float32(nil), er.CloudProbs[3]...)
+	res.Class = argmax(res.Probs)
+	v.CheckResult("test", res, cluster.ShedLocalOnly, 3)
+	if !hasViolation(rep, "local-only") {
+		t.Fatalf("cloud exit under local-only not flagged; violations: %v", rep.Violations())
+	}
+}
+
+// TestVerifierChecksMaskedReference: results under a partial mask are
+// verified against the masked evaluation, not the full one.
+func TestVerifierCatchesMaskConfusion(t *testing.T) {
+	v, rep := newTestVerifier(t)
+	mask := fullPresence(v.devices)
+	mask[1] = false
+	masked := v.reference(mask)
+	full := v.reference(fullPresence(v.devices))
+	// Find a sample whose masked and unmasked local aggregates genuinely
+	// differ, so the two claims below are distinguishable.
+	id := -1
+	for i := range masked.LocalProbs {
+		if !probsEqual(full.LocalProbs[i], masked.LocalProbs[i]) {
+			id = i
+			break
+		}
+	}
+	if id < 0 {
+		t.Fatal("masked and unmasked probs coincide for every sample; fixture too degenerate to test masking")
+	}
+	res := &cluster.Result{
+		SampleID: uint64(id),
+		Class:    argmax(masked.LocalProbs[id]),
+		Exit:     wire.ExitLocal,
+		Probs:    append([]float32(nil), masked.LocalProbs[id]...),
+		Entropy:  0.5,
+		Present:  mask,
+	}
+	v.CheckResult("test", res, cluster.ShedNone, id)
+	if len(rep.Violations()) != 0 {
+		t.Fatalf("correct masked result flagged: %v", rep.Violations())
+	}
+	// The same numbers claimed under the full mask must fail.
+	res2 := &cluster.Result{
+		SampleID: uint64(id),
+		Class:    argmax(masked.LocalProbs[id]),
+		Exit:     wire.ExitLocal,
+		Probs:    append([]float32(nil), masked.LocalProbs[id]...),
+		Entropy:  0.5,
+		Present:  fullPresence(v.devices),
+	}
+	v.CheckResult("test", res2, cluster.ShedNone, id)
+	if !hasViolation(rep, "diverge") {
+		t.Fatalf("masked probs under a full-mask claim not flagged; violations: %v", rep.Violations())
+	}
+}
+
+func probsEqual(a, b []float32) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestVerifierCatchesUntypedError: ad-hoc error strings from the
+// engine are contract breaches; typed sentinels (wrapped arbitrarily
+// deep) are not.
+func TestVerifierCatchesUntypedError(t *testing.T) {
+	v, rep := newTestVerifier(t)
+	v.CheckError("test", cluster.ErrCloudUnavailable)
+	v.CheckError("test", errors.Join(errors.New("wrap"), cluster.ErrDeadlineExceeded))
+	if len(rep.Violations()) != 0 {
+		t.Fatalf("typed errors flagged: %v", rep.Violations())
+	}
+	v.CheckError("test", errors.New("socket exploded"))
+	if !hasViolation(rep, "untyped") {
+		t.Fatalf("untyped error not flagged; violations: %v", rep.Violations())
+	}
+	v.CheckError("test", cluster.ErrClosed)
+	if !hasViolation(rep, "engine closed") {
+		t.Fatalf("mid-run ErrClosed not flagged; violations: %v", rep.Violations())
+	}
+}
+
+// TestVerifierCatchesHTTP500: a 500 anywhere is an escaped invariant
+// violation; expected-status mismatches are flagged too.
+func TestVerifierCatchesHTTP500(t *testing.T) {
+	v, rep := newTestVerifier(t)
+	v.CheckStatus("test", 503)
+	v.CheckStatus("test", 400, 400)
+	if len(rep.Violations()) != 0 {
+		t.Fatalf("documented statuses flagged: %v", rep.Violations())
+	}
+	v.CheckStatus("test", 500)
+	if !hasViolation(rep, "undocumented HTTP status 500") {
+		t.Fatalf("500 not flagged; violations: %v", rep.Violations())
+	}
+	v.CheckStatus("test", 200, 401)
+	if !hasViolation(rep, "want one of") {
+		t.Fatalf("expected-status mismatch not flagged; violations: %v", rep.Violations())
+	}
+}
+
+// TestWatchdogDetectsWedge: the drain watchdog must report a WaitGroup
+// that never finishes — the harness's deadlock detector.
+func TestWatchdogDetectsWedge(t *testing.T) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	if waitTimeout(&wg, 50*time.Millisecond) {
+		t.Fatal("watchdog reported a wedged group as done")
+	}
+	wg.Done()
+	if !waitTimeout(&wg, time.Second) {
+		t.Fatal("watchdog never saw the group finish")
+	}
+}
+
+// TestMutateFrameAlwaysChanges: mutations never return the input
+// unchanged-by-construction cases (byte flips can no-op only on empty
+// frames, which the corpus never contains).
+func TestMutateFrame(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	valid := validFrame()
+	for i := 0; i < 100; i++ {
+		m := mutateFrame(rng, valid)
+		if len(m) == 0 {
+			t.Fatal("mutation produced an empty frame")
+		}
+	}
+	if got := string(validFrame()); got != string(valid) {
+		t.Fatal("mutateFrame corrupted its input")
+	}
+}
+
+func hasViolation(rep *Report, substr string) bool {
+	for _, v := range rep.Violations() {
+		if strings.Contains(v, substr) {
+			return true
+		}
+	}
+	return false
+}

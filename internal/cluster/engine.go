@@ -40,6 +40,9 @@ type EngineConfig struct {
 	// CloudReplicas is the number of cloud nodes an in-process engine
 	// starts (NewEngine only). Zero means one.
 	CloudReplicas int
+	// Edge configures the in-process edge replicas (NewEngine only);
+	// nil means DefaultEdgeConfig.
+	Edge *EdgeConfig
 	// Workers bounds the worker pool that splits a coalesced batch's
 	// tier forwards across cores — per-sample convolutions and
 	// output-channel blocks of large single-sample convolutions. Zero
@@ -118,7 +121,7 @@ func NewEngine(m *core.Model, ds *dataset.Dataset, cfg EngineConfig, tr transpor
 			},
 		}
 	}
-	topo := Topology{EdgeReplicas: cfg.EdgeReplicas, CloudReplicas: cfg.CloudReplicas}
+	topo := Topology{EdgeReplicas: cfg.EdgeReplicas, CloudReplicas: cfg.CloudReplicas, Edge: cfg.Edge}
 	sim, err := NewReplicatedSim(m, ds, cfg.Gateway, topo, simTr, cfg.Logger)
 	if err != nil {
 		return nil, err
@@ -371,6 +374,44 @@ func (e *Engine) Clouds() []*Cloud {
 		return nil
 	}
 	return e.sim.Clouds
+}
+
+// EdgeReplica returns in-process edge replica i through the Sim's
+// restart-safe accessor, or nil for attached engines; see
+// Sim.EdgeReplica.
+func (e *Engine) EdgeReplica(i int) *Edge {
+	if e.sim == nil {
+		return nil
+	}
+	return e.sim.EdgeReplica(i)
+}
+
+// CloudReplica returns in-process cloud replica i through the Sim's
+// restart-safe accessor, or nil for attached engines; see
+// Sim.CloudReplica.
+func (e *Engine) CloudReplica(i int) *Cloud {
+	if e.sim == nil {
+		return nil
+	}
+	return e.sim.CloudReplica(i)
+}
+
+// RestartEdgeReplica hard-restarts in-process edge replica i; see
+// Sim.RestartEdge. Attached engines cannot restart their remote nodes.
+func (e *Engine) RestartEdgeReplica(i int) error {
+	if e.sim == nil {
+		return fmt.Errorf("cluster: attached engine cannot restart replicas")
+	}
+	return e.sim.RestartEdge(i)
+}
+
+// RestartCloudReplica hard-restarts in-process cloud replica i; see
+// Sim.RestartCloud.
+func (e *Engine) RestartCloudReplica(i int) error {
+	if e.sim == nil {
+		return fmt.Errorf("cluster: attached engine cannot restart replicas")
+	}
+	return e.sim.RestartCloud(i)
 }
 
 // StartHealthMonitor begins heartbeat probing of the engine's devices

@@ -221,3 +221,82 @@ func TestHealthMonitorFlappingDeviceRecovery(t *testing.T) {
 		t.Error("recovered device still absent from inference")
 	}
 }
+
+// TestHealthMonitorSurvivesUnresponsiveProbePeer pins the probe-write
+// deadline: a probed peer that accepts its connection but never drains
+// it (a wedged process — over the unbuffered in-memory transport every
+// write then blocks until read) must be marked down like any silent
+// node, and Stop must still return. Without the write deadline the
+// first blocked heartbeat wedged the probe loop forever and Stop hung
+// on its WaitGroup; the chaos harness (internal/chaos) found the wedge
+// via its drain watchdog.
+func TestHealthMonitorSurvivesUnresponsiveProbePeer(t *testing.T) {
+	model, test := fixture(t)
+	tr := transport.NewMem()
+	sim, err := NewSim(model, test, DefaultGatewayConfig(), tr, quietLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+
+	// Black-hole listeners: they accept probe connections and never
+	// read a byte.
+	var (
+		mu    sync.Mutex
+		conns []interface{ Close() error }
+	)
+	defer func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	addrs := make([]string, model.Cfg.Devices)
+	for d := range addrs {
+		addrs[d] = fmt.Sprintf("blackhole-%d", d)
+		l, err := tr.Listen(addrs[d])
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		go func() {
+			for {
+				c, err := l.Accept()
+				if err != nil {
+					return
+				}
+				mu.Lock()
+				conns = append(conns, c)
+				mu.Unlock()
+			}
+		}()
+	}
+
+	hm, err := sim.Gateway.StartHealthMonitor(context.Background(), tr, addrs, nil, 20*time.Millisecond, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The blocked writes must count as missed probes: every device goes
+	// down even though no probe ever errored out at the peer.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(sim.Gateway.DownDevices()) < model.Cfg.Devices && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if down := sim.Gateway.DownDevices(); len(down) != model.Cfg.Devices {
+		t.Fatalf("DownDevices = %v, want all %d devices", down, model.Cfg.Devices)
+	}
+
+	// And the probe loops must stay stoppable while every peer wedges.
+	done := make(chan struct{})
+	go func() {
+		hm.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("HealthMonitor.Stop wedged on unresponsive probe peers")
+	}
+}

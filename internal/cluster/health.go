@@ -161,7 +161,16 @@ func (hm *HealthMonitor) setDown(target int, down bool) {
 // connection itself failed (write error), as opposed to a live peer that
 // stayed silent; dead connections are re-dialed on the next tick.
 func (hm *HealthMonitor) probeOnce(conn net.Conn, nodeID string, seq uint64) (ok, connDead bool) {
-	if _, err := wire.Encode(conn, &wire.Heartbeat{NodeID: nodeID, Seq: seq}); err != nil {
+	// The write carries a deadline too: a peer that stops draining the
+	// link (a wedged node, or an unbuffered in-memory pipe whose reader
+	// is stuck in its own blocked echo write) would otherwise block this
+	// Encode forever, wedging the probe loop and hanging Stop. A write
+	// that cannot complete within one probe interval is a dead
+	// connection; closing it also unblocks the peer's stuck echo.
+	_ = conn.SetWriteDeadline(time.Now().Add(hm.interval))
+	_, err := wire.Encode(conn, &wire.Heartbeat{NodeID: nodeID, Seq: seq})
+	_ = conn.SetWriteDeadline(time.Time{})
+	if err != nil {
 		return false, true
 	}
 	_ = conn.SetReadDeadline(time.Now().Add(hm.interval))

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"log/slog"
+	"sync"
 
 	"github.com/ddnn/ddnn-go/internal/core"
 	"github.com/ddnn/ddnn-go/internal/dataset"
@@ -20,6 +21,9 @@ type Topology struct {
 	EdgeReplicas int
 	// CloudReplicas is the number of cloud nodes to start; 0 means 1.
 	CloudReplicas int
+	// Edge configures the edge replicas (cloud escalation budget,
+	// fallback behavior); nil means DefaultEdgeConfig.
+	Edge *EdgeConfig
 }
 
 // normalize applies the zero-value defaults.
@@ -50,6 +54,21 @@ type Sim struct {
 	addrs         []string
 	upstreamAddrs []string
 	uploads       *uploadStore
+
+	// Construction inputs retained so RestartEdge/RestartCloud can build
+	// replacement replicas on the original addresses.
+	model      *core.Model
+	tr         transport.Transport
+	logger     *slog.Logger
+	cloudAddrs []string
+	edgeCfg    EdgeConfig
+
+	// mu serializes restarts with each other and with Close, and guards
+	// the Edges/Clouds slice elements they replace. Callers that restart
+	// replicas at runtime must read them through EdgeReplica/CloudReplica
+	// (not the bare slices) to stay race-free.
+	mu     sync.Mutex
+	closed bool
 }
 
 // DatasetFeed builds a Feed serving one device's views from a dataset.
@@ -105,10 +124,15 @@ func NewReplicatedSim(model *core.Model, ds *dataset.Dataset, cfg GatewayConfig,
 		s.Clouds = append(s.Clouds, cloud)
 	}
 	upstream := cloudAddrs
+	edgeCfg := DefaultEdgeConfig()
+	if topo.Edge != nil {
+		edgeCfg = *topo.Edge
+	}
+	s.edgeCfg = edgeCfg
 	if model.Cfg.UseEdge {
 		edgeAddrs := make([]string, topo.EdgeReplicas)
 		for i := 0; i < topo.EdgeReplicas; i++ {
-			edge, err := NewEdge(model, DefaultEdgeConfig(), logger)
+			edge, err := NewEdge(model, edgeCfg, logger)
 			if err != nil {
 				s.Close()
 				return nil, err
@@ -134,6 +158,10 @@ func NewReplicatedSim(model *core.Model, ds *dataset.Dataset, cfg GatewayConfig,
 	s.Gateway = gw
 	s.addrs = addrs
 	s.upstreamAddrs = upstream
+	s.model = model
+	s.tr = tr
+	s.logger = logger
+	s.cloudAddrs = cloudAddrs
 	return s, nil
 }
 
@@ -161,18 +189,97 @@ func (s *Sim) Cloud() *Cloud {
 	return s.Clouds[0]
 }
 
+// EdgeReplica returns edge replica i (the current node serving
+// "edge-i", which RestartEdge may have replaced), or nil out of range.
+func (s *Sim) EdgeReplica(i int) *Edge {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i < 0 || i >= len(s.Edges) {
+		return nil
+	}
+	return s.Edges[i]
+}
+
+// CloudReplica returns cloud replica i (the current node serving
+// "cloud-i", which RestartCloud may have replaced), or nil out of range.
+func (s *Sim) CloudReplica(i int) *Cloud {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i < 0 || i >= len(s.Clouds) {
+		return nil
+	}
+	return s.Clouds[i]
+}
+
+// RestartCloud hard-restarts cloud replica i: the old node is torn down
+// (its listener and every link into it die, unlike the silent-failure
+// mode of SetFailed) and a fresh replica starts on the same address.
+// Downstream replica pools re-admit it lazily (a session's re-dial or a
+// health-monitor probe), exactly as they would a rebooted host.
+func (s *Sim) RestartCloud(i int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("cluster: sim is closed")
+	}
+	if i < 0 || i >= len(s.Clouds) {
+		return fmt.Errorf("cluster: cloud replica %d out of range [0,%d)", i, len(s.Clouds))
+	}
+	s.Clouds[i].Close()
+	cloud := NewCloud(s.model, s.logger)
+	if err := cloud.Serve(s.tr, s.cloudAddrs[i]); err != nil {
+		return fmt.Errorf("cluster: restart cloud %d: %w", i, err)
+	}
+	s.Clouds[i] = cloud
+	return nil
+}
+
+// RestartEdge hard-restarts edge replica i on its original address; see
+// RestartCloud. The replacement is fully wired (cloud pool connected)
+// before the old node is torn down, so a cloud replica that is
+// unreachable at restart time fails the restart and leaves the old
+// node serving.
+func (s *Sim) RestartEdge(i int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("cluster: sim is closed")
+	}
+	if i < 0 || i >= len(s.Edges) {
+		return fmt.Errorf("cluster: edge replica %d out of range [0,%d)", i, len(s.Edges))
+	}
+	edge, err := NewEdge(s.model, s.edgeCfg, s.logger)
+	if err != nil {
+		return fmt.Errorf("cluster: restart edge %d: %w", i, err)
+	}
+	if err := edge.ConnectCloud(context.Background(), s.tr, s.cloudAddrs...); err != nil {
+		return fmt.Errorf("cluster: restart edge %d: %w", i, err)
+	}
+	s.Edges[i].Close()
+	if err := edge.Serve(s.tr, s.upstreamAddrs[i]); err != nil {
+		return fmt.Errorf("cluster: restart edge %d: %w", i, err)
+	}
+	s.Edges[i] = edge
+	return nil
+}
+
 // Close tears the whole cluster down.
 func (s *Sim) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	edges := append([]*Edge(nil), s.Edges...)
+	clouds := append([]*Cloud(nil), s.Clouds...)
+	s.mu.Unlock()
 	if s.Gateway != nil {
 		s.Gateway.Close()
 	}
 	for _, d := range s.Devices {
 		d.Close()
 	}
-	for _, e := range s.Edges {
+	for _, e := range edges {
 		e.Close()
 	}
-	for _, c := range s.Clouds {
+	for _, c := range clouds {
 		c.Close()
 	}
 	return nil
