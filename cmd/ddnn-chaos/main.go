@@ -9,9 +9,15 @@
 //	ddnn-chaos [-seed 1] [-duration 3s] [-edge] [-replicas 2]
 //	           [-workers 4] [-epochs 3] [-device-kills] [-replica-kills]
 //	           [-link-faults] [-health-flaps] [-frame-corruption]
+//	           [-device-churn] [-soak 1m]
 //
 // -seed 0 draws a fresh random seed (printed for replay). The process
 // exits 1 if the run observed any invariant violation.
+//
+// -soak runs a long window (overriding -duration) and emits the run as
+// machine-readable JSON on stdout — the per-500ms availability buckets,
+// fault census and verdict — for trend dashboards and soak pipelines;
+// the human-readable curve moves to stderr.
 package main
 
 import (
@@ -50,6 +56,8 @@ func run(args []string) error {
 		linkFaults = fs.Bool("link-faults", true, "arm link partitions and degradation")
 		flaps      = fs.Bool("health-flaps", true, "arm health-monitor flapping")
 		corruption = fs.Bool("frame-corruption", true, "arm wire-frame corruption")
+		churn      = fs.Bool("device-churn", true, "arm membership churn (device leave/join cycles)")
+		soak       = fs.Duration("soak", 0, "soak mode: run this long (overrides -duration) and print the per-bucket availability report as JSON on stdout")
 		verbose    = fs.Bool("v", false, "log cluster node output")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -76,9 +84,13 @@ func run(args []string) error {
 		return err
 	}
 
+	window := *duration
+	if *soak > 0 {
+		window = *soak
+	}
 	cfg := chaos.Config{
 		Seed:            *seed,
-		FaultWindow:     *duration,
+		FaultWindow:     window,
 		EdgeReplicas:    *replicas,
 		CloudReplicas:   *replicas,
 		Workers:         *workers,
@@ -88,6 +100,7 @@ func run(args []string) error {
 		LinkFaults:      *linkFaults,
 		HealthFlaps:     *flaps,
 		FrameCorruption: *corruption,
+		DeviceChurn:     *churn,
 	}
 	if *verbose {
 		cfg.Logger = logger
@@ -96,10 +109,21 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	logger.Info("chaos run starting", "seed", *seed, "window", *duration)
+	logger.Info("chaos run starting", "seed", *seed, "window", window)
 	rep, err := h.Run(context.Background())
 	if rep != nil {
-		fmt.Print(rep)
+		if *soak > 0 {
+			// Soak mode keeps stdout machine-readable; the curve goes to
+			// stderr for anyone watching.
+			fmt.Fprint(os.Stderr, rep)
+			out, jerr := rep.JSON()
+			if jerr != nil {
+				return jerr
+			}
+			fmt.Println(string(out))
+		} else {
+			fmt.Print(rep)
+		}
 	}
 	if err != nil {
 		return err

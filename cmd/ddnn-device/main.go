@@ -6,18 +6,28 @@
 // Usage:
 //
 //	ddnn-device -model model.ddnn -device 0 -listen 127.0.0.1:7001 [-data-seed 1]
+//	            [-register 127.0.0.1:7200] [-node-id cam-lobby]
+//
+// With -register the node announces itself to a running gateway's
+// registration plane (DeviceHello) after its listener is up, joining the
+// hierarchy without a gateway restart, and deregisters (DeviceGoodbye)
+// on SIGINT/SIGTERM so the gateway drops the slot cleanly instead of
+// discovering the loss through timeouts.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	ddnn "github.com/ddnn/ddnn-go"
 	"github.com/ddnn/ddnn-go/internal/cluster"
 	"github.com/ddnn/ddnn-go/internal/transport"
+	"github.com/ddnn/ddnn-go/internal/wire"
 )
 
 func main() {
@@ -34,6 +44,8 @@ func run(args []string) error {
 		device    = fs.Int("device", 0, "device index of this node")
 		listen    = fs.String("listen", "127.0.0.1:7001", "listen address")
 		dataSeed  = fs.Int64("data-seed", 1, "dataset seed (must match the gateway)")
+		register  = fs.String("register", "", "gateway registration address: announce this node (DeviceHello) after the listener is up, deregister on shutdown")
+		nodeID    = fs.String("node-id", "", "stable node identity for registration (default device-<index>)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -57,9 +69,44 @@ func run(args []string) error {
 	fmt.Printf("device %d serving on %s (section: %d B deployed)\n",
 		*device, node.Addr(), model.DeviceMemoryBytes())
 
+	id := *nodeID
+	if id == "" {
+		id = fmt.Sprintf("device-%d", *device)
+	}
+	if *register != "" {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		welcome, err := cluster.Register(ctx, transport.TCP{}, *register, &wire.DeviceHello{
+			NodeID: id,
+			Slot:   uint16(*device),
+			Addr:   node.Addr(),
+		})
+		cancel()
+		if err != nil {
+			node.Close()
+			return fmt.Errorf("register with %s: %w", *register, err)
+		}
+		fmt.Printf("registered with %s as slot %d/%d (topology version %d)\n",
+			*register, welcome.Slot, welcome.Devices, welcome.ConfigVersion)
+	}
+
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
 	fmt.Println("shutting down")
+	if *register != "" {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		_, err := cluster.Deregister(ctx, transport.TCP{}, *register, &wire.DeviceGoodbye{
+			NodeID: id,
+			Slot:   uint16(*device),
+			Reason: "shutdown",
+		})
+		cancel()
+		if err != nil {
+			// Best-effort: the gateway will notice via timeouts anyway.
+			fmt.Fprintf(os.Stderr, "ddnn-device: deregister: %v\n", err)
+		} else {
+			fmt.Printf("deregistered from %s\n", *register)
+		}
+	}
 	return node.Close()
 }

@@ -11,6 +11,14 @@
 //	             [-edge 127.0.0.1:7050 [-edge 127.0.0.1:7051 ...]]
 //	             [-threshold 0.8] [-edge-threshold 0.8] [-concurrency 8]
 //	             [-batch 1] [-samples 0] [-data-seed 1]
+//	             [-register 127.0.0.1:7200] [-wait-devices 30s]
+//
+// With -register the gateway serves the device registration plane on
+// that address: -devices may then name fewer devices than the model has
+// slots (or leave entries empty), and the missing devices join at
+// runtime via ddnn-device -register without a gateway restart.
+// -wait-devices holds the classification batch until every slot fills
+// or the window expires.
 //
 // With a model trained via ddnn-train -edge, pass -edge so the gateway
 // escalates local-exit misses to the edge tier (which forwards hard
@@ -52,7 +60,9 @@ func run(args []string) error {
 	fs.Var(&edgeAddrs, "edge", "edge replica address (repeatable; required for edge-tier models)")
 	var (
 		modelPath   = fs.String("model", "model.ddnn", "trained model file")
-		devices     = fs.String("devices", "", "comma-separated device addresses, in device order")
+		devices     = fs.String("devices", "", "comma-separated device addresses, in device order; fewer entries than the model has slots (or empty entries) leave those slots absent until a device registers")
+		register    = fs.String("register", "", "serve the device registration plane on this address: devices join/leave at runtime via ddnn-device -register")
+		waitDevices = fs.Duration("wait-devices", 0, "with -register, wait up to this long for every slot to fill before classifying")
 		threshold   = fs.Float64("threshold", 0.8, "local exit entropy threshold T")
 		edgeT       = fs.Float64("edge-threshold", 0.8, "edge exit entropy threshold (edge-tier models)")
 		concurrency = fs.Int("concurrency", 8, "concurrent classification sessions")
@@ -83,9 +93,15 @@ func run(args []string) error {
 	} else if len(edgeAddrs) > 0 {
 		return fmt.Errorf("model has no edge tier; drop -edge or retrain with ddnn-train -edge")
 	}
-	addrs := strings.Split(*devices, ",")
-	if len(addrs) != model.Cfg.Devices {
-		return fmt.Errorf("model needs %d device addresses, got %d", model.Cfg.Devices, len(addrs))
+	var addrs []string
+	if *devices != "" {
+		addrs = strings.Split(*devices, ",")
+	}
+	if len(addrs) > model.Cfg.Devices {
+		return fmt.Errorf("model has %d device slots, got %d addresses: %w", model.Cfg.Devices, len(addrs), ddnn.ErrDeviceSlotMismatch)
+	}
+	if len(addrs) < model.Cfg.Devices && *register == "" {
+		return fmt.Errorf("model needs %d device addresses, got %d (pass -register to let the missing devices join at runtime)", model.Cfg.Devices, len(addrs))
 	}
 	dcfg := ddnn.DefaultDatasetConfig()
 	dcfg.Seed = *dataSeed
@@ -106,6 +122,18 @@ func run(args []string) error {
 		return err
 	}
 	defer eng.Close()
+
+	if *register != "" {
+		if err := eng.ServeRegistration(*register); err != nil {
+			return err
+		}
+		fmt.Printf("registration plane on %s (topology version %d)\n", *register, eng.ConfigVersion())
+		if *waitDevices > 0 {
+			if err := waitForMembers(ctx, eng, *waitDevices); err != nil {
+				return err
+			}
+		}
+	}
 
 	n := test.Len()
 	if *samples > 0 && *samples < n {
@@ -155,4 +183,35 @@ func run(args []string) error {
 		fmt.Printf("devices marked down: %v\n", down)
 	}
 	return nil
+}
+
+// waitForMembers polls the versioned topology until every device slot
+// is occupied, the window expires, or the run is interrupted. A partial
+// membership at the deadline is reported but not fatal: the gateway
+// classifies with whoever showed up.
+func waitForMembers(ctx context.Context, eng *ddnn.Engine, window time.Duration) error {
+	deadline := time.Now().Add(window)
+	for {
+		topo := eng.Topology()
+		present := 0
+		for _, p := range topo.Present {
+			if p {
+				present++
+			}
+		}
+		if present == topo.Slots {
+			fmt.Printf("all %d device slots registered (topology version %d)\n", topo.Slots, topo.Version)
+			return nil
+		}
+		if time.Now().After(deadline) {
+			fmt.Printf("proceeding with %d/%d device slots after %v (topology version %d)\n",
+				present, topo.Slots, window, topo.Version)
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
 }

@@ -15,6 +15,7 @@
 //	           [-max-inflight 64] [-concurrency 16] [-batch 32]
 //	           [-replicas 1] [-threshold 0.8] [-edge-threshold 0.8]
 //	           [-devices host:port,...] [-cloud host:port] [-edge-addr host:port]
+//	           [-tenant alice=0.5:0.7] [-register host:port]
 //	           [-drain-timeout 10s]
 //
 // Without -tokens the API is open (every request runs as the
@@ -22,6 +23,13 @@
 // token file of "client:token" lines. SIGINT/SIGTERM drain gracefully:
 // the listener closes, in-flight requests finish within -drain-timeout,
 // and the process exits 0.
+//
+// -tenant (repeatable) gives the named client its own exit-threshold
+// policy: that client's traffic classifies under name=localT[:edgeT]
+// instead of the default -threshold/-edge-threshold, so one cluster
+// serves applications with different accuracy/latency trade-offs.
+// -register serves the device registration plane so devices can join
+// and leave the hierarchy at runtime (see ddnn-device -register).
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -49,11 +58,34 @@ func main() {
 	}
 }
 
+// parseTenant parses one -tenant spec: name=localT[:edgeT]. With no
+// edge threshold the local one applies to both exits.
+func parseTenant(spec string) (string, ddnn.TenantConfig, error) {
+	name, thresholds, ok := strings.Cut(spec, "=")
+	if !ok || name == "" {
+		return "", ddnn.TenantConfig{}, fmt.Errorf("bad -tenant %q: want name=localT[:edgeT]", spec)
+	}
+	localStr, edgeStr, hasEdge := strings.Cut(thresholds, ":")
+	local, err := strconv.ParseFloat(localStr, 64)
+	if err != nil {
+		return "", ddnn.TenantConfig{}, fmt.Errorf("bad -tenant %q local threshold: %w", spec, err)
+	}
+	edge := local
+	if hasEdge {
+		edge, err = strconv.ParseFloat(edgeStr, 64)
+		if err != nil {
+			return "", ddnn.TenantConfig{}, fmt.Errorf("bad -tenant %q edge threshold: %w", spec, err)
+		}
+	}
+	return name, ddnn.TenantConfig{LocalThreshold: local, EdgeThreshold: edge}, nil
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("ddnn-serve", flag.ContinueOnError)
-	var cloudAddrs, edgeAddrs cliutil.AddrList
+	var cloudAddrs, edgeAddrs, tenantSpecs cliutil.AddrList
 	fs.Var(&cloudAddrs, "cloud", "cloud replica address to attach to (repeatable; with -devices)")
 	fs.Var(&edgeAddrs, "edge-addr", "edge replica address to attach to (repeatable; with -devices, edge-tier models)")
+	fs.Var(&tenantSpecs, "tenant", "per-tenant exit thresholds as name=localT[:edgeT] (repeatable); the tenant name is the authenticated client name from -tokens")
 	var (
 		listen       = fs.String("listen", "127.0.0.1:8080", "HTTP listen address")
 		modelPath    = fs.String("model", "", "trained model file (empty: train now)")
@@ -68,7 +100,8 @@ func run(args []string) error {
 		replicas     = fs.Int("replicas", 1, "replicas of each upper tier (in-process engine only)")
 		threshold    = fs.Float64("threshold", 0.8, "local exit entropy threshold T")
 		edgeT        = fs.Float64("edge-threshold", 0.8, "edge exit entropy threshold (edge-tier models)")
-		devices      = fs.String("devices", "", "attach to running device nodes at these comma-separated addresses instead of simulating in-process")
+		devices      = fs.String("devices", "", "attach to running device nodes at these comma-separated addresses instead of simulating in-process; with -register, fewer entries than the model has slots (or empty entries) leave those slots absent until a device registers")
+		register     = fs.String("register", "", "serve the device registration plane on this address so devices join/leave at runtime (ddnn-device -register)")
 		dataSeed     = fs.Int64("data-seed", 1, "dataset seed")
 		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
 	)
@@ -151,6 +184,25 @@ func run(args []string) error {
 		logger.Info("in-process cluster started", "devices", model.Cfg.Devices, "replicas", *replicas)
 	}
 	defer eng.Close()
+
+	if *register != "" {
+		if err := eng.ServeRegistration(*register); err != nil {
+			return err
+		}
+		logger.Info("registration plane serving", "addr", *register, "config_version", eng.ConfigVersion())
+	}
+	for _, spec := range tenantSpecs {
+		name, tc, err := parseTenant(spec)
+		if err != nil {
+			return err
+		}
+		v, err := eng.SetTenant(name, tc)
+		if err != nil {
+			return err
+		}
+		logger.Info("tenant configured", "tenant", name,
+			"local_threshold", tc.LocalThreshold, "edge_threshold", tc.EdgeThreshold, "config_version", v)
+	}
 
 	srv, err := api.NewServer(api.Config{
 		Engine:      eng,

@@ -11,8 +11,14 @@
 //
 //	ddnn-sim [-model model.ddnn] [-edge] [-epochs 25] [-threshold 0.8]
 //	         [-edge-threshold 0.8] [-concurrency 8] [-replicas 1]
-//	         [-fail 2,5] [-fail-replica] [-fail-at 0.33]
+//	         [-fail 2,5] [-churn 1] [-fail-replica] [-fail-at 0.33]
 //	         [-recover-at 0.66] [-samples 0]
+//
+// -fail crashes devices silently (the gateway discovers the loss through
+// timeouts and probes); -churn instead deregisters them through the
+// versioned topology (RemoveDevice) and re-admits them at -recover-at,
+// so each change bumps the config version and takes effect on the next
+// session without any detection lag.
 package main
 
 import (
@@ -48,6 +54,7 @@ func run(args []string) error {
 		replicas    = fs.Int("replicas", 1, "replicas of each upper tier (cloud, and edge with -edge)")
 		failReplica = fs.Bool("fail-replica", false, "also crash upper-tier replica 0 at -fail-at and recover it at -recover-at (needs -replicas > 1)")
 		failList    = fs.String("fail", "", "comma-separated device indices to crash mid-run")
+		churnList   = fs.String("churn", "", "comma-separated device indices to deregister (RemoveDevice) at -fail-at and re-admit at -recover-at — membership churn through the versioned topology, not silent failure")
 		failAt      = fs.Float64("fail-at", 0.33, "fraction of the run at which devices crash")
 		recoverAt   = fs.Float64("recover-at", 0.66, "fraction at which crashed devices recover (>1: never)")
 		samples     = fs.Int("samples", 0, "number of test samples (0 = all)")
@@ -71,6 +78,10 @@ func run(args []string) error {
 	failures, err := cliutil.ParseInts(*failList, 0)
 	if err != nil {
 		return fmt.Errorf("bad -fail: %w", err)
+	}
+	churned, err := cliutil.ParseInts(*churnList, 0)
+	if err != nil {
+		return fmt.Errorf("bad -churn: %w", err)
 	}
 
 	dcfg := ddnn.DefaultDatasetConfig()
@@ -99,6 +110,11 @@ func run(args []string) error {
 	for _, d := range failures {
 		if d >= model.Cfg.Devices {
 			return fmt.Errorf("bad -fail entry %d: model has %d devices", d, model.Cfg.Devices)
+		}
+	}
+	for _, d := range churned {
+		if d >= model.Cfg.Devices {
+			return fmt.Errorf("bad -churn entry %d: model has %d devices", d, model.Cfg.Devices)
 		}
 	}
 
@@ -150,6 +166,15 @@ func run(args []string) error {
 				eng.SetDeviceFailed(d, true)
 			}
 		}
+		if len(churned) > 0 && base <= failPoint && failPoint < base+*concurrency {
+			for _, d := range churned {
+				v, err := eng.RemoveDevice(d)
+				if err != nil {
+					return fmt.Errorf("churn: remove device %d: %w", d, err)
+				}
+				fmt.Printf("  [%d/%d] device %d deregistered (topology version %d)\n", base, n, d, v)
+			}
+		}
 		if *failReplica && base <= failPoint && failPoint < base+*concurrency {
 			if model.Cfg.UseEdge {
 				fmt.Printf("  [%d/%d] crashing edge replica 0 (of %d)\n", base, n, *replicas)
@@ -165,6 +190,15 @@ func run(args []string) error {
 				eng.SetEdgeFailed(0, false)
 			} else {
 				eng.SetCloudFailed(0, false)
+			}
+		}
+		if len(churned) > 0 && base <= recoverPoint && recoverPoint < base+*concurrency {
+			for _, d := range churned {
+				v, err := eng.AdmitDevice(ctx, d)
+				if err != nil {
+					return fmt.Errorf("churn: re-admit device %d: %w", d, err)
+				}
+				fmt.Printf("  [%d/%d] device %d re-admitted (topology version %d)\n", base, n, d, v)
 			}
 		}
 		if len(failures) > 0 && base <= recoverPoint && recoverPoint < base+*concurrency {

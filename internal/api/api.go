@@ -72,11 +72,19 @@ const (
 
 // Classifier is the engine surface the handlers call. *ddnn.Engine
 // satisfies it; tests substitute fakes.
+//
+// The front door resolves each request's tenant at admission: the
+// authenticated client identity (the name on the bearer token) is the
+// tenant, so a tenant configured on the engine via Engine.SetTenant
+// under a client's name gives that client its own exit-threshold
+// pipeline. Clients without a tenant config — and anonymous requests —
+// run the engine's default pipeline.
 type Classifier interface {
-	ClassifyShed(ctx context.Context, sampleID uint64, level ddnn.ShedLevel) (ddnn.Result, error)
-	ClassifyBatchShed(ctx context.Context, sampleIDs []uint64, level ddnn.ShedLevel) ([]ddnn.Result, error)
+	ClassifyTenantShed(ctx context.Context, sampleID uint64, tenant string, level ddnn.ShedLevel) (ddnn.Result, error)
+	ClassifyBatchTenantShed(ctx context.Context, sampleIDs []uint64, tenant string, level ddnn.ShedLevel) ([]ddnn.Result, error)
 	ClassifyUpload(ctx context.Context, views []*ddnn.Tensor, level ddnn.ShedLevel) (ddnn.Result, error)
 	UpstreamReplicas() (total, healthy int)
+	Topology() ddnn.TopologyConfig
 	SetInstrumentation(ddnn.Instrumentation)
 }
 
@@ -114,6 +122,7 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	m := NewMetrics()
 	m.observePool(cfg.Engine)
+	m.observeTopology(cfg.Engine)
 	cfg.Engine.SetInstrumentation(m.Instrumentation())
 	s := &Server{
 		cfg:       cfg,

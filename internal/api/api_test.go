@@ -23,9 +23,10 @@ import (
 // tests; the real engine is exercised by the e2e test.
 type fakeEngine struct {
 	mu      sync.Mutex
-	classed []uint64         // sample IDs seen by ClassifyShed
+	classed []uint64         // sample IDs seen by ClassifyTenantShed
 	views   [][]*ddnn.Tensor // uploads seen by ClassifyUpload
 	levels  []ddnn.ShedLevel // levels granted to each call
+	tenants []string         // tenants resolved for each classify call
 	block   chan struct{}    // when non-nil, classify blocks until closed
 	started chan struct{}    // receives one token per classify entered
 	err     error            // forced classify error
@@ -38,12 +39,13 @@ func newFakeEngine() *fakeEngine { return &fakeEngine{total: 2, healthy: 2} }
 
 func (f *fakeEngine) result(id uint64) ddnn.Result {
 	return ddnn.Result{
-		SampleID: id,
-		Class:    3,
-		Exit:     ddnn.ExitLocal,
-		Probs:    []float32{0.1, 0.9},
-		Entropy:  0.25,
-		Latency:  1500 * time.Microsecond,
+		SampleID:      id,
+		Class:         3,
+		Exit:          ddnn.ExitLocal,
+		Probs:         []float32{0.1, 0.9},
+		Entropy:       0.25,
+		Latency:       1500 * time.Microsecond,
+		ConfigVersion: 7,
 	}
 }
 
@@ -68,20 +70,24 @@ func (f *fakeEngine) enter(ctx context.Context, level ddnn.ShedLevel) error {
 	return f.err
 }
 
-func (f *fakeEngine) ClassifyShed(ctx context.Context, id uint64, level ddnn.ShedLevel) (ddnn.Result, error) {
+func (f *fakeEngine) ClassifyTenantShed(ctx context.Context, id uint64, tenant string, level ddnn.ShedLevel) (ddnn.Result, error) {
 	if err := f.enter(ctx, level); err != nil {
 		return ddnn.Result{}, err
 	}
 	f.mu.Lock()
 	f.classed = append(f.classed, id)
+	f.tenants = append(f.tenants, tenant)
 	f.mu.Unlock()
 	return f.result(id), nil
 }
 
-func (f *fakeEngine) ClassifyBatchShed(ctx context.Context, ids []uint64, level ddnn.ShedLevel) ([]ddnn.Result, error) {
+func (f *fakeEngine) ClassifyBatchTenantShed(ctx context.Context, ids []uint64, tenant string, level ddnn.ShedLevel) ([]ddnn.Result, error) {
 	if err := f.enter(ctx, level); err != nil {
 		return nil, err
 	}
+	f.mu.Lock()
+	f.tenants = append(f.tenants, tenant)
+	f.mu.Unlock()
 	out := make([]ddnn.Result, len(ids))
 	for i, id := range ids {
 		out[i] = f.result(id)
@@ -101,6 +107,15 @@ func (f *fakeEngine) ClassifyUpload(ctx context.Context, views []*ddnn.Tensor, l
 
 func (f *fakeEngine) UpstreamReplicas() (int, int)            { return f.total, f.healthy }
 func (f *fakeEngine) SetInstrumentation(ddnn.Instrumentation) {}
+
+func (f *fakeEngine) Topology() ddnn.TopologyConfig {
+	return ddnn.TopologyConfig{
+		Version: 7,
+		Slots:   2,
+		Present: []bool{true, true},
+		Tenants: map[string]ddnn.TenantConfig{"alice": {LocalThreshold: 0.5, EdgeThreshold: 0.5}},
+	}
+}
 
 func quietLogger() *slog.Logger {
 	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError + 1}))
@@ -189,6 +204,82 @@ func TestClassifyAuthenticated(t *testing.T) {
 	}
 	if fake.classed[0] != 7 {
 		t.Errorf("engine saw sample %d, want 7", fake.classed[0])
+	}
+}
+
+// TestTenantRouting checks that the authenticated client identity is
+// resolved as the tenant at admission — threaded into both the
+// per-sample and the batch classify paths — and that responses carry the
+// topology config version the session ran under.
+func TestTenantRouting(t *testing.T) {
+	fake := newFakeEngine()
+	_, ts := newTestServer(t, Config{
+		Engine: fake,
+		Auth:   NewAuthenticator(map[string]string{"alice": "tok-a", "bob": "tok-b"}),
+	})
+
+	resp := doClassify(t, ts, "tok-a", classifyBody(1), "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("alice classify: status = %d, want 200", resp.StatusCode)
+	}
+	var cr classifyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.ConfigVersion != 7 {
+		t.Errorf("config_version = %d, want 7", cr.ConfigVersion)
+	}
+
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/classify/batch",
+		strings.NewReader(`{"sample_ids": [1, 2]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer tok-b")
+	bresp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bresp.Body.Close()
+	if bresp.StatusCode != http.StatusOK {
+		t.Fatalf("bob batch: status = %d, want 200", bresp.StatusCode)
+	}
+	var br batchResponse
+	if err := json.NewDecoder(bresp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != 2 || br.Results[0].ConfigVersion != 7 {
+		t.Errorf("batch results = %+v", br.Results)
+	}
+
+	fake.mu.Lock()
+	tenants := append([]string(nil), fake.tenants...)
+	fake.mu.Unlock()
+	want := []string{"alice", "bob"}
+	if len(tenants) != len(want) {
+		t.Fatalf("tenants = %v, want %v", tenants, want)
+	}
+	for i := range want {
+		if tenants[i] != want[i] {
+			t.Errorf("tenant[%d] = %q, want %q", i, tenants[i], want[i])
+		}
+	}
+}
+
+// TestAnonymousTenant checks that with authentication disabled every
+// request runs under the anonymous tenant (which engines resolve to the
+// default pipeline).
+func TestAnonymousTenant(t *testing.T) {
+	fake := newFakeEngine()
+	_, ts := newTestServer(t, Config{Engine: fake})
+	resp := doClassify(t, ts, "", classifyBody(4), "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	fake.mu.Lock()
+	defer fake.mu.Unlock()
+	if len(fake.tenants) != 1 || fake.tenants[0] != anonymousClient {
+		t.Errorf("tenants = %v, want [%s]", fake.tenants, anonymousClient)
 	}
 }
 

@@ -40,6 +40,11 @@ type classifyResponse struct {
 	Present   []bool    `json:"present,omitempty"`
 	LatencyMs float64   `json:"latency_ms"`
 	ShedLevel string    `json:"shed_level"`
+	// ConfigVersion is the topology config version the session ran
+	// under (see docs/ARCHITECTURE.md): the answer is bit-identical to
+	// the staged reference for the membership and tenant thresholds of
+	// that version.
+	ConfigVersion uint64 `json:"config_version"`
 }
 
 // batchRequest is the JSON body of POST /v1/classify/batch.
@@ -55,14 +60,15 @@ type batchResponse struct {
 
 func toResponse(res ddnn.Result, level ddnn.ShedLevel) classifyResponse {
 	return classifyResponse{
-		SampleID:  res.SampleID,
-		Class:     res.Class,
-		Exit:      res.Exit.String(),
-		Probs:     res.Probs,
-		Entropy:   res.Entropy,
-		Present:   res.Present,
-		LatencyMs: float64(res.Latency.Microseconds()) / 1000,
-		ShedLevel: level.String(),
+		SampleID:      res.SampleID,
+		Class:         res.Class,
+		Exit:          res.Exit.String(),
+		Probs:         res.Probs,
+		Entropy:       res.Entropy,
+		Present:       res.Present,
+		LatencyMs:     float64(res.Latency.Microseconds()) / 1000,
+		ShedLevel:     level.String(),
+		ConfigVersion: res.ConfigVersion,
 	}
 }
 
@@ -180,7 +186,10 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request, client s
 	if views != nil {
 		res, err = s.cfg.Engine.ClassifyUpload(r.Context(), views, level)
 	} else {
-		res, err = s.cfg.Engine.ClassifyShed(r.Context(), sampleID, level)
+		// The authenticated client identity is the tenant: a tenant
+		// config registered under the client's name selects its exit
+		// thresholds, everyone else runs the default pipeline.
+		res, err = s.cfg.Engine.ClassifyTenantShed(r.Context(), sampleID, client, level)
 	}
 	if err != nil {
 		writeError(w, httpStatus(err), err.Error())
@@ -244,7 +253,7 @@ func (s *Server) handleClassifyBatch(w http.ResponseWriter, r *http.Request, cli
 		return
 	}
 	defer release()
-	results, err := s.cfg.Engine.ClassifyBatchShed(r.Context(), req.SampleIDs, level)
+	results, err := s.cfg.Engine.ClassifyBatchTenantShed(r.Context(), req.SampleIDs, client, level)
 	if err != nil {
 		writeError(w, httpStatus(err), err.Error())
 		return

@@ -86,6 +86,30 @@ func (m *Metrics) observePool(eng Classifier) {
 	})
 }
 
+// observeTopology registers scrape-time gauges over the engine's
+// versioned runtime topology, so membership churn and tenant changes are
+// visible to operators without polling the engine.
+func (m *Metrics) observeTopology(eng Classifier) {
+	promtext.NewGaugeFunc(m.reg, "ddnn_topology_config_version", "Current topology config version (bumps on every membership or tenant change).", func() float64 {
+		return float64(eng.Topology().Version)
+	})
+	promtext.NewGaugeFunc(m.reg, "ddnn_topology_device_slots", "Total device slots in the hierarchy.", func() float64 {
+		return float64(eng.Topology().Slots)
+	})
+	promtext.NewGaugeFunc(m.reg, "ddnn_topology_present_devices", "Device slots currently occupied by a registered device.", func() float64 {
+		present := 0
+		for _, p := range eng.Topology().Present {
+			if p {
+				present++
+			}
+		}
+		return float64(present)
+	})
+	promtext.NewGaugeFunc(m.reg, "ddnn_topology_tenants", "Configured tenants.", func() float64 {
+		return float64(len(eng.Topology().Tenants))
+	})
+}
+
 // countResponse records one finished HTTP response.
 func (m *Metrics) countResponse(status int, elapsed time.Duration) {
 	m.Responses.Inc(strconv.Itoa(status))

@@ -78,6 +78,11 @@ type Config struct {
 	// FrameCorruption arms the actor that writes corrupt wire frames
 	// from the fuzz corpus into live listeners.
 	FrameCorruption bool
+	// DeviceChurn arms the actor that removes and re-admits device
+	// slots through the versioned-membership plane — true leave/join
+	// cycles that bump the topology config version, unlike DeviceKills'
+	// silent failures.
+	DeviceChurn bool
 	// Logger receives node logs; nil discards them (chaos runs are
 	// noisy by design).
 	Logger *slog.Logger
@@ -97,6 +102,7 @@ func DefaultConfig(seed int64) Config {
 		LinkFaults:      true,
 		HealthFlaps:     true,
 		FrameCorruption: true,
+		DeviceChurn:     true,
 	}
 }
 
@@ -222,16 +228,16 @@ func New(model *core.Model, ds *dataset.Dataset, cfg Config) (*Harness, error) {
 // needs the cluster-level engine for its restart and replica hooks).
 type engineAdapter struct{ eng *cluster.Engine }
 
-func (a *engineAdapter) ClassifyShed(ctx context.Context, sampleID uint64, level ddnn.ShedLevel) (ddnn.Result, error) {
-	res, err := a.eng.ClassifyShed(ctx, sampleID, level)
+func (a *engineAdapter) ClassifyTenantShed(ctx context.Context, sampleID uint64, tenant string, level ddnn.ShedLevel) (ddnn.Result, error) {
+	res, err := a.eng.ClassifyTenantShed(ctx, sampleID, tenant, level)
 	if err != nil {
 		return ddnn.Result{}, err
 	}
 	return *res, nil
 }
 
-func (a *engineAdapter) ClassifyBatchShed(ctx context.Context, sampleIDs []uint64, level ddnn.ShedLevel) ([]ddnn.Result, error) {
-	inner, err := a.eng.ClassifyBatchShed(ctx, sampleIDs, level)
+func (a *engineAdapter) ClassifyBatchTenantShed(ctx context.Context, sampleIDs []uint64, tenant string, level ddnn.ShedLevel) ([]ddnn.Result, error) {
+	inner, err := a.eng.ClassifyBatchTenantShed(ctx, sampleIDs, tenant, level)
 	if err != nil {
 		return nil, err
 	}
@@ -257,6 +263,10 @@ func (a *engineAdapter) UpstreamReplicas() (total, healthy int) {
 
 func (a *engineAdapter) SetInstrumentation(in ddnn.Instrumentation) {
 	a.eng.Gateway().SetInstrumentation(in)
+}
+
+func (a *engineAdapter) Topology() ddnn.TopologyConfig {
+	return a.eng.Topology()
 }
 
 // startMonitor (re)starts the health monitor unless one is running.
@@ -328,6 +338,9 @@ func (h *Harness) Run(ctx context.Context) (*Report, error) {
 	runActor(h.cfg.LinkFaults, h.linkFaulter)
 	runActor(h.cfg.HealthFlaps, h.healthFlapper)
 	runActor(h.cfg.FrameCorruption, h.frameCorrupter)
+	// The churner's seed draw comes after the original five so arming it
+	// never reshuffles pre-existing fixed-seed fault schedules.
+	runActor(h.cfg.DeviceChurn, h.deviceChurner)
 
 	var traffic sync.WaitGroup
 	for w := 0; w < h.cfg.Workers; w++ {
@@ -357,11 +370,25 @@ func (h *Harness) Run(ctx context.Context) (*Report, error) {
 	return h.report, nil
 }
 
-// heal clears every standing fault and makes sure the monitor runs.
+// heal clears every standing fault, restores full device membership and
+// makes sure the monitor runs.
 func (h *Harness) heal() {
 	h.ft.Heal()
 	for _, d := range h.eng.Devices() {
 		d.SetFailed(false)
+	}
+	// Re-admit any slot the churner left absent: the sweep phase demands
+	// full-fidelity answers, which need the full membership back.
+	for slot, present := range h.eng.Topology().Present {
+		if present {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_, err := h.eng.AdmitDevice(ctx, slot)
+		cancel()
+		if err != nil {
+			h.report.violate("heal: device slot %d could not be re-admitted: %v", slot, err)
+		}
 	}
 	if h.model.Cfg.UseEdge {
 		for i := 0; i < h.cfg.EdgeReplicas; i++ {
@@ -540,13 +567,14 @@ func (h *Harness) do(ctx context.Context, method, path, contentType string, body
 
 // httpResult mirrors the front door's classify response body.
 type httpResult struct {
-	SampleID  uint64    `json:"sample_id"`
-	Class     int       `json:"class"`
-	Exit      string    `json:"exit"`
-	Probs     []float32 `json:"probs"`
-	Entropy   float64   `json:"entropy"`
-	Present   []bool    `json:"present"`
-	ShedLevel string    `json:"shed_level"`
+	SampleID      uint64    `json:"sample_id"`
+	Class         int       `json:"class"`
+	Exit          string    `json:"exit"`
+	Probs         []float32 `json:"probs"`
+	Entropy       float64   `json:"entropy"`
+	Present       []bool    `json:"present"`
+	ShedLevel     string    `json:"shed_level"`
+	ConfigVersion uint64    `json:"config_version"`
 }
 
 type httpBatchResult struct {
@@ -570,12 +598,13 @@ func (h *Harness) verifyHTTPResult(src string, hr httpResult, refID int) Outcome
 		return OutcomeFailed
 	}
 	res := &cluster.Result{
-		SampleID: hr.SampleID,
-		Class:    hr.Class,
-		Exit:     exit,
-		Probs:    hr.Probs,
-		Entropy:  hr.Entropy,
-		Present:  append([]bool(nil), hr.Present...),
+		SampleID:      hr.SampleID,
+		Class:         hr.Class,
+		Exit:          exit,
+		Probs:         hr.Probs,
+		Entropy:       hr.Entropy,
+		Present:       append([]bool(nil), hr.Present...),
+		ConfigVersion: hr.ConfigVersion,
 	}
 	h.verifier.CheckResult(src, res, level, refID)
 	if level == cluster.ShedNone && fullMask(hr.Present) {

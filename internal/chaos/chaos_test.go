@@ -103,6 +103,19 @@ func TestChaosSeededTwoTier(t *testing.T) {
 	runSeed(t, model, test, 3)
 }
 
+// TestChaosSeededMembershipChurn pushes the versioned-membership plane
+// specifically: devices leave and rejoin through RemoveDevice/AdmitDevice
+// cycles while the rest of the fault mix runs, and every completed
+// classification must still verify bit-identical under the presence mask
+// and config version its session pinned.
+func TestChaosSeededMembershipChurn(t *testing.T) {
+	model, test := threeTier(t)
+	rep := runSeed(t, model, test, 5)
+	if rep.FaultCount("device-leave") == 0 {
+		t.Fatalf("seed 5 injected no membership churn; faults: %d kinds", rep.FaultKinds())
+	}
+}
+
 // TestChaosRandomSeed explores a fresh schedule every run; the seed is
 // logged so any failure is replayable bit-for-bit.
 func TestChaosRandomSeed(t *testing.T) {

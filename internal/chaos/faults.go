@@ -156,6 +156,44 @@ func (h *Harness) deviceKiller(ctx context.Context, rng *rand.Rand) {
 	}
 }
 
+// deviceChurner removes and re-admits device slots through the
+// versioned-membership plane — true leave/join cycles, not silent
+// failures: the slot's link closes, the topology config version bumps,
+// sessions in flight complete under the membership snapshot they
+// observed, and new sessions fan out to the new membership. At most one
+// slot is absent at a time (the actor re-admits before moving on), so
+// churn composes with the device killer without starving sessions of
+// summaries.
+func (h *Harness) deviceChurner(ctx context.Context, rng *rand.Rand) {
+	slots := h.model.Cfg.Devices
+	for ctx.Err() == nil {
+		d := rng.Intn(slots)
+		if _, err := h.eng.RemoveDevice(d); err != nil {
+			return // gateway closing
+		}
+		h.report.countFault("device-leave")
+		sleepCtx(ctx, jitter(rng, 40*time.Millisecond, 250*time.Millisecond))
+		actx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_, err := h.eng.AdmitDevice(actx, d)
+		cancel()
+		if err == nil {
+			h.report.countFault("device-join")
+		}
+		sleepCtx(ctx, jitter(rng, 20*time.Millisecond, 150*time.Millisecond))
+	}
+	// Leave full membership behind for the heal phase (it re-checks, but
+	// an admit here shortens recovery). Occupied slots are left alone —
+	// re-admitting one would needlessly cut its live link.
+	for d, present := range h.eng.Topology().Present {
+		if present {
+			continue
+		}
+		actx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_, _ = h.eng.AdmitDevice(actx, d)
+		cancel()
+	}
+}
+
 // replicaKiller alternates between silently failing an upper-tier
 // replica for a while and hard-restarting one (listener and links die,
 // a fresh node reclaims the address). A single actor owns every replica

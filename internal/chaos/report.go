@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -147,6 +148,79 @@ func (r *Report) FaultKinds() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return len(r.faults)
+}
+
+// FaultCount returns how many faults of one kind were injected.
+func (r *Report) FaultCount(kind string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.faults[kind]
+}
+
+// jsonBucket is one availability bucket in the JSON report.
+type jsonBucket struct {
+	// T is the bucket's start offset in seconds from the run start.
+	T         float64 `json:"t"`
+	OK        int     `json:"ok"`
+	Degraded  int     `json:"degraded"`
+	Rejected  int     `json:"rejected"`
+	Failed    int     `json:"failed"`
+	Available float64 `json:"available"`
+}
+
+// jsonReport is the machine-readable run summary `ddnn-chaos -soak`
+// emits: the per-bucket availability curve plus the fault census and
+// verdict.
+type jsonReport struct {
+	Seed       int64          `json:"seed"`
+	BucketMs   int64          `json:"bucket_ms"`
+	Buckets    []jsonBucket   `json:"buckets"`
+	Total      jsonBucket     `json:"total"`
+	Faults     map[string]int `json:"faults"`
+	Checked    int            `json:"checked"`
+	Violations []string       `json:"violations"`
+}
+
+// JSON renders the report as one machine-readable document: the
+// availability curve bucket by bucket, total counts, injected faults by
+// kind, the verified-classification count and any invariant violations.
+func (r *Report) JSON() ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := jsonReport{
+		Seed:       r.Seed,
+		BucketMs:   r.bucket.Milliseconds(),
+		Buckets:    make([]jsonBucket, 0, len(r.buckets)),
+		Faults:     make(map[string]int, len(r.faults)),
+		Checked:    r.checked,
+		Violations: append([]string{}, r.violations...),
+	}
+	var total counts
+	for i, c := range r.buckets {
+		total.OK += c.OK
+		total.Degraded += c.Degraded
+		total.Rejected += c.Rejected
+		total.Failed += c.Failed
+		out.Buckets = append(out.Buckets, jsonBucket{
+			T:         (time.Duration(i) * r.bucket).Seconds(),
+			OK:        c.OK,
+			Degraded:  c.Degraded,
+			Rejected:  c.Rejected,
+			Failed:    c.Failed,
+			Available: c.available(),
+		})
+	}
+	out.Total = jsonBucket{
+		OK:        total.OK,
+		Degraded:  total.Degraded,
+		Rejected:  total.Rejected,
+		Failed:    total.Failed,
+		Available: total.available(),
+	}
+	for k, v := range r.faults {
+		out.Faults[k] = v
+	}
+	return json.MarshalIndent(out, "", "  ")
 }
 
 // String renders the availability curve and run summary.

@@ -106,6 +106,12 @@ func (v *Verifier) CheckResult(src string, res *cluster.Result, level cluster.Sh
 		v.report.violate("%s sample %d: completed with an empty presence mask", src, refID)
 		return
 	}
+	// Every session pins the topology config version it started under;
+	// versions start at 1, so a zero means the stamp was dropped somewhere
+	// between the gateway and this observation.
+	if res.ConfigVersion == 0 {
+		v.report.violate("%s sample %d: missing topology config version", src, refID)
+	}
 	if len(res.Probs) != dataset.NumClasses {
 		v.report.violate("%s sample %d: %d probabilities, want %d", src, refID, len(res.Probs), dataset.NumClasses)
 		return

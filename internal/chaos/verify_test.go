@@ -26,12 +26,13 @@ func goodResult(v *Verifier, id int) *cluster.Result {
 	er := v.reference(fullPresence(v.devices))
 	probs := append([]float32(nil), er.LocalProbs[id]...)
 	return &cluster.Result{
-		SampleID: uint64(id),
-		Class:    argmax(probs),
-		Exit:     wire.ExitLocal,
-		Probs:    probs,
-		Entropy:  0.5,
-		Present:  fullPresence(v.devices),
+		SampleID:      uint64(id),
+		Class:         argmax(probs),
+		Exit:          wire.ExitLocal,
+		Probs:         probs,
+		Entropy:       0.5,
+		Present:       fullPresence(v.devices),
+		ConfigVersion: 1,
 	}
 }
 
@@ -66,6 +67,19 @@ func TestVerifierCatchesTamperedProbs(t *testing.T) {
 	v.CheckResult("test", res, cluster.ShedNone, 1)
 	if !hasViolation(rep, "diverge") {
 		t.Fatalf("tampered probs not flagged; violations: %v", rep.Violations())
+	}
+}
+
+// TestVerifierCatchesMissingConfigVersion: a completed classification
+// without a topology config version stamp means the session lost its
+// pinned version somewhere along the serving path.
+func TestVerifierCatchesMissingConfigVersion(t *testing.T) {
+	v, rep := newTestVerifier(t)
+	res := goodResult(v, 1)
+	res.ConfigVersion = 0
+	v.CheckResult("test", res, cluster.ShedNone, 1)
+	if !hasViolation(rep, "missing topology config version") {
+		t.Fatalf("zero config version not flagged; violations: %v", rep.Violations())
 	}
 }
 
@@ -122,12 +136,13 @@ func TestVerifierCatchesMaskConfusion(t *testing.T) {
 		t.Fatal("masked and unmasked probs coincide for every sample; fixture too degenerate to test masking")
 	}
 	res := &cluster.Result{
-		SampleID: uint64(id),
-		Class:    argmax(masked.LocalProbs[id]),
-		Exit:     wire.ExitLocal,
-		Probs:    append([]float32(nil), masked.LocalProbs[id]...),
-		Entropy:  0.5,
-		Present:  mask,
+		SampleID:      uint64(id),
+		Class:         argmax(masked.LocalProbs[id]),
+		Exit:          wire.ExitLocal,
+		Probs:         append([]float32(nil), masked.LocalProbs[id]...),
+		Entropy:       0.5,
+		Present:       mask,
+		ConfigVersion: 1,
 	}
 	v.CheckResult("test", res, cluster.ShedNone, id)
 	if len(rep.Violations()) != 0 {
@@ -135,12 +150,13 @@ func TestVerifierCatchesMaskConfusion(t *testing.T) {
 	}
 	// The same numbers claimed under the full mask must fail.
 	res2 := &cluster.Result{
-		SampleID: uint64(id),
-		Class:    argmax(masked.LocalProbs[id]),
-		Exit:     wire.ExitLocal,
-		Probs:    append([]float32(nil), masked.LocalProbs[id]...),
-		Entropy:  0.5,
-		Present:  fullPresence(v.devices),
+		SampleID:      uint64(id),
+		Class:         argmax(masked.LocalProbs[id]),
+		Exit:          wire.ExitLocal,
+		Probs:         append([]float32(nil), masked.LocalProbs[id]...),
+		Entropy:       0.5,
+		Present:       fullPresence(v.devices),
+		ConfigVersion: 1,
 	}
 	v.CheckResult("test", res2, cluster.ShedNone, id)
 	if !hasViolation(rep, "diverge") {

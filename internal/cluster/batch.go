@@ -59,13 +59,22 @@ type batchItem struct {
 	ch chan batchOutcome
 }
 
-// batchLane is one shed level's pending batch. Lanes exist because a
-// coalesced session runs every sample over one exit pipeline: requests
-// admitted at different shed levels must never share a batch, or a
-// normal request would silently inherit a degraded pipeline (and vice
-// versa).
+// laneKey identifies one coalescing lane: requests may only share a
+// batch when they run the same exit pipeline, which is determined by
+// the tenant (whose config picks the thresholds) and the shed level
+// (which tightens them).
+type laneKey struct {
+	tenant string
+	level  ShedLevel
+}
+
+// batchLane is one {tenant, shed level} pair's pending batch. Lanes
+// exist because a coalesced session runs every sample over one exit
+// pipeline: requests admitted at different shed levels — or for
+// different tenants — must never share a batch, or a request would
+// silently inherit another policy's pipeline.
 type batchLane struct {
-	level   ShedLevel
+	key     laneKey
 	pending []batchItem
 	timer   *time.Timer
 	// gen identifies the batch the armed timer belongs to; it advances
@@ -76,18 +85,18 @@ type batchLane struct {
 }
 
 // batchCollector coalesces concurrent Classify calls into multi-sample
-// gateway sessions, one lane per shed level: a lane's batch flushes as
-// soon as it reaches maxBatch samples, or maxLinger after its first
-// sample arrived, whichever comes first. Callers that cancel while
-// waiting detach immediately (the batch still classifies their sample;
-// the result is dropped).
+// gateway sessions, one lane per {tenant, shed level}: a lane's batch
+// flushes as soon as it reaches maxBatch samples, or maxLinger after
+// its first sample arrived, whichever comes first. Callers that cancel
+// while waiting detach immediately (the batch still classifies their
+// sample; the result is dropped).
 type batchCollector struct {
 	eng      *Engine
 	maxBatch int
 	linger   time.Duration
 
 	mu      sync.Mutex
-	lanes   map[ShedLevel]*batchLane
+	lanes   map[laneKey]*batchLane
 	stopped bool
 }
 
@@ -100,39 +109,40 @@ func newBatchCollector(e *Engine, cfg BatchConfig) *batchCollector {
 		eng:      e,
 		maxBatch: maxBatch,
 		linger:   cfg.linger(),
-		lanes:    make(map[ShedLevel]*batchLane),
+		lanes:    make(map[laneKey]*batchLane),
 	}
 }
 
-// classify queues the sample on the shed level's current batch and waits
-// for its verdict. The context governs only this caller's wait: the
-// coalesced session itself is bounded by the gateway's per-stage
-// timeouts, so one impatient caller cannot cancel a batch other callers
-// share.
-func (c *batchCollector) classify(ctx context.Context, sampleID uint64, level ShedLevel) (*Result, error) {
+// classify queues the sample on the {tenant, shed level} lane's current
+// batch and waits for its verdict. The context governs only this
+// caller's wait: the coalesced session itself is bounded by the
+// gateway's per-stage timeouts, so one impatient caller cannot cancel a
+// batch other callers share.
+func (c *batchCollector) classify(ctx context.Context, sampleID uint64, tenant string, level ShedLevel) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, ctxErr(err)
 	}
+	key := laneKey{tenant: tenant, level: level}
 	item := batchItem{id: sampleID, ch: make(chan batchOutcome, 1)}
 	c.mu.Lock()
 	if c.stopped {
 		c.mu.Unlock()
 		return nil, ErrClosed
 	}
-	lane := c.lanes[level]
+	lane := c.lanes[key]
 	if lane == nil {
-		lane = &batchLane{level: level}
-		c.lanes[level] = lane
+		lane = &batchLane{key: key}
+		c.lanes[key] = lane
 	}
 	lane.pending = append(lane.pending, item)
 	if len(lane.pending) >= c.maxBatch {
 		batch := c.takeLocked(lane)
 		c.mu.Unlock()
-		c.flush(batch, level)
+		c.flush(batch, key)
 	} else {
 		if lane.timer == nil {
 			gen := lane.gen
-			lane.timer = time.AfterFunc(c.linger, func() { c.flushAfterLinger(level, gen) })
+			lane.timer = time.AfterFunc(c.linger, func() { c.flushAfterLinger(key, gen) })
 		}
 		c.mu.Unlock()
 	}
@@ -161,23 +171,23 @@ func (c *batchCollector) takeLocked(lane *batchLane) []batchItem {
 // generation gen on one lane. If that batch was already flushed (full,
 // or taken by stop) the callback is stale and must leave the successor
 // batch — and its own fresh timer — alone.
-func (c *batchCollector) flushAfterLinger(level ShedLevel, gen uint64) {
+func (c *batchCollector) flushAfterLinger(key laneKey, gen uint64) {
 	c.mu.Lock()
-	lane := c.lanes[level]
+	lane := c.lanes[key]
 	if lane == nil || lane.gen != gen {
 		c.mu.Unlock()
 		return
 	}
 	batch := c.takeLocked(lane)
 	c.mu.Unlock()
-	c.flush(batch, level)
+	c.flush(batch, key)
 }
 
-// flush launches one multi-sample session for the batch at its lane's
-// shed level. The session is registered with the engine's WaitGroup
-// before flush returns, so Engine.Close cannot complete while a flushed
-// batch is starting.
-func (c *batchCollector) flush(batch []batchItem, level ShedLevel) {
+// flush launches one multi-sample session for the batch under its
+// lane's tenant pipeline and shed level. The session is registered with
+// the engine's WaitGroup before flush returns, so Engine.Close cannot
+// complete while a flushed batch is starting.
+func (c *batchCollector) flush(batch []batchItem, key laneKey) {
 	if len(batch) == 0 {
 		return
 	}
@@ -195,7 +205,7 @@ func (c *batchCollector) flush(batch []batchItem, level ShedLevel) {
 		for i, item := range batch {
 			ids[i] = item.id
 		}
-		results, err := c.eng.gw.ClassifyBatchShed(context.Background(), ids, level)
+		results, err := c.eng.gw.ClassifyBatchTenantShed(context.Background(), ids, key.tenant, key.level)
 		for i, item := range batch {
 			out := batchOutcome{err: err}
 			if i < len(results) && results[i] != nil {
@@ -216,14 +226,14 @@ func (c *batchCollector) stop() {
 	c.stopped = true
 	type takenBatch struct {
 		items []batchItem
-		level ShedLevel
+		key   laneKey
 	}
 	var taken []takenBatch
-	for level, lane := range c.lanes {
-		taken = append(taken, takenBatch{items: c.takeLocked(lane), level: level})
+	for key, lane := range c.lanes {
+		taken = append(taken, takenBatch{items: c.takeLocked(lane), key: key})
 	}
 	c.mu.Unlock()
 	for _, t := range taken {
-		c.flush(t.items, t.level)
+		c.flush(t.items, t.key)
 	}
 }

@@ -351,8 +351,13 @@ func TestHealthMonitorDetectsFailureAndRecovery(t *testing.T) {
 func TestHealthMonitorRejectsBadArgs(t *testing.T) {
 	sim := newSim(t, DefaultGatewayConfig())
 	tr := transport.NewMem()
-	if _, err := sim.Gateway.StartHealthMonitor(context.Background(), tr, []string{"only-one"}, nil, time.Second, 3); err == nil {
-		t.Error("accepted wrong address count")
+	model, _ := fixture(t)
+	tooMany := make([]string, model.Cfg.Devices+1)
+	if _, err := sim.Gateway.StartHealthMonitor(context.Background(), tr, tooMany, nil, time.Second, 3); !errors.Is(err, ErrDeviceSlotMismatch) {
+		t.Errorf("too many addresses: err = %v, want ErrDeviceSlotMismatch", err)
+	}
+	if _, err := sim.Gateway.StartHealthMonitor(context.Background(), tr, nil, nil, 0, 3); err == nil {
+		t.Error("accepted non-positive interval")
 	}
 }
 

@@ -195,8 +195,17 @@ func (e *Engine) Classify(ctx context.Context, sampleID uint64) (*Result, error)
 // share a micro-batch, so a coalesced session's single pipeline stays
 // per-request accurate.
 func (e *Engine) ClassifyShed(ctx context.Context, sampleID uint64, level ShedLevel) (*Result, error) {
+	return e.ClassifyTenantShed(ctx, sampleID, "", level)
+}
+
+// ClassifyTenantShed is ClassifyShed under a tenant's exit-threshold
+// pipeline: the tenant (resolved at admission from the client identity)
+// picks the thresholds, the shed level tightens them. Requests for
+// different tenants never share a micro-batch. Unknown tenants — and
+// the empty tenant — run the engine's default pipeline.
+func (e *Engine) ClassifyTenantShed(ctx context.Context, sampleID uint64, tenant string, level ShedLevel) (*Result, error) {
 	if e.collector != nil {
-		return e.collector.classify(ctx, sampleID, level)
+		return e.collector.classify(ctx, sampleID, tenant, level)
 	}
 	select {
 	case e.sem <- struct{}{}:
@@ -208,12 +217,12 @@ func (e *Engine) ClassifyShed(ctx context.Context, sampleID uint64, level ShedLe
 		return nil, err
 	}
 	defer e.endSession()
-	return e.gw.ClassifyShed(ctx, sampleID, level)
+	return e.gw.ClassifyTenantShed(ctx, sampleID, tenant, level)
 }
 
 // runBatch runs one multi-sample gateway session under the engine's
 // semaphore and lifecycle tracking.
-func (e *Engine) runBatch(ctx context.Context, sampleIDs []uint64, level ShedLevel) ([]*Result, error) {
+func (e *Engine) runBatch(ctx context.Context, sampleIDs []uint64, tenant string, level ShedLevel) ([]*Result, error) {
 	select {
 	case e.sem <- struct{}{}:
 	case <-ctx.Done():
@@ -224,7 +233,7 @@ func (e *Engine) runBatch(ctx context.Context, sampleIDs []uint64, level ShedLev
 		return nil, err
 	}
 	defer e.endSession()
-	return e.gw.ClassifyBatchShed(ctx, sampleIDs, level)
+	return e.gw.ClassifyBatchTenantShed(ctx, sampleIDs, tenant, level)
 }
 
 // ClassifyBatch classifies the samples and returns results in input
@@ -241,12 +250,19 @@ func (e *Engine) ClassifyBatch(ctx context.Context, sampleIDs []uint64) ([]*Resu
 // ClassifyBatchShed is ClassifyBatch over the exit pipeline tightened
 // for a shed level; see ClassifyShed.
 func (e *Engine) ClassifyBatchShed(ctx context.Context, sampleIDs []uint64, level ShedLevel) ([]*Result, error) {
+	return e.ClassifyBatchTenantShed(ctx, sampleIDs, "", level)
+}
+
+// ClassifyBatchTenantShed is ClassifyBatch under a tenant's
+// exit-threshold pipeline tightened for a shed level; see
+// ClassifyTenantShed.
+func (e *Engine) ClassifyBatchTenantShed(ctx context.Context, sampleIDs []uint64, tenant string, level ShedLevel) ([]*Result, error) {
 	results := make([]*Result, len(sampleIDs))
 	if len(sampleIDs) == 0 {
 		return results, nil
 	}
 	if e.collector != nil {
-		return e.classifyChunked(ctx, sampleIDs, results, level)
+		return e.classifyChunked(ctx, sampleIDs, results, tenant, level)
 	}
 	bctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -267,7 +283,7 @@ func (e *Engine) ClassifyBatchShed(ctx context.Context, sampleIDs []uint64, leve
 		go func() {
 			defer wg.Done()
 			for i := range indices {
-				res, err := e.ClassifyShed(bctx, sampleIDs[i], level)
+				res, err := e.ClassifyTenantShed(bctx, sampleIDs[i], tenant, level)
 				if err != nil {
 					errOnce.Do(func() {
 						firstErr = fmt.Errorf("sample %d: %w", sampleIDs[i], err)
@@ -292,7 +308,7 @@ func (e *Engine) ClassifyBatchShed(ctx context.Context, sampleIDs []uint64, leve
 
 // classifyChunked splits the IDs into MaxBatch-sized chunks, each a
 // single multi-sample session, and runs the chunks concurrently.
-func (e *Engine) classifyChunked(ctx context.Context, sampleIDs []uint64, results []*Result, level ShedLevel) ([]*Result, error) {
+func (e *Engine) classifyChunked(ctx context.Context, sampleIDs []uint64, results []*Result, tenant string, level ShedLevel) ([]*Result, error) {
 	bctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	size := e.collector.maxBatch
@@ -312,7 +328,7 @@ func (e *Engine) classifyChunked(ctx context.Context, sampleIDs []uint64, result
 		go func() {
 			defer wg.Done()
 			for c := range chunks {
-				res, err := e.runBatch(bctx, sampleIDs[c.lo:c.hi], level)
+				res, err := e.runBatch(bctx, sampleIDs[c.lo:c.hi], tenant, level)
 				copy(results[c.lo:c.hi], res)
 				if err != nil {
 					errOnce.Do(func() {
@@ -413,6 +429,61 @@ func (e *Engine) RestartCloudReplica(i int) error {
 	}
 	return e.sim.RestartCloud(i)
 }
+
+// AdmitDevice (re-)admits the device in slot into the live topology by
+// dialing its known address — the one the engine was built with — and
+// returns the resulting config version; see Gateway.AdmitDevice. Use
+// AdmitDeviceAddr when the device moved to a new address.
+func (e *Engine) AdmitDevice(ctx context.Context, slot int) (uint64, error) {
+	if e.tr == nil || slot < 0 || slot >= len(e.deviceAddrs) {
+		return 0, fmt.Errorf("cluster: admit device: engine has no address for slot %d: %w", slot, ErrDeviceSlotMismatch)
+	}
+	return e.gw.AdmitDevice(ctx, slot, e.deviceAddrs[slot])
+}
+
+// AdmitDeviceAddr admits a device at an explicit address into slot; see
+// Gateway.AdmitDevice.
+func (e *Engine) AdmitDeviceAddr(ctx context.Context, slot int, addr string) (uint64, error) {
+	if e.tr == nil {
+		return 0, fmt.Errorf("cluster: engine has no transport to dial devices")
+	}
+	return e.gw.AdmitDevice(ctx, slot, addr)
+}
+
+// RemoveDevice deregisters the device in slot from the live topology
+// and returns the resulting config version; see Gateway.RemoveDevice.
+func (e *Engine) RemoveDevice(slot int) (uint64, error) {
+	return e.gw.RemoveDevice(slot)
+}
+
+// SetTenant installs or updates a tenant's exit-threshold config; see
+// Gateway.SetTenant.
+func (e *Engine) SetTenant(name string, tc TenantConfig) (uint64, error) {
+	return e.gw.SetTenant(name, tc)
+}
+
+// RemoveTenant deletes a tenant's config; see Gateway.RemoveTenant.
+func (e *Engine) RemoveTenant(name string) uint64 {
+	return e.gw.RemoveTenant(name)
+}
+
+// ServeRegistration starts the gateway's registration plane on addr over
+// the engine's transport, so devices can join, leave and re-register
+// mid-run; see Gateway.ServeRegistration.
+func (e *Engine) ServeRegistration(addr string) error {
+	if e.tr == nil {
+		return fmt.Errorf("cluster: engine has no transport to serve registration")
+	}
+	return e.gw.ServeRegistration(e.tr, addr)
+}
+
+// ConfigVersion returns the current topology config version; see
+// Gateway.ConfigVersion.
+func (e *Engine) ConfigVersion() uint64 { return e.gw.ConfigVersion() }
+
+// Topology returns a snapshot of the versioned runtime topology; see
+// Gateway.Topology.
+func (e *Engine) Topology() TopologyConfig { return e.gw.Topology() }
 
 // StartHealthMonitor begins heartbeat probing of the engine's devices
 // and every upstream replica over its transport; see

@@ -43,6 +43,13 @@ var (
 	// (wire.MaxDevices); such configs are rejected at gateway
 	// construction time instead of silently corrupting the masks.
 	ErrTooManyDevices = errors.New("ddnn: hierarchy exceeds wire.MaxDevices devices")
+	// ErrDeviceSlotMismatch reports a device-slot reference the model's
+	// hierarchy cannot satisfy: more construction addresses than the
+	// model has device slots, or an admission/removal naming a slot out
+	// of range. The wrapping error names the expected and got counts.
+	// (Fewer addresses than slots is not an error — the gateway starts
+	// with a partial device set and admits the rest via registration.)
+	ErrDeviceSlotMismatch = errors.New("ddnn: device slot mismatch")
 )
 
 // ctxErr maps a context error onto the matching typed sentinel while

@@ -70,6 +70,10 @@ type Result struct {
 	Entropy float64
 	// Present marks the devices that contributed to the sample.
 	Present []bool
+	// ConfigVersion is the topology config version the session pinned
+	// when it started; the verdict is bit-identical to the staged
+	// reference under that version's membership view.
+	ConfigVersion uint64
 	// Latency is the wall-clock duration of the session.
 	Latency time.Duration
 }
@@ -92,6 +96,7 @@ type Gateway struct {
 	cfg      GatewayConfig
 	pipeline Pipeline
 	logger   *slog.Logger
+	tr       transport.Transport // retained for membership dial-backs
 
 	devices  []*deviceLink
 	upstream *ReplicaPool // edge tier for edge-tier models, cloud otherwise
@@ -103,20 +108,41 @@ type Gateway struct {
 	// device feature maps relayed up the hierarchy's first hop).
 	Meter *metrics.CommMeter
 	// wireConns counts actual bytes on each device uplink including
-	// framing, for comparison against the analytic model.
+	// framing, for comparison against the analytic model. Slot-indexed;
+	// nil for absent slots. Guarded by stateMu.
 	wireConns []*transport.CountingConn
 
 	// instr holds the optional observability callbacks installed with
 	// SetInstrumentation.
 	instr instrumentation
 
-	stateMu sync.Mutex // guards deviceLink.failures / .down
+	// stateMu guards the versioned topology state: deviceLink.link /
+	// .failures / .down, wireConns, tenants, configVersion and closed.
+	stateMu       sync.Mutex
+	configVersion uint64
+	tenants       map[string]tenantEntry
+	closed        bool
+
+	// registration is the optional registration-plane listener started
+	// by ServeRegistration; guarded by regMu.
+	regMu        sync.Mutex
+	regListener  interface{ Close() error }
+	regConns     map[interface{ Close() error }]struct{}
+	regClosed    bool
+	regWaitGroup sync.WaitGroup
+}
+
+// tenantEntry pairs a tenant's raw config with its resolved, validated
+// pipeline so classify paths never rebuild it.
+type tenantEntry struct {
+	cfg      TenantConfig
+	pipeline Pipeline
 }
 
 type deviceLink struct {
 	index int
-	link  *link
 	// guarded by Gateway.stateMu:
+	link     *link // nil while the slot is absent
 	failures int
 	down     bool
 }
@@ -127,12 +153,19 @@ type deviceLink struct {
 // tier; sessions load-balance across them. The context bounds connection
 // setup only; per-session deadlines come from the contexts passed to
 // Classify.
+//
+// deviceAddrs may name fewer devices than the model has slots — or use
+// empty strings for individual slots — to start with a partial device
+// set: the unnamed slots begin absent and are admitted later through
+// the registration plane (ServeRegistration) or AdmitDevice. More
+// addresses than slots is a hard ErrDeviceSlotMismatch, since the extra
+// devices could never appear in the presence mask.
 func NewGateway(ctx context.Context, model *core.Model, cfg GatewayConfig, tr transport.Transport, deviceAddrs []string, upstreamAddrs []string, logger *slog.Logger) (*Gateway, error) {
 	if logger == nil {
 		logger = slog.Default()
 	}
-	if len(deviceAddrs) != model.Cfg.Devices {
-		return nil, fmt.Errorf("cluster: model has %d devices, got %d addresses", model.Cfg.Devices, len(deviceAddrs))
+	if len(deviceAddrs) > model.Cfg.Devices {
+		return nil, fmt.Errorf("cluster: model has %d device slots, got %d addresses: %w", model.Cfg.Devices, len(deviceAddrs), ErrDeviceSlotMismatch)
 	}
 	if model.Cfg.Devices > wire.MaxDevices {
 		// The wire protocol's present-device masks are uint16 bitmasks;
@@ -157,21 +190,34 @@ func NewGateway(ctx context.Context, model *core.Model, cfg GatewayConfig, tr tr
 		return nil, err
 	}
 	g := &Gateway{
-		model:    model,
-		cfg:      cfg,
-		pipeline: pipeline,
-		logger:   logger.With("node", "gateway"),
-		Meter:    metrics.NewCommMeter(),
+		model:         model,
+		cfg:           cfg,
+		pipeline:      pipeline,
+		logger:        logger.With("node", "gateway"),
+		tr:            tr,
+		Meter:         metrics.NewCommMeter(),
+		configVersion: 1,
+		tenants:       make(map[string]tenantEntry),
+	}
+	// All slots exist from construction; the ones without an address
+	// begin absent (nil link) and join later via registration.
+	g.devices = make([]*deviceLink, model.Cfg.Devices)
+	g.wireConns = make([]*transport.CountingConn, model.Cfg.Devices)
+	for i := range g.devices {
+		g.devices[i] = &deviceLink{index: i}
 	}
 	for i, addr := range deviceAddrs {
+		if addr == "" {
+			continue // explicitly absent slot
+		}
 		conn, err := tr.Dial(ctx, addr)
 		if err != nil {
 			g.Close()
 			return nil, fmt.Errorf("cluster: dial device %d: %w", i, err)
 		}
 		cc := transport.NewCountingConn(conn)
-		g.wireConns = append(g.wireConns, cc)
-		g.devices = append(g.devices, &deviceLink{index: i, link: newLink(cc)})
+		g.wireConns[i] = cc
+		g.devices[i].link = newLink(cc)
 	}
 	pool, err := newReplicaPool(ctx, g.upstreamExit(), tr, upstreamAddrs, g.logger)
 	if err != nil {
@@ -220,9 +266,13 @@ func (g *Gateway) uploadCategory() string {
 // device uplinks (the device→gateway direction: summaries and feature
 // uploads), including protocol framing.
 func (g *Gateway) WireBytesUp() int64 {
+	g.stateMu.Lock()
+	defer g.stateMu.Unlock()
 	var t int64
 	for _, c := range g.wireConns {
-		t += c.BytesRead() // device→gateway direction
+		if c != nil {
+			t += c.BytesRead() // device→gateway direction
+		}
 	}
 	return t
 }
@@ -231,9 +281,13 @@ func (g *Gateway) WireBytesUp() int64 {
 // device links (the gateway→device direction: capture and feature
 // requests), including protocol framing.
 func (g *Gateway) WireBytesDown() int64 {
+	g.stateMu.Lock()
+	defer g.stateMu.Unlock()
 	var t int64
 	for _, c := range g.wireConns {
-		t += c.BytesWritten() // gateway→device direction
+		if c != nil {
+			t += c.BytesWritten() // gateway→device direction
+		}
 	}
 	return t
 }
@@ -263,6 +317,14 @@ func (g *Gateway) ClassifyShed(ctx context.Context, sampleID uint64, level ShedL
 	return g.classify(ctx, sampleID, g.pipeline.Shed(level))
 }
 
+// ClassifyTenantShed is ClassifyShed under a tenant's exit-threshold
+// pipeline: the tenant resolved at admission (from the auth identity)
+// selects the thresholds, then the shed level tightens them. Unknown
+// tenants run the gateway default pipeline.
+func (g *Gateway) ClassifyTenantShed(ctx context.Context, sampleID uint64, tenant string, level ShedLevel) (*Result, error) {
+	return g.classify(ctx, sampleID, g.TenantPipeline(tenant).Shed(level))
+}
+
 // classify runs one session over an explicit exit pipeline (the
 // configured one, or a per-request shed override).
 func (g *Gateway) classify(ctx context.Context, sampleID uint64, pipeline Pipeline) (*Result, error) {
@@ -273,16 +335,21 @@ func (g *Gateway) classify(ctx context.Context, sampleID uint64, pipeline Pipeli
 	start := time.Now()
 	classes := g.model.Cfg.Classes
 
+	// Pin the session to the membership and config version current right
+	// now: devices joining or leaving mid-session cannot change which
+	// links this session fans out to.
+	snap := g.snapshotMembers()
+
 	// Stage 1: every live device processes its frame and sends its summary
 	// to the local aggregator.
-	replies := make(chan capReply, len(g.devices))
+	replies := make(chan capReply, len(snap.links))
 	inFlight := 0
-	for _, dl := range g.devices {
-		if g.deviceDown(dl.index) {
+	for d, l := range snap.links {
+		if l == nil {
 			continue
 		}
 		inFlight++
-		go g.captureFrom(ctx, dl, sid, sampleID, replies)
+		go g.captureFrom(ctx, d, l, sid, sampleID, replies)
 	}
 	exitVecs := make([]*tensor.Tensor, len(g.devices))
 	present := make([]bool, len(g.devices))
@@ -295,10 +362,10 @@ func (g *Gateway) classify(ctx context.Context, sampleID uint64, pipeline Pipeli
 			return nil, r.err
 		}
 		if r.timeout {
-			g.recordTimeout(r.device)
+			g.recordTimeout(r.device, snap.links[r.device])
 			continue
 		}
-		g.recordSuccess(r.device)
+		g.recordSuccess(r.device, snap.links[r.device])
 		if r.probs == nil {
 			continue // device had no frame (object absent / feed error)
 		}
@@ -324,13 +391,14 @@ func (g *Gateway) classify(ctx context.Context, sampleID uint64, pipeline Pipeli
 	g.instr.observeStage(wire.ExitLocal, time.Since(start))
 	if entropy <= pipeline[0].Threshold {
 		res := &Result{
-			SampleID: sampleID,
-			Class:    probs.ArgMaxRow(0),
-			Exit:     wire.ExitLocal,
-			Probs:    row,
-			Entropy:  entropy,
-			Present:  present,
-			Latency:  time.Since(start),
+			SampleID:      sampleID,
+			Class:         probs.ArgMaxRow(0),
+			Exit:          wire.ExitLocal,
+			Probs:         row,
+			Entropy:       entropy,
+			Present:       present,
+			ConfigVersion: snap.version,
+			Latency:       time.Since(start),
 		}
 		g.instr.observeExit(res.Exit, res.Latency)
 		return res, nil
@@ -339,35 +407,36 @@ func (g *Gateway) classify(ctx context.Context, sampleID uint64, pipeline Pipeli
 	// Stage 3: the local exit is not confident; fetch binarized features
 	// from present devices and escalate to the next tier up.
 	escStart := time.Now()
-	res, err := g.escalate(ctx, sid, sampleID, present, pipeline)
+	res, err := g.escalate(ctx, snap, sid, sampleID, present, pipeline)
 	if err != nil {
 		return nil, err
 	}
 	g.instr.observeStage(g.upstreamExit(), time.Since(escStart))
 	res.Entropy = entropy
 	res.Present = present
+	res.ConfigVersion = snap.version
 	res.Latency = time.Since(start)
 	g.instr.observeExit(res.Exit, res.Latency)
 	return res, nil
 }
 
-func (g *Gateway) captureFrom(ctx context.Context, dl *deviceLink, sid, sampleID uint64, replies chan<- capReply) {
-	msg, err := dl.link.request(ctx, sid, &wire.CaptureRequest{Session: sid, SampleID: sampleID}, g.cfg.DeviceTimeout)
+func (g *Gateway) captureFrom(ctx context.Context, device int, l *link, sid, sampleID uint64, replies chan<- capReply) {
+	msg, err := l.request(ctx, sid, &wire.CaptureRequest{Session: sid, SampleID: sampleID}, g.cfg.DeviceTimeout)
 	if err != nil {
 		if cerr := ctx.Err(); cerr != nil {
-			replies <- capReply{device: dl.index, err: ctxErr(cerr)}
+			replies <- capReply{device: device, err: ctxErr(cerr)}
 			return
 		}
-		replies <- capReply{device: dl.index, timeout: true}
+		replies <- capReply{device: device, timeout: true}
 		return
 	}
 	switch m := msg.(type) {
 	case *wire.LocalSummary:
-		replies <- capReply{device: dl.index, probs: m.Probs}
+		replies <- capReply{device: device, probs: m.Probs}
 	case *wire.Error:
-		replies <- capReply{device: dl.index} // absent frame
+		replies <- capReply{device: device} // absent frame
 	default:
-		replies <- capReply{device: dl.index, timeout: true}
+		replies <- capReply{device: device, timeout: true}
 	}
 }
 
@@ -378,7 +447,7 @@ func (g *Gateway) captureFrom(ctx context.Context, dl *deviceLink, sid, sampleID
 // the least-loaded healthy replica and retries on another if the chosen
 // one dies mid-session. The relayed thresholds come from the session's
 // pipeline, so per-request shed overrides reach the upper tiers.
-func (g *Gateway) escalate(ctx context.Context, sid, sampleID uint64, present []bool, pipeline Pipeline) (*Result, error) {
+func (g *Gateway) escalate(ctx context.Context, snap memberSnapshot, sid, sampleID uint64, present []bool, pipeline Pipeline) (*Result, error) {
 	if g.upstream.Down() {
 		return nil, fmt.Errorf("cluster: sample %d: %w: %w", sampleID, g.upstreamSentinel(), ErrNoHealthyReplica)
 	}
@@ -387,17 +456,17 @@ func (g *Gateway) escalate(ctx context.Context, sid, sampleID uint64, present []
 		msg    *wire.FeatureUpload
 		err    error
 	}
-	uploads := make(chan upload, len(g.devices))
+	uploads := make(chan upload, len(snap.links))
 	inFlight := 0
 	for d, p := range present {
 		if !p {
 			continue
 		}
 		inFlight++
-		go func(dl *deviceLink) {
-			m, err := g.fetchFeatures(ctx, dl, sid, sampleID)
-			uploads <- upload{device: dl.index, msg: m, err: err}
-		}(g.devices[d])
+		go func(device int, l *link) {
+			m, err := g.fetchFeatures(ctx, device, l, sid, sampleID)
+			uploads <- upload{device: device, msg: m, err: err}
+		}(d, snap.links[d])
 	}
 	var collected []*wire.FeatureUpload
 	var mask uint16
@@ -482,8 +551,8 @@ func (g *Gateway) escalate(ctx context.Context, sid, sampleID uint64, present []
 	}, nil
 }
 
-func (g *Gateway) fetchFeatures(ctx context.Context, dl *deviceLink, sid, sampleID uint64) (*wire.FeatureUpload, error) {
-	msg, err := dl.link.request(ctx, sid, &wire.FeatureRequest{Session: sid, SampleID: sampleID}, g.cfg.DeviceTimeout)
+func (g *Gateway) fetchFeatures(ctx context.Context, device int, l *link, sid, sampleID uint64) (*wire.FeatureUpload, error) {
+	msg, err := l.request(ctx, sid, &wire.FeatureRequest{Session: sid, SampleID: sampleID}, g.cfg.DeviceTimeout)
 	if err != nil {
 		return nil, err
 	}
@@ -491,24 +560,24 @@ func (g *Gateway) fetchFeatures(ctx context.Context, dl *deviceLink, sid, sample
 	case *wire.FeatureUpload:
 		return m, nil
 	case *wire.Error:
-		return nil, fmt.Errorf("cluster: device %d: %s", dl.index, m.Msg)
+		return nil, fmt.Errorf("cluster: device %d: %s", device, m.Msg)
 	default:
 		return nil, fmt.Errorf("cluster: expected FeatureUpload, got %v", msg.MsgType())
 	}
 }
 
-// deviceDown reports the sticky failure state of a device.
-func (g *Gateway) deviceDown(device int) bool {
-	g.stateMu.Lock()
-	defer g.stateMu.Unlock()
-	return g.devices[device].down
-}
-
 // recordTimeout counts a consecutive miss and applies sticky marking.
-func (g *Gateway) recordTimeout(device int) {
+// The session's snapshot link guards against membership churn: a
+// timeout observed on a link that has since been replaced (the slot
+// re-registered or left) must not count against the slot's current
+// occupant.
+func (g *Gateway) recordTimeout(device int, l *link) {
 	g.stateMu.Lock()
 	defer g.stateMu.Unlock()
 	dl := g.devices[device]
+	if dl.link != l {
+		return // stale observation from before a membership change
+	}
 	dl.failures++
 	if g.cfg.MaxFailures > 0 && dl.failures >= g.cfg.MaxFailures && !dl.down {
 		g.logger.Warn("device marked down", "device", device, "consecutive_timeouts", dl.failures)
@@ -516,11 +585,16 @@ func (g *Gateway) recordTimeout(device int) {
 	}
 }
 
-// recordSuccess resets the consecutive-miss counter.
-func (g *Gateway) recordSuccess(device int) {
+// recordSuccess resets the consecutive-miss counter; stale observations
+// from before a membership change are dropped (see recordTimeout).
+func (g *Gateway) recordSuccess(device int, l *link) {
 	g.stateMu.Lock()
 	defer g.stateMu.Unlock()
-	g.devices[device].failures = 0
+	dl := g.devices[device]
+	if dl.link != l {
+		return
+	}
+	dl.failures = 0
 }
 
 // DownDevices returns the indices of devices currently marked down by
@@ -550,12 +624,22 @@ func (g *Gateway) setUpstreamReplicaDown(replica int, down bool) {
 	g.upstream.setDown(replica, down)
 }
 
-// Close tears down all connections.
+// Close tears down all connections, including the registration plane
+// when one is serving.
 func (g *Gateway) Close() error {
+	g.closeRegistration()
+	g.stateMu.Lock()
+	g.closed = true
+	var links []*link
 	for _, dl := range g.devices {
 		if dl.link != nil {
-			dl.link.close()
+			links = append(links, dl.link)
+			dl.link = nil
 		}
+	}
+	g.stateMu.Unlock()
+	for _, l := range links {
+		l.close()
 	}
 	if g.upstream != nil {
 		g.upstream.close()

@@ -42,6 +42,13 @@ func (g *Gateway) ClassifyBatchShed(ctx context.Context, sampleIDs []uint64, lev
 	return g.classifyBatch(ctx, sampleIDs, g.pipeline.Shed(level))
 }
 
+// ClassifyBatchTenantShed is ClassifyBatch under a tenant's
+// exit-threshold pipeline tightened for a shed level; see
+// Gateway.ClassifyTenantShed.
+func (g *Gateway) ClassifyBatchTenantShed(ctx context.Context, sampleIDs []uint64, tenant string, level ShedLevel) ([]*Result, error) {
+	return g.classifyBatch(ctx, sampleIDs, g.TenantPipeline(tenant).Shed(level))
+}
+
 // classifyBatch runs one multi-sample session over an explicit exit
 // pipeline (the configured one, or a per-request shed override).
 func (g *Gateway) classifyBatch(ctx context.Context, sampleIDs []uint64, pipeline Pipeline) ([]*Result, error) {
@@ -59,16 +66,21 @@ func (g *Gateway) classifyBatch(ctx context.Context, sampleIDs []uint64, pipelin
 	start := time.Now()
 	classes := g.model.Cfg.Classes
 
+	// Pin the session to the membership and config version current right
+	// now (see Gateway.classify); every sample of the batch completes
+	// under this one snapshot.
+	snap := g.snapshotMembers()
+
 	// Stage 1: every live device processes the whole batch in one forward
 	// pass and sends a single summary frame.
-	replies := make(chan batchCapReply, len(g.devices))
+	replies := make(chan batchCapReply, len(snap.links))
 	inFlight := 0
-	for _, dl := range g.devices {
-		if g.deviceDown(dl.index) {
+	for d, l := range snap.links {
+		if l == nil {
 			continue
 		}
 		inFlight++
-		go g.captureBatchFrom(ctx, dl, sid, sampleIDs, replies)
+		go g.captureBatchFrom(ctx, d, l, sid, sampleIDs, replies)
 	}
 	exitVecs := make([]*tensor.Tensor, len(g.devices))
 	for d := range exitVecs {
@@ -84,10 +96,10 @@ func (g *Gateway) classifyBatch(ctx context.Context, sampleIDs []uint64, pipelin
 			return nil, r.err
 		}
 		if r.timeout {
-			g.recordTimeout(r.device)
+			g.recordTimeout(r.device, snap.links[r.device])
 			continue
 		}
-		g.recordSuccess(r.device)
+		g.recordSuccess(r.device, snap.links[r.device])
 		row := 0
 		for s := 0; s < n; s++ {
 			if !r.present[s] {
@@ -140,13 +152,14 @@ func (g *Gateway) classifyBatch(ctx context.Context, sampleIDs []uint64, pipelin
 			entropies[idx] = entropy
 			if entropy <= pipeline[0].Threshold {
 				results[idx] = &Result{
-					SampleID: sampleIDs[idx],
-					Class:    probs.ArgMaxRow(k),
-					Exit:     wire.ExitLocal,
-					Probs:    row,
-					Entropy:  entropy,
-					Present:  present[idx],
-					Latency:  time.Since(start),
+					SampleID:      sampleIDs[idx],
+					Class:         probs.ArgMaxRow(k),
+					Exit:          wire.ExitLocal,
+					Probs:         row,
+					Entropy:       entropy,
+					Present:       present[idx],
+					ConfigVersion: snap.version,
+					Latency:       time.Since(start),
 				}
 			} else {
 				escalate = append(escalate, idx)
@@ -161,7 +174,7 @@ func (g *Gateway) classifyBatch(ctx context.Context, sampleIDs []uint64, pipelin
 	// Stage 3: the hard remainder — and only it — rides upstream as one
 	// batched escalation (the paper's staged partial exit, batched).
 	escStart := time.Now()
-	err := g.escalateBatch(ctx, sid, sampleIDs, escalate, present, masks, entropies, results, start, pipeline)
+	err := g.escalateBatch(ctx, snap, sid, sampleIDs, escalate, present, masks, entropies, results, start, pipeline)
 	if err == nil {
 		g.instr.observeStage(g.upstreamExit(), time.Since(escStart))
 	}
@@ -171,32 +184,32 @@ func (g *Gateway) classifyBatch(ctx context.Context, sampleIDs []uint64, pipelin
 	return results, firstErr
 }
 
-func (g *Gateway) captureBatchFrom(ctx context.Context, dl *deviceLink, sid uint64, sampleIDs []uint64, replies chan<- batchCapReply) {
-	msg, err := dl.link.request(ctx, sid, &wire.CaptureBatch{Session: sid, SampleIDs: sampleIDs}, g.cfg.DeviceTimeout)
+func (g *Gateway) captureBatchFrom(ctx context.Context, device int, l *link, sid uint64, sampleIDs []uint64, replies chan<- batchCapReply) {
+	msg, err := l.request(ctx, sid, &wire.CaptureBatch{Session: sid, SampleIDs: sampleIDs}, g.cfg.DeviceTimeout)
 	if err != nil {
 		if cerr := ctx.Err(); cerr != nil {
-			replies <- batchCapReply{device: dl.index, err: ctxErr(cerr)}
+			replies <- batchCapReply{device: device, err: ctxErr(cerr)}
 			return
 		}
-		replies <- batchCapReply{device: dl.index, timeout: true}
+		replies <- batchCapReply{device: device, timeout: true}
 		return
 	}
 	switch m := msg.(type) {
 	case *wire.SummaryBatch:
 		if int(m.Count) != len(sampleIDs) || int(m.Classes) != g.model.Cfg.Classes {
-			replies <- batchCapReply{device: dl.index, timeout: true}
+			replies <- batchCapReply{device: device, timeout: true}
 			return
 		}
 		replies <- batchCapReply{
-			device:  dl.index,
+			device:  device,
 			present: wire.UnpackPresent(m.Present, len(sampleIDs)),
 			probs:   m.Probs,
 		}
 	case *wire.Error:
 		// The device had no frame for any sample (feed failure).
-		replies <- batchCapReply{device: dl.index, present: make([]bool, len(sampleIDs))}
+		replies <- batchCapReply{device: device, present: make([]bool, len(sampleIDs))}
 	default:
-		replies <- batchCapReply{device: dl.index, timeout: true}
+		replies <- batchCapReply{device: device, timeout: true}
 	}
 }
 
@@ -206,7 +219,7 @@ func (g *Gateway) captureBatchFrom(ctx context.Context, dl *deviceLink, sid uint
 // pool-scheduled replica of the next tier, filling results for every
 // escalating index from the returned ResultBatch. If the replica dies
 // mid-session the whole batch is retried on another replica.
-func (g *Gateway) escalateBatch(ctx context.Context, sid uint64, sampleIDs []uint64, escalate []int, present [][]bool, masks []uint16, entropies []float64, results []*Result, start time.Time, pipeline Pipeline) error {
+func (g *Gateway) escalateBatch(ctx context.Context, snap memberSnapshot, sid uint64, sampleIDs []uint64, escalate []int, present [][]bool, masks []uint16, entropies []float64, results []*Result, start time.Time, pipeline Pipeline) error {
 	sentinel := g.upstreamSentinel()
 	if g.upstream.Down() {
 		return fmt.Errorf("cluster: batch of %d samples: %w: %w", len(escalate), sentinel, ErrNoHealthyReplica)
@@ -237,25 +250,25 @@ func (g *Gateway) escalateBatch(ctx context.Context, sid uint64, sampleIDs []uin
 		for i, k := range ks {
 			ids[i] = sampleIDs[escalate[k]]
 		}
-		go func(dl *deviceLink, ids []uint64) {
-			msg, err := dl.link.request(ctx, sid, &wire.FeatureBatchRequest{Session: sid, SampleIDs: ids}, g.cfg.DeviceTimeout)
+		go func(device int, l *link, ids []uint64) {
+			msg, err := l.request(ctx, sid, &wire.FeatureBatchRequest{Session: sid, SampleIDs: ids}, g.cfg.DeviceTimeout)
 			if err != nil {
-				fetches <- fetchReply{device: dl.index, err: err}
+				fetches <- fetchReply{device: device, err: err}
 				return
 			}
 			switch m := msg.(type) {
 			case *wire.FeatureBatch:
 				if int(m.Count) != len(ids) {
-					fetches <- fetchReply{device: dl.index, err: fmt.Errorf("cluster: device %d sent %d feature maps, want %d", dl.index, m.Count, len(ids))}
+					fetches <- fetchReply{device: device, err: fmt.Errorf("cluster: device %d sent %d feature maps, want %d", device, m.Count, len(ids))}
 					return
 				}
-				fetches <- fetchReply{device: dl.index, fb: m}
+				fetches <- fetchReply{device: device, fb: m}
 			case *wire.Error:
-				fetches <- fetchReply{device: dl.index, err: fmt.Errorf("cluster: device %d: %s", dl.index, m.Msg)}
+				fetches <- fetchReply{device: device, err: fmt.Errorf("cluster: device %d: %s", device, m.Msg)}
 			default:
-				fetches <- fetchReply{device: dl.index, err: fmt.Errorf("cluster: expected FeatureBatch, got %v", msg.MsgType())}
+				fetches <- fetchReply{device: device, err: fmt.Errorf("cluster: expected FeatureBatch, got %v", msg.MsgType())}
 			}
-		}(g.devices[d], ids)
+		}(d, snap.links[d], ids)
 	}
 	var frames []wire.Message
 	for i := 0; i < inFlight; i++ {
@@ -351,13 +364,14 @@ func (g *Gateway) escalateBatch(ctx context.Context, sid uint64, sampleIDs []uin
 			return fmt.Errorf("cluster: %v tier verdict %d is for sample %d, want %d", g.upstreamExit(), k, v.SampleID, sampleIDs[idx])
 		}
 		results[idx] = &Result{
-			SampleID: sampleIDs[idx],
-			Class:    int(v.Class),
-			Exit:     v.Exit,
-			Probs:    v.Probs,
-			Entropy:  entropies[idx],
-			Present:  present[idx],
-			Latency:  time.Since(start),
+			SampleID:      sampleIDs[idx],
+			Class:         int(v.Class),
+			Exit:          v.Exit,
+			Probs:         v.Probs,
+			Entropy:       entropies[idx],
+			Present:       present[idx],
+			ConfigVersion: snap.version,
+			Latency:       time.Since(start),
 		}
 	}
 	return dropErr

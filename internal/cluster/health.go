@@ -44,8 +44,8 @@ type HealthMonitor struct {
 // pool's recovery to it: the pool stops sending half-open trial sessions
 // to fenced replicas. The context bounds the initial probe dials only.
 func (g *Gateway) StartHealthMonitor(ctx context.Context, tr transport.Transport, deviceAddrs []string, upstreamAddrs []string, interval time.Duration, misses int) (*HealthMonitor, error) {
-	if len(deviceAddrs) != len(g.devices) {
-		return nil, fmt.Errorf("cluster: health monitor needs %d device addresses, got %d", len(g.devices), len(deviceAddrs))
+	if len(deviceAddrs) > len(g.devices) {
+		return nil, fmt.Errorf("cluster: health monitor got %d device addresses for %d slots: %w", len(deviceAddrs), len(g.devices), ErrDeviceSlotMismatch)
 	}
 	if interval <= 0 {
 		return nil, fmt.Errorf("cluster: health interval must be positive, got %v", interval)
@@ -61,10 +61,17 @@ func (g *Gateway) StartHealthMonitor(ctx context.Context, tr transport.Transport
 		stop:     make(chan struct{}),
 	}
 	// Targets: device i probes as target i; upstream replica i probes as
-	// target -(i+1), routed to the replica pool's health state.
+	// target -(i+1), routed to the replica pool's health state. A partial
+	// device list (fewer addresses than slots, or empty-string entries)
+	// leaves the unnamed slots unprobed — absent slots are kept out of
+	// sessions by membership (nil link), not by health, so a probe
+	// verdict can never resurrect an unregistered slot.
 	targets := make([]int, 0, len(deviceAddrs)+len(upstreamAddrs))
 	addrs := make([]string, 0, len(deviceAddrs)+len(upstreamAddrs))
 	for i, addr := range deviceAddrs {
+		if addr == "" {
+			continue
+		}
 		targets = append(targets, i)
 		addrs = append(addrs, addr)
 	}

@@ -45,6 +45,9 @@ func seedMessages() []Message {
 			{SampleID: 5, Exit: ExitEdge, Class: 1, Probs: []float32{0.1, 0.8, 0.1}},
 			{SampleID: 6, Exit: ExitCloud, Class: 0, Probs: []float32{0.9, 0.05, 0.05}},
 		}},
+		&DeviceHello{NodeID: "device-4", Slot: 4, Tenant: "tenant-a", Addr: "127.0.0.1:9104"},
+		&DeviceWelcome{Slot: 4, Devices: 6, ConfigVersion: 17},
+		&DeviceGoodbye{NodeID: "device-4", Slot: 4, Reason: "draining"},
 	}
 }
 
@@ -150,7 +153,7 @@ func buildMessage(kind uint8, session, sample uint64, a, b uint16, s string, blo
 	for i := range masks {
 		masks[i] = b + uint16(i)
 	}
-	switch kind % 19 {
+	switch kind % 22 {
 	case 0:
 		return &Hello{NodeID: s, Role: Role(a), Device: b}
 	case 1:
@@ -223,6 +226,16 @@ func buildMessage(kind uint8, session, sample uint64, a, b uint16, s string, blo
 			bits = append(bits, one...)
 		}
 		return &EdgeFeatureBatch{Session: session, F: fDim, H: h, W: w, SampleIDs: ids, Bits: bits}
+	case 19:
+		tenant := ""
+		if len(blob) > 0 {
+			tenant = s[:len(s)/2]
+		}
+		return &DeviceHello{NodeID: s, Slot: a, Tenant: tenant, Addr: s}
+	case 20:
+		return &DeviceWelcome{Slot: a, Devices: b, ConfigVersion: session}
+	case 21:
+		return &DeviceGoodbye{NodeID: s, Slot: b, Reason: s}
 	default:
 		vs := make([]BatchVerdict, len(ids))
 		for i := range vs {

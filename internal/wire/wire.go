@@ -104,6 +104,14 @@ const (
 	// TypeResultBatch reports the per-sample verdicts of one batched
 	// session in a single frame.
 	TypeResultBatch
+	// TypeDeviceHello opens a registration handshake: a device asks the
+	// gateway's registration plane to admit it into a device slot.
+	TypeDeviceHello
+	// TypeDeviceWelcome acknowledges an admission or departure and
+	// reports the resulting topology config version.
+	TypeDeviceWelcome
+	// TypeDeviceGoodbye deregisters a device slot from the live topology.
+	TypeDeviceGoodbye
 )
 
 // String names the message type.
@@ -147,6 +155,12 @@ func (t MsgType) String() string {
 		return "EdgeFeatureBatch"
 	case TypeResultBatch:
 		return "ResultBatch"
+	case TypeDeviceHello:
+		return "DeviceHello"
+	case TypeDeviceWelcome:
+		return "DeviceWelcome"
+	case TypeDeviceGoodbye:
+		return "DeviceGoodbye"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -286,6 +300,12 @@ func newMessage(t MsgType) (Message, error) {
 		return &EdgeFeatureBatch{}, nil
 	case TypeResultBatch:
 		return &ResultBatch{}, nil
+	case TypeDeviceHello:
+		return &DeviceHello{}, nil
+	case TypeDeviceWelcome:
+		return &DeviceWelcome{}, nil
+	case TypeDeviceGoodbye:
+		return &DeviceGoodbye{}, nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownType, t)
 	}

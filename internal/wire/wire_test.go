@@ -66,6 +66,11 @@ func TestRoundTripAllMessageTypes(t *testing.T) {
 			{SampleID: 5, Exit: ExitLocal, Class: 1, Probs: []float32{0.1, 0.8, 0.1}},
 			{SampleID: 6, Exit: ExitCloud, Class: 0, Probs: []float32{0.9, 0.05, 0.05}},
 		}}},
+		{"DeviceHello", &DeviceHello{NodeID: "device-2", Slot: 2, Tenant: "tenant-a", Addr: "127.0.0.1:9102"}},
+		{"DeviceHello no tenant", &DeviceHello{NodeID: "device-0", Slot: 0, Addr: "device-0"}},
+		{"DeviceWelcome", &DeviceWelcome{Slot: 2, Devices: 6, ConfigVersion: 41}},
+		{"DeviceGoodbye", &DeviceGoodbye{NodeID: "device-2", Slot: 2, Reason: "draining"}},
+		{"DeviceGoodbye bare", &DeviceGoodbye{NodeID: "device-5", Slot: 5}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -113,7 +118,7 @@ func TestSessionScopedMessagesImplementSessioned(t *testing.T) {
 			t.Errorf("%v SessionID = %d, want 7", m.MsgType(), s.SessionID())
 		}
 	}
-	for _, m := range []Message{&Hello{}, &Heartbeat{}} {
+	for _, m := range []Message{&Hello{}, &Heartbeat{}, &DeviceHello{}, &DeviceWelcome{}, &DeviceGoodbye{}} {
 		if _, ok := m.(Sessioned); ok {
 			t.Errorf("%v must stay connection-scoped", m.MsgType())
 		}

@@ -78,6 +78,15 @@ const (
 // Engine.SetInstrumentation.
 type Instrumentation = cluster.Instrumentation
 
+// TopologyConfig is a versioned snapshot of the hierarchy's runtime
+// shape — occupied device slots and configured tenants; see
+// Engine.Topology.
+type TopologyConfig = cluster.TopologyConfig
+
+// TenantConfig selects the exit-threshold policy one tenant's traffic
+// runs under; see Engine.SetTenant.
+type TenantConfig = cluster.TenantConfig
+
 // Typed serving errors, for errors.Is against Engine results. ErrCanceled
 // and ErrDeadlineExceeded also wrap the corresponding context error.
 var (
@@ -90,6 +99,12 @@ var (
 	ErrNoHealthyReplica  = cluster.ErrNoHealthyReplica
 	ErrTooManyDevices    = cluster.ErrTooManyDevices
 	ErrUploadUnsupported = cluster.ErrUploadUnsupported
+	// ErrDeviceSlotMismatch reports a device-slot reference the model's
+	// hierarchy cannot satisfy (too many construction addresses, or an
+	// admission/removal naming a slot out of range). Fewer addresses than
+	// slots is not an error: the engine starts with a partial device set
+	// and admits the rest at runtime.
+	ErrDeviceSlotMismatch = cluster.ErrDeviceSlotMismatch
 )
 
 // engineOptions collects the functional options of NewEngine and Connect.
@@ -249,7 +264,10 @@ func NewEngine(m *Model, ds *Dataset, opts ...Option) (*Engine, error) {
 // device nodes (cmd/ddnn-device) plus the replicas of the gateway's
 // upstream tier — edge nodes (cmd/ddnn-edge) for models built with
 // UseEdge, cloud nodes (cmd/ddnn-cloud) otherwise. deviceAddrs must be
-// in device order; upstreamAddrs lists the upstream tier's replicas, and
+// in device order; it may name fewer devices than the model has slots
+// (or leave slots empty with "") — absent slots join later through
+// AdmitDeviceAddr or the registration plane (ServeRegistration).
+// upstreamAddrs lists the upstream tier's replicas, and
 // sessions load-balance across them and fail over when one dies. The
 // context bounds connection setup.
 func Connect(ctx context.Context, m *Model, deviceAddrs []string, upstreamAddrs []string, opts ...Option) (*Engine, error) {
@@ -280,6 +298,20 @@ func (e *Engine) Classify(ctx context.Context, sampleID uint64) (Result, error) 
 // micro-batch.
 func (e *Engine) ClassifyShed(ctx context.Context, sampleID uint64, level ShedLevel) (Result, error) {
 	res, err := e.inner.ClassifyShed(ctx, sampleID, level)
+	if err != nil {
+		return Result{}, err
+	}
+	return *res, nil
+}
+
+// ClassifyTenantShed is ClassifyShed under a tenant's exit-threshold
+// pipeline: the tenant's TenantConfig (see SetTenant) picks the
+// thresholds, the shed level tightens them. Unknown tenants — and the
+// empty tenant — run the engine's default pipeline, so tenancy is
+// opt-in per client. Requests for different tenants never share a
+// micro-batch.
+func (e *Engine) ClassifyTenantShed(ctx context.Context, sampleID uint64, tenant string, level ShedLevel) (Result, error) {
+	res, err := e.inner.ClassifyTenantShed(ctx, sampleID, tenant, level)
 	if err != nil {
 		return Result{}, err
 	}
@@ -339,6 +371,78 @@ func (e *Engine) ClassifyBatchShed(ctx context.Context, sampleIDs []uint64, leve
 		out[i] = *r
 	}
 	return out, nil
+}
+
+// ClassifyBatchTenantShed is ClassifyBatch under a tenant's
+// exit-threshold pipeline tightened for a shed level; see
+// ClassifyTenantShed.
+func (e *Engine) ClassifyBatchTenantShed(ctx context.Context, sampleIDs []uint64, tenant string, level ShedLevel) ([]Result, error) {
+	inner, err := e.inner.ClassifyBatchTenantShed(ctx, sampleIDs, tenant, level)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(inner))
+	for i, r := range inner {
+		out[i] = *r
+	}
+	return out, nil
+}
+
+// AdmitDevice (re-)admits the device in slot into the live topology by
+// dialing the address the engine was built with, and returns the
+// resulting topology config version. Sessions already in flight complete
+// under the membership they observed; new sessions fan out to the
+// admitted device.
+func (e *Engine) AdmitDevice(ctx context.Context, slot int) (uint64, error) {
+	return e.inner.AdmitDevice(ctx, slot)
+}
+
+// AdmitDeviceAddr admits a device at an explicit data-plane address into
+// slot (a device that moved, or a slot constructed without an address),
+// returning the resulting topology config version.
+func (e *Engine) AdmitDeviceAddr(ctx context.Context, slot int, addr string) (uint64, error) {
+	return e.inner.AdmitDeviceAddr(ctx, slot, addr)
+}
+
+// RemoveDevice deregisters the device in slot from the live topology and
+// returns the resulting topology config version. In-flight sessions
+// complete under the membership snapshot they observed; new sessions no
+// longer fan out to the slot.
+func (e *Engine) RemoveDevice(slot int) (uint64, error) {
+	return e.inner.RemoveDevice(slot)
+}
+
+// SetTenant installs or updates a tenant's exit-threshold config and
+// returns the resulting topology config version. Tenant traffic routes
+// through ClassifyTenantShed / ClassifyBatchTenantShed (the HTTP front
+// door maps the authenticated client identity to the tenant).
+func (e *Engine) SetTenant(name string, tc TenantConfig) (uint64, error) {
+	return e.inner.SetTenant(name, tc)
+}
+
+// RemoveTenant deletes a tenant's config — its traffic falls back to the
+// engine's default pipeline — and returns the resulting topology config
+// version.
+func (e *Engine) RemoveTenant(name string) uint64 {
+	return e.inner.RemoveTenant(name)
+}
+
+// ConfigVersion returns the current topology config version: 1 for a
+// fresh engine, bumped on every membership or tenant mutation. Every
+// Result carries the version its session ran under.
+func (e *Engine) ConfigVersion() uint64 { return e.inner.ConfigVersion() }
+
+// Topology returns a snapshot of the versioned runtime topology: the
+// config version, total device slots, per-slot occupancy and the
+// configured tenants.
+func (e *Engine) Topology() TopologyConfig { return e.inner.Topology() }
+
+// ServeRegistration starts the engine's device-registration plane on
+// addr: a listener where device nodes announce themselves (join, leave,
+// re-register) mid-run, without an engine restart. See
+// cmd/ddnn-device's -register flag.
+func (e *Engine) ServeRegistration(addr string) error {
+	return e.inner.ServeRegistration(addr)
 }
 
 // PayloadBytes returns the accumulated Eq. (1) payload bytes across all
