@@ -9,7 +9,7 @@
 //	ddnn-chaos [-seed 1] [-duration 3s] [-edge] [-replicas 2]
 //	           [-workers 4] [-epochs 3] [-device-kills] [-replica-kills]
 //	           [-link-faults] [-health-flaps] [-frame-corruption]
-//	           [-device-churn] [-soak 1m]
+//	           [-device-churn] [-model-rollouts] [-soak 1m]
 //
 // -seed 0 draws a fresh random seed (printed for replay). The process
 // exits 1 if the run observed any invariant violation.
@@ -57,6 +57,7 @@ func run(args []string) error {
 		flaps      = fs.Bool("health-flaps", true, "arm health-monitor flapping")
 		corruption = fs.Bool("frame-corruption", true, "arm wire-frame corruption")
 		churn      = fs.Bool("device-churn", true, "arm membership churn (device leave/join cycles)")
+		rollouts   = fs.Bool("model-rollouts", true, "arm the model lifecycle actor (registrations, rollouts, forced rollbacks)")
 		soak       = fs.Duration("soak", 0, "soak mode: run this long (overrides -duration) and print the per-bucket availability report as JSON on stdout")
 		verbose    = fs.Bool("v", false, "log cluster node output")
 	)
@@ -101,6 +102,7 @@ func run(args []string) error {
 		HealthFlaps:     *flaps,
 		FrameCorruption: *corruption,
 		DeviceChurn:     *churn,
+		ModelRollout:    *rollouts,
 	}
 	if *verbose {
 		cfg.Logger = logger

@@ -16,7 +16,7 @@
 //	           [-replicas 1] [-threshold 0.8] [-edge-threshold 0.8]
 //	           [-devices host:port,...] [-cloud host:port] [-edge-addr host:port]
 //	           [-tenant alice=0.5:0.7] [-register host:port]
-//	           [-drain-timeout 10s]
+//	           [-admin-tokens admin.txt] [-drain-timeout 10s]
 //
 // Without -tokens the API is open (every request runs as the
 // "anonymous" client); production deployments should always pass a
@@ -30,6 +30,13 @@
 // serves applications with different accuracy/latency trade-offs.
 // -register serves the device registration plane so devices can join
 // and leave the hierarchy at runtime (see ddnn-device -register).
+//
+// -admin-tokens mounts the model lifecycle admin plane (POST/GET
+// /v1/admin/models, POST /v1/admin/rollout — see docs/OPERATIONS.md)
+// behind its own token class, separate from serving tokens. It
+// requires the in-process engine: a rolling model reload fences,
+// drains and canaries each replica through its registry, which only
+// the in-process cluster exposes.
 package main
 
 import (
@@ -92,6 +99,7 @@ func run(args []string) error {
 		useEdge      = fs.Bool("edge", false, "train with an edge tier when -model is empty")
 		epochs       = fs.Int("epochs", 25, "training epochs when -model is empty")
 		tokensPath   = fs.String("tokens", "", "token file of client:token lines (empty: open access)")
+		adminTokens  = fs.String("admin-tokens", "", "token file for the model lifecycle admin plane (empty: admin endpoints absent); in-process engine only")
 		rate         = fs.Float64("rate", 50, "per-client sustained requests/s (0: unlimited)")
 		burst        = fs.Float64("burst", 0, "per-client burst depth (0: max(1, rate))")
 		maxInflight  = fs.Int("max-inflight", api.DefaultMaxInFlight, "admitted in-flight requests before 503; load sheds to cheaper exits as this nears")
@@ -204,7 +212,7 @@ func run(args []string) error {
 			"local_threshold", tc.LocalThreshold, "edge_threshold", tc.EdgeThreshold, "config_version", v)
 	}
 
-	srv, err := api.NewServer(api.Config{
+	acfg := api.Config{
 		Engine:      eng,
 		Devices:     model.Cfg.Devices,
 		Auth:        auth,
@@ -212,7 +220,20 @@ func run(args []string) error {
 		Burst:       *burst,
 		MaxInFlight: *maxInflight,
 		Logger:      logger,
-	})
+	}
+	if *adminTokens != "" {
+		if *devices != "" {
+			return fmt.Errorf("-admin-tokens requires the in-process engine: rolling model reloads need registry access on every node")
+		}
+		aa, err := api.LoadTokenFile(*adminTokens)
+		if err != nil {
+			return err
+		}
+		acfg.AdminAuth = aa
+		acfg.ModelAdmin = eng
+		logger.Info("model admin plane enabled", "admins", aa.Len(), "model_version", eng.ModelVersion())
+	}
+	srv, err := api.NewServer(acfg)
 	if err != nil {
 		return err
 	}

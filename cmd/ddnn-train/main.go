@@ -6,6 +6,13 @@
 //
 //	ddnn-train -out model.ddnn [-epochs 100] [-filters 4] [-cloud-filters 16]
 //	           [-local MP] [-cloud-agg CC] [-edge] [-seed 1] [-data-seed 1]
+//	           [-model-version 1]
+//
+// The model is written atomically (temp file, fsync, rename), so a
+// crash mid-save never leaves a truncated artifact where a serving
+// fleet's reload could pick it up. -model-version stamps the artifact
+// with the version number the serving admin plane registers it under
+// (see docs/OPERATIONS.md on rolling reloads).
 package main
 
 import (
@@ -38,6 +45,7 @@ func run(args []string) error {
 		useEdge      = fs.Bool("edge", false, "insert an edge tier (adds an edge exit)")
 		seed         = fs.Int64("seed", 1, "weight initialization seed")
 		dataSeed     = fs.Int64("data-seed", 1, "dataset generation seed")
+		modelVersion = fs.Uint64("model-version", 1, "model version stamped into the artifact (for rolling reloads)")
 		quiet        = fs.Bool("q", false, "suppress per-epoch progress")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -90,9 +98,12 @@ func run(args []string) error {
 		res.LocalAccuracy()*100, res.CloudAccuracy()*100,
 		res.OverallAccuracy(pol)*100, res.LocalExitFraction(pol)*100)
 
-	if err := ddnn.SaveModel(*out, model); err != nil {
+	if *modelVersion == 0 {
+		return fmt.Errorf("-model-version must be nonzero")
+	}
+	if err := ddnn.SaveModelVersion(*out, model, *modelVersion); err != nil {
 		return err
 	}
-	fmt.Printf("saved %s\n", *out)
+	fmt.Printf("saved %s (version %d)\n", *out, *modelVersion)
 	return nil
 }

@@ -164,8 +164,28 @@ func GenerateDataset(cfg DatasetConfig) (train, test *Dataset) {
 // SaveModel writes a trained model to a file.
 func SaveModel(path string, m *Model) error { return modelio.SaveFile(path, m) }
 
+// SaveModelVersion atomically writes a trained model to a file as a
+// versioned artifact (temp file + fsync + rename): the model version is
+// stamped into the header, every tensor is checksummed, and a crash
+// mid-write can never leave a torn file behind. version must be
+// nonzero — zero is the wire's "active version" sentinel.
+func SaveModelVersion(path string, m *Model, version uint64) error {
+	return modelio.SaveFileAtomic(path, m, version)
+}
+
 // LoadModel reads a trained model from a file.
 func LoadModel(path string) (*Model, error) { return modelio.LoadFile(path) }
+
+// Typed model-artifact errors, for errors.Is against LoadModel and
+// Engine.RegisterModelBytes results.
+var (
+	// ErrCorruptModel reports an artifact that failed structural or
+	// checksum validation.
+	ErrCorruptModel = modelio.ErrCorruptModel
+	// ErrModelFormatUnsupported reports an artifact written by a newer
+	// format revision than this build understands.
+	ErrModelFormatUnsupported = modelio.ErrVersionUnsupported
+)
 
 // DefaultGatewayConfig returns the cluster gateway defaults (T=0.8).
 func DefaultGatewayConfig() GatewayConfig { return cluster.DefaultGatewayConfig() }

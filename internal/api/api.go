@@ -19,10 +19,15 @@
 //	GET  /healthz            process liveness
 //	GET  /readyz             upstream replica-pool readiness
 //	GET  /metrics            Prometheus text exposition
+//	GET  /v1/admin/models    model registry inventory (admin token)
+//	POST /v1/admin/models    register a versioned model artifact (admin token)
+//	POST /v1/admin/rollout   zero-downtime rolling reload (admin token)
 //
 // /healthz, /readyz and /metrics bypass authentication and rate
 // limiting: probes and scrapers must keep working exactly when the
-// serving path is saturated.
+// serving path is saturated. The /v1/admin endpoints are mounted only
+// when Config.AdminAuth is set and authenticate against that separate
+// admin token class.
 package api
 
 import (
@@ -44,6 +49,18 @@ type Config struct {
 	// Auth identifies clients by bearer token. nil disables
 	// authentication — every request runs as the "anonymous" client.
 	Auth *Authenticator
+	// AdminAuth identifies operators for the model-lifecycle admin
+	// endpoints (POST /v1/admin/models, POST /v1/admin/rollout,
+	// GET /v1/admin/models). The admin token class is disjoint from Auth:
+	// a serving token never grants lifecycle control. nil leaves the
+	// admin plane unmounted.
+	AdminAuth *Authenticator
+	// ModelAdmin is the lifecycle surface the admin endpoints drive
+	// (*ddnn.Engine satisfies it); required when AdminAuth is set.
+	ModelAdmin ModelAdmin
+	// MaxModelBytes caps an uploaded model artifact on
+	// POST /v1/admin/models; <= 0 means DefaultMaxModelBytes.
+	MaxModelBytes int64
 	// RatePerSec is each client's sustained request budget per second;
 	// <= 0 disables rate limiting.
 	RatePerSec float64
@@ -117,12 +134,21 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = DefaultMaxBatch
 	}
+	if cfg.MaxModelBytes <= 0 {
+		cfg.MaxModelBytes = DefaultMaxModelBytes
+	}
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
+	}
+	if cfg.AdminAuth != nil && cfg.ModelAdmin == nil {
+		return nil, fmt.Errorf("api: Config.ModelAdmin is required with AdminAuth")
 	}
 	m := NewMetrics()
 	m.observePool(cfg.Engine)
 	m.observeTopology(cfg.Engine)
+	if cfg.ModelAdmin != nil {
+		m.observeModel(cfg.ModelAdmin)
+	}
 	cfg.Engine.SetInstrumentation(m.Instrumentation())
 	s := &Server{
 		cfg:       cfg,
@@ -152,6 +178,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.adminEnabled() {
+		s.mountAdmin(mux)
+	}
 	var h http.Handler = mux
 	h = s.withRecover(h)
 	h = s.withAccessLog(h)

@@ -56,6 +56,9 @@ func newE2EServer(t *testing.T, cfg Config) (*ddnn.Engine, *httptest.Server) {
 	t.Cleanup(func() { eng.Close() })
 	cfg.Engine = eng
 	cfg.Devices = model.Cfg.Devices
+	if cfg.AdminAuth != nil {
+		cfg.ModelAdmin = eng
+	}
 	if cfg.Logger == nil {
 		cfg.Logger = quietLogger()
 	}

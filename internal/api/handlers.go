@@ -45,6 +45,9 @@ type classifyResponse struct {
 	// the staged reference for the membership and tenant thresholds of
 	// that version.
 	ConfigVersion uint64 `json:"config_version"`
+	// ModelVersion is the model version the session pinned at start:
+	// every hop of the hierarchy ran those weights, even mid-rollout.
+	ModelVersion uint64 `json:"model_version"`
 }
 
 // batchRequest is the JSON body of POST /v1/classify/batch.
@@ -69,6 +72,7 @@ func toResponse(res ddnn.Result, level ddnn.ShedLevel) classifyResponse {
 		LatencyMs:     float64(res.Latency.Microseconds()) / 1000,
 		ShedLevel:     level.String(),
 		ConfigVersion: res.ConfigVersion,
+		ModelVersion:  res.ModelVersion,
 	}
 }
 

@@ -39,6 +39,9 @@ type Metrics struct {
 	RequestLatency *promtext.Histogram
 	// InFlight gauges currently admitted classify requests.
 	InFlight *promtext.Gauge
+	// Rollouts counts model rollouts driven through the admin plane by
+	// outcome ("completed" / "failed").
+	Rollouts *promtext.CounterVec
 }
 
 // NewMetrics builds the catalogue on a fresh registry.
@@ -56,7 +59,23 @@ func NewMetrics() *Metrics {
 		StageLatency:   promtext.NewHistogramVec(reg, "ddnn_stage_latency_seconds", "Per-tier round-trip latency.", "tier", nil),
 		RequestLatency: promtext.NewHistogram(reg, "ddnn_http_request_seconds", "Whole-request HTTP latency.", nil),
 		InFlight:       promtext.NewGauge(reg, "ddnn_http_inflight_requests", "Currently admitted classify requests."),
+		Rollouts:       promtext.NewCounterVec(reg, "ddnn_model_rollouts_total", "Model rollouts by outcome.", "outcome"),
 	}
+}
+
+// observeModel registers scrape-time gauges over the engine's model
+// lifecycle: the active version and the rollout state machine
+// (0 idle, 1 rolling, 2 rolled back).
+func (m *Metrics) observeModel(ma ModelAdmin) {
+	promtext.NewGaugeFunc(m.reg, "ddnn_model_version", "Active model version.", func() float64 {
+		return float64(ma.ModelVersion())
+	})
+	promtext.NewGaugeFunc(m.reg, "ddnn_rollout_state", "Model rollout state (0 idle, 1 rolling, 2 rolled back).", func() float64 {
+		return rolloutStateCode(ma.RolloutState())
+	})
+	promtext.NewGaugeFunc(m.reg, "ddnn_model_versions_loaded", "Model versions held in the registry.", func() float64 {
+		return float64(len(ma.ModelVersions()))
+	})
 }
 
 // Instrumentation returns the engine callbacks that feed the per-exit

@@ -42,12 +42,17 @@ import (
 	"github.com/ddnn/ddnn-go/internal/cluster"
 	"github.com/ddnn/ddnn-go/internal/core"
 	"github.com/ddnn/ddnn-go/internal/dataset"
+	"github.com/ddnn/ddnn-go/internal/modelio"
 	"github.com/ddnn/ddnn-go/internal/transport"
 )
 
 // chaosToken authenticates the traffic drivers; a slice of traffic
 // deliberately presents a bad token to exercise the 401 path.
 const chaosToken = "chaos-token"
+
+// chaosAdminToken authenticates the model-rollout actor against the
+// admin plane's separate token class.
+const chaosAdminToken = "chaos-admin-token"
 
 // Config sizes and arms one chaos run.
 type Config struct {
@@ -83,6 +88,14 @@ type Config struct {
 	// cycles that bump the topology config version, unlike DeviceKills'
 	// silent failures.
 	DeviceChurn bool
+	// ModelRollout arms the actor that drives the model lifecycle admin
+	// plane under live traffic: registering versioned artifacts
+	// (including deliberately corrupt ones), rolling the fleet across
+	// versions, and planting canary failures that must trigger automatic
+	// full-fleet rollbacks. Every completed classification still has to
+	// verify bit-identical against the reference weights of the model
+	// version its session pinned.
+	ModelRollout bool
 	// Logger receives node logs; nil discards them (chaos runs are
 	// noisy by design).
 	Logger *slog.Logger
@@ -103,6 +116,7 @@ func DefaultConfig(seed int64) Config {
 		HealthFlaps:     true,
 		FrameCorruption: true,
 		DeviceChurn:     true,
+		ModelRollout:    true,
 	}
 }
 
@@ -148,6 +162,12 @@ type Harness struct {
 	faultAddrs []string
 	// sampleN bounds the dataset rows traffic draws from.
 	sampleN int
+
+	// artifacts are the pre-generated versioned model artifacts the
+	// rollout actor registers and rolls to; badModel is the wrong-weights
+	// copy its tamper hook plants to force canary failures.
+	artifacts []modelArtifact
+	badModel  *core.Model
 
 	// monMu guards the health monitor handle, which the flapper stops
 	// and restarts mid-run.
@@ -205,14 +225,23 @@ func New(model *core.Model, ds *dataset.Dataset, cfg Config) (*Harness, error) {
 		h.faultAddrs = append(h.faultAddrs, fmt.Sprintf("cloud-%d", i))
 	}
 
-	srv, err := api.NewServer(api.Config{
+	acfg := api.Config{
 		Engine:      &engineAdapter{eng: eng},
 		Devices:     model.Cfg.Devices,
 		Auth:        api.NewAuthenticator(map[string]string{"chaos": chaosToken}),
 		MaxInFlight: cfg.MaxInFlight,
 		MaxBatch:    32,
 		Logger:      cfg.Logger,
-	})
+	}
+	if cfg.ModelRollout {
+		acfg.AdminAuth = api.NewAuthenticator(map[string]string{"chaos-admin": chaosAdminToken})
+		acfg.ModelAdmin = eng
+		if err := h.buildArtifacts(); err != nil {
+			eng.Close()
+			return nil, fmt.Errorf("chaos: building model artifacts: %w", err)
+		}
+	}
+	srv, err := api.NewServer(acfg)
 	if err != nil {
 		eng.Close()
 		return nil, fmt.Errorf("chaos: building front door: %w", err)
@@ -221,6 +250,39 @@ func New(model *core.Model, ds *dataset.Dataset, cfg Config) (*Harness, error) {
 	h.ts = httptest.NewServer(srv.Handler())
 	h.client = &http.Client{Timeout: 15 * time.Second}
 	return h, nil
+}
+
+// modelArtifact is one pre-generated versioned model: the decoded
+// weights (for the verifier's reference) and the serialized modelio v2
+// artifact the rollout actor uploads.
+type modelArtifact struct {
+	version uint64
+	model   *core.Model
+	data    []byte
+}
+
+// buildArtifacts pre-generates the rollout actor's model inventory:
+// seed-variant models of the base architecture under versions 2..6 —
+// within the registry's retention bound — serialized as modelio v2
+// artifacts, plus the never-registered wrong-weights model the tamper
+// hook plants. Each variant is registered with the verifier up front so
+// results stamped with its version verify against the right reference.
+func (h *Harness) buildArtifacts() error {
+	for v := uint64(2); v <= 6; v++ {
+		mcfg := h.model.Cfg
+		mcfg.Seed = h.model.Cfg.Seed + 1000*int64(v) + 17
+		m := core.MustNewModel(mcfg)
+		var buf bytes.Buffer
+		if err := modelio.SaveVersion(&buf, m, v); err != nil {
+			return err
+		}
+		h.artifacts = append(h.artifacts, modelArtifact{version: v, model: m, data: buf.Bytes()})
+		h.verifier.AddModel(v, m)
+	}
+	bcfg := h.model.Cfg
+	bcfg.Seed = h.model.Cfg.Seed + 999983
+	h.badModel = core.MustNewModel(bcfg)
+	return nil
 }
 
 // engineAdapter satisfies api.Classifier over the in-process cluster
@@ -341,6 +403,8 @@ func (h *Harness) Run(ctx context.Context) (*Report, error) {
 	// The churner's seed draw comes after the original five so arming it
 	// never reshuffles pre-existing fixed-seed fault schedules.
 	runActor(h.cfg.DeviceChurn, h.deviceChurner)
+	// Likewise the model roller draws after the churner.
+	runActor(h.cfg.ModelRollout, h.modelRoller)
 
 	var traffic sync.WaitGroup
 	for w := 0; w < h.cfg.Workers; w++ {
@@ -365,14 +429,38 @@ func (h *Harness) Run(ctx context.Context) (*Report, error) {
 
 	h.heal()
 	h.awaitRecovery(15 * time.Second)
+	if h.cfg.ModelRollout {
+		h.awaitModelConvergence(10 * time.Second)
+	}
 	h.sweep(ctx)
 	h.awaitQuiescence(5 * time.Second)
 	return h.report, nil
 }
 
+// awaitModelConvergence waits out any rollout still finishing
+// server-side (the actor's canceled request aborts it, but the rollback
+// runs to completion in the handler goroutine), then asserts every node
+// in the hierarchy converged on the engine's active model version.
+func (h *Harness) awaitModelConvergence(deadline time.Duration) {
+	stop := time.Now().Add(deadline)
+	for time.Now().Before(stop) && h.eng.RolloutState() == cluster.RolloutRolling {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if h.eng.RolloutState() == cluster.RolloutRolling {
+		h.report.violate("a model rollout never finished after the fault window")
+		return
+	}
+	if err := h.eng.VerifyModelConvergence(); err != nil {
+		h.report.violate("fleet diverged on model versions after healing: %v", err)
+	}
+}
+
 // heal clears every standing fault, restores full device membership and
 // makes sure the monitor runs.
 func (h *Harness) heal() {
+	// Disarm any planted canary tamper so late rollouts cannot corrupt
+	// the convergence and sweep phases' expectations.
+	h.eng.SetRolloutTamper(nil)
 	h.ft.Heal()
 	for _, d := range h.eng.Devices() {
 		d.SetFailed(false)
@@ -575,6 +663,7 @@ type httpResult struct {
 	Present       []bool    `json:"present"`
 	ShedLevel     string    `json:"shed_level"`
 	ConfigVersion uint64    `json:"config_version"`
+	ModelVersion  uint64    `json:"model_version"`
 }
 
 type httpBatchResult struct {
@@ -605,6 +694,7 @@ func (h *Harness) verifyHTTPResult(src string, hr httpResult, refID int) Outcome
 		Entropy:       hr.Entropy,
 		Present:       append([]bool(nil), hr.Present...),
 		ConfigVersion: hr.ConfigVersion,
+		ModelVersion:  hr.ModelVersion,
 	}
 	h.verifier.CheckResult(src, res, level, refID)
 	if level == cluster.ShedNone && fullMask(hr.Present) {

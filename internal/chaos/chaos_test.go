@@ -116,6 +116,24 @@ func TestChaosSeededMembershipChurn(t *testing.T) {
 	}
 }
 
+// TestChaosSeededModelRollout pushes the model lifecycle plane
+// specifically: the rollout actor registers versioned artifacts
+// (including corrupt uploads that must bounce), rolls the fleet across
+// versions and plants canary-failing tampers while the full fault mix
+// runs. Every completed classification must verify bit-identical
+// against the weights of the model version its session pinned, and the
+// fleet must converge on one version after healing.
+func TestChaosSeededModelRollout(t *testing.T) {
+	model, test := threeTier(t)
+	rep := runSeed(t, model, test, 8)
+	if rep.FaultCount("model-register") == 0 {
+		t.Fatalf("seed 8 registered no model artifacts; faults: %d kinds", rep.FaultKinds())
+	}
+	if rep.FaultCount("model-rollout")+rep.FaultCount("model-rollback") == 0 {
+		t.Fatalf("seed 8 completed no rollouts or rollbacks; faults: %d kinds", rep.FaultKinds())
+	}
+}
+
 // TestChaosRandomSeed explores a fresh schedule every run; the seed is
 // logged so any failure is replayable bit-for-bit.
 func TestChaosRandomSeed(t *testing.T) {

@@ -2,12 +2,17 @@ package chaos
 
 import (
 	"context"
+	"encoding/json"
+	"io"
 	"math/rand"
 	"net"
+	"net/http"
 	"sync"
 	"time"
 
+	"github.com/ddnn/ddnn-go/internal/core"
 	"github.com/ddnn/ddnn-go/internal/transport"
+	"github.com/ddnn/ddnn-go/internal/wire"
 )
 
 // faultTransport wraps a transport with runtime-switchable link faults,
@@ -318,5 +323,164 @@ func (h *Harness) frameCorrupter(ctx context.Context, rng *rand.Rand) {
 			h.report.countFault("corrupt-frame")
 		}
 		sleepCtx(ctx, jitter(rng, 10*time.Millisecond, 80*time.Millisecond))
+	}
+}
+
+// modelRoller drives the model lifecycle admin plane under live
+// traffic: registering pre-generated versioned artifacts (and
+// deliberately corrupt ones, which must bounce off the integrity
+// checks), rolling the fleet across versions, and occasionally planting
+// a canary-failing tamper that must trigger an automatic full-fleet
+// rollback. Traffic keeps flowing the whole time; the verifier holds
+// every answer to the reference weights of the version it pinned.
+func (h *Harness) modelRoller(ctx context.Context, rng *rand.Rand) {
+	for ctx.Err() == nil {
+		switch rng.Intn(10) {
+		case 0:
+			h.opCorruptRegister(ctx, rng)
+		case 1, 2, 3:
+			h.opRegisterModel(ctx, rng)
+		case 4:
+			h.opRolloutUnknown(ctx, rng)
+		case 5:
+			h.opTamperedRollout(ctx, rng)
+		default:
+			h.opRollout(ctx, rng)
+		}
+		sleepCtx(ctx, jitter(rng, 30*time.Millisecond, 200*time.Millisecond))
+	}
+	// Never leave a planted tamper armed for the heal phase.
+	h.eng.SetRolloutTamper(nil)
+}
+
+// adminDo sends one admin-plane request and checks the status against
+// the expected set. ok is false on a client-side transport error —
+// under chaos that is a failed operation, never a violation.
+func (h *Harness) adminDo(ctx context.Context, method, path, contentType string, body []byte, src string, expected ...int) (int, []byte, bool) {
+	resp, err := h.do(ctx, method, path, contentType, body, chaosAdminToken)
+	if err != nil {
+		return 0, nil, false
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	h.verifier.CheckStatus(src, resp.StatusCode, expected...)
+	return resp.StatusCode, data, true
+}
+
+// opRegisterModel uploads a pre-generated artifact: 201 on first
+// registration, 409 on every re-upload of the same version.
+func (h *Harness) opRegisterModel(ctx context.Context, rng *rand.Rand) {
+	art := h.artifacts[rng.Intn(len(h.artifacts))]
+	_, _, ok := h.adminDo(ctx, http.MethodPost, "/v1/admin/models", "application/octet-stream", art.data,
+		"model register", http.StatusCreated, http.StatusConflict)
+	if ok {
+		h.report.countFault("model-register")
+	}
+}
+
+// opCorruptRegister uploads an artifact with its last byte flipped —
+// a tensor CRC failure — which must answer 400 without touching the
+// registry.
+func (h *Harness) opCorruptRegister(ctx context.Context, rng *rand.Rand) {
+	art := h.artifacts[rng.Intn(len(h.artifacts))]
+	bad := append([]byte(nil), art.data...)
+	bad[len(bad)-1] ^= 0xFF
+	_, _, ok := h.adminDo(ctx, http.MethodPost, "/v1/admin/models", "application/octet-stream", bad,
+		"corrupt model upload", http.StatusBadRequest)
+	if ok {
+		h.report.countFault("model-corrupt-upload")
+	}
+}
+
+// opRolloutUnknown asks for a version nobody registered: 404 (or 409
+// while a canceled earlier rollout is still finishing server-side).
+func (h *Harness) opRolloutUnknown(ctx context.Context, rng *rand.Rand) {
+	body, _ := json.Marshal(map[string]uint64{"version": 100 + uint64(rng.Intn(100))})
+	_, _, ok := h.adminDo(ctx, http.MethodPost, "/v1/admin/rollout", "application/json", body,
+		"unknown rollout", http.StatusNotFound, http.StatusConflict)
+	if ok {
+		h.report.countFault("model-rollout-unknown")
+	}
+}
+
+// inventory fetches the admin plane's registered-version listing.
+func (h *Harness) inventory(ctx context.Context) (versions []uint64, active uint64, ok bool) {
+	code, data, ok := h.adminDo(ctx, http.MethodGet, "/v1/admin/models", "", nil, "admin inventory", http.StatusOK)
+	if !ok || code != http.StatusOK {
+		return nil, 0, false
+	}
+	var inv struct {
+		Versions      []uint64 `json:"versions"`
+		ActiveVersion uint64   `json:"active_version"`
+	}
+	if err := json.Unmarshal(data, &inv); err != nil {
+		h.report.violate("admin inventory: malformed 200 body: %v", err)
+		return nil, 0, false
+	}
+	return inv.Versions, inv.ActiveVersion, true
+}
+
+// opRollout rolls the fleet to a random registered version. 200 covers
+// both a completed rollout and a no-op onto the active version; under
+// concurrent replica restarts and partitions the rollout may also roll
+// back (422) or collide with a still-finishing one (409).
+func (h *Harness) opRollout(ctx context.Context, rng *rand.Rand) {
+	versions, _, ok := h.inventory(ctx)
+	if !ok || len(versions) == 0 {
+		return
+	}
+	v := versions[rng.Intn(len(versions))]
+	body, _ := json.Marshal(map[string]uint64{"version": v})
+	code, _, ok := h.adminDo(ctx, http.MethodPost, "/v1/admin/rollout", "application/json", body,
+		"model rollout", http.StatusOK, http.StatusConflict, http.StatusUnprocessableEntity)
+	if !ok {
+		return
+	}
+	switch code {
+	case http.StatusOK:
+		h.report.countFault("model-rollout")
+	case http.StatusUnprocessableEntity:
+		h.report.countFault("model-rollback")
+	}
+}
+
+// opTamperedRollout plants a wrong-weights copy on one upstream replica
+// and rolls to a non-active version: the canary must catch the tampered
+// replica and roll the whole fleet back (422) — the tampered weights
+// must never answer traffic, which the verifier proves by holding every
+// response to its pinned version's reference.
+func (h *Harness) opTamperedRollout(ctx context.Context, rng *rand.Rand) {
+	versions, active, ok := h.inventory(ctx)
+	if !ok {
+		return
+	}
+	targets := versions[:0:0]
+	for _, v := range versions {
+		if v != active {
+			targets = append(targets, v)
+		}
+	}
+	if len(targets) == 0 {
+		return
+	}
+	tier, replicas := wire.ExitCloud, h.cfg.CloudReplicas
+	if h.model.Cfg.UseEdge && rng.Intn(2) == 0 {
+		tier, replicas = wire.ExitEdge, h.cfg.EdgeReplicas
+	}
+	target := rng.Intn(replicas)
+	h.eng.SetRolloutTamper(func(t wire.ExitPoint, i int) *core.Model {
+		if t == tier && i == target {
+			return h.badModel
+		}
+		return nil
+	})
+	defer h.eng.SetRolloutTamper(nil)
+
+	v := targets[rng.Intn(len(targets))]
+	body, _ := json.Marshal(map[string]uint64{"version": v})
+	code, _, ok := h.adminDo(ctx, http.MethodPost, "/v1/admin/rollout", "application/json", body,
+		"tampered rollout", http.StatusUnprocessableEntity, http.StatusConflict)
+	if ok && code == http.StatusUnprocessableEntity {
+		h.report.countFault("model-rollback")
 	}
 }

@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"errors"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -31,13 +32,15 @@ type Verifier struct {
 	devices int
 	report  *Report
 
-	mu    sync.Mutex
-	cache map[string]*core.EvalResult
+	mu     sync.Mutex
+	cache  map[string]*core.EvalResult
+	models map[uint64]*core.Model
 }
 
 // maskCacheLimit bounds the reference cache; the fault actors keep only
-// a couple of devices dead at once, so the observed mask set is tiny,
-// and a runaway would recompute rather than grow without bound.
+// a couple of devices dead at once and the rollout actor only a handful
+// of versions, so the observed (mask, version) set is tiny, and a
+// runaway would recompute rather than grow without bound.
 const maskCacheLimit = 256
 
 func newVerifier(model *core.Model, ds *dataset.Dataset, report *Report) *Verifier {
@@ -47,23 +50,39 @@ func newVerifier(model *core.Model, ds *dataset.Dataset, report *Report) *Verifi
 		devices: model.Cfg.Devices,
 		report:  report,
 		cache:   make(map[string]*core.EvalResult),
+		models:  map[uint64]*core.Model{1: model},
 	}
 }
 
+// AddModel registers the weights behind a model version, so results
+// stamped with that version verify against the right reference. The
+// base model is pre-registered as version 1.
+func (v *Verifier) AddModel(version uint64, m *core.Model) {
+	v.mu.Lock()
+	v.models[version] = m
+	v.mu.Unlock()
+}
+
 // reference returns the staged evaluation of the whole dataset under
-// the device-presence mask, cached per mask.
-func (v *Verifier) reference(present []bool) *core.EvalResult {
-	key := maskKey(present)
+// the device-presence mask by the given model version, cached per
+// (mask, version). A nil return means the version is unknown to the
+// verifier — itself a violation the caller reports.
+func (v *Verifier) reference(present []bool, version uint64) *core.EvalResult {
+	key := maskKey(present) + ":" + strconv.FormatUint(version, 10)
 	v.mu.Lock()
 	if er, ok := v.cache[key]; ok {
 		v.mu.Unlock()
 		return er
 	}
+	m := v.models[version]
 	v.mu.Unlock()
+	if m == nil {
+		return nil
+	}
 	// Evaluate outside the lock — it is the expensive part — and let a
 	// concurrent duplicate win the race benignly.
 	mask := append([]bool(nil), present...)
-	er := v.model.Evaluate(v.ds, mask, 32)
+	er := m.Evaluate(v.ds, mask, 32)
 	v.mu.Lock()
 	if len(v.cache) < maskCacheLimit {
 		v.cache[key] = er
@@ -112,6 +131,12 @@ func (v *Verifier) CheckResult(src string, res *cluster.Result, level cluster.Sh
 	if res.ConfigVersion == 0 {
 		v.report.violate("%s sample %d: missing topology config version", src, refID)
 	}
+	// Likewise every session pins the model version it ran under; a zero
+	// means a hop dropped the stamp.
+	if res.ModelVersion == 0 {
+		v.report.violate("%s sample %d: missing model version", src, refID)
+		return
+	}
 	if len(res.Probs) != dataset.NumClasses {
 		v.report.violate("%s sample %d: %d probabilities, want %d", src, refID, len(res.Probs), dataset.NumClasses)
 		return
@@ -123,7 +148,11 @@ func (v *Verifier) CheckResult(src string, res *cluster.Result, level cluster.Sh
 		v.report.violate("%s sample %d: normalized entropy %v outside [0,1]", src, refID, res.Entropy)
 	}
 	v.checkShedExit(src, res, level, refID)
-	er := v.reference(res.Present)
+	er := v.reference(res.Present, res.ModelVersion)
+	if er == nil {
+		v.report.violate("%s sample %d: answered under unknown model version %d", src, refID, res.ModelVersion)
+		return
+	}
 	var want []float32
 	switch res.Exit {
 	case wire.ExitLocal:
@@ -142,8 +171,8 @@ func (v *Verifier) CheckResult(src string, res *cluster.Result, level cluster.Sh
 	}
 	for i := range want {
 		if res.Probs[i] != want[i] {
-			v.report.violate("%s sample %d: %v-exit probs diverge from the staged reference under mask %s: got %v, want %v",
-				src, refID, res.Exit, maskKey(res.Present), res.Probs, want)
+			v.report.violate("%s sample %d: %v-exit probs diverge from the staged reference under mask %s version %d: got %v, want %v",
+				src, refID, res.Exit, maskKey(res.Present), res.ModelVersion, res.Probs, want)
 			return
 		}
 	}
@@ -179,6 +208,7 @@ var allowedErrors = []error{
 	cluster.ErrEdgeUnavailable,
 	cluster.ErrNoHealthyReplica,
 	cluster.ErrNoSummaries,
+	cluster.ErrModelVersionUnknown,
 }
 
 // CheckError verifies a failed engine call surfaced a typed sentinel.
@@ -194,9 +224,9 @@ func (v *Verifier) CheckError(src string, err error) {
 // allowedStatuses is every HTTP status the front door documents. 500
 // means a panic or an unmapped engine error escaped — always a bug.
 var allowedStatuses = map[int]bool{
-	200: true, 400: true, 401: true, 404: true, 405: true,
-	413: true, 429: true, 499: true, 501: true, 502: true,
-	503: true, 504: true,
+	200: true, 201: true, 400: true, 401: true, 404: true,
+	405: true, 409: true, 413: true, 422: true, 429: true,
+	499: true, 501: true, 502: true, 503: true, 504: true,
 }
 
 // CheckStatus verifies an HTTP status. With expected codes given the

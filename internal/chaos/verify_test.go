@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/ddnn/ddnn-go/internal/cluster"
+	"github.com/ddnn/ddnn-go/internal/core"
 	"github.com/ddnn/ddnn-go/internal/wire"
 )
 
@@ -23,7 +24,7 @@ func newTestVerifier(t *testing.T) (*Verifier, *Report) {
 // goodResult builds a classification that matches the staged reference
 // for sample id at the local exit under the full mask.
 func goodResult(v *Verifier, id int) *cluster.Result {
-	er := v.reference(fullPresence(v.devices))
+	er := v.reference(fullPresence(v.devices), 1)
 	probs := append([]float32(nil), er.LocalProbs[id]...)
 	return &cluster.Result{
 		SampleID:      uint64(id),
@@ -33,6 +34,7 @@ func goodResult(v *Verifier, id int) *cluster.Result {
 		Entropy:       0.5,
 		Present:       fullPresence(v.devices),
 		ConfigVersion: 1,
+		ModelVersion:  1,
 	}
 }
 
@@ -83,6 +85,62 @@ func TestVerifierCatchesMissingConfigVersion(t *testing.T) {
 	}
 }
 
+// TestVerifierCatchesMissingModelVersion: a completed classification
+// without a model version stamp means a hop dropped the session's
+// pinned version.
+func TestVerifierCatchesMissingModelVersion(t *testing.T) {
+	v, rep := newTestVerifier(t)
+	res := goodResult(v, 1)
+	res.ModelVersion = 0
+	v.CheckResult("test", res, cluster.ShedNone, 1)
+	if !hasViolation(rep, "missing model version") {
+		t.Fatalf("zero model version not flagged; violations: %v", rep.Violations())
+	}
+}
+
+// TestVerifierCatchesVersionConfusion: an answer stamped with a version
+// the verifier never saw is flagged, and genuine answers from a second
+// registered version verify against that version's weights — not the
+// base model's.
+func TestVerifierCatchesVersionConfusion(t *testing.T) {
+	v, rep := newTestVerifier(t)
+	res := goodResult(v, 0)
+	res.ModelVersion = 42
+	v.CheckResult("test", res, cluster.ShedNone, 0)
+	if !hasViolation(rep, "unknown model version") {
+		t.Fatalf("unknown model version not flagged; violations: %v", rep.Violations())
+	}
+
+	vcfg := v.model.Cfg
+	vcfg.Seed = vcfg.Seed + 7777
+	variant := core.MustNewModel(vcfg)
+	v.AddModel(2, variant)
+	er2 := v.reference(fullPresence(v.devices), 2)
+	good := &cluster.Result{
+		SampleID:      0,
+		Class:         argmax(er2.LocalProbs[0]),
+		Exit:          wire.ExitLocal,
+		Probs:         append([]float32(nil), er2.LocalProbs[0]...),
+		Entropy:       0.5,
+		Present:       fullPresence(v.devices),
+		ConfigVersion: 1,
+		ModelVersion:  2,
+	}
+	before := len(rep.Violations())
+	v.CheckResult("test", good, cluster.ShedNone, 0)
+	if got := rep.Violations(); len(got) != before {
+		t.Fatalf("version-2 result against version-2 reference flagged: %v", got[before:])
+	}
+	// The same numbers claimed under version 1 must diverge.
+	bad := *good
+	bad.ModelVersion = 1
+	bad.Probs = append([]float32(nil), good.Probs...)
+	v.CheckResult("test", &bad, cluster.ShedNone, 0)
+	if !hasViolation(rep, "diverge") {
+		t.Fatalf("version-2 probs under a version-1 claim not flagged; violations: %v", rep.Violations())
+	}
+}
+
 // TestVerifierCatchesWrongArgmax: a class that is not the argmax of
 // its own probabilities is flagged even when the probs are genuine.
 func TestVerifierCatchesWrongArgmax(t *testing.T) {
@@ -104,7 +162,7 @@ func TestVerifierCatchesShedViolation(t *testing.T) {
 	if len(rep.Violations()) != 0 {
 		t.Fatalf("local exit under local-only flagged: %v", rep.Violations())
 	}
-	er := v.reference(fullPresence(v.devices))
+	er := v.reference(fullPresence(v.devices), 1)
 	res = goodResult(v, 3)
 	res.Exit = wire.ExitCloud
 	res.Probs = append([]float32(nil), er.CloudProbs[3]...)
@@ -121,8 +179,8 @@ func TestVerifierCatchesMaskConfusion(t *testing.T) {
 	v, rep := newTestVerifier(t)
 	mask := fullPresence(v.devices)
 	mask[1] = false
-	masked := v.reference(mask)
-	full := v.reference(fullPresence(v.devices))
+	masked := v.reference(mask, 1)
+	full := v.reference(fullPresence(v.devices), 1)
 	// Find a sample whose masked and unmasked local aggregates genuinely
 	// differ, so the two claims below are distinguishable.
 	id := -1
@@ -143,6 +201,7 @@ func TestVerifierCatchesMaskConfusion(t *testing.T) {
 		Entropy:       0.5,
 		Present:       mask,
 		ConfigVersion: 1,
+		ModelVersion:  1,
 	}
 	v.CheckResult("test", res, cluster.ShedNone, id)
 	if len(rep.Violations()) != 0 {
@@ -157,6 +216,7 @@ func TestVerifierCatchesMaskConfusion(t *testing.T) {
 		Entropy:       0.5,
 		Present:       fullPresence(v.devices),
 		ConfigVersion: 1,
+		ModelVersion:  1,
 	}
 	v.CheckResult("test", res2, cluster.ShedNone, id)
 	if !hasViolation(rep, "diverge") {

@@ -30,6 +30,7 @@ import (
 // model.
 type Cloud struct {
 	model  *core.Model
+	reg    *modelRegistry
 	logger *slog.Logger
 
 	failed atomic.Bool
@@ -57,6 +58,7 @@ func NewCloud(model *core.Model, logger *slog.Logger) *Cloud {
 	}
 	return &Cloud{
 		model:  model,
+		reg:    newModelRegistry(model, 1),
 		logger: logger.With("node", "cloud"),
 		pool:   tensor.NewPool(),
 		conns:  make(map[net.Conn]struct{}),
@@ -129,13 +131,18 @@ func (c *Cloud) handle(conn net.Conn) {
 		_, err := wire.Encode(conn, m)
 		return err
 	}
+	// Sessions pin the model their version pin resolved to, so every
+	// frame computes on the same weights even if the replica's active
+	// version flips mid-session.
 	type openSession struct {
 		session uint64
+		model   *core.Model
 		up      *uploadSession
 	}
 	sessions := make(map[uint64]*openSession)
 	type openBatch struct {
 		session uint64
+		model   *core.Model
 		up      *batchUploadSession
 	}
 	batches := make(map[uint64]*openBatch)
@@ -166,7 +173,12 @@ func (c *Cloud) handle(conn net.Conn) {
 				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: "edge-tier model: the cloud accepts EdgeFeature escalations only"})
 				continue
 			}
-			sess, err := newUploadSession(c.model.Cfg, m.SampleID, m.Devices, m.Mask, m.PresentCount(), c.pool)
+			model, _, err := c.reg.resolve(m.ModelVersion)
+			if err != nil {
+				_ = send(&wire.Error{Session: m.Session, Code: 426, Msg: err.Error()})
+				continue
+			}
+			sess, err := newUploadSession(model.Cfg, m.SampleID, m.Devices, m.Mask, m.PresentCount(), c.pool)
 			if err != nil {
 				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: err.Error()})
 				continue
@@ -175,14 +187,14 @@ func (c *Cloud) handle(conn net.Conn) {
 				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: "empty device mask"})
 				continue
 			}
-			sessions[m.Session] = &openSession{session: m.Session, up: sess}
+			sessions[m.Session] = &openSession{session: m.Session, model: model, up: sess}
 		case *wire.FeatureUpload:
 			sess, ok := sessions[m.Session]
 			if !ok {
 				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: fmt.Sprintf("upload for unknown session %d", m.Session)})
 				continue
 			}
-			if err := sess.up.add(c.model, m); err != nil {
+			if err := sess.up.add(sess.model, m); err != nil {
 				delete(sessions, m.Session)
 				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: err.Error()})
 				continue
@@ -194,7 +206,7 @@ func (c *Cloud) handle(conn net.Conn) {
 				go func(sess *openSession) {
 					defer inflight.Done()
 					defer c.active.Add(-1)
-					c.classify(send, sess.session, sess.up)
+					c.classify(send, sess.session, sess.model, sess.up)
 				}(sess)
 			}
 		case *wire.CloudClassifyBatch:
@@ -202,19 +214,24 @@ func (c *Cloud) handle(conn net.Conn) {
 				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: "edge-tier model: the cloud accepts EdgeFeature escalations only"})
 				continue
 			}
-			up, err := newBatchUploadSession(c.model.Cfg, m.SampleIDs, m.Devices, m.Masks, c.pool)
+			model, _, err := c.reg.resolve(m.ModelVersion)
+			if err != nil {
+				_ = send(&wire.Error{Session: m.Session, Code: 426, Msg: err.Error()})
+				continue
+			}
+			up, err := newBatchUploadSession(model.Cfg, m.SampleIDs, m.Devices, m.Masks, c.pool)
 			if err != nil {
 				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: err.Error()})
 				continue
 			}
-			batches[m.Session] = &openBatch{session: m.Session, up: up}
+			batches[m.Session] = &openBatch{session: m.Session, model: model, up: up}
 		case *wire.FeatureBatch:
 			sess, ok := batches[m.Session]
 			if !ok {
 				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: fmt.Sprintf("feature batch for unknown session %d", m.Session)})
 				continue
 			}
-			if err := sess.up.add(c.model, m); err != nil {
+			if err := sess.up.add(sess.model, m); err != nil {
 				delete(batches, m.Session)
 				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: err.Error()})
 				continue
@@ -226,7 +243,7 @@ func (c *Cloud) handle(conn net.Conn) {
 				go func(sess *openBatch) {
 					defer inflight.Done()
 					defer c.active.Add(-1)
-					c.classifyBatch(send, sess.session, sess.up)
+					c.classifyBatch(send, sess.session, sess.model, sess.up)
 				}(sess)
 			}
 		case *wire.EdgeFeatureBatch:
@@ -234,7 +251,12 @@ func (c *Cloud) handle(conn net.Conn) {
 				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: "model has no edge tier; send CloudClassifyBatch + FeatureBatches"})
 				continue
 			}
-			feat, err := c.unpackEdgeFeatureBatch(m)
+			model, _, err := c.reg.resolve(m.ModelVersion)
+			if err != nil {
+				_ = send(&wire.Error{Session: m.Session, Code: 426, Msg: err.Error()})
+				continue
+			}
+			feat, err := c.unpackEdgeFeatureBatch(model, m)
 			if err != nil {
 				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: err.Error()})
 				continue
@@ -244,14 +266,19 @@ func (c *Cloud) handle(conn net.Conn) {
 			go func(m *wire.EdgeFeatureBatch, feat *tensor.Tensor) {
 				defer inflight.Done()
 				defer c.active.Add(-1)
-				c.classifyFromEdgeBatch(send, m, feat)
+				c.classifyFromEdgeBatch(send, model, m, feat)
 			}(m, feat)
 		case *wire.EdgeFeature:
 			if !c.model.Cfg.UseEdge {
 				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: "model has no edge tier; send CloudClassify + FeatureUploads"})
 				continue
 			}
-			feat, err := c.unpackEdgeFeature(m)
+			model, _, err := c.reg.resolve(m.ModelVersion)
+			if err != nil {
+				_ = send(&wire.Error{Session: m.Session, Code: 426, Msg: err.Error()})
+				continue
+			}
+			feat, err := c.unpackEdgeFeature(model, m)
 			if err != nil {
 				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: err.Error()})
 				continue
@@ -261,7 +288,7 @@ func (c *Cloud) handle(conn net.Conn) {
 			go func(m *wire.EdgeFeature, feat *tensor.Tensor) {
 				defer inflight.Done()
 				defer c.active.Add(-1)
-				c.classifyFromEdge(send, m, feat)
+				c.classifyFromEdge(send, model, m, feat)
 			}(m, feat)
 		default:
 			_ = send(&wire.Error{Session: sessionOf(msg), Code: 400, Msg: fmt.Sprintf("expected CloudClassify(Batch), FeatureUpload/FeatureBatch or EdgeFeature(Batch), got %v", msg.MsgType())})
@@ -271,14 +298,14 @@ func (c *Cloud) handle(conn net.Conn) {
 
 // unpackEdgeFeature validates an escalated edge feature map against the
 // model's edge section output shape.
-func (c *Cloud) unpackEdgeFeature(m *wire.EdgeFeature) (*tensor.Tensor, error) {
-	cfg := c.model.Cfg
+func (c *Cloud) unpackEdgeFeature(model *core.Model, m *wire.EdgeFeature) (*tensor.Tensor, error) {
+	cfg := model.Cfg
 	eh, ew := cfg.FeatureH()/2, cfg.FeatureW()/2
 	if int(m.F) != cfg.EdgeFilters || int(m.H) != eh || int(m.W) != ew {
 		return nil, fmt.Errorf("edge feature shape %d×%d×%d, model expects %d×%d×%d", m.F, m.H, m.W, cfg.EdgeFilters, eh, ew)
 	}
 	feat := c.pool.GetDirty(1, int(m.F), int(m.H), int(m.W))
-	if err := c.model.UnpackFeatureInto(feat, 0, m.Bits); err != nil {
+	if err := model.UnpackFeatureInto(feat, 0, m.Bits); err != nil {
 		c.pool.Put(feat)
 		return nil, err
 	}
@@ -287,8 +314,8 @@ func (c *Cloud) unpackEdgeFeature(m *wire.EdgeFeature) (*tensor.Tensor, error) {
 
 // classify runs the cloud section for one complete two-tier session. The
 // model is frozen (read-only) so sessions run genuinely in parallel.
-func (c *Cloud) classify(send func(wire.Message) error, session uint64, sess *uploadSession) {
-	logits := c.model.CloudForwardPooled(sess.feats, sess.mask, c.pool)
+func (c *Cloud) classify(send func(wire.Message) error, session uint64, model *core.Model, sess *uploadSession) {
+	logits := model.CloudForwardPooled(sess.feats, sess.mask, c.pool)
 	sess.release(c.pool)
 	c.reply(send, session, sess.sampleID, logits)
 	c.pool.Put(logits)
@@ -296,8 +323,8 @@ func (c *Cloud) classify(send func(wire.Message) error, session uint64, sess *up
 
 // classifyFromEdge runs the cloud section on a pre-aggregated edge
 // feature map (three-tier hierarchies).
-func (c *Cloud) classifyFromEdge(send func(wire.Message) error, m *wire.EdgeFeature, feat *tensor.Tensor) {
-	logits := c.model.CloudForwardFromEdgePooled(feat, c.pool)
+func (c *Cloud) classifyFromEdge(send func(wire.Message) error, model *core.Model, m *wire.EdgeFeature, feat *tensor.Tensor) {
+	logits := model.CloudForwardFromEdgePooled(feat, c.pool)
 	c.pool.Put(feat)
 	c.reply(send, m.Session, m.SampleID, logits)
 	c.pool.Put(logits)
@@ -307,11 +334,11 @@ func (c *Cloud) classifyFromEdge(send func(wire.Message) error, m *wire.EdgeFeat
 // session: samples sharing a device mask classify in one masked forward
 // pass, and the whole batch answers with a single ResultBatch whose
 // verdicts follow the header's sample order.
-func (c *Cloud) classifyBatch(send func(wire.Message) error, session uint64, up *batchUploadSession) {
+func (c *Cloud) classifyBatch(send func(wire.Message) error, session uint64, model *core.Model, up *batchUploadSession) {
 	verdicts := make([]wire.BatchVerdict, len(up.ids))
-	for _, grp := range groupByMask(up.masks, c.model.Cfg.Devices) {
+	for _, grp := range groupByMask(up.masks, model.Cfg.Devices) {
 		feats := selectGroup(up.feats, grp.indices, len(up.ids), c.pool)
-		logits := c.model.CloudForwardPooled(feats, grp.present, c.pool)
+		logits := model.CloudForwardPooled(feats, grp.present, c.pool)
 		releaseGroup(up.feats, feats, c.pool)
 		probs := nn.Softmax(logits)
 		c.pool.Put(logits)
@@ -328,8 +355,8 @@ func (c *Cloud) classifyBatch(send func(wire.Message) error, session uint64, up 
 // unpackEdgeFeatureBatch validates an escalated batch of edge feature
 // maps against the model's edge section output shape and assembles the
 // [N, F, H, W] batch tensor.
-func (c *Cloud) unpackEdgeFeatureBatch(m *wire.EdgeFeatureBatch) (*tensor.Tensor, error) {
-	cfg := c.model.Cfg
+func (c *Cloud) unpackEdgeFeatureBatch(model *core.Model, m *wire.EdgeFeatureBatch) (*tensor.Tensor, error) {
+	cfg := model.Cfg
 	eh, ew := cfg.FeatureH()/2, cfg.FeatureW()/2
 	if int(m.F) != cfg.EdgeFilters || int(m.H) != eh || int(m.W) != ew {
 		return nil, fmt.Errorf("edge feature shape %d×%d×%d, model expects %d×%d×%d", m.F, m.H, m.W, cfg.EdgeFilters, eh, ew)
@@ -339,7 +366,7 @@ func (c *Cloud) unpackEdgeFeatureBatch(m *wire.EdgeFeatureBatch) (*tensor.Tensor
 	}
 	feat := c.pool.GetDirty(len(m.SampleIDs), int(m.F), int(m.H), int(m.W))
 	for i := range m.SampleIDs {
-		if err := c.model.UnpackFeatureInto(feat, i, m.Sample(i)); err != nil {
+		if err := model.UnpackFeatureInto(feat, i, m.Sample(i)); err != nil {
 			c.pool.Put(feat)
 			return nil, err
 		}
@@ -350,8 +377,8 @@ func (c *Cloud) unpackEdgeFeatureBatch(m *wire.EdgeFeatureBatch) (*tensor.Tensor
 // classifyFromEdgeBatch runs the cloud section once over a batch of
 // pre-aggregated edge feature maps — the samples that missed the edge
 // exit — and answers with one ResultBatch in SampleIDs order.
-func (c *Cloud) classifyFromEdgeBatch(send func(wire.Message) error, m *wire.EdgeFeatureBatch, feat *tensor.Tensor) {
-	logits := c.model.CloudForwardFromEdgePooled(feat, c.pool)
+func (c *Cloud) classifyFromEdgeBatch(send func(wire.Message) error, model *core.Model, m *wire.EdgeFeatureBatch, feat *tensor.Tensor) {
+	logits := model.CloudForwardFromEdgePooled(feat, c.pool)
 	c.pool.Put(feat)
 	probs := nn.Softmax(logits)
 	c.pool.Put(logits)

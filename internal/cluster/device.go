@@ -51,6 +51,7 @@ const maxRetainedFeatures = 256
 // are served concurrently; the model section is shared read-only.
 type Device struct {
 	model  *core.Model
+	reg    *modelRegistry
 	index  int
 	feed   Feed
 	logger *slog.Logger
@@ -84,6 +85,7 @@ func NewDevice(model *core.Model, index int, feed Feed, logger *slog.Logger) *De
 	}
 	return &Device{
 		model:    model,
+		reg:      newModelRegistry(model, 1),
 		index:    index,
 		feed:     feed,
 		logger:   logger.With("node", fmt.Sprintf("device-%d", index)),
@@ -226,11 +228,15 @@ func (d *Device) handle(conn net.Conn) {
 // retained under the session ID so a later FeatureRequest can upload it
 // without recomputing.
 func (d *Device) onCapture(send func(wire.Message) error, m *wire.CaptureRequest) error {
+	model, _, err := d.reg.resolve(m.ModelVersion)
+	if err != nil {
+		return send(&wire.Error{Session: m.Session, Code: 426, Msg: err.Error()})
+	}
 	x, err := d.feed(m.SampleID)
 	if err != nil {
 		return send(&wire.Error{Session: m.Session, Code: 404, Msg: err.Error()})
 	}
-	feat, exitVec := d.model.DeviceForwardPooled(d.index, x, d.pool)
+	feat, exitVec := model.DeviceForwardPooled(d.index, x, d.pool)
 	d.retainFeature(m.Session, feat, nil)
 
 	probs := make([]float32, exitVec.Dim(1))
@@ -290,8 +296,15 @@ func (d *Device) takeFeature(session uint64) (*retainedFeature, bool) {
 }
 
 func (d *Device) onFeatureRequest(send func(wire.Message) error, m *wire.FeatureRequest) error {
+	model, _, rerr := d.reg.resolve(m.ModelVersion)
+	if rerr != nil {
+		return send(&wire.Error{Session: m.Session, Code: 426, Msg: rerr.Error()})
+	}
 	var feat *tensor.Tensor
 	if rf, ok := d.takeFeature(m.Session); ok && rf.rows == nil {
+		// The retained map was computed under the same session — and the
+		// gateway stamps one concrete version per session — so it is
+		// already the right version's feature map.
 		feat = rf.feat
 	} else {
 		if ok {
@@ -307,10 +320,10 @@ func (d *Device) onFeatureRequest(send func(wire.Message) error, m *wire.Feature
 			return send(&wire.Error{Session: m.Session, Code: 404, Msg: err.Error()})
 		}
 		var exitVec *tensor.Tensor
-		feat, exitVec = d.model.DeviceForwardPooled(d.index, x, d.pool)
+		feat, exitVec = model.DeviceForwardPooled(d.index, x, d.pool)
 		d.pool.Put(exitVec)
 	}
-	bits := d.model.PackFeature(feat)
+	bits := model.PackFeature(feat)
 	f, h, w := feat.Dim(1), feat.Dim(2), feat.Dim(3)
 	d.pool.Put(feat)
 	return send(&wire.FeatureUpload{
@@ -330,6 +343,10 @@ func (d *Device) onFeatureRequest(send func(wire.Message) error, m *wire.Feature
 // the reply's presence bitmask; the rest get one summary row each, and
 // their feature rows are retained for a possible FeatureBatchRequest.
 func (d *Device) onCaptureBatch(send func(wire.Message) error, m *wire.CaptureBatch) error {
+	model, _, err := d.reg.resolve(m.ModelVersion)
+	if err != nil {
+		return send(&wire.Error{Session: m.Session, Code: 426, Msg: err.Error()})
+	}
 	n := len(m.SampleIDs)
 	present := make([]bool, n)
 	frames := make([]*tensor.Tensor, 0, n)
@@ -345,17 +362,17 @@ func (d *Device) onCaptureBatch(send func(wire.Message) error, m *wire.CaptureBa
 			frames = append(frames, x)
 		}
 	}
-	classes := uint16(d.model.Cfg.Classes)
+	classes := uint16(model.Cfg.Classes)
 	if len(frames) == 0 {
 		return send(&wire.SummaryBatch{
 			Session: m.Session, Device: uint16(d.index), Classes: classes,
 			Count: uint16(n), Present: wire.PackPresent(present),
 		})
 	}
-	cfg := d.model.Cfg
+	cfg := model.Cfg
 	stacked := d.pool.GetDirty(len(frames), cfg.InputC, cfg.InputH, cfg.InputW)
 	tensor.StackInto(stacked, frames)
-	feat, exitVec := d.model.DeviceForwardPooled(d.index, stacked, d.pool)
+	feat, exitVec := model.DeviceForwardPooled(d.index, stacked, d.pool)
 	d.pool.Put(stacked)
 	d.retainFeature(m.Session, feat, rows)
 
@@ -379,6 +396,10 @@ func (d *Device) onCaptureBatch(send func(wire.Message) error, m *wire.CaptureBa
 // from the feed; a sample the feed cannot produce fails the whole fetch,
 // and the gateway degrades by dropping this device from the batch.
 func (d *Device) onFeatureBatchRequest(send func(wire.Message) error, m *wire.FeatureBatchRequest) error {
+	model, _, rerr := d.reg.resolve(m.ModelVersion)
+	if rerr != nil {
+		return send(&wire.Error{Session: m.Session, Code: 426, Msg: rerr.Error()})
+	}
 	rf, _ := d.takeFeature(m.Session)
 	if rf != nil && rf.rows == nil {
 		d.pool.Put(rf.feat)
@@ -387,13 +408,13 @@ func (d *Device) onFeatureBatchRequest(send func(wire.Message) error, m *wire.Fe
 	if rf != nil {
 		defer d.pool.Put(rf.feat)
 	}
-	cfg := d.model.Cfg
+	cfg := model.Cfg
 	f, h, w := cfg.DeviceFilters, cfg.FeatureH(), cfg.FeatureW()
 	bits := make([]byte, 0, len(m.SampleIDs)*((f*h*w+7)/8))
 	for _, id := range m.SampleIDs {
 		if rf != nil {
 			if row, ok := rf.rows[id]; ok {
-				bits = append(bits, d.model.PackFeatureSample(rf.feat, row)...)
+				bits = append(bits, model.PackFeatureSample(rf.feat, row)...)
 				continue
 			}
 		}
@@ -401,8 +422,8 @@ func (d *Device) onFeatureBatchRequest(send func(wire.Message) error, m *wire.Fe
 		if err != nil {
 			return send(&wire.Error{Session: m.Session, Code: 404, Msg: err.Error()})
 		}
-		feat, exitVec := d.model.DeviceForwardPooled(d.index, x, d.pool)
-		bits = append(bits, d.model.PackFeature(feat)...)
+		feat, exitVec := model.DeviceForwardPooled(d.index, x, d.pool)
+		bits = append(bits, model.PackFeature(feat)...)
 		d.pool.Put(feat)
 		d.pool.Put(exitVec)
 	}

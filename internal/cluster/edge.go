@@ -58,6 +58,7 @@ func DefaultEdgeConfig() EdgeConfig {
 // goroutines.
 type Edge struct {
 	model  *core.Model
+	reg    *modelRegistry
 	cfg    EdgeConfig
 	logger *slog.Logger
 
@@ -105,6 +106,7 @@ func NewEdge(model *core.Model, cfg EdgeConfig, logger *slog.Logger) (*Edge, err
 	}
 	return &Edge{
 		model:  model,
+		reg:    newModelRegistry(model, 1),
 		cfg:    cfg,
 		logger: logger.With("node", "edge"),
 		pool:   tensor.NewPool(),
@@ -184,17 +186,22 @@ func (e *Edge) acceptLoop() {
 }
 
 // edgeSession pairs the escalation header with the accumulating device
-// uploads.
+// uploads and the model the session's version pin resolved to — every
+// frame of the session computes on those weights even if the node's
+// active version flips mid-session.
 type edgeSession struct {
-	hdr *wire.EdgeClassify
-	up  *uploadSession
+	hdr   *wire.EdgeClassify
+	model *core.Model
+	up    *uploadSession
 }
 
 // edgeBatchSession pairs a batched escalation header with the
-// accumulating per-device FeatureBatch frames.
+// accumulating per-device FeatureBatch frames and the session's pinned
+// model.
 type edgeBatchSession struct {
-	hdr *wire.EdgeClassifyBatch
-	up  *batchUploadSession
+	hdr   *wire.EdgeClassifyBatch
+	model *core.Model
+	up    *batchUploadSession
 }
 
 func (e *Edge) handle(conn net.Conn) {
@@ -229,7 +236,12 @@ func (e *Edge) handle(conn net.Conn) {
 				return
 			}
 		case *wire.EdgeClassify:
-			up, err := newUploadSession(e.model.Cfg, m.SampleID, m.Devices, m.Mask, m.PresentCount(), e.pool)
+			model, _, err := e.reg.resolve(m.ModelVersion)
+			if err != nil {
+				_ = send(&wire.Error{Session: m.Session, Code: 426, Msg: err.Error()})
+				continue
+			}
+			up, err := newUploadSession(model.Cfg, m.SampleID, m.Devices, m.Mask, m.PresentCount(), e.pool)
 			if err != nil {
 				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: err.Error()})
 				continue
@@ -238,14 +250,14 @@ func (e *Edge) handle(conn net.Conn) {
 				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: "empty device mask"})
 				continue
 			}
-			sessions[m.Session] = &edgeSession{hdr: m, up: up}
+			sessions[m.Session] = &edgeSession{hdr: m, model: model, up: up}
 		case *wire.FeatureUpload:
 			sess, ok := sessions[m.Session]
 			if !ok {
 				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: fmt.Sprintf("upload for unknown session %d", m.Session)})
 				continue
 			}
-			if err := sess.up.add(e.model, m); err != nil {
+			if err := sess.up.add(sess.model, m); err != nil {
 				delete(sessions, m.Session)
 				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: err.Error()})
 				continue
@@ -261,19 +273,24 @@ func (e *Edge) handle(conn net.Conn) {
 				}(sess)
 			}
 		case *wire.EdgeClassifyBatch:
-			up, err := newBatchUploadSession(e.model.Cfg, m.SampleIDs, m.Devices, m.Masks, e.pool)
+			model, _, err := e.reg.resolve(m.ModelVersion)
+			if err != nil {
+				_ = send(&wire.Error{Session: m.Session, Code: 426, Msg: err.Error()})
+				continue
+			}
+			up, err := newBatchUploadSession(model.Cfg, m.SampleIDs, m.Devices, m.Masks, e.pool)
 			if err != nil {
 				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: err.Error()})
 				continue
 			}
-			batches[m.Session] = &edgeBatchSession{hdr: m, up: up}
+			batches[m.Session] = &edgeBatchSession{hdr: m, model: model, up: up}
 		case *wire.FeatureBatch:
 			sess, ok := batches[m.Session]
 			if !ok {
 				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: fmt.Sprintf("feature batch for unknown session %d", m.Session)})
 				continue
 			}
-			if err := sess.up.add(e.model, m); err != nil {
+			if err := sess.up.add(sess.model, m); err != nil {
 				delete(batches, m.Session)
 				_ = send(&wire.Error{Session: m.Session, Code: 400, Msg: err.Error()})
 				continue
@@ -298,7 +315,7 @@ func (e *Edge) handle(conn net.Conn) {
 // device feature maps, run the edge section, exit here when confident,
 // and otherwise escalate the edge feature map to the cloud.
 func (e *Edge) classify(send func(wire.Message) error, sess *edgeSession) {
-	edgeFeat, edgeLogits := e.model.EdgeForwardPooled(sess.up.feats, sess.up.mask, e.pool)
+	edgeFeat, edgeLogits := sess.model.EdgeForwardPooled(sess.up.feats, sess.up.mask, e.pool)
 	sess.up.release(e.pool)
 	defer e.pool.Put(edgeFeat)
 	probs := nn.Softmax(edgeLogits)
@@ -352,7 +369,7 @@ func (e *Edge) classify(send func(wire.Message) error, sess *edgeSession) {
 func (e *Edge) classifyBatch(send func(wire.Message) error, sess *edgeBatchSession) {
 	up := sess.up
 	n := len(up.ids)
-	cfg := e.model.Cfg
+	cfg := sess.model.Cfg
 	eh, ew := cfg.FeatureH()/2, cfg.FeatureW()/2
 	edgeFeats := e.pool.GetDirty(n, cfg.EdgeFilters, eh, ew)
 	defer e.pool.Put(edgeFeats)
@@ -360,7 +377,7 @@ func (e *Edge) classifyBatch(send func(wire.Message) error, sess *edgeBatchSessi
 	var hard []int
 	for _, grp := range groupByMask(up.masks, cfg.Devices) {
 		feats := selectGroup(up.feats, grp.indices, n, e.pool)
-		edgeFeat, edgeLogits := e.model.EdgeForwardPooled(feats, grp.present, e.pool)
+		edgeFeat, edgeLogits := sess.model.EdgeForwardPooled(feats, grp.present, e.pool)
 		releaseGroup(up.feats, feats, e.pool)
 		probs := nn.Softmax(edgeLogits)
 		e.pool.Put(edgeLogits)
@@ -381,7 +398,7 @@ func (e *Edge) classifyBatch(send func(wire.Message) error, sess *edgeBatchSessi
 		}
 	}
 	if len(hard) > 0 {
-		cloudVerdicts, err := e.escalateBatch(up.ids, hard, edgeFeats)
+		cloudVerdicts, err := e.escalateBatch(sess, up.ids, hard, edgeFeats)
 		if err != nil && !e.cfg.CloudFallback {
 			_ = send(&wire.Error{Session: sess.hdr.Session, Code: 503, Msg: fmt.Sprintf("cloud escalation failed: %v", err)})
 			return
@@ -405,7 +422,7 @@ func (e *Edge) classifyBatch(send func(wire.Message) error, sess *edgeBatchSessi
 // EdgeFeatureBatch, forwards it to a pool-scheduled cloud replica under
 // a fresh edge-owned session ID and returns the cloud's verdicts in
 // hard-index order.
-func (e *Edge) escalateBatch(ids []uint64, hard []int, edgeFeats *tensor.Tensor) ([]wire.BatchVerdict, error) {
+func (e *Edge) escalateBatch(sess *edgeBatchSession, ids []uint64, hard []int, edgeFeats *tensor.Tensor) ([]wire.BatchVerdict, error) {
 	if e.cloud == nil {
 		return nil, fmt.Errorf("edge has no cloud connection")
 	}
@@ -414,15 +431,16 @@ func (e *Edge) escalateBatch(ids []uint64, hard []int, edgeFeats *tensor.Tensor)
 	var bits []byte
 	for k, idx := range hard {
 		hardIDs[k] = ids[idx]
-		bits = append(bits, e.model.PackFeatureSample(edgeFeats, idx)...)
+		bits = append(bits, sess.model.PackFeatureSample(edgeFeats, idx)...)
 	}
 	msg := &wire.EdgeFeatureBatch{
-		Session:   upSession,
-		F:         uint16(edgeFeats.Dim(1)),
-		H:         uint16(edgeFeats.Dim(2)),
-		W:         uint16(edgeFeats.Dim(3)),
-		SampleIDs: hardIDs,
-		Bits:      bits,
+		Session:      upSession,
+		ModelVersion: sess.hdr.ModelVersion,
+		F:            uint16(edgeFeats.Dim(1)),
+		H:            uint16(edgeFeats.Dim(2)),
+		W:            uint16(edgeFeats.Dim(3)),
+		SampleIDs:    hardIDs,
+		Bits:         bits,
 	}
 	e.Meter.Add("cloud-upload", int64(len(bits)))
 	// One overall budget for pick + send + wait + any failover retries,
@@ -460,14 +478,15 @@ func (e *Edge) escalate(sess *edgeSession, edgeFeat *tensor.Tensor) (*wire.Class
 		return nil, fmt.Errorf("edge has no cloud connection")
 	}
 	upSession := e.nextUpstream.Add(1)
-	bits := e.model.PackFeature(edgeFeat)
+	bits := sess.model.PackFeature(edgeFeat)
 	up := &wire.EdgeFeature{
-		Session:  upSession,
-		SampleID: sess.hdr.SampleID,
-		F:        uint16(edgeFeat.Dim(1)),
-		H:        uint16(edgeFeat.Dim(2)),
-		W:        uint16(edgeFeat.Dim(3)),
-		Bits:     bits,
+		Session:      upSession,
+		SampleID:     sess.hdr.SampleID,
+		ModelVersion: sess.hdr.ModelVersion,
+		F:            uint16(edgeFeat.Dim(1)),
+		H:            uint16(edgeFeat.Dim(2)),
+		W:            uint16(edgeFeat.Dim(3)),
+		Bits:         bits,
 	}
 	e.Meter.Add("cloud-upload", int64(len(bits)))
 	// One overall budget for pick + send + wait + any failover retries,

@@ -6,12 +6,14 @@ import (
 	"log/slog"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/ddnn/ddnn-go/internal/core"
 	"github.com/ddnn/ddnn-go/internal/dataset"
 	"github.com/ddnn/ddnn-go/internal/tensor"
 	"github.com/ddnn/ddnn-go/internal/transport"
+	"github.com/ddnn/ddnn-go/internal/wire"
 )
 
 // DefaultMaxConcurrency bounds in-flight sessions when EngineConfig does
@@ -50,6 +52,11 @@ type EngineConfig struct {
 	// process-wide (all engines share the machine's cores), so the last
 	// configured engine wins; see tensor.SetMaxWorkers.
 	Workers int
+	// ModelVersion is the version number the engine's starting model is
+	// registered under in the fleet-wide model registry. Zero means 1.
+	// Later versions arrive via Engine.RegisterModel/RegisterModelBytes
+	// and go live via Engine.RolloutModel.
+	ModelVersion uint64
 	// Logger receives node logs; nil means slog.Default().
 	Logger *slog.Logger
 	// DeviceLink, EdgeLink and CloudLink, when non-zero, wrap the
@@ -85,6 +92,18 @@ type Engine struct {
 
 	sem       chan struct{}
 	collector *batchCollector // nil unless Batch.MaxBatch > 1
+
+	// reg is the fleet's source of truth for loaded model versions and
+	// the active pointer; every node's registry mirrors it. canary is the
+	// held-out batch rollout canaries replay (nil for attached engines,
+	// which cannot roll out).
+	reg    *modelRegistry
+	canary *dataset.Dataset
+
+	rolloutMu    sync.Mutex   // serializes RolloutModel
+	rolloutState atomic.Int32 // rolloutIdle / rolloutRolling / rolloutRolledBack
+	tamperMu     sync.Mutex
+	tamper       func(tier wire.ExitPoint, replica int) *core.Model
 
 	// mu guards the closed/closing flags AND every wg.Add: a session may
 	// only register with the WaitGroup while `closed` is false under mu,
@@ -131,6 +150,23 @@ func NewEngine(m *core.Model, ds *dataset.Dataset, cfg EngineConfig, tr transpor
 	e.tr = simTr
 	e.deviceAddrs = sim.DeviceAddrs()
 	e.upstreamAddrs = sim.UpstreamAddrs()
+	base := cfg.ModelVersion
+	if base == 0 {
+		base = 1
+	}
+	e.reg = newModelRegistry(m, base)
+	if base != 1 {
+		sim.setModelVersion(base)
+	}
+	n := ds.Len()
+	if n > canarySamples {
+		n = canarySamples
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	e.canary = ds.Subset(idx)
 	return e, nil
 }
 
@@ -148,6 +184,12 @@ func AttachEngine(ctx context.Context, m *core.Model, cfg EngineConfig, tr trans
 	e.tr = tr
 	e.deviceAddrs = append([]string(nil), deviceAddrs...)
 	e.upstreamAddrs = append([]string(nil), upstreamAddrs...)
+	base := cfg.ModelVersion
+	if base == 0 {
+		base = 1
+	}
+	e.reg = newModelRegistry(m, base)
+	gw.reg = newModelRegistry(m, base)
 	return e, nil
 }
 

@@ -50,6 +50,28 @@ var (
 	// (Fewer addresses than slots is not an error — the gateway starts
 	// with a partial device set and admits the rest via registration.)
 	ErrDeviceSlotMismatch = errors.New("ddnn: device slot mismatch")
+	// ErrModelVersionUnknown reports a session pinned to a model version
+	// the serving node's registry does not hold — wire error code 426. It
+	// can only happen when a registry was mutated outside a rollout (e.g.
+	// an eviction raced a very long session); rollouts install a version
+	// on every node before any session can pin it.
+	ErrModelVersionUnknown = errors.New("ddnn: model version unknown")
+	// ErrDuplicateModelVersion reports registering a model under a
+	// version number the registry already holds. Versions are immutable
+	// once registered; pick a new number.
+	ErrDuplicateModelVersion = errors.New("ddnn: model version already registered")
+	// ErrModelConfigMismatch reports registering a model whose
+	// architecture differs from the serving fleet's (anything beyond the
+	// RNG seed). A rollout can swap weights, not topologies.
+	ErrModelConfigMismatch = errors.New("ddnn: model config mismatch")
+	// ErrRolloutInProgress reports a RolloutModel call while another
+	// rollout is still running; rollouts are serialized.
+	ErrRolloutInProgress = errors.New("ddnn: rollout already in progress")
+	// ErrRolloutFailed reports a rollout aborted by a failed canary or an
+	// unreachable replica. The fleet has been rolled back to the prior
+	// active version; the wrapping error names the failing replica and
+	// stage.
+	ErrRolloutFailed = errors.New("ddnn: rollout failed and was rolled back")
 )
 
 // ctxErr maps a context error onto the matching typed sentinel while

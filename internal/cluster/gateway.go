@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log/slog"
 	"sync"
@@ -74,6 +75,10 @@ type Result struct {
 	// when it started; the verdict is bit-identical to the staged
 	// reference under that version's membership view.
 	ConfigVersion uint64
+	// ModelVersion is the model version the session pinned when it
+	// started: every hop — device sections, edge, cloud — ran these
+	// weights, even if a rolling reload flipped the fleet mid-session.
+	ModelVersion uint64
 	// Latency is the wall-clock duration of the session.
 	Latency time.Duration
 }
@@ -93,6 +98,7 @@ type Result struct {
 // per-device failure bookkeeping is shared, behind a short-lived mutex.
 type Gateway struct {
 	model    *core.Model
+	reg      *modelRegistry
 	cfg      GatewayConfig
 	pipeline Pipeline
 	logger   *slog.Logger
@@ -191,6 +197,7 @@ func NewGateway(ctx context.Context, model *core.Model, cfg GatewayConfig, tr tr
 	}
 	g := &Gateway{
 		model:         model,
+		reg:           newModelRegistry(model, 1),
 		cfg:           cfg,
 		pipeline:      pipeline,
 		logger:        logger.With("node", "gateway"),
@@ -333,7 +340,14 @@ func (g *Gateway) classify(ctx context.Context, sampleID uint64, pipeline Pipeli
 	}
 	sid := g.nextSession.Add(1)
 	start := time.Now()
-	classes := g.model.Cfg.Classes
+
+	// Pin the session to the model version active right now and stamp
+	// that concrete version (never the 0 sentinel) into every frame: all
+	// hops of this session compute on the same weights even while a
+	// rolling reload flips the fleet's active pointers one replica at a
+	// time.
+	model, mv, _ := g.reg.resolve(0)
+	classes := model.Cfg.Classes
 
 	// Pin the session to the membership and config version current right
 	// now: devices joining or leaving mid-session cannot change which
@@ -349,7 +363,7 @@ func (g *Gateway) classify(ctx context.Context, sampleID uint64, pipeline Pipeli
 			continue
 		}
 		inFlight++
-		go g.captureFrom(ctx, d, l, sid, sampleID, replies)
+		go g.captureFrom(ctx, d, l, sid, sampleID, mv, replies)
 	}
 	exitVecs := make([]*tensor.Tensor, len(g.devices))
 	present := make([]bool, len(g.devices))
@@ -383,7 +397,7 @@ func (g *Gateway) classify(ctx context.Context, sampleID uint64, pipeline Pipeli
 	}
 
 	// Stage 2: aggregate and decide the pipeline's first exit.
-	logits := g.model.LocalAggregate(exitVecs, present)
+	logits := model.LocalAggregate(exitVecs, present)
 	probs := nn.Softmax(logits)
 	row := make([]float32, classes)
 	copy(row, probs.Row(0))
@@ -398,6 +412,7 @@ func (g *Gateway) classify(ctx context.Context, sampleID uint64, pipeline Pipeli
 			Entropy:       entropy,
 			Present:       present,
 			ConfigVersion: snap.version,
+			ModelVersion:  mv,
 			Latency:       time.Since(start),
 		}
 		g.instr.observeExit(res.Exit, res.Latency)
@@ -407,7 +422,7 @@ func (g *Gateway) classify(ctx context.Context, sampleID uint64, pipeline Pipeli
 	// Stage 3: the local exit is not confident; fetch binarized features
 	// from present devices and escalate to the next tier up.
 	escStart := time.Now()
-	res, err := g.escalate(ctx, snap, sid, sampleID, present, pipeline)
+	res, err := g.escalate(ctx, snap, sid, sampleID, mv, model, present, pipeline)
 	if err != nil {
 		return nil, err
 	}
@@ -415,13 +430,14 @@ func (g *Gateway) classify(ctx context.Context, sampleID uint64, pipeline Pipeli
 	res.Entropy = entropy
 	res.Present = present
 	res.ConfigVersion = snap.version
+	res.ModelVersion = mv
 	res.Latency = time.Since(start)
 	g.instr.observeExit(res.Exit, res.Latency)
 	return res, nil
 }
 
-func (g *Gateway) captureFrom(ctx context.Context, device int, l *link, sid, sampleID uint64, replies chan<- capReply) {
-	msg, err := l.request(ctx, sid, &wire.CaptureRequest{Session: sid, SampleID: sampleID}, g.cfg.DeviceTimeout)
+func (g *Gateway) captureFrom(ctx context.Context, device int, l *link, sid, sampleID, mv uint64, replies chan<- capReply) {
+	msg, err := l.request(ctx, sid, &wire.CaptureRequest{Session: sid, SampleID: sampleID, ModelVersion: mv}, g.cfg.DeviceTimeout)
 	if err != nil {
 		if cerr := ctx.Err(); cerr != nil {
 			replies <- capReply{device: device, err: ctxErr(cerr)}
@@ -434,6 +450,13 @@ func (g *Gateway) captureFrom(ctx context.Context, device int, l *link, sid, sam
 	case *wire.LocalSummary:
 		replies <- capReply{device: device, probs: m.Probs}
 	case *wire.Error:
+		if m.Code == 426 {
+			// The device's registry no longer holds the session's pinned
+			// version; degrading to "absent frame" would silently answer
+			// on fewer devices, so the session fails typed instead.
+			replies <- capReply{device: device, err: fmt.Errorf("cluster: device %d: %w", device, ErrModelVersionUnknown)}
+			return
+		}
 		replies <- capReply{device: device} // absent frame
 	default:
 		replies <- capReply{device: device, timeout: true}
@@ -447,7 +470,7 @@ func (g *Gateway) captureFrom(ctx context.Context, device int, l *link, sid, sam
 // the least-loaded healthy replica and retries on another if the chosen
 // one dies mid-session. The relayed thresholds come from the session's
 // pipeline, so per-request shed overrides reach the upper tiers.
-func (g *Gateway) escalate(ctx context.Context, snap memberSnapshot, sid, sampleID uint64, present []bool, pipeline Pipeline) (*Result, error) {
+func (g *Gateway) escalate(ctx context.Context, snap memberSnapshot, sid, sampleID, mv uint64, model *core.Model, present []bool, pipeline Pipeline) (*Result, error) {
 	if g.upstream.Down() {
 		return nil, fmt.Errorf("cluster: sample %d: %w: %w", sampleID, g.upstreamSentinel(), ErrNoHealthyReplica)
 	}
@@ -464,7 +487,7 @@ func (g *Gateway) escalate(ctx context.Context, snap memberSnapshot, sid, sample
 		}
 		inFlight++
 		go func(device int, l *link) {
-			m, err := g.fetchFeatures(ctx, device, l, sid, sampleID)
+			m, err := g.fetchFeatures(ctx, device, l, sid, sampleID, mv)
 			uploads <- upload{device: device, msg: m, err: err}
 		}(d, snap.links[d])
 	}
@@ -475,6 +498,9 @@ func (g *Gateway) escalate(ctx context.Context, snap memberSnapshot, sid, sample
 		if u.err != nil {
 			if cerr := ctx.Err(); cerr != nil {
 				return nil, ctxErr(cerr)
+			}
+			if errors.Is(u.err, ErrModelVersionUnknown) {
+				return nil, fmt.Errorf("cluster: sample %d: %w", sampleID, u.err)
 			}
 			// The device answered the capture but died before the feature
 			// upload; degrade to the remaining devices.
@@ -503,18 +529,20 @@ func (g *Gateway) escalate(ctx context.Context, snap memberSnapshot, sid, sample
 	frames := make([]wire.Message, 0, len(collected)+1)
 	if g.upstreamExit() == wire.ExitEdge {
 		frames = append(frames, &wire.EdgeClassify{
-			Session:    sid,
-			SampleID:   sampleID,
-			Devices:    uint16(g.model.Cfg.Devices),
-			Mask:       mask,
-			Thresholds: pipeline.RelayThresholds(),
+			Session:      sid,
+			SampleID:     sampleID,
+			ModelVersion: mv,
+			Devices:      uint16(model.Cfg.Devices),
+			Mask:         mask,
+			Thresholds:   pipeline.RelayThresholds(),
 		})
 	} else {
 		frames = append(frames, &wire.CloudClassify{
-			Session:  sid,
-			SampleID: sampleID,
-			Devices:  uint16(g.model.Cfg.Devices),
-			Mask:     mask,
+			Session:      sid,
+			SampleID:     sampleID,
+			ModelVersion: mv,
+			Devices:      uint16(model.Cfg.Devices),
+			Mask:         mask,
 		})
 	}
 	for _, up := range collected {
@@ -536,6 +564,9 @@ func (g *Gateway) escalate(ctx context.Context, snap memberSnapshot, sid, sample
 				// did not answer.
 				return nil, fmt.Errorf("cluster: %w: %v tier: %s", ErrCloudUnavailable, g.upstreamExit(), e.Msg)
 			}
+			if e.Code == 426 {
+				return nil, fmt.Errorf("cluster: %w: %v tier: %s", ErrModelVersionUnknown, g.upstreamExit(), e.Msg)
+			}
 			return nil, fmt.Errorf("cluster: %w: %v error %d: %s", sentinel, g.upstreamExit(), e.Code, e.Msg)
 		}
 		return nil, fmt.Errorf("cluster: expected ClassifyResult, got %v", msg.MsgType())
@@ -551,8 +582,8 @@ func (g *Gateway) escalate(ctx context.Context, snap memberSnapshot, sid, sample
 	}, nil
 }
 
-func (g *Gateway) fetchFeatures(ctx context.Context, device int, l *link, sid, sampleID uint64) (*wire.FeatureUpload, error) {
-	msg, err := l.request(ctx, sid, &wire.FeatureRequest{Session: sid, SampleID: sampleID}, g.cfg.DeviceTimeout)
+func (g *Gateway) fetchFeatures(ctx context.Context, device int, l *link, sid, sampleID, mv uint64) (*wire.FeatureUpload, error) {
+	msg, err := l.request(ctx, sid, &wire.FeatureRequest{Session: sid, SampleID: sampleID, ModelVersion: mv}, g.cfg.DeviceTimeout)
 	if err != nil {
 		return nil, err
 	}
@@ -560,6 +591,9 @@ func (g *Gateway) fetchFeatures(ctx context.Context, device int, l *link, sid, s
 	case *wire.FeatureUpload:
 		return m, nil
 	case *wire.Error:
+		if m.Code == 426 {
+			return nil, fmt.Errorf("cluster: device %d: %w", device, ErrModelVersionUnknown)
+		}
 		return nil, fmt.Errorf("cluster: device %d: %s", device, m.Msg)
 	default:
 		return nil, fmt.Errorf("cluster: expected FeatureUpload, got %v", msg.MsgType())

@@ -2,9 +2,11 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
+	"github.com/ddnn/ddnn-go/internal/core"
 	"github.com/ddnn/ddnn-go/internal/nn"
 	"github.com/ddnn/ddnn-go/internal/tensor"
 	"github.com/ddnn/ddnn-go/internal/wire"
@@ -64,7 +66,11 @@ func (g *Gateway) classifyBatch(ctx context.Context, sampleIDs []uint64, pipelin
 	}
 	sid := g.nextSession.Add(1)
 	start := time.Now()
-	classes := g.model.Cfg.Classes
+
+	// Pin the session to the active model version (see Gateway.classify):
+	// every sample of the batch, on every hop, computes on these weights.
+	model, mv, _ := g.reg.resolve(0)
+	classes := model.Cfg.Classes
 
 	// Pin the session to the membership and config version current right
 	// now (see Gateway.classify); every sample of the batch completes
@@ -80,7 +86,7 @@ func (g *Gateway) classifyBatch(ctx context.Context, sampleIDs []uint64, pipelin
 			continue
 		}
 		inFlight++
-		go g.captureBatchFrom(ctx, d, l, sid, sampleIDs, replies)
+		go g.captureBatchFrom(ctx, d, l, sid, mv, sampleIDs, replies)
 	}
 	exitVecs := make([]*tensor.Tensor, len(g.devices))
 	for d := range exitVecs {
@@ -143,7 +149,7 @@ func (g *Gateway) classifyBatch(ctx context.Context, sampleIDs []uint64, pipelin
 		for d := range vecs {
 			vecs[d] = exitVecs[d].SelectSamples(grp.indices)
 		}
-		logits := g.model.LocalAggregate(vecs, grp.present)
+		logits := model.LocalAggregate(vecs, grp.present)
 		probs := nn.Softmax(logits)
 		for k, idx := range grp.indices {
 			row := make([]float32, classes)
@@ -159,6 +165,7 @@ func (g *Gateway) classifyBatch(ctx context.Context, sampleIDs []uint64, pipelin
 					Entropy:       entropy,
 					Present:       present[idx],
 					ConfigVersion: snap.version,
+					ModelVersion:  mv,
 					Latency:       time.Since(start),
 				}
 			} else {
@@ -174,7 +181,7 @@ func (g *Gateway) classifyBatch(ctx context.Context, sampleIDs []uint64, pipelin
 	// Stage 3: the hard remainder — and only it — rides upstream as one
 	// batched escalation (the paper's staged partial exit, batched).
 	escStart := time.Now()
-	err := g.escalateBatch(ctx, snap, sid, sampleIDs, escalate, present, masks, entropies, results, start, pipeline)
+	err := g.escalateBatch(ctx, snap, sid, mv, model, sampleIDs, escalate, present, masks, entropies, results, start, pipeline)
 	if err == nil {
 		g.instr.observeStage(g.upstreamExit(), time.Since(escStart))
 	}
@@ -184,8 +191,8 @@ func (g *Gateway) classifyBatch(ctx context.Context, sampleIDs []uint64, pipelin
 	return results, firstErr
 }
 
-func (g *Gateway) captureBatchFrom(ctx context.Context, device int, l *link, sid uint64, sampleIDs []uint64, replies chan<- batchCapReply) {
-	msg, err := l.request(ctx, sid, &wire.CaptureBatch{Session: sid, SampleIDs: sampleIDs}, g.cfg.DeviceTimeout)
+func (g *Gateway) captureBatchFrom(ctx context.Context, device int, l *link, sid, mv uint64, sampleIDs []uint64, replies chan<- batchCapReply) {
+	msg, err := l.request(ctx, sid, &wire.CaptureBatch{Session: sid, ModelVersion: mv, SampleIDs: sampleIDs}, g.cfg.DeviceTimeout)
 	if err != nil {
 		if cerr := ctx.Err(); cerr != nil {
 			replies <- batchCapReply{device: device, err: ctxErr(cerr)}
@@ -206,6 +213,12 @@ func (g *Gateway) captureBatchFrom(ctx context.Context, device int, l *link, sid
 			probs:   m.Probs,
 		}
 	case *wire.Error:
+		if m.Code == 426 {
+			// See Gateway.captureFrom: a missing pinned version is a typed
+			// session failure, not a silent absent frame.
+			replies <- batchCapReply{device: device, err: fmt.Errorf("cluster: device %d: %w", device, ErrModelVersionUnknown)}
+			return
+		}
 		// The device had no frame for any sample (feed failure).
 		replies <- batchCapReply{device: device, present: make([]bool, len(sampleIDs))}
 	default:
@@ -219,7 +232,7 @@ func (g *Gateway) captureBatchFrom(ctx context.Context, device int, l *link, sid
 // pool-scheduled replica of the next tier, filling results for every
 // escalating index from the returned ResultBatch. If the replica dies
 // mid-session the whole batch is retried on another replica.
-func (g *Gateway) escalateBatch(ctx context.Context, snap memberSnapshot, sid uint64, sampleIDs []uint64, escalate []int, present [][]bool, masks []uint16, entropies []float64, results []*Result, start time.Time, pipeline Pipeline) error {
+func (g *Gateway) escalateBatch(ctx context.Context, snap memberSnapshot, sid, mv uint64, model *core.Model, sampleIDs []uint64, escalate []int, present [][]bool, masks []uint16, entropies []float64, results []*Result, start time.Time, pipeline Pipeline) error {
 	sentinel := g.upstreamSentinel()
 	if g.upstream.Down() {
 		return fmt.Errorf("cluster: batch of %d samples: %w: %w", len(escalate), sentinel, ErrNoHealthyReplica)
@@ -251,7 +264,7 @@ func (g *Gateway) escalateBatch(ctx context.Context, snap memberSnapshot, sid ui
 			ids[i] = sampleIDs[escalate[k]]
 		}
 		go func(device int, l *link, ids []uint64) {
-			msg, err := l.request(ctx, sid, &wire.FeatureBatchRequest{Session: sid, SampleIDs: ids}, g.cfg.DeviceTimeout)
+			msg, err := l.request(ctx, sid, &wire.FeatureBatchRequest{Session: sid, ModelVersion: mv, SampleIDs: ids}, g.cfg.DeviceTimeout)
 			if err != nil {
 				fetches <- fetchReply{device: device, err: err}
 				return
@@ -264,6 +277,10 @@ func (g *Gateway) escalateBatch(ctx context.Context, snap memberSnapshot, sid ui
 				}
 				fetches <- fetchReply{device: device, fb: m}
 			case *wire.Error:
+				if m.Code == 426 {
+					fetches <- fetchReply{device: device, err: fmt.Errorf("cluster: device %d: %w", device, ErrModelVersionUnknown)}
+					return
+				}
 				fetches <- fetchReply{device: device, err: fmt.Errorf("cluster: device %d: %s", device, m.Msg)}
 			default:
 				fetches <- fetchReply{device: device, err: fmt.Errorf("cluster: expected FeatureBatch, got %v", msg.MsgType())}
@@ -276,6 +293,9 @@ func (g *Gateway) escalateBatch(ctx context.Context, snap memberSnapshot, sid ui
 		if f.err != nil {
 			if cerr := ctx.Err(); cerr != nil {
 				return ctxErr(cerr)
+			}
+			if errors.Is(f.err, ErrModelVersionUnknown) {
+				return fmt.Errorf("cluster: batch of %d samples: %w", len(escalate), f.err)
 			}
 			// The device answered the capture but died before the feature
 			// fetch; degrade to the remaining devices for the whole batch.
@@ -323,18 +343,20 @@ func (g *Gateway) escalateBatch(ctx context.Context, snap memberSnapshot, sid ui
 	var hdr wire.Message
 	if g.upstreamExit() == wire.ExitEdge {
 		hdr = &wire.EdgeClassifyBatch{
-			Session:    sid,
-			Devices:    uint16(g.model.Cfg.Devices),
-			SampleIDs:  escIDs,
-			Masks:      escMasks,
-			Thresholds: pipeline.RelayThresholds(),
+			Session:      sid,
+			ModelVersion: mv,
+			Devices:      uint16(model.Cfg.Devices),
+			SampleIDs:    escIDs,
+			Masks:        escMasks,
+			Thresholds:   pipeline.RelayThresholds(),
 		}
 	} else {
 		hdr = &wire.CloudClassifyBatch{
-			Session:   sid,
-			Devices:   uint16(g.model.Cfg.Devices),
-			SampleIDs: escIDs,
-			Masks:     escMasks,
+			Session:      sid,
+			ModelVersion: mv,
+			Devices:      uint16(model.Cfg.Devices),
+			SampleIDs:    escIDs,
+			Masks:        escMasks,
 		}
 	}
 	timeout := g.upstreamTimeout()
@@ -350,6 +372,9 @@ func (g *Gateway) escalateBatch(ctx context.Context, snap memberSnapshot, sid ui
 		if e, isErr := msg.(*wire.Error); isErr {
 			if e.Code == 503 {
 				return fmt.Errorf("cluster: %w: %v tier: %s", ErrCloudUnavailable, g.upstreamExit(), e.Msg)
+			}
+			if e.Code == 426 {
+				return fmt.Errorf("cluster: %w: %v tier: %s", ErrModelVersionUnknown, g.upstreamExit(), e.Msg)
 			}
 			return fmt.Errorf("cluster: %w: %v error %d: %s", sentinel, g.upstreamExit(), e.Code, e.Msg)
 		}
@@ -371,6 +396,7 @@ func (g *Gateway) escalateBatch(ctx context.Context, snap memberSnapshot, sid ui
 			Entropy:       entropies[idx],
 			Present:       present[idx],
 			ConfigVersion: snap.version,
+			ModelVersion:  mv,
 			Latency:       time.Since(start),
 		}
 	}

@@ -1,0 +1,185 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/ddnn/ddnn-go/internal/core"
+)
+
+// maxRegistryVersions bounds how many loaded model versions a registry
+// retains. When a registration would exceed it, the oldest inactive
+// version is evicted — the active version (and the one being installed)
+// are never evicted, so a rollback target always survives the rollout
+// that needs it.
+const maxRegistryVersions = 8
+
+// modelRegistry holds the loaded model versions one serving node (or the
+// engine itself) can resolve, plus the node's active pointer. Every node
+// owns its own registry — a rolling reload flips replicas' active
+// pointers one at a time — but the *core.Model values are shared by
+// pointer across the fleet: models are frozen read-only after load, so
+// N registries cost one copy of the weights per version, not N.
+type modelRegistry struct {
+	mu     sync.RWMutex
+	models map[uint64]*core.Model
+	order  []uint64 // insertion order, for eviction
+	active uint64
+}
+
+// newModelRegistry returns a registry holding base as the active version.
+func newModelRegistry(base *core.Model, version uint64) *modelRegistry {
+	if version == 0 {
+		version = 1
+	}
+	return &modelRegistry{
+		models: map[uint64]*core.Model{version: base},
+		order:  []uint64{version},
+		active: version,
+	}
+}
+
+// configsMatch reports whether two configs describe the same
+// architecture. The RNG seed is ignored: it only picks the random init a
+// training run started from, and two checkpoints of the same hierarchy
+// legitimately differ in it.
+func configsMatch(a, b core.Config) bool {
+	a.Seed, b.Seed = 0, 0
+	return a == b
+}
+
+// register adds a model under a new version number. The version must be
+// unused and the model's architecture must match the registry's active
+// model; registering never changes the active pointer. When the registry
+// is full the oldest inactive version is evicted.
+func (r *modelRegistry) register(version uint64, m *core.Model) error {
+	if version == 0 {
+		return fmt.Errorf("cluster: version 0 is reserved for \"active\": %w", ErrModelVersionUnknown)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.models[version]; dup {
+		return fmt.Errorf("cluster: version %d: %w", version, ErrDuplicateModelVersion)
+	}
+	if !configsMatch(m.Cfg, r.models[r.active].Cfg) {
+		return fmt.Errorf("cluster: version %d: %w", version, ErrModelConfigMismatch)
+	}
+	r.models[version] = m
+	r.order = append(r.order, version)
+	r.evictLocked(version)
+	return nil
+}
+
+// install force-sets the model stored under a version, registering it if
+// absent. Rollouts use it to push a version onto every node — and to
+// repair a replica whose registry entry a chaos tamper hook corrupted.
+func (r *modelRegistry) install(version uint64, m *core.Model) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.models[version]; !ok {
+		r.order = append(r.order, version)
+	}
+	r.models[version] = m
+	r.evictLocked(version)
+}
+
+// evictLocked drops the oldest inactive versions beyond the capacity
+// bound; keep marks the version being installed, which must survive.
+func (r *modelRegistry) evictLocked(keep uint64) {
+	for len(r.order) > maxRegistryVersions {
+		evicted := false
+		for i, v := range r.order {
+			if v == r.active || v == keep {
+				continue
+			}
+			delete(r.models, v)
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			evicted = true
+			break
+		}
+		if !evicted {
+			return
+		}
+	}
+}
+
+// resolve returns the model pinned to a session's version; version 0
+// means "whatever is active right now". It also reports the concrete
+// version resolved, so the caller can stamp it into the session.
+func (r *modelRegistry) resolve(version uint64) (*core.Model, uint64, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if version == 0 {
+		version = r.active
+	}
+	m, ok := r.models[version]
+	if !ok {
+		return nil, 0, fmt.Errorf("cluster: model version %d: %w", version, ErrModelVersionUnknown)
+	}
+	return m, version, nil
+}
+
+// setActive flips the active pointer to an already-registered version.
+func (r *modelRegistry) setActive(version uint64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.models[version]; !ok {
+		return fmt.Errorf("cluster: activate version %d: %w", version, ErrModelVersionUnknown)
+	}
+	r.active = version
+	return nil
+}
+
+// activeVersion returns the currently active version number.
+func (r *modelRegistry) activeVersion() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.active
+}
+
+// versions returns the registered version numbers in ascending order.
+func (r *modelRegistry) versions() []uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := append([]uint64(nil), r.order...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// model returns the model stored under a concrete version, or nil.
+func (r *modelRegistry) model(version uint64) *core.Model {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.models[version]
+}
+
+// snapshot returns every (version, model) pair the registry holds plus
+// the active version — used to seed a freshly restarted replica's
+// registry with the same version set as the rest of the fleet.
+func (r *modelRegistry) snapshot() (map[uint64]*core.Model, uint64) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[uint64]*core.Model, len(r.models))
+	for v, m := range r.models {
+		out[v] = m
+	}
+	return out, r.active
+}
+
+// adopt replaces the registry's contents with a snapshot taken from
+// another registry.
+func (r *modelRegistry) adopt(models map[uint64]*core.Model, active uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.models = make(map[uint64]*core.Model, len(models))
+	r.order = r.order[:0]
+	for v, m := range models {
+		r.models[v] = m
+		r.order = append(r.order, v)
+	}
+	sort.Slice(r.order, func(i, j int) bool { return r.order[i] < r.order[j] })
+	if _, ok := r.models[active]; ok {
+		r.active = active
+	}
+}

@@ -54,6 +54,11 @@ type replica struct {
 	timeouts int       // consecutive timed-out escalations
 	retryAt  time.Time // when a down replica becomes eligible for a trial
 	probing  bool      // a trial session is in flight (half-open breaker)
+	// fenced takes the replica out of scheduling without marking it
+	// unhealthy: a rollout fences one replica at a time to drain and swap
+	// its weights. Unlike down, a fenced replica is never eligible for a
+	// half-open trial, and failure-detector updates leave the flag alone.
+	fenced bool
 }
 
 // link returns the replica's current link, or nil when undialed/dead.
@@ -161,12 +166,13 @@ func (p *ReplicaPool) Addrs() []string {
 	return out
 }
 
-// Healthy returns the number of replicas not currently fenced.
+// Healthy returns the number of replicas currently schedulable — not
+// marked down by failure detection and not fenced by a rollout.
 func (p *ReplicaPool) Healthy() int {
 	n := 0
 	for _, r := range p.replicas {
 		r.mu.Lock()
-		if !r.down {
+		if !r.down && !r.fenced {
 			n++
 		}
 		r.mu.Unlock()
@@ -181,7 +187,7 @@ func (p *ReplicaPool) Down() bool {
 	now := time.Now()
 	for _, r := range p.replicas {
 		r.mu.Lock()
-		ok := !r.down || (!p.monitored.Load() && !r.probing && now.After(r.retryAt))
+		ok := !r.fenced && (!r.down || (!p.monitored.Load() && !r.probing && now.After(r.retryAt)))
 		r.mu.Unlock()
 		if ok {
 			return false
@@ -219,7 +225,7 @@ func (p *ReplicaPool) pick(ctx context.Context, tried uint64) (*replica, bool, e
 			continue
 		}
 		r.mu.Lock()
-		ok := !r.down
+		ok := !r.down && !r.fenced
 		r.mu.Unlock()
 		if ok {
 			cands = append(cands, r)
@@ -286,7 +292,7 @@ func (p *ReplicaPool) startTrial(tried uint64) *replica {
 			continue
 		}
 		r.mu.Lock()
-		if r.down && !r.probing && now.After(r.retryAt) {
+		if r.down && !r.fenced && !r.probing && now.After(r.retryAt) {
 			r.probing = true
 			r.mu.Unlock()
 			return r
@@ -369,6 +375,20 @@ func (p *ReplicaPool) setDown(i int, down bool) {
 			p.logger.Info("health monitor re-admitted replica", "tier", p.tier.String(), "replica", i, "addr", r.addr)
 		}
 	}
+}
+
+// setFenced flips one replica's rollout fence: a fenced replica takes no
+// new sessions (and no half-open trials) until unfenced, while its
+// failure-detection state — down, timeouts, cooldown — is untouched, so
+// fencing and unfencing never masks a genuinely dead replica.
+func (p *ReplicaPool) setFenced(i int, fenced bool) {
+	if i < 0 || i >= len(p.replicas) {
+		return
+	}
+	r := p.replicas[i]
+	r.mu.Lock()
+	r.fenced = fenced
+	r.mu.Unlock()
 }
 
 // relay runs one session's escalation with failover: it sends the frames

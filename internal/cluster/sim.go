@@ -211,6 +211,49 @@ func (s *Sim) CloudReplica(i int) *Cloud {
 	return s.Clouds[i]
 }
 
+// edgeCount returns the number of edge replica slots (fixed for the
+// sim's lifetime; restarts replace slots, never resize).
+func (s *Sim) edgeCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.Edges)
+}
+
+// cloudCount returns the number of cloud replica slots.
+func (s *Sim) cloudCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.Clouds)
+}
+
+// setModelVersion rebases every node's model registry so the
+// construction model is known fleet-wide under version v instead of the
+// default 1. Called by NewEngine before traffic starts.
+func (s *Sim) setModelVersion(v uint64) {
+	for _, d := range s.Devices {
+		d.reg = newModelRegistry(s.model, v)
+	}
+	for _, e := range s.Edges {
+		e.reg = newModelRegistry(s.model, v)
+	}
+	for _, c := range s.Clouds {
+		c.reg = newModelRegistry(s.model, v)
+	}
+	s.Gateway.reg = newModelRegistry(s.model, v)
+}
+
+// adoptRegistry seeds a replacement replica's registry from the
+// gateway's, so a node restarted mid-lifecycle serves the fleet's
+// current versions (and can resolve any version a live session pinned)
+// instead of rebooting to the construction model alone.
+func (s *Sim) adoptRegistry(r *modelRegistry) {
+	if s.Gateway == nil {
+		return
+	}
+	models, active := s.Gateway.reg.snapshot()
+	r.adopt(models, active)
+}
+
 // RestartCloud hard-restarts cloud replica i: the old node is torn down
 // (its listener and every link into it die, unlike the silent-failure
 // mode of SetFailed) and a fresh replica starts on the same address.
@@ -227,6 +270,7 @@ func (s *Sim) RestartCloud(i int) error {
 	}
 	s.Clouds[i].Close()
 	cloud := NewCloud(s.model, s.logger)
+	s.adoptRegistry(cloud.reg)
 	if err := cloud.Serve(s.tr, s.cloudAddrs[i]); err != nil {
 		return fmt.Errorf("cluster: restart cloud %d: %w", i, err)
 	}
@@ -252,6 +296,7 @@ func (s *Sim) RestartEdge(i int) error {
 	if err != nil {
 		return fmt.Errorf("cluster: restart edge %d: %w", i, err)
 	}
+	s.adoptRegistry(edge.reg)
 	if err := edge.ConnectCloud(context.Background(), s.tr, s.cloudAddrs...); err != nil {
 		return fmt.Errorf("cluster: restart edge %d: %w", i, err)
 	}

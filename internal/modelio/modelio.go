@@ -1,6 +1,13 @@
 // Package modelio serializes trained DDNN models to a compact, versioned
 // binary format, so a model trained once (in the cloud, §III-C) can be
 // checkpointed and deployed onto the nodes of the hierarchy.
+//
+// Format version 2 stamps each artifact with a model version — the
+// registry key a rolling reload pins sessions to — and protects every
+// tensor with a CRC32C checksum, so a torn or bit-flipped checkpoint is
+// rejected at the registry boundary (ErrCorruptModel) instead of serving
+// silently wrong weights. Version-1 artifacts load unchanged and carry
+// the implicit model version 1.
 package modelio
 
 import (
@@ -8,9 +15,11 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 
 	"github.com/ddnn/ddnn-go/internal/agg"
 	"github.com/ddnn/ddnn-go/internal/core"
@@ -20,23 +29,58 @@ import (
 // magic identifies DDNN model files.
 var magic = [8]byte{'D', 'D', 'N', 'N', 'M', 'O', 'D', 'L'}
 
-// version is the current file-format version.
-const version uint16 = 1
+// version is the current file-format version. Version 2 added the model
+// version stamp and per-tensor CRC32C checksums.
+const version uint16 = 2
 
 // maxTensorElems guards against corrupt headers.
 const maxTensorElems = 64 << 20
 
-// ErrBadFormat reports a malformed model file.
-var ErrBadFormat = errors.New("modelio: bad model file")
+// maxNameLen bounds a declared tensor-name length; real state-dict names
+// are tens of bytes.
+const maxNameLen = 4096
 
-// Save writes the model's configuration and full state to w.
+// Typed artifact errors.
+var (
+	// ErrCorruptModel reports an artifact whose bytes cannot be a valid
+	// model: bad magic, a truncated or over-declared section, a tensor
+	// the declared configuration does not contain, or a checksum
+	// mismatch. It is the registry's reject-at-the-door error.
+	ErrCorruptModel = errors.New("modelio: corrupt model artifact")
+	// ErrVersionUnsupported reports an artifact written by a newer
+	// format version than this build understands.
+	ErrVersionUnsupported = errors.New("modelio: unsupported artifact format version")
+	// ErrBadFormat is the legacy malformed-file sentinel; every
+	// ErrBadFormat is also an ErrCorruptModel.
+	ErrBadFormat = fmt.Errorf("modelio: bad model file: %w", ErrCorruptModel)
+)
+
+// castagnoli is the CRC32C table used for tensor checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Save writes the model's configuration and full state to w, stamped
+// with model version 1 (the implicit version of an unversioned
+// checkpoint).
 func Save(w io.Writer, m *core.Model) error {
+	return SaveVersion(w, m, 1)
+}
+
+// SaveVersion writes the model stamped with an explicit model version.
+// The version must be nonzero: 0 is the wire sentinel for "whatever
+// version is active".
+func SaveVersion(w io.Writer, m *core.Model, modelVersion uint64) error {
+	if modelVersion == 0 {
+		return fmt.Errorf("modelio: model version 0 is reserved")
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(magic[:]); err != nil {
 		return fmt.Errorf("modelio: write magic: %w", err)
 	}
 	if err := binary.Write(bw, binary.LittleEndian, version); err != nil {
 		return fmt.Errorf("modelio: write version: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, modelVersion); err != nil {
+		return fmt.Errorf("modelio: write model version: %w", err)
 	}
 	if err := writeConfig(bw, m.Cfg); err != nil {
 		return err
@@ -58,45 +102,79 @@ func Save(w io.Writer, m *core.Model) error {
 
 // Load reads a model file and reconstructs the trained model.
 func Load(r io.Reader) (*core.Model, error) {
+	m, _, err := LoadVersioned(r)
+	return m, err
+}
+
+// LoadVersioned reads a model artifact and returns the reconstructed
+// model together with its model-version stamp (1 for version-1 files,
+// which predate the stamp). Decoding is bounded: tensor headers are
+// validated against the declared configuration's own state dict before
+// any data-sized allocation, so a hostile header yields a typed error,
+// never an OOM.
+func LoadVersioned(r io.Reader) (*core.Model, uint64, error) {
 	br := bufio.NewReader(r)
 	var gotMagic [8]byte
 	if _, err := io.ReadFull(br, gotMagic[:]); err != nil {
-		return nil, fmt.Errorf("modelio: read magic: %w", err)
+		return nil, 0, corrupt("read magic", err)
 	}
 	if gotMagic != magic {
-		return nil, fmt.Errorf("%w: bad magic", ErrBadFormat)
+		return nil, 0, fmt.Errorf("%w: bad magic", ErrBadFormat)
 	}
 	var v uint16
 	if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
-		return nil, fmt.Errorf("modelio: read version: %w", err)
+		return nil, 0, corrupt("read version", err)
 	}
-	if v != version {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, v)
+	if v == 0 || v > version {
+		return nil, 0, fmt.Errorf("%w: %d (this build reads up to %d)", ErrVersionUnsupported, v, version)
+	}
+	modelVersion := uint64(1)
+	if v >= 2 {
+		if err := binary.Read(br, binary.LittleEndian, &modelVersion); err != nil {
+			return nil, 0, corrupt("read model version", err)
+		}
+		if modelVersion == 0 {
+			return nil, 0, fmt.Errorf("modelio: %w: model version 0 is reserved", ErrCorruptModel)
+		}
 	}
 	cfg, err := readConfig(br)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
+	}
+	if err := boundConfig(cfg); err != nil {
+		return nil, 0, err
 	}
 	m, err := core.NewModel(cfg)
 	if err != nil {
-		return nil, fmt.Errorf("modelio: rebuild model: %w", err)
+		return nil, 0, fmt.Errorf("modelio: rebuild model: %w: %w", err, ErrCorruptModel)
+	}
+	// The declared config fixes the complete set of tensor names and
+	// sizes; every header is validated against it before its data is
+	// read, bounding allocations to the model's true footprint.
+	want := m.StateDict()
+	expect := make(map[string]*tensor.Tensor, len(want))
+	for _, nt := range want {
+		expect[nt.Name] = nt.T
 	}
 	var count uint32
 	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
-		return nil, fmt.Errorf("modelio: read tensor count: %w", err)
+		return nil, 0, corrupt("read tensor count", err)
+	}
+	if int(count) != len(want) {
+		return nil, 0, fmt.Errorf("modelio: %w: artifact declares %d tensors, config needs %d", ErrCorruptModel, count, len(want))
 	}
 	state := make([]core.NamedTensor, 0, count)
 	for i := uint32(0); i < count; i++ {
-		nt, err := readTensor(br)
+		nt, err := readTensor(br, v, expect)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		state = append(state, nt)
 	}
 	if err := m.LoadStateDict(state); err != nil {
-		return nil, fmt.Errorf("modelio: %w", err)
+		return nil, 0, fmt.Errorf("modelio: %w: %w", err, ErrCorruptModel)
 	}
-	return m, nil
+	return m, modelVersion, nil
 }
 
 // SaveFile writes the model to a file path.
@@ -115,6 +193,46 @@ func SaveFile(path string, m *core.Model) error {
 	return nil
 }
 
+// SaveFileAtomic writes the model to path via a temp file in the same
+// directory, fsyncs, then renames into place — a crash mid-save can
+// leave a stale or absent file but never a torn artifact for the
+// registry to load.
+func SaveFileAtomic(path string, m *core.Model, modelVersion uint64) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("modelio: %w", err)
+	}
+	tmp := f.Name()
+	cleanup := func() {
+		f.Close()
+		os.Remove(tmp)
+	}
+	if err := SaveVersion(f, m, modelVersion); err != nil {
+		cleanup()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("modelio: fsync %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("modelio: close %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("modelio: rename %s: %w", path, err)
+	}
+	// Persist the rename itself; best-effort on filesystems that do not
+	// support directory fsync.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
 // LoadFile reads a model from a file path.
 func LoadFile(path string) (*core.Model, error) {
 	f, err := os.Open(path)
@@ -123,6 +241,49 @@ func LoadFile(path string) (*core.Model, error) {
 	}
 	defer f.Close()
 	return Load(f)
+}
+
+// corrupt wraps a read failure as a typed corrupt-artifact error: any
+// truncation of a structurally valid prefix is corruption.
+func corrupt(what string, err error) error {
+	return fmt.Errorf("modelio: %s: %w: %w", what, err, ErrCorruptModel)
+}
+
+// boundConfig rejects declared configurations whose reconstruction
+// would allocate far beyond any real DDNN, before core.NewModel runs.
+// Legitimate configs are nowhere near these ceilings.
+func boundConfig(cfg core.Config) error {
+	switch {
+	case cfg.Devices > 16:
+		return fmt.Errorf("modelio: %w: %d devices", ErrCorruptModel, cfg.Devices)
+	case cfg.Classes > 4096:
+		return fmt.Errorf("modelio: %w: %d classes", ErrCorruptModel, cfg.Classes)
+	case cfg.InputC > 16 || cfg.InputH > 512 || cfg.InputW > 512:
+		return fmt.Errorf("modelio: %w: input shape %d×%d×%d", ErrCorruptModel, cfg.InputC, cfg.InputH, cfg.InputW)
+	case cfg.DeviceFilters > 128 || cfg.CloudFilters > 128 || cfg.EdgeFilters > 128:
+		return fmt.Errorf("modelio: %w: filter counts %d/%d/%d", ErrCorruptModel, cfg.DeviceFilters, cfg.CloudFilters, cfg.EdgeFilters)
+	}
+	// The cloud section pools its input twice (and the edge tier halves
+	// it first); inputs too small for that panic in core.NewModel, so
+	// reject them here with a typed error instead.
+	minInput := 8
+	if cfg.UseEdge {
+		minInput = 16
+	}
+	if cfg.InputH < minInput || cfg.InputW < minInput {
+		return fmt.Errorf("modelio: %w: input %d×%d too small for the cloud section", ErrCorruptModel, cfg.InputH, cfg.InputW)
+	}
+	// The dominant tensors are the exit-head weights (features × classes,
+	// once per device) and the aggregated conv inputs upstream; bound the
+	// per-tensor and whole-model estimates before core.NewModel allocates.
+	featIn := cfg.DeviceFilters * cfg.FeatureH() * cfg.FeatureW()
+	if featIn*cfg.Classes > 1<<24 {
+		return fmt.Errorf("modelio: %w: exit head of %d×%d elements", ErrCorruptModel, featIn, cfg.Classes)
+	}
+	if cfg.Devices*featIn*cfg.Classes > 1<<25 {
+		return fmt.Errorf("modelio: %w: model of ~%d device-exit elements", ErrCorruptModel, cfg.Devices*featIn*cfg.Classes)
+	}
+	return nil
 }
 
 func writeConfig(w io.Writer, cfg core.Config) error {
@@ -162,7 +323,7 @@ func readConfig(r io.Reader) (core.Config, error) {
 	}
 	for _, f := range fields {
 		if err := binary.Read(r, binary.LittleEndian, f); err != nil {
-			return core.Config{}, fmt.Errorf("modelio: read config: %w", err)
+			return core.Config{}, corrupt("read config", err)
 		}
 	}
 	return core.Config{
@@ -196,24 +357,34 @@ func writeTensor(w io.Writer, nt core.NamedTensor) error {
 	for i, v := range nt.T.Data() {
 		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
 	}
+	if err := binary.Write(w, binary.LittleEndian, crc32.Checksum(buf, castagnoli)); err != nil {
+		return fmt.Errorf("modelio: write tensor checksum: %w", err)
+	}
 	if _, err := w.Write(buf); err != nil {
 		return fmt.Errorf("modelio: write tensor data: %w", err)
 	}
 	return nil
 }
 
-func readTensor(r io.Reader) (core.NamedTensor, error) {
+// readTensor decodes one tensor record of format version v. expect maps
+// the declared configuration's tensor names to their true shapes; a
+// header naming an unknown tensor or declaring a mismatched size is
+// rejected before the data allocation.
+func readTensor(r io.Reader, v uint16, expect map[string]*tensor.Tensor) (core.NamedTensor, error) {
 	var nameLen uint16
 	if err := binary.Read(r, binary.LittleEndian, &nameLen); err != nil {
-		return core.NamedTensor{}, fmt.Errorf("modelio: read tensor name len: %w", err)
+		return core.NamedTensor{}, corrupt("read tensor name len", err)
+	}
+	if nameLen > maxNameLen {
+		return core.NamedTensor{}, fmt.Errorf("modelio: %w: tensor name of %d bytes", ErrCorruptModel, nameLen)
 	}
 	name := make([]byte, nameLen)
 	if _, err := io.ReadFull(r, name); err != nil {
-		return core.NamedTensor{}, fmt.Errorf("modelio: read tensor name: %w", err)
+		return core.NamedTensor{}, corrupt("read tensor name", err)
 	}
 	var rank uint8
 	if err := binary.Read(r, binary.LittleEndian, &rank); err != nil {
-		return core.NamedTensor{}, fmt.Errorf("modelio: read tensor rank: %w", err)
+		return core.NamedTensor{}, corrupt("read tensor rank", err)
 	}
 	if rank == 0 || rank > 8 {
 		return core.NamedTensor{}, fmt.Errorf("%w: tensor %q has rank %d", ErrBadFormat, name, rank)
@@ -223,7 +394,7 @@ func readTensor(r io.Reader) (core.NamedTensor, error) {
 	for i := range shape {
 		var d uint32
 		if err := binary.Read(r, binary.LittleEndian, &d); err != nil {
-			return core.NamedTensor{}, fmt.Errorf("modelio: read tensor dim: %w", err)
+			return core.NamedTensor{}, corrupt("read tensor dim", err)
 		}
 		if d == 0 || int(d) > maxTensorElems {
 			return core.NamedTensor{}, fmt.Errorf("%w: tensor %q has dim %d", ErrBadFormat, name, d)
@@ -234,9 +405,27 @@ func readTensor(r io.Reader) (core.NamedTensor, error) {
 			return core.NamedTensor{}, fmt.Errorf("%w: tensor %q too large", ErrBadFormat, name)
 		}
 	}
+	dst, ok := expect[string(name)]
+	if !ok {
+		return core.NamedTensor{}, fmt.Errorf("modelio: %w: config has no tensor %q", ErrCorruptModel, name)
+	}
+	if elems != dst.Size() {
+		return core.NamedTensor{}, fmt.Errorf("modelio: %w: tensor %q declares %d elements, config needs %d", ErrCorruptModel, name, elems, dst.Size())
+	}
+	var wantSum uint32
+	if v >= 2 {
+		if err := binary.Read(r, binary.LittleEndian, &wantSum); err != nil {
+			return core.NamedTensor{}, corrupt("read tensor checksum", err)
+		}
+	}
 	buf := make([]byte, 4*elems)
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return core.NamedTensor{}, fmt.Errorf("modelio: read tensor data: %w", err)
+		return core.NamedTensor{}, corrupt("read tensor data", err)
+	}
+	if v >= 2 {
+		if got := crc32.Checksum(buf, castagnoli); got != wantSum {
+			return core.NamedTensor{}, fmt.Errorf("modelio: %w: tensor %q checksum %08x, want %08x", ErrCorruptModel, name, got, wantSum)
+		}
 	}
 	t := tensor.New(shape...)
 	for i := range t.Data() {

@@ -128,8 +128,8 @@ func TestLoadRejectsWrongVersion(t *testing.T) {
 	}
 	raw := buf.Bytes()
 	raw[8] = 0xFF // version low byte
-	if _, err := Load(bytes.NewReader(raw)); !errors.Is(err, ErrBadFormat) {
-		t.Errorf("err = %v, want ErrBadFormat", err)
+	if _, err := Load(bytes.NewReader(raw)); !errors.Is(err, ErrVersionUnsupported) {
+		t.Errorf("err = %v, want ErrVersionUnsupported", err)
 	}
 }
 

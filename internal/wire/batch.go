@@ -74,6 +74,8 @@ func UnpackPresent(packed []byte, n int) []bool {
 type CaptureBatch struct {
 	// Session tags the inference session this frame belongs to.
 	Session uint64
+	// ModelVersion pins the session's weights; 0 means the active version.
+	ModelVersion uint64
 	// SampleIDs lists the batch's samples, in batch order.
 	SampleIDs []uint64
 }
@@ -86,15 +88,17 @@ func (m *CaptureBatch) SessionID() uint64 { return m.Session }
 
 func (m *CaptureBatch) appendPayload(dst []byte) []byte {
 	dst = binary.LittleEndian.AppendUint64(dst, m.Session)
+	dst = binary.LittleEndian.AppendUint64(dst, m.ModelVersion)
 	return appendSampleIDs(dst, m.SampleIDs)
 }
 
 func (m *CaptureBatch) decodePayload(src []byte) error {
-	if len(src) < 8 {
+	if len(src) < 16 {
 		return ErrShortPayload
 	}
 	m.Session = binary.LittleEndian.Uint64(src[0:8])
-	ids, rest, err := readSampleIDs(src[8:])
+	m.ModelVersion = binary.LittleEndian.Uint64(src[8:16])
+	ids, rest, err := readSampleIDs(src[16:])
 	if err != nil {
 		return err
 	}
@@ -186,6 +190,8 @@ func (m *SummaryBatch) decodePayload(src []byte) error {
 type FeatureBatchRequest struct {
 	// Session tags the inference session this frame belongs to.
 	Session uint64
+	// ModelVersion pins the session's weights; 0 means the active version.
+	ModelVersion uint64
 	// SampleIDs lists the batch's samples, in batch order.
 	SampleIDs []uint64
 }
@@ -198,15 +204,17 @@ func (m *FeatureBatchRequest) SessionID() uint64 { return m.Session }
 
 func (m *FeatureBatchRequest) appendPayload(dst []byte) []byte {
 	dst = binary.LittleEndian.AppendUint64(dst, m.Session)
+	dst = binary.LittleEndian.AppendUint64(dst, m.ModelVersion)
 	return appendSampleIDs(dst, m.SampleIDs)
 }
 
 func (m *FeatureBatchRequest) decodePayload(src []byte) error {
-	if len(src) < 8 {
+	if len(src) < 16 {
 		return ErrShortPayload
 	}
 	m.Session = binary.LittleEndian.Uint64(src[0:8])
-	ids, rest, err := readSampleIDs(src[8:])
+	m.ModelVersion = binary.LittleEndian.Uint64(src[8:16])
+	ids, rest, err := readSampleIDs(src[16:])
 	if err != nil {
 		return err
 	}
@@ -293,6 +301,8 @@ func (m *FeatureBatch) decodePayload(src []byte) error {
 type CloudClassifyBatch struct {
 	// Session tags the inference session this frame belongs to.
 	Session uint64
+	// ModelVersion pins the session's weights; 0 means the active version.
+	ModelVersion uint64
 	// Devices is the total device count in the hierarchy.
 	Devices uint16
 	// SampleIDs lists the escalating samples, batch order.
@@ -338,17 +348,19 @@ func readIDMaskPairs(src []byte) ([]uint64, []uint16, []byte, error) {
 
 func (m *CloudClassifyBatch) appendPayload(dst []byte) []byte {
 	dst = binary.LittleEndian.AppendUint64(dst, m.Session)
+	dst = binary.LittleEndian.AppendUint64(dst, m.ModelVersion)
 	dst = binary.LittleEndian.AppendUint16(dst, m.Devices)
 	return appendIDMaskPairs(dst, m.SampleIDs, m.Masks)
 }
 
 func (m *CloudClassifyBatch) decodePayload(src []byte) error {
-	if len(src) < 10 {
+	if len(src) < 18 {
 		return ErrShortPayload
 	}
 	m.Session = binary.LittleEndian.Uint64(src[0:8])
-	m.Devices = binary.LittleEndian.Uint16(src[8:10])
-	ids, masks, rest, err := readIDMaskPairs(src[10:])
+	m.ModelVersion = binary.LittleEndian.Uint64(src[8:16])
+	m.Devices = binary.LittleEndian.Uint16(src[16:18])
+	ids, masks, rest, err := readIDMaskPairs(src[18:])
 	if err != nil {
 		return err
 	}
@@ -368,6 +380,8 @@ func (m *CloudClassifyBatch) decodePayload(src []byte) error {
 type EdgeClassifyBatch struct {
 	// Session tags the inference session this frame belongs to.
 	Session uint64
+	// ModelVersion pins the session's weights; 0 means the active version.
+	ModelVersion uint64
 	// Devices is the total device count in the hierarchy.
 	Devices uint16
 	// SampleIDs lists the escalating samples, batch order.
@@ -387,6 +401,7 @@ func (m *EdgeClassifyBatch) SessionID() uint64 { return m.Session }
 
 func (m *EdgeClassifyBatch) appendPayload(dst []byte) []byte {
 	dst = binary.LittleEndian.AppendUint64(dst, m.Session)
+	dst = binary.LittleEndian.AppendUint64(dst, m.ModelVersion)
 	dst = binary.LittleEndian.AppendUint16(dst, m.Devices)
 	dst = appendIDMaskPairs(dst, m.SampleIDs, m.Masks)
 	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(m.Thresholds)))
@@ -397,12 +412,13 @@ func (m *EdgeClassifyBatch) appendPayload(dst []byte) []byte {
 }
 
 func (m *EdgeClassifyBatch) decodePayload(src []byte) error {
-	if len(src) < 10 {
+	if len(src) < 18 {
 		return ErrShortPayload
 	}
 	m.Session = binary.LittleEndian.Uint64(src[0:8])
-	m.Devices = binary.LittleEndian.Uint16(src[8:10])
-	ids, masks, rest, err := readIDMaskPairs(src[10:])
+	m.ModelVersion = binary.LittleEndian.Uint64(src[8:16])
+	m.Devices = binary.LittleEndian.Uint16(src[16:18])
+	ids, masks, rest, err := readIDMaskPairs(src[18:])
 	if err != nil {
 		return err
 	}
@@ -430,6 +446,8 @@ func (m *EdgeClassifyBatch) decodePayload(src []byte) error {
 type EdgeFeatureBatch struct {
 	// Session tags the inference session this frame belongs to.
 	Session uint64
+	// ModelVersion pins the session's weights; 0 means the active version.
+	ModelVersion uint64
 	// F, H, W give the packed feature map's shape: filters × height × width.
 	F, H, W uint16
 	// SampleIDs lists the batch's samples, in batch order.
@@ -457,6 +475,7 @@ func (m *EdgeFeatureBatch) Sample(i int) []byte {
 
 func (m *EdgeFeatureBatch) appendPayload(dst []byte) []byte {
 	dst = binary.LittleEndian.AppendUint64(dst, m.Session)
+	dst = binary.LittleEndian.AppendUint64(dst, m.ModelVersion)
 	dst = binary.LittleEndian.AppendUint16(dst, m.F)
 	dst = binary.LittleEndian.AppendUint16(dst, m.H)
 	dst = binary.LittleEndian.AppendUint16(dst, m.W)
@@ -465,14 +484,15 @@ func (m *EdgeFeatureBatch) appendPayload(dst []byte) []byte {
 }
 
 func (m *EdgeFeatureBatch) decodePayload(src []byte) error {
-	if len(src) < 14 {
+	if len(src) < 22 {
 		return ErrShortPayload
 	}
 	m.Session = binary.LittleEndian.Uint64(src[0:8])
-	m.F = binary.LittleEndian.Uint16(src[8:10])
-	m.H = binary.LittleEndian.Uint16(src[10:12])
-	m.W = binary.LittleEndian.Uint16(src[12:14])
-	ids, rest, err := readSampleIDs(src[14:])
+	m.ModelVersion = binary.LittleEndian.Uint64(src[8:16])
+	m.F = binary.LittleEndian.Uint16(src[16:18])
+	m.H = binary.LittleEndian.Uint16(src[18:20])
+	m.W = binary.LittleEndian.Uint16(src[20:22])
+	ids, rest, err := readSampleIDs(src[22:])
 	if err != nil {
 		return err
 	}

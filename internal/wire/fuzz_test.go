@@ -23,24 +23,24 @@ func seedMessages() []Message {
 	return []Message{
 		&Hello{NodeID: "device-3", Role: RoleDevice, Device: 3},
 		&LocalSummary{Session: 17, SampleID: 42, Device: 1, Probs: []float32{0.1, 0.7, 0.2}},
-		&FeatureRequest{Session: 3, SampleID: 99},
+		&FeatureRequest{Session: 3, SampleID: 99, ModelVersion: 2},
 		&FeatureUpload{Session: 9, SampleID: 7, Device: 2, F: 4, H: 16, W: 16, Bits: make([]byte, 4*16*16/8)},
 		&ClassifyResult{Session: 1 << 40, SampleID: 5, Exit: ExitCloud, Class: 2, Probs: []float32{0.05, 0.05, 0.9}},
 		&Heartbeat{NodeID: "edge-0", Seq: 12345},
 		&Error{Session: 12, Code: 404, Msg: "no such sample"},
-		&CaptureRequest{Session: 2, SampleID: 31337},
-		&CloudClassify{Session: 6, SampleID: 8, Devices: 6, Mask: 0b101101},
-		&EdgeClassify{Session: 11, SampleID: 9, Devices: 6, Mask: 0b011011, Thresholds: []float64{0.8, 0.5}},
-		&EdgeFeature{Session: 13, SampleID: 21, F: 8, H: 8, W: 8, Bits: make([]byte, 64)},
-		&CaptureBatch{Session: 14, SampleIDs: []uint64{3, 1, 4}},
+		&CaptureRequest{Session: 2, SampleID: 31337, ModelVersion: 1},
+		&CloudClassify{Session: 6, SampleID: 8, ModelVersion: 3, Devices: 6, Mask: 0b101101},
+		&EdgeClassify{Session: 11, SampleID: 9, ModelVersion: 4, Devices: 6, Mask: 0b011011, Thresholds: []float64{0.8, 0.5}},
+		&EdgeFeature{Session: 13, SampleID: 21, ModelVersion: 5, F: 8, H: 8, W: 8, Bits: make([]byte, 64)},
+		&CaptureBatch{Session: 14, ModelVersion: 2, SampleIDs: []uint64{3, 1, 4}},
 		&SummaryBatch{Session: 15, Device: 2, Classes: 3, Count: 3,
 			Present: PackPresent([]bool{true, false, true}),
 			Probs:   []float32{0.1, 0.7, 0.2, 0.9, 0.05, 0.05}},
-		&FeatureBatchRequest{Session: 16, SampleIDs: []uint64{7, 9}},
+		&FeatureBatchRequest{Session: 16, ModelVersion: 2, SampleIDs: []uint64{7, 9}},
 		&FeatureBatch{Session: 17, Device: 1, F: 4, H: 16, W: 16, Count: 2, Bits: make([]byte, 256)},
-		&CloudClassifyBatch{Session: 18, Devices: 6, SampleIDs: []uint64{5, 6}, Masks: []uint16{0b111111, 0b101101}},
-		&EdgeClassifyBatch{Session: 19, Devices: 6, SampleIDs: []uint64{5}, Masks: []uint16{0b011011}, Thresholds: []float64{0.8, 0.5}},
-		&EdgeFeatureBatch{Session: 20, F: 8, H: 8, W: 8, SampleIDs: []uint64{11, 12}, Bits: make([]byte, 128)},
+		&CloudClassifyBatch{Session: 18, ModelVersion: 6, Devices: 6, SampleIDs: []uint64{5, 6}, Masks: []uint16{0b111111, 0b101101}},
+		&EdgeClassifyBatch{Session: 19, ModelVersion: 7, Devices: 6, SampleIDs: []uint64{5}, Masks: []uint16{0b011011}, Thresholds: []float64{0.8, 0.5}},
+		&EdgeFeatureBatch{Session: 20, ModelVersion: 8, F: 8, H: 8, W: 8, SampleIDs: []uint64{11, 12}, Bits: make([]byte, 128)},
 		&ResultBatch{Session: 21, Verdicts: []BatchVerdict{
 			{SampleID: 5, Exit: ExitEdge, Class: 1, Probs: []float32{0.1, 0.8, 0.1}},
 			{SampleID: 6, Exit: ExitCloud, Class: 0, Probs: []float32{0.9, 0.05, 0.05}},
@@ -153,13 +153,15 @@ func buildMessage(kind uint8, session, sample uint64, a, b uint16, s string, blo
 	for i := range masks {
 		masks[i] = b + uint16(i)
 	}
+	// Model version pinning rides every session-opening frame.
+	mv := session ^ sample
 	switch kind % 22 {
 	case 0:
 		return &Hello{NodeID: s, Role: Role(a), Device: b}
 	case 1:
 		return &LocalSummary{Session: session, SampleID: sample, Device: a, Probs: probs}
 	case 2:
-		return &FeatureRequest{Session: session, SampleID: sample}
+		return &FeatureRequest{Session: session, SampleID: sample, ModelVersion: mv}
 	case 3:
 		fDim, h, w, bits := shape(a, b)
 		return &FeatureUpload{Session: session, SampleID: sample, Device: b, F: fDim, H: h, W: w, Bits: bits}
@@ -170,20 +172,20 @@ func buildMessage(kind uint8, session, sample uint64, a, b uint16, s string, blo
 	case 6:
 		return &Error{Session: session, Code: a, Msg: s}
 	case 7:
-		return &CaptureRequest{Session: session, SampleID: sample}
+		return &CaptureRequest{Session: session, SampleID: sample, ModelVersion: mv}
 	case 8:
-		return &CloudClassify{Session: session, SampleID: sample, Devices: a, Mask: b}
+		return &CloudClassify{Session: session, SampleID: sample, ModelVersion: mv, Devices: a, Mask: b}
 	case 9:
 		ts := make([]float64, len(blob)/8%16)
 		for i := range ts {
 			ts[i] = math.Float64frombits(binary.LittleEndian.Uint64(blob[8*i:]))
 		}
-		return &EdgeClassify{Session: session, SampleID: sample, Devices: a, Mask: b, Thresholds: ts}
+		return &EdgeClassify{Session: session, SampleID: sample, ModelVersion: mv, Devices: a, Mask: b, Thresholds: ts}
 	case 10:
 		fDim, h, w, bits := shape(b, a)
-		return &EdgeFeature{Session: session, SampleID: sample, F: fDim, H: h, W: w, Bits: bits}
+		return &EdgeFeature{Session: session, SampleID: sample, ModelVersion: mv, F: fDim, H: h, W: w, Bits: bits}
 	case 11:
-		return &CaptureBatch{Session: session, SampleIDs: ids}
+		return &CaptureBatch{Session: session, ModelVersion: mv, SampleIDs: ids}
 	case 12:
 		classes := int(b%4) + 1
 		count := int(a % 8)
@@ -202,7 +204,7 @@ func buildMessage(kind uint8, session, sample uint64, a, b uint16, s string, blo
 		return &SummaryBatch{Session: session, Device: a, Classes: uint16(classes),
 			Count: uint16(count), Present: PackPresent(present), Probs: sProbs}
 	case 13:
-		return &FeatureBatchRequest{Session: session, SampleIDs: ids}
+		return &FeatureBatchRequest{Session: session, ModelVersion: mv, SampleIDs: ids}
 	case 14:
 		fDim, h, w, one := shape(a, b)
 		count := int(b % 4)
@@ -212,20 +214,20 @@ func buildMessage(kind uint8, session, sample uint64, a, b uint16, s string, blo
 		}
 		return &FeatureBatch{Session: session, Device: b, F: fDim, H: h, W: w, Count: uint16(count), Bits: bits}
 	case 15:
-		return &CloudClassifyBatch{Session: session, Devices: a, SampleIDs: ids, Masks: masks}
+		return &CloudClassifyBatch{Session: session, ModelVersion: mv, Devices: a, SampleIDs: ids, Masks: masks}
 	case 16:
 		ts := make([]float64, len(blob)/8%16)
 		for i := range ts {
 			ts[i] = math.Float64frombits(binary.LittleEndian.Uint64(blob[8*i:]))
 		}
-		return &EdgeClassifyBatch{Session: session, Devices: a, SampleIDs: ids, Masks: masks, Thresholds: ts}
+		return &EdgeClassifyBatch{Session: session, ModelVersion: mv, Devices: a, SampleIDs: ids, Masks: masks, Thresholds: ts}
 	case 17:
 		fDim, h, w, one := shape(b, a)
 		bits := make([]byte, 0, len(ids)*len(one))
 		for range ids {
 			bits = append(bits, one...)
 		}
-		return &EdgeFeatureBatch{Session: session, F: fDim, H: h, W: w, SampleIDs: ids, Bits: bits}
+		return &EdgeFeatureBatch{Session: session, ModelVersion: mv, F: fDim, H: h, W: w, SampleIDs: ids, Bits: bits}
 	case 19:
 		tenant := ""
 		if len(blob) > 0 {

@@ -129,6 +129,8 @@ type FeatureRequest struct {
 	Session uint64
 	// SampleID identifies the sample being classified.
 	SampleID uint64
+	// ModelVersion pins the session's weights; 0 means the active version.
+	ModelVersion uint64
 }
 
 // MsgType implements Message.
@@ -139,15 +141,17 @@ func (m *FeatureRequest) SessionID() uint64 { return m.Session }
 
 func (m *FeatureRequest) appendPayload(dst []byte) []byte {
 	dst = binary.LittleEndian.AppendUint64(dst, m.Session)
-	return binary.LittleEndian.AppendUint64(dst, m.SampleID)
+	dst = binary.LittleEndian.AppendUint64(dst, m.SampleID)
+	return binary.LittleEndian.AppendUint64(dst, m.ModelVersion)
 }
 
 func (m *FeatureRequest) decodePayload(src []byte) error {
-	if len(src) != 16 {
+	if len(src) != 24 {
 		return ErrShortPayload
 	}
 	m.Session = binary.LittleEndian.Uint64(src[0:8])
 	m.SampleID = binary.LittleEndian.Uint64(src[8:16])
+	m.ModelVersion = binary.LittleEndian.Uint64(src[16:24])
 	return nil
 }
 
@@ -316,7 +320,8 @@ func (m *Heartbeat) decodePayload(src []byte) error {
 type Error struct {
 	// Session tags the inference session this frame belongs to.
 	Session uint64
-	// Code is an HTTP-style status (400 bad request, 503 tier above the responder unreachable).
+	// Code is an HTTP-style status (400 bad request, 426 unknown model
+	// version, 503 tier above the responder unreachable).
 	Code uint16
 	// Msg is the human-readable error description.
 	Msg string
@@ -358,6 +363,8 @@ type CaptureRequest struct {
 	Session uint64
 	// SampleID identifies the sample being classified.
 	SampleID uint64
+	// ModelVersion pins the session's weights; 0 means the active version.
+	ModelVersion uint64
 }
 
 // MsgType implements Message.
@@ -368,15 +375,17 @@ func (m *CaptureRequest) SessionID() uint64 { return m.Session }
 
 func (m *CaptureRequest) appendPayload(dst []byte) []byte {
 	dst = binary.LittleEndian.AppendUint64(dst, m.Session)
-	return binary.LittleEndian.AppendUint64(dst, m.SampleID)
+	dst = binary.LittleEndian.AppendUint64(dst, m.SampleID)
+	return binary.LittleEndian.AppendUint64(dst, m.ModelVersion)
 }
 
 func (m *CaptureRequest) decodePayload(src []byte) error {
-	if len(src) != 16 {
+	if len(src) != 24 {
 		return ErrShortPayload
 	}
 	m.Session = binary.LittleEndian.Uint64(src[0:8])
 	m.SampleID = binary.LittleEndian.Uint64(src[8:16])
+	m.ModelVersion = binary.LittleEndian.Uint64(src[16:24])
 	return nil
 }
 
@@ -389,6 +398,8 @@ type CloudClassify struct {
 	Session uint64
 	// SampleID identifies the sample being classified.
 	SampleID uint64
+	// ModelVersion pins the session's weights; 0 means the active version.
+	ModelVersion uint64
 	// Devices is the total device count in the hierarchy.
 	Devices uint16
 	// Mask has bit d set when device d's features follow.
@@ -404,18 +415,20 @@ func (m *CloudClassify) SessionID() uint64 { return m.Session }
 func (m *CloudClassify) appendPayload(dst []byte) []byte {
 	dst = binary.LittleEndian.AppendUint64(dst, m.Session)
 	dst = binary.LittleEndian.AppendUint64(dst, m.SampleID)
+	dst = binary.LittleEndian.AppendUint64(dst, m.ModelVersion)
 	dst = binary.LittleEndian.AppendUint16(dst, m.Devices)
 	return binary.LittleEndian.AppendUint16(dst, m.Mask)
 }
 
 func (m *CloudClassify) decodePayload(src []byte) error {
-	if len(src) != 20 {
+	if len(src) != 28 {
 		return ErrShortPayload
 	}
 	m.Session = binary.LittleEndian.Uint64(src[0:8])
 	m.SampleID = binary.LittleEndian.Uint64(src[8:16])
-	m.Devices = binary.LittleEndian.Uint16(src[16:18])
-	m.Mask = binary.LittleEndian.Uint16(src[18:20])
+	m.ModelVersion = binary.LittleEndian.Uint64(src[16:24])
+	m.Devices = binary.LittleEndian.Uint16(src[24:26])
+	m.Mask = binary.LittleEndian.Uint16(src[26:28])
 	return nil
 }
 
@@ -438,6 +451,8 @@ type EdgeClassify struct {
 	Session uint64
 	// SampleID identifies the sample being classified.
 	SampleID uint64
+	// ModelVersion pins the session's weights; 0 means the active version.
+	ModelVersion uint64
 	// Devices is the total device count in the hierarchy.
 	Devices uint16
 	// Mask has bit d set when device d's features follow.
@@ -457,6 +472,7 @@ func (m *EdgeClassify) SessionID() uint64 { return m.Session }
 func (m *EdgeClassify) appendPayload(dst []byte) []byte {
 	dst = binary.LittleEndian.AppendUint64(dst, m.Session)
 	dst = binary.LittleEndian.AppendUint64(dst, m.SampleID)
+	dst = binary.LittleEndian.AppendUint64(dst, m.ModelVersion)
 	dst = binary.LittleEndian.AppendUint16(dst, m.Devices)
 	dst = binary.LittleEndian.AppendUint16(dst, m.Mask)
 	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(m.Thresholds)))
@@ -467,15 +483,16 @@ func (m *EdgeClassify) appendPayload(dst []byte) []byte {
 }
 
 func (m *EdgeClassify) decodePayload(src []byte) error {
-	if len(src) < 22 {
+	if len(src) < 30 {
 		return ErrShortPayload
 	}
 	m.Session = binary.LittleEndian.Uint64(src[0:8])
 	m.SampleID = binary.LittleEndian.Uint64(src[8:16])
-	m.Devices = binary.LittleEndian.Uint16(src[16:18])
-	m.Mask = binary.LittleEndian.Uint16(src[18:20])
-	n := int(binary.LittleEndian.Uint16(src[20:22]))
-	src = src[22:]
+	m.ModelVersion = binary.LittleEndian.Uint64(src[16:24])
+	m.Devices = binary.LittleEndian.Uint16(src[24:26])
+	m.Mask = binary.LittleEndian.Uint16(src[26:28])
+	n := int(binary.LittleEndian.Uint16(src[28:30]))
+	src = src[30:]
 	if len(src) != 8*n {
 		return ErrShortPayload
 	}
@@ -502,6 +519,8 @@ type EdgeFeature struct {
 	Session uint64
 	// SampleID identifies the sample being classified.
 	SampleID uint64
+	// ModelVersion pins the session's weights; 0 means the active version.
+	ModelVersion uint64
 	// F, H, W give the packed feature map's shape: filters × height × width.
 	F, H, W uint16
 	// Bits is the LSB-first bit-packed binarized feature payload.
@@ -517,6 +536,7 @@ func (m *EdgeFeature) SessionID() uint64 { return m.Session }
 func (m *EdgeFeature) appendPayload(dst []byte) []byte {
 	dst = binary.LittleEndian.AppendUint64(dst, m.Session)
 	dst = binary.LittleEndian.AppendUint64(dst, m.SampleID)
+	dst = binary.LittleEndian.AppendUint64(dst, m.ModelVersion)
 	dst = binary.LittleEndian.AppendUint16(dst, m.F)
 	dst = binary.LittleEndian.AppendUint16(dst, m.H)
 	dst = binary.LittleEndian.AppendUint16(dst, m.W)
@@ -525,16 +545,17 @@ func (m *EdgeFeature) appendPayload(dst []byte) []byte {
 }
 
 func (m *EdgeFeature) decodePayload(src []byte) error {
-	if len(src) < 26 {
+	if len(src) < 34 {
 		return ErrShortPayload
 	}
 	m.Session = binary.LittleEndian.Uint64(src[0:8])
 	m.SampleID = binary.LittleEndian.Uint64(src[8:16])
-	m.F = binary.LittleEndian.Uint16(src[16:18])
-	m.H = binary.LittleEndian.Uint16(src[18:20])
-	m.W = binary.LittleEndian.Uint16(src[20:22])
-	n := int(binary.LittleEndian.Uint32(src[22:26]))
-	src = src[26:]
+	m.ModelVersion = binary.LittleEndian.Uint64(src[16:24])
+	m.F = binary.LittleEndian.Uint16(src[24:26])
+	m.H = binary.LittleEndian.Uint16(src[26:28])
+	m.W = binary.LittleEndian.Uint16(src[28:30])
+	n := int(binary.LittleEndian.Uint32(src[30:34]))
+	src = src[34:]
 	if len(src) != n {
 		return ErrShortPayload
 	}

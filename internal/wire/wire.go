@@ -3,7 +3,7 @@
 // the cloud). Frames are length-prefixed with a fixed header:
 //
 //	magic   uint16  0xDD17 ("DDNN ICDCS'17")
-//	version uint8   2
+//	version uint8   3
 //	type    uint8   message type
 //	length  uint32  payload length in bytes
 //
@@ -18,7 +18,10 @@
 // Since version 2 every session-scoped message carries a Session tag, so a
 // single connection can interleave frames from many concurrent inference
 // sessions and each endpoint demultiplexes replies by session instead of
-// assuming lock-step request/reply.
+// assuming lock-step request/reply. Version 3 added a ModelVersion pin to
+// every serving-path request, so a session started during a rolling model
+// reload is answered by one model version at every hop (0 pins nothing and
+// means "the responder's active version").
 package wire
 
 import (
@@ -34,8 +37,9 @@ const Magic uint16 = 0xDD17
 
 // Version is the protocol version this package speaks. Version 2 added
 // the Session tag that multiplexes concurrent inference sessions over one
-// connection.
-const Version uint8 = 2
+// connection; version 3 added the model-version pin on every serving-path
+// request (rolling model reloads).
+const Version uint8 = 3
 
 // MaxPayload bounds frame payloads to guard against corrupt or hostile
 // length fields. Feature maps in this system are tiny; 16 MiB is generous.

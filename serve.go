@@ -105,6 +105,33 @@ var (
 	// slots is not an error: the engine starts with a partial device set
 	// and admits the rest at runtime.
 	ErrDeviceSlotMismatch = cluster.ErrDeviceSlotMismatch
+	// ErrModelVersionUnknown reports a model version no registry holds —
+	// a rollout or session pinned to a version the fleet never loaded.
+	ErrModelVersionUnknown = cluster.ErrModelVersionUnknown
+	// ErrDuplicateModelVersion reports a RegisterModel version collision.
+	ErrDuplicateModelVersion = cluster.ErrDuplicateModelVersion
+	// ErrModelConfigMismatch reports a registered model whose architecture
+	// differs from the serving fleet's.
+	ErrModelConfigMismatch = cluster.ErrModelConfigMismatch
+	// ErrRolloutInProgress reports a RolloutModel call racing another;
+	// rollouts are serialized fleet-wide.
+	ErrRolloutInProgress = cluster.ErrRolloutInProgress
+	// ErrRolloutFailed reports a rollout that failed a canary (or lost a
+	// replica mid-flight) and automatically rolled the fleet back to the
+	// prior active version.
+	ErrRolloutFailed = cluster.ErrRolloutFailed
+)
+
+// Rollout lifecycle states, as reported by Engine.RolloutState.
+const (
+	// RolloutIdle means no rollout is running and the last one (if any)
+	// completed.
+	RolloutIdle = cluster.RolloutIdle
+	// RolloutRolling means a rolling reload is flipping replicas now.
+	RolloutRolling = cluster.RolloutRolling
+	// RolloutRolledBack means the last rollout failed its canary and the
+	// fleet was restored to the prior version.
+	RolloutRolledBack = cluster.RolloutRolledBack
 )
 
 // engineOptions collects the functional options of NewEngine and Connect.
@@ -443,6 +470,51 @@ func (e *Engine) Topology() TopologyConfig { return e.inner.Topology() }
 // cmd/ddnn-device's -register flag.
 func (e *Engine) ServeRegistration(addr string) error {
 	return e.inner.ServeRegistration(addr)
+}
+
+// RegisterModel registers an already-loaded model under an explicit
+// nonzero version number in the engine's model registry. The
+// architecture must match the serving fleet's (ErrModelConfigMismatch)
+// and the version must be new (ErrDuplicateModelVersion). Registration
+// alone changes nothing about serving — RolloutModel makes a version
+// live.
+func (e *Engine) RegisterModel(version uint64, m *Model) error {
+	return e.inner.RegisterModel(version, m)
+}
+
+// RegisterModelBytes decodes a versioned model artifact (see
+// SaveModelVersion) and registers it under its stamped version, which
+// is returned. Corrupt artifacts fail with ErrCorruptModel before
+// touching the registry.
+func (e *Engine) RegisterModelBytes(data []byte) (uint64, error) {
+	return e.inner.RegisterModelBytes(data)
+}
+
+// ModelVersion returns the fleet's active model version (1 for a fresh
+// engine). Every Result carries the version its session was pinned to.
+func (e *Engine) ModelVersion() uint64 { return e.inner.ModelVersion() }
+
+// ModelVersions returns every version the engine's registry holds, in
+// ascending order.
+func (e *Engine) ModelVersions() []uint64 { return e.inner.ModelVersions() }
+
+// RolloutState reports the model lifecycle state: RolloutIdle,
+// RolloutRolling or RolloutRolledBack.
+func (e *Engine) RolloutState() string { return e.inner.RolloutState() }
+
+// RolloutModel performs a zero-downtime rolling reload of the in-process
+// fleet onto a registered version: one upstream replica at a time is
+// fenced out of scheduling, drained, flipped, and canaried against the
+// staged reference (bit-identical outputs on a held-out batch) before
+// traffic returns to it. Sessions in flight keep the version they
+// pinned at session start. A failed canary rolls the entire fleet back
+// to the prior version automatically and surfaces ErrRolloutFailed;
+// concurrent rollouts fail fast with ErrRolloutInProgress. Keep at
+// least two replicas per tier (WithEdgeReplicas/WithCloudReplicas) for
+// true zero-downtime — with a single replica, escalations during its
+// drain window fail over to no one and surface ErrNoHealthyReplica.
+func (e *Engine) RolloutModel(ctx context.Context, version uint64) error {
+	return e.inner.RolloutModel(ctx, version)
 }
 
 // PayloadBytes returns the accumulated Eq. (1) payload bytes across all
