@@ -41,10 +41,23 @@ type kernelComparison struct {
 // equal-compute paths are allowed 5% measurement noise.
 const pooledFloor = 0.95
 
-// kernelReport is what -json serializes (BENCH_pr6.json in CI).
+// kernelReport is what -json serializes (BENCH_pr10.json in CI).
 type kernelReport struct {
 	Results     []kernelResult     `json:"results"`
 	Comparisons []kernelComparison `json:"comparisons"`
+}
+
+// sizeTag maps a dispatch-matrix kernel to the shape suffix in its row
+// names, so the comparison entries reference the exact result rows.
+func sizeTag(kernel string) string {
+	switch kernel {
+	case "gemm", "gemm_sign":
+		return "32x256x64"
+	case "xnor_dot":
+		return "1024"
+	default:
+		return "4096"
+	}
 }
 
 func benchNs(f func(b *testing.B)) kernelResult {
@@ -54,6 +67,20 @@ func benchNs(f func(b *testing.B)) kernelResult {
 		AllocsPerOp: r.AllocsPerOp(),
 		BytesPerOp:  r.AllocedBytesPerOp(),
 	}
+}
+
+// benchNsBest measures f several times and keeps the fastest run.
+// Gated comparisons use this: the minimum is robust against one-off
+// frequency dips and scheduler migrations that a single 1-second run
+// on shared CI hardware can absorb entirely.
+func benchNsBest(f func(b *testing.B)) kernelResult {
+	best := benchNs(f)
+	for i := 1; i < 3; i++ {
+		if r := benchNs(f); r.NsPerOp < best.NsPerOp {
+			best = r
+		}
+	}
+	return best
 }
 
 // runKernels benchmarks the rewritten compute core against the retained
@@ -67,28 +94,41 @@ func runKernels(out io.Writer, jsonPath string) error {
 	// host's core count.
 	tensor.SetMaxWorkers(1)
 	defer tensor.SetMaxWorkers(0)
+	prevPath := tensor.CurrentKernelPath()
+	defer tensor.SetKernelPath(prevPath)
 	rng := rand.New(rand.NewSource(1))
 	report := kernelReport{}
-	add := func(name string, f func(b *testing.B)) kernelResult {
-		r := benchNs(f)
+	record := func(name string, r kernelResult) kernelResult {
 		r.Name = name
 		report.Results = append(report.Results, r)
 		fmt.Fprintf(out, "%-28s %12.0f ns/op %8d B/op %6d allocs/op\n", name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
 		return r
 	}
+	add := func(name string, f func(b *testing.B)) kernelResult {
+		return record(name, benchNs(f))
+	}
+	addBest := func(name string, f func(b *testing.B)) kernelResult {
+		return record(name, benchNsBest(f))
+	}
 
-	// GEMM: naive ikj reference vs register-tiled kernel.
+	// GEMM: naive ikj reference vs register-tiled kernel. The historical
+	// rows keep their meaning under the dispatch layer: MatMul and
+	// XnorDot are pinned to the portable go path here, and the per-path
+	// matrix below covers naive and simd.
+	if err := tensor.SetKernelPathName("go"); err != nil {
+		return err
+	}
 	x := tensor.New(32, 256)
 	w := tensor.New(256, 64)
 	x.FillUniform(rng, -1, 1)
 	w.FillUniform(rng, -1, 1)
-	naiveMM := add("matmul_naive_32x256x64", func(b *testing.B) {
+	naiveMM := addBest("matmul_naive_32x256x64", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			tensor.MatMulNaive(x, w)
 		}
 	})
-	blockedMM := add("matmul_blocked_32x256x64", func(b *testing.B) {
+	blockedMM := addBest("matmul_blocked_32x256x64", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			tensor.MatMul(x, w)
@@ -104,7 +144,7 @@ func runKernels(out io.Writer, jsonPath string) error {
 	}
 	pa, pb := bnn.PackVector(av), bnn.PackVector(bv)
 	ab, bb := pa.Bytes(), pb.Bytes()
-	byteDot := add("xnor_dot_byte_1024", func(b *testing.B) {
+	byteDot := addBest("xnor_dot_byte_1024", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := bnn.XnorDotBytes(1024, ab, bb); err != nil {
@@ -112,7 +152,7 @@ func runKernels(out io.Writer, jsonPath string) error {
 			}
 		}
 	})
-	wordDot := add("xnor_dot_word_1024", func(b *testing.B) {
+	wordDot := addBest("xnor_dot_word_1024", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := bnn.XnorDot(pa, pb); err != nil {
@@ -120,6 +160,61 @@ func runKernels(out io.Writer, jsonPath string) error {
 			}
 		}
 	})
+
+	// Dispatch-path matrix: the same four kernels once per forced path
+	// (naive | go | simd where supported), so the report shows exactly
+	// what each path buys and CI can gate go ≥ naive and simd ≥ go.
+	ga := make([]float32, 32*256)
+	gb := make([]float32, 256*64)
+	gc := make([]float32, 32*64)
+	sa := make([]float32, 32*256)
+	for i := range ga {
+		ga[i] = rng.Float32()*2 - 1
+		sa[i] = float32(rng.Intn(2)*2 - 1)
+	}
+	for i := range gb {
+		gb[i] = rng.Float32()*2 - 1
+	}
+	packSrc := make([]float32, 4096)
+	for i := range packSrc {
+		packSrc[i] = rng.Float32()*2 - 1
+	}
+	pathRows := map[string]kernelResult{}
+	for _, path := range tensor.KernelPaths() {
+		if err := tensor.SetKernelPath(path); err != nil {
+			return err
+		}
+		tag := "[" + path.String() + "]"
+		pathRows["gemm"+tag] = addBest("gemm_32x256x64"+tag, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tensor.Gemm(gc, ga, gb, 32, 256, 64)
+			}
+		})
+		pathRows["gemm_sign"+tag] = addBest("gemm_sign_32x256x64"+tag, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tensor.GemmSign(gc, sa, gb, 32, 256, 64)
+			}
+		})
+		pathRows["xnor_dot"+tag] = addBest("xnor_dot_1024"+tag, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := bnn.XnorDot(pa, pb); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		pathRows["pack_signs"+tag] = addBest("pack_signs_4096"+tag, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bnn.PackVector(packSrc)
+			}
+		})
+	}
+	if err := tensor.SetKernelPath(prevPath); err != nil {
+		return err
+	}
 
 	// Per-tier section forwards on the paper's architecture, plus the
 	// pooled serving path.
@@ -167,6 +262,24 @@ func runKernels(out io.Writer, jsonPath string) error {
 		{Label: "word-wide XNOR vs byte", Naive: "xnor_dot_byte_1024", Optimized: "xnor_dot_word_1024", Speedup: byteDot.NsPerOp / wordDot.NsPerOp, MinSpeedup: 1},
 		{Label: "pooled device forward", Naive: "device_forward", Optimized: "device_forward_pooled", Speedup: devFwd.NsPerOp / devFwdPooled.NsPerOp, MinSpeedup: pooledFloor},
 		{Label: "pooled cloud forward", Naive: "cloud_forward", Optimized: "cloud_forward_pooled", Speedup: cloudFwd.NsPerOp / cloudFwdPooled.NsPerOp, MinSpeedup: pooledFloor},
+	}
+	// Chain gates over the dispatch-path matrix: each step up the path
+	// ladder must not lose more than the 5% noise floor, for each kernel.
+	// (On AVX2 hosts the simd steps measure well above 1x; the floor only
+	// absorbs scheduler noise, not regressions.)
+	pathNames := tensor.KernelPaths()
+	for _, kernel := range []string{"gemm", "gemm_sign", "xnor_dot", "pack_signs"} {
+		for i := 1; i < len(pathNames); i++ {
+			lo, hi := "["+pathNames[i-1].String()+"]", "["+pathNames[i].String()+"]"
+			base, step := pathRows[kernel+lo], pathRows[kernel+hi]
+			report.Comparisons = append(report.Comparisons, kernelComparison{
+				Label:      kernel + " " + pathNames[i].String() + " vs " + pathNames[i-1].String(),
+				Naive:      kernel + "_" + sizeTag(kernel) + lo,
+				Optimized:  kernel + "_" + sizeTag(kernel) + hi,
+				Speedup:    base.NsPerOp / step.NsPerOp,
+				MinSpeedup: pooledFloor,
+			})
+		}
 	}
 	fmt.Fprintln(out)
 	var slow []string

@@ -118,6 +118,7 @@ func run(args []string) error {
 	}
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelInfo}))
+	logger.Info("compute kernels", "path", ddnn.KernelPath())
 
 	var auth *api.Authenticator
 	if *tokensPath != "" {

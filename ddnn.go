@@ -141,6 +141,12 @@ func MustNewModel(cfg Config) *Model { return core.MustNewModel(cfg) }
 // DefaultTrainConfig returns the paper's training hyper-parameters.
 func DefaultTrainConfig() TrainConfig { return core.DefaultTrainConfig() }
 
+// KernelPath reports the active compute-kernel dispatch path ("naive",
+// "go" or "simd"): the best supported path by default, or the one
+// forced via the DDNN_KERNELS environment variable. All paths produce
+// identical classifications; serving binaries log this at startup.
+func KernelPath() string { return core.KernelPath() }
+
 // NewIndividualModel builds the standalone baseline for one device.
 func NewIndividualModel(cfg Config, device int) (*IndividualModel, error) {
 	return core.NewIndividualModel(cfg, device)

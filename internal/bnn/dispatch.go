@@ -1,0 +1,179 @@
+package bnn
+
+import (
+	"math/bits"
+
+	"github.com/ddnn/ddnn-go/internal/tensor"
+)
+
+// This file is the bnn side of the kernel dispatch layer: the XNOR
+// hamming reduction behind XnorDot and the fused binarize+pack kernels
+// behind PackSigns/PackVector follow the same naive|go|simd path
+// selection as the tensor GEMM kernels (tensor.CurrentKernelPath,
+// forced via the DDNN_KERNELS environment variable). All paths are
+// exact integer/bit operations, so results are identical by
+// construction; the differential tests pin that anyway.
+
+// xnorHamming returns Σ popcount(a[i]^b[i]) over equal-length word
+// slices, dispatched on the active kernel path. Callers mask partial
+// tail words before handing them here.
+func xnorHamming(aw, bw []uint64) int {
+	switch tensor.CurrentKernelPath() {
+	case tensor.KernelNaive:
+		return xnorHammingBytes(aw, bw)
+	case tensor.KernelSIMD:
+		return xnorHammingSIMD(aw, bw)
+	default:
+		return xnorHammingWords(aw, bw)
+	}
+}
+
+// xnorHammingWords is the portable optimized reduction: one 64-bit
+// popcount per word (compiled to POPCNT where available).
+func xnorHammingWords(aw, bw []uint64) int {
+	h := 0
+	for i, w := range aw {
+		h += bits.OnesCount64(w ^ bw[i])
+	}
+	return h
+}
+
+// xnorHammingBytes is the naive oracle: byte-wide popcounts, the
+// original eBNN kernel's width, reassociated over the word layout.
+func xnorHammingBytes(aw, bw []uint64) int {
+	h := 0
+	for i, w := range aw {
+		x := w ^ bw[i]
+		h += bits.OnesCount8(uint8(x)) +
+			bits.OnesCount8(uint8(x>>8)) +
+			bits.OnesCount8(uint8(x>>16)) +
+			bits.OnesCount8(uint8(x>>24)) +
+			bits.OnesCount8(uint8(x>>32)) +
+			bits.OnesCount8(uint8(x>>40)) +
+			bits.OnesCount8(uint8(x>>48)) +
+			bits.OnesCount8(uint8(x>>56))
+	}
+	return h
+}
+
+// packSignsInto fills dst (which must be zeroed, (len(src)+7)/8 bytes)
+// with the sign bits of src — bit i set when src[i] >= 0 — dispatched
+// on the active kernel path. This is the fused binarize+pack kernel:
+// the float compare and the bit pack happen in one pass.
+func packSignsInto(dst []byte, src []float32) {
+	switch tensor.CurrentKernelPath() {
+	case tensor.KernelNaive:
+		packSignsNaive(dst, src, 0)
+	case tensor.KernelSIMD:
+		packSignsSIMD(dst, src)
+	default:
+		packSignsUnrolled(dst, src, 0)
+	}
+}
+
+// packSignsNaive is the naive oracle: one test-and-set per element,
+// starting at element index from (which must be a multiple of 8 so the
+// partial byte is the last one).
+func packSignsNaive(dst []byte, src []float32, from int) {
+	for i := from; i < len(src); i++ {
+		if src[i] >= 0 {
+			dst[i/8] |= 1 << uint(i%8)
+		}
+	}
+}
+
+// packSignsUnrolled is the portable optimized kernel: eight sign tests
+// build one byte in registers, written with a single store.
+func packSignsUnrolled(dst []byte, src []float32, from int) {
+	i := from
+	for ; i+8 <= len(src); i += 8 {
+		v := src[i : i+8 : i+8]
+		var b byte
+		if v[0] >= 0 {
+			b |= 1 << 0
+		}
+		if v[1] >= 0 {
+			b |= 1 << 1
+		}
+		if v[2] >= 0 {
+			b |= 1 << 2
+		}
+		if v[3] >= 0 {
+			b |= 1 << 3
+		}
+		if v[4] >= 0 {
+			b |= 1 << 4
+		}
+		if v[5] >= 0 {
+			b |= 1 << 5
+		}
+		if v[6] >= 0 {
+			b |= 1 << 6
+		}
+		if v[7] >= 0 {
+			b |= 1 << 7
+		}
+		dst[i>>3] = b
+	}
+	packSignsNaive(dst, src, i)
+}
+
+// packWords fills words (which must be zeroed, packedWords(len(v))
+// entries) with the sign bits of v in PackedVector layout, dispatched
+// on the active kernel path.
+func packWords(words []uint64, v []float32) {
+	switch tensor.CurrentKernelPath() {
+	case tensor.KernelNaive:
+		packWordsNaive(words, v, 0)
+	case tensor.KernelSIMD:
+		packWordsSIMD(words, v)
+	default:
+		packWordsGo(words, v)
+	}
+}
+
+// packWordsNaive is the naive oracle over the word layout, starting at
+// element index from (a multiple of 8).
+func packWordsNaive(words []uint64, v []float32, from int) {
+	for i := from; i < len(v); i++ {
+		if v[i] >= 0 {
+			words[i/64] |= 1 << uint(i%64)
+		}
+	}
+}
+
+// packWordsGo builds one byte of signs at a time and ors it into the
+// word lane, the portable optimized kernel.
+func packWordsGo(words []uint64, v []float32) {
+	i := 0
+	for ; i+8 <= len(v); i += 8 {
+		s := v[i : i+8 : i+8]
+		var b byte
+		if s[0] >= 0 {
+			b |= 1 << 0
+		}
+		if s[1] >= 0 {
+			b |= 1 << 1
+		}
+		if s[2] >= 0 {
+			b |= 1 << 2
+		}
+		if s[3] >= 0 {
+			b |= 1 << 3
+		}
+		if s[4] >= 0 {
+			b |= 1 << 4
+		}
+		if s[5] >= 0 {
+			b |= 1 << 5
+		}
+		if s[6] >= 0 {
+			b |= 1 << 6
+		}
+		if s[7] >= 0 {
+			b |= 1 << 7
+		}
+		words[i>>6] |= uint64(b) << uint(i&63)
+	}
+	packWordsNaive(words, v, i)
+}

@@ -1,0 +1,14 @@
+//go:build !amd64
+
+package bnn
+
+// The SIMD entry points are unreachable on architectures without SIMD
+// kernels — tensor.KernelSIMD cannot be selected there — but the
+// dispatch switches still link them, so fall through to the portable
+// optimized kernels.
+
+func xnorHammingSIMD(aw, bw []uint64) int { return xnorHammingWords(aw, bw) }
+
+func packSignsSIMD(dst []byte, src []float32) { packSignsUnrolled(dst, src, 0) }
+
+func packWordsSIMD(words []uint64, v []float32) { packWordsGo(words, v) }

@@ -1,0 +1,82 @@
+package bnn
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"github.com/ddnn/ddnn-go/internal/tensor"
+)
+
+// cycleBytes sizes the fuzzer's byte pool to exactly need bytes,
+// cycling it when short and falling back to a deterministic pattern
+// when empty.
+func cycleBytes(src []byte, need int) []byte {
+	out := make([]byte, need)
+	if len(src) == 0 {
+		for i := range out {
+			out[i] = byte(i*131 + 17)
+		}
+		return out
+	}
+	for i := range out {
+		out[i] = src[i%len(src)]
+	}
+	return out
+}
+
+// FuzzXnorDotParity drives the whole packed pipeline — float binarize
+// + pack, then XNOR-popcount dot — on every dispatch path against the
+// byte-wide oracles, with fuzzer-chosen lengths and bit patterns. All
+// kernels are exact bit arithmetic, so every comparison is exact.
+func FuzzXnorDotParity(f *testing.F) {
+	f.Add(uint16(64), []byte{0xAA, 0x55, 0xFF, 0x00}, []byte{0x0F, 0xF0})
+	f.Add(uint16(0), []byte{}, []byte{})
+	f.Add(uint16(317), []byte("xnor-parity-seed"), []byte{0x01})
+	f.Fuzz(func(t *testing.T, nr uint16, ar, br []byte) {
+		n := int(nr) % 2048
+		need := PackedSize(n)
+		ab := cycleBytes(ar, need)
+		bb := cycleBytes(br, need)
+		a, err := PackedVectorFromBytes(n, ab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := PackedVectorFromBytes(n, bb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := XnorDotBytes(n, a.Bytes(), b.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Floats for the pack kernels: raw bit patterns from the pool,
+		// reaching -0.0, NaN and ±Inf.
+		v := make([]float32, n)
+		pool := cycleBytes(ar, 4*n+4)
+		for i := range v {
+			v[i] = math.Float32frombits(binary.LittleEndian.Uint32(pool[4*i:]))
+		}
+		wantPack := packRef(v)
+
+		prev := tensor.CurrentKernelPath()
+		defer tensor.SetKernelPath(prev)
+		for _, p := range tensor.KernelPaths() {
+			if err := tensor.SetKernelPath(p); err != nil {
+				t.Fatal(err)
+			}
+			got, err := XnorDot(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("path=%v n=%d: XnorDot = %d, byte oracle %d", p, n, got, want)
+			}
+			if gotPack := PackVector(v).Bytes(); !bytes.Equal(gotPack, wantPack) {
+				t.Fatalf("path=%v n=%d: PackVector = %x, reference %x", p, n, gotPack, wantPack)
+			}
+		}
+	})
+}

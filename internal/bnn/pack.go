@@ -9,15 +9,12 @@ import (
 // PackSigns bit-packs the signs of a tensor: bit i is 1 when element i is
 // non-negative (+1 after binarization) and 0 otherwise (−1). Eight elements
 // share a byte, which is the representation the paper's Eq. (1) assumes
-// when charging f·o/8 bytes for a binarized feature upload.
+// when charging f·o/8 bytes for a binarized feature upload. The compare
+// and pack run as one fused kernel on the active dispatch path.
 func PackSigns(t *tensor.Tensor) []byte {
 	td := t.Data()
 	out := make([]byte, (len(td)+7)/8)
-	for i, v := range td {
-		if v >= 0 {
-			out[i/8] |= 1 << uint(i%8)
-		}
-	}
+	packSignsInto(out, td)
 	return out
 }
 
@@ -51,11 +48,7 @@ func PackedSize(n int) int { return (n + 7) / 8 }
 func PackSignsSample(t *tensor.Tensor, i int) []byte {
 	td := t.Sample(i)
 	out := make([]byte, (len(td)+7)/8)
-	for j, v := range td {
-		if v >= 0 {
-			out[j/8] |= 1 << uint(j%8)
-		}
-	}
+	packSignsInto(out, td)
 	return out
 }
 

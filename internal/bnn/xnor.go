@@ -31,14 +31,11 @@ type PackedVector struct {
 // packedWords returns the number of 64-bit words holding n elements.
 func packedWords(n int) int { return (n + 63) / 64 }
 
-// PackVector packs the signs of a float vector (non-negative = +1).
+// PackVector packs the signs of a float vector (non-negative = +1)
+// with the fused binarize+pack kernel of the active dispatch path.
 func PackVector(v []float32) PackedVector {
 	p := PackedVector{N: len(v), Words: make([]uint64, packedWords(len(v)))}
-	for i, x := range v {
-		if x >= 0 {
-			p.Words[i/64] |= 1 << uint(i%64)
-		}
-	}
+	packWords(p.Words, v)
 	return p
 }
 
@@ -71,8 +68,11 @@ func (p PackedVector) Bytes() []byte {
 }
 
 // XnorDot computes the ±1 dot product of two packed vectors of equal
-// length with XNOR and a 64-bit popcount per word — 8x wider than the
-// byte-wide reference kernel (XnorDotBytes).
+// length with XNOR and popcount over the 64-bit words, dispatched on
+// the active kernel path: byte-wide popcounts (naive oracle), one
+// 64-bit popcount per word (go), or the AVX2 nibble-lookup popcount
+// (simd). All paths are exact integer arithmetic and return identical
+// results.
 func XnorDot(a, b PackedVector) (int, error) {
 	if a.N != b.N {
 		return 0, fmt.Errorf("bnn: XnorDot length mismatch %d vs %d", a.N, b.N)
@@ -80,11 +80,8 @@ func XnorDot(a, b PackedVector) (int, error) {
 	if len(a.Words) != len(b.Words) {
 		return 0, fmt.Errorf("bnn: XnorDot packed size mismatch %d vs %d", len(a.Words), len(b.Words))
 	}
-	hamming := 0
 	full := a.N / 64
-	for i := 0; i < full; i++ {
-		hamming += bits.OnesCount64(a.Words[i] ^ b.Words[i])
-	}
+	hamming := xnorHamming(a.Words[:full], b.Words[:full])
 	if rem := a.N % 64; rem != 0 {
 		mask := uint64(1)<<uint(rem) - 1
 		hamming += bits.OnesCount64((a.Words[full] ^ b.Words[full]) & mask)

@@ -1,0 +1,105 @@
+#include "textflag.h"
+
+// Nibble popcount lookup table for VPSHUFB (both 128-bit lanes) and the
+// low-nibble mask.
+DATA popcntLUT<>+0(SB)/8, $0x0302020102010100
+DATA popcntLUT<>+8(SB)/8, $0x0403030203020201
+DATA popcntLUT<>+16(SB)/8, $0x0302020102010100
+DATA popcntLUT<>+24(SB)/8, $0x0403030203020201
+GLOBL popcntLUT<>(SB), RODATA|NOPTR, $32
+
+DATA nibbleMask<>+0(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibbleMask<>+8(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibbleMask<>+16(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibbleMask<>+24(SB)/8, $0x0f0f0f0f0f0f0f0f
+GLOBL nibbleMask<>(SB), RODATA|NOPTR, $32
+
+// func xnorPopcntAVX2(a, b *uint64, quads int) int64
+//
+// Returns Σ popcount(a[i]^b[i]) over quads × 4 consecutive words using
+// the PSHUFB nibble-lookup popcount (Mula's algorithm): per 32-byte
+// chunk, XOR, split into nibbles, table-lookup per-byte counts, then
+// VPSADBW folds the byte counts into qword lanes accumulated across the
+// loop. Exact integer arithmetic — identical to the scalar kernels.
+TEXT ·xnorPopcntAVX2(SB), NOSPLIT, $0-32
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ quads+16(FP), CX
+	VMOVDQU popcntLUT<>(SB), Y4
+	VMOVDQU nibbleMask<>(SB), Y5
+	VPXOR Y6, Y6, Y6 // zero, for VPSADBW
+	VPXOR Y7, Y7, Y7 // qword accumulator
+
+	TESTQ CX, CX
+	JE reduce
+
+poploop:
+	VMOVDQU (SI), Y0
+	VPXOR (DI), Y0, Y0
+	VPAND Y0, Y5, Y1   // low nibbles
+	VPSRLW $4, Y0, Y2
+	VPAND Y2, Y5, Y2   // high nibbles
+	VPSHUFB Y1, Y4, Y1 // per-byte counts of low nibbles
+	VPSHUFB Y2, Y4, Y2 // per-byte counts of high nibbles
+	VPADDB Y2, Y1, Y1
+	VPSADBW Y6, Y1, Y1 // fold bytes into 4 qword sums
+	VPADDQ Y1, Y7, Y7
+	ADDQ $32, SI
+	ADDQ $32, DI
+	DECQ CX
+	JNE poploop
+
+reduce:
+	VEXTRACTI128 $1, Y7, X0
+	VPADDQ X0, X7, X0
+	VPSHUFD $0x4E, X0, X1
+	VPADDQ X1, X0, X0
+	MOVQ X0, AX
+	MOVQ AX, ret+24(FP)
+	VZEROUPPER
+	RET
+
+// func packSignsAVX2(dst *byte, src *float32, groups int)
+//
+// Packs the signs of groups × 32 floats into groups × 4 bytes: bit i is
+// set when src[i] >= 0. Each group of 8 floats is compared against zero
+// with the ordered GE predicate (NaN packs as 0, -0.0 packs as 1,
+// exactly the scalar `v >= 0` test) and the 8-lane mask extracted with
+// VMOVMSKPS — the fused binarize+pack kernel.
+TEXT ·packSignsAVX2(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ groups+16(FP), CX
+	VXORPS Y3, Y3, Y3
+
+	TESTQ CX, CX
+	JE packdone
+
+packloop:
+	VMOVUPS (SI), Y0
+	VCMPPS $13, Y3, Y0, Y0 // src >= 0, ordered (GE_OS)
+	VMOVMSKPS Y0, AX
+	VMOVUPS 32(SI), Y1
+	VCMPPS $13, Y3, Y1, Y1
+	VMOVMSKPS Y1, BX
+	SHLQ $8, BX
+	ORQ BX, AX
+	VMOVUPS 64(SI), Y0
+	VCMPPS $13, Y3, Y0, Y0
+	VMOVMSKPS Y0, R8
+	SHLQ $16, R8
+	ORQ R8, AX
+	VMOVUPS 96(SI), Y1
+	VCMPPS $13, Y3, Y1, Y1
+	VMOVMSKPS Y1, R9
+	SHLQ $24, R9
+	ORQ R9, AX
+	MOVL AX, (DI)
+	ADDQ $128, SI
+	ADDQ $4, DI
+	DECQ CX
+	JNE packloop
+
+packdone:
+	VZEROUPPER
+	RET

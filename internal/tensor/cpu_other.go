@@ -1,0 +1,8 @@
+//go:build !amd64
+
+package tensor
+
+// hasSIMD reports whether the KernelSIMD path can run on this host. No
+// non-amd64 SIMD kernels exist yet, so forcing DDNN_KERNELS=simd on
+// other architectures is an error and auto-selection stops at KernelGo.
+func hasSIMD() bool { return false }

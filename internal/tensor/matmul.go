@@ -39,13 +39,43 @@ func MatMulInto(c, a, b *Tensor, accumulate bool) {
 // and C is [m,n]. It is the allocation-free entry point used by the
 // im2col convolution path, which views samples of larger tensors as
 // matrices without wrapping them. Gemm never splits work itself — callers
-// like the convolution layer own the parallelism decision.
+// like the convolution layer own the parallelism decision. The kernel is
+// selected by the active KernelPath; every path accumulates each C
+// element in ascending shared-dimension order, so results are
+// bit-identical across naive, go and simd.
 func Gemm(c, a, b []float32, m, k, n int) {
 	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
 		panic(fmt.Sprintf("tensor: Gemm slice sizes %d,%d,%d too small for [%d %d]·[%d %d]", len(c), len(a), len(b), m, k, k, n))
 	}
 	clear(c[:m*n])
-	matmulBlocked(c, a, b, 0, m, k, n)
+	gemmRowsPath(CurrentKernelPath(), c, a, b, 0, m, k, n)
+}
+
+// gemmRowsPath computes C rows [i0,i1) with the kernel of the given
+// dispatch path. The path is passed in (read once per public call)
+// rather than re-read, so a concurrent SetKernelPath can never split
+// one GEMM — or its parallel row blocks — across two implementations.
+func gemmRowsPath(path KernelPath, c, a, b []float32, i0, i1, k, n int) {
+	switch path {
+	case KernelNaive:
+		matmulRows(c, a, b, i0, i1, k, n)
+	case KernelSIMD:
+		gemmSIMD(c, a, b, i0, i1, k, n)
+	default:
+		matmulBlocked(c, a, b, i0, i1, k, n)
+	}
+}
+
+// gemmSignRowsPath is gemmRowsPath for the ±1 sign kernel family.
+func gemmSignRowsPath(path KernelPath, c, a, b []float32, i0, i1, k, n int) {
+	switch path {
+	case KernelNaive:
+		gemmSignRows(c, a, b, i0, i1, k, n)
+	case KernelSIMD:
+		gemmSignSIMD(c, a, b, i0, i1, k, n)
+	default:
+		gemmSignBlocked(c, a, b, i0, i1, k, n)
+	}
 }
 
 // GemmSign is Gemm for a sign matrix A whose every element is exactly +1
@@ -61,12 +91,21 @@ func GemmSign(c, a, b []float32, m, k, n int) {
 		panic(fmt.Sprintf("tensor: GemmSign slice sizes %d,%d,%d too small for [%d %d]·[%d %d]", len(c), len(a), len(b), m, k, k, n))
 	}
 	clear(c[:m*n])
+	gemmSignRowsPath(CurrentKernelPath(), c, a, b, 0, m, k, n)
+}
+
+// gemmSignBlocked is the portable optimized sign kernel over C rows
+// [i0,i1): a 4×4 register tile of accumulators per sweep, adds and
+// subtracts selected by the sign of A. Matrices with at most 4 output
+// columns use the float small-n kernel instead — for ±1 A the multiply
+// is exact, so the results are identical.
+func gemmSignBlocked(c, a, b []float32, i0, i1, k, n int) {
 	if n <= 4 {
-		matmulSmallN(c, a, b, 0, m, k, n)
+		matmulSmallN(c, a, b, i0, i1, k, n)
 		return
 	}
-	i := 0
-	for ; i+4 <= m; i += 4 {
+	i := i0
+	for ; i+4 <= i1; i += 4 {
 		a0 := a[(i+0)*k : (i+1)*k]
 		a1 := a[(i+1)*k : (i+2)*k]
 		a2 := a[(i+2)*k : (i+3)*k]
@@ -166,8 +205,15 @@ func GemmSign(c, a, b []float32, m, k, n int) {
 			c0[j], c1[j], c2[j], c3[j] = s0, s1, s2, s3
 		}
 	}
-	// Row tail: stream whole B rows, adding or subtracting per sign.
-	for ; i < m; i++ {
+	gemmSignRows(c, a, b, i, i1, k, n)
+}
+
+// gemmSignRows is the naive sign kernel over C rows [i0,i1): stream
+// whole B rows, adding or subtracting per sign of A. It is the parity
+// oracle for the blocked and SIMD sign kernels, and handles their row
+// tails.
+func gemmSignRows(c, a, b []float32, i0, i1, k, n int) {
+	for i := i0; i < i1; i++ {
 		arow := a[i*k : (i+1)*k]
 		crow := c[i*n : (i+1)*n : (i+1)*n]
 		for p, av := range arow {
@@ -204,16 +250,17 @@ func matmulInto(c, a, b []float32, m, k, n int, accumulate bool) {
 	if !accumulate {
 		clear(c[:m*n])
 	}
+	path := CurrentKernelPath()
 	if m >= 8 && m*k*n >= gemmParallelOps && MaxWorkers() > 1 {
 		// Row blocks of C are independent, and each element still
 		// accumulates its products in ascending shared-dimension order, so
 		// splitting changes nothing but wall-clock time.
 		ParallelFor(m, 4, func(lo, hi int) {
-			matmulBlocked(c, a, b, lo, hi, k, n)
+			gemmRowsPath(path, c, a, b, lo, hi, k, n)
 		})
 		return
 	}
-	matmulBlocked(c, a, b, 0, m, k, n)
+	gemmRowsPath(path, c, a, b, 0, m, k, n)
 }
 
 // matmulBlocked processes C rows [i0,i1) with a 2×4 register-tiled
@@ -279,6 +326,9 @@ func matmulBlocked(c, a, b []float32, i0, i1, k, n int) {
 // no C traffic. Accumulation order per element is p ascending, as
 // everywhere else.
 func matmulSmallN(c, a, b []float32, i0, i1, k, n int) {
+	if n == 0 {
+		return
+	}
 	for i := i0; i < i1; i++ {
 		arow := a[i*k : (i+1)*k]
 		crow := c[i*n : (i+1)*n]
@@ -320,15 +370,16 @@ func matmulSmallN(c, a, b []float32, i0, i1, k, n int) {
 }
 
 // matmulRows is the 1-row ikj kernel over C rows [i0,i1): the naive
-// reference layout, also used for the tail rows of the blocked kernel.
+// reference layout, also used for the tail rows of the blocked and SIMD
+// kernels. It deliberately never skips zero A elements — 0·Inf and
+// 0·NaN are NaN, so a zero-skip would make the oracle diverge from the
+// tiled kernels exactly on the adversarial inputs the differential
+// harness feeds them.
 func matmulRows(c, a, b []float32, i0, i1, k, n int) {
 	for i := i0; i < i1; i++ {
 		arow := a[i*k : (i+1)*k]
 		crow := c[i*n : (i+1)*n]
 		for p, av := range arow {
-			if av == 0 {
-				continue
-			}
 			brow := b[p*n : (p+1)*n]
 			for j, bv := range brow {
 				crow[j] += av * bv
